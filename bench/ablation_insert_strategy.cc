@@ -1,0 +1,93 @@
+// Ablation: server-side digest-update strategies for inserts (§3.4).
+//
+//   recompute-chained  one modular exponentiation per child of every
+//                      node on the path (the sound literal reading of
+//                      the paper's recompute),
+//   recompute-product  one multiplication per child + one exponentiation
+//                      per node,
+//   incremental        O(1) per node: patch the exponent product with a
+//                      modular inverse (restores the paper's O(1)-per-
+//                      node claim; see DESIGN.md).
+//
+// All three produce bit-identical trees; this bench shows what the
+// algebraic fix is worth in insert throughput.
+#include "bench/bench_util.h"
+
+using namespace vbtree;
+
+namespace {
+
+double InsertThroughput(DigestUpdateStrategy strategy, size_t base_rows,
+                        int inserts) {
+  Schema schema = bench::PaperSchema(10);
+  InMemoryDiskManager disk;
+  BufferPool pool(1 << 15, &disk);
+  auto heap = TableHeap::Create(&pool, schema).MoveValueUnsafe();
+  SimSigner signer(2024);
+
+  VBTreeOptions opts;
+  opts.config.max_internal = BTreeConfig::VBTreeFanOut(16, 4, 16, 4096);
+  opts.config.max_leaf = opts.config.max_internal;
+  opts.update_strategy = strategy;
+  DigestSchema ds("benchdb", "t", schema);
+  VBTree tree(std::move(ds), opts, &signer);
+
+  Rng rng(42);
+  std::vector<std::pair<Tuple, Rid>> pairs;
+  pairs.reserve(base_rows);
+  for (size_t i = 0; i < base_rows; ++i) {
+    Tuple t = bench::PaperTuple(schema, static_cast<int64_t>(i), &rng, 20);
+    auto rid = heap->Insert(t);
+    if (!rid.ok()) std::exit(1);
+    pairs.emplace_back(std::move(t), *rid);
+  }
+  if (!tree.BulkLoad(pairs).ok()) std::exit(1);
+
+  bench::Timer timer;
+  for (int i = 0; i < inserts; ++i) {
+    int64_t key = static_cast<int64_t>(base_rows) + i;
+    Tuple t = bench::PaperTuple(schema, key, &rng, 20);
+    auto rid = heap->Insert(t);
+    if (!rid.ok() || !tree.Insert(t, *rid).ok()) std::exit(1);
+  }
+  double ms = timer.ElapsedMs();
+  if (!tree.CheckDigestConsistency().ok()) {
+    std::printf("DIGEST CONSISTENCY LOST (%d)\n", static_cast<int>(strategy));
+    std::exit(1);
+  }
+  return inserts / (ms / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — insert digest-update strategies",
+      "identical digests, different server cost; paper fan-out (114)");
+
+  size_t base = bench::MeasuredTuples(20000);
+  const int kInserts = 1500;
+  std::printf("base table: %zu tuples; %d inserts per strategy\n\n", base,
+              kInserts);
+  struct Row {
+    const char* name;
+    DigestUpdateStrategy strategy;
+  } rows[] = {
+      {"recompute-chained (paper recompute)",
+       DigestUpdateStrategy::kRecomputeChained},
+      {"recompute-product", DigestUpdateStrategy::kRecomputeProduct},
+      {"incremental (O(1)/node, mod-inverse)",
+       DigestUpdateStrategy::kIncremental},
+  };
+  double baseline = 0;
+  for (const Row& row : rows) {
+    double tput = InsertThroughput(row.strategy, base, kInserts);
+    if (baseline == 0) baseline = tput;
+    std::printf("  %-40s %10.0f inserts/s  (%.2fx)\n", row.name, tput,
+                tput / baseline);
+  }
+  std::printf(
+      "\nAll three strategies were verified to produce identical root\n"
+      "digests (see vbtree_strategy_test).\n");
+  return 0;
+}

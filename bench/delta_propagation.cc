@@ -1,0 +1,77 @@
+// Extension bench: update propagation cost, full snapshot vs op-log
+// delta (§3.4 "propagate the changes periodically"). Measures the bytes
+// shipped per update batch and the edge-side apply time.
+#include "bench/bench_util.h"
+#include "edge/central_server.h"
+#include "edge/edge_server.h"
+
+using namespace vbtree;
+
+int main() {
+  bench::PrintHeader(
+      "Extension — update propagation: full snapshot vs delta",
+      "bytes shipped and apply time per batch of updates");
+
+  size_t n = bench::MeasuredTuples(20000);
+  CentralServer::Options options;
+  options.tree_opts.config.max_internal =
+      BTreeConfig::VBTreeFanOut(16, 4, 16, 4096);
+  options.tree_opts.config.max_leaf = options.tree_opts.config.max_internal;
+  auto central_or = CentralServer::Create(options);
+  if (!central_or.ok()) return 1;
+  CentralServer& central = **central_or;
+  Schema schema = bench::PaperSchema(10);
+  if (!central.CreateTable("t", schema).ok()) return 1;
+  Rng rng(42);
+  {
+    std::vector<Tuple> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back(bench::PaperTuple(schema, static_cast<int64_t>(i), &rng));
+    }
+    if (!central.LoadTable("t", rows).ok()) return 1;
+  }
+  EdgeServer edge("edge-1");
+  if (!central.PublishTable("t", &edge, nullptr).ok()) return 1;
+
+  std::printf("table: %zu tuples of ~200 B\n\n", n);
+  std::printf("%10s | %14s %14s %8s | %12s\n", "updates", "snapshot(KB)",
+              "delta(KB)", "ratio", "apply(ms)");
+
+  int64_t next_key = static_cast<int64_t>(n);
+  for (int updates : {1, 10, 100, 1000}) {
+    for (int i = 0; i < updates; ++i) {
+      if (!central
+               .InsertTuple("t", bench::PaperTuple(schema, next_key++, &rng))
+               .ok()) {
+        return 1;
+      }
+    }
+    auto snapshot = central.ExportTableSnapshot("t");
+    auto delta = central.ExportUpdateDelta("t");
+    if (!snapshot.ok() || !delta.ok()) return 1;
+
+    bench::Timer t;
+    if (!edge.ApplyUpdateBatch(Slice(*delta)).ok()) {
+      std::printf("delta apply failed\n");
+      return 1;
+    }
+    double apply_ms = t.ElapsedMs();
+    std::printf("%10d | %14.1f %14.1f %8.0fx | %12.2f\n", updates,
+                snapshot->size() / 1e3, delta->size() / 1e3,
+                static_cast<double>(snapshot->size()) /
+                    static_cast<double>(delta->size()),
+                apply_ms);
+  }
+
+  // Sanity: after all deltas the edge is bit-identical to the central.
+  if (!(edge.tree("t")->root_digest() == central.tree("t")->root_digest())) {
+    std::printf("EDGE DIVERGED FROM CENTRAL\n");
+    return 1;
+  }
+  std::printf(
+      "\nEdge replica is bit-identical to the central server after replay.\n"
+      "A delta ships one tuple plus O(height) signatures per update —\n"
+      "orders of magnitude below re-shipping the table.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Micro-benchmarks (google-benchmark) for the crypto primitives behind
+// the cost parameters of Table 1: Cost_h (attribute hash), Cost_k
+// (digest combine), Cost_s (signature recover), plus signing. The
+// measured ratios calibrate X = Cost_s/Cost_h for Figure 12's measured
+// series.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "crypto/commutative_hash.h"
+#include "crypto/hash.h"
+#include "crypto/rsa_signer.h"
+#include "crypto/sim_signer.h"
+
+namespace vbtree {
+namespace {
+
+void BM_AttributeHash_Cost_h(benchmark::State& state) {
+  // Typical attribute-digest preimage: ~60 bytes of names + key + value.
+  Rng rng(1);
+  std::string preimage = rng.NextString(60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HashToDigest(HashAlgorithm::kSha256, Slice(preimage)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttributeHash_Cost_h);
+
+void BM_DigestCombine_Cost_k(benchmark::State& state) {
+  CommutativeHash g;
+  Rng rng(2);
+  Digest acc = g.Identity(), d;
+  for (auto& b : d.bytes) b = static_cast<uint8_t>(rng.Next());
+  for (auto _ : state) {
+    acc = g.Extend(acc, d);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DigestCombine_Cost_k);
+
+void BM_SimSign(benchmark::State& state) {
+  SimSigner signer(7);
+  Digest d = HashToDigest(HashAlgorithm::kSha256, Slice("x", 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer.Sign(d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimSign);
+
+void BM_SimRecover_Cost_s(benchmark::State& state) {
+  SimSigner signer(7);
+  SimRecoverer rec(signer.key_material());
+  Digest d = HashToDigest(HashAlgorithm::kSha256, Slice("x", 1));
+  Signature sig = signer.Sign(d).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.Recover(sig));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimRecover_Cost_s);
+
+void BM_RsaSign(benchmark::State& state) {
+  auto signer = RsaSigner::Generate(1024).MoveValueUnsafe();
+  Digest d = HashToDigest(HashAlgorithm::kSha256, Slice("x", 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer->Sign(d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RsaSign);
+
+void BM_RsaRecover_Cost_s(benchmark::State& state) {
+  auto signer = RsaSigner::Generate(1024).MoveValueUnsafe();
+  auto rec = signer->MakeRecoverer().MoveValueUnsafe();
+  Digest d = HashToDigest(HashAlgorithm::kSha256, Slice("x", 1));
+  Signature sig = signer->Sign(d).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec->Recover(sig));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RsaRecover_Cost_s);
+
+}  // namespace
+}  // namespace vbtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Regenerates §4.4 (formulas (11) and (12)): insert and range-delete
+// costs on the VB-tree, analytical versus measured.
+//
+// Measured side counts real crypto operations (hashes / combines / signs)
+// during inserts and deletes and reports wall-clock throughput.
+// Note (DESIGN.md): on the insert path this implementation recomputes
+// internal-node digests from child digests (O(fan-out) combines per
+// level) because the paper's O(1) incremental fold is unsound for the
+// nested digest definition its own VO construction requires; expect the
+// measured combine count to exceed formula (11)'s.
+#include "bench/bench_util.h"
+#include "costmodel/cost_model.h"
+
+using namespace vbtree;
+
+int main() {
+  bench::PrintHeader("§4.4 — Update costs (formulas (11) and (12))",
+                     "insert + range delete, analytical vs measured");
+
+  // ---- analytical ----
+  costmodel::CostParams p;
+  std::printf("Analytical @T_R=1M (Cost_h units, Cost_k/Cost_h=10, "
+              "Cost_sign=1000):\n");
+  std::printf("  insert of one tuple (11): %.0f\n", costmodel::InsertCost(p));
+  for (double d : {10.0, 1000.0, 100000.0}) {
+    std::printf("  delete of %7.0f contiguous tuples (12): %.0f\n", d,
+                costmodel::DeleteCost(p, d));
+  }
+
+  // ---- measured: inserts ----
+  size_t n = bench::MeasuredTuples(20000);
+  auto table = bench::BuildBenchTable(n, 10, 20, /*with_naive=*/false);
+  if (table == nullptr) return 1;
+
+  CryptoCounters counters;
+  table->tree->set_counters(&counters);
+  // SimSigner ops counted through a fresh counters-aware signer is not
+  // possible post-construction; count signs via tree-side counters delta
+  // is not wired to the signer, so report combines/hashes plus timing.
+  const int kInserts = 2000;
+  Rng rng(7);
+  bench::Timer insert_timer;
+  for (int i = 0; i < kInserts; ++i) {
+    int64_t key = static_cast<int64_t>(n) + i;
+    Tuple t = bench::PaperTuple(table->schema, key, &rng, 20);
+    auto rid = table->heap->Insert(t);
+    if (!rid.ok() || !table->tree->Insert(t, *rid).ok()) return 1;
+  }
+  double insert_ms = insert_timer.ElapsedMs();
+  std::printf(
+      "\nMeasured @T_R=%zu (fan-out %d, height %d):\n"
+      "  %d inserts: %.1f ms total, %.1f us/insert (%.0f inserts/s)\n"
+      "  crypto ops/insert: %.1f attribute hashes, %.1f digest folds\n",
+      n, table->tree->options().config.max_internal, table->tree->height(),
+      kInserts, insert_ms, 1000.0 * insert_ms / kInserts,
+      kInserts / (insert_ms / 1000.0),
+      static_cast<double>(counters.attr_hashes) / kInserts,
+      static_cast<double>(counters.combine_ops) / kInserts);
+
+  // ---- measured: range deletes (disjoint ranges) ----
+  int64_t base = 0;
+  for (size_t del : {10u, 100u, 1000u}) {
+    counters.Reset();
+    bench::Timer t;
+    auto removed = table->tree->DeleteRange(
+        base, base + static_cast<int64_t>(del) - 1);
+    if (!removed.ok() || *removed != del) {
+      std::printf("  delete failed (removed=%zu expected=%zu)\n",
+                  removed.ok() ? *removed : 0, del);
+      return 1;
+    }
+    base += static_cast<int64_t>(2 * del);
+    std::printf(
+        "  delete of %5zu tuples: %.2f ms, %llu digest folds, tree size now "
+        "%zu\n",
+        del, t.ElapsedMs(),
+        static_cast<unsigned long long>(counters.combine_ops),
+        table->tree->size());
+  }
+
+  if (!table->tree->CheckDigestConsistency().ok()) {
+    std::printf("DIGEST CONSISTENCY LOST AFTER UPDATES\n");
+    return 1;
+  }
+  std::printf("  digest consistency after all updates: OK\n");
+  std::printf(
+      "\nExpected shape (paper): insert cost dominated by signing (one\n"
+      "signature per attribute + tuple + path node); delete cost grows\n"
+      "with the enveloping subtree of the deleted range.\n");
+  return 0;
+}

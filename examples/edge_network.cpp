@@ -1,0 +1,116 @@
+// Edge-network deployment: a central server, three geo-distributed edge
+// servers, and a client population issuing skewed (Zipf) range queries —
+// the scalability story of §1. Demonstrates:
+//   * per-channel communication accounting (distribution vs query traffic),
+//   * all answers verifying regardless of which edge served them,
+//   * key rotation (§3.4): an edge that misses the update window cannot
+//     masquerade stale data once the old key version expires.
+//
+// Build & run:  ./build/examples/edge_network
+#include <cstdio>
+
+#include "common/random.h"
+#include "edge/central_server.h"
+#include "edge/client.h"
+#include "edge/edge_server.h"
+
+using namespace vbtree;
+
+int main() {
+  CentralServer::Options options;
+  options.db_name = "telemetry";
+  options.key_validity = 1000;  // each key version valid for 1000 ticks
+  auto central_or = CentralServer::Create(options);
+  if (!central_or.ok()) return 1;
+  CentralServer& central = **central_or;
+
+  Schema schema({{"id", TypeId::kInt64},
+                 {"sensor", TypeId::kString},
+                 {"reading", TypeId::kDouble},
+                 {"unit", TypeId::kString}});
+  if (!central.CreateTable("readings", schema).ok()) return 1;
+
+  Rng rng(99);
+  std::vector<Tuple> rows;
+  const size_t kRows = 10000;
+  for (size_t i = 0; i < kRows; ++i) {
+    rows.push_back(Tuple({Value::Int(static_cast<int64_t>(i)),
+                          Value::Str("sensor-" + std::to_string(i % 64)),
+                          Value::Double(rng.NextDouble() * 100),
+                          Value::Str("kPa")}));
+  }
+  if (!central.LoadTable("readings", rows).ok()) return 1;
+
+  SimulatedNetwork net;
+  EdgeServer edges[] = {EdgeServer("edge-us"), EdgeServer("edge-eu"),
+                        EdgeServer("edge-ap")};
+  for (EdgeServer& e : edges) {
+    if (!central.PublishTable("readings", &e, &net).ok()) return 1;
+  }
+  std::printf("distributed 'readings' (%zu rows) to 3 edge servers\n", kRows);
+
+  Client client(central.db_name(), central.key_directory());
+  client.RegisterTable("readings", schema);
+
+  // --- skewed query workload spread over the edges ---------------------
+  ZipfGenerator zipf(kRows, 0.9, 7);
+  size_t verified = 0;
+  const int kQueries = 60;
+  uint64_t result_bytes = 0, vo_bytes = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    SelectQuery q;
+    q.table = "readings";
+    int64_t lo = static_cast<int64_t>(zipf.Next());
+    q.range = KeyRange{lo, lo + static_cast<int64_t>(rng.Uniform(200))};
+    if (rng.OneIn(2)) q.projection = {0, 1, 2};
+    auto r = client.Query(&edges[i % 3], q, /*now=*/10, &net);
+    if (!r.ok()) return 1;
+    if (r->verification.ok()) verified++;
+    result_bytes += r->result_bytes;
+    vo_bytes += r->vo_bytes;
+  }
+  std::printf("%d queries over 3 edges: %zu verified (expected all)\n",
+              kQueries, verified);
+  std::printf("  result payload %llu B, VO overhead %llu B (%.1f%%)\n",
+              static_cast<unsigned long long>(result_bytes),
+              static_cast<unsigned long long>(vo_bytes),
+              100.0 * static_cast<double>(vo_bytes) /
+                  static_cast<double>(result_bytes ? result_bytes : 1));
+
+  std::printf("\nper-channel traffic:\n");
+  for (const char* ch :
+       {"central->edge:edge-us", "central->edge:edge-eu",
+        "central->edge:edge-ap", "client->edge:edge-us",
+        "edge:edge-us->client"}) {
+    auto s = net.stats(ch);
+    std::printf("  %-26s %6llu msgs %12llu bytes\n", ch,
+                static_cast<unsigned long long>(s.messages),
+                static_cast<unsigned long long>(s.bytes));
+  }
+
+  // --- key rotation: edge-ap misses the refresh ------------------------
+  std::printf("\nrotating signing key at t=500; edge-ap keeps stale data\n");
+  if (!central.RotateKey(500).ok()) return 1;
+  if (!central.PublishTable("readings", &edges[0], &net).ok()) return 1;
+  if (!central.PublishTable("readings", &edges[1], &net).ok()) return 1;
+  // edges[2] deliberately not refreshed.
+
+  SelectQuery probe;
+  probe.table = "readings";
+  probe.range = KeyRange{0, 50};
+
+  auto fresh = client.Query(&edges[0], probe, /*now=*/600, &net);
+  auto stale = client.Query(&edges[2], probe, /*now=*/600, &net);
+  if (!fresh.ok() || !stale.ok()) return 1;
+  std::printf("  edge-us (refreshed):  %s\n",
+              fresh->verification.ToString().c_str());
+  std::printf("  edge-ap (stale key):  %s\n",
+              stale->verification.ToString().c_str());
+  if (!fresh->verification.ok() || !stale->verification.IsVerificationFailure()) {
+    return 1;
+  }
+  std::printf(
+      "\nstale data signed with the retired key was rejected, exactly the\n"
+      "masquerade defence of §3.4.\n");
+  return 0;
+}

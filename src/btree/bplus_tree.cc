@@ -1,0 +1,287 @@
+#include "btree/bplus_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vbtree {
+
+int BTreeConfig::BTreeFanOut(size_t key_len, size_t ptr_len,
+                             size_t block_size) {
+  int f = static_cast<int>((block_size + key_len) / (key_len + ptr_len));
+  return f < 2 ? 2 : f;
+}
+
+int BTreeConfig::VBTreeFanOut(size_t key_len, size_t ptr_len,
+                              size_t digest_len, size_t block_size) {
+  int f = static_cast<int>((block_size + key_len) /
+                           (key_len + ptr_len + digest_len));
+  return f < 2 ? 2 : f;
+}
+
+int BTreeConfig::PackedHeight(uint64_t num_tuples, int fan_out) {
+  if (num_tuples <= 1) return 1;
+  double h = std::log(static_cast<double>(num_tuples)) /
+             std::log(static_cast<double>(fan_out));
+  int hi = static_cast<int>(std::ceil(h - 1e-9));
+  return hi < 1 ? 1 : hi;
+}
+
+BTreeConfig BTreeConfig::FromBlockSize(size_t key_len, size_t ptr_len,
+                                       size_t block_size) {
+  BTreeConfig c;
+  c.max_internal = BTreeFanOut(key_len, ptr_len, block_size);
+  c.max_leaf = c.max_internal;
+  return c;
+}
+
+struct BPlusTree::Node {
+  bool is_leaf;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+};
+
+struct BPlusTree::LeafNode : BPlusTree::Node {
+  LeafNode() : Node(true) {}
+  std::vector<int64_t> keys;
+  std::vector<Rid> rids;
+  LeafNode* next = nullptr;
+  LeafNode* prev = nullptr;
+};
+
+struct BPlusTree::InternalNode : BPlusTree::Node {
+  InternalNode() : Node(false) {}
+  /// children.size() == keys.size() + 1; child i covers keys in
+  /// [keys[i-1], keys[i]) with keys[-1] = -inf, keys[n] = +inf.
+  std::vector<int64_t> keys;
+  std::vector<std::unique_ptr<Node>> children;
+
+  /// Index of the child subtree that may contain `key`.
+  size_t ChildIndex(int64_t key) const {
+    return static_cast<size_t>(
+        std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+  }
+};
+
+BPlusTree::BPlusTree(BTreeConfig config) : config_(config) {
+  VBT_CHECK(config_.max_internal >= 2 && config_.max_leaf >= 1);
+  root_ = std::make_unique<LeafNode>();
+}
+
+BPlusTree::~BPlusTree() = default;
+
+const BPlusTree::LeafNode* BPlusTree::FindLeaf(int64_t key) const {
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    const auto* in = static_cast<const InternalNode*>(n);
+    n = in->children[in->ChildIndex(key)].get();
+  }
+  return static_cast<const LeafNode*>(n);
+}
+
+Result<Rid> BPlusTree::Lookup(int64_t key) const {
+  const LeafNode* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return Status::NotFound("key not in index");
+  }
+  return leaf->rids[it - leaf->keys.begin()];
+}
+
+Result<std::optional<BPlusTree::SplitResult>> BPlusTree::InsertRec(
+    Node* node, int64_t key, const Rid& rid) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it != leaf->keys.end() && *it == key) {
+      return Status::AlreadyExists("duplicate key");
+    }
+    size_t pos = it - leaf->keys.begin();
+    leaf->keys.insert(it, key);
+    leaf->rids.insert(leaf->rids.begin() + pos, rid);
+    if (leaf->keys.size() <= static_cast<size_t>(config_.max_leaf)) {
+      return std::optional<SplitResult>{};
+    }
+    // Split: move upper half to a new right sibling.
+    auto right = std::make_unique<LeafNode>();
+    size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
+    right->rids.assign(leaf->rids.begin() + mid, leaf->rids.end());
+    leaf->keys.resize(mid);
+    leaf->rids.resize(mid);
+    right->next = leaf->next;
+    right->prev = leaf;
+    if (leaf->next != nullptr) leaf->next->prev = right.get();
+    leaf->next = right.get();
+    int64_t sep = right->keys.front();
+    return std::optional<SplitResult>{{sep, std::move(right)}};
+  }
+
+  auto* in = static_cast<InternalNode*>(node);
+  size_t ci = in->ChildIndex(key);
+  VBT_ASSIGN_OR_RETURN(std::optional<SplitResult> split,
+                       InsertRec(in->children[ci].get(), key, rid));
+  if (!split.has_value()) return std::optional<SplitResult>{};
+  in->keys.insert(in->keys.begin() + ci, split->separator);
+  in->children.insert(in->children.begin() + ci + 1, std::move(split->right));
+  if (in->children.size() <= static_cast<size_t>(config_.max_internal)) {
+    return std::optional<SplitResult>{};
+  }
+  // Split the internal node; the middle key moves up.
+  auto right = std::make_unique<InternalNode>();
+  size_t mid = in->keys.size() / 2;
+  int64_t up = in->keys[mid];
+  right->keys.assign(in->keys.begin() + mid + 1, in->keys.end());
+  right->children.reserve(in->children.size() - mid - 1);
+  for (size_t i = mid + 1; i < in->children.size(); ++i) {
+    right->children.push_back(std::move(in->children[i]));
+  }
+  in->keys.resize(mid);
+  in->children.resize(mid + 1);
+  return std::optional<SplitResult>{{up, std::move(right)}};
+}
+
+Status BPlusTree::Insert(int64_t key, const Rid& rid) {
+  VBT_ASSIGN_OR_RETURN(std::optional<SplitResult> split,
+                       InsertRec(root_.get(), key, rid));
+  if (split.has_value()) {
+    auto new_root = std::make_unique<InternalNode>();
+    new_root->keys.push_back(split->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  size_++;
+  return Status::OK();
+}
+
+Result<bool> BPlusTree::RemoveRec(Node* node, int64_t key) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || *it != key) {
+      return Status::NotFound("key not in index");
+    }
+    size_t pos = it - leaf->keys.begin();
+    leaf->keys.erase(it);
+    leaf->rids.erase(leaf->rids.begin() + pos);
+    if (leaf->keys.empty()) {
+      // Unlink from the leaf chain before the parent frees it.
+      if (leaf->prev != nullptr) leaf->prev->next = leaf->next;
+      if (leaf->next != nullptr) leaf->next->prev = leaf->prev;
+      return true;
+    }
+    return false;
+  }
+
+  auto* in = static_cast<InternalNode*>(node);
+  size_t ci = in->ChildIndex(key);
+  VBT_ASSIGN_OR_RETURN(bool child_empty, RemoveRec(in->children[ci].get(), key));
+  if (!child_empty) return false;
+  // Merge-on-empty policy: drop the emptied child and one separator.
+  in->children.erase(in->children.begin() + ci);
+  if (!in->keys.empty()) {
+    in->keys.erase(in->keys.begin() + (ci == 0 ? 0 : ci - 1));
+  }
+  return in->children.empty();
+}
+
+Status BPlusTree::Remove(int64_t key) {
+  VBT_ASSIGN_OR_RETURN(bool root_empty, RemoveRec(root_.get(), key));
+  size_--;
+  if (root_empty) {
+    root_ = std::make_unique<LeafNode>();
+    return Status::OK();
+  }
+  // Collapse trivial roots (single-child internal nodes).
+  while (!root_->is_leaf) {
+    auto* in = static_cast<InternalNode*>(root_.get());
+    if (in->children.size() > 1) break;
+    root_ = std::move(in->children[0]);
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<int64_t, Rid>> BPlusTree::Scan(int64_t lo,
+                                                     int64_t hi) const {
+  std::vector<std::pair<int64_t, Rid>> out;
+  if (lo > hi) return out;
+  const LeafNode* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < lo) continue;
+      if (leaf->keys[i] > hi) return out;
+      out.emplace_back(leaf->keys[i], leaf->rids[i]);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+int BPlusTree::height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    h++;
+    n = static_cast<const InternalNode*>(n)->children[0].get();
+  }
+  return h;
+}
+
+Status BPlusTree::CheckNode(const Node* node, std::optional<int64_t> lo,
+                            std::optional<int64_t> hi, int depth,
+                            int* leaf_depth) const {
+  auto in_bounds = [&](int64_t k) {
+    if (lo.has_value() && k < *lo) return false;
+    if (hi.has_value() && k >= *hi) return false;
+    return true;
+  };
+  if (node->is_leaf) {
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at differing depths");
+    }
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (i > 0 && leaf->keys[i - 1] >= leaf->keys[i]) {
+        return Status::Corruption("leaf keys out of order");
+      }
+      if (!in_bounds(leaf->keys[i])) {
+        return Status::Corruption("leaf key violates separator bounds");
+      }
+    }
+    if (leaf->keys.size() != leaf->rids.size()) {
+      return Status::Corruption("leaf key/rid count mismatch");
+    }
+    return Status::OK();
+  }
+  const auto* in = static_cast<const InternalNode*>(node);
+  if (in->children.size() != in->keys.size() + 1) {
+    return Status::Corruption("internal child/key count mismatch");
+  }
+  for (size_t i = 0; i < in->keys.size(); ++i) {
+    if (i > 0 && in->keys[i - 1] >= in->keys[i]) {
+      return Status::Corruption("internal keys out of order");
+    }
+    if (!in_bounds(in->keys[i])) {
+      return Status::Corruption("separator violates parent bounds");
+    }
+  }
+  for (size_t i = 0; i < in->children.size(); ++i) {
+    std::optional<int64_t> clo = (i == 0) ? lo : std::optional(in->keys[i - 1]);
+    std::optional<int64_t> chi =
+        (i == in->keys.size()) ? hi : std::optional(in->keys[i]);
+    VBT_RETURN_NOT_OK(
+        CheckNode(in->children[i].get(), clo, chi, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  return CheckNode(root_.get(), std::nullopt, std::nullopt, 0, &leaf_depth);
+}
+
+}  // namespace vbtree

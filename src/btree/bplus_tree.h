@@ -1,0 +1,104 @@
+#ifndef VBTREE_BTREE_BPLUS_TREE_H_
+#define VBTREE_BTREE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "catalog/tuple.h"
+#include "common/config.h"
+#include "common/result.h"
+
+namespace vbtree {
+
+/// Node-capacity parameters shared by the plain B+-tree and the VB-tree.
+/// Capacities derive from the paper's block-size formulas (§4.1): an
+/// index node of |B| bytes holds f child pointers, f-1 keys and (for the
+/// VB-tree) f signed digests.
+struct BTreeConfig {
+  /// Maximum children per internal node (fan-out f).
+  int max_internal = 128;
+  /// Maximum entries per leaf node.
+  int max_leaf = 128;
+
+  /// Fan-out of a plain B-tree node: floor((|B| + |K|) / (|K| + |P|)),
+  /// i.e. f pointers + (f-1) keys must fit in a block.
+  static int BTreeFanOut(size_t key_len, size_t ptr_len, size_t block_size);
+
+  /// Fan-out of a VB-tree node (paper formula (6)): each child entry
+  /// additionally carries a signed digest of |s| bytes:
+  /// floor((|B| + |K|) / (|K| + |P| + |s|)).
+  static int VBTreeFanOut(size_t key_len, size_t ptr_len, size_t digest_len,
+                          size_t block_size);
+
+  /// Height of a fully packed tree of `fan_out` over `num_tuples` tuples
+  /// (paper formula (7)): ceil(log_f T_R), at least 1.
+  static int PackedHeight(uint64_t num_tuples, int fan_out);
+
+  static BTreeConfig FromBlockSize(size_t key_len, size_t ptr_len,
+                                   size_t block_size);
+};
+
+/// In-memory B+-tree mapping int64 keys to Rids. This is the unauthenticated
+/// baseline structure: same layout maths as the VB-tree minus digests.
+///
+/// Deletion follows the policy the paper adopts from Johnson & Shasha
+/// (§4.4): nodes are merged/freed only when they become *empty*, not at
+/// half occupancy.
+class BPlusTree {
+ public:
+  explicit BPlusTree(BTreeConfig config = BTreeConfig{});
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts key → rid; kAlreadyExists on duplicate key.
+  Status Insert(int64_t key, const Rid& rid);
+
+  Result<Rid> Lookup(int64_t key) const;
+
+  /// Removes the key; kNotFound if absent.
+  Status Remove(int64_t key);
+
+  /// All entries with lo <= key <= hi, in key order.
+  std::vector<std::pair<int64_t, Rid>> Scan(int64_t lo, int64_t hi) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+
+  /// Structural self-check used by property tests: key ordering inside
+  /// nodes, separator bounds, uniform leaf depth, leaf-chain consistency.
+  Status CheckInvariants() const;
+
+ private:
+  struct LeafNode;
+  struct InternalNode;
+  struct Node;
+
+  struct SplitResult {
+    int64_t separator;
+    std::unique_ptr<Node> right;
+  };
+
+  Result<std::optional<SplitResult>> InsertRec(Node* node, int64_t key,
+                                               const Rid& rid);
+  /// Returns true if `node` became empty and should be unlinked.
+  Result<bool> RemoveRec(Node* node, int64_t key);
+
+  Status CheckNode(const Node* node, std::optional<int64_t> lo,
+                   std::optional<int64_t> hi, int depth,
+                   int* leaf_depth) const;
+
+  const LeafNode* FindLeaf(int64_t key) const;
+
+  BTreeConfig config_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_BTREE_BPLUS_TREE_H_

@@ -1,0 +1,37 @@
+#include "catalog/catalog.h"
+
+namespace vbtree {
+
+Result<table_id_t> Catalog::CreateTable(const std::string& name, Schema schema,
+                                        bool is_view) {
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  if (!schema.HasValidKey()) {
+    return Status::InvalidArgument(
+        "column 0 must be an INT64 primary key column");
+  }
+  table_id_t id = next_id_++;
+  auto info = std::make_unique<TableInfo>();
+  info->id = id;
+  info->name = name;
+  info->schema = std::move(schema);
+  info->is_view = is_view;
+  by_name_[name] = id;
+  by_id_[id] = std::move(info);
+  return id;
+}
+
+Result<const TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("no table named " + name);
+  return GetTable(it->second);
+}
+
+Result<const TableInfo*> Catalog::GetTable(table_id_t id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("no table with that id");
+  return it->second.get();
+}
+
+}  // namespace vbtree

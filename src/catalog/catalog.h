@@ -1,0 +1,50 @@
+#ifndef VBTREE_CATALOG_CATALOG_H_
+#define VBTREE_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace vbtree {
+
+using table_id_t = uint32_t;
+
+/// Metadata for one table. The database and table names participate in
+/// every attribute digest preimage (paper formula (1)), which binds a
+/// digest to its location and defeats cross-table value substitution.
+struct TableInfo {
+  table_id_t id = 0;
+  std::string name;
+  Schema schema;
+  /// True for materialized join views (§3.3 Join).
+  bool is_view = false;
+};
+
+/// Name → table registry for one database.
+class Catalog {
+ public:
+  explicit Catalog(std::string db_name) : db_name_(std::move(db_name)) {}
+
+  const std::string& db_name() const { return db_name_; }
+
+  Result<table_id_t> CreateTable(const std::string& name, Schema schema,
+                                 bool is_view = false);
+  Result<const TableInfo*> GetTable(const std::string& name) const;
+  Result<const TableInfo*> GetTable(table_id_t id) const;
+
+  size_t num_tables() const { return by_id_.size(); }
+
+ private:
+  std::string db_name_;
+  std::map<std::string, table_id_t> by_name_;
+  std::map<table_id_t, std::unique_ptr<TableInfo>> by_id_;
+  table_id_t next_id_ = 1;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_CATALOG_CATALOG_H_

@@ -1,0 +1,45 @@
+#include "catalog/schema.h"
+
+namespace vbtree {
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+void Schema::Serialize(ByteWriter* w) const {
+  w->PutVarint(cols_.size());
+  for (const Column& c : cols_) {
+    w->PutString(c.name);
+    w->PutU8(static_cast<uint8_t>(c.type));
+  }
+}
+
+Result<Schema> Schema::Deserialize(ByteReader* r) {
+  VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    VBT_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    VBT_ASSIGN_OR_RETURN(uint8_t t, r->ReadU8());
+    if (t > static_cast<uint8_t>(TypeId::kString)) {
+      return Status::Corruption("bad TypeId in schema");
+    }
+    cols.emplace_back(std::move(name), static_cast<TypeId>(t));
+  }
+  return Schema(std::move(cols));
+}
+
+bool Schema::operator==(const Schema& o) const {
+  if (cols_.size() != o.cols_.size()) return false;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name != o.cols_[i].name || cols_[i].type != o.cols_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vbtree

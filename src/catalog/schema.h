@@ -1,0 +1,51 @@
+#ifndef VBTREE_CATALOG_SCHEMA_H_
+#define VBTREE_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+
+namespace vbtree {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+
+  Column() = default;
+  Column(std::string n, TypeId t) : name(std::move(n)), type(t) {}
+};
+
+/// Ordered list of columns. Column 0 is the primary key (kInt64).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t num_columns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  /// Index of the column with `name`, or kNotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// True if column 0 exists and is an kInt64 key column.
+  bool HasValidKey() const {
+    return !cols_.empty() && cols_[0].type == TypeId::kInt64;
+  }
+
+  void Serialize(ByteWriter* w) const;
+  static Result<Schema> Deserialize(ByteReader* r);
+
+  bool operator==(const Schema& o) const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_CATALOG_SCHEMA_H_

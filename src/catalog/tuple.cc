@@ -1,0 +1,36 @@
+#include "catalog/tuple.h"
+
+namespace vbtree {
+
+size_t Tuple::SerializedSize() const {
+  size_t n = 0;
+  for (const Value& v : values_) n += v.SerializedSize();
+  return n;
+}
+
+void Tuple::Serialize(ByteWriter* w) const {
+  for (const Value& v : values_) v.Serialize(w);
+}
+
+Result<Tuple> Tuple::Deserialize(ByteReader* r, const Schema& schema) {
+  std::vector<Value> values;
+  values.reserve(schema.num_columns());
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    VBT_ASSIGN_OR_RETURN(Value v,
+                         Value::Deserialize(r, schema.column(i).type));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace vbtree

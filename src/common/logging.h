@@ -1,0 +1,46 @@
+#ifndef VBTREE_COMMON_LOGGING_H_
+#define VBTREE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vbtree {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+const char* LogLevelName(LogLevel level);
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+}  // namespace internal
+
+#define VBT_LOG(level, ...)                                                  \
+  do {                                                                       \
+    if (level >= ::vbtree::GetLogLevel()) {                                  \
+      ::vbtree::internal::LogMessage(level, __FILE__, __LINE__, __VA_ARGS__); \
+    }                                                                        \
+  } while (0)
+
+#define VBT_DEBUG(...) VBT_LOG(::vbtree::LogLevel::kDebug, __VA_ARGS__)
+#define VBT_INFO(...) VBT_LOG(::vbtree::LogLevel::kInfo, __VA_ARGS__)
+#define VBT_WARN(...) VBT_LOG(::vbtree::LogLevel::kWarn, __VA_ARGS__)
+#define VBT_ERROR(...) VBT_LOG(::vbtree::LogLevel::kError, __VA_ARGS__)
+
+/// Invariant check that aborts in all build types; reserved for conditions
+/// that indicate memory corruption or programmer error, never user input.
+#define VBT_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                     __LINE__, #cond);                                      \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+}  // namespace vbtree
+
+#endif  // VBTREE_COMMON_LOGGING_H_

@@ -1,0 +1,68 @@
+#ifndef VBTREE_COMMON_RESULT_H_
+#define VBTREE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vbtree {
+
+/// Either a value of type T or an error Status. Modeled after
+/// arrow::Result. A default-constructed Result is an internal error.
+template <typename T>
+class Result {
+ public:
+  Result() : status_(Status::Internal("uninitialized Result")) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& ValueOrDie() const {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Moves the value out. Precondition: ok().
+  T MoveValueUnsafe() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns the error.
+#define VBT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = tmp.MoveValueUnsafe()
+
+#define VBT_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define VBT_ASSIGN_OR_RETURN_NAME(a, b) VBT_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define VBT_ASSIGN_OR_RETURN(lhs, expr) \
+  VBT_ASSIGN_OR_RETURN_IMPL(            \
+      VBT_ASSIGN_OR_RETURN_NAME(_vbt_result_, __COUNTER__), lhs, expr)
+
+}  // namespace vbtree
+
+#endif  // VBTREE_COMMON_RESULT_H_

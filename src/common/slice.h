@@ -1,0 +1,49 @@
+#ifndef VBTREE_COMMON_SLICE_H_
+#define VBTREE_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vbtree {
+
+/// A borrowed, non-owning view of a byte range (RocksDB-style).
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): cheap view conversions.
+  Slice(const std::string& s) : Slice(s.data(), s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(std::string_view s) : Slice(s.data(), s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(const std::vector<uint8_t>& v) : Slice(v.data(), v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_COMMON_SLICE_H_

@@ -1,0 +1,102 @@
+#ifndef VBTREE_COMMON_STATUS_H_
+#define VBTREE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vbtree {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of returning rich status objects instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kCorruption,
+  /// A verification object failed to authenticate a query result.
+  kVerificationFailure,
+  kLockTimeout,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: a code plus an optional diagnostic message.
+///
+/// `Status::OK()` is cheap (no allocation). All library entry points that
+/// can fail return `Status` or `Result<T>`; exceptions are never thrown
+/// across module boundaries.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status VerificationFailure(std::string msg) {
+    return Status(StatusCode::kVerificationFailure, std::move(msg));
+  }
+  static Status LockTimeout(std::string msg) {
+    return Status(StatusCode::kLockTimeout, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsVerificationFailure() const {
+    return code_ == StatusCode::kVerificationFailure;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsLockTimeout() const { return code_ == StatusCode::kLockTimeout; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define VBT_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::vbtree::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace vbtree
+
+#endif  // VBTREE_COMMON_STATUS_H_

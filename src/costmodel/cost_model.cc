@@ -1,0 +1,105 @@
+#include "costmodel/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vbtree {
+namespace costmodel {
+
+namespace {
+
+double CeilLog(double n, double base) {
+  if (n <= 1) return 1;
+  if (base <= 1) return 1;
+  return std::max(1.0, std::ceil(std::log(n) / std::log(base) - 1e-9));
+}
+
+}  // namespace
+
+double BaseTableOverheadBytes(const CostParams& p) {
+  return p.num_tuples * p.num_cols * p.digest_len;
+}
+
+double BTreeFanOut(const CostParams& p) {
+  return std::max(2.0, std::floor((p.block + p.key_len) /
+                                  (p.key_len + p.ptr_len)));
+}
+
+double VBTreeFanOut(const CostParams& p) {
+  return std::max(2.0, std::floor((p.block + p.key_len) /
+                                  (p.key_len + p.ptr_len + p.digest_len)));
+}
+
+double PackedHeight(double num_tuples, double fan_out) {
+  return CeilLog(num_tuples, fan_out);
+}
+
+double EnvelopeHeight(const CostParams& p) {
+  return CeilLog(std::max(1.0, p.result_tuples), VBTreeFanOut(p));
+}
+
+double MaxSelectionDigests(const CostParams& p) {
+  return (2 * EnvelopeHeight(p) + 1) * (VBTreeFanOut(p) - 1);
+}
+
+double VBCommBytes(const CostParams& p) {
+  double result_values = p.result_tuples * p.result_cols * p.attr_len;
+  double d_p = p.result_tuples * (p.num_cols - p.result_cols) * p.digest_len;
+  double d_s = MaxSelectionDigests(p) * p.digest_len;
+  double d_n = p.digest_len;
+  return result_values + d_p + d_s + d_n;
+}
+
+double NaiveCommBytes(const CostParams& p) {
+  double per_tuple = p.digest_len                                  // s(t_j)
+                     + p.result_cols * p.attr_len                  // values
+                     + (p.num_cols - p.result_cols) * p.digest_len;  // D_P
+  return p.result_tuples * per_tuple;
+}
+
+double VBCompCost(const CostParams& p) {
+  // Combining work is modeled per the paper as the per-tuple attribute
+  // combination plus folding the D_S digests; the measured harness also
+  // counts the per-leaf tuple-digest folds the model elides (see
+  // EXPERIMENTS.md for the comparison).
+  double hashes = p.result_tuples * p.result_cols;  // Cost_h each
+  double combines = p.result_tuples * p.num_cols    // per-tuple combine
+                    + MaxSelectionDigests(p);       // fold D_S digests
+  double decrypts = p.result_tuples * (p.num_cols - p.result_cols)  // D_P
+                    + MaxSelectionDigests(p)                        // D_S
+                    + 1;                                            // D_N
+  return hashes + p.cost_k * combines + p.cost_s * decrypts;
+}
+
+double NaiveCompCost(const CostParams& p) {
+  double hashes = p.result_tuples * p.result_cols;
+  double combines = p.result_tuples * p.num_cols;
+  double decrypts = p.result_tuples * (p.num_cols - p.result_cols)  // attrs
+                    + p.result_tuples;  // one signed tuple digest per row
+  return hashes + p.cost_k * combines + p.cost_s * decrypts;
+}
+
+double InsertCost(const CostParams& p) {
+  double h = PackedHeight(p.num_tuples, VBTreeFanOut(p));
+  double hashes = p.num_cols;            // attribute digests
+  double combines = p.num_cols + h;      // tuple digest + fold path digests
+  double signs = p.num_cols + 1 + h;     // attr sigs + tuple sig + path sigs
+  return hashes + p.cost_k * combines + p.cost_sign * signs;
+}
+
+double DeleteCost(const CostParams& p, double deleted) {
+  double f = VBTreeFanOut(p);
+  double h = PackedHeight(p.num_tuples, f);
+  double h_q = CeilLog(std::max(1.0, deleted), f);
+  // Boundary nodes of the enveloping subtree: top + leftmost/rightmost per
+  // level, each with at most f-1 surviving entries to recombine.
+  double boundary_nodes = 2 * h_q + 1;
+  double boundary_combines = boundary_nodes * (f - 1);
+  // Path from the subtree top to the root: up to f entries per node.
+  double path_combines = (h - h_q) * f;
+  double signs = boundary_nodes + (h - h_q);
+  return p.cost_k * (boundary_combines + path_combines) + p.cost_sign * signs;
+}
+
+}  // namespace costmodel
+}  // namespace vbtree

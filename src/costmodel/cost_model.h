@@ -1,0 +1,88 @@
+#ifndef VBTREE_COSTMODEL_COST_MODEL_H_
+#define VBTREE_COSTMODEL_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace vbtree {
+namespace costmodel {
+
+/// The parameters of paper Table 1, with their defaults. All sizes in
+/// bytes; all computation costs in units of Cost_h (the cost of deriving
+/// one attribute digest).
+struct CostParams {
+  double digest_len = 16;   ///< |s|: signed digest length
+  double key_len = 16;      ///< |K|: search key length
+  double ptr_len = 4;       ///< |P|: node pointer length
+  double block = 4096;      ///< |B|: block/node size
+  double num_tuples = 1e6;  ///< T_R: tuples in the table
+  double num_cols = 10;     ///< T_c: attributes per tuple
+  double result_tuples = 0; ///< Q_R: tuples in the query result
+  double result_cols = 10;  ///< Q_c: attributes in the query result
+  double attr_len = 20;     ///< |A_j|: average attribute size
+  double cost_k = 10;       ///< Cost_k / Cost_h (paper default ratio 10)
+  double cost_s = 10;       ///< X = Cost_s / Cost_h (Fig. 12 sweeps 5/10/100)
+  /// Signing is ~100x costlier than verification ([15]: hashes are ~100x
+  /// faster than signature verification and ~10000x faster than
+  /// generation); used only by the update-cost formulas.
+  double cost_sign = 1000;
+};
+
+// ---- §4.1 storage -----------------------------------------------------
+
+/// Per-table overhead of signed attribute digests: T_R * T_c * |s|.
+double BaseTableOverheadBytes(const CostParams& p);
+
+/// Plain B-tree fan-out: floor((|B| + |K|) / (|K| + |P|)).
+double BTreeFanOut(const CostParams& p);
+
+/// VB-tree fan-out (formula (6)): each entry adds a signed digest:
+/// floor((|B| + |K|) / (|K| + |P| + |s|)).
+double VBTreeFanOut(const CostParams& p);
+
+/// Height of a fully packed tree (formula (7)): ceil(log_f T_R).
+double PackedHeight(double num_tuples, double fan_out);
+
+// ---- §4.2 query communication ----------------------------------------
+
+/// Height of the enveloping subtree (formula (8)): ceil(log_f Q_R).
+double EnvelopeHeight(const CostParams& p);
+
+/// Maximum digests in D_S: (2 h_Q + 1)(f - 1).
+double MaxSelectionDigests(const CostParams& p);
+
+/// VB-tree communication cost in bytes (formula (9)): result values +
+/// D_P + D_S + D_N.
+double VBCommBytes(const CostParams& p);
+
+/// Naive communication cost (Appendix): per result tuple, the signed
+/// tuple digest, the projected attribute values, and a signed digest per
+/// filtered attribute.
+double NaiveCommBytes(const CostParams& p);
+
+// ---- §4.3 query computation (in Cost_h units) -------------------------
+
+/// VB-tree client computation (formula (10)): attribute hashing,
+/// combining, and decrypting D_P, D_S and D_N.
+double VBCompCost(const CostParams& p);
+
+/// Naive client computation (Appendix): per row, hash the returned
+/// attributes, decrypt the filtered ones, combine, and decrypt the signed
+/// tuple digest.
+double NaiveCompCost(const CostParams& p);
+
+// ---- §4.4 updates ------------------------------------------------------
+
+/// Insert cost (formula (11)): hash T_c attributes, combine into the
+/// tuple digest, fold into each node digest on the root-to-leaf path, and
+/// re-sign the attribute/tuple/path digests.
+double InsertCost(const CostParams& p);
+
+/// Delete cost (formula (12)) for a contiguous range of `deleted` tuples:
+/// recompute digests of the boundary nodes of the enveloping subtree and
+/// of the path up to the root, and re-sign them.
+double DeleteCost(const CostParams& p, double deleted);
+
+}  // namespace costmodel
+}  // namespace vbtree
+
+#endif  // VBTREE_COSTMODEL_COST_MODEL_H_

@@ -1,0 +1,45 @@
+#ifndef VBTREE_CRYPTO_COUNTERS_H_
+#define VBTREE_CRYPTO_COUNTERS_H_
+
+#include <cstdint>
+
+namespace vbtree {
+
+/// Operation counts matching the cost parameters of paper Table 1:
+///   Cost_h — deriving an attribute digest with the one-way hash h,
+///   Cost_k — combining two digests with the commutative hash g,
+///   Cost_s — decrypting (recovering) a signature with the public key.
+///
+/// The analytical figures (Fig. 12, Fig. 13) are expressed in units of
+/// Cost_h; `CostUnits` converts measured counts into the same units given
+/// the two ratios the paper sweeps.
+struct CryptoCounters {
+  uint64_t attr_hashes = 0;  ///< h() evaluations (Cost_h each)
+  uint64_t combine_ops = 0;  ///< digests folded by g (Cost_k each)
+  uint64_t signs = 0;        ///< signature creations (central server only)
+  uint64_t recovers = 0;     ///< signature decrypts (Cost_s each)
+
+  void Reset() { *this = CryptoCounters{}; }
+
+  CryptoCounters operator-(const CryptoCounters& o) const {
+    CryptoCounters r;
+    r.attr_hashes = attr_hashes - o.attr_hashes;
+    r.combine_ops = combine_ops - o.combine_ops;
+    r.signs = signs - o.signs;
+    r.recovers = recovers - o.recovers;
+    return r;
+  }
+
+  /// Total cost in Cost_h units.
+  /// @param cost_k_ratio Cost_k / Cost_h (paper default 10, Fig. 13a sweeps 0–3).
+  /// @param x Cost_s / Cost_h (Fig. 12 uses X in {5, 10, 100}).
+  double CostUnits(double cost_k_ratio, double x) const {
+    return static_cast<double>(attr_hashes) +
+           cost_k_ratio * static_cast<double>(combine_ops) +
+           x * static_cast<double>(recovers);
+  }
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_CRYPTO_COUNTERS_H_

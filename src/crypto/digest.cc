@@ -1,0 +1,16 @@
+#include "crypto/digest.h"
+
+namespace vbtree {
+
+std::string Digest::ToHex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace vbtree

@@ -1,0 +1,103 @@
+#ifndef VBTREE_CRYPTO_DIGEST_H_
+#define VBTREE_CRYPTO_DIGEST_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/config.h"
+#include "common/slice.h"
+
+namespace vbtree {
+
+/// 128-bit unsigned integer with wrap-around (mod 2^128) arithmetic.
+///
+/// Digests are interpreted as 128-bit numbers when they act as exponents or
+/// accumulator values of the commutative hash g(x) = G^x mod 2^k (§3.2 of
+/// the paper). Multiplication wraps naturally, which *is* reduction
+/// mod 2^128; smaller moduli mask the top bits.
+class Uint128 {
+ public:
+  constexpr Uint128() : v_(0) {}
+  constexpr explicit Uint128(uint64_t lo) : v_(lo) {}
+  static constexpr Uint128 FromParts(uint64_t hi, uint64_t lo) {
+    Uint128 u;
+    u.v_ = (static_cast<unsigned __int128>(hi) << 64) | lo;
+    return u;
+  }
+
+  uint64_t lo() const { return static_cast<uint64_t>(v_); }
+  uint64_t hi() const { return static_cast<uint64_t>(v_ >> 64); }
+
+  bool IsZero() const { return v_ == 0; }
+  bool IsOdd() const { return (v_ & 1) != 0; }
+  bool Bit(int i) const { return ((v_ >> i) & 1) != 0; }
+
+  Uint128 MulWrap(Uint128 o) const {
+    Uint128 r;
+    r.v_ = v_ * o.v_;
+    return r;
+  }
+
+  Uint128 Mask(int bits) const {
+    Uint128 r = *this;
+    if (bits < 128) {
+      unsigned __int128 mask = (static_cast<unsigned __int128>(1) << bits) - 1;
+      r.v_ &= mask;
+    }
+    return r;
+  }
+
+  bool operator==(const Uint128& o) const { return v_ == o.v_; }
+
+ private:
+  unsigned __int128 v_;
+};
+
+/// A fixed 16-byte digest (paper Table 1: |s| = 16 bytes). Stored
+/// little-endian relative to its Uint128 interpretation.
+struct Digest {
+  std::array<uint8_t, kDigestLen> bytes{};
+
+  static Digest FromUint128(Uint128 v) {
+    Digest d;
+    uint64_t lo = v.lo(), hi = v.hi();
+    std::memcpy(d.bytes.data(), &lo, 8);
+    std::memcpy(d.bytes.data() + 8, &hi, 8);
+    return d;
+  }
+
+  Uint128 ToUint128() const {
+    uint64_t lo, hi;
+    std::memcpy(&lo, bytes.data(), 8);
+    std::memcpy(&hi, bytes.data() + 8, 8);
+    return Uint128::FromParts(hi, lo);
+  }
+
+  Slice AsSlice() const { return Slice(bytes.data(), bytes.size()); }
+
+  bool IsZero() const {
+    for (uint8_t b : bytes) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  std::string ToHex() const;
+
+  bool operator==(const Digest& o) const { return bytes == o.bytes; }
+  bool operator!=(const Digest& o) const { return !(*this == o); }
+};
+
+struct DigestHasher {
+  size_t operator()(const Digest& d) const {
+    uint64_t v;
+    std::memcpy(&v, d.bytes.data(), 8);
+    return static_cast<size_t>(v);
+  }
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_CRYPTO_DIGEST_H_

@@ -1,0 +1,48 @@
+#include "crypto/hash.h"
+
+#include <openssl/evp.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace vbtree {
+
+namespace {
+
+const EVP_MD* MdFor(HashAlgorithm algo) {
+  switch (algo) {
+    case HashAlgorithm::kSha256:
+      return EVP_sha256();
+    case HashAlgorithm::kSha1:
+      return EVP_sha1();
+    case HashAlgorithm::kMd5:
+      return EVP_md5();
+  }
+  return EVP_sha256();
+}
+
+}  // namespace
+
+Digest HashToDigest(HashAlgorithm algo, Slice input) {
+  unsigned char out[EVP_MAX_MD_SIZE];
+  unsigned int out_len = 0;
+  int rc = EVP_Digest(input.data(), input.size(), out, &out_len, MdFor(algo),
+                      nullptr);
+  VBT_CHECK(rc == 1);
+  Digest d;
+  size_t n = out_len < kDigestLen ? out_len : kDigestLen;
+  std::memcpy(d.bytes.data(), out, n);
+  return d;
+}
+
+std::array<uint8_t, 32> Sha256(Slice input) {
+  std::array<uint8_t, 32> out{};
+  unsigned int out_len = 0;
+  int rc = EVP_Digest(input.data(), input.size(), out.data(), &out_len,
+                      EVP_sha256(), nullptr);
+  VBT_CHECK(rc == 1 && out_len == 32);
+  return out;
+}
+
+}  // namespace vbtree

@@ -1,0 +1,26 @@
+#ifndef VBTREE_CRYPTO_HASH_H_
+#define VBTREE_CRYPTO_HASH_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/slice.h"
+#include "crypto/digest.h"
+
+namespace vbtree {
+
+/// One-way hash algorithms available for attribute digests (paper §3.2
+/// names MD5 and SHA; SHA-256 is the modern default).
+enum class HashAlgorithm { kSha256, kSha1, kMd5 };
+
+/// Computes `algo(input)` and truncates/pads to the 16-byte Digest used
+/// throughout the VB-tree (paper |s| = 16).
+Digest HashToDigest(HashAlgorithm algo, Slice input);
+
+/// Full 32-byte SHA-256, for callers that need an untruncated hash (the
+/// MHT baseline uses it for Merkle node hashes).
+std::array<uint8_t, 32> Sha256(Slice input);
+
+}  // namespace vbtree
+
+#endif  // VBTREE_CRYPTO_HASH_H_

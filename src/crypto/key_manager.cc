@@ -1,0 +1,53 @@
+#include "crypto/key_manager.h"
+
+namespace vbtree {
+
+void KeyDirectory::Publish(const KeyVersionInfo& info,
+                           std::shared_ptr<Recoverer> recoverer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[info.version] = Entry{info, std::move(recoverer)};
+}
+
+Status KeyDirectory::Expire(uint32_t version, uint64_t at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(version);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown key version");
+  }
+  if (at == 0) {
+    it->second.info.valid_to = 0;
+  } else if (it->second.info.valid_to >= at) {
+    it->second.info.valid_to = at - 1;
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Recoverer>> KeyDirectory::RecovererFor(
+    uint32_t version, uint64_t now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(version);
+  if (it == entries_.end()) {
+    return Status::VerificationFailure("unknown signing key version");
+  }
+  const KeyVersionInfo& info = it->second.info;
+  if (now < info.valid_from || now > info.valid_to) {
+    return Status::VerificationFailure(
+        "signing key version expired: stale data detected");
+  }
+  return it->second.recoverer;
+}
+
+Result<KeyVersionInfo> KeyDirectory::Info(uint32_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(version);
+  if (it == entries_.end()) return Status::NotFound("unknown key version");
+  return it->second.info;
+}
+
+uint32_t KeyDirectory::LatestVersion() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return 0;
+  return entries_.rbegin()->first;
+}
+
+}  // namespace vbtree

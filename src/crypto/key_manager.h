@@ -1,0 +1,61 @@
+#ifndef VBTREE_CRYPTO_KEY_MANAGER_H_
+#define VBTREE_CRYPTO_KEY_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/result.h"
+#include "crypto/signer.h"
+
+namespace vbtree {
+
+/// Validity metadata for one public-key version.
+///
+/// §3.4: for delayed broadcast of updates, "the central server can include
+/// the timestamp or version number in its public key, and make available to
+/// users the validity period of each public key at a well-known location",
+/// so edge servers cannot masquerade out-of-date data signed with an old
+/// private key.
+struct KeyVersionInfo {
+  uint32_t version = 0;
+  uint64_t valid_from = 0;  ///< inclusive, logical timestamp
+  uint64_t valid_to = 0;    ///< inclusive, logical timestamp
+};
+
+/// The "well-known location" of §3.4: maps key versions to validity
+/// windows and recoverers. Clients consult it to reject results signed
+/// with an expired key.
+class KeyDirectory {
+ public:
+  /// Registers (or replaces) a key version.
+  void Publish(const KeyVersionInfo& info, std::shared_ptr<Recoverer> recoverer);
+
+  /// Marks `version` as expiring at time `at` (exclusive upper bound
+  /// becomes at-1). Called when the central server rotates keys.
+  Status Expire(uint32_t version, uint64_t at);
+
+  /// Returns the recoverer for `version` if that version is valid at
+  /// `now`; kVerificationFailure for unknown or expired versions — this is
+  /// exactly the stale-data masquerade detection of §3.4.
+  Result<std::shared_ptr<Recoverer>> RecovererFor(uint32_t version,
+                                                  uint64_t now) const;
+
+  Result<KeyVersionInfo> Info(uint32_t version) const;
+
+  /// Highest registered version.
+  uint32_t LatestVersion() const;
+
+ private:
+  mutable std::mutex mu_;
+  struct Entry {
+    KeyVersionInfo info;
+    std::shared_ptr<Recoverer> recoverer;
+  };
+  std::map<uint32_t, Entry> entries_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_CRYPTO_KEY_MANAGER_H_

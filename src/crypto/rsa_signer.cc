@@ -1,0 +1,150 @@
+#include "crypto/rsa_signer.h"
+
+#include <openssl/err.h>
+#include <openssl/evp.h>
+#include <openssl/rsa.h>
+#include <openssl/x509.h>
+
+#include <cstring>
+
+namespace vbtree {
+
+namespace {
+
+std::string OpenSslError(const char* what) {
+  char buf[256];
+  ERR_error_string_n(ERR_get_error(), buf, sizeof(buf));
+  return std::string(what) + ": " + buf;
+}
+
+struct PkeyDeleter {
+  void operator()(EVP_PKEY* p) const { EVP_PKEY_free(p); }
+};
+using PkeyPtr = std::unique_ptr<EVP_PKEY, PkeyDeleter>;
+
+struct CtxDeleter {
+  void operator()(EVP_PKEY_CTX* c) const { EVP_PKEY_CTX_free(c); }
+};
+using CtxPtr = std::unique_ptr<EVP_PKEY_CTX, CtxDeleter>;
+
+}  // namespace
+
+struct RsaSigner::Impl {
+  PkeyPtr pkey;
+};
+
+struct RsaRecoverer::Impl {
+  PkeyPtr pkey;
+};
+
+RsaSigner::RsaSigner(std::unique_ptr<Impl> impl, size_t sig_len,
+                     CryptoCounters* counters)
+    : impl_(std::move(impl)), sig_len_(sig_len), counters_(counters) {}
+
+RsaSigner::~RsaSigner() = default;
+
+Result<std::unique_ptr<RsaSigner>> RsaSigner::Generate(
+    int key_bits, CryptoCounters* counters) {
+  CtxPtr ctx(EVP_PKEY_CTX_new_id(EVP_PKEY_RSA, nullptr));
+  if (!ctx) return Status::Internal(OpenSslError("RSA ctx"));
+  if (EVP_PKEY_keygen_init(ctx.get()) <= 0 ||
+      EVP_PKEY_CTX_set_rsa_keygen_bits(ctx.get(), key_bits) <= 0) {
+    return Status::Internal(OpenSslError("RSA keygen init"));
+  }
+  EVP_PKEY* raw = nullptr;
+  if (EVP_PKEY_keygen(ctx.get(), &raw) <= 0) {
+    return Status::Internal(OpenSslError("RSA keygen"));
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->pkey.reset(raw);
+  size_t sig_len = static_cast<size_t>(EVP_PKEY_size(raw));
+  return std::unique_ptr<RsaSigner>(
+      new RsaSigner(std::move(impl), sig_len, counters));
+}
+
+Result<Signature> RsaSigner::Sign(const Digest& d) {
+  if (counters_ != nullptr) counters_->signs++;
+  CtxPtr ctx(EVP_PKEY_CTX_new(impl_->pkey.get(), nullptr));
+  if (!ctx) return Status::Internal(OpenSslError("sign ctx"));
+  if (EVP_PKEY_sign_init(ctx.get()) <= 0 ||
+      EVP_PKEY_CTX_set_rsa_padding(ctx.get(), RSA_PKCS1_PADDING) <= 0) {
+    return Status::Internal(OpenSslError("sign init"));
+  }
+  size_t out_len = 0;
+  if (EVP_PKEY_sign(ctx.get(), nullptr, &out_len, d.bytes.data(),
+                    d.bytes.size()) <= 0) {
+    return Status::Internal(OpenSslError("sign size"));
+  }
+  Signature sig(out_len);
+  if (EVP_PKEY_sign(ctx.get(), sig.data(), &out_len, d.bytes.data(),
+                    d.bytes.size()) <= 0) {
+    return Status::Internal(OpenSslError("sign"));
+  }
+  sig.resize(out_len);
+  return sig;
+}
+
+Result<std::vector<uint8_t>> RsaSigner::ExportPublicKey() const {
+  int len = i2d_PUBKEY(impl_->pkey.get(), nullptr);
+  if (len <= 0) return Status::Internal(OpenSslError("export pubkey"));
+  std::vector<uint8_t> der(static_cast<size_t>(len));
+  uint8_t* p = der.data();
+  if (i2d_PUBKEY(impl_->pkey.get(), &p) != len) {
+    return Status::Internal(OpenSslError("export pubkey encode"));
+  }
+  return der;
+}
+
+Result<std::unique_ptr<RsaRecoverer>> RsaSigner::MakeRecoverer(
+    CryptoCounters* counters) const {
+  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> der, ExportPublicKey());
+  return RsaRecoverer::FromPublicKeyDer(der, counters);
+}
+
+RsaRecoverer::RsaRecoverer(std::unique_ptr<Impl> impl, size_t sig_len,
+                           CryptoCounters* counters)
+    : impl_(std::move(impl)), sig_len_(sig_len), counters_(counters) {}
+
+RsaRecoverer::~RsaRecoverer() = default;
+
+Result<std::unique_ptr<RsaRecoverer>> RsaRecoverer::FromPublicKeyDer(
+    const std::vector<uint8_t>& der, CryptoCounters* counters) {
+  const uint8_t* p = der.data();
+  EVP_PKEY* raw = d2i_PUBKEY(nullptr, &p, static_cast<long>(der.size()));
+  if (raw == nullptr) {
+    return Status::InvalidArgument(OpenSslError("import pubkey"));
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->pkey.reset(raw);
+  size_t sig_len = static_cast<size_t>(EVP_PKEY_size(raw));
+  return std::unique_ptr<RsaRecoverer>(
+      new RsaRecoverer(std::move(impl), sig_len, counters));
+}
+
+Result<Digest> RsaRecoverer::Recover(const Signature& sig) {
+  if (counters_ != nullptr) counters_->recovers++;
+  CtxPtr ctx(EVP_PKEY_CTX_new(impl_->pkey.get(), nullptr));
+  if (!ctx) return Status::Internal(OpenSslError("recover ctx"));
+  if (EVP_PKEY_verify_recover_init(ctx.get()) <= 0 ||
+      EVP_PKEY_CTX_set_rsa_padding(ctx.get(), RSA_PKCS1_PADDING) <= 0) {
+    return Status::Internal(OpenSslError("recover init"));
+  }
+  size_t out_len = 0;
+  if (EVP_PKEY_verify_recover(ctx.get(), nullptr, &out_len, sig.data(),
+                              sig.size()) <= 0) {
+    return Status::VerificationFailure("signature recover failed");
+  }
+  std::vector<uint8_t> out(out_len);
+  if (EVP_PKEY_verify_recover(ctx.get(), out.data(), &out_len, sig.data(),
+                              sig.size()) <= 0) {
+    return Status::VerificationFailure("signature recover failed");
+  }
+  if (out_len != kDigestLen) {
+    return Status::VerificationFailure("recovered payload has wrong length");
+  }
+  Digest d;
+  std::memcpy(d.bytes.data(), out.data(), kDigestLen);
+  return d;
+}
+
+}  // namespace vbtree

@@ -1,0 +1,58 @@
+#ifndef VBTREE_CRYPTO_SIGNER_H_
+#define VBTREE_CRYPTO_SIGNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/counters.h"
+#include "crypto/digest.h"
+
+namespace vbtree {
+
+/// A signed digest: s(d) in the paper's notation.
+using Signature = std::vector<uint8_t>;
+
+/// Message-*recovering* signature scheme, the primitive the paper assumes:
+/// s() encrypts a digest with the private key, p() decrypts it with the
+/// public key and returns the original digest (§3.2, formulas (1)–(3)).
+///
+/// Two implementations:
+///  * `SimSigner` — 16-byte signatures matching the paper's |s| = 16
+///    parameter (see sim_signer.h for the substitution rationale);
+///  * `RsaSigner` — real RSA with OpenSSL's verify-recover operation.
+class Signer {
+ public:
+  virtual ~Signer() = default;
+
+  /// s(d): signs with the private key. Only the central DBMS holds a
+  /// Signer that can sign.
+  virtual Result<Signature> Sign(const Digest& d) = 0;
+
+  /// Size in bytes of one signature; drives communication-cost accounting.
+  virtual size_t signature_length() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The public-key side: p(s) recovers the digest from a signature. Edge
+/// servers and clients hold only a Recoverer, never a Signer.
+class Recoverer {
+ public:
+  virtual ~Recoverer() = default;
+
+  /// p(sig): recovers the embedded digest. Fails with
+  /// kVerificationFailure if the signature is malformed or was not
+  /// produced by the matching private key (detectable for RsaSigner via
+  /// padding; SimSigner decrypts unconditionally and relies on the digest
+  /// equation check downstream, exactly like the paper's 16-byte model).
+  virtual Result<Digest> Recover(const Signature& sig) = 0;
+
+  virtual size_t signature_length() const = 0;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_CRYPTO_SIGNER_H_

@@ -1,0 +1,94 @@
+#include "crypto/sim_signer.h"
+
+#include <openssl/evp.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "crypto/hash.h"
+
+namespace vbtree {
+
+namespace {
+
+/// One-block AES-128-ECB transform (16-byte in, 16-byte out, no padding).
+/// ECB over a single block is a plain PRP application, which is all the
+/// simulation needs.
+bool AesBlock(const std::array<uint8_t, 16>& key, const uint8_t* in,
+              uint8_t* out, bool encrypt) {
+  EVP_CIPHER_CTX* ctx = EVP_CIPHER_CTX_new();
+  if (ctx == nullptr) return false;
+  bool ok = EVP_CipherInit_ex(ctx, EVP_aes_128_ecb(), nullptr, key.data(),
+                              nullptr, encrypt ? 1 : 0) == 1;
+  EVP_CIPHER_CTX_set_padding(ctx, 0);
+  int len = 0;
+  ok = ok && EVP_CipherUpdate(ctx, out, &len, in, 16) == 1 && len == 16;
+  int fin = 0;
+  ok = ok && EVP_CipherFinal_ex(ctx, out + len, &fin) == 1;
+  EVP_CIPHER_CTX_free(ctx);
+  return ok;
+}
+
+std::array<uint8_t, 16> DeriveKey(uint64_t seed) {
+  uint8_t seed_bytes[8];
+  std::memcpy(seed_bytes, &seed, 8);
+  auto h = Sha256(Slice(seed_bytes, 8));
+  std::array<uint8_t, 16> key;
+  std::memcpy(key.data(), h.data(), 16);
+  return key;
+}
+
+}  // namespace
+
+struct SimSigner::Impl {};
+struct SimRecoverer::Impl {};
+
+SimSigner::SimSigner(uint64_t key_seed, CryptoCounters* counters,
+                     int work_factor)
+    : key_(DeriveKey(key_seed)),
+      counters_(counters),
+      work_factor_(work_factor < 1 ? 1 : work_factor) {}
+
+SimSigner::~SimSigner() = default;
+
+Result<Signature> SimSigner::Sign(const Digest& d) {
+  if (counters_ != nullptr) counters_->signs++;
+  Signature sig(kDigestLen);
+  uint8_t buf[16];
+  std::memcpy(buf, d.bytes.data(), 16);
+  // work_factor > 1 chains the PRP to emulate a slower signing primitive.
+  for (int i = 0; i < work_factor_; ++i) {
+    if (!AesBlock(key_, buf, sig.data(), /*encrypt=*/true)) {
+      return Status::Internal("AES encrypt failed");
+    }
+    std::memcpy(buf, sig.data(), 16);
+  }
+  return sig;
+}
+
+SimRecoverer::SimRecoverer(std::array<uint8_t, 16> key,
+                           CryptoCounters* counters, int work_factor)
+    : key_(key),
+      counters_(counters),
+      work_factor_(work_factor < 1 ? 1 : work_factor) {}
+
+SimRecoverer::~SimRecoverer() = default;
+
+Result<Digest> SimRecoverer::Recover(const Signature& sig) {
+  if (sig.size() != kDigestLen) {
+    return Status::VerificationFailure("bad signature length");
+  }
+  if (counters_ != nullptr) counters_->recovers++;
+  Digest d;
+  uint8_t buf[16];
+  std::memcpy(buf, sig.data(), 16);
+  for (int i = 0; i < work_factor_; ++i) {
+    if (!AesBlock(key_, buf, d.bytes.data(), /*encrypt=*/false)) {
+      return Status::Internal("AES decrypt failed");
+    }
+    std::memcpy(buf, d.bytes.data(), 16);
+  }
+  return d;
+}
+
+}  // namespace vbtree

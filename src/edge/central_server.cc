@@ -1,0 +1,351 @@
+#include "edge/central_server.h"
+
+#include <algorithm>
+
+#include "edge/edge_server.h"
+#include "query/executor.h"
+
+namespace vbtree {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x50414E53;  // "SNAP"
+}  // namespace
+
+Result<std::unique_ptr<CentralServer>> CentralServer::Create(Options options) {
+  auto server = std::unique_ptr<CentralServer>(new CentralServer(options));
+  server->disk_ = std::make_unique<InMemoryDiskManager>();
+  server->pool_ = std::make_unique<BufferPool>(options.buffer_pool_pages,
+                                               server->disk_.get());
+
+  std::unique_ptr<Signer> signer;
+  std::shared_ptr<Recoverer> recoverer;
+  VBT_RETURN_NOT_OK(
+      server->MakeSigner(options.key_seed, &signer, &recoverer));
+  server->current_signer_ = signer.get();
+  server->signers_.push_back(std::move(signer));
+  server->key_version_ = 1;
+  server->key_valid_from_ = 0;
+  server->key_directory_.Publish(
+      KeyVersionInfo{1, 0, options.key_validity}, std::move(recoverer));
+  return server;
+}
+
+Status CentralServer::MakeSigner(uint64_t seed,
+                                 std::unique_ptr<Signer>* signer,
+                                 std::shared_ptr<Recoverer>* recoverer) {
+  if (options_.use_rsa) {
+    VBT_ASSIGN_OR_RETURN(std::unique_ptr<RsaSigner> rsa,
+                         RsaSigner::Generate(options_.rsa_bits));
+    VBT_ASSIGN_OR_RETURN(std::unique_ptr<RsaRecoverer> rec,
+                         rsa->MakeRecoverer());
+    *signer = std::move(rsa);
+    *recoverer = std::move(rec);
+    return Status::OK();
+  }
+  auto sim = std::make_unique<SimSigner>(seed, nullptr,
+                                         options_.sim_work_factor);
+  *recoverer = std::make_shared<SimRecoverer>(sim->key_material(), nullptr,
+                                              options_.sim_work_factor);
+  *signer = std::move(sim);
+  return Status::OK();
+}
+
+Result<CentralServer::TableState*> CentralServer::GetTableState(
+    const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return &it->second;
+}
+
+Result<const CentralServer::TableState*> CentralServer::GetTableState(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return &it->second;
+}
+
+Result<table_id_t> CentralServer::CreateTable(const std::string& name,
+                                              Schema schema) {
+  VBT_ASSIGN_OR_RETURN(table_id_t id, catalog_.CreateTable(name, schema));
+  TableState state;
+  VBT_ASSIGN_OR_RETURN(state.heap, TableHeap::Create(pool_.get(), schema));
+  VBTreeOptions opts = options_.tree_opts;
+  opts.key_version = key_version_;
+  DigestSchema ds(options_.db_name, name, schema, opts.hash_algo,
+                  opts.modulus_bits);
+  state.tree = std::make_unique<VBTree>(std::move(ds), opts, current_signer_,
+                                        &lock_manager_);
+  tables_[name] = std::move(state);
+  return id;
+}
+
+Status CentralServer::LoadTable(const std::string& name,
+                                std::vector<Tuple> rows) {
+  VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
+  std::sort(rows.begin(), rows.end(),
+            [](const Tuple& a, const Tuple& b) { return a.key() < b.key(); });
+  std::vector<std::pair<Tuple, Rid>> pairs;
+  pairs.reserve(rows.size());
+  for (Tuple& t : rows) {
+    VBT_ASSIGN_OR_RETURN(Rid rid, state->heap->Insert(t));
+    pairs.emplace_back(std::move(t), rid);
+  }
+  return state->tree->BulkLoad(pairs);
+}
+
+Status CentralServer::InsertTuple(const std::string& name, const Tuple& tuple,
+                                  txn_id_t txn) {
+  VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
+  VBT_ASSIGN_OR_RETURN(Rid rid, state->heap->Insert(tuple));
+
+  // Record the op for delta propagation: entry signature material plus
+  // the node signatures the insert produces (deterministic signers give
+  // the same bytes the tree stores).
+  UpdateOp op;
+  op.kind = UpdateOp::Kind::kInsert;
+  op.tuple = tuple;
+  op.rid = rid;
+  VBT_ASSIGN_OR_RETURN(op.material, state->tree->MakeEntryMaterial(tuple));
+  state->tree->set_signature_log(&op.resigned);
+  Status insert_status = state->tree->Insert(tuple, rid, txn);
+  state->tree->set_signature_log(nullptr);
+  VBT_RETURN_NOT_OK(insert_status);
+  state->pending.push_back(std::move(op));
+  state->version++;
+
+  // Incremental maintenance of join views referencing this table.
+  for (auto& [view_name, view] : views_) {
+    const JoinSpec& spec = view->spec();
+    if (spec.left_table == name) {
+      VBT_ASSIGN_OR_RETURN(
+          std::vector<Tuple> matches,
+          MatchingRows(spec.right_table, spec.right_col,
+                       tuple.value(spec.left_col)));
+      for (const Tuple& right : matches) {
+        VBT_RETURN_NOT_OK(view->AddJoinedRow(tuple, right));
+      }
+    }
+    if (spec.right_table == name) {
+      VBT_ASSIGN_OR_RETURN(
+          std::vector<Tuple> matches,
+          MatchingRows(spec.left_table, spec.left_col,
+                       tuple.value(spec.right_col)));
+      for (const Tuple& left : matches) {
+        VBT_RETURN_NOT_OK(view->AddJoinedRow(left, tuple));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> CentralServer::DeleteRange(const std::string& name, int64_t lo,
+                                          int64_t hi, txn_id_t txn) {
+  VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
+  std::vector<int64_t> doomed = state->tree->KeysInRange(lo, hi);
+
+  UpdateOp op;
+  op.kind = UpdateOp::Kind::kDeleteRange;
+  op.lo = lo;
+  op.hi = hi;
+  state->tree->set_signature_log(&op.resigned);
+  auto removed_or = state->tree->DeleteRange(lo, hi, txn);
+  state->tree->set_signature_log(nullptr);
+  VBT_ASSIGN_OR_RETURN(size_t removed, std::move(removed_or));
+  state->pending.push_back(std::move(op));
+  state->version++;
+
+  for (auto& [view_name, view] : views_) {
+    const JoinSpec& spec = view->spec();
+    for (int64_t key : doomed) {
+      if (spec.left_table == name) {
+        VBT_RETURN_NOT_OK(view->RemoveByLeftKey(key).status());
+      }
+      if (spec.right_table == name) {
+        VBT_RETURN_NOT_OK(view->RemoveByRightKey(key).status());
+      }
+    }
+  }
+  // Heap rows become unreachable; a compaction pass could reclaim them.
+  return removed;
+}
+
+Result<std::vector<Tuple>> CentralServer::MatchingRows(
+    const std::string& table, size_t col, const Value& value) const {
+  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(table));
+  // Only rows still indexed by the VB-tree count (heap may hold tombstoned
+  // leftovers from deletes).
+  std::vector<Tuple> out;
+  for (TableHeap::Iterator it = state->heap->Begin(); it.Valid(); it.Next()) {
+    VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
+    if (t.value(col).Compare(value) == 0 &&
+        !state->tree->KeysInRange(t.key(), t.key()).empty()) {
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+Status CentralServer::CreateJoinView(const JoinSpec& spec) {
+  if (views_.count(spec.view_name) != 0 ||
+      tables_.count(spec.view_name) != 0) {
+    return Status::AlreadyExists("name already in use: " + spec.view_name);
+  }
+  VBT_ASSIGN_OR_RETURN(const TableState* left, GetTableState(spec.left_table));
+  VBT_ASSIGN_OR_RETURN(const TableState* right,
+                       GetTableState(spec.right_table));
+
+  std::vector<Tuple> left_rows, right_rows;
+  for (TableHeap::Iterator it = left->heap->Begin(); it.Valid(); it.Next()) {
+    VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
+    left_rows.push_back(std::move(t));
+  }
+  for (TableHeap::Iterator it = right->heap->Begin(); it.Valid(); it.Next()) {
+    VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
+    right_rows.push_back(std::move(t));
+  }
+
+  VBTreeOptions opts = options_.tree_opts;
+  opts.key_version = key_version_;
+  VBT_ASSIGN_OR_RETURN(
+      std::unique_ptr<JoinView> view,
+      JoinView::Materialize(spec, options_.db_name, left->heap->schema(),
+                            right->heap->schema(), left_rows, right_rows,
+                            pool_.get(), current_signer_, opts));
+  VBT_RETURN_NOT_OK(
+      catalog_.CreateTable(spec.view_name, view->schema(), /*is_view=*/true)
+          .status());
+  views_[spec.view_name] = std::move(view);
+  return Status::OK();
+}
+
+Result<const JoinView*> CentralServer::GetJoinView(
+    const std::string& view_name) const {
+  auto it = views_.find(view_name);
+  if (it == views_.end()) return Status::NotFound("no view " + view_name);
+  return it->second.get();
+}
+
+Result<std::vector<uint8_t>> CentralServer::ExportTableSnapshot(
+    const std::string& name) const {
+  const TableHeap* heap = nullptr;
+  const VBTree* tree = nullptr;
+  auto view_it = views_.find(name);
+  if (view_it != views_.end()) {
+    heap = view_it->second->heap();
+    tree = view_it->second->tree();
+  } else {
+    VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
+    heap = state->heap.get();
+    tree = state->tree.get();
+  }
+
+  ByteWriter w(1 << 16);
+  w.PutU32(kSnapshotMagic);
+  w.PutString(name);
+  heap->schema().Serialize(&w);
+  // Rows with their Rids (the VB-tree's leaf entries address them by Rid).
+  size_t count_pos_rows = 0;
+  std::vector<std::pair<Rid, Tuple>> rows;
+  for (TableHeap::Iterator it = heap->Begin(); it.Valid(); it.Next()) {
+    VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
+    rows.emplace_back(it.rid(), std::move(t));
+  }
+  (void)count_pos_rows;
+  w.PutVarint(rows.size());
+  for (const auto& [rid, t] : rows) {
+    w.PutU32(static_cast<uint32_t>(rid.page_id));
+    w.PutU16(rid.slot);
+    t.Serialize(&w);
+  }
+  tree->SerializeTo(&w);
+  // Version lineage for delta propagation (views are always version 0:
+  // they are propagated by snapshot only).
+  uint64_t version = 0;
+  if (view_it == views_.end()) {
+    auto state_it = tables_.find(name);
+    if (state_it != tables_.end()) version = state_it->second.version;
+  }
+  w.PutU64(version);
+  return w.TakeBuffer();
+}
+
+Result<std::vector<uint8_t>> CentralServer::ExportUpdateDelta(
+    const std::string& name) {
+  VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
+  UpdateBatch batch;
+  batch.table = name;
+  batch.to_version = state->version;
+  batch.from_version = state->version - state->pending.size();
+  batch.ops = std::move(state->pending);
+  state->pending.clear();
+  ByteWriter w(1 << 12);
+  batch.Serialize(&w);
+  return w.TakeBuffer();
+}
+
+Status CentralServer::PublishDelta(const std::string& name, EdgeServer* edge,
+                                   SimulatedNetwork* net) {
+  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> delta, ExportUpdateDelta(name));
+  if (net != nullptr) {
+    net->Record("central->edge:" + edge->name() + ":delta", delta.size());
+  }
+  return edge->ApplyUpdateBatch(Slice(delta));
+}
+
+Result<uint64_t> CentralServer::TableVersion(const std::string& name) const {
+  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
+  return state->version;
+}
+
+Status CentralServer::PublishTable(const std::string& name, EdgeServer* edge,
+                                   SimulatedNetwork* net) {
+  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> snapshot,
+                       ExportTableSnapshot(name));
+  if (net != nullptr) {
+    net->Record("central->edge:" + edge->name(), snapshot.size());
+  }
+  return edge->InstallSnapshot(Slice(snapshot));
+}
+
+Status CentralServer::RotateKey(uint64_t now) {
+  // Old private key retires: results signed with it remain verifiable only
+  // within its (now truncated) validity window, so edge servers cannot
+  // masquerade stale data as current (§3.4).
+  VBT_RETURN_NOT_OK(key_directory_.Expire(key_version_, now));
+
+  std::unique_ptr<Signer> signer;
+  std::shared_ptr<Recoverer> recoverer;
+  VBT_RETURN_NOT_OK(
+      MakeSigner(options_.key_seed + key_version_ + 1, &signer, &recoverer));
+  current_signer_ = signer.get();
+  signers_.push_back(std::move(signer));
+  key_version_++;
+  key_valid_from_ = now;
+  key_directory_.Publish(
+      KeyVersionInfo{key_version_, now, now + options_.key_validity},
+      std::move(recoverer));
+
+  for (auto& [name, state] : tables_) {
+    VBT_RETURN_NOT_OK(state.tree->ResignAll(
+        current_signer_, key_version_, Executor::FetcherFor(state.heap.get())));
+  }
+  for (auto& [name, view] : views_) {
+    VBT_RETURN_NOT_OK(view->tree()->ResignAll(
+        current_signer_, key_version_, Executor::FetcherFor(view->heap())));
+  }
+  return Status::OK();
+}
+
+VBTree* CentralServer::tree(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it != tables_.end()) return it->second.tree.get();
+  auto vit = views_.find(name);
+  return vit != views_.end() ? vit->second->tree() : nullptr;
+}
+
+TableHeap* CentralServer::heap(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.heap.get();
+}
+
+}  // namespace vbtree

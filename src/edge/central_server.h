@@ -1,0 +1,151 @@
+#ifndef VBTREE_EDGE_CENTRAL_SERVER_H_
+#define VBTREE_EDGE_CENTRAL_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "crypto/key_manager.h"
+#include "crypto/rsa_signer.h"
+#include "crypto/sim_signer.h"
+#include "edge/network.h"
+#include "edge/update_log.h"
+#include "query/join_view.h"
+#include "storage/table_heap.h"
+#include "txn/lock_manager.h"
+#include "vbtree/vb_tree.h"
+
+namespace vbtree {
+
+class EdgeServer;
+
+/// The trusted central DBMS of Fig. 2: hosts the master database, holds
+/// the private signing key, builds and maintains VB-trees (including
+/// materialized join views), applies all updates (§3.4), rotates signing
+/// keys with validity windows, and distributes table snapshots to edge
+/// servers.
+class CentralServer {
+ public:
+  struct Options {
+    std::string db_name = "edgedb";
+    VBTreeOptions tree_opts{};
+    /// false → SimSigner (paper-sized 16-byte signed digests);
+    /// true → real recoverable RSA.
+    bool use_rsa = false;
+    int rsa_bits = 1024;
+    uint64_t key_seed = 2024;
+    /// SimSigner decrypt work multiplier (Cost_s emulation).
+    int sim_work_factor = 1;
+    /// Validity window (logical time) granted to each key version.
+    uint64_t key_validity = 1'000'000;
+    size_t buffer_pool_pages = 16384;
+  };
+
+  static Result<std::unique_ptr<CentralServer>> Create(Options options);
+
+  const std::string& db_name() const { return options_.db_name; }
+  const Catalog& catalog() const { return catalog_; }
+  KeyDirectory* key_directory() { return &key_directory_; }
+  LockManager* lock_manager() { return &lock_manager_; }
+  uint32_t current_key_version() const { return key_version_; }
+
+  // --- DDL / loading ---
+  Result<table_id_t> CreateTable(const std::string& name, Schema schema);
+
+  /// Bulk-loads rows (sorted internally by key) into the heap and builds
+  /// the table's VB-tree with every digest signed.
+  Status LoadTable(const std::string& name, std::vector<Tuple> rows);
+
+  Result<const TableInfo*> DescribeTable(const std::string& name) const {
+    return catalog_.GetTable(name);
+  }
+
+  // --- updates (§3.4; only the central server can sign) ---
+  Status InsertTuple(const std::string& name, const Tuple& tuple,
+                     txn_id_t txn = 0);
+  Result<size_t> DeleteRange(const std::string& name, int64_t lo, int64_t hi,
+                             txn_id_t txn = 0);
+
+  // --- materialized join views (§3.3 Join) ---
+  Status CreateJoinView(const JoinSpec& spec);
+  Result<const JoinView*> GetJoinView(const std::string& view_name) const;
+
+  // --- distribution ---
+  /// Serializes one table (or view): schema, rows with their Rids, and the
+  /// complete VB-tree.
+  Result<std::vector<uint8_t>> ExportTableSnapshot(
+      const std::string& name) const;
+
+  /// Ships the snapshot to an edge server, recording the bytes on the
+  /// central→edge channel.
+  Status PublishTable(const std::string& name, EdgeServer* edge,
+                      SimulatedNetwork* net);
+
+  /// Serializes the updates applied to `name` since the last export as an
+  /// UpdateBatch, clearing the pending log. Base tables only (views are
+  /// propagated by snapshot).
+  Result<std::vector<uint8_t>> ExportUpdateDelta(const std::string& name);
+
+  /// Ships the pending delta to one edge server. NOTE: with several edge
+  /// servers, export once and apply the same bytes to each — this
+  /// convenience method clears the log after sending.
+  Status PublishDelta(const std::string& name, EdgeServer* edge,
+                      SimulatedNetwork* net);
+
+  /// Ops applied to `name` since load (the table's version).
+  Result<uint64_t> TableVersion(const std::string& name) const;
+
+  // --- key management (§3.4 delayed update propagation) ---
+  /// Expires the current key version at `now`, generates a new key, and
+  /// re-signs every tree/view under it.
+  Status RotateKey(uint64_t now);
+
+  // --- direct access for tests and benches ---
+  VBTree* tree(const std::string& name);
+  TableHeap* heap(const std::string& name);
+
+ private:
+  explicit CentralServer(Options options)
+      : options_(std::move(options)), catalog_(options_.db_name) {}
+
+  struct TableState {
+    std::unique_ptr<TableHeap> heap;
+    std::unique_ptr<VBTree> tree;
+    /// Ops applied since load; snapshot/delta version lineage.
+    uint64_t version = 0;
+    /// Updates not yet exported as a delta.
+    std::vector<UpdateOp> pending;
+  };
+
+  Status MakeSigner(uint64_t seed, std::unique_ptr<Signer>* signer,
+                    std::shared_ptr<Recoverer>* recoverer);
+  Result<TableState*> GetTableState(const std::string& name);
+  Result<const TableState*> GetTableState(const std::string& name) const;
+
+  /// Finds all rows of `table` matching `value` on column `col` (join
+  /// maintenance helper).
+  Result<std::vector<Tuple>> MatchingRows(const std::string& table, size_t col,
+                                          const Value& value) const;
+
+  Options options_;
+  Catalog catalog_;
+  LockManager lock_manager_;
+  KeyDirectory key_directory_;
+  /// All signers ever created stay alive: trees hold raw pointers, and old
+  /// snapshots may still verify against archived versions.
+  std::vector<std::unique_ptr<Signer>> signers_;
+  Signer* current_signer_ = nullptr;
+  uint32_t key_version_ = 0;
+  uint64_t key_valid_from_ = 0;
+
+  std::unique_ptr<InMemoryDiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::map<std::string, TableState> tables_;
+  std::map<std::string, std::unique_ptr<JoinView>> views_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_EDGE_CENTRAL_SERVER_H_

@@ -1,0 +1,69 @@
+#include "edge/client.h"
+
+#include "query/query_serde.h"
+
+namespace vbtree {
+
+void Client::RegisterTable(const std::string& table, Schema schema,
+                           HashAlgorithm algo, int modulus_bits) {
+  tables_[table] = TableMeta{std::move(schema), algo, modulus_bits};
+}
+
+Result<Client::Verified> Client::Query(EdgeServer* edge,
+                                       const SelectQuery& query, uint64_t now,
+                                       SimulatedNetwork* net) {
+  auto meta_it = tables_.find(query.table);
+  if (meta_it == tables_.end()) {
+    return Status::InvalidArgument("table not registered with client: " +
+                                   query.table);
+  }
+  const TableMeta& meta = meta_it->second;
+
+  SelectQuery q = query;
+  q.NormalizeProjection();
+
+  // --- request over the wire ---
+  ByteWriter req;
+  SerializeSelectQuery(q, &req);
+  if (net != nullptr) {
+    net->Record("client->edge:" + edge->name(), req.size());
+  }
+  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> resp_bytes,
+                       edge->HandleQueryBytes(Slice(req.buffer())));
+  if (net != nullptr) {
+    net->Record("edge:" + edge->name() + "->client", resp_bytes.size());
+  }
+
+  // --- parse ---
+  ByteReader r((Slice(resp_bytes)));
+  VBT_ASSIGN_OR_RETURN(
+      QueryResponse resp,
+      DeserializeQueryResponse(&r, meta.schema, q.projection));
+
+  Verified out;
+  out.request_bytes = req.size();
+  out.result_bytes = resp.result_bytes;
+  out.vo_bytes = resp.vo_bytes;
+  out.vo_digests = resp.vo.DigestCount();
+
+  // --- key freshness (§3.4): reject stale key versions ---
+  auto rec_or = keys_->RecovererFor(resp.vo.key_version, now);
+  if (!rec_or.ok()) {
+    out.rows = std::move(resp.rows);
+    out.verification = rec_or.status();
+    return out;
+  }
+  std::shared_ptr<Recoverer> base = rec_or.MoveValueUnsafe();
+  CountingRecoverer recoverer(base.get(), &out.counters);
+
+  // --- authenticate ---
+  DigestSchema ds(db_name_, query.table, meta.schema, meta.algo,
+                  meta.modulus_bits);
+  Verifier verifier(std::move(ds), &recoverer);
+  verifier.set_counters(&out.counters);
+  out.verification = verifier.VerifySelect(q, resp.rows, resp.vo);
+  out.rows = std::move(resp.rows);
+  return out;
+}
+
+}  // namespace vbtree

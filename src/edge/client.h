@@ -1,0 +1,66 @@
+#ifndef VBTREE_EDGE_CLIENT_H_
+#define VBTREE_EDGE_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "crypto/counting_recoverer.h"
+#include "crypto/key_manager.h"
+#include "edge/edge_server.h"
+#include "edge/network.h"
+#include "vbtree/verifier.h"
+
+namespace vbtree {
+
+/// A trusted DB client (Fig. 2): sends queries to an edge server over the
+/// (simulated) network, then authenticates each answer against its VO
+/// using the central server's public key — resolved through the
+/// KeyDirectory so results signed with an expired key version are
+/// rejected (§3.4).
+class Client {
+ public:
+  Client(std::string db_name, KeyDirectory* keys)
+      : db_name_(std::move(db_name)), keys_(keys) {}
+
+  /// Registers table metadata (obtained from the central server's catalog
+  /// over an authenticated channel); required before querying the table.
+  void RegisterTable(const std::string& table, Schema schema,
+                     HashAlgorithm algo = HashAlgorithm::kSha256,
+                     int modulus_bits = 128);
+
+  /// Outcome of one authenticated query.
+  struct Verified {
+    std::vector<ResultRow> rows;
+    /// OK, or kVerificationFailure with the reason.
+    Status verification;
+    size_t request_bytes = 0;
+    size_t result_bytes = 0;
+    size_t vo_bytes = 0;
+    /// Signed digests carried by the VO (|D_S| + |D_P| + 1).
+    size_t vo_digests = 0;
+    /// Client-side Cost_h / Cost_k / Cost_s operation counts.
+    CryptoCounters counters;
+  };
+
+  /// Sends `query` to `edge` and verifies the answer at logical time
+  /// `now`. Transport errors surface as the outer Status; authentication
+  /// failures are reported in Verified::verification.
+  Result<Verified> Query(EdgeServer* edge, const SelectQuery& query,
+                         uint64_t now, SimulatedNetwork* net = nullptr);
+
+ private:
+  struct TableMeta {
+    Schema schema;
+    HashAlgorithm algo;
+    int modulus_bits;
+  };
+
+  std::string db_name_;
+  KeyDirectory* keys_;
+  std::map<std::string, TableMeta> tables_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_EDGE_CLIENT_H_

@@ -1,0 +1,172 @@
+#include "edge/edge_server.h"
+
+#include "edge/update_log.h"
+#include "query/query_serde.h"
+
+namespace vbtree {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x50414E53;  // "SNAP"
+}  // namespace
+
+Status EdgeServer::InstallSnapshot(Slice snapshot) {
+  ByteReader r(snapshot);
+  // Parse fully before taking the exclusive latch.
+  VBT_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kSnapshotMagic) return Status::Corruption("bad snapshot magic");
+  VBT_ASSIGN_OR_RETURN(std::string table, r.ReadString());
+  VBT_ASSIGN_OR_RETURN(Schema schema, Schema::Deserialize(&r));
+
+  TableReplica replica;
+  replica.schema = schema;
+  VBT_ASSIGN_OR_RETURN(uint64_t n, r.ReadCount());
+  for (uint64_t i = 0; i < n; ++i) {
+    Rid rid;
+    VBT_ASSIGN_OR_RETURN(uint32_t page, r.ReadU32());
+    rid.page_id = static_cast<int32_t>(page);
+    VBT_ASSIGN_OR_RETURN(rid.slot, r.ReadU16());
+    VBT_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(&r, schema));
+    VBT_RETURN_NOT_OK(replica.store.Put(rid, std::move(t)));
+  }
+  // Edge replicas have no signer: updates are rejected locally and must be
+  // routed to the central server (§3.4).
+  VBT_ASSIGN_OR_RETURN(replica.tree, VBTree::Deserialize(&r, nullptr));
+  VBT_ASSIGN_OR_RETURN(replica.version, r.ReadU64());
+  std::unique_lock lock(mu_);
+  tables_[table] = std::move(replica);
+  return Status::OK();
+}
+
+Status EdgeServer::ApplyUpdateBatch(Slice batch_bytes) {
+  std::unique_lock lock(mu_);
+  ByteReader r(batch_bytes);
+  auto schema_for = [this](const std::string& table) -> Result<Schema> {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return Status::NotFound("no replica of " + table);
+    return it->second.schema;
+  };
+  VBT_ASSIGN_OR_RETURN(UpdateBatch batch,
+                       UpdateBatch::Deserialize(&r, schema_for));
+  auto it = tables_.find(batch.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no replica of " + batch.table);
+  }
+  TableReplica& replica = it->second;
+  if (replica.version != batch.from_version) {
+    return Status::InvalidArgument(
+        "delta version gap: replica at " + std::to_string(replica.version) +
+        ", batch starts at " + std::to_string(batch.from_version) +
+        " (request a full snapshot)");
+  }
+  for (const UpdateOp& op : batch.ops) {
+    std::deque<Signature> feed(op.resigned.begin(), op.resigned.end());
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      VBT_RETURN_NOT_OK(replica.store.Put(op.rid, op.tuple));
+      VBT_RETURN_NOT_OK(
+          replica.tree->ReplayInsert(op.tuple, op.rid, op.material, &feed));
+    } else {
+      VBT_RETURN_NOT_OK(replica.tree->ReplayDeleteRange(op.lo, op.hi, &feed));
+      replica.store.RemoveKeyRange(op.lo, op.hi);
+    }
+    if (!feed.empty()) {
+      return Status::Corruption("delta replay diverged: unused signatures");
+    }
+  }
+  replica.version = batch.to_version;
+  return Status::OK();
+}
+
+uint64_t EdgeServer::TableVersion(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.version;
+}
+
+Result<QueryResponse> EdgeServer::HandleQuery(const SelectQuery& query) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(query.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("edge server has no replica of " + query.table);
+  }
+  const TableReplica& replica = it->second;
+  VBT_ASSIGN_OR_RETURN(QueryOutput out, replica.tree->ExecuteSelect(
+                                            query, replica.store.Fetcher()));
+  QueryResponse resp;
+  resp.rows = std::move(out.rows);
+  resp.vo = std::move(out.vo);
+  ApplyResponseTamper(&resp);
+  resp.result_bytes = 0;
+  for (const ResultRow& row : resp.rows) {
+    resp.result_bytes += row.SerializedSize();
+  }
+  resp.vo_bytes = resp.vo.SerializedSize();
+  return resp;
+}
+
+void EdgeServer::ApplyResponseTamper(QueryResponse* resp) const {
+  switch (response_tamper_) {
+    case ResponseTamper::kNone:
+      return;
+    case ResponseTamper::kModifyValue:
+      if (!resp->rows.empty() && resp->rows[0].values.size() > 1) {
+        resp->rows[0].values[1] = Value::Str("__tampered__");
+      }
+      return;
+    case ResponseTamper::kInjectRow:
+      if (!resp->rows.empty()) {
+        ResultRow fake = resp->rows.back();
+        fake.key += 1;
+        fake.values[0] = Value::Int(fake.key);
+        resp->rows.push_back(std::move(fake));
+      }
+      return;
+    case ResponseTamper::kDropRow:
+      if (!resp->rows.empty()) resp->rows.pop_back();
+      return;
+  }
+}
+
+Result<std::vector<uint8_t>> EdgeServer::HandleQueryBytes(
+    Slice request) const {
+  ByteReader r(request);
+  VBT_ASSIGN_OR_RETURN(SelectQuery q, DeserializeSelectQuery(&r));
+  VBT_ASSIGN_OR_RETURN(QueryResponse resp, HandleQuery(q));
+  ByteWriter w(1 << 12);
+  SerializeQueryResponse(resp, &w);
+  return w.TakeBuffer();
+}
+
+Status EdgeServer::TamperValueByKey(const std::string& table, int64_t key,
+                                    size_t col, Value v) {
+  std::unique_lock lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no replica of " + table);
+  return it->second.store.TamperByKey(key, col, std::move(v));
+}
+
+const VBTree* EdgeServer::tree(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : it->second.tree.get();
+}
+
+void SerializeQueryResponse(const QueryResponse& resp, ByteWriter* w) {
+  SerializeResultRows(resp.rows, w);
+  resp.vo.Serialize(w);
+}
+
+Result<QueryResponse> DeserializeQueryResponse(
+    ByteReader* r, const Schema& schema,
+    const std::vector<size_t>& projection) {
+  QueryResponse resp;
+  size_t start = r->position();
+  VBT_ASSIGN_OR_RETURN(resp.rows,
+                       DeserializeResultRows(r, schema, projection));
+  resp.result_bytes = r->position() - start;
+  start = r->position();
+  VBT_ASSIGN_OR_RETURN(resp.vo, VerificationObject::Deserialize(r));
+  resp.vo_bytes = r->position() - start;
+  return resp;
+}
+
+}  // namespace vbtree

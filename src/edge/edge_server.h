@@ -1,0 +1,110 @@
+#ifndef VBTREE_EDGE_EDGE_SERVER_H_
+#define VBTREE_EDGE_EDGE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "edge/network.h"
+#include "edge/replica_store.h"
+#include "query/predicate.h"
+#include "vbtree/vb_tree.h"
+
+namespace vbtree {
+
+/// How a compromised edge server mangles query responses (test/demo
+/// hooks). Data-level tampering lives in ReplicaStore::TamperByKey; these
+/// modes corrupt the response after honest execution.
+enum class ResponseTamper {
+  kNone,
+  /// Flip a value in the first result row (leaves the VO untouched).
+  kModifyValue,
+  /// Append a fabricated copy of the last row.
+  kInjectRow,
+  /// Silently drop the last result row.
+  kDropRow,
+};
+
+/// A query answer as shipped from edge to client.
+struct QueryResponse {
+  std::vector<ResultRow> rows;
+  VerificationObject vo;
+  /// Exact byte sizes of the two response components as serialized.
+  size_t result_bytes = 0;
+  size_t vo_bytes = 0;
+};
+
+/// An unsecured proxy server at the network edge (Fig. 2): holds replicas
+/// of tables and their VB-trees, executes select-project(-join-view)
+/// queries, and builds a verification object for every answer. It cannot
+/// sign anything — all signatures in its replicas came from the central
+/// server.
+///
+/// Thread-safe: queries run under a shared latch; snapshot installation
+/// (update propagation) takes it exclusively, so in-flight queries finish
+/// against the old replica before it is swapped out.
+class EdgeServer {
+ public:
+  explicit EdgeServer(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Installs (or replaces) a table replica from a central-server
+  /// snapshot.
+  Status InstallSnapshot(Slice snapshot);
+
+  /// Applies a serialized UpdateBatch (delta propagation, §3.4): each op
+  /// is replayed structurally against the replica tree, with the central
+  /// server's signatures spliced in. Fails with kInvalidArgument on a
+  /// version gap (the replica must then request a full snapshot).
+  Status ApplyUpdateBatch(Slice batch);
+
+  /// Current replica version of `table` (number of ops applied since its
+  /// snapshot lineage began), or 0 if absent.
+  uint64_t TableVersion(const std::string& table) const;
+
+  bool HasTable(const std::string& table) const {
+    std::shared_lock lock(mu_);
+    return tables_.count(table) != 0;
+  }
+
+  /// Executes a query against local replicas and builds the VO.
+  Result<QueryResponse> HandleQuery(const SelectQuery& query) const;
+
+  /// Full wire path: parse request bytes, execute, serialize response.
+  Result<std::vector<uint8_t>> HandleQueryBytes(Slice request) const;
+
+  // --- hacked-server hooks ---
+  Status TamperValueByKey(const std::string& table, int64_t key, size_t col,
+                          Value v);
+  void set_response_tamper(ResponseTamper mode) { response_tamper_ = mode; }
+
+  /// The replica tree (introspection for tests).
+  const VBTree* tree(const std::string& table) const;
+
+ private:
+  struct TableReplica {
+    Schema schema;
+    ReplicaStore store;
+    std::unique_ptr<VBTree> tree;
+    uint64_t version = 0;
+  };
+
+  void ApplyResponseTamper(QueryResponse* resp) const;
+
+  std::string name_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, TableReplica> tables_;
+  ResponseTamper response_tamper_ = ResponseTamper::kNone;
+};
+
+/// Serializes a QueryResponse (rows block + VO block) and computes the
+/// per-component sizes.
+void SerializeQueryResponse(const QueryResponse& resp, ByteWriter* w);
+Result<QueryResponse> DeserializeQueryResponse(
+    ByteReader* r, const Schema& schema, const std::vector<size_t>& projection);
+
+}  // namespace vbtree
+
+#endif  // VBTREE_EDGE_EDGE_SERVER_H_

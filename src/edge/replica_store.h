@@ -1,0 +1,78 @@
+#ifndef VBTREE_EDGE_REPLICA_STORE_H_
+#define VBTREE_EDGE_REPLICA_STORE_H_
+
+#include <unordered_map>
+
+#include "catalog/tuple.h"
+#include "common/result.h"
+#include "vbtree/vb_tree.h"
+
+namespace vbtree {
+
+/// The tuple replica held by an edge server for one table: Rid → tuple,
+/// addressed by the Rids embedded in the distributed VB-tree's leaf
+/// entries. Being *unsecured* (§3.1), it exposes tamper hooks that tests
+/// and examples use to play the hacked-edge-server role.
+class ReplicaStore {
+ public:
+  Status Put(const Rid& rid, Tuple tuple) {
+    int64_t key = tuple.key();
+    by_rid_[Pack(rid)] = std::move(tuple);
+    rid_by_key_[key] = rid;
+    return Status::OK();
+  }
+
+  Result<Tuple> Get(const Rid& rid) const {
+    auto it = by_rid_.find(Pack(rid));
+    if (it == by_rid_.end()) return Status::NotFound("no replica tuple at rid");
+    return it->second;
+  }
+
+  size_t size() const { return by_rid_.size(); }
+
+  /// Tampers with a stored attribute value — the "hacker modified the data
+  /// at the edge" scenario the VO must expose.
+  Status TamperByKey(int64_t key, size_t col, Value v) {
+    auto it = rid_by_key_.find(key);
+    if (it == rid_by_key_.end()) return Status::NotFound("no tuple with key");
+    Tuple& t = by_rid_[Pack(it->second)];
+    if (col >= t.num_values()) {
+      return Status::InvalidArgument("column out of range");
+    }
+    t.set_value(col, std::move(v));
+    return Status::OK();
+  }
+
+  /// Removes all tuples with keys in [lo, hi] (delta-replay of a range
+  /// delete); returns how many were removed.
+  size_t RemoveKeyRange(int64_t lo, int64_t hi) {
+    std::vector<int64_t> doomed;
+    for (const auto& [key, rid] : rid_by_key_) {
+      if (key >= lo && key <= hi) doomed.push_back(key);
+    }
+    for (int64_t key : doomed) {
+      auto it = rid_by_key_.find(key);
+      by_rid_.erase(Pack(it->second));
+      rid_by_key_.erase(it);
+    }
+    return doomed.size();
+  }
+
+  /// Adapter for VBTree::ExecuteSelect.
+  VBTree::TupleFetcher Fetcher() const {
+    return [this](const Rid& rid) { return Get(rid); };
+  }
+
+ private:
+  static uint64_t Pack(const Rid& rid) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(rid.page_id)) << 16) |
+           rid.slot;
+  }
+
+  std::unordered_map<uint64_t, Tuple> by_rid_;
+  std::unordered_map<int64_t, Rid> rid_by_key_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_EDGE_REPLICA_STORE_H_

@@ -1,0 +1,101 @@
+#include "edge/update_log.h"
+
+namespace vbtree {
+
+namespace {
+
+void PutSig(ByteWriter* w, const Signature& s) {
+  w->PutLengthPrefixed(Slice(s.data(), s.size()));
+}
+
+Result<Signature> ReadSig(ByteReader* r) {
+  VBT_ASSIGN_OR_RETURN(Slice s, r->ReadLengthPrefixed());
+  return Signature(s.data(), s.data() + s.size());
+}
+
+}  // namespace
+
+void UpdateOp::Serialize(ByteWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(kind));
+  if (kind == Kind::kInsert) {
+    tuple.Serialize(w);
+    w->PutU32(static_cast<uint32_t>(rid.page_id));
+    w->PutU16(rid.slot);
+    PutSig(w, material.tuple_sig);
+    w->PutVarint(material.attr_sigs.size());
+    for (const Signature& s : material.attr_sigs) PutSig(w, s);
+  } else {
+    w->PutI64(lo);
+    w->PutI64(hi);
+  }
+  w->PutVarint(resigned.size());
+  for (const Signature& s : resigned) PutSig(w, s);
+}
+
+Result<UpdateOp> UpdateOp::Deserialize(ByteReader* r, const Schema& schema) {
+  UpdateOp op;
+  VBT_ASSIGN_OR_RETURN(uint8_t kind, r->ReadU8());
+  if (kind > static_cast<uint8_t>(Kind::kDeleteRange)) {
+    return Status::Corruption("bad update op kind");
+  }
+  op.kind = static_cast<Kind>(kind);
+  if (op.kind == Kind::kInsert) {
+    VBT_ASSIGN_OR_RETURN(op.tuple, Tuple::Deserialize(r, schema));
+    VBT_ASSIGN_OR_RETURN(uint32_t page, r->ReadU32());
+    op.rid.page_id = static_cast<int32_t>(page);
+    VBT_ASSIGN_OR_RETURN(op.rid.slot, r->ReadU16());
+    VBT_ASSIGN_OR_RETURN(op.material.tuple_sig, ReadSig(r));
+    VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+    op.material.attr_sigs.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r));
+      op.material.attr_sigs.push_back(std::move(s));
+    }
+  } else {
+    VBT_ASSIGN_OR_RETURN(op.lo, r->ReadI64());
+    VBT_ASSIGN_OR_RETURN(op.hi, r->ReadI64());
+  }
+  VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+  op.resigned.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r));
+    op.resigned.push_back(std::move(s));
+  }
+  return op;
+}
+
+void UpdateBatch::Serialize(ByteWriter* w) const {
+  w->PutU32(0x544C4456);  // "VDLT"
+  w->PutString(table);
+  w->PutU64(from_version);
+  w->PutU64(to_version);
+  w->PutVarint(ops.size());
+  for (const UpdateOp& op : ops) op.Serialize(w);
+}
+
+Result<UpdateBatch> UpdateBatch::Deserialize(
+    ByteReader* r,
+    const std::function<Result<Schema>(const std::string&)>& schema_for) {
+  VBT_ASSIGN_OR_RETURN(uint32_t magic, r->ReadU32());
+  if (magic != 0x544C4456) return Status::Corruption("bad delta magic");
+  UpdateBatch batch;
+  VBT_ASSIGN_OR_RETURN(batch.table, r->ReadString());
+  VBT_ASSIGN_OR_RETURN(batch.from_version, r->ReadU64());
+  VBT_ASSIGN_OR_RETURN(batch.to_version, r->ReadU64());
+  VBT_ASSIGN_OR_RETURN(Schema schema, schema_for(batch.table));
+  VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+  batch.ops.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    VBT_ASSIGN_OR_RETURN(UpdateOp op, UpdateOp::Deserialize(r, schema));
+    batch.ops.push_back(std::move(op));
+  }
+  return batch;
+}
+
+size_t UpdateBatch::SerializedSize() const {
+  ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+}  // namespace vbtree

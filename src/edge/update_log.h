@@ -1,0 +1,67 @@
+#ifndef VBTREE_EDGE_UPDATE_LOG_H_
+#define VBTREE_EDGE_UPDATE_LOG_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "vbtree/vb_tree.h"
+
+namespace vbtree {
+
+/// One logged update applied at the central server (§3.4), with all the
+/// signature material an edge replica needs to replay it:
+///  * inserts carry the tuple, its Rid, and the signed attribute/tuple
+///    digests (formula (1)/(2));
+///  * both kinds carry the node signatures produced while re-signing the
+///    affected path, in deterministic order.
+///
+/// The replica recomputes all *unsigned* digests itself (they are public
+/// functions of the data), so a delta is tiny compared to a snapshot: the
+/// values of one tuple plus O(height) signatures.
+struct UpdateOp {
+  enum class Kind : uint8_t { kInsert = 0, kDeleteRange = 1 };
+
+  Kind kind = Kind::kInsert;
+  // kInsert payload:
+  Tuple tuple;
+  Rid rid;
+  VBTree::SignedEntryMaterial material;
+  // kDeleteRange payload:
+  int64_t lo = 0;
+  int64_t hi = 0;
+  // Signatures from node re-signing, in ResignNode order.
+  std::vector<Signature> resigned;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<UpdateOp> Deserialize(ByteReader* r, const Schema& schema);
+};
+
+/// A consecutive run of updates for one table, shipped from the central
+/// server to edge servers instead of a full snapshot.
+struct UpdateBatch {
+  std::string table;
+  /// The table version the batch applies on top of (must equal the
+  /// replica's current version) and the version it produces.
+  uint64_t from_version = 0;
+  uint64_t to_version = 0;
+  std::vector<UpdateOp> ops;
+
+  void Serialize(ByteWriter* w) const;
+
+  /// `schema_for` resolves the table name to its schema (needed to decode
+  /// tuple values).
+  static Result<UpdateBatch> Deserialize(
+      ByteReader* r,
+      const std::function<Result<Schema>(const std::string&)>& schema_for);
+
+  size_t SerializedSize() const;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_EDGE_UPDATE_LOG_H_

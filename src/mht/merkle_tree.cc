@@ -1,0 +1,211 @@
+#include "mht/merkle_tree.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "crypto/hash.h"
+
+namespace vbtree {
+
+namespace {
+
+Digest LeafHash(const Tuple& t) {
+  ByteWriter w(64);
+  t.Serialize(&w);
+  return HashToDigest(HashAlgorithm::kSha256, Slice(w.buffer()));
+}
+
+Digest InternalHash(const Digest& l, const Digest& r) {
+  ByteWriter w(2 * kDigestLen);
+  w.PutBytes(l.AsSlice());
+  w.PutBytes(r.AsSlice());
+  return HashToDigest(HashAlgorithm::kSha256, Slice(w.buffer()));
+}
+
+/// Number of nodes at `level` of a tree with n leaves.
+size_t LevelSize(uint64_t n, size_t level) {
+  size_t sz = static_cast<size_t>(n);
+  for (size_t i = 0; i < level; ++i) sz = (sz + 1) / 2;
+  return sz;
+}
+
+}  // namespace
+
+size_t MhtProof::SerializedSize() const {
+  // signed root + leaf count varint + one byte per shape tag + raw hashes.
+  size_t varint = 1;
+  for (uint64_t v = leaf_count; v >= 0x80; v >>= 7) varint++;
+  return signed_root.size() + varint + shape.size() +
+         hashes.size() * kDigestLen;
+}
+
+Result<std::unique_ptr<MerkleTree>> MerkleTree::Build(
+    std::span<const Tuple> sorted_rows, Signer* signer) {
+  if (signer == nullptr) {
+    return Status::InvalidArgument("MerkleTree::Build requires a signer");
+  }
+  if (sorted_rows.empty()) {
+    return Status::InvalidArgument("cannot build a Merkle tree over nothing");
+  }
+  auto tree = std::unique_ptr<MerkleTree>(new MerkleTree());
+  tree->rows_.assign(sorted_rows.begin(), sorted_rows.end());
+  tree->keys_.reserve(sorted_rows.size());
+  std::vector<Digest> level;
+  level.reserve(sorted_rows.size());
+  for (size_t i = 0; i < sorted_rows.size(); ++i) {
+    if (i > 0 && sorted_rows[i - 1].key() >= sorted_rows[i].key()) {
+      return Status::InvalidArgument("rows must be key-sorted and unique");
+    }
+    tree->keys_.push_back(sorted_rows[i].key());
+    level.push_back(LeafHash(sorted_rows[i]));
+  }
+  tree->levels_.push_back(std::move(level));
+  while (tree->levels_.back().size() > 1) {
+    const std::vector<Digest>& below = tree->levels_.back();
+    std::vector<Digest> above;
+    above.reserve((below.size() + 1) / 2);
+    for (size_t i = 0; i < below.size(); i += 2) {
+      if (i + 1 < below.size()) {
+        above.push_back(InternalHash(below[i], below[i + 1]));
+      } else {
+        above.push_back(below[i]);  // odd node promotes unchanged
+      }
+    }
+    tree->levels_.push_back(std::move(above));
+  }
+  VBT_ASSIGN_OR_RETURN(tree->signed_root_, signer->Sign(tree->root_hash()));
+  return tree;
+}
+
+void MerkleTree::BuildProof(size_t level, size_t idx, size_t result_lo,
+                            size_t result_hi, MhtProof* proof) const {
+  // The node covers leaves [idx * 2^level, min((idx+1) * 2^level, n)).
+  size_t cover_lo = idx << level;
+  size_t cover_hi = std::min(keys_.size(), (idx + 1) << level);
+  if (cover_hi <= result_lo || cover_lo >= result_hi) {
+    proof->shape.push_back(0);
+    proof->hashes.push_back(levels_[level][idx]);
+    return;
+  }
+  if (level == 0) {
+    proof->shape.push_back(1);  // verifier hashes the next result tuple
+    return;
+  }
+  proof->shape.push_back(2);
+  BuildProof(level - 1, 2 * idx, result_lo, result_hi, proof);
+  if (2 * idx + 1 < levels_[level - 1].size()) {
+    BuildProof(level - 1, 2 * idx + 1, result_lo, result_hi, proof);
+  }
+}
+
+Result<MhtQueryOutput> MerkleTree::RangeQuery(int64_t lo, int64_t hi) const {
+  MhtQueryOutput out;
+  out.proof.signed_root = signed_root_;
+  out.proof.leaf_count = keys_.size();
+  size_t a = std::lower_bound(keys_.begin(), keys_.end(), lo) - keys_.begin();
+  size_t b = std::upper_bound(keys_.begin(), keys_.end(), hi) - keys_.begin();
+  for (size_t i = a; i < b; ++i) {
+    ResultRow row;
+    row.key = rows_[i].key();
+    row.values = rows_[i].values();
+    out.rows.push_back(std::move(row));
+  }
+  BuildProof(levels_.size() - 1, 0, a, b, &out.proof);
+  return out;
+}
+
+Result<Digest> MhtVerifier::ComputeNode(size_t level, size_t idx,
+                                        const std::vector<ResultRow>& rows,
+                                        const MhtProof& proof,
+                                        size_t* shape_cursor,
+                                        size_t* hash_cursor,
+                                        size_t* row_cursor) const {
+  if (*shape_cursor >= proof.shape.size()) {
+    return Status::VerificationFailure("truncated proof shape");
+  }
+  uint8_t tag = proof.shape[(*shape_cursor)++];
+  switch (tag) {
+    case 0: {
+      if (*hash_cursor >= proof.hashes.size()) {
+        return Status::VerificationFailure("truncated proof hashes");
+      }
+      return proof.hashes[(*hash_cursor)++];
+    }
+    case 1: {
+      if (level != 0) {
+        return Status::VerificationFailure("result tag at non-leaf level");
+      }
+      if (*row_cursor >= rows.size()) {
+        return Status::VerificationFailure(
+            "proof claims more result tuples than returned");
+      }
+      const ResultRow& row = rows[(*row_cursor)++];
+      Tuple t(row.values);
+      return LeafHash(t);
+    }
+    case 2: {
+      if (level == 0) {
+        return Status::VerificationFailure("internal tag at leaf level");
+      }
+      VBT_ASSIGN_OR_RETURN(
+          Digest l, ComputeNode(level - 1, 2 * idx, rows, proof, shape_cursor,
+                                hash_cursor, row_cursor));
+      if (2 * idx + 1 < LevelSize(proof.leaf_count, level - 1)) {
+        VBT_ASSIGN_OR_RETURN(
+            Digest r, ComputeNode(level - 1, 2 * idx + 1, rows, proof,
+                                  shape_cursor, hash_cursor, row_cursor));
+        return InternalHash(l, r);
+      }
+      return l;  // odd node promoted unchanged
+    }
+    default:
+      return Status::VerificationFailure("bad proof shape tag");
+  }
+}
+
+Status MhtVerifier::Verify(const KeyRange& range,
+                           const std::vector<ResultRow>& rows,
+                           const MhtProof& proof) {
+  if (proof.leaf_count == 0) {
+    return Status::VerificationFailure("empty proof");
+  }
+  int64_t prev = 0;
+  bool have_prev = false;
+  for (const ResultRow& row : rows) {
+    if (row.values.empty() || row.values[0].type() != TypeId::kInt64 ||
+        row.values[0].AsInt() != row.key) {
+      return Status::VerificationFailure("result row key mismatch");
+    }
+    if (!range.Contains(row.key)) {
+      return Status::VerificationFailure("result key outside query range");
+    }
+    if (have_prev && prev >= row.key) {
+      return Status::VerificationFailure("result keys not strictly ascending");
+    }
+    prev = row.key;
+    have_prev = true;
+  }
+
+  size_t levels = 0;
+  for (size_t sz = proof.leaf_count; sz > 1; sz = (sz + 1) / 2) levels++;
+  size_t shape_cursor = 0, hash_cursor = 0, row_cursor = 0;
+  VBT_ASSIGN_OR_RETURN(Digest computed,
+                       ComputeNode(levels, 0, rows, proof, &shape_cursor,
+                                   &hash_cursor, &row_cursor));
+  if (row_cursor != rows.size()) {
+    return Status::VerificationFailure(
+        "returned tuples not all accounted for by the proof");
+  }
+  if (shape_cursor != proof.shape.size() ||
+      hash_cursor != proof.hashes.size()) {
+    return Status::VerificationFailure("proof has trailing data");
+  }
+  VBT_ASSIGN_OR_RETURN(Digest expected, recoverer_->Recover(proof.signed_root));
+  if (!(computed == expected)) {
+    return Status::VerificationFailure(
+        "root hash mismatch: result failed authentication");
+  }
+  return Status::OK();
+}
+
+}  // namespace vbtree

@@ -1,0 +1,89 @@
+#ifndef VBTREE_MHT_MERKLE_TREE_H_
+#define VBTREE_MHT_MERKLE_TREE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "catalog/tuple.h"
+#include "common/result.h"
+#include "crypto/signer.h"
+#include "query/predicate.h"
+
+namespace vbtree {
+
+/// A range-query proof from the Merkle-tree baseline: sibling hashes on
+/// the paths from the result range to the root, plus the signed root.
+/// Unlike the VB-tree's VO, the proof necessarily reaches the root, so it
+/// grows with log(table size) — the limitation of Devanbu et al. [5] that
+/// §1/§2 of the paper call out and the VB-tree removes by signing every
+/// node digest.
+struct MhtProof {
+  Signature signed_root;
+  /// Total number of leaves in the tree; the verifier needs it to rebuild
+  /// the implicit binary-tree shape.
+  uint64_t leaf_count = 0;
+  /// Pre-order walk tags: 0 = opaque (use next hash), 1 = result leaf
+  /// (hash the next result tuple), 2 = internal node (recurse).
+  std::vector<uint8_t> shape;
+  std::vector<Digest> hashes;
+
+  size_t SerializedSize() const;
+};
+
+struct MhtQueryOutput {
+  std::vector<ResultRow> rows;  // full tuples (MHT cannot project)
+  MhtProof proof;
+};
+
+/// Binary Merkle hash tree over key-sorted tuples with a single signed
+/// root (the Devanbu-style baseline for the VO-scaling ablation).
+///
+/// Leaf hash = SHA-256(serialized tuple) truncated to 16 bytes; internal
+/// hash = SHA-256(left || right); an odd node at the end of a level is
+/// promoted unchanged. Projection is impossible (the leaf hash covers the
+/// whole tuple), matching the limitation discussed in §2.
+class MerkleTree {
+ public:
+  static Result<std::unique_ptr<MerkleTree>> Build(
+      std::span<const Tuple> sorted_rows, Signer* signer);
+
+  size_t size() const { return keys_.size(); }
+  const Digest& root_hash() const { return levels_.back()[0]; }
+
+  /// Answers SELECT * WHERE key IN [lo, hi] with a proof to the root.
+  Result<MhtQueryOutput> RangeQuery(int64_t lo, int64_t hi) const;
+
+ private:
+  MerkleTree() = default;
+
+  void BuildProof(size_t level, size_t idx, size_t result_lo,
+                  size_t result_hi, MhtProof* proof) const;
+
+  std::vector<int64_t> keys_;
+  std::vector<Tuple> rows_;
+  /// levels_[0] = leaf hashes; levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+  Signature signed_root_;
+};
+
+/// Client-side verification for the Merkle baseline.
+class MhtVerifier {
+ public:
+  explicit MhtVerifier(Recoverer* recoverer) : recoverer_(recoverer) {}
+
+  Status Verify(const KeyRange& range, const std::vector<ResultRow>& rows,
+                const MhtProof& proof);
+
+ private:
+  Result<Digest> ComputeNode(size_t level, size_t idx,
+                             const std::vector<ResultRow>& rows,
+                             const MhtProof& proof, size_t* shape_cursor,
+                             size_t* hash_cursor, size_t* row_cursor) const;
+
+  Recoverer* recoverer_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_MHT_MERKLE_TREE_H_

@@ -1,0 +1,138 @@
+#include "naive/naive_scheme.h"
+
+#include <algorithm>
+
+namespace vbtree {
+
+size_t NaiveQueryOutput::AuthBytes() const {
+  size_t n = 0;
+  for (const NaiveRowAuth& a : auth) {
+    n += a.tuple_sig.size();
+    for (const Signature& s : a.filtered_attr_sigs) n += s.size();
+  }
+  return n;
+}
+
+size_t NaiveQueryOutput::DigestCount() const {
+  size_t n = 0;
+  for (const NaiveRowAuth& a : auth) n += 1 + a.filtered_attr_sigs.size();
+  return n;
+}
+
+Status NaiveStore::Load(const Tuple& tuple) {
+  if (signer_ == nullptr) {
+    return Status::InvalidArgument("NaiveStore::Load requires a signer");
+  }
+  if (tuple.num_values() != ds_.schema().num_columns()) {
+    return Status::InvalidArgument("tuple arity does not match schema");
+  }
+  Entry e;
+  e.tuple = tuple;
+  std::vector<Digest> attrs = ds_.AttributeDigests(tuple);
+  e.auth.attr_sigs.reserve(attrs.size());
+  for (const Digest& a : attrs) {
+    VBT_ASSIGN_OR_RETURN(Signature s, signer_->Sign(a));
+    e.auth.attr_sigs.push_back(std::move(s));
+  }
+  Digest tuple_digest = ds_.CombineDigests(attrs);
+  VBT_ASSIGN_OR_RETURN(e.auth.tuple_sig, signer_->Sign(tuple_digest));
+  auto [it, inserted] = store_.emplace(tuple.key(), std::move(e));
+  if (!inserted) return Status::AlreadyExists("duplicate key");
+  return Status::OK();
+}
+
+Status NaiveStore::TamperValue(int64_t key, size_t col, Value v) {
+  auto it = store_.find(key);
+  if (it == store_.end()) return Status::NotFound("no tuple with that key");
+  if (col >= it->second.tuple.num_values()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  it->second.tuple.set_value(col, std::move(v));
+  return Status::OK();
+}
+
+Result<NaiveQueryOutput> NaiveStore::ExecuteSelect(
+    const SelectQuery& query) const {
+  SelectQuery q = query;
+  q.NormalizeProjection();
+  if (!q.projection.empty() && q.projection[0] != 0) {
+    return Status::InvalidArgument("projection must retain the key column");
+  }
+  std::vector<size_t> filtered_cols =
+      q.FilteredColumns(ds_.schema().num_columns());
+
+  NaiveQueryOutput out;
+  for (auto it = store_.lower_bound(q.range.lo);
+       it != store_.end() && it->first <= q.range.hi; ++it) {
+    const Entry& e = it->second;
+    if (!q.MatchesConditions(e.tuple)) continue;
+    ResultRow row;
+    row.key = e.tuple.key();
+    NaiveRowAuth auth;
+    auth.tuple_sig = e.auth.tuple_sig;
+    if (q.projection.empty()) {
+      row.values = e.tuple.values();
+    } else {
+      for (size_t c : q.projection) row.values.push_back(e.tuple.value(c));
+      for (size_t c : filtered_cols) {
+        auth.filtered_attr_sigs.push_back(e.auth.attr_sigs[c]);
+      }
+    }
+    out.rows.push_back(std::move(row));
+    out.auth.push_back(std::move(auth));
+  }
+  return out;
+}
+
+Status NaiveVerifier::VerifySelect(const SelectQuery& query,
+                                   const std::vector<ResultRow>& rows,
+                                   const std::vector<NaiveRowAuth>& auth) {
+  SelectQuery q = query;
+  q.NormalizeProjection();
+  const size_t m = ds_.schema().num_columns();
+  const std::vector<size_t> filtered_cols = q.FilteredColumns(m);
+  const size_t row_width = q.projection.empty() ? m : q.projection.size();
+
+  if (rows.size() != auth.size()) {
+    return Status::VerificationFailure("row/auth count mismatch");
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ResultRow& row = rows[i];
+    const NaiveRowAuth& a = auth[i];
+    if (row.values.size() != row_width) {
+      return Status::VerificationFailure("result row has wrong arity");
+    }
+    if (!q.range.Contains(row.key)) {
+      return Status::VerificationFailure("result key outside query range");
+    }
+    if (a.filtered_attr_sigs.size() != filtered_cols.size()) {
+      return Status::VerificationFailure("filtered attribute count mismatch");
+    }
+
+    std::vector<Digest> attrs;
+    attrs.reserve(m);
+    if (q.projection.empty()) {
+      for (size_t c = 0; c < m; ++c) {
+        attrs.push_back(ds_.AttributeDigest(row.key, c, row.values[c]));
+      }
+    } else {
+      for (size_t p = 0; p < q.projection.size(); ++p) {
+        attrs.push_back(
+            ds_.AttributeDigest(row.key, q.projection[p], row.values[p]));
+      }
+      for (const Signature& s : a.filtered_attr_sigs) {
+        VBT_ASSIGN_OR_RETURN(Digest d, recoverer_->Recover(s));
+        attrs.push_back(d);
+      }
+    }
+    Digest computed = ds_.CombineDigests(attrs);
+    VBT_ASSIGN_OR_RETURN(Digest expected, recoverer_->Recover(a.tuple_sig));
+    if (!(computed == expected)) {
+      return Status::VerificationFailure(
+          "tuple digest mismatch: result failed authentication");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vbtree

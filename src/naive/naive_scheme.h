@@ -1,0 +1,105 @@
+#ifndef VBTREE_NAIVE_NAIVE_SCHEME_H_
+#define VBTREE_NAIVE_NAIVE_SCHEME_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/signer.h"
+#include "query/predicate.h"
+#include "vbtree/digest_schema.h"
+
+namespace vbtree {
+
+/// Per-tuple authentication data of the Naive strategy (paper Appendix,
+/// Fig. 14): one signed tuple digest plus one signed digest per attribute.
+struct NaiveTupleAuth {
+  Signature tuple_sig;
+  std::vector<Signature> attr_sigs;
+};
+
+/// What the edge ships per result row: the signed tuple digest and the
+/// signed digests of the projected-away attributes.
+struct NaiveRowAuth {
+  Signature tuple_sig;
+  std::vector<Signature> filtered_attr_sigs;
+};
+
+/// A Naive-scheme query answer.
+struct NaiveQueryOutput {
+  std::vector<ResultRow> rows;
+  std::vector<NaiveRowAuth> auth;
+
+  size_t ResultBytes() const {
+    size_t n = 0;
+    for (const ResultRow& r : rows) n += r.SerializedSize();
+    return n;
+  }
+  /// Bytes of authentication data (the naive "VO").
+  size_t AuthBytes() const;
+  /// Number of signed digests shipped.
+  size_t DigestCount() const;
+};
+
+/// Edge-server side of the Naive baseline: a key-ordered store of tuples
+/// with their authentication data, queried by range/conditions/projection
+/// exactly like the VB-tree path so the two schemes are comparable.
+class NaiveStore {
+ public:
+  /// `signer` is the central server's; used once at load time.
+  NaiveStore(DigestSchema digest_schema, Signer* signer)
+      : ds_(std::move(digest_schema)), signer_(signer) {}
+
+  void set_counters(CryptoCounters* counters) { ds_.set_counters(counters); }
+
+  /// Authenticates and stores one tuple (central-server work).
+  Status Load(const Tuple& tuple);
+
+  Status LoadAll(std::span<const Tuple> tuples) {
+    for (const Tuple& t : tuples) VBT_RETURN_NOT_OK(Load(t));
+    return Status::OK();
+  }
+
+  size_t size() const { return store_.size(); }
+
+  /// Tampering hook for tests: overwrite a stored value, keeping the
+  /// original signatures (simulating a hacked edge server).
+  Status TamperValue(int64_t key, size_t col, Value v);
+
+  Result<NaiveQueryOutput> ExecuteSelect(const SelectQuery& query) const;
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    NaiveTupleAuth auth;
+  };
+
+  DigestSchema ds_;
+  Signer* signer_;
+  std::map<int64_t, Entry> store_;
+};
+
+/// Client-side verification for the Naive scheme: per result row, compute
+/// the digests of returned attributes, recover the filtered attributes'
+/// digests, combine into the tuple digest, recover the signed tuple digest
+/// and compare. Costs one signature decrypt *per row* — the factor the
+/// VB-tree eliminates (Fig. 12).
+class NaiveVerifier {
+ public:
+  NaiveVerifier(DigestSchema digest_schema, Recoverer* recoverer)
+      : ds_(std::move(digest_schema)), recoverer_(recoverer) {}
+
+  void set_counters(CryptoCounters* counters) { ds_.set_counters(counters); }
+
+  Status VerifySelect(const SelectQuery& query,
+                      const std::vector<ResultRow>& rows,
+                      const std::vector<NaiveRowAuth>& auth);
+
+ private:
+  DigestSchema ds_;
+  Recoverer* recoverer_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_NAIVE_NAIVE_SCHEME_H_

@@ -1,0 +1,33 @@
+#ifndef VBTREE_QUERY_EXECUTOR_H_
+#define VBTREE_QUERY_EXECUTOR_H_
+
+#include "query/predicate.h"
+#include "storage/table_heap.h"
+#include "vbtree/vb_tree.h"
+
+namespace vbtree {
+
+/// Binds a VB-tree to its tuple store (the table-heap replica at an edge
+/// server) and runs select-project queries against the pair.
+class Executor {
+ public:
+  Executor(const VBTree* tree, const TableHeap* heap)
+      : tree_(tree), heap_(heap) {}
+
+  Result<QueryOutput> Run(const SelectQuery& query, txn_id_t txn = 0) const {
+    return tree_->ExecuteSelect(query, FetcherFor(heap_), txn);
+  }
+
+  /// Adapts a TableHeap into the VBTree's TupleFetcher interface.
+  static VBTree::TupleFetcher FetcherFor(const TableHeap* heap) {
+    return [heap](const Rid& rid) { return heap->Get(rid); };
+  }
+
+ private:
+  const VBTree* tree_;
+  const TableHeap* heap_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_QUERY_EXECUTOR_H_

@@ -1,0 +1,122 @@
+#ifndef VBTREE_QUERY_PREDICATE_H_
+#define VBTREE_QUERY_PREDICATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "catalog/tuple.h"
+#include "catalog/value.h"
+#include "common/serde.h"
+
+namespace vbtree {
+
+/// Inclusive primary-key range [lo, hi] — the selection on the key of §3.3.
+struct KeyRange {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+
+  bool Contains(int64_t k) const { return k >= lo && k <= hi; }
+  bool empty() const { return lo > hi; }
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// A condition `column <op> operand` on a non-key attribute. Conditions
+/// are conjunctive; tuples failing one become "gaps" inside the result
+/// range, represented in the VO by their signed tuple digests (§3.3).
+struct ColumnCondition {
+  size_t col_idx = 0;
+  CompareOp op = CompareOp::kEq;
+  Value operand;
+
+  bool Eval(const Value& v) const {
+    int c = v.Compare(operand);
+    switch (op) {
+      case CompareOp::kEq:
+        return c == 0;
+      case CompareOp::kNe:
+        return c != 0;
+      case CompareOp::kLt:
+        return c < 0;
+      case CompareOp::kLe:
+        return c <= 0;
+      case CompareOp::kGt:
+        return c > 0;
+      case CompareOp::kGe:
+        return c >= 0;
+    }
+    return false;
+  }
+
+  bool Eval(const Tuple& t) const { return Eval(t.value(col_idx)); }
+};
+
+/// A select-project query over one table (or materialized join view):
+///
+///   SELECT <projection> FROM <table>
+///   WHERE key BETWEEN range.lo AND range.hi [AND conditions...]
+///
+/// `projection` lists column indices in ascending order and must include
+/// column 0 (the key): the verifier needs each result tuple's key to
+/// recompute attribute-digest preimages (formula (1) hashes the key into
+/// every attribute digest). An empty projection means all columns.
+struct SelectQuery {
+  std::string table;
+  KeyRange range;
+  std::vector<ColumnCondition> conditions;
+  std::vector<size_t> projection;
+
+  bool MatchesConditions(const Tuple& t) const {
+    for (const ColumnCondition& c : conditions) {
+      if (!c.Eval(t)) return false;
+    }
+    return true;
+  }
+
+  /// Normalized projection: sorted, deduplicated, containing column 0;
+  /// empty stays empty (= all columns).
+  void NormalizeProjection() {
+    if (projection.empty()) return;
+    projection.push_back(0);
+    std::sort(projection.begin(), projection.end());
+    projection.erase(std::unique(projection.begin(), projection.end()),
+                     projection.end());
+  }
+
+  /// Columns of an m-column schema that the projection filters out.
+  std::vector<size_t> FilteredColumns(size_t num_columns) const {
+    std::vector<size_t> out;
+    if (projection.empty()) return out;
+    size_t pi = 0;
+    for (size_t c = 0; c < num_columns; ++c) {
+      if (pi < projection.size() && projection[pi] == c) {
+        pi++;
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+};
+
+/// One result row: the values of the projected columns, in projection
+/// order (all columns when the projection is empty).
+struct ResultRow {
+  int64_t key = 0;
+  std::vector<Value> values;
+
+  size_t SerializedSize() const {
+    size_t n = 0;
+    for (const Value& v : values) n += v.SerializedSize();
+    return n;
+  }
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_QUERY_PREDICATE_H_

@@ -1,0 +1,98 @@
+#include "query/query_serde.h"
+
+namespace vbtree {
+
+namespace {
+
+void SerializeValue(const Value& v, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(v.type()));
+  v.Serialize(w);
+}
+
+Result<Value> DeserializeValueWithType(ByteReader* r) {
+  VBT_ASSIGN_OR_RETURN(uint8_t t, r->ReadU8());
+  if (t > static_cast<uint8_t>(TypeId::kString)) {
+    return Status::Corruption("bad TypeId");
+  }
+  return Value::Deserialize(r, static_cast<TypeId>(t));
+}
+
+}  // namespace
+
+void SerializeSelectQuery(const SelectQuery& q, ByteWriter* w) {
+  w->PutString(q.table);
+  w->PutI64(q.range.lo);
+  w->PutI64(q.range.hi);
+  w->PutVarint(q.conditions.size());
+  for (const ColumnCondition& c : q.conditions) {
+    w->PutVarint(c.col_idx);
+    w->PutU8(static_cast<uint8_t>(c.op));
+    SerializeValue(c.operand, w);
+  }
+  w->PutVarint(q.projection.size());
+  for (size_t c : q.projection) w->PutVarint(c);
+}
+
+Result<SelectQuery> DeserializeSelectQuery(ByteReader* r) {
+  SelectQuery q;
+  VBT_ASSIGN_OR_RETURN(q.table, r->ReadString());
+  VBT_ASSIGN_OR_RETURN(q.range.lo, r->ReadI64());
+  VBT_ASSIGN_OR_RETURN(q.range.hi, r->ReadI64());
+  VBT_ASSIGN_OR_RETURN(uint64_t nc, r->ReadCount());
+  q.conditions.reserve(nc);
+  for (uint64_t i = 0; i < nc; ++i) {
+    ColumnCondition c;
+    VBT_ASSIGN_OR_RETURN(uint64_t col, r->ReadVarint());
+    c.col_idx = col;
+    VBT_ASSIGN_OR_RETURN(uint8_t op, r->ReadU8());
+    if (op > static_cast<uint8_t>(CompareOp::kGe)) {
+      return Status::Corruption("bad CompareOp");
+    }
+    c.op = static_cast<CompareOp>(op);
+    VBT_ASSIGN_OR_RETURN(c.operand, DeserializeValueWithType(r));
+    q.conditions.push_back(std::move(c));
+  }
+  VBT_ASSIGN_OR_RETURN(uint64_t np, r->ReadCount());
+  q.projection.reserve(np);
+  for (uint64_t i = 0; i < np; ++i) {
+    VBT_ASSIGN_OR_RETURN(uint64_t c, r->ReadVarint());
+    q.projection.push_back(c);
+  }
+  return q;
+}
+
+void SerializeResultRows(const std::vector<ResultRow>& rows, ByteWriter* w) {
+  w->PutVarint(rows.size());
+  for (const ResultRow& row : rows) {
+    for (const Value& v : row.values) v.Serialize(w);
+  }
+}
+
+Result<std::vector<ResultRow>> DeserializeResultRows(
+    ByteReader* r, const Schema& schema,
+    const std::vector<size_t>& projection) {
+  VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+  std::vector<size_t> cols = projection;
+  if (cols.empty()) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) cols.push_back(c);
+  }
+  std::vector<ResultRow> rows;
+  rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ResultRow row;
+    row.values.reserve(cols.size());
+    for (size_t c : cols) {
+      VBT_ASSIGN_OR_RETURN(Value v,
+                           Value::Deserialize(r, schema.column(c).type));
+      row.values.push_back(std::move(v));
+    }
+    if (row.values.empty() || row.values[0].type() != TypeId::kInt64) {
+      return Status::Corruption("result row missing key column");
+    }
+    row.key = row.values[0].AsInt();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace vbtree

@@ -1,0 +1,27 @@
+#ifndef VBTREE_QUERY_QUERY_SERDE_H_
+#define VBTREE_QUERY_QUERY_SERDE_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "query/predicate.h"
+
+namespace vbtree {
+
+/// Wire encoding of queries and result rows. Byte counts from these
+/// routines are the "communication cost" the benchmark harness reports
+/// (paper §4.2).
+void SerializeSelectQuery(const SelectQuery& q, ByteWriter* w);
+Result<SelectQuery> DeserializeSelectQuery(ByteReader* r);
+
+/// Rows are encoded against the schema + projection so the receiver knows
+/// each value's type. `projection` empty means all columns.
+void SerializeResultRows(const std::vector<ResultRow>& rows, ByteWriter* w);
+Result<std::vector<ResultRow>> DeserializeResultRows(
+    ByteReader* r, const Schema& schema, const std::vector<size_t>& projection);
+
+}  // namespace vbtree
+
+#endif  // VBTREE_QUERY_QUERY_SERDE_H_

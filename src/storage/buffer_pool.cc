@@ -1,0 +1,123 @@
+#include "storage/buffer_pool.h"
+
+namespace vbtree {
+
+BufferPool::BufferPool(size_t pool_size, DiskManager* disk) : disk_(disk) {
+  frames_.reserve(pool_size);
+  free_frames_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(pool_size - 1 - i);
+  }
+}
+
+void BufferPool::TouchLru(size_t frame_id) {
+  RemoveFromLru(frame_id);
+  lru_.push_back(frame_id);
+  lru_pos_[frame_id] = std::prev(lru_.end());
+}
+
+void BufferPool::RemoveFromLru(size_t frame_id) {
+  auto it = lru_pos_.find(frame_id);
+  if (it != lru_pos_.end()) {
+    lru_.erase(it->second);
+    lru_pos_.erase(it);
+  }
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty()) {
+    return Status::OutOfRange("buffer pool exhausted: all pages pinned");
+  }
+  size_t f = lru_.front();
+  lru_.pop_front();
+  lru_pos_.erase(f);
+  Page* victim = frames_[f].get();
+  if (victim->is_dirty()) {
+    VBT_RETURN_NOT_OK(disk_->WritePage(victim->page_id(), victim->data()));
+  }
+  page_table_.erase(victim->page_id());
+  victim->Reset();
+  return f;
+}
+
+Result<Page*> BufferPool::FetchPage(page_id_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    hits_++;
+    Page* p = frames_[it->second].get();
+    if (p->pin_count_ == 0) RemoveFromLru(it->second);
+    p->pin_count_++;
+    return p;
+  }
+  misses_++;
+  VBT_ASSIGN_OR_RETURN(size_t f, GetVictimFrame());
+  Page* p = frames_[f].get();
+  VBT_RETURN_NOT_OK(disk_->ReadPage(page_id, p->data()));
+  p->page_id_ = page_id;
+  p->pin_count_ = 1;
+  p->is_dirty_ = false;
+  page_table_[page_id] = f;
+  return p;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  VBT_ASSIGN_OR_RETURN(page_id_t page_id, disk_->AllocatePage());
+  VBT_ASSIGN_OR_RETURN(size_t f, GetVictimFrame());
+  Page* p = frames_[f].get();
+  p->Reset();
+  p->page_id_ = page_id;
+  p->pin_count_ = 1;
+  p->is_dirty_ = true;
+  page_table_[page_id] = f;
+  return p;
+}
+
+Status BufferPool::UnpinPage(page_id_t page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("unpin of non-resident page");
+  }
+  Page* p = frames_[it->second].get();
+  if (p->pin_count_ <= 0) {
+    return Status::InvalidArgument("unpin of unpinned page");
+  }
+  p->is_dirty_ = p->is_dirty_ || dirty;
+  p->pin_count_--;
+  if (p->pin_count_ == 0) TouchLru(it->second);
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(page_id_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("flush of non-resident page");
+  }
+  Page* p = frames_[it->second].get();
+  VBT_RETURN_NOT_OK(disk_->WritePage(page_id, p->data()));
+  p->is_dirty_ = false;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [page_id, frame_id] : page_table_) {
+    Page* p = frames_[frame_id].get();
+    if (p->is_dirty_) {
+      VBT_RETURN_NOT_OK(disk_->WritePage(page_id, p->data()));
+      p->is_dirty_ = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vbtree

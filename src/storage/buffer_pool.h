@@ -1,0 +1,63 @@
+#ifndef VBTREE_STORAGE_BUFFER_POOL_H_
+#define VBTREE_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace vbtree {
+
+/// Fixed-size page cache with LRU replacement of unpinned frames.
+///
+/// Contract: every FetchPage/NewPage must be paired with UnpinPage. Pinned
+/// pages are never evicted; fetching fails with kOutOfRange if every frame
+/// is pinned.
+class BufferPool {
+ public:
+  BufferPool(size_t pool_size, DiskManager* disk);
+
+  /// Pins and returns the frame holding `page_id`, reading it from disk on
+  /// a miss.
+  Result<Page*> FetchPage(page_id_t page_id);
+
+  /// Allocates a fresh page on disk and pins an (initialized, zeroed)
+  /// frame for it.
+  Result<Page*> NewPage();
+
+  /// Drops one pin; `dirty` marks the frame for write-back on eviction.
+  Status UnpinPage(page_id_t page_id, bool dirty);
+
+  Status FlushPage(page_id_t page_id);
+  Status FlushAll();
+
+  size_t pool_size() const { return frames_.size(); }
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+
+ private:
+  /// Returns a victim frame id, evicting its current page if necessary.
+  Result<size_t> GetVictimFrame();
+  void TouchLru(size_t frame_id);
+  void RemoveFromLru(size_t frame_id);
+
+  std::mutex mu_;
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<page_id_t, size_t> page_table_;
+  /// Unpinned frames in LRU order (front = coldest).
+  std::list<size_t> lru_;
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_STORAGE_BUFFER_POOL_H_

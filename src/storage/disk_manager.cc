@@ -1,0 +1,96 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace vbtree {
+
+Status InMemoryDiskManager::ReadPage(page_id_t page_id, uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
+    return Status::OutOfRange("read of unallocated page");
+  }
+  std::memcpy(out, pages_[page_id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::WritePage(page_id_t page_id, const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
+    return Status::OutOfRange("write of unallocated page");
+  }
+  std::memcpy(pages_[page_id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+Result<page_id_t> InMemoryDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<uint8_t[]>(kPageSize);
+  std::memset(buf.get(), 0, kPageSize);
+  pages_.push_back(std::move(buf));
+  return static_cast<page_id_t>(pages_.size() - 1);
+}
+
+page_id_t InMemoryDiskManager::num_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<page_id_t>(pages_.size());
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  page_id_t pages = static_cast<page_id_t>(size / kPageSize);
+  return std::unique_ptr<FileDiskManager>(new FileDiskManager(f, pages));
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileDiskManager::ReadPage(page_id_t page_id, uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id < 0 || page_id >= num_pages_) {
+    return Status::OutOfRange("read of unallocated page");
+  }
+  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) != 0 ||
+      std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("page read failed");
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(page_id_t page_id, const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id < 0 || page_id >= num_pages_) {
+    return Status::OutOfRange("write of unallocated page");
+  }
+  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("page write failed");
+  }
+  std::fflush(file_);
+  return Status::OK();
+}
+
+Result<page_id_t> FileDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint8_t zero[kPageSize];
+  std::memset(zero, 0, kPageSize);
+  if (std::fseek(file_, static_cast<long>(num_pages_) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(zero, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("page allocation failed");
+  }
+  return num_pages_++;
+}
+
+page_id_t FileDiskManager::num_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_pages_;
+}
+
+}  // namespace vbtree

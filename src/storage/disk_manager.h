@@ -1,0 +1,69 @@
+#ifndef VBTREE_STORAGE_DISK_MANAGER_H_
+#define VBTREE_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+
+namespace vbtree {
+
+/// Page-granular storage backend for the buffer pool.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  virtual Status ReadPage(page_id_t page_id, uint8_t* out) = 0;
+  virtual Status WritePage(page_id_t page_id, const uint8_t* data) = 0;
+
+  /// Extends the backing store by one page and returns its id.
+  virtual Result<page_id_t> AllocatePage() = 0;
+
+  virtual page_id_t num_pages() const = 0;
+};
+
+/// Heap-backed storage; the default for tests, benches and the in-process
+/// edge-computing simulation (the paper's experiments are I/O-shape, not
+/// device, sensitive).
+class InMemoryDiskManager : public DiskManager {
+ public:
+  Status ReadPage(page_id_t page_id, uint8_t* out) override;
+  Status WritePage(page_id_t page_id, const uint8_t* data) override;
+  Result<page_id_t> AllocatePage() override;
+  page_id_t num_pages() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+};
+
+/// File-backed storage for persistence of the central server's database.
+class FileDiskManager : public DiskManager {
+ public:
+  /// Opens (creating if needed) the single database file.
+  static Result<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path);
+  ~FileDiskManager() override;
+
+  Status ReadPage(page_id_t page_id, uint8_t* out) override;
+  Status WritePage(page_id_t page_id, const uint8_t* data) override;
+  Result<page_id_t> AllocatePage() override;
+  page_id_t num_pages() const override;
+
+ private:
+  FileDiskManager(std::FILE* f, page_id_t num_pages)
+      : file_(f), num_pages_(num_pages) {}
+
+  mutable std::mutex mu_;
+  std::FILE* file_;
+  page_id_t num_pages_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_STORAGE_DISK_MANAGER_H_

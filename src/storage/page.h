@@ -1,0 +1,133 @@
+#ifndef VBTREE_STORAGE_PAGE_H_
+#define VBTREE_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/config.h"
+
+namespace vbtree {
+
+/// One in-memory frame holding a disk page (|B| = 4 KB, paper Table 1).
+/// Pin/dirty bookkeeping is managed by the BufferPool; Page itself is a
+/// dumb aligned buffer plus identity.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+
+  page_id_t page_id() const { return page_id_; }
+  int pin_count() const { return pin_count_; }
+  bool is_dirty() const { return is_dirty_; }
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    is_dirty_ = false;
+  }
+
+ private:
+  friend class BufferPool;
+
+  alignas(64) uint8_t data_[kPageSize];
+  page_id_t page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool is_dirty_ = false;
+};
+
+/// Slotted-page layout over a raw 4 KB buffer:
+///
+///   [u16 num_slots][u16 free_off] [slot 0][slot 1]... ...data grows down]
+///   slot i = [u16 offset][u16 length]; length == 0 marks a deleted slot.
+///
+/// Records are written from the end of the page backwards; the slot array
+/// grows forward. This is the classic heap-file page used by the
+/// TableHeap.
+class SlottedPageView {
+ public:
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotSize = 4;
+
+  explicit SlottedPageView(uint8_t* data) : d_(data) {}
+
+  void Init() {
+    SetU16(0, 0);                                  // num_slots
+    SetU16(2, static_cast<uint16_t>(kPageSize));   // free_off (end of data)
+  }
+
+  uint16_t num_slots() const { return GetU16(0); }
+  uint16_t free_off() const { return GetU16(2); }
+
+  /// Free bytes available for one more record plus its slot entry.
+  size_t FreeSpace() const {
+    size_t slots_end = kHeaderSize + num_slots() * kSlotSize;
+    return free_off() > slots_end ? free_off() - slots_end : 0;
+  }
+
+  bool HasRoomFor(size_t record_len) const {
+    return FreeSpace() >= record_len + kSlotSize;
+  }
+
+  /// Appends a record, returns its slot number. Caller must check
+  /// HasRoomFor first.
+  uint16_t Insert(const uint8_t* rec, uint16_t len) {
+    uint16_t slot = num_slots();
+    uint16_t off = static_cast<uint16_t>(free_off() - len);
+    std::memcpy(d_ + off, rec, len);
+    SetU16(2, off);
+    SetSlot(slot, off, len);
+    SetU16(0, static_cast<uint16_t>(slot + 1));
+    return slot;
+  }
+
+  /// Record bytes for `slot`, or nullptr if deleted/out of range.
+  const uint8_t* Get(uint16_t slot, uint16_t* len) const {
+    if (slot >= num_slots()) return nullptr;
+    uint16_t off = GetU16(kHeaderSize + slot * kSlotSize);
+    uint16_t l = GetU16(kHeaderSize + slot * kSlotSize + 2);
+    if (l == 0) return nullptr;
+    *len = l;
+    return d_ + off;
+  }
+
+  /// Tombstones a slot (space is not reclaimed until compaction).
+  /// Returns false for out-of-range or already-deleted slots.
+  bool Delete(uint16_t slot) {
+    if (slot >= num_slots()) return false;
+    if (GetU16(kHeaderSize + slot * kSlotSize + 2) == 0) return false;
+    SetU16(kHeaderSize + slot * kSlotSize + 2, 0);
+    return true;
+  }
+
+  /// In-place overwrite when the new record is not longer than the old.
+  bool UpdateInPlace(uint16_t slot, const uint8_t* rec, uint16_t len) {
+    if (slot >= num_slots()) return false;
+    uint16_t off = GetU16(kHeaderSize + slot * kSlotSize);
+    uint16_t old_len = GetU16(kHeaderSize + slot * kSlotSize + 2);
+    if (old_len == 0 || len > old_len) return false;
+    std::memcpy(d_ + off, rec, len);
+    SetU16(kHeaderSize + slot * kSlotSize + 2, len);
+    return true;
+  }
+
+ private:
+  uint16_t GetU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, d_ + off, 2);
+    return v;
+  }
+  void SetU16(size_t off, uint16_t v) { std::memcpy(d_ + off, &v, 2); }
+  void SetSlot(uint16_t slot, uint16_t off, uint16_t len) {
+    SetU16(kHeaderSize + slot * kSlotSize, off);
+    SetU16(kHeaderSize + slot * kSlotSize + 2, len);
+  }
+
+  uint8_t* d_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_STORAGE_PAGE_H_

@@ -1,0 +1,114 @@
+#include "storage/table_heap.h"
+
+#include "common/serde.h"
+#include "storage/page.h"
+
+namespace vbtree {
+
+Result<std::unique_ptr<TableHeap>> TableHeap::Create(BufferPool* pool,
+                                                     Schema schema) {
+  if (!schema.HasValidKey()) {
+    return Status::InvalidArgument("table schema must have an INT64 key");
+  }
+  auto heap = std::unique_ptr<TableHeap>(new TableHeap(pool, std::move(schema)));
+  VBT_ASSIGN_OR_RETURN(Page * p, pool->NewPage());
+  SlottedPageView view(p->data());
+  view.Init();
+  heap->pages_.push_back(p->page_id());
+  VBT_RETURN_NOT_OK(pool->UnpinPage(p->page_id(), /*dirty=*/true));
+  return heap;
+}
+
+Result<Rid> TableHeap::Insert(const Tuple& tuple) {
+  ByteWriter w(64);
+  tuple.Serialize(&w);
+  if (w.size() + SlottedPageView::kSlotSize >
+      kPageSize - SlottedPageView::kHeaderSize) {
+    return Status::InvalidArgument("tuple larger than a page");
+  }
+
+  page_id_t last = pages_.back();
+  VBT_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(last));
+  SlottedPageView view(p->data());
+  if (!view.HasRoomFor(w.size())) {
+    VBT_RETURN_NOT_OK(pool_->UnpinPage(last, /*dirty=*/false));
+    VBT_ASSIGN_OR_RETURN(p, pool_->NewPage());
+    SlottedPageView fresh(p->data());
+    fresh.Init();
+    pages_.push_back(p->page_id());
+    view = SlottedPageView(p->data());
+  }
+  uint16_t slot =
+      view.Insert(w.buffer().data(), static_cast<uint16_t>(w.size()));
+  Rid rid{p->page_id(), slot};
+  VBT_RETURN_NOT_OK(pool_->UnpinPage(p->page_id(), /*dirty=*/true));
+  tuple_count_++;
+  return rid;
+}
+
+Result<Tuple> TableHeap::Get(const Rid& rid) const {
+  VBT_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(rid.page_id));
+  SlottedPageView view(p->data());
+  uint16_t len = 0;
+  const uint8_t* rec = view.Get(rid.slot, &len);
+  if (rec == nullptr) {
+    (void)pool_->UnpinPage(rid.page_id, false);
+    return Status::NotFound("no live tuple at rid");
+  }
+  ByteReader r(Slice(rec, len));
+  Result<Tuple> tuple = Tuple::Deserialize(&r, schema_);
+  VBT_RETURN_NOT_OK(pool_->UnpinPage(rid.page_id, false));
+  return tuple;
+}
+
+Status TableHeap::Delete(const Rid& rid) {
+  VBT_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(rid.page_id));
+  SlottedPageView view(p->data());
+  bool ok = view.Delete(rid.slot);
+  VBT_RETURN_NOT_OK(pool_->UnpinPage(rid.page_id, ok));
+  if (!ok) return Status::NotFound("delete of missing tuple");
+  tuple_count_--;
+  return Status::OK();
+}
+
+Result<Rid> TableHeap::Update(const Rid& rid, const Tuple& tuple) {
+  ByteWriter w(64);
+  tuple.Serialize(&w);
+  {
+    VBT_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(rid.page_id));
+    SlottedPageView view(p->data());
+    bool ok = view.UpdateInPlace(rid.slot, w.buffer().data(),
+                                 static_cast<uint16_t>(w.size()));
+    VBT_RETURN_NOT_OK(pool_->UnpinPage(rid.page_id, ok));
+    if (ok) return rid;
+  }
+  // Record grew: relocate.
+  VBT_RETURN_NOT_OK(Delete(rid));
+  return Insert(tuple);
+}
+
+void TableHeap::Iterator::SkipToLive() {
+  while (page_idx_ < heap_->pages_.size()) {
+    auto page_or = heap_->pool_->FetchPage(heap_->pages_[page_idx_]);
+    if (!page_or.ok()) {
+      page_idx_ = heap_->pages_.size();
+      return;
+    }
+    Page* p = page_or.ValueOrDie();
+    SlottedPageView view(p->data());
+    uint16_t n = view.num_slots();
+    while (slot_ < n) {
+      uint16_t len = 0;
+      if (view.Get(slot_, &len) != nullptr) {
+        (void)heap_->pool_->UnpinPage(p->page_id(), false);
+        return;
+      }
+      slot_++;
+    }
+    (void)heap_->pool_->UnpinPage(p->page_id(), false);
+    page_idx_++;
+    slot_ = 0;
+  }
+}
+
+}  // namespace vbtree

@@ -1,0 +1,79 @@
+#ifndef VBTREE_STORAGE_TABLE_HEAP_H_
+#define VBTREE_STORAGE_TABLE_HEAP_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace vbtree {
+
+/// Heap file of tuples over slotted pages. The base tables of the central
+/// server and the replicas at edge servers are TableHeaps; the VB-tree
+/// leaf entries point into one via Rids.
+class TableHeap {
+ public:
+  /// Creates an empty heap (allocates the first page).
+  static Result<std::unique_ptr<TableHeap>> Create(BufferPool* pool,
+                                                   Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a tuple; returns its Rid.
+  Result<Rid> Insert(const Tuple& tuple);
+
+  Result<Tuple> Get(const Rid& rid) const;
+
+  /// Tombstones the tuple.
+  Status Delete(const Rid& rid);
+
+  /// Overwrites in place when possible, otherwise relocates; returns the
+  /// (possibly new) Rid.
+  Result<Rid> Update(const Rid& rid, const Tuple& tuple);
+
+  size_t tuple_count() const { return tuple_count_; }
+  const std::vector<page_id_t>& pages() const { return pages_; }
+
+  /// Forward scan over live tuples in storage order.
+  class Iterator {
+   public:
+    Iterator(const TableHeap* heap, size_t page_idx, uint16_t slot)
+        : heap_(heap), page_idx_(page_idx), slot_(slot) {
+      SkipToLive();
+    }
+
+    bool Valid() const { return page_idx_ < heap_->pages_.size(); }
+    Rid rid() const {
+      return Rid{heap_->pages_[page_idx_], slot_};
+    }
+    Result<Tuple> Get() const { return heap_->Get(rid()); }
+    void Next() {
+      slot_++;
+      SkipToLive();
+    }
+
+   private:
+    void SkipToLive();
+
+    const TableHeap* heap_;
+    size_t page_idx_;
+    uint16_t slot_;
+  };
+
+  Iterator Begin() const { return Iterator(this, 0, 0); }
+
+ private:
+  TableHeap(BufferPool* pool, Schema schema)
+      : pool_(pool), schema_(std::move(schema)) {}
+
+  BufferPool* pool_;
+  Schema schema_;
+  std::vector<page_id_t> pages_;
+  size_t tuple_count_ = 0;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_STORAGE_TABLE_HEAP_H_

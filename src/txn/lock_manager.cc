@@ -1,0 +1,95 @@
+#include "txn/lock_manager.h"
+
+namespace vbtree {
+
+bool LockManager::CanGrant(const LockState& st, txn_id_t txn,
+                           LockMode mode) const {
+  if (mode == LockMode::kShared) {
+    // Grantable unless another txn holds X.
+    return !st.has_exclusive || st.exclusive_holder == txn;
+  }
+  // Exclusive: no other holder of any kind.
+  if (st.has_exclusive) return st.exclusive_holder == txn;
+  if (st.shared_holders.empty()) return true;
+  return st.shared_holders.size() == 1 && st.shared_holders.count(txn) == 1;
+}
+
+void LockManager::GrantLocked(LockState* st, txn_id_t txn, lock_id_t id,
+                              LockMode mode) {
+  if (mode == LockMode::kShared) {
+    if (!st->has_exclusive) st->shared_holders.insert(txn);
+    // A txn that already holds X keeps X; S is implied.
+  } else {
+    st->shared_holders.erase(txn);  // upgrade path
+    st->has_exclusive = true;
+    st->exclusive_holder = txn;
+  }
+  held_[txn].insert(id);
+}
+
+Status LockManager::Acquire(txn_id_t txn, lock_id_t id, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  LockState& st = table_[id];
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (!CanGrant(st, txn, mode)) {
+    if (st.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::LockTimeout("lock wait timed out (possible deadlock)");
+    }
+  }
+  GrantLocked(&st, txn, id, mode);
+  return Status::OK();
+}
+
+Status LockManager::Release(txn_id_t txn, lock_id_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return Status::NotFound("lock not held");
+  LockState& st = it->second;
+  bool released = false;
+  if (st.has_exclusive && st.exclusive_holder == txn) {
+    st.has_exclusive = false;
+    st.exclusive_holder = 0;
+    released = true;
+  }
+  if (st.shared_holders.erase(txn) > 0) released = true;
+  if (!released) return Status::NotFound("lock not held by txn");
+  auto held_it = held_.find(txn);
+  if (held_it != held_.end()) held_it->second.erase(id);
+  st.cv.notify_all();
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(txn_id_t txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto held_it = held_.find(txn);
+  if (held_it == held_.end()) return;
+  for (lock_id_t id : held_it->second) {
+    auto it = table_.find(id);
+    if (it == table_.end()) continue;
+    LockState& st = it->second;
+    if (st.has_exclusive && st.exclusive_holder == txn) {
+      st.has_exclusive = false;
+      st.exclusive_holder = 0;
+    }
+    st.shared_holders.erase(txn);
+    st.cv.notify_all();
+  }
+  held_.erase(held_it);
+}
+
+bool LockManager::HoldsLock(txn_id_t txn, lock_id_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  return it != held_.end() && it->second.count(id) > 0;
+}
+
+size_t LockManager::NumLockedResources() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, st] : table_) {
+    if (st.has_exclusive || !st.shared_holders.empty()) n++;
+  }
+  return n;
+}
+
+}  // namespace vbtree

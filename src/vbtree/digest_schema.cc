@@ -1,0 +1,36 @@
+#include "vbtree/digest_schema.h"
+
+#include "common/serde.h"
+
+namespace vbtree {
+
+Digest DigestSchema::AttributeDigest(int64_t key, size_t col_idx,
+                                     const Value& v) const {
+  if (counters_ != nullptr) counters_->attr_hashes++;
+  // Length-prefixed fields make the preimage unambiguous (no separator
+  // collisions between e.g. table and attribute names).
+  ByteWriter w(64);
+  w.PutString(db_name_);
+  w.PutString(table_name_);
+  w.PutString(schema_.column(col_idx).name);
+  w.PutI64(key);
+  v.Serialize(&w);
+  return HashToDigest(algo_, Slice(w.buffer()));
+}
+
+std::vector<Digest> DigestSchema::AttributeDigests(const Tuple& t) const {
+  std::vector<Digest> out;
+  out.reserve(t.num_values());
+  int64_t key = t.key();
+  for (size_t c = 0; c < t.num_values(); ++c) {
+    out.push_back(AttributeDigest(key, c, t.value(c)));
+  }
+  return out;
+}
+
+Digest DigestSchema::TupleDigest(const Tuple& t) const {
+  std::vector<Digest> attrs = AttributeDigests(t);
+  return ghash_.Combine(attrs);
+}
+
+}  // namespace vbtree

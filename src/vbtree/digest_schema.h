@@ -1,0 +1,80 @@
+#ifndef VBTREE_VBTREE_DIGEST_SCHEMA_H_
+#define VBTREE_VBTREE_DIGEST_SCHEMA_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "crypto/commutative_hash.h"
+#include "crypto/counters.h"
+#include "crypto/hash.h"
+
+namespace vbtree {
+
+/// Digest computation rules shared by the central server (building and
+/// updating VB-trees) and clients (verifying results). Implements the
+/// paper's formulas:
+///
+///   (1) attribute digest  a_ij = h(db | table | attr | key | value)
+///   (2) tuple digest      t_j  = g(a_j1, ..., a_jm)
+///   (3) node digest       D_N  = g(d_1, ..., d_p)   over tuple digests
+///                                (leaf) or child node digests (internal)
+///
+/// where h is a standard one-way hash (SHA-256 by default) and g the
+/// commutative hash G^(d1·...·dm) mod 2^k. Binding db/table/attr names and
+/// the tuple key into every attribute digest defeats substitution of
+/// authentic values across rows, columns or tables.
+class DigestSchema {
+ public:
+  DigestSchema(std::string db_name, std::string table_name, Schema schema,
+               HashAlgorithm algo = HashAlgorithm::kSha256,
+               int modulus_bits = 128)
+      : db_name_(std::move(db_name)),
+        table_name_(std::move(table_name)),
+        schema_(std::move(schema)),
+        algo_(algo),
+        ghash_(modulus_bits) {}
+
+  /// Routes Cost_h / Cost_k accounting to `counters` (may be nullptr).
+  void set_counters(CryptoCounters* counters) {
+    counters_ = counters;
+    ghash_.set_counters(counters);
+  }
+
+  /// Formula (1). `key` is the tuple's primary key, not the attribute value.
+  Digest AttributeDigest(int64_t key, size_t col_idx, const Value& v) const;
+
+  /// All m attribute digests of a tuple, in column order.
+  std::vector<Digest> AttributeDigests(const Tuple& t) const;
+
+  /// Formula (2): tuple digest from a full tuple.
+  Digest TupleDigest(const Tuple& t) const;
+
+  /// Formula (2) verifier-side: combine already-obtained attribute digests
+  /// (computed ones for returned columns, recovered ones for projected-away
+  /// columns) in any order.
+  Digest CombineDigests(std::span<const Digest> digests) const {
+    return ghash_.Combine(digests);
+  }
+
+  const CommutativeHash& ghash() const { return ghash_; }
+  const Schema& schema() const { return schema_; }
+  const std::string& db_name() const { return db_name_; }
+  const std::string& table_name() const { return table_name_; }
+  HashAlgorithm hash_algorithm() const { return algo_; }
+  int modulus_bits() const { return ghash_.modulus_bits(); }
+
+ private:
+  std::string db_name_;
+  std::string table_name_;
+  Schema schema_;
+  HashAlgorithm algo_;
+  CommutativeHash ghash_;
+  CryptoCounters* counters_ = nullptr;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_VBTREE_DIGEST_SCHEMA_H_

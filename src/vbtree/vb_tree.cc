@@ -1,0 +1,1153 @@
+#include "vbtree/vb_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vbtree {
+
+namespace {
+constexpr uint32_t kTreeMagic = 0x31544256;  // "VBT1"
+}  // namespace
+
+struct VBTree::LeafEntry {
+  int64_t key = 0;
+  Rid rid;
+  /// Unsigned tuple digest t_j (formula (2)); cached so node digests can
+  /// be recomputed without re-reading tuples.
+  Digest tuple_digest;
+  /// s(t_j), stored with the tuple pointer (formula (2), Fig. 3b).
+  Signature tuple_sig;
+  /// s(a_j1) ... s(a_jm): signed attribute digests (formula (1)); the
+  /// D_P source for projections.
+  std::vector<Signature> attr_sigs;
+};
+
+struct VBTree::Node {
+  bool is_leaf;
+  uint64_t id = 0;
+  /// Unsigned node digest D_N (formula (3)).
+  Digest digest;
+  /// Cached exponent product: D_N = G^exponent mod 2^k. Maintained by the
+  /// central server for the product/incremental update strategies; not
+  /// serialized (cheaply rebuilt on deserialization).
+  Uint128 exponent{1};
+  /// s(D_N); conceptually stored with the child pointer in the parent
+  /// (Fig. 3c) — kept on the node itself, which is equivalent and avoids
+  /// duplication. The root's signature doubles as the tree metadata
+  /// signature.
+  Signature sig;
+
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+};
+
+struct VBTree::Leaf : VBTree::Node {
+  Leaf() : Node(true) {}
+  std::vector<LeafEntry> entries;
+  Leaf* next = nullptr;
+  Leaf* prev = nullptr;
+};
+
+struct VBTree::Internal : VBTree::Node {
+  Internal() : Node(false) {}
+  /// children.size() == keys.size() + 1; child i spans [keys[i-1], keys[i]).
+  std::vector<int64_t> keys;
+  std::vector<std::unique_ptr<Node>> children;
+
+  size_t ChildIndex(int64_t key) const {
+    return static_cast<size_t>(
+        std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+  }
+
+  /// Key span of child i as a half-open interval, for overlap tests
+  /// against a query range.
+  void ChildSpan(size_t i, std::optional<int64_t>* lo,
+                 std::optional<int64_t>* hi) const {
+    *lo = (i == 0) ? std::nullopt : std::optional(keys[i - 1]);
+    *hi = (i == keys.size()) ? std::nullopt : std::optional(keys[i]);
+  }
+};
+
+VBTree::VBTree(DigestSchema digest_schema, VBTreeOptions opts, Signer* signer,
+               LockManager* lock_manager)
+    : ds_(std::move(digest_schema)),
+      opts_(opts),
+      signer_(signer),
+      lock_manager_(lock_manager) {
+  VBT_CHECK(opts_.config.max_internal >= 2 && opts_.config.max_leaf >= 1);
+  auto leaf = std::make_unique<Leaf>();
+  leaf->id = NextNodeId();
+  leaf->digest = ds_.ghash().Identity();
+  root_ = std::move(leaf);
+  if (signer_ != nullptr) {
+    auto sig = signer_->Sign(root_->digest);
+    if (sig.ok()) root_->sig = sig.MoveValueUnsafe();
+  }
+}
+
+VBTree::~VBTree() = default;
+
+// ---------------------------------------------------------------------------
+// Digest maintenance (central server).
+// ---------------------------------------------------------------------------
+
+Status VBTree::ResignNode(Node* node) {
+  if (replay_feed_ != nullptr) {
+    // Delta replay: splice in the signature the central server produced
+    // for this (structurally identical) re-signing step.
+    if (replay_feed_->empty()) {
+      return Status::Corruption("update-delta signature feed exhausted");
+    }
+    node->sig = std::move(replay_feed_->front());
+    replay_feed_->pop_front();
+    return Status::OK();
+  }
+  if (signer_ == nullptr) {
+    return Status::InvalidArgument(
+        "tree replica has no signing key (updates must go to the central "
+        "server, §3.4)");
+  }
+  VBT_ASSIGN_OR_RETURN(node->sig, signer_->Sign(node->digest));
+  if (signature_log_ != nullptr) signature_log_->push_back(node->sig);
+  return Status::OK();
+}
+
+Status VBTree::RecomputeLeafDigest(Leaf* leaf) {
+  std::vector<Digest> ds;
+  ds.reserve(leaf->entries.size());
+  for (const LeafEntry& e : leaf->entries) ds.push_back(e.tuple_digest);
+  leaf->exponent = ds_.ghash().ExponentProduct(ds);
+  leaf->digest =
+      opts_.update_strategy == DigestUpdateStrategy::kRecomputeChained
+          ? ds_.CombineDigests(ds)
+          : ds_.ghash().CombineViaExponent(ds);
+  return ResignNode(leaf);
+}
+
+Status VBTree::RecomputeInternalDigest(Internal* in) {
+  std::vector<Digest> ds;
+  ds.reserve(in->children.size());
+  for (const auto& c : in->children) ds.push_back(c->digest);
+  in->exponent = ds_.ghash().ExponentProduct(ds);
+  in->digest =
+      opts_.update_strategy == DigestUpdateStrategy::kRecomputeChained
+          ? ds_.CombineDigests(ds)
+          : ds_.ghash().CombineViaExponent(ds);
+  return ResignNode(in);
+}
+
+Result<VBTree::LeafEntry> VBTree::MakeLeafEntry(const Tuple& tuple,
+                                                const Rid& rid) {
+  if (signer_ == nullptr) {
+    return Status::InvalidArgument("cannot create signed entries without key");
+  }
+  if (tuple.num_values() != ds_.schema().num_columns()) {
+    return Status::InvalidArgument("tuple arity does not match schema");
+  }
+  LeafEntry e;
+  e.key = tuple.key();
+  e.rid = rid;
+  std::vector<Digest> attrs = ds_.AttributeDigests(tuple);
+  e.attr_sigs.reserve(attrs.size());
+  for (const Digest& a : attrs) {
+    VBT_ASSIGN_OR_RETURN(Signature s, signer_->Sign(a));
+    e.attr_sigs.push_back(std::move(s));
+  }
+  e.tuple_digest = ds_.CombineDigests(attrs);
+  VBT_ASSIGN_OR_RETURN(e.tuple_sig, signer_->Sign(e.tuple_digest));
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load.
+// ---------------------------------------------------------------------------
+
+Status VBTree::BulkLoad(std::span<const std::pair<Tuple, Rid>> rows) {
+  std::unique_lock latch(latch_);
+  if (size_ != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty tree");
+  }
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i - 1].first.key() >= rows[i].first.key()) {
+      return Status::InvalidArgument(
+          "BulkLoad input must be sorted by strictly increasing key");
+    }
+  }
+
+  // Build packed leaves.
+  std::vector<std::unique_ptr<Node>> level;
+  const size_t per_leaf = static_cast<size_t>(opts_.config.max_leaf);
+  Leaf* prev = nullptr;
+  for (size_t i = 0; i < rows.size();) {
+    auto leaf = std::make_unique<Leaf>();
+    leaf->id = NextNodeId();
+    size_t n = std::min(per_leaf, rows.size() - i);
+    leaf->entries.reserve(n);
+    for (size_t j = 0; j < n; ++j, ++i) {
+      VBT_ASSIGN_OR_RETURN(LeafEntry e,
+                           MakeLeafEntry(rows[i].first, rows[i].second));
+      leaf->entries.push_back(std::move(e));
+    }
+    VBT_RETURN_NOT_OK(RecomputeLeafDigest(leaf.get()));
+    leaf->prev = prev;
+    if (prev != nullptr) prev->next = leaf.get();
+    prev = leaf.get();
+    level.push_back(std::move(leaf));
+  }
+  if (level.empty()) {
+    auto leaf = std::make_unique<Leaf>();
+    leaf->id = NextNodeId();
+    leaf->digest = ds_.ghash().Identity();
+    VBT_RETURN_NOT_OK(ResignNode(leaf.get()));
+    level.push_back(std::move(leaf));
+  }
+
+  // Build packed internal levels bottom-up.
+  const size_t per_node = static_cast<size_t>(opts_.config.max_internal);
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> upper;
+    for (size_t i = 0; i < level.size();) {
+      auto in = std::make_unique<Internal>();
+      in->id = NextNodeId();
+      size_t n = std::min(per_node, level.size() - i);
+      // Avoid leaving a trailing group of one child.
+      if (level.size() - i - n == 1) n--;
+      for (size_t j = 0; j < n; ++j, ++i) {
+        if (j > 0) {
+          // Separator = smallest key in subtree of child j.
+          const Node* c = level[i].get();
+          while (!c->is_leaf) {
+            c = static_cast<const Internal*>(c)->children[0].get();
+          }
+          in->keys.push_back(static_cast<const Leaf*>(c)->entries[0].key);
+        }
+        in->children.push_back(std::move(level[i]));
+      }
+      VBT_RETURN_NOT_OK(RecomputeInternalDigest(in.get()));
+      upper.push_back(std::move(in));
+    }
+    level = std::move(upper);
+  }
+
+  root_ = std::move(level[0]);
+  size_ = rows.size();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Insert (§3.4).
+// ---------------------------------------------------------------------------
+
+Result<VBTree::InsertOutcome> VBTree::InsertRec(Node* node, LeafEntry entry,
+                                                const Digest& tuple_digest) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<Leaf*>(node);
+    auto it = std::lower_bound(
+        leaf->entries.begin(), leaf->entries.end(), entry.key,
+        [](const LeafEntry& e, int64_t k) { return e.key < k; });
+    if (it != leaf->entries.end() && it->key == entry.key) {
+      return Status::AlreadyExists("duplicate key");
+    }
+    leaf->entries.insert(it, std::move(entry));
+    if (leaf->entries.size() <= static_cast<size_t>(opts_.config.max_leaf)) {
+      // Incremental fold: D ← D^{t_j} mod n (§3.4 Insert). This is valid
+      // at the leaf because the leaf digest is G^(∏ tuple digests).
+      leaf->exponent =
+          leaf->exponent
+              .MulWrap(CommutativeHash::ExponentFactor(tuple_digest))
+              .Mask(ds_.modulus_bits());
+      leaf->digest =
+          opts_.update_strategy == DigestUpdateStrategy::kRecomputeChained
+              ? ds_.ghash().Extend(leaf->digest, tuple_digest)
+              : ds_.ghash().FromExponent(leaf->exponent);
+      VBT_RETURN_NOT_OK(ResignNode(leaf));
+      return InsertOutcome{};
+    }
+    // Split; both halves need full recomputation.
+    auto right = std::make_unique<Leaf>();
+    right->id = NextNodeId();
+    size_t mid = leaf->entries.size() / 2;
+    right->entries.assign(std::make_move_iterator(leaf->entries.begin() + mid),
+                          std::make_move_iterator(leaf->entries.end()));
+    leaf->entries.resize(mid);
+    right->next = leaf->next;
+    right->prev = leaf;
+    if (leaf->next != nullptr) leaf->next->prev = right.get();
+    leaf->next = right.get();
+    VBT_RETURN_NOT_OK(RecomputeLeafDigest(leaf));
+    VBT_RETURN_NOT_OK(RecomputeLeafDigest(right.get()));
+    InsertOutcome out;
+    out.recomputed = true;
+    out.split = SplitResult{right->entries.front().key, std::move(right)};
+    return out;
+  }
+
+  auto* in = static_cast<Internal*>(node);
+  size_t ci = in->ChildIndex(entry.key);
+  const Digest old_child_digest = in->children[ci]->digest;
+  VBT_ASSIGN_OR_RETURN(
+      InsertOutcome child_out,
+      InsertRec(in->children[ci].get(), std::move(entry), tuple_digest));
+
+  // The child's digest changed, so this node's digest — defined as
+  // g(D_c1, ..., D_cp) over *child digests* — must be updated and
+  // re-signed.
+  //
+  // Faithfulness note (see DESIGN.md): §3.4 suggests updating every node
+  // on the path incrementally as D ← D^{d_T}. That identity only holds if
+  // node digests were flat products over all tuple digests beneath, which
+  // is incompatible with the paper's own VO construction (opaque filtered
+  // branches enter verification as child *digests*, formula (4)). With
+  // the nested definition, the recompute strategies redo an O(fan-out)
+  // combination; kIncremental restores O(1) per node by patching the
+  // exponent product with a modular inverse.
+  if (child_out.split.has_value()) {
+    in->keys.insert(in->keys.begin() + ci, child_out.split->separator);
+    in->children.insert(in->children.begin() + ci + 1,
+                        std::move(child_out.split->right));
+    if (in->children.size() > static_cast<size_t>(opts_.config.max_internal)) {
+      auto right = std::make_unique<Internal>();
+      right->id = NextNodeId();
+      size_t mid = in->keys.size() / 2;
+      int64_t up = in->keys[mid];
+      right->keys.assign(in->keys.begin() + mid + 1, in->keys.end());
+      for (size_t i = mid + 1; i < in->children.size(); ++i) {
+        right->children.push_back(std::move(in->children[i]));
+      }
+      in->keys.resize(mid);
+      in->children.resize(mid + 1);
+      VBT_RETURN_NOT_OK(RecomputeInternalDigest(in));
+      VBT_RETURN_NOT_OK(RecomputeInternalDigest(right.get()));
+      InsertOutcome out;
+      out.recomputed = true;
+      out.split = SplitResult{up, std::move(right)};
+      return out;
+    }
+    // Child set changed (new sibling): full recombination.
+    VBT_RETURN_NOT_OK(RecomputeInternalDigest(in));
+    InsertOutcome out;
+    out.recomputed = true;
+    return out;
+  }
+
+  if (opts_.update_strategy == DigestUpdateStrategy::kIncremental) {
+    in->exponent = ds_.ghash().UpdateExponent(
+        in->exponent, old_child_digest, in->children[ci]->digest);
+    in->digest = ds_.ghash().FromExponent(in->exponent);
+    VBT_RETURN_NOT_OK(ResignNode(in));
+  } else {
+    VBT_RETURN_NOT_OK(RecomputeInternalDigest(in));
+  }
+  InsertOutcome out;
+  out.recomputed = true;
+  return out;
+}
+
+Status VBTree::InsertEntry(LeafEntry entry) {
+  Digest tuple_digest = entry.tuple_digest;
+  std::unique_lock latch(latch_);
+  VBT_ASSIGN_OR_RETURN(InsertOutcome out,
+                       InsertRec(root_.get(), std::move(entry), tuple_digest));
+  if (out.split.has_value()) {
+    auto new_root = std::make_unique<Internal>();
+    new_root->id = NextNodeId();
+    new_root->keys.push_back(out.split->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(out.split->right));
+    VBT_RETURN_NOT_OK(RecomputeInternalDigest(new_root.get()));
+    root_ = std::move(new_root);
+  }
+  size_++;
+  return Status::OK();
+}
+
+Status VBTree::Insert(const Tuple& tuple, const Rid& rid, txn_id_t txn) {
+  if (signer_ == nullptr) {
+    return Status::InvalidArgument(
+        "edge replicas cannot process updates; route to the central server");
+  }
+  // Digest + signature computation happens outside the latch.
+  VBT_ASSIGN_OR_RETURN(LeafEntry entry, MakeLeafEntry(tuple, rid));
+
+  if (lock_manager_ != nullptr && txn != 0) {
+    // X-lock the root-to-leaf path digests (§3.4 Insert).
+    std::vector<lock_id_t> ids;
+    {
+      std::shared_lock latch(latch_);
+      CollectPathIds(root_.get(), tuple.key(), &ids);
+    }
+    for (lock_id_t id : ids) {
+      VBT_RETURN_NOT_OK(lock_manager_->Acquire(txn, id, LockMode::kExclusive));
+    }
+  }
+  return InsertEntry(std::move(entry));
+}
+
+Result<VBTree::SignedEntryMaterial> VBTree::MakeEntryMaterial(
+    const Tuple& tuple) {
+  VBT_ASSIGN_OR_RETURN(LeafEntry entry, MakeLeafEntry(tuple, Rid{}));
+  SignedEntryMaterial m;
+  m.tuple_sig = std::move(entry.tuple_sig);
+  m.attr_sigs = std::move(entry.attr_sigs);
+  return m;
+}
+
+Status VBTree::ReplayInsert(const Tuple& tuple, const Rid& rid,
+                            const SignedEntryMaterial& material,
+                            std::deque<Signature>* sig_feed) {
+  if (tuple.num_values() != ds_.schema().num_columns() ||
+      material.attr_sigs.size() != ds_.schema().num_columns()) {
+    return Status::InvalidArgument("replay material does not match schema");
+  }
+  LeafEntry entry;
+  entry.key = tuple.key();
+  entry.rid = rid;
+  // Unsigned digests are public: the replica recomputes them itself.
+  std::vector<Digest> attrs = ds_.AttributeDigests(tuple);
+  entry.tuple_digest = ds_.CombineDigests(attrs);
+  entry.tuple_sig = material.tuple_sig;
+  entry.attr_sigs = material.attr_sigs;
+
+  replay_feed_ = sig_feed;
+  Status s = InsertEntry(std::move(entry));
+  replay_feed_ = nullptr;
+  return s;
+}
+
+Status VBTree::ReplayDeleteRange(int64_t lo, int64_t hi,
+                                 std::deque<Signature>* sig_feed) {
+  replay_feed_ = sig_feed;
+  Status s = DeleteRangeLocked(lo, hi).status();
+  replay_feed_ = nullptr;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Delete (§3.4).
+// ---------------------------------------------------------------------------
+
+Result<bool> VBTree::DeleteRec(Node* node, int64_t lo, int64_t hi,
+                               size_t* removed) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<Leaf*>(node);
+    size_t before = leaf->entries.size();
+    leaf->entries.erase(
+        std::remove_if(leaf->entries.begin(), leaf->entries.end(),
+                       [&](const LeafEntry& e) {
+                         return e.key >= lo && e.key <= hi;
+                       }),
+        leaf->entries.end());
+    size_t n = before - leaf->entries.size();
+    *removed += n;
+    if (n == 0) return false;
+    if (!leaf->entries.empty()) {
+      VBT_RETURN_NOT_OK(RecomputeLeafDigest(leaf));
+    }
+    return true;
+  }
+
+  auto* in = static_cast<Internal*>(node);
+  bool changed = false;
+  for (size_t i = 0; i < in->children.size();) {
+    std::optional<int64_t> span_lo, span_hi;
+    in->ChildSpan(i, &span_lo, &span_hi);
+    bool overlap = (!span_lo.has_value() || *span_lo <= hi) &&
+                   (!span_hi.has_value() || *span_hi > lo);
+    if (!overlap) {
+      i++;
+      continue;
+    }
+    VBT_ASSIGN_OR_RETURN(bool child_changed,
+                         DeleteRec(in->children[i].get(), lo, hi, removed));
+    changed = changed || child_changed;
+
+    // Merge-on-empty policy (§4.4, citing Johnson & Shasha): free a child
+    // only once it holds nothing.
+    Node* child = in->children[i].get();
+    bool child_empty =
+        child->is_leaf
+            ? static_cast<Leaf*>(child)->entries.empty()
+            : static_cast<Internal*>(child)->children.empty();
+    if (child_empty) {
+      if (child->is_leaf) {
+        auto* l = static_cast<Leaf*>(child);
+        if (l->prev != nullptr) l->prev->next = l->next;
+        if (l->next != nullptr) l->next->prev = l->prev;
+      }
+      in->children.erase(in->children.begin() + i);
+      if (!in->keys.empty()) {
+        in->keys.erase(in->keys.begin() + (i == 0 ? 0 : i - 1));
+      }
+      changed = true;
+      continue;  // re-examine index i (next child shifted down)
+    }
+    i++;
+  }
+  if (changed && !in->children.empty()) {
+    VBT_RETURN_NOT_OK(RecomputeInternalDigest(in));
+  }
+  return changed;
+}
+
+Result<size_t> VBTree::DeleteRange(int64_t lo, int64_t hi, txn_id_t txn) {
+  if (signer_ == nullptr) {
+    return Status::InvalidArgument(
+        "edge replicas cannot process updates; route to the central server");
+  }
+  if (lo > hi) return static_cast<size_t>(0);
+
+  if (lock_manager_ != nullptr && txn != 0) {
+    // X-lock all digests on the paths to the affected leaves (§3.4
+    // Delete: lock, remove, then recompute up to the root).
+    std::vector<lock_id_t> ids;
+    {
+      std::shared_lock latch(latch_);
+      CollectRangePathIds(root_.get(), lo, hi, &ids);
+    }
+    for (lock_id_t id : ids) {
+      VBT_RETURN_NOT_OK(lock_manager_->Acquire(txn, id, LockMode::kExclusive));
+    }
+  }
+  return DeleteRangeLocked(lo, hi);
+}
+
+Result<size_t> VBTree::DeleteRangeLocked(int64_t lo, int64_t hi) {
+  if (lo > hi) return static_cast<size_t>(0);
+  std::unique_lock latch(latch_);
+  size_t removed = 0;
+  VBT_RETURN_NOT_OK(DeleteRec(root_.get(), lo, hi, &removed).status());
+  size_ -= removed;
+
+  // Collapse trivial roots.
+  while (!root_->is_leaf) {
+    auto* in = static_cast<Internal*>(root_.get());
+    if (in->children.empty()) {
+      auto leaf = std::make_unique<Leaf>();
+      leaf->id = NextNodeId();
+      leaf->digest = ds_.ghash().Identity();
+      VBT_RETURN_NOT_OK(ResignNode(leaf.get()));
+      root_ = std::move(leaf);
+      break;
+    }
+    if (in->children.size() > 1) break;
+    root_ = std::move(in->children[0]);
+  }
+  if (removed > 0 && root_->is_leaf &&
+      static_cast<Leaf*>(root_.get())->entries.empty()) {
+    root_->digest = ds_.ghash().Identity();
+    VBT_RETURN_NOT_OK(ResignNode(root_.get()));
+  }
+  return removed;
+}
+
+// ---------------------------------------------------------------------------
+// Query + VO construction (§3.3).
+// ---------------------------------------------------------------------------
+
+const VBTree::Node* VBTree::FindEnvelopeTop(const KeyRange& range,
+                                            Signature* top_sig,
+                                            int* depth_of_top) const {
+  const Node* node = root_.get();
+  *top_sig = node->sig;
+  int depth = 0;
+  while (!node->is_leaf) {
+    const auto* in = static_cast<const Internal*>(node);
+    size_t ci_lo = in->ChildIndex(range.lo);
+    size_t ci_hi = in->ChildIndex(range.hi);
+    if (ci_lo != ci_hi) break;  // paths diverge: this is the LCA
+    node = in->children[ci_lo].get();
+    *top_sig = node->sig;
+    depth++;
+  }
+  *depth_of_top = depth;
+  return node;
+}
+
+void VBTree::CollectEnvelopeIds(const Node* node, const KeyRange& range,
+                                std::vector<lock_id_t>* ids) const {
+  ids->push_back(node->id);
+  if (node->is_leaf) return;
+  const auto* in = static_cast<const Internal*>(node);
+  for (size_t i = 0; i < in->children.size(); ++i) {
+    std::optional<int64_t> span_lo, span_hi;
+    in->ChildSpan(i, &span_lo, &span_hi);
+    bool overlap = (!span_lo.has_value() || *span_lo <= range.hi) &&
+                   (!span_hi.has_value() || *span_hi > range.lo);
+    if (overlap) CollectEnvelopeIds(in->children[i].get(), range, ids);
+  }
+}
+
+void VBTree::CollectPathIds(const Node* node, int64_t key,
+                            std::vector<lock_id_t>* ids) const {
+  ids->push_back(node->id);
+  if (node->is_leaf) return;
+  const auto* in = static_cast<const Internal*>(node);
+  CollectPathIds(in->children[in->ChildIndex(key)].get(), key, ids);
+}
+
+void VBTree::CollectRangePathIds(const Node* node, int64_t lo, int64_t hi,
+                                 std::vector<lock_id_t>* ids) const {
+  // The delete transaction locks the paths from the root to every
+  // affected leaf — equivalently the enveloping subtree plus the path
+  // down to its top.
+  ids->push_back(node->id);
+  if (node->is_leaf) return;
+  const auto* in = static_cast<const Internal*>(node);
+  for (size_t i = 0; i < in->children.size(); ++i) {
+    std::optional<int64_t> span_lo, span_hi;
+    in->ChildSpan(i, &span_lo, &span_hi);
+    bool overlap = (!span_lo.has_value() || *span_lo <= hi) &&
+                   (!span_hi.has_value() || *span_hi > lo);
+    if (overlap) CollectRangePathIds(in->children[i].get(), lo, hi, ids);
+  }
+}
+
+Status VBTree::BuildVONode(const Node* node, const SelectQuery& q,
+                           const std::vector<size_t>& filtered_cols,
+                           const TupleFetcher& fetch, QueryOutput* out,
+                           VONode* vo_node) const {
+  out->stats.nodes_visited++;
+  if (node->is_leaf) {
+    vo_node->is_leaf = true;
+    const auto* leaf = static_cast<const Leaf*>(node);
+    for (const LeafEntry& e : leaf->entries) {
+      if (!q.range.Contains(e.key)) {
+        // Boundary tuple outside the selection: its signed digest joins
+        // D_S (the Da/Db/Dc/Dd digests of Fig. 5).
+        vo_node->filtered_tuple_sigs.push_back(e.tuple_sig);
+        continue;
+      }
+      VBT_ASSIGN_OR_RETURN(Tuple t, fetch(e.rid));
+      if (!q.MatchesConditions(t)) {
+        // Non-key predicate gap inside the range (§3.3 Selection on
+        // non-key attributes).
+        vo_node->filtered_tuple_sigs.push_back(e.tuple_sig);
+        continue;
+      }
+      ResultRow row;
+      row.key = e.key;
+      if (q.projection.empty()) {
+        row.values = t.values();
+      } else {
+        row.values.reserve(q.projection.size());
+        for (size_t c : q.projection) row.values.push_back(t.value(c));
+        // D_P: signed digests of the projected-away attributes (Fig. 7).
+        for (size_t c : filtered_cols) {
+          out->vo.projected_attr_sigs.push_back(e.attr_sigs[c]);
+        }
+      }
+      out->rows.push_back(std::move(row));
+      vo_node->result_count++;
+    }
+    return Status::OK();
+  }
+
+  vo_node->is_leaf = false;
+  const auto* in = static_cast<const Internal*>(node);
+  vo_node->items.reserve(in->children.size());
+  for (size_t i = 0; i < in->children.size(); ++i) {
+    std::optional<int64_t> span_lo, span_hi;
+    in->ChildSpan(i, &span_lo, &span_hi);
+    bool overlap = (!span_lo.has_value() || *span_lo <= q.range.hi) &&
+                   (!span_hi.has_value() || *span_hi > q.range.lo);
+    VONode::Item item;
+    if (overlap) {
+      item.covered = std::make_unique<VONode>();
+      VBT_RETURN_NOT_OK(BuildVONode(in->children[i].get(), q, filtered_cols,
+                                    fetch, out, item.covered.get()));
+    } else {
+      // Branch not overlapping the result: one signed digest suffices.
+      item.opaque = in->children[i]->sig;
+    }
+    vo_node->items.push_back(std::move(item));
+  }
+  return Status::OK();
+}
+
+Result<QueryOutput> VBTree::ExecuteSelect(const SelectQuery& query,
+                                          const TupleFetcher& fetch,
+                                          txn_id_t txn) const {
+  SelectQuery q = query;
+  q.NormalizeProjection();
+  if (!q.projection.empty() && q.projection[0] != 0) {
+    return Status::InvalidArgument("projection must retain the key column");
+  }
+  for (const ColumnCondition& c : q.conditions) {
+    if (c.col_idx >= ds_.schema().num_columns()) {
+      return Status::InvalidArgument("condition on nonexistent column");
+    }
+  }
+  for (size_t c : q.projection) {
+    if (c >= ds_.schema().num_columns()) {
+      return Status::InvalidArgument("projection of nonexistent column");
+    }
+  }
+  if (q.range.empty()) {
+    return Status::InvalidArgument("empty key range");
+  }
+
+  if (lock_manager_ != nullptr && txn != 0) {
+    // S-lock the digests of the enveloping subtree (§3.4), so concurrent
+    // deletes on overlapping subtrees serialize with this query.
+    std::vector<lock_id_t> ids;
+    {
+      std::shared_lock latch(latch_);
+      Signature unused_sig;
+      int unused_depth = 0;
+      const Node* top = FindEnvelopeTop(q.range, &unused_sig, &unused_depth);
+      CollectEnvelopeIds(top, q.range, &ids);
+    }
+    for (lock_id_t id : ids) {
+      VBT_RETURN_NOT_OK(lock_manager_->Acquire(txn, id, LockMode::kShared));
+    }
+  }
+
+  std::shared_lock latch(latch_);
+  QueryOutput out;
+  out.vo.key_version = opts_.key_version;
+  out.vo.num_filtered_cols =
+      static_cast<uint32_t>(q.FilteredColumns(ds_.schema().num_columns()).size());
+
+  int depth_of_top = 0;
+  const Node* top = FindEnvelopeTop(q.range, &out.vo.signed_top, &depth_of_top);
+  out.stats.subtree_height = height() - depth_of_top;
+
+  out.vo.skeleton = std::make_unique<VONode>();
+  std::vector<size_t> filtered_cols =
+      q.FilteredColumns(ds_.schema().num_columns());
+  VBT_RETURN_NOT_OK(BuildVONode(top, q, filtered_cols, fetch, &out,
+                                out.vo.skeleton.get()));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Key rotation (§3.4).
+// ---------------------------------------------------------------------------
+
+Status VBTree::ResignRec(Node* node, const TupleFetcher& fetch) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<Leaf*>(node);
+    for (LeafEntry& e : leaf->entries) {
+      VBT_ASSIGN_OR_RETURN(Tuple t, fetch(e.rid));
+      if (t.key() != e.key) {
+        return Status::Corruption("tuple key does not match leaf entry");
+      }
+      std::vector<Digest> attrs = ds_.AttributeDigests(t);
+      e.attr_sigs.clear();
+      e.attr_sigs.reserve(attrs.size());
+      for (const Digest& a : attrs) {
+        VBT_ASSIGN_OR_RETURN(Signature s, signer_->Sign(a));
+        e.attr_sigs.push_back(std::move(s));
+      }
+      e.tuple_digest = ds_.CombineDigests(attrs);
+      VBT_ASSIGN_OR_RETURN(e.tuple_sig, signer_->Sign(e.tuple_digest));
+    }
+    return RecomputeLeafDigest(leaf);
+  }
+  auto* in = static_cast<Internal*>(node);
+  for (auto& c : in->children) {
+    VBT_RETURN_NOT_OK(ResignRec(c.get(), fetch));
+  }
+  return RecomputeInternalDigest(in);
+}
+
+Status VBTree::ResignAll(Signer* new_signer, uint32_t new_key_version,
+                         const TupleFetcher& fetch) {
+  if (new_signer == nullptr) {
+    return Status::InvalidArgument("ResignAll requires a signer");
+  }
+  std::unique_lock latch(latch_);
+  signer_ = new_signer;
+  opts_.key_version = new_key_version;
+  return ResignRec(root_.get(), fetch);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+Digest VBTree::root_digest() const {
+  std::shared_lock latch(latch_);
+  return root_->digest;
+}
+
+Signature VBTree::root_signature() const {
+  std::shared_lock latch(latch_);
+  return root_->sig;
+}
+
+size_t VBTree::size() const {
+  std::shared_lock latch(latch_);
+  return size_;
+}
+
+int VBTree::height() const {
+  // Callers hold at least a shared latch or tolerate a racy read.
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    h++;
+    n = static_cast<const Internal*>(n)->children[0].get();
+  }
+  return h;
+}
+
+uint64_t VBTree::node_count() const {
+  std::shared_lock latch(latch_);
+  uint64_t count = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    count++;
+    if (!n->is_leaf) {
+      for (const auto& c : static_cast<const Internal*>(n)->children) {
+        stack.push_back(c.get());
+      }
+    }
+  }
+  return count;
+}
+
+Status VBTree::CheckDigestRec(const Node* node) const {
+  if (node->is_leaf) {
+    const auto* leaf = static_cast<const Leaf*>(node);
+    std::vector<Digest> ds;
+    for (const LeafEntry& e : leaf->entries) ds.push_back(e.tuple_digest);
+    Digest expect = ds_.ghash().Combine(ds);
+    if (!(expect == node->digest)) {
+      return Status::Corruption("leaf digest mismatch");
+    }
+    return Status::OK();
+  }
+  const auto* in = static_cast<const Internal*>(node);
+  std::vector<Digest> ds;
+  for (const auto& c : in->children) {
+    VBT_RETURN_NOT_OK(CheckDigestRec(c.get()));
+    ds.push_back(c->digest);
+  }
+  Digest expect = ds_.ghash().Combine(ds);
+  if (!(expect == node->digest)) {
+    return Status::Corruption("internal digest mismatch");
+  }
+  return Status::OK();
+}
+
+Status VBTree::CheckDigestConsistency() const {
+  std::shared_lock latch(latch_);
+  return CheckDigestRec(root_.get());
+}
+
+Result<size_t> VBTree::AuditSignatures(Recoverer* recoverer) const {
+  if (recoverer == nullptr) {
+    return Status::InvalidArgument("audit requires the public key");
+  }
+  std::shared_lock latch(latch_);
+  // First make sure the digest hierarchy itself is consistent.
+  VBT_RETURN_NOT_OK(CheckDigestRec(root_.get()));
+  // Then check every stored signature against its digest.
+  size_t audited = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    VBT_ASSIGN_OR_RETURN(Digest d, recoverer->Recover(n->sig));
+    if (!(d == n->digest)) {
+      return Status::VerificationFailure(
+          "node " + std::to_string(n->id) + " signature does not match");
+    }
+    audited++;
+    if (n->is_leaf) {
+      const auto* leaf = static_cast<const Leaf*>(n);
+      for (const LeafEntry& e : leaf->entries) {
+        VBT_ASSIGN_OR_RETURN(Digest td, recoverer->Recover(e.tuple_sig));
+        if (!(td == e.tuple_digest)) {
+          return Status::VerificationFailure(
+              "tuple " + std::to_string(e.key) + " signature does not match");
+        }
+        audited++;
+      }
+    } else {
+      for (const auto& c : static_cast<const Internal*>(n)->children) {
+        stack.push_back(c.get());
+      }
+    }
+  }
+  return audited;
+}
+
+Status VBTree::CheckStructureRec(const Node* node, std::optional<int64_t> lo,
+                                 std::optional<int64_t> hi, int depth,
+                                 int* leaf_depth) const {
+  auto in_bounds = [&](int64_t k) {
+    if (lo.has_value() && k < *lo) return false;
+    if (hi.has_value() && k >= *hi) return false;
+    return true;
+  };
+  if (node->is_leaf) {
+    const auto* leaf = static_cast<const Leaf*>(node);
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at differing depths");
+    }
+    for (size_t i = 0; i < leaf->entries.size(); ++i) {
+      if (i > 0 && leaf->entries[i - 1].key >= leaf->entries[i].key) {
+        return Status::Corruption("leaf keys out of order");
+      }
+      if (!in_bounds(leaf->entries[i].key)) {
+        return Status::Corruption("leaf key violates separator bounds");
+      }
+    }
+    return Status::OK();
+  }
+  const auto* in = static_cast<const Internal*>(node);
+  if (in->children.size() != in->keys.size() + 1) {
+    return Status::Corruption("internal child/key count mismatch");
+  }
+  for (size_t i = 0; i < in->keys.size(); ++i) {
+    if (i > 0 && in->keys[i - 1] >= in->keys[i]) {
+      return Status::Corruption("internal keys out of order");
+    }
+    if (!in_bounds(in->keys[i])) {
+      return Status::Corruption("separator violates parent bounds");
+    }
+  }
+  for (size_t i = 0; i < in->children.size(); ++i) {
+    std::optional<int64_t> clo = (i == 0) ? lo : std::optional(in->keys[i - 1]);
+    std::optional<int64_t> chi =
+        (i == in->keys.size()) ? hi : std::optional(in->keys[i]);
+    VBT_RETURN_NOT_OK(CheckStructureRec(in->children[i].get(), clo, chi,
+                                        depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status VBTree::CheckStructure() const {
+  std::shared_lock latch(latch_);
+  int leaf_depth = -1;
+  return CheckStructureRec(root_.get(), std::nullopt, std::nullopt, 0,
+                           &leaf_depth);
+}
+
+std::vector<int64_t> VBTree::AllKeys() const {
+  std::shared_lock latch(latch_);
+  std::vector<int64_t> keys;
+  const Node* n = root_.get();
+  while (!n->is_leaf) n = static_cast<const Internal*>(n)->children[0].get();
+  for (const Leaf* leaf = static_cast<const Leaf*>(n); leaf != nullptr;
+       leaf = leaf->next) {
+    for (const LeafEntry& e : leaf->entries) keys.push_back(e.key);
+  }
+  return keys;
+}
+
+std::vector<int64_t> VBTree::KeysInRange(int64_t lo, int64_t hi) const {
+  std::shared_lock latch(latch_);
+  std::vector<int64_t> keys;
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    const auto* in = static_cast<const Internal*>(n);
+    n = in->children[in->ChildIndex(lo)].get();
+  }
+  for (const Leaf* leaf = static_cast<const Leaf*>(n); leaf != nullptr;
+       leaf = leaf->next) {
+    for (const LeafEntry& e : leaf->entries) {
+      if (e.key < lo) continue;
+      if (e.key > hi) return keys;
+      keys.push_back(e.key);
+    }
+  }
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization (distribution to edge servers).
+// ---------------------------------------------------------------------------
+
+void VBTree::SerializeNode(const Node* node, ByteWriter* w) const {
+  w->PutU8(node->is_leaf ? 1 : 0);
+  w->PutVarint(node->id);
+  w->PutBytes(node->digest.AsSlice());
+  w->PutLengthPrefixed(Slice(node->sig.data(), node->sig.size()));
+  if (node->is_leaf) {
+    const auto* leaf = static_cast<const Leaf*>(node);
+    w->PutVarint(leaf->entries.size());
+    for (const LeafEntry& e : leaf->entries) {
+      w->PutI64(e.key);
+      w->PutU32(static_cast<uint32_t>(e.rid.page_id));
+      w->PutU16(e.rid.slot);
+      w->PutBytes(e.tuple_digest.AsSlice());
+      w->PutLengthPrefixed(Slice(e.tuple_sig.data(), e.tuple_sig.size()));
+      w->PutVarint(e.attr_sigs.size());
+      for (const Signature& s : e.attr_sigs) {
+        w->PutLengthPrefixed(Slice(s.data(), s.size()));
+      }
+    }
+  } else {
+    const auto* in = static_cast<const Internal*>(node);
+    w->PutVarint(in->children.size());
+    for (int64_t k : in->keys) w->PutI64(k);
+    for (const auto& c : in->children) SerializeNode(c.get(), w);
+  }
+}
+
+void VBTree::SerializeTo(ByteWriter* w) const {
+  std::shared_lock latch(latch_);
+  w->PutU32(kTreeMagic);
+  w->PutString(ds_.db_name());
+  w->PutString(ds_.table_name());
+  ds_.schema().Serialize(w);
+  w->PutU8(static_cast<uint8_t>(ds_.hash_algorithm()));
+  w->PutU8(static_cast<uint8_t>(opts_.modulus_bits));
+  w->PutU8(static_cast<uint8_t>(opts_.update_strategy));
+  w->PutU32(opts_.key_version);
+  w->PutU32(static_cast<uint32_t>(opts_.config.max_internal));
+  w->PutU32(static_cast<uint32_t>(opts_.config.max_leaf));
+  w->PutVarint(size_);
+  SerializeNode(root_.get(), w);
+}
+
+Result<std::unique_ptr<VBTree::Node>> VBTree::DeserializeNode(
+    ByteReader* r, const Schema& schema, int depth, std::vector<Leaf*>* leaves,
+    uint64_t* max_id) {
+  if (depth > 64) return Status::Corruption("tree too deep");
+  VBT_ASSIGN_OR_RETURN(uint8_t is_leaf, r->ReadU8());
+  VBT_ASSIGN_OR_RETURN(uint64_t id, r->ReadVarint());
+  VBT_ASSIGN_OR_RETURN(Slice digest_bytes, r->ReadBytes(kDigestLen));
+  Digest digest;
+  std::memcpy(digest.bytes.data(), digest_bytes.data(), kDigestLen);
+  VBT_ASSIGN_OR_RETURN(Slice sig_bytes, r->ReadLengthPrefixed());
+  Signature sig(sig_bytes.data(), sig_bytes.data() + sig_bytes.size());
+  *max_id = std::max(*max_id, id);
+
+  if (is_leaf != 0) {
+    auto leaf = std::make_unique<Leaf>();
+    leaf->id = id;
+    leaf->digest = digest;
+    leaf->sig = std::move(sig);
+    VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+    leaf->entries.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      LeafEntry e;
+      VBT_ASSIGN_OR_RETURN(e.key, r->ReadI64());
+      VBT_ASSIGN_OR_RETURN(uint32_t page, r->ReadU32());
+      e.rid.page_id = static_cast<int32_t>(page);
+      VBT_ASSIGN_OR_RETURN(e.rid.slot, r->ReadU16());
+      VBT_ASSIGN_OR_RETURN(Slice td, r->ReadBytes(kDigestLen));
+      std::memcpy(e.tuple_digest.bytes.data(), td.data(), kDigestLen);
+      VBT_ASSIGN_OR_RETURN(Slice ts, r->ReadLengthPrefixed());
+      e.tuple_sig.assign(ts.data(), ts.data() + ts.size());
+      VBT_ASSIGN_OR_RETURN(uint64_t na, r->ReadCount());
+      if (na != schema.num_columns()) {
+        return Status::Corruption("attribute signature count mismatch");
+      }
+      e.attr_sigs.reserve(na);
+      for (uint64_t a = 0; a < na; ++a) {
+        VBT_ASSIGN_OR_RETURN(Slice as, r->ReadLengthPrefixed());
+        e.attr_sigs.emplace_back(as.data(), as.data() + as.size());
+      }
+      leaf->entries.push_back(std::move(e));
+    }
+    leaves->push_back(leaf.get());
+    return std::unique_ptr<Node>(std::move(leaf));
+  }
+
+  auto in = std::make_unique<Internal>();
+  in->id = id;
+  in->digest = digest;
+  in->sig = std::move(sig);
+  VBT_ASSIGN_OR_RETURN(uint64_t nc, r->ReadCount());
+  if (nc == 0) return Status::Corruption("internal node without children");
+  in->keys.reserve(nc - 1);
+  for (uint64_t i = 0; i + 1 < nc; ++i) {
+    VBT_ASSIGN_OR_RETURN(int64_t k, r->ReadI64());
+    in->keys.push_back(k);
+  }
+  in->children.reserve(nc);
+  for (uint64_t i = 0; i < nc; ++i) {
+    VBT_ASSIGN_OR_RETURN(
+        std::unique_ptr<Node> child,
+        DeserializeNode(r, schema, depth + 1, leaves, max_id));
+    in->children.push_back(std::move(child));
+  }
+  return std::unique_ptr<Node>(std::move(in));
+}
+
+Result<std::unique_ptr<VBTree>> VBTree::Deserialize(ByteReader* r,
+                                                    Signer* signer,
+                                                    LockManager* lock_manager) {
+  VBT_ASSIGN_OR_RETURN(uint32_t magic, r->ReadU32());
+  if (magic != kTreeMagic) return Status::Corruption("bad VB-tree magic");
+  VBT_ASSIGN_OR_RETURN(std::string db, r->ReadString());
+  VBT_ASSIGN_OR_RETURN(std::string table, r->ReadString());
+  VBT_ASSIGN_OR_RETURN(Schema schema, Schema::Deserialize(r));
+  VBT_ASSIGN_OR_RETURN(uint8_t algo, r->ReadU8());
+  VBT_ASSIGN_OR_RETURN(uint8_t modulus_bits, r->ReadU8());
+  VBT_ASSIGN_OR_RETURN(uint8_t strategy, r->ReadU8());
+  // All header fields come from an untrusted stream: validate before use.
+  if (algo > static_cast<uint8_t>(HashAlgorithm::kMd5)) {
+    return Status::Corruption("bad hash algorithm");
+  }
+  if (modulus_bits < 8 || modulus_bits > 128) {
+    return Status::Corruption("bad modulus bits");
+  }
+  if (strategy > static_cast<uint8_t>(DigestUpdateStrategy::kIncremental)) {
+    return Status::Corruption("bad digest update strategy");
+  }
+  VBTreeOptions opts;
+  opts.hash_algo = static_cast<HashAlgorithm>(algo);
+  opts.modulus_bits = modulus_bits;
+  opts.update_strategy = static_cast<DigestUpdateStrategy>(strategy);
+  VBT_ASSIGN_OR_RETURN(opts.key_version, r->ReadU32());
+  VBT_ASSIGN_OR_RETURN(uint32_t max_internal, r->ReadU32());
+  VBT_ASSIGN_OR_RETURN(uint32_t max_leaf, r->ReadU32());
+  constexpr uint32_t kMaxFanOut = 1u << 20;
+  if (max_internal < 2 || max_internal > kMaxFanOut || max_leaf < 1 ||
+      max_leaf > kMaxFanOut) {
+    return Status::Corruption("bad node capacity");
+  }
+  opts.config.max_internal = static_cast<int>(max_internal);
+  opts.config.max_leaf = static_cast<int>(max_leaf);
+  VBT_ASSIGN_OR_RETURN(uint64_t size, r->ReadVarint());
+
+  DigestSchema ds(db, table, schema, opts.hash_algo, opts.modulus_bits);
+  auto tree = std::unique_ptr<VBTree>(
+      new VBTree(std::move(ds), opts, signer, lock_manager));
+
+  std::vector<Leaf*> leaves;
+  uint64_t max_id = 0;
+  VBT_ASSIGN_OR_RETURN(tree->root_,
+                       DeserializeNode(r, schema, 0, &leaves, &max_id));
+  // Rebuild the leaf chain (serialization is pre-order, leaves in order).
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    leaves[i]->prev = (i == 0) ? nullptr : leaves[i - 1];
+    leaves[i]->next = (i + 1 == leaves.size()) ? nullptr : leaves[i + 1];
+  }
+  tree->size_ = size;
+  tree->next_node_id_ = max_id + 1;
+  tree->InitExponents(tree->root_.get());
+  return tree;
+}
+
+void VBTree::InitExponents(Node* node) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<Leaf*>(node);
+    std::vector<Digest> ds;
+    ds.reserve(leaf->entries.size());
+    for (const LeafEntry& e : leaf->entries) ds.push_back(e.tuple_digest);
+    leaf->exponent = ds_.ghash().ExponentProduct(ds);
+    return;
+  }
+  auto* in = static_cast<Internal*>(node);
+  std::vector<Digest> ds;
+  ds.reserve(in->children.size());
+  for (auto& c : in->children) {
+    InitExponents(c.get());
+    ds.push_back(c->digest);
+  }
+  in->exponent = ds_.ghash().ExponentProduct(ds);
+}
+
+}  // namespace vbtree

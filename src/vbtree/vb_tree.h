@@ -1,0 +1,302 @@
+#ifndef VBTREE_VBTREE_VB_TREE_H_
+#define VBTREE_VBTREE_VB_TREE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "catalog/tuple.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "crypto/signer.h"
+#include "query/predicate.h"
+#include "txn/lock_manager.h"
+#include "vbtree/digest_schema.h"
+#include "vbtree/verification_object.h"
+
+namespace vbtree {
+
+/// How the central server maintains node digests under updates. All three
+/// strategies produce bit-identical digests (property-tested); they differ
+/// only in server-side cost. Clients always verify with the chained
+/// procedure of §3.3.
+enum class DigestUpdateStrategy {
+  /// Recombine changed nodes with the chained hash — one modular
+  /// exponentiation per child. The literal reading of §3.4's recompute.
+  kRecomputeChained,
+  /// Recombine via the exponent product — one multiplication per child
+  /// plus a single exponentiation.
+  kRecomputeProduct,
+  /// Maintain each node's exponent product and patch it in O(1) with a
+  /// modular inverse when one child digest changes. This restores the
+  /// paper's O(1)-per-node insert claim, which is unsound as stated for
+  /// nested digests (see DESIGN.md): d_old is invertible mod 2^k because
+  /// every combined digest is an odd power of G.
+  kIncremental,
+};
+
+/// Construction parameters for a VB-tree.
+struct VBTreeOptions {
+  BTreeConfig config{};
+  HashAlgorithm hash_algo = HashAlgorithm::kSha256;
+  /// k in the commutative-hash modulus n = 2^k.
+  int modulus_bits = 128;
+  /// Version of the private key used to sign digests (§3.4).
+  uint32_t key_version = 1;
+  DigestUpdateStrategy update_strategy = DigestUpdateStrategy::kRecomputeChained;
+};
+
+/// Execution statistics for one query, used by the benchmark harness.
+struct VBQueryStats {
+  /// Height of the enveloping subtree (paper formula (8)).
+  int subtree_height = 0;
+  /// Nodes of the enveloping subtree the edge server touched.
+  size_t nodes_visited = 0;
+};
+
+/// A query answer as produced by an edge server: result rows plus the VO.
+struct QueryOutput {
+  std::vector<ResultRow> rows;
+  VerificationObject vo;
+  VBQueryStats stats;
+
+  /// Exact serialized size of the result rows (excludes the VO).
+  size_t ResultBytes() const {
+    size_t n = 0;
+    for (const ResultRow& r : rows) n += r.SerializedSize();
+    return n;
+  }
+};
+
+/// The verifiable B-tree (§3.2): a B+-tree over the primary key where
+///  * each leaf entry stores the signed tuple digest s(t_j) and the signed
+///    attribute digests s(a_j1..a_jm) of its tuple,
+///  * every node carries a signed node digest derived from its children
+///    with the commutative hash, and
+///  * the root digest is signed in the tree metadata.
+///
+/// The *central server* constructs VB-trees (it holds the Signer) and
+/// applies updates; *edge servers* hold deserialized replicas (Signer
+/// absent) and answer queries by building verification objects.
+///
+/// Concurrency: structural reads/writes are protected by an internal
+/// shared_mutex; on top of that, when a LockManager and a txn id are
+/// supplied, operations follow §3.4's digest-locking protocol (queries
+/// S-lock their enveloping subtree, inserts X-lock the root-to-leaf path,
+/// deletes X-lock the affected subtree), with locks held until the caller
+/// releases the transaction — so conflicting operations serialize and
+/// disjoint ones proceed concurrently.
+class VBTree {
+ public:
+  /// Fetches the tuple behind a leaf-entry Rid; supplied by the edge
+  /// server (its table-heap replica — possibly tampered with, which the
+  /// client-side Verifier will expose).
+  using TupleFetcher = std::function<Result<Tuple>(const Rid&)>;
+
+  VBTree(DigestSchema digest_schema, VBTreeOptions opts, Signer* signer,
+         LockManager* lock_manager = nullptr);
+  ~VBTree();
+
+  VBTree(const VBTree&) = delete;
+  VBTree& operator=(const VBTree&) = delete;
+
+  /// Builds a packed tree from rows sorted by strictly increasing key,
+  /// computing and signing every digest (attribute, tuple, node, root).
+  Status BulkLoad(std::span<const std::pair<Tuple, Rid>> rows);
+
+  /// Inserts one tuple (§3.4 Insert): digests along the root-to-leaf path
+  /// are folded incrementally via D ← D^{t} mod n and re-signed; node
+  /// splits trigger full recomputation of the affected nodes.
+  Status Insert(const Tuple& tuple, const Rid& rid, txn_id_t txn = 0);
+
+  /// Deletes all keys in [lo, hi] (§3.4 Delete): X-locks the path, removes
+  /// the entries, then recomputes digests bottom-up. Nodes are freed only
+  /// when empty (the Johnson-Shasha policy the paper adopts). Returns the
+  /// number of deleted tuples.
+  Result<size_t> DeleteRange(int64_t lo, int64_t hi, txn_id_t txn = 0);
+
+  /// Edge-server query execution (§3.3): selection on the key range,
+  /// conjunctive non-key conditions (gaps), and projection. Returns the
+  /// result rows in key order plus the verification object.
+  Result<QueryOutput> ExecuteSelect(const SelectQuery& query,
+                                    const TupleFetcher& fetch,
+                                    txn_id_t txn = 0) const;
+
+  Digest root_digest() const;
+  Signature root_signature() const;
+  uint32_t key_version() const { return opts_.key_version; }
+  const DigestSchema& digest_schema() const { return ds_; }
+  const VBTreeOptions& options() const { return opts_; }
+
+  size_t size() const;
+  int height() const;
+  uint64_t node_count() const;
+
+  /// Recomputes every digest bottom-up and compares with the stored ones;
+  /// kCorruption on any mismatch. Test/diagnostic hook.
+  Status CheckDigestConsistency() const;
+
+  /// Edge-side self-audit: recovers every node signature with the public
+  /// key and checks it matches the stored digest, and that the digest
+  /// hierarchy is internally consistent. Lets an edge server detect local
+  /// corruption (disk faults, partial tampering) proactively rather than
+  /// through failing client queries. Returns the number of nodes audited;
+  /// kVerificationFailure names the first mismatching node.
+  Result<size_t> AuditSignatures(Recoverer* recoverer) const;
+
+  /// Structural B+-tree invariants (ordering, separator bounds, uniform
+  /// leaf depth).
+  Status CheckStructure() const;
+
+  /// All keys in order (test hook).
+  std::vector<int64_t> AllKeys() const;
+
+  /// Keys in [lo, hi], in order (used e.g. for join-view maintenance on
+  /// range deletes).
+  std::vector<int64_t> KeysInRange(int64_t lo, int64_t hi) const;
+
+  /// Serializes the complete tree (metadata + all nodes with digests and
+  /// signatures) for distribution to edge servers.
+  void SerializeTo(ByteWriter* w) const;
+
+  /// Reconstructs a tree from SerializeTo output. `signer` may be null
+  /// (edge servers cannot sign; Insert/DeleteRange then fail).
+  static Result<std::unique_ptr<VBTree>> Deserialize(
+      ByteReader* r, Signer* signer = nullptr,
+      LockManager* lock_manager = nullptr);
+
+  /// Routes Cost_h/Cost_k accounting for digest computation.
+  void set_counters(CryptoCounters* counters) { ds_.set_counters(counters); }
+
+  /// Key rotation (§3.4 delayed update propagation): recomputes and
+  /// re-signs every digest in the tree under `new_signer`, stamping
+  /// `new_key_version`. `fetch` supplies tuple values for recomputing
+  /// attribute digests (the central server reads its own base table).
+  Status ResignAll(Signer* new_signer, uint32_t new_key_version,
+                   const TupleFetcher& fetch);
+
+  // --- delta propagation (§3.4 "propagate the changes periodically") ----
+  //
+  // Instead of re-shipping full snapshots after every update, the central
+  // server can ship an op log. Replay is possible on a signer-less edge
+  // replica because (a) unsigned digests are public — the edge recomputes
+  // them itself — and (b) the structural algorithms are deterministic, so
+  // the central server's signatures, recorded in ResignNode order, splice
+  // back in exactly.
+
+  /// The per-tuple signature material of formula (1)/(2), computed and
+  /// signed by the central server and shipped inside insert ops.
+  struct SignedEntryMaterial {
+    Signature tuple_sig;
+    std::vector<Signature> attr_sigs;
+  };
+
+  /// Signs the attribute and tuple digests of `tuple` (central only).
+  /// Deterministic signature schemes (AES-based SimSigner, PKCS#1 v1.5
+  /// RSA) return the same bytes the subsequent Insert stores.
+  Result<SignedEntryMaterial> MakeEntryMaterial(const Tuple& tuple);
+
+  /// Directs a copy of every signature produced by node re-signing into
+  /// `log` (in deterministic order); pass nullptr to stop recording.
+  void set_signature_log(std::vector<Signature>* log) {
+    signature_log_ = log;
+  }
+
+  /// Edge-side replay of one insert: applies the identical structural
+  /// algorithm, recomputes unsigned digests locally, and consumes node
+  /// signatures from `sig_feed` in the order the central server recorded
+  /// them. Fails with kCorruption if the feed is too short or not fully
+  /// consumed.
+  Status ReplayInsert(const Tuple& tuple, const Rid& rid,
+                      const SignedEntryMaterial& material,
+                      std::deque<Signature>* sig_feed);
+
+  /// Edge-side replay of one range delete.
+  Status ReplayDeleteRange(int64_t lo, int64_t hi,
+                           std::deque<Signature>* sig_feed);
+
+ private:
+  struct LeafEntry;
+  struct Node;
+  struct Leaf;
+  struct Internal;
+
+  struct SplitResult {
+    int64_t separator;
+    std::unique_ptr<Node> right;
+  };
+  struct InsertOutcome {
+    bool recomputed = false;  // digests below changed non-incrementally
+    std::optional<SplitResult> split;
+  };
+
+  // --- digest helpers (central server side) ---
+  Status ResignNode(Node* node);
+  Status RecomputeLeafDigest(Leaf* leaf);
+  Status RecomputeInternalDigest(Internal* in);
+
+  // --- build helpers ---
+  Result<LeafEntry> MakeLeafEntry(const Tuple& tuple, const Rid& rid);
+
+  Result<InsertOutcome> InsertRec(Node* node, LeafEntry entry,
+                                  const Digest& tuple_digest);
+  Result<bool> DeleteRec(Node* node, int64_t lo, int64_t hi, size_t* removed);
+
+  /// Shared body of Insert and ReplayInsert (latch + recursion + root
+  /// split + size accounting).
+  Status InsertEntry(LeafEntry entry);
+  /// Shared body of DeleteRange and ReplayDeleteRange.
+  Result<size_t> DeleteRangeLocked(int64_t lo, int64_t hi);
+
+  // --- query helpers ---
+  const Node* FindEnvelopeTop(const KeyRange& range, Signature* top_sig,
+                              int* depth_of_top) const;
+  void CollectEnvelopeIds(const Node* node, const KeyRange& range,
+                          std::vector<lock_id_t>* ids) const;
+  Status BuildVONode(const Node* node, const SelectQuery& q,
+                     const std::vector<size_t>& filtered_cols,
+                     const TupleFetcher& fetch, QueryOutput* out,
+                     VONode* vo_node) const;
+  void CollectPathIds(const Node* node, int64_t key,
+                      std::vector<lock_id_t>* ids) const;
+  void CollectRangePathIds(const Node* node, int64_t lo, int64_t hi,
+                           std::vector<lock_id_t>* ids) const;
+
+  Status ResignRec(Node* node, const TupleFetcher& fetch);
+  Status CheckDigestRec(const Node* node) const;
+  Status CheckStructureRec(const Node* node, std::optional<int64_t> lo,
+                           std::optional<int64_t> hi, int depth,
+                           int* leaf_depth) const;
+  void SerializeNode(const Node* node, ByteWriter* w) const;
+  static Result<std::unique_ptr<Node>> DeserializeNode(
+      ByteReader* r, const Schema& schema, int depth,
+      std::vector<Leaf*>* leaves, uint64_t* max_id);
+
+  uint64_t NextNodeId() { return next_node_id_++; }
+
+  /// Rebuilds the cached exponent products after deserialization.
+  void InitExponents(Node* node);
+
+  DigestSchema ds_;
+  VBTreeOptions opts_;
+  Signer* signer_;            // null on edge replicas
+  LockManager* lock_manager_; // optional
+  mutable std::shared_mutex latch_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  uint64_t next_node_id_ = 1;
+  /// Central side: copies of signatures produced by ResignNode, in order.
+  std::vector<Signature>* signature_log_ = nullptr;
+  /// Edge side: feed of signatures consumed during replay.
+  std::deque<Signature>* replay_feed_ = nullptr;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_VBTREE_VB_TREE_H_

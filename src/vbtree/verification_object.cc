@@ -1,0 +1,150 @@
+#include "vbtree/verification_object.h"
+
+namespace vbtree {
+
+namespace {
+
+size_t CountDigests(const VONode& n) {
+  size_t count = n.filtered_tuple_sigs.size();
+  for (const VONode::Item& item : n.items) {
+    if (item.is_covered()) {
+      count += CountDigests(*item.covered);
+    } else {
+      count += 1;
+    }
+  }
+  return count;
+}
+
+void SerializeNode(const VONode& n, ByteWriter* w) {
+  w->PutU8(n.is_leaf ? 1 : 0);
+  if (n.is_leaf) {
+    w->PutVarint(n.result_count);
+    w->PutVarint(n.filtered_tuple_sigs.size());
+    for (const Signature& s : n.filtered_tuple_sigs) {
+      w->PutLengthPrefixed(Slice(s.data(), s.size()));
+    }
+  } else {
+    w->PutVarint(n.items.size());
+    for (const VONode::Item& item : n.items) {
+      if (item.is_covered()) {
+        w->PutU8(1);
+        SerializeNode(*item.covered, w);
+      } else {
+        w->PutU8(0);
+        w->PutLengthPrefixed(Slice(item.opaque.data(), item.opaque.size()));
+      }
+    }
+  }
+}
+
+Result<Signature> ReadSig(ByteReader* r) {
+  VBT_ASSIGN_OR_RETURN(Slice s, r->ReadLengthPrefixed());
+  return Signature(s.data(), s.data() + s.size());
+}
+
+Result<std::unique_ptr<VONode>> DeserializeNode(ByteReader* r, int depth) {
+  if (depth > 64) return Status::Corruption("VO skeleton too deep");
+  auto n = std::make_unique<VONode>();
+  VBT_ASSIGN_OR_RETURN(uint8_t is_leaf, r->ReadU8());
+  n->is_leaf = is_leaf != 0;
+  if (n->is_leaf) {
+    VBT_ASSIGN_OR_RETURN(uint64_t rc, r->ReadVarint());
+    n->result_count = static_cast<uint32_t>(rc);
+    VBT_ASSIGN_OR_RETURN(uint64_t nf, r->ReadCount());
+    n->filtered_tuple_sigs.reserve(nf);
+    for (uint64_t i = 0; i < nf; ++i) {
+      VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r));
+      n->filtered_tuple_sigs.push_back(std::move(s));
+    }
+  } else {
+    VBT_ASSIGN_OR_RETURN(uint64_t ni, r->ReadCount());
+    n->items.reserve(ni);
+    for (uint64_t i = 0; i < ni; ++i) {
+      VBT_ASSIGN_OR_RETURN(uint8_t covered, r->ReadU8());
+      VONode::Item item;
+      if (covered != 0) {
+        VBT_ASSIGN_OR_RETURN(item.covered, DeserializeNode(r, depth + 1));
+      } else {
+        VBT_ASSIGN_OR_RETURN(item.opaque, ReadSig(r));
+      }
+      n->items.push_back(std::move(item));
+    }
+  }
+  return n;
+}
+
+std::unique_ptr<VONode> CloneNode(const VONode& n) {
+  auto out = std::make_unique<VONode>();
+  out->is_leaf = n.is_leaf;
+  out->result_count = n.result_count;
+  out->filtered_tuple_sigs = n.filtered_tuple_sigs;
+  out->items.reserve(n.items.size());
+  for (const VONode::Item& item : n.items) {
+    VONode::Item copy;
+    if (item.is_covered()) {
+      copy.covered = CloneNode(*item.covered);
+    } else {
+      copy.opaque = item.opaque;
+    }
+    out->items.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t VerificationObject::DigestCount() const {
+  size_t count = 1 + projected_attr_sigs.size();  // signed_top + D_P
+  if (skeleton != nullptr) count += CountDigests(*skeleton);
+  return count;
+}
+
+void VerificationObject::Serialize(ByteWriter* w) const {
+  w->PutU32(key_version);
+  w->PutLengthPrefixed(Slice(signed_top.data(), signed_top.size()));
+  w->PutU8(skeleton != nullptr ? 1 : 0);
+  if (skeleton != nullptr) SerializeNode(*skeleton, w);
+  w->PutVarint(num_filtered_cols);
+  w->PutVarint(projected_attr_sigs.size());
+  for (const Signature& s : projected_attr_sigs) {
+    w->PutLengthPrefixed(Slice(s.data(), s.size()));
+  }
+}
+
+Result<VerificationObject> VerificationObject::Deserialize(ByteReader* r) {
+  VerificationObject vo;
+  VBT_ASSIGN_OR_RETURN(vo.key_version, r->ReadU32());
+  VBT_ASSIGN_OR_RETURN(vo.signed_top, ReadSig(r));
+  VBT_ASSIGN_OR_RETURN(uint8_t has_skeleton, r->ReadU8());
+  if (has_skeleton != 0) {
+    VBT_ASSIGN_OR_RETURN(vo.skeleton, DeserializeNode(r, 0));
+  }
+  VBT_ASSIGN_OR_RETURN(uint64_t nfc, r->ReadVarint());
+  vo.num_filtered_cols = static_cast<uint32_t>(nfc);
+  VBT_ASSIGN_OR_RETURN(uint64_t np, r->ReadCount());
+  vo.projected_attr_sigs.reserve(np);
+  for (uint64_t i = 0; i < np; ++i) {
+    VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r));
+    vo.projected_attr_sigs.push_back(std::move(s));
+  }
+  return vo;
+}
+
+size_t VerificationObject::SerializedSize() const {
+  ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+VerificationObject VerificationObject::Clone() const {
+  VerificationObject out;
+  out.key_version = key_version;
+  out.signed_top = signed_top;
+  if (skeleton != nullptr) out.skeleton = CloneNode(*skeleton);
+  out.num_filtered_cols = num_filtered_cols;
+  out.projected_attr_sigs = projected_attr_sigs;
+  return out;
+}
+
+}  // namespace vbtree

@@ -1,0 +1,83 @@
+#ifndef VBTREE_VBTREE_VERIFICATION_OBJECT_H_
+#define VBTREE_VBTREE_VERIFICATION_OBJECT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serde.h"
+#include "crypto/signer.h"
+
+namespace vbtree {
+
+/// One node of the enveloping subtree's skeleton.
+///
+/// The paper describes the VO as "simply a set of signed digests" thanks
+/// to the commutative hash (§3.3). Commutativity indeed makes the order of
+/// digests *within* a node irrelevant (a property our tests exercise by
+/// shuffling), but the verifier must still know which digests combine at
+/// which node, because node digests nest: D_parent = g(D_c1, ..., D_cp).
+/// The skeleton encodes exactly that grouping, at a cost of a few varint
+/// headers per subtree node — preserving the paper's size claims (linear
+/// in the result, independent of table size).
+struct VONode {
+  bool is_leaf = true;
+
+  // Leaf payload: how many of the (key-ordered) result rows fall in this
+  // leaf, plus the signed tuple digests of leaf entries that are *not*
+  // part of the result: range-boundary tuples and non-key-predicate gaps.
+  // This is the D_S contribution of Fig. 5/6.
+  uint32_t result_count = 0;
+  std::vector<Signature> filtered_tuple_sigs;
+
+  // Internal payload: one item per child, in tree order. A child whose key
+  // span overlaps the result recurses (`covered`); any other branch is
+  // represented opaquely by its signed node digest (also D_S).
+  struct Item {
+    std::unique_ptr<VONode> covered;  // set for overlapping children
+    Signature opaque;                 // set for non-overlapping branches
+
+    bool is_covered() const { return covered != nullptr; }
+  };
+  std::vector<Item> items;
+};
+
+/// The verification object returned by an edge server with a query result
+/// (§3.3): the signed digest of the enveloping subtree's top node, the
+/// skeleton with D_S (signed digests for filtered tuples/branches), and
+/// D_P (signed digests for projected-away attributes).
+struct VerificationObject {
+  /// Version of the signing key (§3.4 update propagation); the client
+  /// checks it against the key directory's validity windows.
+  uint32_t key_version = 1;
+
+  /// s(D_N) for the top node N of the enveloping subtree.
+  Signature signed_top;
+
+  std::unique_ptr<VONode> skeleton;
+
+  /// D_P, row-major: for each result row (in order), one signature per
+  /// filtered column. Within a row the column order is irrelevant
+  /// (commutativity); the per-row grouping is required to recompute each
+  /// tuple digest.
+  uint32_t num_filtered_cols = 0;
+  std::vector<Signature> projected_attr_sigs;
+
+  /// Total number of signed digests carried (|D_S| + |D_P| + 1); the unit
+  /// the paper's communication formulas count.
+  size_t DigestCount() const;
+
+  /// Exact wire size in bytes.
+  size_t SerializedSize() const;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<VerificationObject> Deserialize(ByteReader* r);
+
+  /// Deep copy (VOs are move-only by default due to unique_ptr).
+  VerificationObject Clone() const;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_VBTREE_VERIFICATION_OBJECT_H_

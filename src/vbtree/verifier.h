@@ -1,0 +1,61 @@
+#ifndef VBTREE_VBTREE_VERIFIER_H_
+#define VBTREE_VBTREE_VERIFIER_H_
+
+#include <vector>
+
+#include "crypto/signer.h"
+#include "query/predicate.h"
+#include "vbtree/digest_schema.h"
+#include "vbtree/verification_object.h"
+
+namespace vbtree {
+
+/// Client-side result authentication (Lemmas 1 and 2 of §3.3).
+///
+/// Given a query, its result rows, and the VO from an (untrusted) edge
+/// server, the verifier
+///  1. checks result sanity: keys strictly ascending and inside the query
+///     range; any condition on a returned column holds;
+///  2. recomputes the digest hierarchy: attribute digests for returned
+///     values (formula (1)); recovered digests for filtered attributes
+///     (D_P) and filtered tuples/branches (D_S); commutative combination
+///     upward through the VO skeleton;
+///  3. recovers s(D_N) with the public key and compares.
+///
+/// Any tampering with returned values, injected rows, or a reshuffled
+/// mapping of rows to subtree positions changes the computed digest and
+/// fails the comparison. (As in the paper, an edge server that silently
+/// *omits* qualifying tuples by reclassifying them as gaps is not
+/// detected — the threat model assumes servers do not maliciously drop
+/// results; see DESIGN.md.)
+class Verifier {
+ public:
+  /// `digest_schema` must match the central server's (same db/table/
+  /// column names, hash algorithm and modulus); it is distributed to
+  /// clients together with the public key.
+  Verifier(DigestSchema digest_schema, Recoverer* recoverer)
+      : ds_(std::move(digest_schema)), recoverer_(recoverer) {}
+
+  /// Routes Cost_h/Cost_k accounting (Cost_s accrues in the Recoverer).
+  void set_counters(CryptoCounters* counters) { ds_.set_counters(counters); }
+
+  /// Returns OK iff the result authenticates against the VO.
+  Status VerifySelect(const SelectQuery& query,
+                      const std::vector<ResultRow>& rows,
+                      const VerificationObject& vo);
+
+ private:
+  Result<Digest> ComputeNodeDigest(const VONode& node,
+                                   const std::vector<ResultRow>& rows,
+                                   const SelectQuery& q,
+                                   const std::vector<size_t>& filtered_cols,
+                                   const VerificationObject& vo,
+                                   size_t* cursor);
+
+  DigestSchema ds_;
+  Recoverer* recoverer_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_VBTREE_VERIFIER_H_

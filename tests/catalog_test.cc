@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "catalog/value.h"
+
+namespace vbtree {
+namespace {
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Str("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, CompareWithinType) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Str("b").Compare(Value::Str("a")), 0);
+  EXPECT_LT(Value::Double(-1).Compare(Value::Double(0)), 0);
+}
+
+TEST(ValueTest, CrossTypeOrderingIsTotal) {
+  EXPECT_LT(Value::Int(999).Compare(Value::Str("a")), 0);
+  EXPECT_GT(Value::Str("a").Compare(Value::Double(1e18)), 0);
+}
+
+TEST(ValueTest, SerializeRoundTrip) {
+  ByteWriter w;
+  Value::Int(-123).Serialize(&w);
+  Value::Double(1.25).Serialize(&w);
+  Value::Str("abc").Serialize(&w);
+  ByteReader r(Slice(w.buffer()));
+  EXPECT_EQ(Value::Deserialize(&r, TypeId::kInt64)->AsInt(), -123);
+  EXPECT_EQ(Value::Deserialize(&r, TypeId::kDouble)->AsDouble(), 1.25);
+  EXPECT_EQ(Value::Deserialize(&r, TypeId::kString)->AsString(), "abc");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ValueTest, SerializedSizeMatchesActual) {
+  for (const Value& v :
+       {Value::Int(5), Value::Double(3.14), Value::Str(""),
+        Value::Str("four"), Value::Str(std::string(200, 'q'))}) {
+    ByteWriter w;
+    v.Serialize(&w);
+    EXPECT_EQ(v.SerializedSize(), w.size()) << v.ToString();
+  }
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema s({{"id", TypeId::kInt64}, {"name", TypeId::kString}});
+  EXPECT_EQ(*s.ColumnIndex("name"), 1u);
+  EXPECT_TRUE(s.ColumnIndex("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, KeyValidation) {
+  EXPECT_TRUE(Schema({{"id", TypeId::kInt64}}).HasValidKey());
+  EXPECT_FALSE(Schema({{"id", TypeId::kString}}).HasValidKey());
+  EXPECT_FALSE(Schema().HasValidKey());
+}
+
+TEST(SchemaTest, SerializeRoundTrip) {
+  Schema s({{"id", TypeId::kInt64},
+            {"price", TypeId::kDouble},
+            {"name", TypeId::kString}});
+  ByteWriter w;
+  s.Serialize(&w);
+  ByteReader r(Slice(w.buffer()));
+  auto back = Schema::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == s);
+}
+
+TEST(SchemaTest, CorruptTypeIdRejected) {
+  ByteWriter w;
+  w.PutVarint(1);
+  w.PutString("c");
+  w.PutU8(99);  // invalid TypeId
+  ByteReader r(Slice(w.buffer()));
+  EXPECT_TRUE(Schema::Deserialize(&r).status().IsCorruption());
+}
+
+TEST(TupleTest, KeyIsFirstColumn) {
+  Tuple t({Value::Int(42), Value::Str("x")});
+  EXPECT_EQ(t.key(), 42);
+  EXPECT_EQ(t.num_values(), 2u);
+}
+
+TEST(TupleTest, SerializeRoundTrip) {
+  Schema s({{"id", TypeId::kInt64},
+            {"w", TypeId::kDouble},
+            {"n", TypeId::kString}});
+  Tuple t({Value::Int(1), Value::Double(0.5), Value::Str("hello")});
+  ByteWriter w;
+  t.Serialize(&w);
+  EXPECT_EQ(t.SerializedSize(), w.size());
+  ByteReader r(Slice(w.buffer()));
+  auto back = Tuple::Deserialize(&r, s);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(TupleTest, SetValueReplaces) {
+  Tuple t({Value::Int(1), Value::Str("a")});
+  t.set_value(1, Value::Str("b"));
+  EXPECT_EQ(t.value(1).AsString(), "b");
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog cat("mydb");
+  auto id = cat.CreateTable("orders", Schema({{"id", TypeId::kInt64}}));
+  ASSERT_TRUE(id.ok());
+  auto info = cat.GetTable("orders");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->name, "orders");
+  EXPECT_EQ((*info)->id, *id);
+  EXPECT_FALSE((*info)->is_view);
+  EXPECT_TRUE(cat.GetTable("nope").status().IsNotFound());
+}
+
+TEST(CatalogTest, RejectsDuplicatesAndBadKeys) {
+  Catalog cat("mydb");
+  ASSERT_TRUE(cat.CreateTable("t", Schema({{"id", TypeId::kInt64}})).ok());
+  EXPECT_EQ(cat.CreateTable("t", Schema({{"id", TypeId::kInt64}}))
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(cat.CreateTable("u", Schema({{"id", TypeId::kString}}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, ViewsAreMarked) {
+  Catalog cat("mydb");
+  ASSERT_TRUE(
+      cat.CreateTable("v", Schema({{"id", TypeId::kInt64}}), true).ok());
+  EXPECT_TRUE((*cat.GetTable("v"))->is_view);
+}
+
+}  // namespace
+}  // namespace vbtree

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace vbtree {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, VerificationFailurePredicate) {
+  Status s = Status::VerificationFailure("digest mismatch");
+  EXPECT_TRUE(s.IsVerificationFailure());
+  EXPECT_FALSE(s.IsNotFound());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IOError("disk on fire");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  VBT_ASSIGN_OR_RETURN(int h, Half(x));
+  VBT_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(SerdeTest, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutDouble(3.5);
+  ByteReader r(Slice(w.buffer()));
+  EXPECT_EQ(*r.ReadU8(), 0xAB);
+  EXPECT_EQ(*r.ReadU16(), 0xBEEF);
+  EXPECT_EQ(*r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.ReadI64(), -42);
+  EXPECT_EQ(*r.ReadDouble(), 3.5);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> values = {0,    1,    127,  128,   16383, 16384,
+                                  1u << 20, 1ull << 35, ~0ull};
+  ByteWriter w;
+  for (uint64_t v : values) w.PutVarint(v);
+  ByteReader r(Slice(w.buffer()));
+  for (uint64_t v : values) {
+    auto got = r.ReadVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, VarintSingleByteForSmallValues) {
+  ByteWriter w;
+  w.PutVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SerdeTest, LengthPrefixedRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string(1000, 'x'));
+  ByteReader r(Slice(w.buffer()));
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_EQ(r.ReadString()->size(), 1000u);
+}
+
+TEST(SerdeTest, TruncatedReadsFail) {
+  ByteWriter w;
+  w.PutU16(7);
+  ByteReader r(Slice(w.buffer()));
+  EXPECT_TRUE(r.ReadU32().status().IsCorruption());
+}
+
+TEST(SerdeTest, TruncatedVarintFails) {
+  uint8_t bad[] = {0x80, 0x80};  // continuation bits with no terminator
+  ByteReader r(Slice(bad, 2));
+  EXPECT_TRUE(r.ReadVarint().status().IsCorruption());
+}
+
+TEST(SerdeTest, TruncatedLengthPrefixFails) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims 100 bytes, provides none
+  ByteReader r(Slice(w.buffer()));
+  EXPECT_FALSE(r.ReadLengthPrefixed().ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextStringHasRequestedLength) {
+  Rng rng(9);
+  EXPECT_EQ(rng.NextString(20).size(), 20u);
+  EXPECT_EQ(rng.NextString(0).size(), 0u);
+}
+
+TEST(ZipfTest, SkewsTowardSmallValues) {
+  ZipfGenerator zipf(1000, 0.9, 7);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    if (v < 100) low++;
+  }
+  // With theta=0.9, far more than 10% of mass is on the first 10% of keys.
+  EXPECT_GT(low, total / 3);
+}
+
+TEST(LoggingTest, LevelFilterRoundTrip) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace vbtree

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.h"
+
+namespace vbtree {
+namespace costmodel {
+namespace {
+
+CostParams Defaults() { return CostParams{}; }
+
+TEST(CostModelTest, FanOutDefaults) {
+  CostParams p = Defaults();
+  // |B|=4096, |K|=16, |P|=4: (4096+16)/20 = 205.
+  EXPECT_EQ(BTreeFanOut(p), 205);
+  // With |s|=16: (4096+16)/36 = 114.
+  EXPECT_EQ(VBTreeFanOut(p), 114);
+}
+
+TEST(CostModelTest, FanOutShrinksWithKeyLength) {
+  CostParams p = Defaults();
+  double prev_b = 1e18, prev_v = 1e18;
+  for (double k = 1; k <= 256; k *= 2) {
+    p.key_len = k;
+    EXPECT_LT(BTreeFanOut(p), prev_b);
+    EXPECT_LE(VBTreeFanOut(p), prev_v);
+    EXPECT_LT(VBTreeFanOut(p), BTreeFanOut(p));
+    prev_b = BTreeFanOut(p);
+    prev_v = VBTreeFanOut(p);
+  }
+}
+
+TEST(CostModelTest, HeightsDifferByAtMostOneLevel) {
+  // Fig. 9's observation: the fan-out penalty does not translate into a
+  // material height difference at 1M tuples.
+  CostParams p = Defaults();
+  for (double k = 1; k <= 256; k *= 2) {
+    p.key_len = k;
+    double hb = PackedHeight(p.num_tuples, BTreeFanOut(p));
+    double hv = PackedHeight(p.num_tuples, VBTreeFanOut(p));
+    EXPECT_GE(hv, hb);
+    EXPECT_LE(hv - hb, 1.0) << "key_len=" << k;
+  }
+}
+
+TEST(CostModelTest, EnvelopeHeightGrowsWithResult) {
+  CostParams p = Defaults();
+  p.result_tuples = 10;
+  double h10 = EnvelopeHeight(p);
+  p.result_tuples = 1e5;
+  double h1e5 = EnvelopeHeight(p);
+  EXPECT_LE(h10, h1e5);
+  // Envelope height never exceeds full tree height.
+  EXPECT_LE(h1e5, PackedHeight(p.num_tuples, VBTreeFanOut(p)) + 1);
+}
+
+TEST(CostModelTest, VBCommAlwaysBelowNaiveAtDefaults) {
+  // Fig. 10: across selectivities and Q_c in {2,5,8}, VB-tree transmits
+  // less than Naive.
+  CostParams p = Defaults();
+  for (double qc : {2.0, 5.0, 8.0}) {
+    p.result_cols = qc;
+    for (double sel = 0.05; sel <= 1.0; sel += 0.05) {
+      p.result_tuples = sel * p.num_tuples;
+      EXPECT_LT(VBCommBytes(p), NaiveCommBytes(p))
+          << "qc=" << qc << " sel=" << sel;
+    }
+  }
+}
+
+TEST(CostModelTest, CommGapGrowsWithSelectivity) {
+  CostParams p = Defaults();
+  p.result_cols = 5;
+  p.result_tuples = 0.2 * p.num_tuples;
+  double gap20 = NaiveCommBytes(p) - VBCommBytes(p);
+  p.result_tuples = 0.8 * p.num_tuples;
+  double gap80 = NaiveCommBytes(p) - VBCommBytes(p);
+  EXPECT_GT(gap80, gap20);
+}
+
+TEST(CostModelTest, CommCostRisesWithQc) {
+  // More returned attributes => more value bytes (Fig. 10 a->c).
+  CostParams p = Defaults();
+  p.result_tuples = 0.5 * p.num_tuples;
+  p.result_cols = 2;
+  double c2 = VBCommBytes(p);
+  p.result_cols = 8;
+  double c8 = VBCommBytes(p);
+  EXPECT_GT(c8, c2);
+}
+
+TEST(CostModelTest, SchemesConvergeAsAttributesGrow) {
+  // Fig. 11: with huge attributes the result data dominates; the relative
+  // gap shrinks but the absolute gap stays meaningful.
+  CostParams p = Defaults();
+  p.result_tuples = 0.2 * p.num_tuples;
+  p.result_cols = p.num_cols;
+  double prev_ratio = 1e18;
+  for (int a = 0; a <= 6; ++a) {
+    p.attr_len = p.digest_len * (1 << a);
+    double ratio = NaiveCommBytes(p) / VBCommBytes(p);
+    EXPECT_LT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+  EXPECT_LT(prev_ratio, 1.05);  // nearly converged at 64x digest size
+  // Absolute gap at 20%: still at least Q_R * |s| = 3.2 MB.
+  EXPECT_GT(NaiveCommBytes(p) - VBCommBytes(p), 3e6);
+}
+
+TEST(CostModelTest, VBCompBelowNaiveAndGapWidensWithX) {
+  // Fig. 12: VB-tree wins on computation; the gap widens with
+  // X = Cost_s / Cost_h.
+  CostParams p = Defaults();
+  p.result_tuples = 0.5 * p.num_tuples;
+  double prev_gap = 0;
+  for (double x : {5.0, 10.0, 100.0}) {
+    p.cost_s = x;
+    double naive = NaiveCompCost(p);
+    double vb = VBCompCost(p);
+    EXPECT_LT(vb, naive) << "X=" << x;
+    EXPECT_GT(naive - vb, prev_gap);
+    prev_gap = naive - vb;
+  }
+}
+
+TEST(CostModelTest, CompDifferenceRoughlyConstantInCostK) {
+  // Fig. 13(a): the Naive-vs-VB difference stems from signature
+  // decrypts, so it barely moves as Cost_k/Cost_h sweeps 0..3.
+  CostParams p = Defaults();
+  p.result_tuples = 0.2 * p.num_tuples;
+  p.cost_s = 10;
+  std::vector<double> gaps;
+  for (double ck = 0.0; ck <= 3.0; ck += 0.5) {
+    p.cost_k = ck;
+    gaps.push_back(NaiveCompCost(p) - VBCompCost(p));
+  }
+  for (double g : gaps) {
+    EXPECT_NEAR(g, gaps[0], std::abs(gaps[0]) * 0.1 + 1);
+  }
+}
+
+TEST(CostModelTest, CompDifferenceRoughlyConstantInQc) {
+  // Fig. 13(b): same reasoning across Q_c in 0..10.
+  CostParams p = Defaults();
+  p.result_tuples = 0.2 * p.num_tuples;
+  std::vector<double> gaps;
+  for (double qc = 0; qc <= 10; qc += 1) {
+    p.result_cols = qc;
+    gaps.push_back(NaiveCompCost(p) - VBCompCost(p));
+  }
+  for (double g : gaps) {
+    EXPECT_NEAR(g, gaps[0], std::abs(gaps[0]) * 0.1 + 1);
+  }
+}
+
+TEST(CostModelTest, CompScalesLinearlyWithResult) {
+  // §4.3: Cost_query = O(Q_R) — most work is hashing result attributes.
+  CostParams p = Defaults();
+  p.result_tuples = 1e4;
+  double c1 = VBCompCost(p);
+  p.result_tuples = 2e4;
+  double c2 = VBCompCost(p);
+  p.result_tuples = 4e4;
+  double c4 = VBCompCost(p);
+  EXPECT_NEAR(c2 / c1, 2.0, 0.1);
+  EXPECT_NEAR(c4 / c2, 2.0, 0.1);
+}
+
+TEST(CostModelTest, StorageOverhead) {
+  CostParams p = Defaults();
+  // 1M tuples * 10 attrs * 16 B = 160 MB of signed attribute digests.
+  EXPECT_DOUBLE_EQ(BaseTableOverheadBytes(p), 160e6);
+}
+
+TEST(CostModelTest, InsertCostDominatedBySigning) {
+  CostParams p = Defaults();
+  double with_signing = InsertCost(p);
+  p.cost_sign = 0;
+  double without = InsertCost(p);
+  EXPECT_GT(with_signing, 10 * without);
+}
+
+TEST(CostModelTest, DeleteCostGrowsWithRangeSize) {
+  CostParams p = Defaults();
+  double d10 = DeleteCost(p, 10);
+  double d1e4 = DeleteCost(p, 1e4);
+  EXPECT_LE(d10, d1e4);
+}
+
+}  // namespace
+}  // namespace costmodel
+}  // namespace vbtree

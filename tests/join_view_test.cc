@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "edge/central_server.h"
+#include "edge/client.h"
+#include "edge/edge_server.h"
+#include "tests/testutil.h"
+
+namespace vbtree {
+namespace {
+
+/// Orders(id, cust_ref, item) joined with Customers(id, name) on
+/// orders.cust_ref = customers.id.
+class JoinViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CentralServer::Options opts;
+    opts.tree_opts.config.max_internal = 8;
+    opts.tree_opts.config.max_leaf = 8;
+    auto central = CentralServer::Create(opts);
+    ASSERT_TRUE(central.ok());
+    central_ = central.MoveValueUnsafe();
+
+    Schema orders({{"id", TypeId::kInt64},
+                   {"cust_ref", TypeId::kInt64},
+                   {"item", TypeId::kString}});
+    Schema customers({{"id", TypeId::kInt64}, {"name", TypeId::kString}});
+    ASSERT_TRUE(central_->CreateTable("orders", orders).ok());
+    ASSERT_TRUE(central_->CreateTable("customers", customers).ok());
+
+    std::vector<Tuple> order_rows, customer_rows;
+    for (int64_t c = 0; c < 20; ++c) {
+      customer_rows.push_back(
+          Tuple({Value::Int(c), Value::Str("cust" + std::to_string(c))}));
+    }
+    for (int64_t o = 0; o < 100; ++o) {
+      order_rows.push_back(Tuple({Value::Int(o), Value::Int(o % 20),
+                                  Value::Str("item" + std::to_string(o))}));
+    }
+    ASSERT_TRUE(central_->LoadTable("orders", order_rows).ok());
+    ASSERT_TRUE(central_->LoadTable("customers", customer_rows).ok());
+
+    JoinSpec spec;
+    spec.view_name = "orders_customers";
+    spec.left_table = "orders";
+    spec.right_table = "customers";
+    spec.left_col = 1;   // cust_ref
+    spec.right_col = 0;  // customers.id
+    ASSERT_TRUE(central_->CreateJoinView(spec).ok());
+  }
+
+  std::unique_ptr<CentralServer> central_;
+};
+
+TEST_F(JoinViewTest, MaterializesAllMatches) {
+  auto view = central_->GetJoinView("orders_customers");
+  ASSERT_TRUE(view.ok());
+  // Every order matches exactly one customer.
+  EXPECT_EQ((*view)->row_count(), 100u);
+  EXPECT_EQ((*view)->tree()->size(), 100u);
+  EXPECT_TRUE((*view)->tree()->CheckDigestConsistency().ok());
+  // View schema: view_id + 3 order cols + 2 customer cols.
+  EXPECT_EQ((*view)->schema().num_columns(), 6u);
+}
+
+TEST_F(JoinViewTest, ViewIsQueryableAndVerifiable) {
+  // Distribute the view to an edge server and run an authenticated query.
+  EdgeServer edge("edge-1");
+  SimulatedNetwork net;
+  ASSERT_TRUE(central_->PublishTable("orders_customers", &edge, &net).ok());
+
+  Client client(central_->db_name(), central_->key_directory());
+  auto info = central_->DescribeTable("orders_customers");
+  ASSERT_TRUE(info.ok());
+  client.RegisterTable("orders_customers", (*info)->schema);
+
+  SelectQuery q;
+  q.table = "orders_customers";
+  q.range = KeyRange{10, 40};
+  auto result = client.Query(&edge, q, /*now=*/10, &net);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 31u);
+  EXPECT_TRUE(result->verification.ok()) << result->verification.ToString();
+}
+
+TEST_F(JoinViewTest, ViewProjectionVerifies) {
+  EdgeServer edge("edge-1");
+  ASSERT_TRUE(
+      central_->PublishTable("orders_customers", &edge, nullptr).ok());
+  Client client(central_->db_name(), central_->key_directory());
+  auto info = central_->DescribeTable("orders_customers");
+  ASSERT_TRUE(info.ok());
+  client.RegisterTable("orders_customers", (*info)->schema);
+
+  SelectQuery q;
+  q.table = "orders_customers";
+  q.range = KeyRange{0, 99};
+  q.projection = {0, 3, 5};  // view_id, item, customer name
+  auto result = client.Query(&edge, q, 10, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->verification.ok()) << result->verification.ToString();
+  EXPECT_EQ(result->rows[0].values.size(), 3u);
+}
+
+TEST_F(JoinViewTest, InsertMaintainsView) {
+  // A new order for customer 7 must appear in the view.
+  Tuple new_order({Value::Int(500), Value::Int(7), Value::Str("widget")});
+  ASSERT_TRUE(central_->InsertTuple("orders", new_order).ok());
+  auto view = central_->GetJoinView("orders_customers");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->row_count(), 101u);
+  EXPECT_TRUE((*view)->tree()->CheckDigestConsistency().ok());
+}
+
+TEST_F(JoinViewTest, InsertWithNoMatchAddsNothing) {
+  Tuple orphan({Value::Int(501), Value::Int(999), Value::Str("ghost")});
+  ASSERT_TRUE(central_->InsertTuple("orders", orphan).ok());
+  auto view = central_->GetJoinView("orders_customers");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->row_count(), 100u);
+}
+
+TEST_F(JoinViewTest, InsertIntoRightTableMaintainsView) {
+  // New customer 999 then an order referencing them.
+  Tuple orphan({Value::Int(502), Value::Int(999), Value::Str("early")});
+  ASSERT_TRUE(central_->InsertTuple("orders", orphan).ok());
+  Tuple cust({Value::Int(999), Value::Str("late-customer")});
+  ASSERT_TRUE(central_->InsertTuple("customers", cust).ok());
+  auto view = central_->GetJoinView("orders_customers");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->row_count(), 101u);
+  EXPECT_TRUE((*view)->tree()->CheckDigestConsistency().ok());
+}
+
+TEST_F(JoinViewTest, DeleteMaintainsView) {
+  // Deleting orders 0..9 removes those 10 join rows.
+  auto removed = central_->DeleteRange("orders", 0, 9);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 10u);
+  auto view = central_->GetJoinView("orders_customers");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->row_count(), 90u);
+  EXPECT_TRUE((*view)->tree()->CheckDigestConsistency().ok());
+}
+
+TEST_F(JoinViewTest, DeleteFromRightTableCascades) {
+  // Customer 3 has orders 3, 23, 43, 63, 83.
+  auto removed = central_->DeleteRange("customers", 3, 3);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1u);
+  auto view = central_->GetJoinView("orders_customers");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->row_count(), 95u);
+}
+
+TEST_F(JoinViewTest, ViewStaysVerifiableAfterMaintenance) {
+  ASSERT_TRUE(central_
+                  ->InsertTuple("orders", Tuple({Value::Int(600),
+                                                 Value::Int(5),
+                                                 Value::Str("fresh")}))
+                  .ok());
+  ASSERT_TRUE(central_->DeleteRange("orders", 10, 30).ok());
+
+  EdgeServer edge("edge-1");
+  ASSERT_TRUE(
+      central_->PublishTable("orders_customers", &edge, nullptr).ok());
+  Client client(central_->db_name(), central_->key_directory());
+  auto info = central_->DescribeTable("orders_customers");
+  ASSERT_TRUE(info.ok());
+  client.RegisterTable("orders_customers", (*info)->schema);
+
+  SelectQuery q;
+  q.table = "orders_customers";
+  q.range = KeyRange{0, 10000};
+  auto result = client.Query(&edge, q, 10, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->verification.ok()) << result->verification.ToString();
+}
+
+TEST_F(JoinViewTest, DuplicateViewNameRejected) {
+  JoinSpec spec;
+  spec.view_name = "orders_customers";
+  spec.left_table = "orders";
+  spec.right_table = "customers";
+  spec.left_col = 1;
+  spec.right_col = 0;
+  EXPECT_EQ(central_->CreateJoinView(spec).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(JoinViewTest, BadJoinColumnRejected) {
+  JoinSpec spec;
+  spec.view_name = "bad";
+  spec.left_table = "orders";
+  spec.right_table = "customers";
+  spec.left_col = 99;
+  spec.right_col = 0;
+  EXPECT_FALSE(central_->CreateJoinView(spec).ok());
+}
+
+}  // namespace
+}  // namespace vbtree

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "mht/merkle_tree.h"
+#include "tests/testutil.h"
+
+namespace vbtree {
+namespace {
+
+class MhtTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = testutil::MakeWideSchema(4);
+    signer_ = std::make_unique<SimSigner>(3);
+    recoverer_ = std::make_unique<SimRecoverer>(signer_->key_material());
+    Rng rng(42);
+    rows_ = testutil::MakeRows(schema_, 500, &rng);
+    auto tree = MerkleTree::Build(rows_, signer_.get());
+    ASSERT_TRUE(tree.ok());
+    tree_ = tree.MoveValueUnsafe();
+  }
+
+  Schema schema_;
+  std::unique_ptr<SimSigner> signer_;
+  std::unique_ptr<SimRecoverer> recoverer_;
+  std::vector<Tuple> rows_;
+  std::unique_ptr<MerkleTree> tree_;
+};
+
+TEST_F(MhtTest, BuildRejectsBadInput) {
+  EXPECT_FALSE(MerkleTree::Build({}, signer_.get()).ok());
+  std::vector<Tuple> unsorted = {rows_[5], rows_[3]};
+  EXPECT_FALSE(MerkleTree::Build(unsorted, signer_.get()).ok());
+  EXPECT_FALSE(MerkleTree::Build(rows_, nullptr).ok());
+}
+
+TEST_F(MhtTest, FullRangeVerifies) {
+  auto out = tree_->RangeQuery(0, 499);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 500u);
+  MhtVerifier v(recoverer_.get());
+  EXPECT_TRUE(v.Verify(KeyRange{0, 499}, out->rows, out->proof).ok());
+}
+
+TEST_F(MhtTest, SubRangesVerify) {
+  for (auto [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 0}, {499, 499}, {100, 200}, {0, 250}, {250, 499}, {7, 8}}) {
+    auto out = tree_->RangeQuery(lo, hi);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->rows.size(), static_cast<size_t>(hi - lo + 1));
+    MhtVerifier v(recoverer_.get());
+    EXPECT_TRUE(v.Verify(KeyRange{lo, hi}, out->rows, out->proof).ok())
+        << lo << ".." << hi;
+  }
+}
+
+TEST_F(MhtTest, EmptyRangeVerifies) {
+  auto out = tree_->RangeQuery(1000, 2000);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->rows.empty());
+  MhtVerifier v(recoverer_.get());
+  EXPECT_TRUE(v.Verify(KeyRange{1000, 2000}, out->rows, out->proof).ok());
+}
+
+TEST_F(MhtTest, TamperedValueDetected) {
+  auto out = tree_->RangeQuery(100, 200);
+  ASSERT_TRUE(out.ok());
+  auto rows = out->rows;
+  rows[10].values[2] = Value::Str("EVIL");
+  MhtVerifier v(recoverer_.get());
+  EXPECT_FALSE(v.Verify(KeyRange{100, 200}, rows, out->proof).ok());
+}
+
+TEST_F(MhtTest, DroppedRowDetected) {
+  auto out = tree_->RangeQuery(100, 200);
+  ASSERT_TRUE(out.ok());
+  auto rows = out->rows;
+  rows.pop_back();
+  MhtVerifier v(recoverer_.get());
+  EXPECT_FALSE(v.Verify(KeyRange{100, 200}, rows, out->proof).ok());
+}
+
+TEST_F(MhtTest, TamperedProofHashDetected) {
+  auto out = tree_->RangeQuery(100, 200);
+  ASSERT_TRUE(out.ok());
+  auto proof = out->proof;
+  ASSERT_FALSE(proof.hashes.empty());
+  proof.hashes[0].bytes[0] ^= 0x01;
+  MhtVerifier v(recoverer_.get());
+  EXPECT_FALSE(v.Verify(KeyRange{100, 200}, out->rows, proof).ok());
+}
+
+TEST_F(MhtTest, TamperedRootSignatureDetected) {
+  auto out = tree_->RangeQuery(100, 200);
+  ASSERT_TRUE(out.ok());
+  auto proof = out->proof;
+  proof.signed_root[0] ^= 0x01;
+  MhtVerifier v(recoverer_.get());
+  EXPECT_FALSE(v.Verify(KeyRange{100, 200}, out->rows, proof).ok());
+}
+
+TEST_F(MhtTest, ProofGrowsWithTableSize) {
+  // The ablation point: with only the root signed, a fixed-size result's
+  // proof grows ~log(n) — unlike the VB-tree VO.
+  Rng rng(9);
+  std::vector<size_t> sizes = {256, 4096, 65536};
+  std::vector<size_t> proof_sizes;
+  for (size_t n : sizes) {
+    auto rows = testutil::MakeRows(schema_, n, &rng);
+    auto tree = MerkleTree::Build(rows, signer_.get());
+    ASSERT_TRUE(tree.ok());
+    auto out = (*tree)->RangeQuery(10, 19);  // fixed 10-row result
+    ASSERT_TRUE(out.ok());
+    proof_sizes.push_back(out->proof.SerializedSize());
+  }
+  EXPECT_LT(proof_sizes[0], proof_sizes[1]);
+  EXPECT_LT(proof_sizes[1], proof_sizes[2]);
+}
+
+TEST_F(MhtTest, NonPowerOfTwoSizes) {
+  Rng rng(10);
+  for (size_t n : {1u, 2u, 3u, 5u, 17u, 100u, 501u}) {
+    auto rows = testutil::MakeRows(schema_, n, &rng);
+    auto tree = MerkleTree::Build(rows, signer_.get());
+    ASSERT_TRUE(tree.ok()) << n;
+    auto out = (*tree)->RangeQuery(0, static_cast<int64_t>(n));
+    ASSERT_TRUE(out.ok());
+    MhtVerifier v(recoverer_.get());
+    EXPECT_TRUE(
+        v.Verify(KeyRange{0, static_cast<int64_t>(n)}, out->rows, out->proof)
+            .ok())
+        << n;
+  }
+}
+
+}  // namespace
+}  // namespace vbtree

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "naive/naive_scheme.h"
+#include "tests/testutil.h"
+
+namespace vbtree {
+namespace {
+
+class NaiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = testutil::MakeWideSchema(6);
+    signer_ = std::make_unique<SimSigner>(7);
+    recoverer_ = std::make_unique<SimRecoverer>(signer_->key_material());
+    store_ = std::make_unique<NaiveStore>(MakeDs(), signer_.get());
+    Rng rng(42);
+    rows_ = testutil::MakeRows(schema_, 200, &rng);
+    ASSERT_TRUE(store_->LoadAll(rows_).ok());
+  }
+
+  DigestSchema MakeDs() const {
+    return DigestSchema("testdb", "t", schema_);
+  }
+
+  NaiveVerifier MakeVerifier() {
+    return NaiveVerifier(MakeDs(), recoverer_.get());
+  }
+
+  static SelectQuery RangeQuery(int64_t lo, int64_t hi) {
+    SelectQuery q;
+    q.table = "t";
+    q.range = KeyRange{lo, hi};
+    return q;
+  }
+
+  Schema schema_;
+  std::unique_ptr<SimSigner> signer_;
+  std::unique_ptr<SimRecoverer> recoverer_;
+  std::unique_ptr<NaiveStore> store_;
+  std::vector<Tuple> rows_;
+};
+
+TEST_F(NaiveTest, HonestRangeVerifies) {
+  SelectQuery q = RangeQuery(50, 100);
+  auto out = store_->ExecuteSelect(q);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 51u);
+  EXPECT_EQ(out->auth.size(), 51u);
+  NaiveVerifier v = MakeVerifier();
+  EXPECT_TRUE(v.VerifySelect(q, out->rows, out->auth).ok());
+}
+
+TEST_F(NaiveTest, EmptyResultVerifies) {
+  SelectQuery q = RangeQuery(1000, 2000);
+  auto out = store_->ExecuteSelect(q);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->rows.empty());
+  NaiveVerifier v = MakeVerifier();
+  EXPECT_TRUE(v.VerifySelect(q, out->rows, out->auth).ok());
+}
+
+TEST_F(NaiveTest, ProjectionVerifies) {
+  SelectQuery q = RangeQuery(0, 199);
+  q.projection = {0, 2};
+  auto out = store_->ExecuteSelect(q);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows[0].values.size(), 2u);
+  EXPECT_EQ(out->auth[0].filtered_attr_sigs.size(), 4u);
+  NaiveVerifier v = MakeVerifier();
+  EXPECT_TRUE(v.VerifySelect(q, out->rows, out->auth).ok());
+}
+
+TEST_F(NaiveTest, ConditionsFilterRows) {
+  SelectQuery q = RangeQuery(0, 199);
+  q.conditions.push_back(ColumnCondition{1, CompareOp::kGe, Value::Str("Q")});
+  auto out = store_->ExecuteSelect(q);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(out->rows.size(), 200u);
+  EXPECT_GT(out->rows.size(), 0u);
+  NaiveVerifier v = MakeVerifier();
+  EXPECT_TRUE(v.VerifySelect(q, out->rows, out->auth).ok());
+}
+
+TEST_F(NaiveTest, TamperedValueDetected) {
+  ASSERT_TRUE(store_->TamperValue(75, 2, Value::Str("EVIL")).ok());
+  SelectQuery q = RangeQuery(50, 100);
+  auto out = store_->ExecuteSelect(q);
+  ASSERT_TRUE(out.ok());
+  NaiveVerifier v = MakeVerifier();
+  EXPECT_TRUE(
+      v.VerifySelect(q, out->rows, out->auth).IsVerificationFailure());
+}
+
+TEST_F(NaiveTest, TamperedAuthDetected) {
+  SelectQuery q = RangeQuery(50, 60);
+  auto out = store_->ExecuteSelect(q);
+  ASSERT_TRUE(out.ok());
+  auto auth = out->auth;
+  auth[0].tuple_sig[0] ^= 0x01;
+  NaiveVerifier v = MakeVerifier();
+  EXPECT_TRUE(
+      v.VerifySelect(q, out->rows, auth).IsVerificationFailure());
+}
+
+TEST_F(NaiveTest, InjectedRowDetected) {
+  SelectQuery q = RangeQuery(50, 100);
+  auto out = store_->ExecuteSelect(q);
+  ASSERT_TRUE(out.ok());
+  auto rows = out->rows;
+  auto auth = out->auth;
+  rows.push_back(rows.back());
+  rows.back().key = 99;  // unused key slot? keys 50..100 all exist; use value change
+  rows.back().values[0] = Value::Int(99);
+  rows.back().values[1] = Value::Str("forged");
+  auth.push_back(auth.back());  // reuse someone else's signature
+  NaiveVerifier v = MakeVerifier();
+  EXPECT_TRUE(v.VerifySelect(q, rows, auth).IsVerificationFailure());
+}
+
+TEST_F(NaiveTest, RowAuthCountMismatchDetected) {
+  SelectQuery q = RangeQuery(50, 100);
+  auto out = store_->ExecuteSelect(q);
+  ASSERT_TRUE(out.ok());
+  auto auth = out->auth;
+  auth.pop_back();
+  NaiveVerifier v = MakeVerifier();
+  EXPECT_TRUE(
+      v.VerifySelect(q, out->rows, auth).IsVerificationFailure());
+}
+
+TEST_F(NaiveTest, DuplicateKeyLoadRejected) {
+  Rng rng(1);
+  Tuple dup = testutil::MakeTuple(schema_, 5, &rng);
+  EXPECT_EQ(store_->Load(dup).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(NaiveTest, AuthBytesScaleWithRows) {
+  SelectQuery q10 = RangeQuery(0, 9);
+  SelectQuery q100 = RangeQuery(0, 99);
+  auto o10 = store_->ExecuteSelect(q10);
+  auto o100 = store_->ExecuteSelect(q100);
+  ASSERT_TRUE(o10.ok() && o100.ok());
+  // One signed digest per tuple: auth bytes grow 10x with 10x rows.
+  EXPECT_EQ(o10->AuthBytes(), 10 * kDigestLen);
+  EXPECT_EQ(o100->AuthBytes(), 100 * kDigestLen);
+  EXPECT_EQ(o100->DigestCount(), 100u);
+}
+
+TEST_F(NaiveTest, VerificationCostsOneDecryptPerRow) {
+  // The core inefficiency the VB-tree removes (Fig. 12): Naive decrypts a
+  // signature per result tuple.
+  SelectQuery q = RangeQuery(0, 99);
+  auto out = store_->ExecuteSelect(q);
+  ASSERT_TRUE(out.ok());
+  CryptoCounters counters;
+  SimRecoverer counting_rec(signer_->key_material(), &counters);
+  NaiveVerifier v(MakeDs(), &counting_rec);
+  ASSERT_TRUE(v.VerifySelect(q, out->rows, out->auth).ok());
+  EXPECT_EQ(counters.recovers, 100u);
+}
+
+}  // namespace
+}  // namespace vbtree

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "storage/table_heap.h"
+#include "tests/testutil.h"
+
+namespace vbtree {
+namespace {
+
+TEST(SlottedPageTest, InsertAndGet) {
+  alignas(8) uint8_t buf[kPageSize] = {};
+  SlottedPageView page(buf);
+  page.Init();
+  EXPECT_EQ(page.num_slots(), 0u);
+  const char* rec = "hello";
+  uint16_t slot = page.Insert(reinterpret_cast<const uint8_t*>(rec), 5);
+  EXPECT_EQ(slot, 0u);
+  uint16_t len = 0;
+  const uint8_t* got = page.Get(slot, &len);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(len, 5u);
+  EXPECT_EQ(std::memcmp(got, rec, 5), 0);
+}
+
+TEST(SlottedPageTest, DeleteTombstones) {
+  alignas(8) uint8_t buf[kPageSize] = {};
+  SlottedPageView page(buf);
+  page.Init();
+  uint16_t slot = page.Insert(reinterpret_cast<const uint8_t*>("abc"), 3);
+  EXPECT_TRUE(page.Delete(slot));
+  uint16_t len = 0;
+  EXPECT_EQ(page.Get(slot, &len), nullptr);
+  EXPECT_FALSE(page.Delete(99));
+}
+
+TEST(SlottedPageTest, FillsUntilFull) {
+  alignas(8) uint8_t buf[kPageSize] = {};
+  SlottedPageView page(buf);
+  page.Init();
+  uint8_t rec[100] = {7};
+  size_t count = 0;
+  while (page.HasRoomFor(sizeof(rec))) {
+    page.Insert(rec, sizeof(rec));
+    count++;
+  }
+  // 4096 bytes / (100 payload + 4 slot) ≈ 39 records.
+  EXPECT_GE(count, 35u);
+  EXPECT_LE(count, 40u);
+  // Everything is still readable.
+  for (uint16_t s = 0; s < count; ++s) {
+    uint16_t len = 0;
+    ASSERT_NE(page.Get(s, &len), nullptr);
+    EXPECT_EQ(len, sizeof(rec));
+  }
+}
+
+TEST(SlottedPageTest, UpdateInPlaceOnlyWhenItFits) {
+  alignas(8) uint8_t buf[kPageSize] = {};
+  SlottedPageView page(buf);
+  page.Init();
+  uint16_t slot = page.Insert(reinterpret_cast<const uint8_t*>("abcdef"), 6);
+  EXPECT_TRUE(page.UpdateInPlace(slot, reinterpret_cast<const uint8_t*>("xy"), 2));
+  uint16_t len = 0;
+  const uint8_t* got = page.Get(slot, &len);
+  EXPECT_EQ(len, 2u);
+  EXPECT_EQ(std::memcmp(got, "xy", 2), 0);
+  EXPECT_FALSE(
+      page.UpdateInPlace(slot, reinterpret_cast<const uint8_t*>("123456"), 6));
+}
+
+TEST(InMemoryDiskTest, ReadWriteRoundTrip) {
+  InMemoryDiskManager disk;
+  auto p0 = disk.AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  uint8_t out[kPageSize], in[kPageSize];
+  std::memset(out, 0x5A, kPageSize);
+  ASSERT_TRUE(disk.WritePage(*p0, out).ok());
+  ASSERT_TRUE(disk.ReadPage(*p0, in).ok());
+  EXPECT_EQ(std::memcmp(out, in, kPageSize), 0);
+  EXPECT_TRUE(disk.ReadPage(99, in).code() ==
+              StatusCode::kOutOfRange);
+}
+
+TEST(FileDiskTest, PersistsAcrossReopen) {
+  std::string path = ::testing::TempDir() + "/vbt_disk_test.db";
+  std::remove(path.c_str());
+  {
+    auto disk = FileDiskManager::Open(path);
+    ASSERT_TRUE(disk.ok());
+    auto p = (*disk)->AllocatePage();
+    ASSERT_TRUE(p.ok());
+    uint8_t buf[kPageSize];
+    std::memset(buf, 0x77, kPageSize);
+    ASSERT_TRUE((*disk)->WritePage(*p, buf).ok());
+  }
+  {
+    auto disk = FileDiskManager::Open(path);
+    ASSERT_TRUE(disk.ok());
+    EXPECT_EQ((*disk)->num_pages(), 1);
+    uint8_t buf[kPageSize];
+    ASSERT_TRUE((*disk)->ReadPage(0, buf).ok());
+    EXPECT_EQ(buf[100], 0x77);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BufferPoolTest, FetchCachesPages) {
+  InMemoryDiskManager disk;
+  BufferPool pool(4, &disk);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  page_id_t id = (*page)->page_id();
+  (*page)->data()[0] = 0xAB;
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  auto again = pool.FetchPage(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->data()[0], 0xAB);
+  EXPECT_GE(pool.hit_count(), 1u);
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+}
+
+TEST(BufferPoolTest, EvictsLruAndWritesBack) {
+  InMemoryDiskManager disk;
+  BufferPool pool(2, &disk);
+  std::vector<page_id_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto p = pool.NewPage();
+    ASSERT_TRUE(p.ok());
+    (*p)->data()[0] = static_cast<uint8_t>(i + 1);
+    ids.push_back((*p)->page_id());
+    ASSERT_TRUE(pool.UnpinPage(ids.back(), true).ok());
+  }
+  // Pages 0 and 1 were evicted; their data must have reached disk.
+  for (int i = 0; i < 4; ++i) {
+    auto p = pool.FetchPage(ids[i]);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ((*p)->data()[0], i + 1);
+    ASSERT_TRUE(pool.UnpinPage(ids[i], false).ok());
+  }
+}
+
+TEST(BufferPoolTest, AllPinnedFailsGracefully) {
+  InMemoryDiskManager disk;
+  BufferPool pool(2, &disk);
+  auto a = pool.NewPage();
+  auto b = pool.NewPage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto c = pool.NewPage();
+  EXPECT_FALSE(c.ok());  // no evictable frame
+  ASSERT_TRUE(pool.UnpinPage((*a)->page_id(), false).ok());
+  auto d = pool.NewPage();
+  EXPECT_TRUE(d.ok());
+}
+
+TEST(BufferPoolTest, DoubleUnpinRejected) {
+  InMemoryDiskManager disk;
+  BufferPool pool(2, &disk);
+  auto a = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  page_id_t id = (*a)->page_id();
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+  EXPECT_FALSE(pool.UnpinPage(id, false).ok());
+}
+
+class TableHeapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = testutil::MakeWideSchema(3);
+    disk_ = std::make_unique<InMemoryDiskManager>();
+    pool_ = std::make_unique<BufferPool>(64, disk_.get());
+    auto heap = TableHeap::Create(pool_.get(), schema_);
+    ASSERT_TRUE(heap.ok());
+    heap_ = heap.MoveValueUnsafe();
+  }
+
+  Schema schema_;
+  std::unique_ptr<InMemoryDiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<TableHeap> heap_;
+};
+
+TEST_F(TableHeapTest, InsertGetRoundTrip) {
+  Rng rng(1);
+  Tuple t = testutil::MakeTuple(schema_, 5, &rng);
+  auto rid = heap_->Insert(t);
+  ASSERT_TRUE(rid.ok());
+  auto back = heap_->Get(*rid);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST_F(TableHeapTest, SpillsAcrossPages) {
+  Rng rng(2);
+  std::vector<Rid> rids;
+  for (int i = 0; i < 500; ++i) {
+    auto rid = heap_->Insert(testutil::MakeTuple(schema_, i, &rng, 50));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  EXPECT_GT(heap_->pages().size(), 1u);
+  EXPECT_EQ(heap_->tuple_count(), 500u);
+  // Spot-check retrieval across pages.
+  for (int i = 0; i < 500; i += 50) {
+    auto t = heap_->Get(rids[i]);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->key(), i);
+  }
+}
+
+TEST_F(TableHeapTest, DeleteHidesTuple) {
+  Rng rng(3);
+  auto rid = heap_->Insert(testutil::MakeTuple(schema_, 1, &rng));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(heap_->Delete(*rid).ok());
+  EXPECT_TRUE(heap_->Get(*rid).status().IsNotFound());
+  EXPECT_TRUE(heap_->Delete(*rid).IsNotFound());
+  EXPECT_EQ(heap_->tuple_count(), 0u);
+}
+
+TEST_F(TableHeapTest, UpdateInPlaceKeepsRid) {
+  Rng rng(4);
+  Tuple t = testutil::MakeTuple(schema_, 9, &rng, 20);
+  auto rid = heap_->Insert(t);
+  ASSERT_TRUE(rid.ok());
+  t.set_value(1, Value::Str("short"));
+  auto new_rid = heap_->Update(*rid, t);
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_EQ(*new_rid, *rid);
+  EXPECT_EQ(heap_->Get(*rid)->value(1).AsString(), "short");
+}
+
+TEST_F(TableHeapTest, UpdateRelocatesWhenGrown) {
+  Rng rng(5);
+  Tuple t = testutil::MakeTuple(schema_, 9, &rng, 10);
+  auto rid = heap_->Insert(t);
+  ASSERT_TRUE(rid.ok());
+  t.set_value(1, Value::Str(std::string(300, 'L')));
+  auto new_rid = heap_->Update(*rid, t);
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_FALSE(*new_rid == *rid);
+  EXPECT_EQ(heap_->Get(*new_rid)->value(1).AsString().size(), 300u);
+}
+
+TEST_F(TableHeapTest, IteratorVisitsLiveTuplesInOrder) {
+  Rng rng(6);
+  std::vector<Rid> rids;
+  for (int i = 0; i < 100; ++i) {
+    auto rid = heap_->Insert(testutil::MakeTuple(schema_, i, &rng));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  for (int i = 0; i < 100; i += 2) {
+    ASSERT_TRUE(heap_->Delete(rids[i]).ok());
+  }
+  std::vector<int64_t> seen;
+  for (auto it = heap_->Begin(); it.Valid(); it.Next()) {
+    auto t = it.Get();
+    ASSERT_TRUE(t.ok());
+    seen.push_back(t->key());
+  }
+  ASSERT_EQ(seen.size(), 50u);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<int64_t>(2 * i + 1));
+  }
+}
+
+TEST_F(TableHeapTest, OversizeTupleRejected) {
+  Tuple t({Value::Int(1), Value::Str(std::string(5000, 'x')),
+           Value::Str("y")});
+  EXPECT_EQ(heap_->Insert(t).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbtree

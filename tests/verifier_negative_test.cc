@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "edge/central_server.h"
+#include "edge/client.h"
+#include "edge/edge_server.h"
+#include "tests/testutil.h"
+
+namespace vbtree {
+namespace {
+
+using testutil::MakeTestDb;
+using testutil::TestDb;
+
+/// Explicit unit tests for every malformed-VO rejection path in the
+/// verifier (the tamper tests cover end-to-end scenarios; these pin down
+/// each individual check).
+class VerifierNegativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTestDb(400, 6, 8);
+    ASSERT_NE(db_, nullptr);
+    q_.table = db_->table_name;
+    q_.range = KeyRange{100, 200};
+    q_.projection = {0, 2};
+    auto out = db_->tree->ExecuteSelect(q_, db_->Fetcher());
+    ASSERT_TRUE(out.ok());
+    rows_ = std::move(out->rows);
+    vo_ = std::move(out->vo);
+  }
+
+  Status Verify(const std::vector<ResultRow>& rows,
+                const VerificationObject& vo) {
+    Verifier v = db_->MakeVerifier();
+    return v.VerifySelect(q_, rows, vo);
+  }
+
+  std::unique_ptr<TestDb> db_;
+  SelectQuery q_;
+  std::vector<ResultRow> rows_;
+  VerificationObject vo_;
+};
+
+TEST_F(VerifierNegativeTest, BaselineAccepts) {
+  EXPECT_TRUE(Verify(rows_, vo_).ok());
+}
+
+TEST_F(VerifierNegativeTest, MissingSkeletonRejected) {
+  VerificationObject vo = vo_.Clone();
+  vo.skeleton.reset();
+  EXPECT_TRUE(Verify(rows_, vo).IsVerificationFailure());
+}
+
+TEST_F(VerifierNegativeTest, WrongFilteredColumnCountRejected) {
+  VerificationObject vo = vo_.Clone();
+  vo.num_filtered_cols += 1;
+  EXPECT_TRUE(Verify(rows_, vo).IsVerificationFailure());
+}
+
+TEST_F(VerifierNegativeTest, WrongProjectedSigCountRejected) {
+  VerificationObject vo = vo_.Clone();
+  vo.projected_attr_sigs.pop_back();
+  EXPECT_TRUE(Verify(rows_, vo).IsVerificationFailure());
+}
+
+TEST_F(VerifierNegativeTest, RowArityMismatchRejected) {
+  auto rows = rows_;
+  rows[0].values.push_back(Value::Int(1));
+  EXPECT_TRUE(Verify(rows, vo_).IsVerificationFailure());
+}
+
+TEST_F(VerifierNegativeTest, KeyFieldValueMismatchRejected) {
+  auto rows = rows_;
+  rows[0].key += 1;  // key field no longer matches values[0]
+  EXPECT_TRUE(Verify(rows, vo_).IsVerificationFailure());
+}
+
+TEST_F(VerifierNegativeTest, VOClaimsMoreRowsThanReturned) {
+  VerificationObject vo = vo_.Clone();
+  // Bump a leaf's result_count: the verifier runs out of rows.
+  std::vector<VONode*> stack{vo.skeleton.get()};
+  while (!stack.empty()) {
+    VONode* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf && n->result_count > 0) {
+      n->result_count += 1;
+      break;
+    }
+    for (auto& item : n->items) {
+      if (item.is_covered()) stack.push_back(item.covered.get());
+    }
+  }
+  EXPECT_TRUE(Verify(rows_, vo).IsVerificationFailure());
+}
+
+TEST_F(VerifierNegativeTest, VOClaimsFewerRowsThanReturned) {
+  VerificationObject vo = vo_.Clone();
+  std::vector<VONode*> stack{vo.skeleton.get()};
+  while (!stack.empty()) {
+    VONode* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf && n->result_count > 0) {
+      n->result_count -= 1;
+      break;
+    }
+    for (auto& item : n->items) {
+      if (item.is_covered()) stack.push_back(item.covered.get());
+    }
+  }
+  EXPECT_TRUE(Verify(rows_, vo).IsVerificationFailure());
+}
+
+TEST_F(VerifierNegativeTest, ConditionViolationOnReturnedColumnRejected) {
+  SelectQuery q = q_;
+  q.conditions.push_back(
+      ColumnCondition{2, CompareOp::kEq, Value::Str("__nope__")});
+  // Rows obviously violate the fabricated condition on a returned column.
+  Verifier v = db_->MakeVerifier();
+  EXPECT_TRUE(v.VerifySelect(q, rows_, vo_).IsVerificationFailure());
+}
+
+TEST_F(VerifierNegativeTest, CrossQueryVOReplayRejected) {
+  // Reuse this VO for a *different* range: keys fall outside, or digest
+  // coverage no longer matches.
+  SelectQuery other = q_;
+  other.range = KeyRange{150, 250};
+  Verifier v = db_->MakeVerifier();
+  EXPECT_FALSE(v.VerifySelect(other, rows_, vo_).ok());
+}
+
+TEST_F(VerifierNegativeTest, WrongProjectionClaimRejected) {
+  // Claim the rows answer a wider projection than they carry.
+  SelectQuery other = q_;
+  other.projection = {0, 2, 4};
+  Verifier v = db_->MakeVerifier();
+  EXPECT_TRUE(v.VerifySelect(other, rows_, vo_).IsVerificationFailure());
+}
+
+TEST_F(VerifierNegativeTest, EmptySignatureInVORejected) {
+  VerificationObject vo = vo_.Clone();
+  vo.signed_top.clear();
+  EXPECT_FALSE(Verify(rows_, vo).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Regression: snapshot installation racing a query storm (the edge
+// server's replica swap must be latched).
+// ---------------------------------------------------------------------------
+
+TEST(EdgeConcurrencyTest, InstallSnapshotDuringQueryStorm) {
+  CentralServer::Options opts;
+  opts.tree_opts.config.max_internal = 16;
+  opts.tree_opts.config.max_leaf = 16;
+  auto central_or = CentralServer::Create(opts);
+  ASSERT_TRUE(central_or.ok());
+  CentralServer& central = **central_or;
+  Schema schema = testutil::MakeWideSchema(4);
+  ASSERT_TRUE(central.CreateTable("t", schema).ok());
+  Rng rng(1);
+  ASSERT_TRUE(
+      central.LoadTable("t", testutil::MakeRows(schema, 2000, &rng)).ok());
+  EdgeServer edge("edge-race");
+  ASSERT_TRUE(central.PublishTable("t", &edge, nullptr).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Client client(central.db_name(), central.key_directory());
+      client.RegisterTable("t", schema);
+      Rng r(100 + t);
+      while (!stop.load()) {
+        SelectQuery q;
+        q.table = "t";
+        int64_t lo = static_cast<int64_t>(r.Uniform(1900));
+        q.range = KeyRange{lo, lo + 50};
+        auto res = client.Query(&edge, q, 1, nullptr);
+        if (!res.ok() || !res->verification.ok()) failures++;
+      }
+    });
+  }
+  // Republish snapshots concurrently (each swap replaces the replica).
+  for (int i = 0; i < 20; ++i) {
+    Rng wr(200 + i);
+    ASSERT_TRUE(
+        central
+            .InsertTuple("t", testutil::MakeTuple(schema, 5000 + i, &wr))
+            .ok());
+    ASSERT_TRUE(central.PublishTable("t", &edge, nullptr).ok());
+  }
+  stop = true;
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(EdgeConcurrencyTest, DeltaApplyDuringQueryStorm) {
+  CentralServer::Options opts;
+  opts.tree_opts.config.max_internal = 16;
+  opts.tree_opts.config.max_leaf = 16;
+  auto central_or = CentralServer::Create(opts);
+  ASSERT_TRUE(central_or.ok());
+  CentralServer& central = **central_or;
+  Schema schema = testutil::MakeWideSchema(4);
+  ASSERT_TRUE(central.CreateTable("t", schema).ok());
+  Rng rng(1);
+  ASSERT_TRUE(
+      central.LoadTable("t", testutil::MakeRows(schema, 2000, &rng)).ok());
+  EdgeServer edge("edge-race2");
+  ASSERT_TRUE(central.PublishTable("t", &edge, nullptr).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread reader([&] {
+    Client client(central.db_name(), central.key_directory());
+    client.RegisterTable("t", schema);
+    Rng r(9);
+    while (!stop.load()) {
+      SelectQuery q;
+      q.table = "t";
+      int64_t lo = static_cast<int64_t>(r.Uniform(1900));
+      q.range = KeyRange{lo, lo + 20};
+      auto res = client.Query(&edge, q, 1, nullptr);
+      if (!res.ok() || !res->verification.ok()) failures++;
+    }
+  });
+  for (int i = 0; i < 30; ++i) {
+    Rng wr(300 + i);
+    ASSERT_TRUE(
+        central
+            .InsertTuple("t", testutil::MakeTuple(schema, 6000 + i, &wr))
+            .ok());
+    ASSERT_TRUE(central.PublishDelta("t", &edge, nullptr).ok());
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(edge.tree("t")->root_digest(), central.tree("t")->root_digest());
+}
+
+}  // namespace
+}  // namespace vbtree

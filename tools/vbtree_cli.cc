@@ -1,0 +1,288 @@
+// vbtree_cli — interactive walkthrough of the authenticated-query stack.
+//
+// Drives a central server, one edge server and one client from a small
+// command language (stdin or a script file):
+//
+//   load <n>                  create + load a demo table with n rows
+//   insert <key> <text>       insert a row at the central server
+//   delete <lo> <hi>          range-delete at the central server
+//   publish                   ship a full snapshot to the edge
+//   sync                      ship the pending update delta to the edge
+//   tamper <key> <text>       corrupt one value in the edge's replica
+//   query <lo> <hi>           authenticated range query via the edge
+//   audit                     edge-side signature self-audit
+//   rotate <now>              rotate the signing key at logical time <now>
+//   stats                     table / tree / network statistics
+//   help | quit
+//
+// Example:  ./build/tools/vbtree_cli <<'EOF'
+//   load 1000
+//   publish
+//   query 10 20
+//   tamper 15 boo
+//   query 10 20
+//   publish
+//   query 10 20
+//   quit
+// EOF
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/random.h"
+#include "edge/central_server.h"
+#include "edge/client.h"
+#include "edge/edge_server.h"
+
+using namespace vbtree;
+
+namespace {
+
+constexpr const char* kTable = "demo";
+
+struct CliState {
+  std::unique_ptr<CentralServer> central;
+  std::unique_ptr<EdgeServer> edge;
+  std::unique_ptr<Client> client;
+  SimulatedNetwork net;
+  Schema schema;
+  bool loaded = false;
+  uint64_t now = 1;
+};
+
+void PrintHelp() {
+  std::printf(
+      "commands: load <n> | insert <key> <text> | delete <lo> <hi> |\n"
+      "          publish | sync | tamper <key> <text> | query <lo> <hi> |\n"
+      "          audit | rotate <now> | stats | help | quit\n");
+}
+
+bool RequireLoaded(const CliState& st) {
+  if (!st.loaded) std::printf("error: run `load <n>` first\n");
+  return st.loaded;
+}
+
+void DoLoad(CliState* st, size_t n) {
+  CentralServer::Options options;
+  options.db_name = "clidb";
+  auto central = CentralServer::Create(options);
+  if (!central.ok()) {
+    std::printf("error: %s\n", central.status().ToString().c_str());
+    return;
+  }
+  st->central = central.MoveValueUnsafe();
+  st->schema = Schema({{"id", TypeId::kInt64},
+                       {"payload", TypeId::kString},
+                       {"tag", TypeId::kString}});
+  if (!st->central->CreateTable(kTable, st->schema).ok()) return;
+  Rng rng(7);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Tuple({Value::Int(static_cast<int64_t>(i)),
+                          Value::Str(rng.NextString(16)),
+                          Value::Str(i % 2 == 0 ? "even" : "odd")}));
+  }
+  Status s = st->central->LoadTable(kTable, std::move(rows));
+  if (!s.ok()) {
+    std::printf("error: %s\n", s.ToString().c_str());
+    return;
+  }
+  st->edge = std::make_unique<EdgeServer>("edge-1");
+  st->client =
+      std::make_unique<Client>(st->central->db_name(),
+                               st->central->key_directory());
+  st->client->RegisterTable(kTable, st->schema);
+  st->loaded = true;
+  std::printf("loaded %zu rows; root digest %s...\n", n,
+              st->central->tree(kTable)->root_digest().ToHex().substr(0, 16)
+                  .c_str());
+}
+
+void DoQuery(CliState* st, int64_t lo, int64_t hi) {
+  if (!st->edge->HasTable(kTable)) {
+    std::printf("error: edge has no replica; run `publish`\n");
+    return;
+  }
+  SelectQuery q;
+  q.table = kTable;
+  q.range = KeyRange{lo, hi};
+  auto r = st->client->Query(st->edge.get(), q, st->now, &st->net);
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu rows | result %zu B + VO %zu B (%zu digests) | %s\n",
+              r->rows.size(), r->result_bytes, r->vo_bytes, r->vo_digests,
+              r->verification.ok()
+                  ? "VERIFIED"
+                  : r->verification.ToString().c_str());
+  size_t shown = 0;
+  for (const ResultRow& row : r->rows) {
+    if (shown++ == 5) {
+      std::printf("  ... (%zu more)\n", r->rows.size() - 5);
+      break;
+    }
+    std::printf("  %lld | %s | %s\n", static_cast<long long>(row.key),
+                row.values[1].AsString().c_str(),
+                row.values[2].AsString().c_str());
+  }
+}
+
+void Dispatch(CliState* st, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd) || cmd[0] == '#') return;
+
+  if (cmd == "help") {
+    PrintHelp();
+  } else if (cmd == "load") {
+    size_t n = 1000;
+    in >> n;
+    DoLoad(st, n);
+  } else if (cmd == "insert") {
+    if (!RequireLoaded(*st)) return;
+    int64_t key;
+    std::string text;
+    if (!(in >> key >> text)) {
+      std::printf("usage: insert <key> <text>\n");
+      return;
+    }
+    Status s = st->central->InsertTuple(
+        kTable, Tuple({Value::Int(key), Value::Str(text),
+                       Value::Str(key % 2 == 0 ? "even" : "odd")}));
+    std::printf("%s\n", s.ok() ? "inserted (run `sync` or `publish` to "
+                                 "propagate)"
+                               : s.ToString().c_str());
+  } else if (cmd == "delete") {
+    if (!RequireLoaded(*st)) return;
+    int64_t lo, hi;
+    if (!(in >> lo >> hi)) {
+      std::printf("usage: delete <lo> <hi>\n");
+      return;
+    }
+    auto removed = st->central->DeleteRange(kTable, lo, hi);
+    if (removed.ok()) {
+      std::printf("deleted %zu rows\n", *removed);
+    } else {
+      std::printf("error: %s\n", removed.status().ToString().c_str());
+    }
+  } else if (cmd == "publish") {
+    if (!RequireLoaded(*st)) return;
+    Status s = st->central->PublishTable(kTable, st->edge.get(), &st->net);
+    std::printf("%s\n", s.ok() ? "snapshot published" : s.ToString().c_str());
+  } else if (cmd == "sync") {
+    if (!RequireLoaded(*st)) return;
+    Status s = st->central->PublishDelta(kTable, st->edge.get(), &st->net);
+    if (s.ok()) {
+      std::printf("delta applied; edge at version %llu\n",
+                  static_cast<unsigned long long>(
+                      st->edge->TableVersion(kTable)));
+    } else {
+      std::printf("error: %s\n", s.ToString().c_str());
+    }
+  } else if (cmd == "tamper") {
+    if (!RequireLoaded(*st)) return;
+    int64_t key;
+    std::string text;
+    if (!(in >> key >> text)) {
+      std::printf("usage: tamper <key> <text>\n");
+      return;
+    }
+    Status s =
+        st->edge->TamperValueByKey(kTable, key, 1, Value::Str(text));
+    std::printf("%s\n", s.ok() ? "edge replica corrupted (silently...)"
+                               : s.ToString().c_str());
+  } else if (cmd == "query") {
+    if (!RequireLoaded(*st)) return;
+    int64_t lo, hi;
+    if (!(in >> lo >> hi)) {
+      std::printf("usage: query <lo> <hi>\n");
+      return;
+    }
+    DoQuery(st, lo, hi);
+  } else if (cmd == "audit") {
+    if (!RequireLoaded(*st)) return;
+    const VBTree* tree = st->edge->tree(kTable);
+    if (tree == nullptr) {
+      std::printf("error: edge has no replica; run `publish`\n");
+      return;
+    }
+    auto rec = st->central->key_directory()->RecovererFor(
+        tree->key_version(), st->now);
+    if (!rec.ok()) {
+      std::printf("audit failed: %s\n", rec.status().ToString().c_str());
+      return;
+    }
+    auto audited = tree->AuditSignatures(rec->get());
+    if (audited.ok()) {
+      std::printf("audit OK: %zu signatures verified\n", *audited);
+    } else {
+      std::printf("audit FAILED: %s\n", audited.status().ToString().c_str());
+    }
+  } else if (cmd == "rotate") {
+    if (!RequireLoaded(*st)) return;
+    uint64_t now = st->now;
+    in >> now;
+    st->now = now;
+    Status s = st->central->RotateKey(now);
+    std::printf("%s (key version now %u; stale edges will be rejected "
+                "after expiry)\n",
+                s.ok() ? "rotated" : s.ToString().c_str(),
+                st->central->current_key_version());
+  } else if (cmd == "stats") {
+    if (!RequireLoaded(*st)) return;
+    VBTree* tree = st->central->tree(kTable);
+    std::printf(
+        "central: %zu rows, height %d, %llu nodes, key v%u, table v%llu\n",
+        tree->size(), tree->height(),
+        static_cast<unsigned long long>(tree->node_count()),
+        st->central->current_key_version(),
+        static_cast<unsigned long long>(
+            st->central->TableVersion(kTable).ok()
+                ? *st->central->TableVersion(kTable)
+                : 0));
+    std::printf("edge: replica %s, version %llu\n",
+                st->edge->HasTable(kTable) ? "installed" : "absent",
+                static_cast<unsigned long long>(
+                    st->edge->TableVersion(kTable)));
+    std::printf("network: %llu bytes total\n",
+                static_cast<unsigned long long>(st->net.total_bytes()));
+  } else if (cmd == "quit" || cmd == "exit") {
+    std::exit(0);
+  } else {
+    std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliState st;
+  std::printf("vbtree_cli — authenticated query processing demo (try `help`)\n");
+
+  if (argc > 1) {
+    std::ifstream script(argv[1]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open script %s\n", argv[1]);
+      return 1;
+    }
+    std::string line;
+    while (std::getline(script, line)) {
+      std::printf("> %s\n", line.c_str());
+      Dispatch(&st, line);
+    }
+    return 0;
+  }
+
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    Dispatch(&st, line);
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}
