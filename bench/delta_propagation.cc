@@ -1,9 +1,12 @@
 // Extension bench: update propagation cost, full snapshot vs op-log
-// delta (§3.4 "propagate the changes periodically"). Measures the bytes
-// shipped per update batch and the edge-side apply time.
+// delta (§3.4 "propagate the changes periodically"). Updates flow
+// through the DistributionHub; we measure the bytes it ships on the
+// per-edge delta channel and the end-to-end flush time per batch.
 #include "bench/bench_util.h"
 #include "edge/central_server.h"
 #include "edge/edge_server.h"
+#include "edge/propagation/distribution_hub.h"
+#include "edge/propagation/transport.h"
 
 using namespace vbtree;
 
@@ -31,13 +34,22 @@ int main() {
     }
     if (!central.LoadTable("t", rows).ok()) return 1;
   }
+
+  InProcessTransport net;
+  PropagationOptions popts;
+  popts.policy = ShipPolicy::kDeltaPreferred;
+  popts.max_batch_ops = 10000;
+  popts.auto_start = false;  // drive rounds by hand to time them
+  DistributionHub hub(&central, &net, popts);
   EdgeServer edge("edge-1");
-  if (!central.PublishTable("t", &edge, nullptr).ok()) return 1;
+  if (!hub.Subscribe(&edge).ok()) return 1;
+  if (!hub.SyncAll().ok()) return 1;  // initial snapshot
 
   std::printf("table: %zu tuples of ~200 B\n\n", n);
   std::printf("%10s | %14s %14s %8s | %12s\n", "updates", "snapshot(KB)",
-              "delta(KB)", "ratio", "apply(ms)");
+              "delta(KB)", "ratio", "flush(ms)");
 
+  const std::string delta_channel = "central->edge:edge-1:delta";
   int64_t next_key = static_cast<int64_t>(n);
   for (int updates : {1, 10, 100, 1000}) {
     for (int i = 0; i < updates; ++i) {
@@ -48,20 +60,21 @@ int main() {
       }
     }
     auto snapshot = central.ExportTableSnapshot("t");
-    auto delta = central.ExportUpdateDelta("t");
-    if (!snapshot.ok() || !delta.ok()) return 1;
+    if (!snapshot.ok()) return 1;
+    uint64_t delta_before = net.stats(delta_channel).bytes;
 
     bench::Timer t;
-    if (!edge.ApplyUpdateBatch(Slice(*delta)).ok()) {
-      std::printf("delta apply failed\n");
+    if (!hub.SyncAll().ok()) {
+      std::printf("propagation failed\n");
       return 1;
     }
-    double apply_ms = t.ElapsedMs();
+    double flush_ms = t.ElapsedMs();
+    uint64_t delta_bytes = net.stats(delta_channel).bytes - delta_before;
     std::printf("%10d | %14.1f %14.1f %8.0fx | %12.2f\n", updates,
-                snapshot->size() / 1e3, delta->size() / 1e3,
+                snapshot->size() / 1e3, delta_bytes / 1e3,
                 static_cast<double>(snapshot->size()) /
-                    static_cast<double>(delta->size()),
-                apply_ms);
+                    static_cast<double>(delta_bytes ? delta_bytes : 1),
+                flush_ms);
   }
 
   // Sanity: after all deltas the edge is bit-identical to the central.

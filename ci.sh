@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verify line: configure, build, run every test via CTest.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build && ctest --output-on-failure -j "$(nproc)"

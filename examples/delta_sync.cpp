@@ -1,11 +1,12 @@
 // Delta synchronization: the §3.4 "propagate the changes periodically"
 // pattern, using the op-log delta mechanism instead of full snapshots.
 //
-// The central server applies a stream of updates while an edge server
-// periodically pulls deltas. Each delta carries only the changed tuples
-// and the signatures the central server produced — the edge replays the
-// structural changes itself and ends up bit-identical. An edge-side
-// signature audit confirms replica health without any client traffic.
+// The central server applies a stream of updates; the DistributionHub's
+// propagator batches the logged ops and ships them to the subscribed
+// edge. Each delta carries only the changed tuples and the signatures
+// the central server produced — the edge replays the structural changes
+// itself and ends up bit-identical. An edge-side signature audit
+// confirms replica health without any client traffic.
 //
 // Build & run:  ./build/examples/delta_sync
 #include <cstdio>
@@ -15,6 +16,7 @@
 #include "edge/central_server.h"
 #include "edge/client.h"
 #include "edge/edge_server.h"
+#include "edge/propagation/distribution_hub.h"
 
 using namespace vbtree;
 
@@ -37,7 +39,11 @@ int main() {
 
   SimulatedNetwork net;
   EdgeServer edge("edge-1");
-  if (!central.PublishTable("fleet", &edge, &net).ok()) return 1;
+  PropagationOptions popts;
+  popts.policy = ShipPolicy::kDeltaPreferred;
+  DistributionHub hub(&central, &net, popts);
+  if (!hub.Subscribe(&edge).ok()) return 1;
+  if (!hub.SyncAll().ok()) return 1;
   uint64_t snapshot_bytes = net.stats("central->edge:edge-1").bytes;
   std::printf("initial snapshot: %.1f KB (5000 rows)\n",
               snapshot_bytes / 1e3);
@@ -63,8 +69,8 @@ int main() {
       return 1;
     }
 
-    // Periodic propagation: ship the delta.
-    if (!central.PublishDelta("fleet", &edge, &net).ok()) return 1;
+    // Periodic propagation: the hub ships the pending ops as a delta.
+    if (!hub.SyncAll().ok()) return 1;
     uint64_t delta_bytes =
         net.stats("central->edge:edge-1:delta").bytes;
     bool identical = edge.tree("fleet")->root_digest() ==

@@ -13,6 +13,7 @@
 #include "edge/central_server.h"
 #include "edge/client.h"
 #include "edge/edge_server.h"
+#include "edge/propagation/distribution_hub.h"
 
 using namespace vbtree;
 
@@ -44,10 +45,13 @@ int main() {
   SimulatedNetwork net;
   EdgeServer edges[] = {EdgeServer("edge-us"), EdgeServer("edge-eu"),
                         EdgeServer("edge-ap")};
+  DistributionHub hub(&central, &net);  // background propagator running
   for (EdgeServer& e : edges) {
-    if (!central.PublishTable("readings", &e, &net).ok()) return 1;
+    if (!hub.Subscribe(&e).ok()) return 1;
   }
-  std::printf("distributed 'readings' (%zu rows) to 3 edge servers\n", kRows);
+  if (!hub.SyncAll().ok()) return 1;
+  std::printf("hub distributed 'readings' (%zu rows) to 3 edge servers\n",
+              kRows);
 
   Client client(central.db_name(), central.key_directory());
   client.RegisterTable("readings", schema);
@@ -90,10 +94,11 @@ int main() {
 
   // --- key rotation: edge-ap misses the refresh ------------------------
   std::printf("\nrotating signing key at t=500; edge-ap keeps stale data\n");
+  // Unsubscribing edge-ap simulates a partitioned region: the propagator
+  // refreshes only the remaining subscribers after the rotation.
+  if (!hub.Unsubscribe("edge-ap").ok()) return 1;
   if (!central.RotateKey(500).ok()) return 1;
-  if (!central.PublishTable("readings", &edges[0], &net).ok()) return 1;
-  if (!central.PublishTable("readings", &edges[1], &net).ok()) return 1;
-  // edges[2] deliberately not refreshed.
+  if (!hub.SyncAll().ok()) return 1;
 
   SelectQuery probe;
   probe.table = "readings";

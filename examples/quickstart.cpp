@@ -1,7 +1,8 @@
 // Quickstart: the minimal end-to-end flow of the paper's Figure 2.
 //
 //   1. The trusted central server creates a table and builds its VB-tree.
-//   2. The table (data + signed digests) is distributed to an edge server.
+//   2. The propagation hub distributes the table (data + signed digests)
+//      to a subscribed edge server in the background.
 //   3. A client sends a range query to the edge server and receives the
 //      result together with a verification object (VO).
 //   4. The client authenticates the result using only the central
@@ -13,6 +14,7 @@
 #include "edge/central_server.h"
 #include "edge/client.h"
 #include "edge/edge_server.h"
+#include "edge/propagation/distribution_hub.h"
 
 using namespace vbtree;
 
@@ -47,11 +49,13 @@ int main() {
               rows.size(),
               central.tree("products")->root_digest().ToHex().substr(0, 16).c_str());
 
-  // --- 2. Distribute to an edge server ---------------------------------
+  // --- 2. Distribute to an edge server via the propagation hub ---------
   SimulatedNetwork net;
-  EdgeServer edge("edge-west");
-  if (!central.PublishTable("products", &edge, &net).ok()) return 1;
-  std::printf("central: published snapshot to %s (%llu bytes)\n",
+  EdgeServer edge("edge-west");  // declared before the hub: outlives it
+  DistributionHub hub(&central, &net);  // background propagator running
+  if (!hub.Subscribe(&edge).ok()) return 1;
+  if (!hub.SyncAll().ok()) return 1;  // barrier: wait until it is current
+  std::printf("hub: distributed snapshot to %s (%llu bytes)\n",
               edge.name().c_str(),
               static_cast<unsigned long long>(
                   net.stats("central->edge:edge-west").bytes));

@@ -9,6 +9,7 @@
 #include "edge/central_server.h"
 #include "edge/client.h"
 #include "edge/edge_server.h"
+#include "edge/propagation/distribution_hub.h"
 
 using namespace vbtree;
 
@@ -51,8 +52,11 @@ int main() {
   }
   if (!central.LoadTable("accounts", rows).ok()) return 1;
 
+  SimulatedNetwork net;
   EdgeServer edge("edge-sketchy");
-  if (!central.PublishTable("accounts", &edge, nullptr).ok()) return 1;
+  DistributionHub hub(&central, &net);
+  if (!hub.Subscribe(&edge).ok()) return 1;
+  if (!hub.SyncAll().ok()) return 1;
   Client client(central.db_name(), central.key_directory());
   client.RegisterTable("accounts", schema);
 
@@ -79,8 +83,11 @@ int main() {
   if (!elsewhere.ok()) return 1;
   Report("query not covering it", elsewhere->verification, false);
 
-  // Restore the replica for the remaining scenarios.
-  if (!central.PublishTable("accounts", &edge, nullptr).ok()) return 1;
+  // Heal the replica for the remaining scenarios: force a snapshot
+  // re-ship (the replica version alone looks current, so the hub must be
+  // told the state is corrupt).
+  if (!hub.ForceSnapshot("edge-sketchy").ok()) return 1;
+  if (!hub.SyncAll().ok()) return 1;
 
   std::printf("\nScenario 2: edge fabricates an extra result row\n");
   edge.set_response_tamper(ResponseTamper::kInjectRow);

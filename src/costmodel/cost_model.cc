@@ -30,6 +30,15 @@ double VBTreeFanOut(const CostParams& p) {
                                   (p.key_len + p.ptr_len + p.digest_len)));
 }
 
+double SnapshotBytesEstimate(const CostParams& p) {
+  // Per tuple: attribute values, signed attribute digests, the signed
+  // tuple digest, and the tree entry (key + pointer + amortized node
+  // digest).
+  double per_tuple = p.num_cols * p.attr_len + (p.num_cols + 1) * p.digest_len +
+                     p.key_len + p.ptr_len + p.digest_len;
+  return p.num_tuples * per_tuple;
+}
+
 double PackedHeight(double num_tuples, double fan_out) {
   return CeilLog(num_tuples, fan_out);
 }

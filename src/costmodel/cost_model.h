@@ -35,6 +35,12 @@ double BaseTableOverheadBytes(const CostParams& p);
 /// Plain B-tree fan-out: floor((|B| + |K|) / (|K| + |P|)).
 double BTreeFanOut(const CostParams& p);
 
+/// Modeled size of a full table snapshot as shipped to an edge server:
+/// per tuple, the attribute values, the signed attribute and tuple
+/// digests, and the VB-tree entry overhead (key, pointer, node digest
+/// amortized). Used by the propagation layer's snapshot-vs-delta policy.
+double SnapshotBytesEstimate(const CostParams& p);
+
 /// VB-tree fan-out (formula (6)): each entry adds a signed digest:
 /// floor((|B| + |K|) / (|K| + |P| + |s|)).
 double VBTreeFanOut(const CostParams& p);

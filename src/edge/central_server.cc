@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "edge/edge_server.h"
 #include "query/executor.h"
 
 namespace vbtree {
@@ -52,36 +51,45 @@ Status CentralServer::MakeSigner(uint64_t seed,
 
 Result<CentralServer::TableState*> CentralServer::GetTableState(
     const std::string& name) {
+  std::shared_lock maps(maps_mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no table named " + name);
-  return &it->second;
+  return it->second.get();
 }
 
 Result<const CentralServer::TableState*> CentralServer::GetTableState(
     const std::string& name) const {
+  std::shared_lock maps(maps_mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no table named " + name);
-  return &it->second;
+  return it->second.get();
 }
 
 Result<table_id_t> CentralServer::CreateTable(const std::string& name,
                                               Schema schema) {
+  std::lock_guard<std::mutex> dml(dml_mu_);
   VBT_ASSIGN_OR_RETURN(table_id_t id, catalog_.CreateTable(name, schema));
-  TableState state;
-  VBT_ASSIGN_OR_RETURN(state.heap, TableHeap::Create(pool_.get(), schema));
+  auto state = std::make_unique<TableState>(options_.update_log_window);
+  VBT_ASSIGN_OR_RETURN(state->heap, TableHeap::Create(pool_.get(), schema));
   VBTreeOptions opts = options_.tree_opts;
   opts.key_version = key_version_;
   DigestSchema ds(options_.db_name, name, schema, opts.hash_algo,
                   opts.modulus_bits);
-  state.tree = std::make_unique<VBTree>(std::move(ds), opts, current_signer_,
-                                        &lock_manager_);
-  tables_[name] = std::move(state);
+  state->tree = std::make_unique<VBTree>(std::move(ds), opts, current_signer_,
+                                         &lock_manager_);
+  {
+    std::unique_lock maps(maps_mu_);
+    tables_[name] = std::move(state);
+    table_order_.push_back(name);
+  }
   return id;
 }
 
 Status CentralServer::LoadTable(const std::string& name,
                                 std::vector<Tuple> rows) {
+  std::lock_guard<std::mutex> dml(dml_mu_);
   VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
+  std::unique_lock lock(state->mu);
   std::sort(rows.begin(), rows.end(),
             [](const Tuple& a, const Tuple& b) { return a.key() < b.key(); });
   std::vector<std::pair<Tuple, Rid>> pairs;
@@ -95,34 +103,45 @@ Status CentralServer::LoadTable(const std::string& name,
 
 Status CentralServer::InsertTuple(const std::string& name, const Tuple& tuple,
                                   txn_id_t txn) {
+  std::lock_guard<std::mutex> dml(dml_mu_);
   VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
-  VBT_ASSIGN_OR_RETURN(Rid rid, state->heap->Insert(tuple));
+  {
+    std::unique_lock lock(state->mu);
+    VBT_ASSIGN_OR_RETURN(Rid rid, state->heap->Insert(tuple));
 
-  // Record the op for delta propagation: entry signature material plus
-  // the node signatures the insert produces (deterministic signers give
-  // the same bytes the tree stores).
-  UpdateOp op;
-  op.kind = UpdateOp::Kind::kInsert;
-  op.tuple = tuple;
-  op.rid = rid;
-  VBT_ASSIGN_OR_RETURN(op.material, state->tree->MakeEntryMaterial(tuple));
-  state->tree->set_signature_log(&op.resigned);
-  Status insert_status = state->tree->Insert(tuple, rid, txn);
-  state->tree->set_signature_log(nullptr);
-  VBT_RETURN_NOT_OK(insert_status);
-  state->pending.push_back(std::move(op));
-  state->version++;
+    // Record the op for delta propagation: entry signature material plus
+    // the node signatures the insert produces (deterministic signers give
+    // the same bytes the tree stores).
+    UpdateOp op;
+    op.kind = UpdateOp::Kind::kInsert;
+    op.tuple = tuple;
+    op.rid = rid;
+    VBT_ASSIGN_OR_RETURN(op.material, state->tree->MakeEntryMaterial(tuple));
+    state->tree->set_signature_log(&op.resigned);
+    Status insert_status = state->tree->Insert(tuple, rid, txn);
+    state->tree->set_signature_log(nullptr);
+    VBT_RETURN_NOT_OK(insert_status);
+    if (state->log.head_version() + 1 != state->tree->version()) {
+      // The tree was mutated out-of-band (direct tree() access by tests
+      // or benches): those versions were never logged, so restart the
+      // lineage — stale subscribers catch up by snapshot.
+      state->log.Reset(state->tree->version() - 1);
+    }
+    state->log.Append(std::move(op));
+  }
 
-  // Incremental maintenance of join views referencing this table.
-  for (auto& [view_name, view] : views_) {
-    const JoinSpec& spec = view->spec();
+  // Incremental maintenance of join views referencing this table. DDL is
+  // excluded by dml_mu_, so iterating the view map here is safe.
+  for (auto& [view_name, vs] : views_) {
+    const JoinSpec& spec = vs->view->spec();
     if (spec.left_table == name) {
       VBT_ASSIGN_OR_RETURN(
           std::vector<Tuple> matches,
           MatchingRows(spec.right_table, spec.right_col,
                        tuple.value(spec.left_col)));
+      std::unique_lock vlock(vs->mu);
       for (const Tuple& right : matches) {
-        VBT_RETURN_NOT_OK(view->AddJoinedRow(tuple, right));
+        VBT_RETURN_NOT_OK(vs->view->AddJoinedRow(tuple, right));
       }
     }
     if (spec.right_table == name) {
@@ -130,8 +149,9 @@ Status CentralServer::InsertTuple(const std::string& name, const Tuple& tuple,
           std::vector<Tuple> matches,
           MatchingRows(spec.left_table, spec.left_col,
                        tuple.value(spec.right_col)));
+      std::unique_lock vlock(vs->mu);
       for (const Tuple& left : matches) {
-        VBT_RETURN_NOT_OK(view->AddJoinedRow(left, tuple));
+        VBT_RETURN_NOT_OK(vs->view->AddJoinedRow(left, tuple));
       }
     }
   }
@@ -140,28 +160,37 @@ Status CentralServer::InsertTuple(const std::string& name, const Tuple& tuple,
 
 Result<size_t> CentralServer::DeleteRange(const std::string& name, int64_t lo,
                                           int64_t hi, txn_id_t txn) {
+  if (lo > hi) return static_cast<size_t>(0);
+  std::lock_guard<std::mutex> dml(dml_mu_);
   VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
   std::vector<int64_t> doomed = state->tree->KeysInRange(lo, hi);
 
-  UpdateOp op;
-  op.kind = UpdateOp::Kind::kDeleteRange;
-  op.lo = lo;
-  op.hi = hi;
-  state->tree->set_signature_log(&op.resigned);
-  auto removed_or = state->tree->DeleteRange(lo, hi, txn);
-  state->tree->set_signature_log(nullptr);
-  VBT_ASSIGN_OR_RETURN(size_t removed, std::move(removed_or));
-  state->pending.push_back(std::move(op));
-  state->version++;
+  size_t removed = 0;
+  {
+    std::unique_lock lock(state->mu);
+    UpdateOp op;
+    op.kind = UpdateOp::Kind::kDeleteRange;
+    op.lo = lo;
+    op.hi = hi;
+    state->tree->set_signature_log(&op.resigned);
+    auto removed_or = state->tree->DeleteRange(lo, hi, txn);
+    state->tree->set_signature_log(nullptr);
+    VBT_ASSIGN_OR_RETURN(removed, std::move(removed_or));
+    if (state->log.head_version() + 1 != state->tree->version()) {
+      state->log.Reset(state->tree->version() - 1);
+    }
+    state->log.Append(std::move(op));
+  }
 
-  for (auto& [view_name, view] : views_) {
-    const JoinSpec& spec = view->spec();
+  for (auto& [view_name, vs] : views_) {
+    const JoinSpec& spec = vs->view->spec();
+    std::unique_lock vlock(vs->mu);
     for (int64_t key : doomed) {
       if (spec.left_table == name) {
-        VBT_RETURN_NOT_OK(view->RemoveByLeftKey(key).status());
+        VBT_RETURN_NOT_OK(vs->view->RemoveByLeftKey(key).status());
       }
       if (spec.right_table == name) {
-        VBT_RETURN_NOT_OK(view->RemoveByRightKey(key).status());
+        VBT_RETURN_NOT_OK(vs->view->RemoveByRightKey(key).status());
       }
     }
   }
@@ -172,6 +201,7 @@ Result<size_t> CentralServer::DeleteRange(const std::string& name, int64_t lo,
 Result<std::vector<Tuple>> CentralServer::MatchingRows(
     const std::string& table, size_t col, const Value& value) const {
   VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(table));
+  std::shared_lock lock(state->mu);
   // Only rows still indexed by the VB-tree count (heap may hold tombstoned
   // leftovers from deletes).
   std::vector<Tuple> out;
@@ -186,22 +216,33 @@ Result<std::vector<Tuple>> CentralServer::MatchingRows(
 }
 
 Status CentralServer::CreateJoinView(const JoinSpec& spec) {
-  if (views_.count(spec.view_name) != 0 ||
-      tables_.count(spec.view_name) != 0) {
-    return Status::AlreadyExists("name already in use: " + spec.view_name);
+  std::lock_guard<std::mutex> dml(dml_mu_);
+  {
+    std::shared_lock maps(maps_mu_);
+    if (views_.count(spec.view_name) != 0 ||
+        tables_.count(spec.view_name) != 0) {
+      return Status::AlreadyExists("name already in use: " + spec.view_name);
+    }
   }
   VBT_ASSIGN_OR_RETURN(const TableState* left, GetTableState(spec.left_table));
   VBT_ASSIGN_OR_RETURN(const TableState* right,
                        GetTableState(spec.right_table));
 
   std::vector<Tuple> left_rows, right_rows;
-  for (TableHeap::Iterator it = left->heap->Begin(); it.Valid(); it.Next()) {
-    VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
-    left_rows.push_back(std::move(t));
+  {
+    std::shared_lock llock(left->mu);
+    for (TableHeap::Iterator it = left->heap->Begin(); it.Valid(); it.Next()) {
+      VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
+      left_rows.push_back(std::move(t));
+    }
   }
-  for (TableHeap::Iterator it = right->heap->Begin(); it.Valid(); it.Next()) {
-    VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
-    right_rows.push_back(std::move(t));
+  {
+    std::shared_lock rlock(right->mu);
+    for (TableHeap::Iterator it = right->heap->Begin(); it.Valid();
+         it.Next()) {
+      VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
+      right_rows.push_back(std::move(t));
+    }
   }
 
   VBTreeOptions opts = options_.tree_opts;
@@ -214,100 +255,120 @@ Status CentralServer::CreateJoinView(const JoinSpec& spec) {
   VBT_RETURN_NOT_OK(
       catalog_.CreateTable(spec.view_name, view->schema(), /*is_view=*/true)
           .status());
-  views_[spec.view_name] = std::move(view);
+  auto vs = std::make_unique<ViewState>();
+  vs->view = std::move(view);
+  {
+    std::unique_lock maps(maps_mu_);
+    views_[spec.view_name] = std::move(vs);
+    view_order_.push_back(spec.view_name);
+  }
   return Status::OK();
 }
 
 Result<const JoinView*> CentralServer::GetJoinView(
     const std::string& view_name) const {
+  std::shared_lock maps(maps_mu_);
   auto it = views_.find(view_name);
   if (it == views_.end()) return Status::NotFound("no view " + view_name);
-  return it->second.get();
+  return it->second->view.get();
 }
 
-Result<std::vector<uint8_t>> CentralServer::ExportTableSnapshot(
-    const std::string& name) const {
-  const TableHeap* heap = nullptr;
-  const VBTree* tree = nullptr;
-  auto view_it = views_.find(name);
-  if (view_it != views_.end()) {
-    heap = view_it->second->heap();
-    tree = view_it->second->tree();
-  } else {
-    VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
-    heap = state->heap.get();
-    tree = state->tree.get();
-  }
-
-  ByteWriter w(1 << 16);
-  w.PutU32(kSnapshotMagic);
-  w.PutString(name);
-  heap->schema().Serialize(&w);
+Status CentralServer::ExportHeapAndTree(const std::string& name,
+                                        const Schema& schema,
+                                        const TableHeap* heap,
+                                        const VBTree* tree,
+                                        ByteWriter* w) const {
+  w->PutU32(kSnapshotMagic);
+  w->PutString(name);
+  schema.Serialize(w);
   // Rows with their Rids (the VB-tree's leaf entries address them by Rid).
-  size_t count_pos_rows = 0;
   std::vector<std::pair<Rid, Tuple>> rows;
   for (TableHeap::Iterator it = heap->Begin(); it.Valid(); it.Next()) {
     VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
     rows.emplace_back(it.rid(), std::move(t));
   }
-  (void)count_pos_rows;
-  w.PutVarint(rows.size());
+  w->PutVarint(rows.size());
   for (const auto& [rid, t] : rows) {
-    w.PutU32(static_cast<uint32_t>(rid.page_id));
-    w.PutU16(rid.slot);
-    t.Serialize(&w);
+    w->PutU32(static_cast<uint32_t>(rid.page_id));
+    w->PutU16(rid.slot);
+    t.Serialize(w);
   }
-  tree->SerializeTo(&w);
-  // Version lineage for delta propagation (views are always version 0:
-  // they are propagated by snapshot only).
-  uint64_t version = 0;
-  if (view_it == views_.end()) {
-    auto state_it = tables_.find(name);
-    if (state_it != tables_.end()) version = state_it->second.version;
-  }
-  w.PutU64(version);
-  return w.TakeBuffer();
+  // The tree carries the replica version.
+  tree->SerializeTo(w);
+  return Status::OK();
 }
 
-Result<std::vector<uint8_t>> CentralServer::ExportUpdateDelta(
-    const std::string& name) {
-  VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
-  UpdateBatch batch;
-  batch.table = name;
-  batch.to_version = state->version;
-  batch.from_version = state->version - state->pending.size();
-  batch.ops = std::move(state->pending);
-  state->pending.clear();
-  ByteWriter w(1 << 12);
-  batch.Serialize(&w);
-  return w.TakeBuffer();
-}
-
-Status CentralServer::PublishDelta(const std::string& name, EdgeServer* edge,
-                                   SimulatedNetwork* net) {
-  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> delta, ExportUpdateDelta(name));
-  if (net != nullptr) {
-    net->Record("central->edge:" + edge->name() + ":delta", delta.size());
+Result<std::vector<uint8_t>> CentralServer::ExportTableSnapshot(
+    const std::string& name) const {
+  ByteWriter w(1 << 16);
+  {
+    std::shared_lock maps(maps_mu_);
+    auto view_it = views_.find(name);
+    if (view_it != views_.end()) {
+      const ViewState* vs = view_it->second.get();
+      std::shared_lock vlock(vs->mu);
+      VBT_RETURN_NOT_OK(ExportHeapAndTree(name, vs->view->heap()->schema(),
+                                          vs->view->heap(), vs->view->tree(),
+                                          &w));
+      return w.TakeBuffer();
+    }
   }
-  return edge->ApplyUpdateBatch(Slice(delta));
-}
-
-Result<uint64_t> CentralServer::TableVersion(const std::string& name) const {
   VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
-  return state->version;
+  std::shared_lock lock(state->mu);
+  VBT_RETURN_NOT_OK(ExportHeapAndTree(name, state->heap->schema(),
+                                      state->heap.get(), state->tree.get(),
+                                      &w));
+  return w.TakeBuffer();
 }
 
-Status CentralServer::PublishTable(const std::string& name, EdgeServer* edge,
-                                   SimulatedNetwork* net) {
-  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> snapshot,
-                       ExportTableSnapshot(name));
-  if (net != nullptr) {
-    net->Record("central->edge:" + edge->name(), snapshot.size());
+Result<UpdateBatch> CentralServer::DeltaSince(const std::string& name,
+                                              uint64_t from_version,
+                                              size_t max_ops) const {
+  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
+  std::shared_lock lock(state->mu);
+  return state->log.BatchSince(name, from_version, max_ops);
+}
+
+Result<bool> CentralServer::DeltaCovers(const std::string& name,
+                                        uint64_t from_version) const {
+  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
+  std::shared_lock lock(state->mu);
+  // A log whose head trails the tree version means the tree was mutated
+  // out-of-band: a delta replay would silently diverge, so force a
+  // snapshot until the next DML restarts the lineage.
+  return state->log.Covers(from_version) &&
+         state->log.head_version() == state->tree->version();
+}
+
+Status CentralServer::TruncateLog(const std::string& name, uint64_t version) {
+  VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
+  std::unique_lock lock(state->mu);
+  state->log.TruncateThrough(version);
+  return Status::OK();
+}
+
+Result<uint64_t> CentralServer::VersionOf(const std::string& name) const {
+  {
+    std::shared_lock maps(maps_mu_);
+    auto view_it = views_.find(name);
+    if (view_it != views_.end()) return view_it->second->view->tree()->version();
   }
-  return edge->InstallSnapshot(Slice(snapshot));
+  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
+  return state->tree->version();
+}
+
+std::vector<std::string> CentralServer::TableNames() const {
+  std::shared_lock maps(maps_mu_);
+  return table_order_;
+}
+
+std::vector<std::string> CentralServer::ViewNames() const {
+  std::shared_lock maps(maps_mu_);
+  return view_order_;
 }
 
 Status CentralServer::RotateKey(uint64_t now) {
+  std::lock_guard<std::mutex> dml(dml_mu_);
   // Old private key retires: results signed with it remain verifiable only
   // within its (now truncated) validity window, so edge servers cannot
   // masquerade stale data as current (§3.4).
@@ -326,26 +387,35 @@ Status CentralServer::RotateKey(uint64_t now) {
       std::move(recoverer));
 
   for (auto& [name, state] : tables_) {
-    VBT_RETURN_NOT_OK(state.tree->ResignAll(
-        current_signer_, key_version_, Executor::FetcherFor(state.heap.get())));
+    std::unique_lock lock(state->mu);
+    VBT_RETURN_NOT_OK(state->tree->ResignAll(
+        current_signer_, key_version_,
+        Executor::FetcherFor(state->heap.get())));
+    // A re-sign cannot ship as a delta: restart the log lineage so every
+    // subscriber catches up with a fresh snapshot.
+    state->log.Reset(state->tree->version());
   }
-  for (auto& [name, view] : views_) {
-    VBT_RETURN_NOT_OK(view->tree()->ResignAll(
-        current_signer_, key_version_, Executor::FetcherFor(view->heap())));
+  for (auto& [name, vs] : views_) {
+    std::unique_lock vlock(vs->mu);
+    VBT_RETURN_NOT_OK(vs->view->tree()->ResignAll(
+        current_signer_, key_version_,
+        Executor::FetcherFor(vs->view->heap())));
   }
   return Status::OK();
 }
 
 VBTree* CentralServer::tree(const std::string& name) {
+  std::shared_lock maps(maps_mu_);
   auto it = tables_.find(name);
-  if (it != tables_.end()) return it->second.tree.get();
+  if (it != tables_.end()) return it->second->tree.get();
   auto vit = views_.find(name);
-  return vit != views_.end() ? vit->second->tree() : nullptr;
+  return vit != views_.end() ? vit->second->view->tree() : nullptr;
 }
 
 TableHeap* CentralServer::heap(const std::string& name) {
+  std::shared_lock maps(maps_mu_);
   auto it = tables_.find(name);
-  return it == tables_.end() ? nullptr : it->second.heap.get();
+  return it == tables_.end() ? nullptr : it->second->heap.get();
 }
 
 }  // namespace vbtree

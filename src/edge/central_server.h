@@ -3,6 +3,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -10,8 +12,7 @@
 #include "crypto/key_manager.h"
 #include "crypto/rsa_signer.h"
 #include "crypto/sim_signer.h"
-#include "edge/network.h"
-#include "edge/update_log.h"
+#include "edge/propagation/update_log.h"
 #include "query/join_view.h"
 #include "storage/table_heap.h"
 #include "txn/lock_manager.h"
@@ -19,13 +20,22 @@
 
 namespace vbtree {
 
-class EdgeServer;
-
 /// The trusted central DBMS of Fig. 2: hosts the master database, holds
 /// the private signing key, builds and maintains VB-trees (including
-/// materialized join views), applies all updates (§3.4), rotates signing
-/// keys with validity windows, and distributes table snapshots to edge
-/// servers.
+/// materialized join views), applies all updates (§3.4), and rotates
+/// signing keys with validity windows.
+///
+/// Distribution to edge servers is NOT driven from here: every DML op is
+/// recorded in a per-table, versioned UpdateLog, and the propagation
+/// subsystem (edge/propagation/distribution_hub.h) asynchronously ships
+/// batched deltas — or full snapshots for catch-up — to its subscribers.
+/// This class only exposes the versioned read surface the hub consumes:
+/// ExportTableSnapshot, DeltaSince, VersionOf, TruncateLog.
+///
+/// Concurrency: DML (InsertTuple / DeleteRange / RotateKey / DDL) is
+/// serialized by an internal mutex, mirroring the paper's single trusted
+/// writer; the export/delta read surface takes per-table shared latches
+/// and may be called concurrently with DML from the propagator thread.
 class CentralServer {
  public:
   struct Options {
@@ -41,6 +51,9 @@ class CentralServer {
     /// Validity window (logical time) granted to each key version.
     uint64_t key_validity = 1'000'000;
     size_t buffer_pool_pages = 16384;
+    /// Ops retained per table for delta propagation; subscribers further
+    /// behind than this are caught up with a snapshot.
+    size_t update_log_window = 1 << 16;
   };
 
   static Result<std::unique_ptr<CentralServer>> Create(Options options);
@@ -72,34 +85,48 @@ class CentralServer {
   Status CreateJoinView(const JoinSpec& spec);
   Result<const JoinView*> GetJoinView(const std::string& view_name) const;
 
-  // --- distribution ---
-  /// Serializes one table (or view): schema, rows with their Rids, and the
-  /// complete VB-tree.
+  // --- versioned distribution surface (consumed by DistributionHub) ---
+
+  /// Serializes one table (or view): schema, rows with their Rids, and
+  /// the complete VB-tree (which carries the replica version).
   Result<std::vector<uint8_t>> ExportTableSnapshot(
       const std::string& name) const;
 
-  /// Ships the snapshot to an edge server, recording the bytes on the
-  /// central→edge channel.
-  Status PublishTable(const std::string& name, EdgeServer* edge,
-                      SimulatedNetwork* net);
+  /// Batch of up to `max_ops` logged ops replaying `name` forward from
+  /// `from_version`. Does not consume the log — several subscribers at
+  /// different versions can each be served. kInvalidArgument when
+  /// `from_version` predates the retained window (snapshot required).
+  /// Base tables only (views are propagated by snapshot).
+  Result<UpdateBatch> DeltaSince(const std::string& name,
+                                 uint64_t from_version,
+                                 size_t max_ops = ~size_t{0}) const;
 
-  /// Serializes the updates applied to `name` since the last export as an
-  /// UpdateBatch, clearing the pending log. Base tables only (views are
-  /// propagated by snapshot).
-  Result<std::vector<uint8_t>> ExportUpdateDelta(const std::string& name);
+  /// Whether DeltaSince can serve `from_version` for `name`.
+  Result<bool> DeltaCovers(const std::string& name,
+                           uint64_t from_version) const;
 
-  /// Ships the pending delta to one edge server. NOTE: with several edge
-  /// servers, export once and apply the same bytes to each — this
-  /// convenience method clears the log after sending.
-  Status PublishDelta(const std::string& name, EdgeServer* edge,
-                      SimulatedNetwork* net);
+  /// Drops logged ops at or below `version` (the hub calls this once all
+  /// subscribers have applied them).
+  Status TruncateLog(const std::string& name, uint64_t version);
 
-  /// Ops applied to `name` since load (the table's version).
-  Result<uint64_t> TableVersion(const std::string& name) const;
+  /// Current replica version of a table or view (its VB-tree version):
+  /// the number of mutations since load. Monotone.
+  Result<uint64_t> VersionOf(const std::string& name) const;
+
+  /// Ops applied to base table `name` since load. Alias of VersionOf for
+  /// base tables.
+  Result<uint64_t> TableVersion(const std::string& name) const {
+    return VersionOf(name);
+  }
+
+  /// Names of all base tables / materialized views, in creation order.
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
 
   // --- key management (§3.4 delayed update propagation) ---
   /// Expires the current key version at `now`, generates a new key, and
-  /// re-signs every tree/view under it.
+  /// re-signs every tree/view under it. Bumps every table and view
+  /// version and resets the update logs: replicas must re-snapshot.
   Status RotateKey(uint64_t now);
 
   // --- direct access for tests and benches ---
@@ -113,10 +140,18 @@ class CentralServer {
   struct TableState {
     std::unique_ptr<TableHeap> heap;
     std::unique_ptr<VBTree> tree;
-    /// Ops applied since load; snapshot/delta version lineage.
-    uint64_t version = 0;
-    /// Updates not yet exported as a delta.
-    std::vector<UpdateOp> pending;
+    /// Retained op log; head always equals tree->version().
+    UpdateLog log;
+    /// Guards heap + log against concurrent export (tree self-latches).
+    mutable std::shared_mutex mu;
+
+    explicit TableState(size_t log_window) : log(log_window) {}
+  };
+
+  struct ViewState {
+    std::unique_ptr<JoinView> view;
+    /// Guards the view heap against concurrent export.
+    mutable std::shared_mutex mu;
   };
 
   Status MakeSigner(uint64_t seed, std::unique_ptr<Signer>* signer,
@@ -128,6 +163,10 @@ class CentralServer {
   /// maintenance helper).
   Result<std::vector<Tuple>> MatchingRows(const std::string& table, size_t col,
                                           const Value& value) const;
+
+  Status ExportHeapAndTree(const std::string& name, const Schema& schema,
+                           const TableHeap* heap, const VBTree* tree,
+                           ByteWriter* w) const;
 
   Options options_;
   Catalog catalog_;
@@ -142,8 +181,15 @@ class CentralServer {
 
   std::unique_ptr<InMemoryDiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
-  std::map<std::string, TableState> tables_;
-  std::map<std::string, std::unique_ptr<JoinView>> views_;
+
+  /// Serializes all DML/DDL (single trusted writer, as in the paper).
+  std::mutex dml_mu_;
+  /// Guards the table/view maps themselves (DDL vs lookups).
+  mutable std::shared_mutex maps_mu_;
+  std::map<std::string, std::unique_ptr<TableState>> tables_;
+  std::map<std::string, std::unique_ptr<ViewState>> views_;
+  std::vector<std::string> table_order_;
+  std::vector<std::string> view_order_;
 };
 
 }  // namespace vbtree

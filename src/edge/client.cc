@@ -1,5 +1,7 @@
 #include "edge/client.h"
 
+#include <algorithm>
+
 #include "query/query_serde.h"
 
 namespace vbtree {
@@ -11,7 +13,7 @@ void Client::RegisterTable(const std::string& table, Schema schema,
 
 Result<Client::Verified> Client::Query(EdgeServer* edge,
                                        const SelectQuery& query, uint64_t now,
-                                       SimulatedNetwork* net) {
+                                       Transport* net) {
   auto meta_it = tables_.find(query.table);
   if (meta_it == tables_.end()) {
     return Status::InvalidArgument("table not registered with client: " +
@@ -22,17 +24,23 @@ Result<Client::Verified> Client::Query(EdgeServer* edge,
   SelectQuery q = query;
   q.NormalizeProjection();
 
+  EdgeChannels* channels = nullptr;
+  if (net != nullptr) {
+    channels = &channels_[edge->name()];
+    if (channels->transport != net) {
+      channels->transport = net;
+      channels->up = net->Channel("client->edge:" + edge->name());
+      channels->down = net->Channel("edge:" + edge->name() + "->client");
+    }
+  }
+
   // --- request over the wire ---
   ByteWriter req;
   SerializeSelectQuery(q, &req);
-  if (net != nullptr) {
-    net->Record("client->edge:" + edge->name(), req.size());
-  }
+  if (channels != nullptr) net->Record(channels->up, req.size());
   VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> resp_bytes,
                        edge->HandleQueryBytes(Slice(req.buffer())));
-  if (net != nullptr) {
-    net->Record("edge:" + edge->name() + "->client", resp_bytes.size());
-  }
+  if (channels != nullptr) net->Record(channels->down, resp_bytes.size());
 
   // --- parse ---
   ByteReader r((Slice(resp_bytes)));
@@ -45,6 +53,8 @@ Result<Client::Verified> Client::Query(EdgeServer* edge,
   out.result_bytes = resp.result_bytes;
   out.vo_bytes = resp.vo_bytes;
   out.vo_digests = resp.vo.DigestCount();
+
+  out.replica_version = resp.replica_version;
 
   // --- key freshness (§3.4): reject stale key versions ---
   auto rec_or = keys_->RecovererFor(resp.vo.key_version, now);
@@ -63,6 +73,17 @@ Result<Client::Verified> Client::Query(EdgeServer* edge,
   verifier.set_counters(&out.counters);
   out.verification = verifier.VerifySelect(q, resp.rows, resp.vo);
   out.rows = std::move(resp.rows);
+
+  // --- replica freshness: flag non-monotonic reads across edges ---
+  // The replica version is reported by the (untrusted) edge outside the
+  // VO, so it only informs the watermark when the answer itself
+  // authenticated — otherwise a tampered response could poison the
+  // staleness signal for every later honest read.
+  if (out.verification.ok()) {
+    uint64_t& watermark = freshness_[query.table];
+    out.stale_replica = resp.replica_version < watermark;
+    watermark = std::max(watermark, resp.replica_version);
+  }
   return out;
 }
 

@@ -8,7 +8,7 @@
 #include "crypto/counting_recoverer.h"
 #include "crypto/key_manager.h"
 #include "edge/edge_server.h"
-#include "edge/network.h"
+#include "edge/propagation/transport.h"
 #include "vbtree/verifier.h"
 
 namespace vbtree {
@@ -18,6 +18,13 @@ namespace vbtree {
 /// using the central server's public key — resolved through the
 /// KeyDirectory so results signed with an expired key version are
 /// rejected (§3.4).
+///
+/// The client also tracks the highest replica version it has seen per
+/// table: an answer from a less up-to-date edge is flagged stale
+/// (authentic-but-old data is exactly what a compromised or lagging edge
+/// could serve within a key validity window).
+///
+/// Not internally synchronized: use one Client per thread.
 class Client {
  public:
   Client(std::string db_name, KeyDirectory* keys)
@@ -34,6 +41,11 @@ class Client {
     std::vector<ResultRow> rows;
     /// OK, or kVerificationFailure with the reason.
     Status verification;
+    /// Version of the replica that served the answer.
+    uint64_t replica_version = 0;
+    /// True when this answer came from a replica older than one this
+    /// client already read for the same table (monotonic-read check).
+    bool stale_replica = false;
     size_t request_bytes = 0;
     size_t result_bytes = 0;
     size_t vo_bytes = 0;
@@ -47,7 +59,7 @@ class Client {
   /// `now`. Transport errors surface as the outer Status; authentication
   /// failures are reported in Verified::verification.
   Result<Verified> Query(EdgeServer* edge, const SelectQuery& query,
-                         uint64_t now, SimulatedNetwork* net = nullptr);
+                         uint64_t now, Transport* net = nullptr);
 
  private:
   struct TableMeta {
@@ -56,9 +68,20 @@ class Client {
     int modulus_bits;
   };
 
+  /// Interned request/response channel ids, cached per edge so the query
+  /// hot path records bytes without string lookups.
+  struct EdgeChannels {
+    Transport* transport = nullptr;
+    channel_id_t up = kInvalidChannel;
+    channel_id_t down = kInvalidChannel;
+  };
+
   std::string db_name_;
   KeyDirectory* keys_;
   std::map<std::string, TableMeta> tables_;
+  std::map<std::string, EdgeChannels> channels_;
+  /// Highest replica version seen per table (monotonic-read watermark).
+  std::map<std::string, uint64_t> freshness_;
 };
 
 }  // namespace vbtree

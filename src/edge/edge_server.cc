@@ -1,6 +1,6 @@
 #include "edge/edge_server.h"
 
-#include "edge/update_log.h"
+#include "edge/propagation/update_log.h"
 #include "query/query_serde.h"
 
 namespace vbtree {
@@ -31,7 +31,8 @@ Status EdgeServer::InstallSnapshot(Slice snapshot) {
   // Edge replicas have no signer: updates are rejected locally and must be
   // routed to the central server (§3.4).
   VBT_ASSIGN_OR_RETURN(replica.tree, VBTree::Deserialize(&r, nullptr));
-  VBT_ASSIGN_OR_RETURN(replica.version, r.ReadU64());
+  // The tree carries its replica version end-to-end.
+  replica.version = replica.tree->version();
   std::unique_lock lock(mu_);
   tables_[table] = std::move(replica);
   return Status::OK();
@@ -72,6 +73,12 @@ Status EdgeServer::ApplyUpdateBatch(Slice batch_bytes) {
       return Status::Corruption("delta replay diverged: unused signatures");
     }
   }
+  if (replica.tree->version() != batch.to_version) {
+    return Status::Corruption("delta replay diverged: replica version " +
+                              std::to_string(replica.tree->version()) +
+                              " != batch to_version " +
+                              std::to_string(batch.to_version));
+  }
   replica.version = batch.to_version;
   return Status::OK();
 }
@@ -94,6 +101,7 @@ Result<QueryResponse> EdgeServer::HandleQuery(const SelectQuery& query) const {
   QueryResponse resp;
   resp.rows = std::move(out.rows);
   resp.vo = std::move(out.vo);
+  resp.replica_version = replica.version;
   ApplyResponseTamper(&resp);
   resp.result_bytes = 0;
   for (const ResultRow& row : resp.rows) {
@@ -151,6 +159,7 @@ const VBTree* EdgeServer::tree(const std::string& table) const {
 }
 
 void SerializeQueryResponse(const QueryResponse& resp, ByteWriter* w) {
+  w->PutU64(resp.replica_version);
   SerializeResultRows(resp.rows, w);
   resp.vo.Serialize(w);
 }
@@ -159,6 +168,7 @@ Result<QueryResponse> DeserializeQueryResponse(
     ByteReader* r, const Schema& schema,
     const std::vector<size_t>& projection) {
   QueryResponse resp;
+  VBT_ASSIGN_OR_RETURN(resp.replica_version, r->ReadU64());
   size_t start = r->position();
   VBT_ASSIGN_OR_RETURN(resp.rows,
                        DeserializeResultRows(r, schema, projection));

@@ -30,6 +30,10 @@ enum class ResponseTamper {
 struct QueryResponse {
   std::vector<ResultRow> rows;
   VerificationObject vo;
+  /// Version of the replica that served the answer (monotone per table;
+  /// §3.4): lets clients detect an edge serving staler data than one
+  /// they already read from.
+  uint64_t replica_version = 0;
   /// Exact byte sizes of the two response components as serialized.
   size_t result_bytes = 0;
   size_t vo_bytes = 0;
@@ -56,8 +60,11 @@ class EdgeServer {
 
   /// Applies a serialized UpdateBatch (delta propagation, §3.4): each op
   /// is replayed structurally against the replica tree, with the central
-  /// server's signatures spliced in. Fails with kInvalidArgument on a
-  /// version gap (the replica must then request a full snapshot).
+  /// server's signatures spliced in. Version-gated: fails with
+  /// kInvalidArgument unless the batch starts exactly at the replica's
+  /// version (the propagation hub then catches the replica up with a
+  /// full snapshot). Thread-safe: replay takes the exclusive latch, so
+  /// in-flight queries finish against the old state first.
   Status ApplyUpdateBatch(Slice batch);
 
   /// Current replica version of `table` (number of ops applied since its

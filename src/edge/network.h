@@ -1,54 +1,15 @@
 #ifndef VBTREE_EDGE_NETWORK_H_
 #define VBTREE_EDGE_NETWORK_H_
 
-#include <cstdint>
-#include <map>
-#include <mutex>
-#include <string>
+#include "edge/propagation/transport.h"
 
 namespace vbtree {
 
-/// In-process stand-in for the network between central server, edge
-/// servers and clients. Every message's exact serialized size is recorded
-/// per channel; the communication-cost experiments (Fig. 10/11) read these
-/// counters instead of timing a real NIC, which is what the paper's
-/// formulas model (bytes on the wire).
-class SimulatedNetwork {
- public:
-  struct ChannelStats {
-    uint64_t messages = 0;
-    uint64_t bytes = 0;
-  };
-
-  void Record(const std::string& channel, size_t bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ChannelStats& s = channels_[channel];
-    s.messages++;
-    s.bytes += bytes;
-  }
-
-  ChannelStats stats(const std::string& channel) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = channels_.find(channel);
-    return it == channels_.end() ? ChannelStats{} : it->second;
-  }
-
-  uint64_t total_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    uint64_t n = 0;
-    for (const auto& [name, s] : channels_) n += s.bytes;
-    return n;
-  }
-
-  void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
-    channels_.clear();
-  }
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::string, ChannelStats> channels_;
-};
+/// Historical name of the in-process byte-accounting transport. The
+/// implementation lives in edge/propagation/transport.h; this alias keeps
+/// the Fig. 10/11 benches, examples and tests reading the same counters
+/// they always did.
+using SimulatedNetwork = InProcessTransport;
 
 }  // namespace vbtree
 

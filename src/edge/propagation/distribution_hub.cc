@@ -1,0 +1,381 @@
+#include "edge/propagation/distribution_hub.h"
+
+#include <algorithm>
+
+#include "costmodel/cost_model.h"
+#include "edge/central_server.h"
+#include "edge/edge_server.h"
+
+namespace vbtree {
+
+DistributionHub::DistributionHub(CentralServer* central, Transport* transport,
+                                 PropagationOptions options)
+    : central_(central), transport_(transport), options_(options) {
+  if (options_.auto_start) Start();
+}
+
+DistributionHub::~DistributionHub() { Stop(); }
+
+Status DistributionHub::Subscribe(EdgeServer* edge) {
+  if (edge == nullptr) return Status::InvalidArgument("null edge server");
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (const auto& sub : subscribers_) {
+    if (sub->edge->name() == edge->name()) {
+      return Status::AlreadyExists("already subscribed: " + edge->name());
+    }
+  }
+  auto sub = std::make_unique<Subscriber>();
+  sub->edge = edge;
+  if (transport_ != nullptr) {
+    sub->snapshot_channel =
+        transport_->Channel("central->edge:" + edge->name());
+    sub->delta_channel =
+        transport_->Channel("central->edge:" + edge->name() + ":delta");
+  }
+  subscribers_.push_back(std::move(sub));
+  return Status::OK();
+}
+
+Status DistributionHub::Unsubscribe(const std::string& edge_name) {
+  // Hold the flush latch so no in-flight round still references the
+  // subscriber being destroyed.
+  std::lock_guard<std::mutex> flush(flush_mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
+    if ((*it)->edge->name() == edge_name) {
+      subscribers_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no subscriber named " + edge_name);
+}
+
+void DistributionHub::Start() {
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = false;
+  }
+  propagator_ = std::thread([this] { PropagatorLoop(); });
+}
+
+void DistributionHub::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (propagator_.joinable()) propagator_.join();
+}
+
+void DistributionHub::PropagatorLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mu_);
+      stop_cv_.wait_for(lock, options_.flush_interval,
+                        [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    // Errors are counted in stats; the propagator keeps going (a failed
+    // subscriber is retried — typically via snapshot catch-up — on the
+    // next round).
+    (void)FlushOnce();
+  }
+}
+
+Status DistributionHub::FlushOnce() {
+  std::lock_guard<std::mutex> flush(flush_mu_);
+  snapshot_cache_.clear();
+  Status s = BuildAndRunPlan();
+  snapshot_cache_.clear();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.flushes++;
+  }
+  return s;
+}
+
+std::vector<std::string> DistributionHub::DistributedNames() const {
+  std::vector<std::string> names = central_->TableNames();
+  if (options_.distribute_views) {
+    std::vector<std::string> views = central_->ViewNames();
+    names.insert(names.end(), views.begin(), views.end());
+  }
+  return names;
+}
+
+Result<std::shared_ptr<const std::vector<uint8_t>>>
+DistributionHub::SnapshotBytes(const std::string& name) {
+  auto it = snapshot_cache_.find(name);
+  if (it != snapshot_cache_.end()) return it->second;
+  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       central_->ExportTableSnapshot(name));
+  auto shared = std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+  snapshot_cache_[name] = shared;
+  return shared;
+}
+
+Status DistributionHub::BuildAndRunPlan() {
+  std::vector<std::string> names = DistributedNames();
+  std::vector<std::string> view_list = central_->ViewNames();
+  std::set<std::string> views(view_list.begin(), view_list.end());
+
+  std::map<std::string, uint64_t> heads;
+  for (const std::string& name : names) {
+    auto head = central_->VersionOf(name);
+    if (head.ok()) heads[name] = *head;
+  }
+
+  // Plan under the registry lock: who needs what, and from which version.
+  struct Want {
+    Subscriber* sub;
+    std::string name;
+    uint64_t from_version;
+    bool snapshot;
+    bool catch_up;
+  };
+  std::vector<Want> wants;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (const auto& sub : subscribers_) {
+      for (const auto& [name, head] : heads) {
+        auto applied_it = sub->applied.find(name);
+        bool have = applied_it != sub->applied.end();
+        uint64_t v = have ? applied_it->second : 0;
+        bool force = sub->force_snapshot.count(name) != 0;
+        if (have && v == head && !force) continue;
+        Want w{sub.get(), name, v, /*snapshot=*/true, /*catch_up=*/false};
+        if (have && !force && views.count(name) == 0 &&
+            options_.policy != ShipPolicy::kSnapshotOnly) {
+          auto covers = central_->DeltaCovers(name, v);
+          if (covers.ok() && *covers) {
+            w.snapshot = false;
+          } else {
+            w.catch_up = true;  // fell behind the retained window
+          }
+        }
+        wants.push_back(std::move(w));
+      }
+    }
+  }
+  if (wants.empty()) return Status::OK();
+
+  // Serialize payloads outside the registry lock, once per distinct
+  // (table, from_version): a delta batch is shared by every subscriber at
+  // the same version, a snapshot by all of them.
+  std::map<std::pair<std::string, uint64_t>,
+           std::shared_ptr<const std::vector<uint8_t>>>
+      delta_cache;
+  // (table, from_version) pairs already judged snapshot-cheaper, so the
+  // remaining subscribers at the same version skip the discarded
+  // serialization.
+  std::set<std::pair<std::string, uint64_t>> snapshot_decisions;
+  std::vector<ShipJob> jobs;
+  jobs.reserve(wants.size());
+  Status first_error = Status::OK();
+  for (Want& w : wants) {
+    ShipJob job;
+    job.sub = w.sub;
+    job.name = w.name;
+    job.is_catch_up = w.catch_up;
+    if (!w.snapshot) {
+      auto key = std::make_pair(w.name, w.from_version);
+      if (snapshot_decisions.count(key) != 0) w.snapshot = true;
+      auto cached = delta_cache.find(key);
+      if (!w.snapshot && cached == delta_cache.end()) {
+        auto batch =
+            central_->DeltaSince(w.name, w.from_version, options_.max_batch_ops);
+        if (!batch.ok()) {
+          // Raced with a log reset (e.g. key rotation): snapshot instead.
+          w.snapshot = true;
+          w.catch_up = true;
+        } else {
+          ByteWriter writer(1 << 12);
+          batch->Serialize(&writer);
+          auto bytes = std::make_shared<const std::vector<uint8_t>>(
+              writer.TakeBuffer());
+          if (options_.policy == ShipPolicy::kCostBased) {
+            // A delta bigger than the modeled snapshot is a loss: the
+            // replica can be rebuilt for less than replaying the churn.
+            const VBTree* tree = central_->tree(w.name);
+            if (tree != nullptr) {
+              costmodel::CostParams p;
+              p.num_tuples = static_cast<double>(tree->size());
+              p.num_cols = static_cast<double>(
+                  tree->digest_schema().schema().num_columns());
+              if (static_cast<double>(bytes->size()) >
+                  costmodel::SnapshotBytesEstimate(p)) {
+                w.snapshot = true;
+              }
+            }
+          }
+          if (!w.snapshot) {
+            cached = delta_cache.emplace(key, std::move(bytes)).first;
+          } else {
+            snapshot_decisions.insert(key);
+          }
+        }
+      }
+      if (!w.snapshot) {
+        job.is_snapshot = false;
+        job.bytes = cached->second;
+      }
+    }
+    if (w.snapshot) {
+      job.is_snapshot = true;
+      job.is_catch_up = w.catch_up;
+      auto snap = SnapshotBytes(w.name);
+      if (!snap.ok()) {
+        if (first_error.ok()) first_error = snap.status();
+        continue;
+      }
+      job.bytes = *snap;
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  // Ship to all stale subscribers concurrently (bounded fan-out).
+  size_t workers = std::min(options_.ship_concurrency, jobs.size());
+  if (workers <= 1) {
+    for (const ShipJob& job : jobs) {
+      Status s = RunJob(job);
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::mutex err_mu;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t t = 0; t < workers; ++t) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < jobs.size();
+             i = next.fetch_add(1)) {
+          Status s = RunJob(jobs[i]);
+          if (!s.ok()) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (first_error.ok()) first_error = s;
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // GC: drop log entries every subscriber has applied.
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!subscribers_.empty()) {
+      for (const auto& [name, head] : heads) {
+        if (views.count(name) != 0) continue;
+        uint64_t min_applied = ~uint64_t{0};
+        for (const auto& sub : subscribers_) {
+          auto it = sub->applied.find(name);
+          min_applied = std::min(min_applied,
+                                 it == sub->applied.end() ? 0 : it->second);
+        }
+        if (min_applied > 0) (void)central_->TruncateLog(name, min_applied);
+      }
+    }
+  }
+  return first_error;
+}
+
+Status DistributionHub::RunJob(const ShipJob& job) {
+  auto account = [&](channel_id_t channel, size_t bytes, bool snapshot,
+                     bool catch_up) {
+    if (transport_ != nullptr && channel != kInvalidChannel) {
+      transport_->Record(channel, bytes);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.bytes_shipped += bytes;
+    if (snapshot) {
+      stats_.snapshots_shipped++;
+      if (catch_up) stats_.catch_up_snapshots++;
+    } else {
+      stats_.deltas_shipped++;
+    }
+  };
+
+  Status applied;
+  if (job.is_snapshot) {
+    account(job.sub->snapshot_channel, job.bytes->size(), true,
+            job.is_catch_up);
+    applied = job.sub->edge->InstallSnapshot(Slice(*job.bytes));
+  } else {
+    account(job.sub->delta_channel, job.bytes->size(), false, false);
+    applied = job.sub->edge->ApplyUpdateBatch(Slice(*job.bytes));
+    if (!applied.ok()) {
+      // Version gap or corrupted replica state: self-heal with a full
+      // snapshot (serialized fresh — this path is rare).
+      auto snap = central_->ExportTableSnapshot(job.name);
+      if (snap.ok()) {
+        account(job.sub->snapshot_channel, snap->size(), true, true);
+        applied = job.sub->edge->InstallSnapshot(Slice(*snap));
+      } else {
+        applied = snap.status();
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (applied.ok()) {
+    job.sub->applied[job.name] = job.sub->edge->TableVersion(job.name);
+    job.sub->force_snapshot.erase(job.name);
+  } else {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.ship_errors++;
+  }
+  return applied;
+}
+
+bool DistributionHub::Converged() {
+  std::vector<std::string> names = DistributedNames();
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (const std::string& name : names) {
+    auto head = central_->VersionOf(name);
+    if (!head.ok()) continue;
+    for (const auto& sub : subscribers_) {
+      auto it = sub->applied.find(name);
+      if (it == sub->applied.end() || it->second != *head) return false;
+      if (sub->force_snapshot.count(name) != 0) return false;
+    }
+  }
+  return true;
+}
+
+Status DistributionHub::SyncAll(size_t max_rounds) {
+  for (size_t round = 0; round < max_rounds; ++round) {
+    VBT_RETURN_NOT_OK(FlushOnce());
+    if (Converged()) return Status::OK();
+  }
+  return Status::Internal(
+      "propagation did not converge (central server still being updated?)");
+}
+
+Status DistributionHub::ForceSnapshot(const std::string& edge_name) {
+  std::vector<std::string> names = DistributedNames();
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (const auto& sub : subscribers_) {
+    if (sub->edge->name() != edge_name) continue;
+    sub->force_snapshot.insert(names.begin(), names.end());
+    return Status::OK();
+  }
+  return Status::NotFound("no subscriber named " + edge_name);
+}
+
+std::map<std::string, uint64_t> DistributionHub::SubscriberVersions(
+    const std::string& edge_name) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (const auto& sub : subscribers_) {
+    if (sub->edge->name() == edge_name) return sub->applied;
+  }
+  return {};
+}
+
+DistributionHub::HubStats DistributionHub::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace vbtree

@@ -1,0 +1,212 @@
+#ifndef VBTREE_EDGE_PROPAGATION_TRANSPORT_H_
+#define VBTREE_EDGE_PROPAGATION_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vbtree {
+
+/// Stable handle for one directed message channel (e.g.
+/// "central->edge:edge-us:delta"). Interned once; recording against the
+/// id afterwards is lock-free.
+using channel_id_t = uint32_t;
+
+inline constexpr channel_id_t kInvalidChannel = ~0u;
+
+/// Abstraction of the network between central server, edge servers and
+/// clients. Implementations account every message's exact serialized
+/// size per channel; the communication-cost experiments (Fig. 10/11) and
+/// the propagation benches read these counters instead of timing a real
+/// NIC, which is what the paper's formulas model (bytes on the wire).
+class Transport {
+ public:
+  struct ChannelStats {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+  };
+
+  virtual ~Transport() = default;
+
+  /// Interns `name`, returning its stable channel id. Safe to call
+  /// concurrently; the same name always yields the same id.
+  virtual channel_id_t Channel(const std::string& name) = 0;
+
+  /// Accounts one message of `bytes` on an interned channel. Hot path:
+  /// implementations must not take a global lock here.
+  virtual void Record(channel_id_t channel, size_t bytes) = 0;
+
+  /// Convenience for cold paths and tests: intern + record.
+  void Record(const std::string& channel, size_t bytes) {
+    Record(Channel(channel), bytes);
+  }
+
+  virtual ChannelStats stats(channel_id_t channel) const = 0;
+  virtual ChannelStats stats(const std::string& channel) const = 0;
+  virtual uint64_t total_bytes() const = 0;
+
+  /// Zeroes all counters (channel ids remain valid).
+  virtual void Reset() = 0;
+};
+
+/// In-process transport: delivery is a function call (the caller invokes
+/// the receiver directly); this class only does the exact byte
+/// accounting. Channel names are interned to dense ids under a mutex
+/// once; every Record(id, n) afterwards is two relaxed atomic adds on
+/// that channel's own counters — no map lookup, no global lock — so a
+/// fleet of edge servers and clients can account traffic concurrently
+/// without serializing on the bookkeeping.
+class InProcessTransport : public Transport {
+ public:
+  InProcessTransport() : counters_(new Counters[kMaxChannels]) {}
+
+  channel_id_t Channel(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    if (num_channels_.load(std::memory_order_relaxed) >= kOverflowChannel) {
+      // The reserved overflow bucket: never handed out as a real id, so
+      // totals stay exact even though per-channel attribution is lost
+      // for names interned past the cap.
+      return kOverflowChannel;
+    }
+    channel_id_t id = num_channels_.load(std::memory_order_relaxed);
+    ids_.emplace(name, id);
+    names_.push_back(name);
+    num_channels_.store(id + 1, std::memory_order_release);
+    return id;
+  }
+
+  using Transport::Record;
+  void Record(channel_id_t channel, size_t bytes) override {
+    if (channel >= kMaxChannels) return;
+    Counters& c = counters_[channel];
+    c.messages.fetch_add(1, std::memory_order_relaxed);
+    c.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  ChannelStats stats(channel_id_t channel) const override {
+    if (channel >= num_channels_.load(std::memory_order_acquire) &&
+        channel != kOverflowChannel) {
+      return {};
+    }
+    const Counters& c = counters_[channel];
+    return ChannelStats{c.messages.load(std::memory_order_relaxed),
+                        c.bytes.load(std::memory_order_relaxed)};
+  }
+
+  ChannelStats stats(const std::string& channel) const override {
+    channel_id_t id;
+    {
+      std::lock_guard<std::mutex> lock(intern_mu_);
+      auto it = ids_.find(channel);
+      if (it == ids_.end()) return {};
+      id = it->second;
+    }
+    return stats(id);
+  }
+
+  uint64_t total_bytes() const override {
+    uint64_t n = 0;
+    uint32_t count = num_channels_.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < count; ++i) {
+      n += counters_[i].bytes.load(std::memory_order_relaxed);
+    }
+    n += counters_[kOverflowChannel].bytes.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  void Reset() override {
+    uint32_t count = num_channels_.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < count; ++i) {
+      counters_[i].messages.store(0, std::memory_order_relaxed);
+      counters_[i].bytes.store(0, std::memory_order_relaxed);
+    }
+    counters_[kOverflowChannel].messages.store(0, std::memory_order_relaxed);
+    counters_[kOverflowChannel].bytes.store(0, std::memory_order_relaxed);
+  }
+
+  /// All channel names interned so far (diagnostics).
+  std::vector<std::string> ChannelNames() const {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    return names_;
+  }
+
+ protected:
+  static constexpr size_t kMaxChannels = 4096;
+  /// Reserved: shared bucket for channels interned past the cap.
+  static constexpr channel_id_t kOverflowChannel = kMaxChannels - 1;
+
+  struct Counters {
+    std::atomic<uint64_t> messages{0};
+    std::atomic<uint64_t> bytes{0};
+  };
+
+  std::unique_ptr<Counters[]> counters_;
+  mutable std::mutex intern_mu_;
+  std::unordered_map<std::string, channel_id_t> ids_;
+  std::vector<std::string> names_;
+  std::atomic<uint32_t> num_channels_{0};
+};
+
+/// Latency/bandwidth-modeled transport: same exact byte accounting as
+/// InProcessTransport, plus a virtual clock per channel — each message
+/// costs `latency_us` plus its serialized size over `bandwidth_bps`.
+/// The accumulated per-channel transfer time lets experiments report
+/// modeled wall-clock (e.g. WAN distribution lag across a fleet of edge
+/// servers) without sleeping the simulation.
+class ModeledTransport : public InProcessTransport {
+ public:
+  struct Options {
+    /// One-way propagation delay per message, microseconds.
+    uint64_t latency_us = 20'000;  // 20 ms: a WAN hop
+    /// Channel bandwidth, bytes per second.
+    uint64_t bandwidth_bps = 12'500'000;  // 100 Mbit/s
+  };
+
+  ModeledTransport() : ModeledTransport(Options{}) {}
+  explicit ModeledTransport(Options options)
+      : options_(options), micros_(new std::atomic<uint64_t>[kMaxChannels]) {
+    for (size_t i = 0; i < kMaxChannels; ++i) micros_[i] = 0;
+  }
+
+  using Transport::Record;
+  void Record(channel_id_t channel, size_t bytes) override {
+    InProcessTransport::Record(channel, bytes);
+    if (channel >= kMaxChannels) return;
+    uint64_t us = options_.latency_us;
+    if (options_.bandwidth_bps > 0) {
+      us += (static_cast<uint64_t>(bytes) * 1'000'000) / options_.bandwidth_bps;
+    }
+    micros_[channel].fetch_add(us, std::memory_order_relaxed);
+  }
+
+  /// Modeled cumulative transfer time on `channel`, microseconds.
+  uint64_t SimulatedMicros(const std::string& channel) const {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    auto it = ids_.find(channel);
+    if (it == ids_.end()) return 0;
+    return micros_[it->second].load(std::memory_order_relaxed);
+  }
+
+  void Reset() override {
+    InProcessTransport::Reset();
+    uint32_t count = num_channels_.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < count; ++i) {
+      micros_[i].store(0, std::memory_order_relaxed);
+    }
+    micros_[kOverflowChannel].store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<std::atomic<uint64_t>[]> micros_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_EDGE_PROPAGATION_TRANSPORT_H_

@@ -1,4 +1,6 @@
-#include "edge/update_log.h"
+#include "edge/propagation/update_log.h"
+
+#include <algorithm>
 
 namespace vbtree {
 
@@ -84,6 +86,10 @@ Result<UpdateBatch> UpdateBatch::Deserialize(
   VBT_ASSIGN_OR_RETURN(batch.to_version, r->ReadU64());
   VBT_ASSIGN_OR_RETURN(Schema schema, schema_for(batch.table));
   VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+  if (batch.to_version < batch.from_version ||
+      batch.to_version - batch.from_version != n) {
+    return Status::Corruption("delta op count does not match version span");
+  }
   batch.ops.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     VBT_ASSIGN_OR_RETURN(UpdateOp op, UpdateOp::Deserialize(r, schema));
@@ -96,6 +102,47 @@ size_t UpdateBatch::SerializedSize() const {
   ByteWriter w;
   Serialize(&w);
   return w.size();
+}
+
+void UpdateLog::Append(UpdateOp op) {
+  ops_.push_back(std::move(op));
+  if (ops_.size() > max_retained_) {
+    ops_.pop_front();
+    base_++;
+  }
+}
+
+Result<UpdateBatch> UpdateLog::BatchSince(const std::string& table,
+                                          uint64_t from_version,
+                                          size_t max_ops) const {
+  if (!Covers(from_version)) {
+    return Status::InvalidArgument(
+        "version " + std::to_string(from_version) +
+        " predates the retained log window [" + std::to_string(base_) + ", " +
+        std::to_string(head_version()) + "]; a full snapshot is required");
+  }
+  size_t skip = static_cast<size_t>(from_version - base_);
+  size_t count = std::min(ops_.size() - skip, max_ops);
+  UpdateBatch batch;
+  batch.table = table;
+  batch.from_version = from_version;
+  batch.to_version = from_version + count;
+  batch.ops.assign(ops_.begin() + static_cast<ptrdiff_t>(skip),
+                   ops_.begin() + static_cast<ptrdiff_t>(skip + count));
+  return batch;
+}
+
+void UpdateLog::TruncateThrough(uint64_t version) {
+  uint64_t through = std::min(version, head_version());
+  while (!ops_.empty() && base_ < through) {
+    ops_.pop_front();
+    base_++;
+  }
+}
+
+void UpdateLog::Reset(uint64_t new_base) {
+  ops_.clear();
+  base_ = new_base;
 }
 
 }  // namespace vbtree

@@ -359,6 +359,7 @@ Status VBTree::InsertEntry(LeafEntry entry) {
     root_ = std::move(new_root);
   }
   size_++;
+  version_++;
   return Status::OK();
 }
 
@@ -538,6 +539,7 @@ Result<size_t> VBTree::DeleteRangeLocked(int64_t lo, int64_t hi) {
     root_->digest = ds_.ghash().Identity();
     VBT_RETURN_NOT_OK(ResignNode(root_.get()));
   }
+  version_++;
   return removed;
 }
 
@@ -760,6 +762,9 @@ Status VBTree::ResignAll(Signer* new_signer, uint32_t new_key_version,
   std::unique_lock latch(latch_);
   signer_ = new_signer;
   opts_.key_version = new_key_version;
+  // Re-signing invalidates every replica: bump the version so the
+  // propagation layer re-distributes (deltas cannot express a re-sign).
+  version_++;
   return ResignRec(root_.get(), fetch);
 }
 
@@ -770,6 +775,11 @@ Status VBTree::ResignAll(Signer* new_signer, uint32_t new_key_version,
 Digest VBTree::root_digest() const {
   std::shared_lock latch(latch_);
   return root_->digest;
+}
+
+uint64_t VBTree::version() const {
+  std::shared_lock latch(latch_);
+  return version_;
 }
 
 Signature VBTree::root_signature() const {
@@ -1006,6 +1016,7 @@ void VBTree::SerializeTo(ByteWriter* w) const {
   w->PutU32(static_cast<uint32_t>(opts_.config.max_internal));
   w->PutU32(static_cast<uint32_t>(opts_.config.max_leaf));
   w->PutVarint(size_);
+  w->PutVarint(version_);
   SerializeNode(root_.get(), w);
 }
 
@@ -1111,6 +1122,7 @@ Result<std::unique_ptr<VBTree>> VBTree::Deserialize(ByteReader* r,
   opts.config.max_internal = static_cast<int>(max_internal);
   opts.config.max_leaf = static_cast<int>(max_leaf);
   VBT_ASSIGN_OR_RETURN(uint64_t size, r->ReadVarint());
+  VBT_ASSIGN_OR_RETURN(uint64_t version, r->ReadVarint());
 
   DigestSchema ds(db, table, schema, opts.hash_algo, opts.modulus_bits);
   auto tree = std::unique_ptr<VBTree>(
@@ -1126,6 +1138,7 @@ Result<std::unique_ptr<VBTree>> VBTree::Deserialize(ByteReader* r,
     leaves[i]->next = (i + 1 == leaves.size()) ? nullptr : leaves[i + 1];
   }
   tree->size_ = size;
+  tree->version_ = version;
   tree->next_node_id_ = max_id + 1;
   tree->InitExponents(tree->root_.get());
   return tree;

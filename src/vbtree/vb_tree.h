@@ -131,6 +131,13 @@ class VBTree {
   Digest root_digest() const;
   Signature root_signature() const;
   uint32_t key_version() const { return opts_.key_version; }
+
+  /// Monotone replica version: the number of mutations (inserts, range
+  /// deletes, re-signs) applied since bulk load. Carried through
+  /// serialization, so an edge replica reports exactly the central
+  /// version its tree reflects; clients compare versions across edges to
+  /// detect stale replicas (§3.4 delayed update propagation).
+  uint64_t version() const;
   const DigestSchema& digest_schema() const { return ds_; }
   const VBTreeOptions& options() const { return opts_; }
 
@@ -290,6 +297,7 @@ class VBTree {
   mutable std::shared_mutex latch_;
   std::unique_ptr<Node> root_;
   size_t size_ = 0;
+  uint64_t version_ = 0;
   uint64_t next_node_id_ = 1;
   /// Central side: copies of signatures produced by ResignNode, in order.
   std::vector<Signature>* signature_log_ = nullptr;

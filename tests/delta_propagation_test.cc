@@ -3,7 +3,7 @@
 #include "edge/central_server.h"
 #include "edge/client.h"
 #include "edge/edge_server.h"
-#include "edge/update_log.h"
+#include "edge/propagation/update_log.h"
 #include "tests/testutil.h"
 
 namespace vbtree {
@@ -29,7 +29,7 @@ class DeltaTest : public ::testing::Test {
     ASSERT_TRUE(
         central_->LoadTable("t", testutil::MakeRows(schema_, 1000, &rng)).ok());
     edge_ = std::make_unique<EdgeServer>("edge-delta");
-    ASSERT_TRUE(central_->PublishTable("t", edge_.get(), &net_).ok());
+    ASSERT_TRUE(testutil::Publish(central_.get(), "t", edge_.get(), &net_).ok());
   }
 
   void ApplyUpdates(int inserts, bool with_deletes) {
@@ -80,7 +80,7 @@ class DeltaTest : public ::testing::Test {
 
 TEST_F(DeltaTest, InsertDeltaReplaysExactly) {
   ApplyUpdates(50, /*with_deletes=*/false);
-  ASSERT_TRUE(central_->PublishDelta("t", edge_.get(), &net_).ok());
+  ASSERT_TRUE(testutil::PublishDelta(central_.get(), "t", edge_.get(), &net_).ok());
   ExpectEdgeMatchesCentral();
   EXPECT_EQ(edge_->TableVersion("t"), 50u);
   auto r = Query(9990, 10049);
@@ -90,7 +90,7 @@ TEST_F(DeltaTest, InsertDeltaReplaysExactly) {
 
 TEST_F(DeltaTest, MixedDeltaWithDeletesReplaysExactly) {
   ApplyUpdates(30, /*with_deletes=*/true);
-  ASSERT_TRUE(central_->PublishDelta("t", edge_.get(), &net_).ok());
+  ASSERT_TRUE(testutil::PublishDelta(central_.get(), "t", edge_.get(), &net_).ok());
   ExpectEdgeMatchesCentral();
   auto r = Query(80, 600);
   EXPECT_TRUE(r.verification.ok()) << r.verification.ToString();
@@ -101,7 +101,7 @@ TEST_F(DeltaTest, MixedDeltaWithDeletesReplaysExactly) {
 TEST_F(DeltaTest, SplitsReplayDeterministically) {
   // Enough inserts to force leaf and internal splits (fan-out 8).
   ApplyUpdates(400, /*with_deletes=*/true);
-  ASSERT_TRUE(central_->PublishDelta("t", edge_.get(), &net_).ok());
+  ASSERT_TRUE(testutil::PublishDelta(central_.get(), "t", edge_.get(), &net_).ok());
   ExpectEdgeMatchesCentral();
 }
 
@@ -115,7 +115,7 @@ TEST_F(DeltaTest, SequentialDeltasAccumulate) {
               .ok());
     }
     ASSERT_TRUE(central_->DeleteRange("t", round * 30, round * 30 + 9).ok());
-    ASSERT_TRUE(central_->PublishDelta("t", edge_.get(), &net_).ok());
+    ASSERT_TRUE(testutil::PublishDelta(central_.get(), "t", edge_.get(), &net_).ok());
     ExpectEdgeMatchesCentral();
   }
   EXPECT_EQ(edge_->TableVersion("t"), 4u * 21u);
@@ -123,35 +123,58 @@ TEST_F(DeltaTest, SequentialDeltasAccumulate) {
 
 TEST_F(DeltaTest, VersionGapRejected) {
   ApplyUpdates(5, false);
-  // Export (and lose) the first delta, then try to apply the next one.
-  ASSERT_TRUE(central_->ExportUpdateDelta("t").ok());
   ApplyUpdates(3, false);
-  auto delta = central_->ExportUpdateDelta("t");
-  ASSERT_TRUE(delta.ok());
-  Status s = edge_->ApplyUpdateBatch(Slice(*delta));
+  // A batch starting past the replica's version (skipping the first 5
+  // ops) must be rejected: replay is version-gated.
+  auto batch = central_->DeltaSince("t", 5);
+  ASSERT_TRUE(batch.ok());
+  ByteWriter w;
+  batch->Serialize(&w);
+  Status s = edge_->ApplyUpdateBatch(Slice(w.buffer()));
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   // Recovery: a fresh snapshot resets the lineage.
-  ASSERT_TRUE(central_->PublishTable("t", edge_.get(), &net_).ok());
+  ASSERT_TRUE(testutil::Publish(central_.get(), "t", edge_.get(), &net_).ok());
   ExpectEdgeMatchesCentral();
+}
+
+TEST_F(DeltaTest, LogWindowEvictionForcesSnapshot) {
+  // With a tiny retained window the oldest ops are evicted, and a
+  // subscriber that far behind can no longer be served a delta.
+  CentralServer::Options options;
+  options.tree_opts.config.max_internal = 8;
+  options.update_log_window = 4;
+  SetUpWith(options);
+  ApplyUpdates(10, false);
+  auto covers = central_->DeltaCovers("t", 0);
+  ASSERT_TRUE(covers.ok());
+  EXPECT_FALSE(*covers);
+  EXPECT_EQ(central_->DeltaSince("t", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  // The most recent window is still serveable.
+  ASSERT_TRUE(central_->DeltaSince("t", 6).ok());
 }
 
 TEST_F(DeltaTest, DeltaMuchSmallerThanSnapshot) {
   ApplyUpdates(20, false);
   auto snapshot = central_->ExportTableSnapshot("t");
-  auto delta = central_->ExportUpdateDelta("t");
+  auto delta = central_->DeltaSince("t", 0);
   ASSERT_TRUE(snapshot.ok() && delta.ok());
-  EXPECT_LT(delta->size() * 10, snapshot->size())
-      << "delta " << delta->size() << " vs snapshot " << snapshot->size();
+  size_t delta_size = delta->SerializedSize();
+  EXPECT_LT(delta_size * 10, snapshot->size())
+      << "delta " << delta_size << " vs snapshot " << snapshot->size();
 }
 
 TEST_F(DeltaTest, SameDeltaFansOutToManyEdges) {
   EdgeServer edge2("edge-2");
-  ASSERT_TRUE(central_->PublishTable("t", &edge2, &net_).ok());
+  ASSERT_TRUE(testutil::Publish(central_.get(), "t", &edge2, &net_).ok());
   ApplyUpdates(25, true);
-  auto delta = central_->ExportUpdateDelta("t");
-  ASSERT_TRUE(delta.ok());
-  ASSERT_TRUE(edge_->ApplyUpdateBatch(Slice(*delta)).ok());
-  ASSERT_TRUE(edge2.ApplyUpdateBatch(Slice(*delta)).ok());
+  // One serialization serves every subscriber at the same version.
+  auto batch = central_->DeltaSince("t", 0);
+  ASSERT_TRUE(batch.ok());
+  ByteWriter w;
+  batch->Serialize(&w);
+  ASSERT_TRUE(edge_->ApplyUpdateBatch(Slice(w.buffer())).ok());
+  ASSERT_TRUE(edge2.ApplyUpdateBatch(Slice(w.buffer())).ok());
   EXPECT_EQ(edge_->tree("t")->root_digest(), edge2.tree("t")->root_digest());
   ExpectEdgeMatchesCentral();
 }
@@ -161,10 +184,12 @@ TEST_F(DeltaTest, TamperedDeltaSignatureCaughtByClients) {
   // The edge applies it blindly — it cannot sign, and does not verify —
   // but every client query whose VO touches that node now fails.
   ApplyUpdates(10, false);
-  auto delta = central_->ExportUpdateDelta("t");
-  ASSERT_TRUE(delta.ok());
+  auto batch = central_->DeltaSince("t", 0);
+  ASSERT_TRUE(batch.ok());
+  ByteWriter w;
+  batch->Serialize(&w);
   // Flip a byte near the end (inside the last op's resigned signatures).
-  std::vector<uint8_t> bad = *delta;
+  std::vector<uint8_t> bad = w.TakeBuffer();
   bad[bad.size() - 3] ^= 0x40;
   Status applied = edge_->ApplyUpdateBatch(Slice(bad));
   if (applied.ok()) {
@@ -183,7 +208,7 @@ TEST_F(DeltaTest, IncrementalStrategyDeltasReplay) {
   options.tree_opts.update_strategy = DigestUpdateStrategy::kIncremental;
   SetUpWith(options);
   ApplyUpdates(60, true);
-  ASSERT_TRUE(central_->PublishDelta("t", edge_.get(), &net_).ok());
+  ASSERT_TRUE(testutil::PublishDelta(central_.get(), "t", edge_.get(), &net_).ok());
   ExpectEdgeMatchesCentral();
   auto r = Query(0, 99);
   EXPECT_TRUE(r.verification.ok()) << r.verification.ToString();
@@ -197,7 +222,7 @@ TEST_F(DeltaTest, RsaDeltasReplay) {
   options.tree_opts.config.max_internal = 8;
   SetUpWith(options);
   ApplyUpdates(5, false);
-  ASSERT_TRUE(central_->PublishDelta("t", edge_.get(), &net_).ok());
+  ASSERT_TRUE(testutil::PublishDelta(central_.get(), "t", edge_.get(), &net_).ok());
   ExpectEdgeMatchesCentral();
   auto r = Query(9995, 10005);
   EXPECT_TRUE(r.verification.ok()) << r.verification.ToString();

@@ -28,8 +28,8 @@ class EdgeComputingTest : public ::testing::Test {
 
     edge1_ = std::make_unique<EdgeServer>("edge-1");
     edge2_ = std::make_unique<EdgeServer>("edge-2");
-    ASSERT_TRUE(central_->PublishTable("items", edge1_.get(), &net_).ok());
-    ASSERT_TRUE(central_->PublishTable("items", edge2_.get(), &net_).ok());
+    ASSERT_TRUE(testutil::Publish(central_.get(), "items", edge1_.get(), &net_).ok());
+    ASSERT_TRUE(testutil::Publish(central_.get(), "items", edge2_.get(), &net_).ok());
 
     client_ = std::make_unique<Client>(central_->db_name(),
                                        central_->key_directory());
@@ -142,7 +142,7 @@ TEST_F(EdgeComputingTest, UpdatePropagationKeepsEdgesVerifiable) {
             .ok());
   }
   ASSERT_TRUE(central_->DeleteRange("items", 0, 49).ok());
-  ASSERT_TRUE(central_->PublishTable("items", edge1_.get(), &net_).ok());
+  ASSERT_TRUE(testutil::Publish(central_.get(), "items", edge1_.get(), &net_).ok());
 
   auto result = client_->Query(edge1_.get(), RangeQuery(0, 6000), 10, &net_);
   ASSERT_TRUE(result.ok());
@@ -155,7 +155,7 @@ TEST_F(EdgeComputingTest, UpdatePropagationKeepsEdgesVerifiable) {
 TEST_F(EdgeComputingTest, StaleKeyVersionRejected) {
   // Rotate the signing key at t=100. edge2 keeps the OLD snapshot.
   ASSERT_TRUE(central_->RotateKey(100).ok());
-  ASSERT_TRUE(central_->PublishTable("items", edge1_.get(), &net_).ok());
+  ASSERT_TRUE(testutil::Publish(central_.get(), "items", edge1_.get(), &net_).ok());
 
   // Before expiry, the stale edge still verifies (its window is valid).
   auto pre = client_->Query(edge2_.get(), RangeQuery(0, 50), 99, &net_);
@@ -189,7 +189,7 @@ TEST_F(EdgeComputingTest, RsaBackedEndToEnd) {
           .ok());
 
   EdgeServer edge("edge-rsa");
-  ASSERT_TRUE((*central)->PublishTable("small", &edge, nullptr).ok());
+  ASSERT_TRUE(testutil::Publish((*central).get(), "small", &edge, nullptr).ok());
   Client client((*central)->db_name(), (*central)->key_directory());
   client.RegisterTable("small", schema);
 

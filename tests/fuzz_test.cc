@@ -124,7 +124,7 @@ TEST_P(WireFuzz, MutatedQueriesNeverCrashEdge) {
   ASSERT_NE(central, nullptr);
   static EdgeServer edge("fuzz-edge");
   static bool published = [&] {
-    return central->PublishTable("t", &edge, nullptr).ok();
+    return testutil::Publish(central.get(), "t", &edge, nullptr).ok();
   }();
   ASSERT_TRUE(published);
 
@@ -160,15 +160,18 @@ TEST_P(WireFuzz, MutatedDeltasNeverCorruptSilently) {
   ASSERT_TRUE(
       central.LoadTable("t", testutil::MakeRows(schema, 200, &data_rng)).ok());
   EdgeServer edge("edge");
-  ASSERT_TRUE(central.PublishTable("t", &edge, nullptr).ok());
+  ASSERT_TRUE(testutil::Publish(&central, "t", &edge, nullptr).ok());
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(
         central
             .InsertTuple("t", testutil::MakeTuple(schema, 1000 + i, &data_rng))
             .ok());
   }
-  auto delta = central.ExportUpdateDelta("t");
-  ASSERT_TRUE(delta.ok());
+  auto batch = central.DeltaSince("t", 0);
+  ASSERT_TRUE(batch.ok());
+  ByteWriter delta_writer;
+  batch->Serialize(&delta_writer);
+  std::vector<uint8_t> delta = delta_writer.TakeBuffer();
 
   Client client(central.db_name(), central.key_directory());
   client.RegisterTable("t", schema);
@@ -183,7 +186,7 @@ TEST_P(WireFuzz, MutatedDeltasNeverCorruptSilently) {
     // victim is already current; wind it back by installing the snapshot
     // from before the updates is not possible here, so instead apply the
     // mutated delta to the stale `edge_`-style replica: recreate it.
-    std::vector<uint8_t> bytes = *delta;
+    std::vector<uint8_t> bytes = delta;
     bytes[rng.Uniform(bytes.size())] ^=
         static_cast<uint8_t>(1 + rng.Uniform(255));
     Status s = edge.ApplyUpdateBatch(Slice(bytes));
@@ -195,7 +198,7 @@ TEST_P(WireFuzz, MutatedDeltasNeverCorruptSilently) {
       q.range = KeyRange{0, 2000};
       (void)client.Query(&edge, q, 1, nullptr);
       // Restore the replica for the next trial.
-      ASSERT_TRUE(central.PublishTable("t", &edge, nullptr).ok());
+      ASSERT_TRUE(testutil::Publish(&central, "t", &edge, nullptr).ok());
     }
   }
   SUCCEED();

@@ -27,7 +27,7 @@ TEST(IntegrationTest, LifecycleAtScale) {
 
   SimulatedNetwork net;
   EdgeServer edge("edge-1");
-  ASSERT_TRUE(central.PublishTable("t", &edge, &net).ok());
+  ASSERT_TRUE(testutil::Publish(&central, "t", &edge, &net).ok());
   Client client(central.db_name(), central.key_directory());
   client.RegisterTable("t", schema);
 
@@ -57,7 +57,7 @@ TEST(IntegrationTest, LifecycleAtScale) {
   }
   ASSERT_TRUE(central.DeleteRange("t", 5000, 5999).ok());
   ASSERT_TRUE(central.tree("t")->CheckDigestConsistency().ok());
-  ASSERT_TRUE(central.PublishTable("t", &edge, &net).ok());
+  ASSERT_TRUE(testutil::Publish(&central, "t", &edge, &net).ok());
 
   SelectQuery wide;
   wide.table = "t";

@@ -66,7 +66,7 @@ TEST_F(JoinViewTest, ViewIsQueryableAndVerifiable) {
   // Distribute the view to an edge server and run an authenticated query.
   EdgeServer edge("edge-1");
   SimulatedNetwork net;
-  ASSERT_TRUE(central_->PublishTable("orders_customers", &edge, &net).ok());
+  ASSERT_TRUE(testutil::Publish(central_.get(), "orders_customers", &edge, &net).ok());
 
   Client client(central_->db_name(), central_->key_directory());
   auto info = central_->DescribeTable("orders_customers");
@@ -85,7 +85,7 @@ TEST_F(JoinViewTest, ViewIsQueryableAndVerifiable) {
 TEST_F(JoinViewTest, ViewProjectionVerifies) {
   EdgeServer edge("edge-1");
   ASSERT_TRUE(
-      central_->PublishTable("orders_customers", &edge, nullptr).ok());
+      testutil::Publish(central_.get(), "orders_customers", &edge, nullptr).ok());
   Client client(central_->db_name(), central_->key_directory());
   auto info = central_->DescribeTable("orders_customers");
   ASSERT_TRUE(info.ok());
@@ -162,7 +162,7 @@ TEST_F(JoinViewTest, ViewStaysVerifiableAfterMaintenance) {
 
   EdgeServer edge("edge-1");
   ASSERT_TRUE(
-      central_->PublishTable("orders_customers", &edge, nullptr).ok());
+      testutil::Publish(central_.get(), "orders_customers", &edge, nullptr).ok());
   Client client(central_->db_name(), central_->key_directory());
   auto info = central_->DescribeTable("orders_customers");
   ASSERT_TRUE(info.ok());

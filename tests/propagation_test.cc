@@ -1,0 +1,518 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "edge/central_server.h"
+#include "edge/client.h"
+#include "edge/edge_server.h"
+#include "edge/propagation/distribution_hub.h"
+#include "edge/propagation/transport.h"
+#include "edge/propagation/update_log.h"
+#include "tests/testutil.h"
+
+namespace vbtree {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Transport: interned channels, exact accounting, modeled timing.
+// ---------------------------------------------------------------------------
+
+TEST(TransportTest, InterningIsStableAndAccountingExact) {
+  InProcessTransport net;
+  channel_id_t a = net.Channel("central->edge:e1");
+  channel_id_t b = net.Channel("central->edge:e2");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, net.Channel("central->edge:e1"));
+
+  net.Record(a, 100);
+  net.Record(a, 23);
+  net.Record("central->edge:e2", 7);  // string convenience path
+  EXPECT_EQ(net.stats("central->edge:e1").messages, 2u);
+  EXPECT_EQ(net.stats("central->edge:e1").bytes, 123u);
+  EXPECT_EQ(net.stats(b).bytes, 7u);
+  EXPECT_EQ(net.total_bytes(), 130u);
+  EXPECT_EQ(net.stats("never-used").bytes, 0u);
+
+  net.Reset();
+  EXPECT_EQ(net.total_bytes(), 0u);
+  // Ids stay valid after Reset.
+  net.Record(a, 5);
+  EXPECT_EQ(net.stats("central->edge:e1").bytes, 5u);
+}
+
+TEST(TransportTest, ConcurrentRecordsStayExact) {
+  InProcessTransport net;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  channel_id_t shared = net.Channel("shared");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&net, shared, t] {
+      channel_id_t own = net.Channel("own:" + std::to_string(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        net.Record(shared, 3);
+        net.Record(own, 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(net.stats("shared").messages,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(net.stats("shared").bytes,
+            static_cast<uint64_t>(kThreads) * kPerThread * 3);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(net.stats("own:" + std::to_string(t)).bytes,
+              static_cast<uint64_t>(kPerThread));
+  }
+}
+
+TEST(TransportTest, ModeledTransportAccumulatesTransferTime) {
+  ModeledTransport::Options opts;
+  opts.latency_us = 1000;
+  opts.bandwidth_bps = 1'000'000;  // 1 MB/s -> 1 us per byte
+  ModeledTransport net(opts);
+  channel_id_t ch = net.Channel("wan");
+  net.Record(ch, 500);
+  net.Record(ch, 1500);
+  // 2 * 1000 us latency + 2000 bytes * 1 us.
+  EXPECT_EQ(net.SimulatedMicros("wan"), 2u * 1000u + 2000u);
+  EXPECT_EQ(net.stats("wan").bytes, 2000u);  // byte accounting unchanged
+  net.Reset();
+  EXPECT_EQ(net.SimulatedMicros("wan"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// UpdateLog: retained window mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(UpdateLogTest, WindowBatchingAndTruncation) {
+  UpdateLog log(/*max_retained=*/4);
+  EXPECT_EQ(log.head_version(), 0u);
+  EXPECT_TRUE(log.Covers(0));
+
+  for (int i = 0; i < 3; ++i) log.Append(UpdateOp{});
+  EXPECT_EQ(log.head_version(), 3u);
+  EXPECT_EQ(log.base_version(), 0u);
+
+  auto batch = log.BatchSince("t", 1, 100);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->from_version, 1u);
+  EXPECT_EQ(batch->to_version, 3u);
+  EXPECT_EQ(batch->ops.size(), 2u);
+
+  auto capped = log.BatchSince("t", 0, 2);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->to_version, 2u);
+
+  // Eviction past the window advances the base.
+  for (int i = 0; i < 3; ++i) log.Append(UpdateOp{});
+  EXPECT_EQ(log.head_version(), 6u);
+  EXPECT_EQ(log.base_version(), 2u);
+  EXPECT_FALSE(log.Covers(0));
+  EXPECT_FALSE(log.BatchSince("t", 1, 10).ok());
+
+  log.TruncateThrough(5);
+  EXPECT_EQ(log.base_version(), 5u);
+  EXPECT_EQ(log.retained(), 1u);
+  log.TruncateThrough(100);  // clamped to head
+  EXPECT_EQ(log.base_version(), 6u);
+  EXPECT_EQ(log.head_version(), 6u);
+
+  log.Reset(42);
+  EXPECT_EQ(log.base_version(), 42u);
+  EXPECT_EQ(log.head_version(), 42u);
+  EXPECT_FALSE(log.Covers(6));
+}
+
+// ---------------------------------------------------------------------------
+// DistributionHub: multi-edge propagation.
+// ---------------------------------------------------------------------------
+
+class PropagationTest : public ::testing::Test {
+ protected:
+  void Init(CentralServer::Options options, size_t rows = 1000) {
+    options.tree_opts.config.max_internal = 8;
+    options.tree_opts.config.max_leaf = 8;
+    auto central = CentralServer::Create(options);
+    ASSERT_TRUE(central.ok());
+    central_ = central.MoveValueUnsafe();
+    schema_ = testutil::MakeWideSchema(6);
+    ASSERT_TRUE(central_->CreateTable("t", schema_).ok());
+    Rng rng(42);
+    ASSERT_TRUE(
+        central_->LoadTable("t", testutil::MakeRows(schema_, rows, &rng))
+            .ok());
+  }
+
+  void ExpectReplicaMatchesCentral(const EdgeServer& edge) {
+    const VBTree* replica = edge.tree("t");
+    ASSERT_NE(replica, nullptr) << edge.name();
+    EXPECT_EQ(replica->root_digest(), central_->tree("t")->root_digest())
+        << edge.name();
+    EXPECT_EQ(replica->version(), central_->tree("t")->version())
+        << edge.name();
+    EXPECT_TRUE(replica->CheckDigestConsistency().ok()) << edge.name();
+  }
+
+  Schema schema_;
+  std::unique_ptr<CentralServer> central_;
+};
+
+TEST_F(PropagationTest, MultiEdgeConvergenceUnderConcurrentChurn) {
+  Init({});
+  InProcessTransport net;
+  // Subscribers are declared before the hub so that, on any early test
+  // exit, the propagator thread stops before the edges it points at die.
+  constexpr int kEdges = 5;
+  std::vector<std::unique_ptr<EdgeServer>> edges;
+  for (int i = 0; i < kEdges; ++i) {
+    edges.push_back(
+        std::make_unique<EdgeServer>("edge-" + std::to_string(i)));
+  }
+  PropagationOptions popts;
+  popts.flush_interval = std::chrono::milliseconds(2);
+  popts.max_batch_ops = 16;  // several background batches per burst
+  DistributionHub hub(central_.get(), &net, popts);
+  for (auto& edge : edges) ASSERT_TRUE(hub.Subscribe(edge.get()).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+
+  // Clients hammer the edges while the writer churns and the propagator
+  // ships batches in the background.
+  std::atomic<bool> stop{false};
+  std::atomic<int> query_errors{0};
+  std::atomic<int> verified{0};
+  std::vector<std::thread> readers;
+  // Stops and joins the readers even when an ASSERT exits the test body
+  // early (a joinable std::thread destructor would std::terminate).
+  struct ReaderGuard {
+    std::atomic<bool>& stop;
+    std::vector<std::thread>& threads;
+    ~ReaderGuard() {
+      stop = true;
+      for (auto& t : threads) {
+        if (t.joinable()) t.join();
+      }
+    }
+  } reader_guard{stop, readers};
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      Client client(central_->db_name(), central_->key_directory());
+      client.RegisterTable("t", schema_);
+      Rng rng(500 + t);
+      while (!stop.load()) {
+        SelectQuery q;
+        q.table = "t";
+        int64_t lo = static_cast<int64_t>(rng.Uniform(900));
+        q.range = KeyRange{lo, lo + 40};
+        auto r = client.Query(edges[rng.Uniform(kEdges)].get(), q, 1, &net);
+        if (!r.ok() || !r->verification.ok()) {
+          query_errors++;
+        } else {
+          verified++;
+        }
+      }
+    });
+  }
+
+  // Interleaved inserts and range deletes at the central server.
+  Rng wrng(7);
+  int64_t next_key = 10000;
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 15; ++i) {
+      ASSERT_TRUE(
+          central_
+              ->InsertTuple("t", testutil::MakeTuple(schema_, next_key++,
+                                                     &wrng))
+              .ok());
+    }
+    ASSERT_TRUE(
+        central_->DeleteRange("t", burst * 40, burst * 40 + 9).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+
+  ASSERT_TRUE(hub.SyncAll().ok());
+  stop = true;
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(query_errors.load(), 0);
+  EXPECT_GT(verified.load(), 0);
+  EXPECT_TRUE(hub.Converged());
+  for (const auto& edge : edges) ExpectReplicaMatchesCentral(*edge);
+
+  // The background propagator really shipped in batches: with
+  // max_batch_ops=16 and 160 ops, there must be several deltas.
+  auto stats = hub.stats();
+  EXPECT_GE(stats.deltas_shipped, static_cast<uint64_t>(kEdges));
+  // Exact byte accounting flowed through the per-edge channels.
+  uint64_t channel_bytes = 0;
+  for (const auto& edge : edges) {
+    channel_bytes += net.stats("central->edge:" + edge->name()).bytes;
+    channel_bytes +=
+        net.stats("central->edge:" + edge->name() + ":delta").bytes;
+  }
+  EXPECT_EQ(channel_bytes, stats.bytes_shipped);
+}
+
+TEST_F(PropagationTest, StaleEdgeDetectedByClientWatermark) {
+  Init({});
+  InProcessTransport net;
+  PropagationOptions popts;
+  popts.auto_start = false;
+  DistributionHub hub(central_.get(), &net, popts);
+  EdgeServer fresh("edge-fresh"), stale("edge-stale");
+  ASSERT_TRUE(hub.Subscribe(&fresh).ok());
+  ASSERT_TRUE(hub.Subscribe(&stale).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+
+  // edge-stale drops off the propagation fleet, then the data moves on.
+  ASSERT_TRUE(hub.Unsubscribe("edge-stale").ok());
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        central_->InsertTuple("t", testutil::MakeTuple(schema_, 5000 + i,
+                                                       &rng))
+            .ok());
+  }
+  ASSERT_TRUE(hub.SyncAll().ok());
+  EXPECT_EQ(fresh.TableVersion("t"), 20u);
+  EXPECT_EQ(stale.TableVersion("t"), 0u);
+
+  Client client(central_->db_name(), central_->key_directory());
+  client.RegisterTable("t", schema_);
+  SelectQuery q;
+  q.table = "t";
+  q.range = KeyRange{0, 50};
+
+  auto first = client.Query(&fresh, q, 1, &net);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->verification.ok());
+  EXPECT_FALSE(first->stale_replica);
+  EXPECT_EQ(first->replica_version, 20u);
+
+  // Same client hits the lagging edge: authentic data, but flagged stale
+  // (the VO still verifies — freshness is a separate, version-based
+  // signal until the signing key expires).
+  auto lagging = client.Query(&stale, q, 1, &net);
+  ASSERT_TRUE(lagging.ok());
+  EXPECT_TRUE(lagging->verification.ok());
+  EXPECT_TRUE(lagging->stale_replica);
+  EXPECT_EQ(lagging->replica_version, 0u);
+
+  auto back = client.Query(&fresh, q, 1, &net);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->stale_replica);
+}
+
+TEST_F(PropagationTest, LogEvictionTriggersSnapshotCatchUp) {
+  CentralServer::Options options;
+  options.update_log_window = 8;
+  Init(options);
+  InProcessTransport net;
+  PropagationOptions popts;
+  popts.auto_start = false;
+  popts.policy = ShipPolicy::kDeltaPreferred;
+  DistributionHub hub(central_.get(), &net, popts);
+  EdgeServer edge("edge-behind");
+  ASSERT_TRUE(hub.Subscribe(&edge).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+
+  // 50 ops blow through the 8-op window while the subscriber sleeps.
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        central_->InsertTuple("t", testutil::MakeTuple(schema_, 7000 + i,
+                                                       &rng))
+            .ok());
+  }
+  ASSERT_TRUE(hub.SyncAll().ok());
+  ExpectReplicaMatchesCentral(edge);
+  auto stats = hub.stats();
+  EXPECT_GE(stats.catch_up_snapshots, 1u);
+}
+
+TEST_F(PropagationTest, SnapshotOnlyPolicyNeverShipsDeltas) {
+  Init({}, /*rows=*/200);
+  InProcessTransport net;
+  PropagationOptions popts;
+  popts.auto_start = false;
+  popts.policy = ShipPolicy::kSnapshotOnly;
+  DistributionHub hub(central_.get(), &net, popts);
+  EdgeServer edge("edge-1");
+  ASSERT_TRUE(hub.Subscribe(&edge).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        central_->InsertTuple("t", testutil::MakeTuple(schema_, 900 + i,
+                                                       &rng))
+            .ok());
+  }
+  ASSERT_TRUE(hub.SyncAll().ok());
+  ExpectReplicaMatchesCentral(edge);
+  auto stats = hub.stats();
+  EXPECT_EQ(stats.deltas_shipped, 0u);
+  EXPECT_GE(stats.snapshots_shipped, 2u);
+  EXPECT_EQ(net.stats("central->edge:edge-1:delta").bytes, 0u);
+}
+
+TEST_F(PropagationTest, CostBasedPolicySnapshotsWhenDeltaIsBigger) {
+  Init({}, /*rows=*/20);  // tiny table: snapshots are cheap
+  InProcessTransport net;
+  PropagationOptions popts;
+  popts.auto_start = false;
+  popts.policy = ShipPolicy::kCostBased;
+  popts.max_batch_ops = 4096;
+  DistributionHub hub(central_.get(), &net, popts);
+  EdgeServer edge("edge-1");
+  ASSERT_TRUE(hub.Subscribe(&edge).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+
+  // Churn far exceeding the table size: replaying it as a delta would
+  // cost more bytes than re-shipping the 20-row table.
+  Rng rng(11);
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(
+        central_->InsertTuple("t", testutil::MakeTuple(schema_, 100 + round,
+                                                       &rng))
+            .ok());
+    ASSERT_TRUE(central_->DeleteRange("t", 100 + round, 100 + round).ok());
+  }
+  ASSERT_TRUE(hub.SyncAll().ok());
+  ExpectReplicaMatchesCentral(edge);
+  auto stats = hub.stats();
+  EXPECT_GE(stats.snapshots_shipped, 2u)
+      << "cost-based policy should have preferred a snapshot";
+}
+
+TEST_F(PropagationTest, ForceSnapshotHealsTamperedReplica) {
+  Init({}, /*rows=*/300);
+  InProcessTransport net;
+  PropagationOptions popts;
+  popts.auto_start = false;
+  DistributionHub hub(central_.get(), &net, popts);
+  EdgeServer edge("edge-hacked");
+  ASSERT_TRUE(hub.Subscribe(&edge).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+
+  ASSERT_TRUE(
+      edge.TamperValueByKey("t", 150, 2, Value::Str("EVIL")).ok());
+  Client client(central_->db_name(), central_->key_directory());
+  client.RegisterTable("t", schema_);
+  SelectQuery q;
+  q.table = "t";
+  q.range = KeyRange{140, 160};
+  auto bad = client.Query(&edge, q, 1, &net);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_TRUE(bad->verification.IsVerificationFailure());
+
+  // The replica version looks current, so only an explicit force heals.
+  ASSERT_TRUE(hub.SyncAll().ok());  // no-op: hub believes edge is current
+  ASSERT_TRUE(hub.ForceSnapshot("edge-hacked").ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+  auto good = client.Query(&edge, q, 1, &net);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->verification.ok()) << good->verification.ToString();
+}
+
+TEST_F(PropagationTest, KeyRotationForcesFleetResnapshot) {
+  Init({}, /*rows=*/200);
+  InProcessTransport net;
+  PropagationOptions popts;
+  popts.auto_start = false;
+  DistributionHub hub(central_.get(), &net, popts);
+  EdgeServer e1("edge-1"), e2("edge-2");
+  ASSERT_TRUE(hub.Subscribe(&e1).ok());
+  ASSERT_TRUE(hub.Subscribe(&e2).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+  auto before = hub.stats();
+
+  ASSERT_TRUE(central_->RotateKey(100).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+  ExpectReplicaMatchesCentral(e1);
+  ExpectReplicaMatchesCentral(e2);
+  auto after = hub.stats();
+  EXPECT_GE(after.snapshots_shipped, before.snapshots_shipped + 2);
+
+  // Both edges serve results signed with the fresh key.
+  Client client(central_->db_name(), central_->key_directory());
+  client.RegisterTable("t", schema_);
+  SelectQuery q;
+  q.table = "t";
+  q.range = KeyRange{0, 30};
+  for (EdgeServer* e : {&e1, &e2}) {
+    auto r = client.Query(e, q, /*now=*/150, &net);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->verification.ok()) << r->verification.ToString();
+  }
+}
+
+TEST_F(PropagationTest, ViewsPropagateBySnapshot) {
+  Init({}, /*rows=*/60);
+  // A second table and a join view over both.
+  Schema right({{"id", TypeId::kInt64}, {"tag", TypeId::kString}});
+  ASSERT_TRUE(central_->CreateTable("r", right).ok());
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 60; ++i) {
+    rows.push_back(Tuple({Value::Int(i), Value::Str("tag")}));
+  }
+  ASSERT_TRUE(central_->LoadTable("r", rows).ok());
+  JoinSpec spec;
+  spec.view_name = "tr";
+  spec.left_table = "t";
+  spec.right_table = "r";
+  spec.left_col = 0;
+  spec.right_col = 0;
+  ASSERT_TRUE(central_->CreateJoinView(spec).ok());
+
+  InProcessTransport net;
+  PropagationOptions popts;
+  popts.auto_start = false;
+  DistributionHub hub(central_.get(), &net, popts);
+  EdgeServer edge("edge-1");
+  ASSERT_TRUE(hub.Subscribe(&edge).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+  ASSERT_TRUE(edge.HasTable("tr"));
+  EXPECT_EQ(edge.tree("tr")->root_digest(),
+            central_->tree("tr")->root_digest());
+
+  // View maintenance bumps the view version; the hub re-ships it. The
+  // pair of inserts produces one new join row (t.100 ⋈ r.100).
+  Rng rng(13);
+  ASSERT_TRUE(
+      central_->InsertTuple("t", testutil::MakeTuple(schema_, 100, &rng))
+          .ok());
+  ASSERT_TRUE(
+      central_->InsertTuple("r", Tuple({Value::Int(100), Value::Str("tag")}))
+          .ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+  EXPECT_EQ(edge.tree("tr")->root_digest(),
+            central_->tree("tr")->root_digest());
+  EXPECT_EQ(edge.tree("tr")->version(), central_->tree("tr")->version());
+}
+
+TEST_F(PropagationTest, SubscriberVersionsReportFleetState) {
+  Init({}, /*rows=*/100);
+  InProcessTransport net;
+  PropagationOptions popts;
+  popts.auto_start = false;
+  DistributionHub hub(central_.get(), &net, popts);
+  EdgeServer edge("edge-1");
+  ASSERT_TRUE(hub.Subscribe(&edge).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+  Rng rng(1);
+  ASSERT_TRUE(
+      central_->InsertTuple("t", testutil::MakeTuple(schema_, 900, &rng))
+          .ok());
+  ASSERT_TRUE(hub.SyncAll().ok());
+  auto versions = hub.SubscriberVersions("edge-1");
+  ASSERT_EQ(versions.count("t"), 1u);
+  EXPECT_EQ(versions["t"], 1u);
+  EXPECT_TRUE(hub.SubscriberVersions("nobody").empty());
+  // Double-subscribe and unknown unsubscribe are rejected cleanly.
+  EXPECT_EQ(hub.Subscribe(&edge).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(hub.Unsubscribe("nobody").code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace vbtree

@@ -9,6 +9,9 @@
 #include "catalog/tuple.h"
 #include "common/random.h"
 #include "crypto/sim_signer.h"
+#include "edge/central_server.h"
+#include "edge/edge_server.h"
+#include "edge/propagation/transport.h"
 #include "query/executor.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -79,6 +82,34 @@ struct TestDb {
     return Executor::FetcherFor(heap.get());
   }
 };
+
+/// Caller-driven snapshot shipping for tests that exercise the wire
+/// codecs and replica mechanics directly. Production code propagates via
+/// the DistributionHub (edge/propagation/distribution_hub.h).
+inline Status Publish(CentralServer* central, const std::string& name,
+                      EdgeServer* edge, Transport* net = nullptr) {
+  auto snapshot = central->ExportTableSnapshot(name);
+  if (!snapshot.ok()) return snapshot.status();
+  if (net != nullptr) {
+    net->Record("central->edge:" + edge->name(), snapshot->size());
+  }
+  return edge->InstallSnapshot(Slice(*snapshot));
+}
+
+/// Caller-driven delta shipping: serializes everything logged past the
+/// edge's current replica version and applies it.
+inline Status PublishDelta(CentralServer* central, const std::string& name,
+                           EdgeServer* edge, Transport* net = nullptr) {
+  auto batch = central->DeltaSince(name, edge->TableVersion(name));
+  if (!batch.ok()) return batch.status();
+  ByteWriter w(1 << 12);
+  batch->Serialize(&w);
+  std::vector<uint8_t> bytes = w.TakeBuffer();
+  if (net != nullptr) {
+    net->Record("central->edge:" + edge->name() + ":delta", bytes.size());
+  }
+  return edge->ApplyUpdateBatch(Slice(bytes));
+}
 
 /// Builds a TestDb holding `n` rows (keys 0..n-1 by `stride`).
 inline std::unique_ptr<TestDb> MakeTestDb(size_t n, size_t ncols = 10,

@@ -162,7 +162,7 @@ TEST(EdgeConcurrencyTest, InstallSnapshotDuringQueryStorm) {
   ASSERT_TRUE(
       central.LoadTable("t", testutil::MakeRows(schema, 2000, &rng)).ok());
   EdgeServer edge("edge-race");
-  ASSERT_TRUE(central.PublishTable("t", &edge, nullptr).ok());
+  ASSERT_TRUE(testutil::Publish(&central, "t", &edge, nullptr).ok());
 
   std::atomic<bool> stop{false};
   std::atomic<int> failures{0};
@@ -189,7 +189,7 @@ TEST(EdgeConcurrencyTest, InstallSnapshotDuringQueryStorm) {
         central
             .InsertTuple("t", testutil::MakeTuple(schema, 5000 + i, &wr))
             .ok());
-    ASSERT_TRUE(central.PublishTable("t", &edge, nullptr).ok());
+    ASSERT_TRUE(testutil::Publish(&central, "t", &edge, nullptr).ok());
   }
   stop = true;
   for (auto& r : readers) r.join();
@@ -209,7 +209,7 @@ TEST(EdgeConcurrencyTest, DeltaApplyDuringQueryStorm) {
   ASSERT_TRUE(
       central.LoadTable("t", testutil::MakeRows(schema, 2000, &rng)).ok());
   EdgeServer edge("edge-race2");
-  ASSERT_TRUE(central.PublishTable("t", &edge, nullptr).ok());
+  ASSERT_TRUE(testutil::Publish(&central, "t", &edge, nullptr).ok());
 
   std::atomic<bool> stop{false};
   std::atomic<int> failures{0};
@@ -232,7 +232,7 @@ TEST(EdgeConcurrencyTest, DeltaApplyDuringQueryStorm) {
         central
             .InsertTuple("t", testutil::MakeTuple(schema, 6000 + i, &wr))
             .ok());
-    ASSERT_TRUE(central.PublishDelta("t", &edge, nullptr).ok());
+    ASSERT_TRUE(testutil::PublishDelta(&central, "t", &edge, nullptr).ok());
   }
   stop = true;
   reader.join();

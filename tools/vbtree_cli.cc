@@ -34,6 +34,7 @@
 #include "edge/central_server.h"
 #include "edge/client.h"
 #include "edge/edge_server.h"
+#include "edge/propagation/distribution_hub.h"
 
 using namespace vbtree;
 
@@ -42,10 +43,15 @@ namespace {
 constexpr const char* kTable = "demo";
 
 struct CliState {
+  // Declaration order matters: the hub (declared last, destroyed first)
+  // holds raw pointers to the central server, edge and transport.
   std::unique_ptr<CentralServer> central;
   std::unique_ptr<EdgeServer> edge;
   std::unique_ptr<Client> client;
   SimulatedNetwork net;
+  /// Propagation hub in manual mode: `publish` / `sync` drive flushes so
+  /// the walkthrough stays step-by-step.
+  std::unique_ptr<DistributionHub> hub;
   Schema schema;
   bool loaded = false;
   uint64_t now = 1;
@@ -64,6 +70,12 @@ bool RequireLoaded(const CliState& st) {
 }
 
 void DoLoad(CliState* st, size_t n) {
+  // Re-loading replaces the central server: drop the hub (which points
+  // at it) and the dependent pieces first.
+  st->hub.reset();
+  st->client.reset();
+  st->edge.reset();
+  st->loaded = false;
   CentralServer::Options options;
   options.db_name = "clidb";
   auto central = CentralServer::Create(options);
@@ -90,6 +102,11 @@ void DoLoad(CliState* st, size_t n) {
     return;
   }
   st->edge = std::make_unique<EdgeServer>("edge-1");
+  PropagationOptions popts;
+  popts.auto_start = false;  // `publish` / `sync` flush explicitly
+  st->hub = std::make_unique<DistributionHub>(st->central.get(), &st->net,
+                                              popts);
+  if (!st->hub->Subscribe(st->edge.get()).ok()) return;
   st->client =
       std::make_unique<Client>(st->central->db_name(),
                                st->central->key_directory());
@@ -170,13 +187,15 @@ void Dispatch(CliState* st, const std::string& line) {
     }
   } else if (cmd == "publish") {
     if (!RequireLoaded(*st)) return;
-    Status s = st->central->PublishTable(kTable, st->edge.get(), &st->net);
+    // Force a full snapshot re-ship (also heals a tampered replica).
+    Status s = st->hub->ForceSnapshot(st->edge->name());
+    if (s.ok()) s = st->hub->SyncAll();
     std::printf("%s\n", s.ok() ? "snapshot published" : s.ToString().c_str());
   } else if (cmd == "sync") {
     if (!RequireLoaded(*st)) return;
-    Status s = st->central->PublishDelta(kTable, st->edge.get(), &st->net);
+    Status s = st->hub->SyncAll();
     if (s.ok()) {
-      std::printf("delta applied; edge at version %llu\n",
+      std::printf("hub flushed; edge at version %llu\n",
                   static_cast<unsigned long long>(
                       st->edge->TableVersion(kTable)));
     } else {
@@ -249,6 +268,13 @@ void Dispatch(CliState* st, const std::string& line) {
                     st->edge->TableVersion(kTable)));
     std::printf("network: %llu bytes total\n",
                 static_cast<unsigned long long>(st->net.total_bytes()));
+    auto hub_stats = st->hub->stats();
+    std::printf("propagation: %llu flushes, %llu deltas, %llu snapshots "
+                "(%llu catch-up)\n",
+                static_cast<unsigned long long>(hub_stats.flushes),
+                static_cast<unsigned long long>(hub_stats.deltas_shipped),
+                static_cast<unsigned long long>(hub_stats.snapshots_shipped),
+                static_cast<unsigned long long>(hub_stats.catch_up_snapshots));
   } else if (cmd == "quit" || cmd == "exit") {
     std::exit(0);
   } else {
