@@ -1,0 +1,444 @@
+// Closed-loop edge-throughput load driver: M client threads fire batched
+// authenticated range queries at K edge servers — each fronted by a
+// thread-pool QueryService — while a churn thread keeps pushing inserts
+// through the central server and the DistributionHub propagates them in
+// the background. For every worker count in the sweep it reports
+// queries/sec, batch p50/p99 latency, queue-wait telemetry and
+// shared-traversal savings, as text or machine-readable JSON (the CI
+// perf-trajectory artifact).
+//
+// The per-request `--stall-us` models the blocking backend I/O an edge
+// request performs in deployment (replica page reads from local flash,
+// NIC writeback): it is charged inside the worker, so it is exactly the
+// component a bigger pool overlaps. That keeps the worker-scaling curve
+// meaningful on any host, including single-core CI runners where raw
+// CPU work cannot parallelize.
+//
+// Build & run:  ./build/bench/edge_throughput --json
+//   VBT_BENCH_TUPLES=2000 ./build/bench/edge_throughput --json --seconds 2
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "edge/central_server.h"
+#include "edge/client.h"
+#include "edge/edge_server.h"
+#include "edge/propagation/distribution_hub.h"
+#include "edge/query_service/query_service.h"
+
+using namespace vbtree;
+using vbtree::bench::MeasuredTuples;
+using vbtree::bench::PaperSchema;
+using vbtree::bench::PaperTuple;
+using vbtree::bench::Timer;
+
+namespace {
+
+struct Config {
+  size_t edges = 1;
+  size_t clients = 16;
+  std::vector<size_t> workers = {1, 8};
+  size_t batch = 8;
+  double seconds = 2.0;
+  int64_t range_span = 16;
+  /// Authenticate every Nth batch end-to-end through Client::QueryBatched;
+  /// the rest are driven through the service unverified. Full verification
+  /// is client-side cost (measured by fig12/micro_crypto); here the edge
+  /// engine is the system under test, and a driver that verifies
+  /// everything becomes the bottleneck long before the edge does.
+  size_t verify_sample = 4;
+  uint64_t stall_us = 10000;
+  size_t queue_capacity = 256;
+  uint64_t churn_interval_us = 2000;
+  bool json = false;
+};
+
+struct RunResult {
+  size_t workers = 0;
+  double seconds = 0;
+  uint64_t batches = 0;
+  uint64_t queries = 0;
+  uint64_t rows = 0;
+  uint64_t verified_queries = 0;
+  uint64_t verify_failures = 0;
+  uint64_t stale_batches = 0;
+  uint64_t updates_applied = 0;
+  double qps = 0;
+  double batch_p50_us = 0;
+  double batch_p99_us = 0;
+  double queue_wait_avg_us = 0;
+  uint64_t queue_wait_max_us = 0;
+  double exec_avg_us = 0;
+  uint64_t vo_bytes_total = 0;
+  uint64_t shared_fetch_hits = 0;
+  uint64_t tuple_fetches = 0;
+};
+
+double Percentile(std::vector<uint64_t>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
+  return static_cast<double>((*v)[idx]);
+}
+
+RunResult RunOnce(CentralServer* central, DistributionHub* hub,
+                  std::vector<std::unique_ptr<EdgeServer>>* edges,
+                  InProcessTransport* net, const Config& cfg, size_t n_tuples,
+                  size_t workers, std::atomic<int64_t>* next_key) {
+  (void)hub;
+  RunResult run;
+  run.workers = workers;
+
+  QueryServiceOptions sopts;
+  sopts.num_workers = workers;
+  sopts.queue_capacity = cfg.queue_capacity;
+  sopts.overflow = OverflowPolicy::kBlock;
+  sopts.modeled_io_stall_us = cfg.stall_us;
+  std::vector<std::unique_ptr<QueryService>> services;
+  for (auto& e : *edges) {
+    services.push_back(std::make_unique<QueryService>(e.get(), sopts));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> updates{0};
+
+  // Churn: the central server keeps inserting; the hub's background
+  // propagator ships deltas to every edge while queries are in flight.
+  std::thread updater([&] {
+    Rng rng(1234 + workers);
+    Schema schema = PaperSchema();
+    while (!stop.load(std::memory_order_relaxed)) {
+      int64_t key = next_key->fetch_add(1, std::memory_order_relaxed);
+      Tuple t = PaperTuple(schema, key, &rng);
+      if (central->InsertTuple("events", t).ok()) {
+        updates.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(cfg.churn_interval_us));
+    }
+  });
+
+  struct ClientTally {
+    std::vector<uint64_t> latencies_us;
+    uint64_t batches = 0, queries = 0, rows = 0;
+    uint64_t verified_queries = 0;
+    uint64_t verify_failures = 0, stale_batches = 0;
+  };
+  std::vector<ClientTally> tallies(cfg.clients);
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(cfg.clients);
+  Schema schema = PaperSchema();
+
+  for (size_t c = 0; c < cfg.clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      ClientTally& tally = tallies[c];
+      Client client("edgedb", central->key_directory());
+      client.RegisterTable("events", schema);
+      QueryService* service = services[c % services.size()].get();
+      Rng rng(77 + c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        QueryBatch batch;
+        batch.table = "events";
+        batch.queries.reserve(cfg.batch);
+        for (size_t i = 0; i < cfg.batch; ++i) {
+          SelectQuery q;
+          int64_t lo = static_cast<int64_t>(rng.Uniform(n_tuples));
+          q.range = KeyRange{lo, lo + cfg.range_span};
+          if (i % 2 == 1) q.projection = {0, 1, 2};
+          batch.queries.push_back(std::move(q));
+        }
+        const bool verify = (tally.batches % cfg.verify_sample) == 0;
+        Timer t;
+        if (verify) {
+          auto out = client.QueryBatched(service, batch, /*now=*/10,
+                                         /*verifier=*/nullptr, net);
+          uint64_t us = static_cast<uint64_t>(t.ElapsedMs() * 1000.0);
+          if (!out.ok()) continue;  // service shutting down
+          tally.latencies_us.push_back(us);
+          tally.batches++;
+          tally.queries += out->results.size();
+          tally.verified_queries += out->results.size();
+          if (out->stale_replica) tally.stale_batches++;
+          for (const auto& v : out->results) {
+            tally.rows += v.rows.size();
+            if (!v.verification.ok()) tally.verify_failures++;
+          }
+        } else {
+          auto out = service->SubmitBatch(batch).get();
+          uint64_t us = static_cast<uint64_t>(t.ElapsedMs() * 1000.0);
+          if (!out.ok()) continue;
+          tally.latencies_us.push_back(us);
+          tally.batches++;
+          tally.queries += out->responses.size();
+          for (const auto& qr : out->responses) tally.rows += qr.rows.size();
+        }
+      }
+    });
+  }
+
+  Timer wall;
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
+  stop.store(true);
+  for (auto& t : client_threads) t.join();
+  updater.join();
+  run.seconds = wall.ElapsedMs() / 1000.0;
+
+  std::vector<uint64_t> latencies;
+  for (ClientTally& t : tallies) {
+    run.batches += t.batches;
+    run.queries += t.queries;
+    run.rows += t.rows;
+    run.verified_queries += t.verified_queries;
+    run.verify_failures += t.verify_failures;
+    run.stale_batches += t.stale_batches;
+    latencies.insert(latencies.end(), t.latencies_us.begin(),
+                     t.latencies_us.end());
+  }
+  run.updates_applied = updates.load();
+  run.qps = static_cast<double>(run.queries) / run.seconds;
+  run.batch_p50_us = Percentile(&latencies, 0.50);
+  run.batch_p99_us = Percentile(&latencies, 0.99);
+
+  uint64_t waits = 0, execs = 0, completed = 0;
+  for (auto& s : services) {
+    QueryService::Stats st = s->stats();
+    waits += st.queue_wait_us_total;
+    execs += st.exec_us_total;
+    completed += st.batches;
+    run.queue_wait_max_us = std::max(run.queue_wait_max_us,
+                                     st.queue_wait_us_max);
+    run.vo_bytes_total += st.vo_bytes_total;
+  }
+  if (completed > 0) {
+    run.queue_wait_avg_us =
+        static_cast<double>(waits) / static_cast<double>(completed);
+    run.exec_avg_us =
+        static_cast<double>(execs) / static_cast<double>(completed);
+  }
+
+  // Shared-traversal savings: re-issue one representative batch directly
+  // so the VBBatchStats are attributable (service-side batches all fold
+  // into the same counters).
+  {
+    Rng rng(9);
+    QueryBatch batch;
+    batch.table = "events";
+    for (size_t i = 0; i < cfg.batch; ++i) {
+      int64_t lo = static_cast<int64_t>(rng.Uniform(n_tuples / 2));
+      batch.queries.push_back(
+          SelectQuery{"events", KeyRange{lo, lo + cfg.range_span}, {}, {}});
+    }
+    auto resp = (*edges)[0]->HandleQueryBatch(batch);
+    if (resp.ok()) {
+      run.shared_fetch_hits = resp->stats.shared_fetch_hits;
+      run.tuple_fetches = resp->stats.tuple_fetches;
+    }
+  }
+  return run;
+}
+
+void PrintJson(const Config& cfg, size_t n_tuples,
+               const std::vector<RunResult>& runs, uint64_t net_bytes) {
+  std::printf("{\n");
+  std::printf("  \"bench\": \"edge_throughput\",\n");
+  std::printf("  \"tuples\": %zu,\n", n_tuples);
+  std::printf("  \"edges\": %zu,\n", cfg.edges);
+  std::printf("  \"clients\": %zu,\n", cfg.clients);
+  std::printf("  \"batch\": %zu,\n", cfg.batch);
+  std::printf("  \"range_span\": %lld,\n",
+              static_cast<long long>(cfg.range_span));
+  std::printf("  \"stall_us\": %llu,\n",
+              static_cast<unsigned long long>(cfg.stall_us));
+  std::printf("  \"verify_sample\": %zu,\n", cfg.verify_sample);
+  std::printf("  \"transport_bytes\": %llu,\n",
+              static_cast<unsigned long long>(net_bytes));
+  std::printf("  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::printf("    {\"workers\": %zu, \"seconds\": %.3f, \"qps\": %.1f, "
+                "\"batches\": %llu, \"queries\": %llu, \"rows\": %llu, "
+                "\"verified_queries\": %llu, "
+                "\"batch_p50_us\": %.0f, \"batch_p99_us\": %.0f, "
+                "\"queue_wait_avg_us\": %.1f, \"queue_wait_max_us\": %llu, "
+                "\"exec_avg_us\": %.1f, \"vo_bytes\": %llu, "
+                "\"verify_failures\": %llu, \"stale_batches\": %llu, "
+                "\"updates_applied\": %llu, \"shared_fetch_hits\": %llu, "
+                "\"tuple_fetches\": %llu}%s\n",
+                r.workers, r.seconds, r.qps,
+                static_cast<unsigned long long>(r.batches),
+                static_cast<unsigned long long>(r.queries),
+                static_cast<unsigned long long>(r.rows),
+                static_cast<unsigned long long>(r.verified_queries),
+                r.batch_p50_us, r.batch_p99_us, r.queue_wait_avg_us,
+                static_cast<unsigned long long>(r.queue_wait_max_us),
+                r.exec_avg_us,
+                static_cast<unsigned long long>(r.vo_bytes_total),
+                static_cast<unsigned long long>(r.verify_failures),
+                static_cast<unsigned long long>(r.stale_batches),
+                static_cast<unsigned long long>(r.updates_applied),
+                static_cast<unsigned long long>(r.shared_fetch_hits),
+                static_cast<unsigned long long>(r.tuple_fetches),
+                i + 1 < runs.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  double speedup = 0;
+  if (runs.size() >= 2 && runs.front().qps > 0) {
+    speedup = runs.back().qps / runs.front().qps;
+  }
+  std::printf("  \"speedup_%zuv%zu\": %.2f\n",
+              runs.empty() ? 0 : runs.back().workers,
+              runs.empty() ? 0 : runs.front().workers, speedup);
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--json") {
+      cfg.json = true;
+    } else if (arg == "--edges") {
+      cfg.edges = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--clients") {
+      cfg.clients = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--batch") {
+      cfg.batch = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--seconds") {
+      cfg.seconds = std::atof(next());
+    } else if (arg == "--range") {
+      cfg.range_span = std::atol(next());
+    } else if (arg == "--verify-sample") {
+      cfg.verify_sample = static_cast<size_t>(std::atol(next()));
+      if (cfg.verify_sample == 0) cfg.verify_sample = 1;
+    } else if (arg == "--stall-us") {
+      cfg.stall_us = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--queue") {
+      cfg.queue_capacity = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--churn-interval-us") {
+      cfg.churn_interval_us = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--workers") {
+      cfg.workers.clear();
+      std::string list = next();
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        cfg.workers.push_back(
+            static_cast<size_t>(std::atol(list.substr(pos, comma - pos).c_str())));
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: edge_throughput [--json] [--edges K] [--clients M]"
+                   " [--workers 1,8] [--batch B] [--seconds S] [--range N]"
+                   " [--stall-us U] [--queue CAP] [--churn-interval-us U]\n");
+      return 2;
+    }
+  }
+  if (cfg.workers.empty() || cfg.edges == 0 || cfg.clients == 0 ||
+      cfg.batch == 0) {
+    std::fprintf(stderr, "bad configuration\n");
+    return 2;
+  }
+
+  const size_t n_tuples = MeasuredTuples(20000);
+
+  CentralServer::Options copts;
+  copts.db_name = "edgedb";
+  auto central_or = CentralServer::Create(copts);
+  if (!central_or.ok()) {
+    std::fprintf(stderr, "central create: %s\n",
+                 central_or.status().ToString().c_str());
+    return 1;
+  }
+  CentralServer& central = **central_or;
+  Schema schema = PaperSchema();
+  if (!central.CreateTable("events", schema).ok()) return 1;
+  {
+    Rng rng(42);
+    std::vector<Tuple> rows;
+    rows.reserve(n_tuples);
+    for (size_t i = 0; i < n_tuples; ++i) {
+      rows.push_back(PaperTuple(schema, static_cast<int64_t>(i), &rng));
+    }
+    if (!central.LoadTable("events", rows).ok()) return 1;
+  }
+
+  InProcessTransport net;
+  std::vector<std::unique_ptr<EdgeServer>> edges;
+  for (size_t i = 0; i < cfg.edges; ++i) {
+    edges.push_back(
+        std::make_unique<EdgeServer>("edge-" + std::to_string(i)));
+  }
+  PropagationOptions popts;
+  popts.flush_interval = std::chrono::milliseconds(2);
+  DistributionHub hub(&central, &net, popts);
+  for (auto& e : edges) {
+    if (!hub.Subscribe(e.get()).ok()) return 1;
+  }
+  if (!hub.SyncAll().ok()) {
+    std::fprintf(stderr, "initial distribution failed\n");
+    return 1;
+  }
+
+  if (!cfg.json) {
+    vbtree::bench::PrintHeader(
+        "edge_throughput: concurrent authenticated query engine",
+        "closed loop: " + std::to_string(cfg.clients) + " clients, " +
+            std::to_string(cfg.edges) + " edges, batch " +
+            std::to_string(cfg.batch) + ", " + std::to_string(n_tuples) +
+            " tuples, churn every " + std::to_string(cfg.churn_interval_us) +
+            "us");
+  }
+
+  std::atomic<int64_t> next_key{static_cast<int64_t>(n_tuples)};
+  std::vector<RunResult> runs;
+  for (size_t w : cfg.workers) {
+    runs.push_back(RunOnce(&central, &hub, &edges, &net, cfg, n_tuples, w,
+                           &next_key));
+    if (!cfg.json) {
+      const RunResult& r = runs.back();
+      std::printf(
+          "workers=%-2zu qps=%9.1f  p50=%7.0fus  p99=%7.0fus  "
+          "queue_wait(avg/max)=%6.0f/%llu us  batches=%llu  "
+          "verify_fail=%llu stale=%llu updates=%llu shared_hits=%llu/%llu\n",
+          r.workers, r.qps, r.batch_p50_us, r.batch_p99_us,
+          r.queue_wait_avg_us,
+          static_cast<unsigned long long>(r.queue_wait_max_us),
+          static_cast<unsigned long long>(r.batches),
+          static_cast<unsigned long long>(r.verify_failures),
+          static_cast<unsigned long long>(r.stale_batches),
+          static_cast<unsigned long long>(r.updates_applied),
+          static_cast<unsigned long long>(r.shared_fetch_hits),
+          static_cast<unsigned long long>(
+              r.shared_fetch_hits + r.tuple_fetches));
+    }
+  }
+  hub.Stop();
+
+  if (cfg.json) {
+    PrintJson(cfg, n_tuples, runs, net.total_bytes());
+  } else if (runs.size() >= 2 && runs.front().qps > 0) {
+    std::printf("speedup %zu workers vs %zu: %.2fx\n", runs.back().workers,
+                runs.front().workers, runs.back().qps / runs.front().qps);
+  }
+
+  // Non-zero exit when every sampled answer failed verification: the CI
+  // smoke run should fail loudly if the authenticated path broke.
+  uint64_t q = 0, f = 0;
+  for (const RunResult& r : runs) {
+    q += r.verified_queries;
+    f += r.verify_failures;
+  }
+  return (q > 0 && f == q) ? 1 : 0;
+}

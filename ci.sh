@@ -1,8 +1,46 @@
 #!/usr/bin/env bash
 # Tier-1 verify line: configure, build, run every test via CTest.
+#
+#   ./ci.sh                 regular build + ctest (build/)
+#   ./ci.sh --sanitize      ASan+UBSan build + ctest (build-asan/)
+#   ./ci.sh --bench-smoke   regular build, then a short edge_throughput
+#                           run emitting BENCH_edge_throughput.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-cd build && ctest --output-on-failure -j "$(nproc)"
+MODE="default"
+case "${1:-}" in
+  --sanitize) MODE="sanitize" ;;
+  --bench-smoke) MODE="bench-smoke" ;;
+  "") ;;
+  *) echo "usage: ci.sh [--sanitize|--bench-smoke]" >&2; exit 2 ;;
+esac
+
+if [[ "$MODE" == "sanitize" ]]; then
+  BUILD_DIR=build-asan
+  cmake -B "$BUILD_DIR" -S . -DVBT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+else
+  BUILD_DIR=build
+  cmake -B "$BUILD_DIR" -S .
+fi
+
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+if [[ "$MODE" == "bench-smoke" ]]; then
+  # Short closed-loop pass; the JSON is the CI perf-trajectory artifact.
+  VBT_BENCH_TUPLES="${VBT_BENCH_TUPLES:-2000}" \
+    "./$BUILD_DIR/bench/edge_throughput" --json --seconds 1.5 \
+    > BENCH_edge_throughput.json
+  python3 -m json.tool BENCH_edge_throughput.json > /dev/null
+  echo "wrote BENCH_edge_throughput.json"
+  exit 0
+fi
+
+cd "$BUILD_DIR"
+if [[ "$MODE" == "sanitize" ]]; then
+  # halt_on_error keeps a sanitizer hit from hiding behind a pass;
+  # detect_leaks stays on by default where supported.
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+fi
+ctest --output-on-failure -j "$(nproc)"

@@ -20,6 +20,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kVerificationFailure:
       return "VerificationFailure";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kLockTimeout:
       return "LockTimeout";
     case StatusCode::kNotImplemented:

@@ -19,6 +19,9 @@ enum class StatusCode {
   kCorruption,
   /// A verification object failed to authenticate a query result.
   kVerificationFailure,
+  /// A bounded resource (e.g. a submission queue) is full and the
+  /// operation was rejected rather than blocked (backpressure).
+  kResourceExhausted,
   kLockTimeout,
   kNotImplemented,
   kInternal,
@@ -59,6 +62,9 @@ class Status {
   static Status VerificationFailure(std::string msg) {
     return Status(StatusCode::kVerificationFailure, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status LockTimeout(std::string msg) {
     return Status(StatusCode::kLockTimeout, std::move(msg));
   }
@@ -78,6 +84,9 @@ class Status {
     return code_ == StatusCode::kVerificationFailure;
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   bool IsLockTimeout() const { return code_ == StatusCode::kLockTimeout; }
 
   /// "OK" or "<Code>: <message>".

@@ -1,0 +1,83 @@
+#include "common/thread_pool.h"
+
+namespace vbtree {
+
+ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
+  if (options_.num_threads == 0) options_.num_threads = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mu_);
+    if (options_.overflow == OverflowPolicy::kBlock) {
+      space_cv_.wait(lock, [this] {
+        return shutdown_ || queue_.size() < options_.queue_capacity;
+      });
+    } else if (queue_.size() >= options_.queue_capacity && !shutdown_) {
+      stats_.rejected++;
+      return Status::ResourceExhausted(
+          "submission queue full (" + std::to_string(queue_.size()) +
+          " tasks queued)");
+    }
+    if (shutdown_) {
+      stats_.rejected++;
+      return Status::ResourceExhausted("thread pool is shut down");
+    }
+    queue_.push_back(std::move(task));
+    stats_.submitted++;
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Shutdown() {
+  // Claim the worker handles under the lock so a second caller (e.g. the
+  // destructor after an explicit Shutdown) finds nothing left to join.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+    workers.swap(workers_);
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_cv_.notify_one();
+    task();
+    std::lock_guard lock(mu_);
+    stats_.executed++;
+  }
+}
+
+}  // namespace vbtree

@@ -1,0 +1,80 @@
+#ifndef VBTREE_COMMON_THREAD_POOL_H_
+#define VBTREE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vbtree {
+
+/// What Submit does when the bounded task queue is full.
+enum class OverflowPolicy {
+  /// Block the submitter until a slot frees up (throttles producers).
+  kBlock,
+  /// Fail fast with kResourceExhausted (load shedding; the caller sees
+  /// the rejection and can retry or divert to another server).
+  kReject,
+};
+
+struct ThreadPoolOptions {
+  size_t num_threads = 4;
+  /// Maximum tasks waiting in the queue (excludes tasks being executed).
+  size_t queue_capacity = 1024;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+};
+
+/// A fixed-size worker pool over a bounded FIFO submission queue — the
+/// execution engine behind the edge QueryService. Deliberately minimal:
+/// tasks are type-erased void() closures; completion signaling (futures,
+/// latency stamps) is layered on by the caller.
+///
+/// Thread-safe. Shutdown() drains every task already accepted, then joins
+/// the workers; Submit after Shutdown is rejected.
+class ThreadPool {
+ public:
+  struct Stats {
+    uint64_t submitted = 0;  ///< accepted into the queue
+    uint64_t rejected = 0;   ///< refused (queue full under kReject)
+    uint64_t executed = 0;   ///< completed by a worker
+  };
+
+  explicit ThreadPool(ThreadPoolOptions options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. Under kBlock, waits for queue space; under kReject,
+  /// returns kResourceExhausted when the queue is at capacity.
+  Status Submit(std::function<void()> task);
+
+  /// Stops accepting work, drains the queue, joins all workers.
+  /// Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return options_.num_threads; }
+  size_t queue_depth() const;
+  Stats stats() const;
+
+ private:
+  void WorkerLoop();
+
+  ThreadPoolOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: task or stop
+  std::condition_variable space_cv_;  ///< signals blocked submitters
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+  Stats stats_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_COMMON_THREAD_POOL_H_

@@ -87,4 +87,152 @@ Result<Client::Verified> Client::Query(EdgeServer* edge,
   return out;
 }
 
+Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
+                                                   const QueryBatch& batch,
+                                                   uint64_t now,
+                                                   BatchVerifier* verifier,
+                                                   Transport* net) {
+  auto meta_it = tables_.find(batch.table);
+  if (meta_it == tables_.end()) {
+    return Status::InvalidArgument("table not registered with client: " +
+                                   batch.table);
+  }
+  const TableMeta& meta = meta_it->second;
+  if (batch.queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+
+  // Normalize locally: the response rows are encoded against the
+  // normalized projections, and the verifier needs the same view.
+  QueryBatch b = batch;
+  for (SelectQuery& q : b.queries) {
+    q.table = batch.table;
+    q.NormalizeProjection();
+  }
+
+  EdgeServer* edge = service->edge();
+  EdgeChannels* channels = nullptr;
+  if (net != nullptr) {
+    channels = &channels_[edge->name()];
+    if (channels->transport != net) {
+      channels->transport = net;
+      channels->up = net->Channel("client->edge:" + edge->name());
+      channels->down = net->Channel("edge:" + edge->name() + "->client");
+    }
+  }
+
+  // --- request over the wire, through the edge's submission queue ---
+  ByteWriter req(1 << 10);
+  SerializeQueryBatch(b, &req);
+  const size_t request_bytes = req.size();
+  if (channels != nullptr) net->Record(channels->up, request_bytes);
+  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> resp_bytes,
+                       service->SubmitBatchBytes(req.TakeBuffer()).get());
+  if (channels != nullptr) net->Record(channels->down, resp_bytes.size());
+
+  // --- parse ---
+  ByteReader r((Slice(resp_bytes)));
+  VBT_ASSIGN_OR_RETURN(
+      QueryBatchResponse resp,
+      DeserializeQueryBatchResponse(&r, meta.schema, b.queries));
+
+  VerifiedBatch out;
+  out.replica_version = resp.replica_version;
+  out.stats = resp.stats;
+  out.request_bytes = request_bytes;
+  out.results.resize(resp.responses.size());
+
+  // --- key freshness (§3.4), then fan out authentication ---
+  // All VOs of a batch normally carry one key version (single tree
+  // state); resolve per distinct version anyway so a malformed response
+  // cannot alias a stale key onto a fresh one.
+  DigestSchema ds(db_name_, batch.table, meta.schema, meta.algo,
+                  meta.modulus_bits);
+  std::map<uint32_t, Result<std::shared_ptr<Recoverer>>> recoverers;
+  std::vector<BatchVerifier::Job> jobs;
+  std::vector<size_t> job_index;  // jobs[j] authenticates results[job_index[j]]
+  jobs.reserve(resp.responses.size());
+  for (size_t i = 0; i < resp.responses.size(); ++i) {
+    const QueryResponse& qr = resp.responses[i];
+    Verified& v = out.results[i];
+    v.replica_version = resp.replica_version;
+    v.result_bytes = qr.result_bytes;
+    v.vo_bytes = qr.vo_bytes;
+    v.vo_digests = qr.vo.DigestCount();
+    uint32_t kv = qr.vo.key_version;
+    auto rec_it = recoverers.find(kv);
+    if (rec_it == recoverers.end()) {
+      rec_it = recoverers.emplace(kv, keys_->RecovererFor(kv, now)).first;
+    }
+    if (!rec_it->second.ok()) {
+      v.verification = rec_it->second.status();
+      continue;
+    }
+    jobs.push_back(BatchVerifier::Job{&b.queries[i], &qr.rows, &qr.vo});
+    job_index.push_back(i);
+  }
+
+  std::vector<BatchVerifier::Outcome> outcomes;
+  if (!jobs.empty()) {
+    // One recoverer per batch in practice; pick each job's own.
+    if (verifier != nullptr) {
+      // The jobs all share a key version in the non-adversarial case; a
+      // mixed-version batch degrades to per-version groups.
+      std::map<uint32_t, std::vector<size_t>> by_version;
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        by_version[resp.responses[job_index[j]].vo.key_version].push_back(j);
+      }
+      outcomes.resize(jobs.size());
+      for (auto& [kv, group] : by_version) {
+        Recoverer* rec = recoverers.at(kv).ValueOrDie().get();
+        std::vector<BatchVerifier::Job> group_jobs;
+        group_jobs.reserve(group.size());
+        for (size_t j : group) group_jobs.push_back(jobs[j]);
+        std::vector<BatchVerifier::Outcome> group_out =
+            verifier->VerifyAll(ds, rec, group_jobs);
+        for (size_t g = 0; g < group.size(); ++g) {
+          outcomes[group[g]] = std::move(group_out[g]);
+        }
+      }
+    } else {
+      BatchVerifier inline_verifier(BatchVerifier::Options{0});
+      outcomes.reserve(jobs.size());
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        uint32_t kv = resp.responses[job_index[j]].vo.key_version;
+        Recoverer* rec = recoverers.at(kv).ValueOrDie().get();
+        outcomes.push_back(std::move(
+            inline_verifier.VerifyAll(ds, rec, {&jobs[j], 1})[0]));
+      }
+    }
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      Verified& v = out.results[job_index[j]];
+      v.verification = std::move(outcomes[j].verification);
+      v.counters = outcomes[j].counters;
+    }
+  }
+
+  for (size_t i = 0; i < resp.responses.size(); ++i) {
+    out.results[i].rows = std::move(resp.responses[i].rows);
+  }
+
+  // --- replica freshness: one version served the whole batch, and only
+  // authenticated answers may move the watermark (same rule as Query) ---
+  bool any_verified = false;
+  for (const Verified& v : out.results) {
+    if (v.verification.ok()) {
+      any_verified = true;
+      break;
+    }
+  }
+  if (any_verified) {
+    uint64_t& watermark = freshness_[batch.table];
+    out.stale_replica = resp.replica_version < watermark;
+    watermark = std::max(watermark, resp.replica_version);
+    for (Verified& v : out.results) {
+      if (v.verification.ok()) v.stale_replica = out.stale_replica;
+    }
+  }
+  return out;
+}
+
 }  // namespace vbtree

@@ -9,6 +9,8 @@
 #include "crypto/key_manager.h"
 #include "edge/edge_server.h"
 #include "edge/propagation/transport.h"
+#include "edge/query_service/batch_verifier.h"
+#include "edge/query_service/query_service.h"
 #include "vbtree/verifier.h"
 
 namespace vbtree {
@@ -60,6 +62,31 @@ class Client {
   /// failures are reported in Verified::verification.
   Result<Verified> Query(EdgeServer* edge, const SelectQuery& query,
                          uint64_t now, Transport* net = nullptr);
+
+  /// Outcome of one authenticated batch: positional per-query results
+  /// plus the batch-level telemetry the edge reported.
+  struct VerifiedBatch {
+    std::vector<Verified> results;
+    /// The one replica version that served the whole batch.
+    uint64_t replica_version = 0;
+    /// Batch-level monotonic-read flag (mirrored into every result).
+    bool stale_replica = false;
+    /// Edge-side telemetry: queue wait, exec time, shared-fetch savings,
+    /// per-component byte totals.
+    BatchExecStats stats;
+    size_t request_bytes = 0;
+  };
+
+  /// Ships a QueryBatch through `service`'s submission queue (full wire
+  /// path) and authenticates every per-query VO — fanned across
+  /// `verifier`'s worker pool when one is supplied, inline otherwise.
+  /// Monotonic-read semantics match Query(): the watermark only advances
+  /// on responses that authenticated, and the batch is flagged stale when
+  /// its (single) replica version is below the watermark.
+  Result<VerifiedBatch> QueryBatched(QueryService* service,
+                                     const QueryBatch& batch, uint64_t now,
+                                     BatchVerifier* verifier = nullptr,
+                                     Transport* net = nullptr);
 
  private:
   struct TableMeta {

@@ -1,5 +1,7 @@
 #include "edge/edge_server.h"
 
+#include <chrono>
+
 #include "edge/propagation/update_log.h"
 #include "query/query_serde.h"
 
@@ -134,6 +136,67 @@ void EdgeServer::ApplyResponseTamper(QueryResponse* resp) const {
   }
 }
 
+Result<QueryBatchResponse> EdgeServer::HandleQueryBatch(
+    const QueryBatch& batch) const {
+  const auto start = std::chrono::steady_clock::now();
+  // The per-query table field is redundant inside a batch (the tree is
+  // selected once below, and ExecuteSelectBatch never reads it), so a
+  // mismatch check suffices — no per-query copies on this hot path.
+  for (const SelectQuery& q : batch.queries) {
+    if (!q.table.empty() && q.table != batch.table) {
+      return Status::InvalidArgument("batch over '" + batch.table +
+                                     "' contains a query on '" + q.table +
+                                     "'");
+    }
+  }
+
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(batch.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("edge server has no replica of " + batch.table);
+  }
+  const TableReplica& replica = it->second;
+  VBBatchStats tree_stats;
+  VBT_ASSIGN_OR_RETURN(
+      std::vector<QueryOutput> outs,
+      replica.tree->ExecuteSelectBatch(batch.queries, replica.store.Fetcher(),
+                                       &tree_stats));
+
+  QueryBatchResponse resp;
+  resp.replica_version = replica.version;
+  resp.responses.reserve(outs.size());
+  for (QueryOutput& out : outs) {
+    QueryResponse r;
+    r.rows = std::move(out.rows);
+    r.vo = std::move(out.vo);
+    r.replica_version = replica.version;
+    ApplyResponseTamper(&r);
+    for (const ResultRow& row : r.rows) r.result_bytes += row.SerializedSize();
+    r.vo_bytes = r.vo.SerializedSize();
+    resp.stats.total_result_bytes += r.result_bytes;
+    resp.stats.total_vo_bytes += r.vo_bytes;
+    resp.responses.push_back(std::move(r));
+  }
+  resp.stats.nodes_visited = tree_stats.nodes_visited;
+  resp.stats.tuple_fetches = tree_stats.tuple_fetches;
+  resp.stats.shared_fetch_hits = tree_stats.shared_fetch_hits;
+  resp.stats.exec_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return resp;
+}
+
+Result<std::vector<uint8_t>> EdgeServer::HandleQueryBatchBytes(
+    Slice request) const {
+  ByteReader r(request);
+  VBT_ASSIGN_OR_RETURN(QueryBatch batch, DeserializeQueryBatch(&r));
+  VBT_ASSIGN_OR_RETURN(QueryBatchResponse resp, HandleQueryBatch(batch));
+  ByteWriter w(1 << 14);
+  SerializeQueryBatchResponse(resp, &w);
+  return w.TakeBuffer();
+}
+
 Result<std::vector<uint8_t>> EdgeServer::HandleQueryBytes(
     Slice request) const {
   ByteReader r(request);
@@ -176,6 +239,59 @@ Result<QueryResponse> DeserializeQueryResponse(
   start = r->position();
   VBT_ASSIGN_OR_RETURN(resp.vo, VerificationObject::Deserialize(r));
   resp.vo_bytes = r->position() - start;
+  return resp;
+}
+
+void SerializeQueryBatchResponse(const QueryBatchResponse& resp,
+                                 ByteWriter* w) {
+  w->PutU64(resp.replica_version);
+  w->PutVarint(resp.responses.size());
+  for (const QueryResponse& qr : resp.responses) {
+    SerializeResultRows(qr.rows, w);
+    qr.vo.Serialize(w);
+  }
+  w->PutU64(resp.stats.queue_wait_us);
+  w->PutU64(resp.stats.exec_us);
+  w->PutVarint(resp.stats.nodes_visited);
+  w->PutVarint(resp.stats.tuple_fetches);
+  w->PutVarint(resp.stats.shared_fetch_hits);
+}
+
+Result<QueryBatchResponse> DeserializeQueryBatchResponse(
+    ByteReader* r, const Schema& schema,
+    const std::vector<SelectQuery>& queries) {
+  QueryBatchResponse resp;
+  VBT_ASSIGN_OR_RETURN(resp.replica_version, r->ReadU64());
+  VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+  if (n != queries.size()) {
+    return Status::Corruption("batch response count " + std::to_string(n) +
+                              " != query count " +
+                              std::to_string(queries.size()));
+  }
+  resp.responses.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    QueryResponse qr;
+    qr.replica_version = resp.replica_version;
+    VBT_ASSIGN_OR_RETURN(
+        qr.rows, DeserializeResultRows(r, schema, queries[i].projection));
+    // Same accounting rule as the serving edge (sum of row payloads,
+    // excluding the row-count framing), so the two ends of the BENCH
+    // telemetry agree byte-for-byte.
+    for (const ResultRow& row : qr.rows) {
+      qr.result_bytes += row.SerializedSize();
+    }
+    size_t start = r->position();
+    VBT_ASSIGN_OR_RETURN(qr.vo, VerificationObject::Deserialize(r));
+    qr.vo_bytes = r->position() - start;
+    resp.stats.total_result_bytes += qr.result_bytes;
+    resp.stats.total_vo_bytes += qr.vo_bytes;
+    resp.responses.push_back(std::move(qr));
+  }
+  VBT_ASSIGN_OR_RETURN(resp.stats.queue_wait_us, r->ReadU64());
+  VBT_ASSIGN_OR_RETURN(resp.stats.exec_us, r->ReadU64());
+  VBT_ASSIGN_OR_RETURN(resp.stats.nodes_visited, r->ReadVarint());
+  VBT_ASSIGN_OR_RETURN(resp.stats.tuple_fetches, r->ReadVarint());
+  VBT_ASSIGN_OR_RETURN(resp.stats.shared_fetch_hits, r->ReadVarint());
   return resp;
 }
 

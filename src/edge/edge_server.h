@@ -39,6 +39,33 @@ struct QueryResponse {
   size_t vo_bytes = 0;
 };
 
+/// Batch-level execution telemetry, shipped with the coalesced response
+/// (and extended with queue timings by the QueryService).
+struct BatchExecStats {
+  /// Microseconds the batch waited in the QueryService submission queue
+  /// before a worker picked it up (0 when executed directly).
+  uint64_t queue_wait_us = 0;
+  /// Microseconds of edge-side execution (traversal + VO building).
+  uint64_t exec_us = 0;
+  /// VO-skeleton nodes visited across the whole batch.
+  uint64_t nodes_visited = 0;
+  /// Replica-store tuple reads, and how many more were served from the
+  /// batch-wide memo instead (shared-traversal savings).
+  uint64_t tuple_fetches = 0;
+  uint64_t shared_fetch_hits = 0;
+  uint64_t total_result_bytes = 0;
+  uint64_t total_vo_bytes = 0;
+};
+
+/// The coalesced answer to a QueryBatch: positional responses — all
+/// answered from ONE tree state, hence a single replica version — plus
+/// batch-level stats.
+struct QueryBatchResponse {
+  std::vector<QueryResponse> responses;
+  uint64_t replica_version = 0;
+  BatchExecStats stats;
+};
+
 /// An unsecured proxy server at the network edge (Fig. 2): holds replicas
 /// of tables and their VB-trees, executes select-project(-join-view)
 /// queries, and builds a verification object for every answer. It cannot
@@ -82,6 +109,16 @@ class EdgeServer {
   /// Full wire path: parse request bytes, execute, serialize response.
   Result<std::vector<uint8_t>> HandleQueryBytes(Slice request) const;
 
+  /// Executes a QueryBatch with shared traversals (one latch acquisition,
+  /// batch-wide tuple memo) and builds the coalesced response.
+  Result<QueryBatchResponse> HandleQueryBatch(const QueryBatch& batch) const;
+
+  /// Full wire path for batches, for callers that bypass a QueryService
+  /// (direct dispatch): the response's queue_wait_us is 0 by definition.
+  /// Queued dispatch goes through QueryService::SubmitBatchBytes, which
+  /// stamps the measured wait into the serialized stats.
+  Result<std::vector<uint8_t>> HandleQueryBatchBytes(Slice request) const;
+
   // --- hacked-server hooks ---
   Status TamperValueByKey(const std::string& table, int64_t key, size_t col,
                           Value v);
@@ -111,6 +148,15 @@ class EdgeServer {
 void SerializeQueryResponse(const QueryResponse& resp, ByteWriter* w);
 Result<QueryResponse> DeserializeQueryResponse(
     ByteReader* r, const Schema& schema, const std::vector<size_t>& projection);
+
+/// Batch response wire format: replica version once, positional
+/// rows+VO blocks, stats trailer. Deserialization needs the (normalized)
+/// queries the batch was built from, for the per-query projections.
+void SerializeQueryBatchResponse(const QueryBatchResponse& resp,
+                                 ByteWriter* w);
+Result<QueryBatchResponse> DeserializeQueryBatchResponse(
+    ByteReader* r, const Schema& schema,
+    const std::vector<SelectQuery>& queries);
 
 }  // namespace vbtree
 

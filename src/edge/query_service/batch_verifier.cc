@@ -1,0 +1,69 @@
+#include "edge/query_service/batch_verifier.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "crypto/counting_recoverer.h"
+#include "vbtree/verifier.h"
+
+namespace vbtree {
+
+BatchVerifier::BatchVerifier(Options options) : options_(options) {
+  if (options_.num_workers > 0) {
+    // Verification jobs are submitted from VerifyAll only, one call at a
+    // time, so a blocking queue sized to the pool is plenty.
+    pool_ = std::make_unique<ThreadPool>(ThreadPoolOptions{
+        options_.num_workers, /*queue_capacity=*/1024, OverflowPolicy::kBlock});
+  }
+}
+
+BatchVerifier::~BatchVerifier() = default;
+
+BatchVerifier::Outcome BatchVerifier::RunJob(const DigestSchema& ds,
+                                             Recoverer* recoverer,
+                                             const Job& job) {
+  Outcome out;
+  CountingRecoverer counting(recoverer, &out.counters);
+  DigestSchema job_ds = ds;  // per-job copy: counters sink is per-outcome
+  Verifier verifier(std::move(job_ds), &counting);
+  verifier.set_counters(&out.counters);
+  out.verification = verifier.VerifySelect(*job.query, *job.rows, *job.vo);
+  return out;
+}
+
+std::vector<BatchVerifier::Outcome> BatchVerifier::VerifyAll(
+    const DigestSchema& ds, Recoverer* recoverer, std::span<const Job> jobs) {
+  std::vector<Outcome> outcomes(jobs.size());
+  if (jobs.empty()) return outcomes;
+
+  if (pool_ == nullptr || jobs.size() == 1) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      outcomes[i] = RunJob(ds, recoverer, jobs[i]);
+    }
+    return outcomes;
+  }
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t remaining = jobs.size();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    Status submitted = pool_->Submit([&, i] {
+      Outcome out = RunJob(ds, recoverer, jobs[i]);
+      std::lock_guard lock(mu);
+      outcomes[i] = std::move(out);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+    if (!submitted.ok()) {
+      // Pool shut down mid-call: fall back to inline execution.
+      Outcome out = RunJob(ds, recoverer, jobs[i]);
+      std::lock_guard lock(mu);
+      outcomes[i] = std::move(out);
+      --remaining;
+    }
+  }
+  std::unique_lock lock(mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  return outcomes;
+}
+
+}  // namespace vbtree

@@ -1,0 +1,81 @@
+#ifndef VBTREE_EDGE_QUERY_SERVICE_BATCH_VERIFIER_H_
+#define VBTREE_EDGE_QUERY_SERVICE_BATCH_VERIFIER_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "crypto/counters.h"
+#include "crypto/signer.h"
+#include "query/predicate.h"
+#include "vbtree/digest_schema.h"
+#include "vbtree/verification_object.h"
+
+namespace vbtree {
+
+/// Client-side companion of the edge QueryService: fans the VO
+/// verifications of a coalesced batch response across a small worker
+/// pool. Verification is the client's dominant cost (modular
+/// exponentiations per returned attribute, §4.2), and per-query VOs are
+/// independent — embarrassingly parallel.
+///
+/// The pool is owned by the verifier and reused across calls; VerifyAll
+/// itself blocks until every job is done, so the caller (a Client, which
+/// is single-threaded by contract) observes plain synchronous semantics
+/// and its monotonic-read watermark logic is untouched.
+///
+/// Thread-safety requirements on inputs: the Recoverer must tolerate
+/// concurrent Recover() calls (SimRecoverer and RsaRecoverer both do:
+/// per-call state only); jobs reference caller-owned data that must stay
+/// alive for the duration of VerifyAll.
+class BatchVerifier {
+ public:
+  struct Options {
+    /// 0 = verify inline on the calling thread (no extra threads) — the
+    /// mode load-driver client threads use so fleet thread counts stay
+    /// bounded.
+    size_t num_workers = 4;
+  };
+
+  BatchVerifier() : BatchVerifier(Options{}) {}
+  explicit BatchVerifier(Options options);
+  ~BatchVerifier();
+
+  BatchVerifier(const BatchVerifier&) = delete;
+  BatchVerifier& operator=(const BatchVerifier&) = delete;
+
+  /// One (query, rows, VO) triple to authenticate. `query` must be
+  /// projection-normalized, matching how the rows were deserialized.
+  struct Job {
+    const SelectQuery* query = nullptr;
+    const std::vector<ResultRow>* rows = nullptr;
+    const VerificationObject* vo = nullptr;
+  };
+
+  struct Outcome {
+    Status verification;
+    /// Cost_h / Cost_k / Cost_s this job spent (per-job sink, so the
+    /// parallel workers never contend on one counter block).
+    CryptoCounters counters;
+  };
+
+  /// Verifies every job against `ds` (copied per job) using `recoverer`'s
+  /// public key; returns outcomes positionally. Blocks until all jobs are
+  /// done.
+  std::vector<Outcome> VerifyAll(const DigestSchema& ds, Recoverer* recoverer,
+                                 std::span<const Job> jobs);
+
+  size_t num_workers() const { return pool_ ? pool_->num_threads() : 0; }
+
+ private:
+  static Outcome RunJob(const DigestSchema& ds, Recoverer* recoverer,
+                        const Job& job);
+
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null in inline mode
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_EDGE_QUERY_SERVICE_BATCH_VERIFIER_H_

@@ -1,0 +1,164 @@
+#include "edge/query_service/query_service.h"
+
+#include <thread>
+
+#include "query/query_serde.h"
+
+namespace vbtree {
+
+namespace {
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+QueryService::QueryService(EdgeServer* edge, QueryServiceOptions options)
+    : edge_(edge),
+      options_(options),
+      pool_(ThreadPoolOptions{options.num_workers, options.queue_capacity,
+                              options.overflow}) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() { pool_.Shutdown(); }
+
+void QueryService::ApplyStall() const {
+  if (options_.modeled_io_stall_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.modeled_io_stall_us));
+  }
+}
+
+void QueryService::Account(uint64_t queue_wait_us, uint64_t exec_us,
+                           size_t queries, bool is_batch, uint64_t vo_bytes,
+                           uint64_t result_bytes, bool error) {
+  std::lock_guard lock(stats_mu_);
+  if (is_batch) {
+    stats_.batches++;
+    stats_.batched_queries += queries;
+  } else {
+    stats_.queries += queries;
+  }
+  if (error) stats_.errors++;
+  stats_.queue_wait_us_total += queue_wait_us;
+  stats_.queue_wait_us_max = std::max(stats_.queue_wait_us_max, queue_wait_us);
+  stats_.exec_us_total += exec_us;
+  stats_.vo_bytes_total += vo_bytes;
+  stats_.result_bytes_total += result_bytes;
+}
+
+std::future<Result<QueryResponse>> QueryService::Submit(SelectQuery query) {
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> future = promise->get_future();
+  const Clock::time_point enqueued = Clock::now();
+  Status submitted = pool_.Submit([this, promise, enqueued,
+                                   q = std::move(query)]() mutable {
+    const uint64_t wait_us = MicrosSince(enqueued);
+    ApplyStall();
+    const Clock::time_point exec_start = Clock::now();
+    Result<QueryResponse> resp = edge_->HandleQuery(q);
+    const uint64_t exec_us = MicrosSince(exec_start);
+    Account(wait_us, exec_us, 1, /*is_batch=*/false,
+            resp.ok() ? resp->vo_bytes : 0, resp.ok() ? resp->result_bytes : 0,
+            !resp.ok());
+    promise->set_value(std::move(resp));
+  });
+  if (!submitted.ok()) {
+    std::lock_guard lock(stats_mu_);
+    stats_.rejected++;
+    promise->set_value(Result<QueryResponse>(submitted));
+  }
+  return future;
+}
+
+std::future<Result<QueryBatchResponse>> QueryService::SubmitBatch(
+    QueryBatch batch) {
+  auto promise = std::make_shared<std::promise<Result<QueryBatchResponse>>>();
+  std::future<Result<QueryBatchResponse>> future = promise->get_future();
+  const Clock::time_point enqueued = Clock::now();
+  Status submitted = pool_.Submit([this, promise, enqueued,
+                                   b = std::move(batch)]() mutable {
+    const uint64_t wait_us = MicrosSince(enqueued);
+    ApplyStall();
+    const Clock::time_point exec_start = Clock::now();
+    Result<QueryBatchResponse> resp = edge_->HandleQueryBatch(b);
+    const uint64_t exec_us = MicrosSince(exec_start);
+    uint64_t vo_bytes = 0, result_bytes = 0;
+    if (resp.ok()) {
+      resp->stats.queue_wait_us = wait_us;
+      vo_bytes = resp->stats.total_vo_bytes;
+      result_bytes = resp->stats.total_result_bytes;
+    }
+    Account(wait_us, exec_us, b.queries.size(), /*is_batch=*/true, vo_bytes,
+            result_bytes, !resp.ok());
+    promise->set_value(std::move(resp));
+  });
+  if (!submitted.ok()) {
+    std::lock_guard lock(stats_mu_);
+    stats_.rejected++;
+    promise->set_value(Result<QueryBatchResponse>(submitted));
+  }
+  return future;
+}
+
+std::future<Result<std::vector<uint8_t>>> QueryService::SubmitBatchBytes(
+    std::vector<uint8_t> request) {
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<uint8_t>>>>();
+  std::future<Result<std::vector<uint8_t>>> future = promise->get_future();
+  const Clock::time_point enqueued = Clock::now();
+  Status submitted = pool_.Submit([this, promise, enqueued,
+                                   req = std::move(request)]() mutable {
+    const uint64_t wait_us = MicrosSince(enqueued);
+    ApplyStall();
+    const Clock::time_point exec_start = Clock::now();
+    // Parse here (on the worker) so deserialization cost also comes off
+    // the client's critical path; re-serialize with the measured wait.
+    auto run = [&]() -> Result<std::vector<uint8_t>> {
+      ByteReader r((Slice(req)));
+      VBT_ASSIGN_OR_RETURN(QueryBatch batch, DeserializeQueryBatch(&r));
+      VBT_ASSIGN_OR_RETURN(QueryBatchResponse resp,
+                           edge_->HandleQueryBatch(batch));
+      resp.stats.queue_wait_us = wait_us;
+      const uint64_t exec_us = MicrosSince(exec_start);
+      Account(wait_us, exec_us, batch.queries.size(), /*is_batch=*/true,
+              resp.stats.total_vo_bytes, resp.stats.total_result_bytes,
+              /*error=*/false);
+      ByteWriter w(1 << 14);
+      SerializeQueryBatchResponse(resp, &w);
+      return w.TakeBuffer();
+    };
+    Result<std::vector<uint8_t>> out = run();
+    if (!out.ok()) {
+      Account(wait_us, MicrosSince(exec_start), 0, /*is_batch=*/true, 0, 0,
+              /*error=*/true);
+    }
+    promise->set_value(std::move(out));
+  });
+  if (!submitted.ok()) {
+    std::lock_guard lock(stats_mu_);
+    stats_.rejected++;
+    promise->set_value(Result<std::vector<uint8_t>>(submitted));
+  }
+  return future;
+}
+
+Result<QueryResponse> QueryService::Execute(SelectQuery query) {
+  return Submit(std::move(query)).get();
+}
+
+Result<QueryBatchResponse> QueryService::ExecuteBatch(QueryBatch batch) {
+  return SubmitBatch(std::move(batch)).get();
+}
+
+QueryService::Stats QueryService::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace vbtree

@@ -1,0 +1,112 @@
+#ifndef VBTREE_EDGE_QUERY_SERVICE_QUERY_SERVICE_H_
+#define VBTREE_EDGE_QUERY_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "edge/edge_server.h"
+
+namespace vbtree {
+
+struct QueryServiceOptions {
+  /// Worker threads executing queries against the edge replica.
+  size_t num_workers = 4;
+  /// Bounded submission queue: at most this many requests waiting (in
+  /// addition to the ones being executed).
+  size_t queue_capacity = 1024;
+  /// Queue-full behavior: throttle submitters or shed load with
+  /// kResourceExhausted.
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Modeled per-request blocking stall (microseconds), charged inside
+  /// the worker before execution. Emulates the backend I/O an edge
+  /// request blocks on in deployment (replica page reads from local
+  /// flash, NIC writeback) — the component a thread pool overlaps. The
+  /// load driver uses it so worker-scaling behavior is observable
+  /// independent of host core count; production configs leave it 0.
+  uint64_t modeled_io_stall_us = 0;
+};
+
+/// Thread-pool-backed front end for one EdgeServer (the "absorb heavy
+/// client traffic" role of Fig. 2): client requests enter a bounded
+/// submission queue and are executed concurrently by a fixed worker pool.
+///
+/// Concurrency/latching order: workers only ever take the EdgeServer's
+/// shared latch (then the VB-tree's shared latch inside) — the same order
+/// the DistributionHub's propagator uses for exclusive snapshot installs
+/// and delta replay, so replica swaps serialize cleanly against in-flight
+/// queries and no lock cycle exists between the two subsystems.
+///
+/// Every submission is stamped on entry; per-request queue-wait and
+/// execution time feed the service-level stats (and, for batches, the
+/// response's BatchExecStats), giving the closed-loop bench its
+/// telemetry.
+class QueryService {
+ public:
+  struct Stats {
+    uint64_t queries = 0;        ///< single queries completed
+    uint64_t batches = 0;        ///< batches completed
+    uint64_t batched_queries = 0;///< queries inside those batches
+    uint64_t rejected = 0;       ///< submissions shed by backpressure
+    uint64_t errors = 0;         ///< executions returning non-OK
+    uint64_t queue_wait_us_total = 0;
+    uint64_t queue_wait_us_max = 0;
+    uint64_t exec_us_total = 0;
+    uint64_t vo_bytes_total = 0;
+    uint64_t result_bytes_total = 0;
+  };
+
+  explicit QueryService(EdgeServer* edge, QueryServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  EdgeServer* edge() const { return edge_; }
+
+  /// Enqueues one query; the future resolves when a worker has executed
+  /// it. Under kReject a full queue resolves the future immediately with
+  /// kResourceExhausted (the request never reaches a worker).
+  std::future<Result<QueryResponse>> Submit(SelectQuery query);
+
+  /// Enqueues a batch; executed with shared traversals as one unit. The
+  /// response's stats carry the measured queue wait.
+  std::future<Result<QueryBatchResponse>> SubmitBatch(QueryBatch batch);
+
+  /// Wire-path batch submission: request bytes in, response bytes out,
+  /// still scheduled through the worker pool.
+  std::future<Result<std::vector<uint8_t>>> SubmitBatchBytes(
+      std::vector<uint8_t> request);
+
+  /// Synchronous conveniences (submit + wait).
+  Result<QueryResponse> Execute(SelectQuery query);
+  Result<QueryBatchResponse> ExecuteBatch(QueryBatch batch);
+
+  /// Stops accepting submissions, drains accepted work, joins workers.
+  void Shutdown();
+
+  size_t queue_depth() const { return pool_.queue_depth(); }
+  size_t num_workers() const { return pool_.num_threads(); }
+  Stats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void ApplyStall() const;
+  /// Records one completed execution into stats_.
+  void Account(uint64_t queue_wait_us, uint64_t exec_us, size_t queries,
+               bool is_batch, uint64_t vo_bytes, uint64_t result_bytes,
+               bool error);
+
+  EdgeServer* edge_;
+  QueryServiceOptions options_;
+  ThreadPool pool_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_EDGE_QUERY_SERVICE_QUERY_SERVICE_H_

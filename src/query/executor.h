@@ -12,10 +12,17 @@ namespace vbtree {
 class Executor {
  public:
   Executor(const VBTree* tree, const TableHeap* heap)
-      : tree_(tree), heap_(heap) {}
+      : tree_(tree), heap_(heap), fetcher_(FetcherFor(heap)) {}
 
   Result<QueryOutput> Run(const SelectQuery& query, txn_id_t txn = 0) const {
-    return tree_->ExecuteSelect(query, FetcherFor(heap_), txn);
+    return tree_->ExecuteSelect(query, fetcher_, txn);
+  }
+
+  /// Batched execution against the same tree/heap pair.
+  Result<std::vector<QueryOutput>> RunBatch(
+      std::span<const SelectQuery> queries,
+      VBBatchStats* stats = nullptr) const {
+    return tree_->ExecuteSelectBatch(queries, fetcher_, stats);
   }
 
   /// Adapts a TableHeap into the VBTree's TupleFetcher interface.
@@ -26,6 +33,9 @@ class Executor {
  private:
   const VBTree* tree_;
   const TableHeap* heap_;
+  /// Bound once at construction: Run is on the per-query hot path and
+  /// must not rebuild a std::function (heap-allocating) per call.
+  VBTree::TupleFetcher fetcher_;
 };
 
 }  // namespace vbtree

@@ -104,6 +104,17 @@ struct SelectQuery {
   }
 };
 
+/// N select-project predicates over ONE table (or materialized join
+/// view), shipped to an edge server as a unit: the edge answers the whole
+/// batch with shared tree traversals under a single latch acquisition and
+/// one coalesced response carrying a VO per query.
+struct QueryBatch {
+  std::string table;
+  /// Each entry's `table` field may be empty — the batch table applies.
+  /// A non-empty entry table must match `table`.
+  std::vector<SelectQuery> queries;
+};
+
 /// One result row: the values of the projected columns, in projection
 /// order (all columns when the projection is empty).
 struct ResultRow {

@@ -61,6 +61,29 @@ Result<SelectQuery> DeserializeSelectQuery(ByteReader* r) {
   return q;
 }
 
+void SerializeQueryBatch(const QueryBatch& batch, ByteWriter* w) {
+  w->PutString(batch.table);
+  w->PutVarint(batch.queries.size());
+  for (const SelectQuery& q : batch.queries) {
+    SelectQuery stripped = q;
+    stripped.table.clear();
+    SerializeSelectQuery(stripped, w);
+  }
+}
+
+Result<QueryBatch> DeserializeQueryBatch(ByteReader* r) {
+  QueryBatch batch;
+  VBT_ASSIGN_OR_RETURN(batch.table, r->ReadString());
+  VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+  batch.queries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    VBT_ASSIGN_OR_RETURN(SelectQuery q, DeserializeSelectQuery(r));
+    q.table = batch.table;
+    batch.queries.push_back(std::move(q));
+  }
+  return batch;
+}
+
 void SerializeResultRows(const std::vector<ResultRow>& rows, ByteWriter* w) {
   w->PutVarint(rows.size());
   for (const ResultRow& row : rows) {

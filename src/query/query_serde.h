@@ -16,6 +16,11 @@ namespace vbtree {
 void SerializeSelectQuery(const SelectQuery& q, ByteWriter* w);
 Result<SelectQuery> DeserializeSelectQuery(ByteReader* r);
 
+/// Batched request: the table name once, then each query without its
+/// (redundant) table field.
+void SerializeQueryBatch(const QueryBatch& batch, ByteWriter* w);
+Result<QueryBatch> DeserializeQueryBatch(ByteReader* r);
+
 /// Rows are encoded against the schema + projection so the receiver knows
 /// each value's type. `projection` empty means all columns.
 void SerializeResultRows(const std::vector<ResultRow>& rows, ByteWriter* w);

@@ -1,6 +1,7 @@
 #include "vbtree/vb_tree.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/logging.h"
 
@@ -667,11 +668,7 @@ Status VBTree::BuildVONode(const Node* node, const SelectQuery& q,
   return Status::OK();
 }
 
-Result<QueryOutput> VBTree::ExecuteSelect(const SelectQuery& query,
-                                          const TupleFetcher& fetch,
-                                          txn_id_t txn) const {
-  SelectQuery q = query;
-  q.NormalizeProjection();
+Status VBTree::ValidateSelect(const SelectQuery& q) const {
   if (!q.projection.empty() && q.projection[0] != 0) {
     return Status::InvalidArgument("projection must retain the key column");
   }
@@ -688,6 +685,33 @@ Result<QueryOutput> VBTree::ExecuteSelect(const SelectQuery& query,
   if (q.range.empty()) {
     return Status::InvalidArgument("empty key range");
   }
+  return Status::OK();
+}
+
+Status VBTree::ExecuteSelectLocked(const SelectQuery& q,
+                                   const TupleFetcher& fetch, int tree_height,
+                                   QueryOutput* out) const {
+  out->vo.key_version = opts_.key_version;
+  std::vector<size_t> filtered_cols =
+      q.FilteredColumns(ds_.schema().num_columns());
+  out->vo.num_filtered_cols = static_cast<uint32_t>(filtered_cols.size());
+
+  int depth_of_top = 0;
+  const Node* top = FindEnvelopeTop(q.range, &out->vo.signed_top,
+                                    &depth_of_top);
+  out->stats.subtree_height = tree_height - depth_of_top;
+
+  out->vo.skeleton = std::make_unique<VONode>();
+  return BuildVONode(top, q, filtered_cols, fetch, out,
+                     out->vo.skeleton.get());
+}
+
+Result<QueryOutput> VBTree::ExecuteSelect(const SelectQuery& query,
+                                          const TupleFetcher& fetch,
+                                          txn_id_t txn) const {
+  SelectQuery q = query;
+  q.NormalizeProjection();
+  VBT_RETURN_NOT_OK(ValidateSelect(q));
 
   if (lock_manager_ != nullptr && txn != 0) {
     // S-lock the digests of the enveloping subtree (§3.4), so concurrent
@@ -707,20 +731,60 @@ Result<QueryOutput> VBTree::ExecuteSelect(const SelectQuery& query,
 
   std::shared_lock latch(latch_);
   QueryOutput out;
-  out.vo.key_version = opts_.key_version;
-  out.vo.num_filtered_cols =
-      static_cast<uint32_t>(q.FilteredColumns(ds_.schema().num_columns()).size());
-
-  int depth_of_top = 0;
-  const Node* top = FindEnvelopeTop(q.range, &out.vo.signed_top, &depth_of_top);
-  out.stats.subtree_height = height() - depth_of_top;
-
-  out.vo.skeleton = std::make_unique<VONode>();
-  std::vector<size_t> filtered_cols =
-      q.FilteredColumns(ds_.schema().num_columns());
-  VBT_RETURN_NOT_OK(BuildVONode(top, q, filtered_cols, fetch, &out,
-                                out.vo.skeleton.get()));
+  VBT_RETURN_NOT_OK(ExecuteSelectLocked(q, fetch, height(), &out));
   return out;
+}
+
+Result<std::vector<QueryOutput>> VBTree::ExecuteSelectBatch(
+    std::span<const SelectQuery> queries, const TupleFetcher& fetch,
+    VBBatchStats* batch_stats) const {
+  std::vector<SelectQuery> qs(queries.begin(), queries.end());
+  for (SelectQuery& q : qs) {
+    q.NormalizeProjection();
+    VBT_RETURN_NOT_OK(ValidateSelect(q));
+  }
+
+  // Batch-scoped tuple memo: queries with overlapping envelopes share each
+  // replica-store read (and tuple deserialization) instead of re-fetching
+  // per query. Rids are dense and few per batch; an ordered map keeps this
+  // dependency-free.
+  std::map<std::pair<int32_t, uint16_t>, Tuple> memo;
+  size_t fetches = 0;
+  size_t hits = 0;
+  TupleFetcher shared_fetch = [&](const Rid& rid) -> Result<Tuple> {
+    auto key = std::make_pair(rid.page_id, rid.slot);
+    auto it = memo.find(key);
+    if (it != memo.end()) {
+      hits++;
+      return it->second;
+    }
+    auto tuple_or = fetch(rid);
+    if (!tuple_or.ok()) return tuple_or;
+    fetches++;
+    return memo.emplace(key, tuple_or.MoveValueUnsafe()).first->second;
+  };
+
+  // ONE shared-latch acquisition for the whole batch: every answer reads
+  // the same tree state, so the coalesced response carries one replica
+  // version. Snapshot installs / delta replay (exclusive latch) serialize
+  // against the batch as a unit.
+  std::shared_lock latch(latch_);
+  const int tree_height = height();  // latch already held
+  std::vector<QueryOutput> outs;
+  outs.reserve(qs.size());
+  for (const SelectQuery& q : qs) {
+    QueryOutput out;
+    VBT_RETURN_NOT_OK(ExecuteSelectLocked(q, shared_fetch, tree_height, &out));
+    if (batch_stats != nullptr) {
+      batch_stats->nodes_visited += out.stats.nodes_visited;
+    }
+    outs.push_back(std::move(out));
+  }
+  if (batch_stats != nullptr) {
+    batch_stats->tuple_fetches += fetches;
+    batch_stats->shared_fetch_hits += hits;
+  }
+  return outs;
 }
 
 // ---------------------------------------------------------------------------

@@ -60,6 +60,19 @@ struct VBQueryStats {
   size_t nodes_visited = 0;
 };
 
+/// Cross-query statistics for one batched execution (ExecuteSelectBatch):
+/// how much tree/store work the batch shared compared to running its
+/// queries serially.
+struct VBBatchStats {
+  /// Total VO-skeleton nodes visited across the batch.
+  size_t nodes_visited = 0;
+  /// Tuple fetches that reached the replica store.
+  size_t tuple_fetches = 0;
+  /// Tuple fetches served from the batch-scoped memo (overlapping query
+  /// envelopes share each tuple read + deserialization).
+  size_t shared_fetch_hits = 0;
+};
+
 /// A query answer as produced by an edge server: result rows plus the VO.
 struct QueryOutput {
   std::vector<ResultRow> rows;
@@ -127,6 +140,18 @@ class VBTree {
   Result<QueryOutput> ExecuteSelect(const SelectQuery& query,
                                     const TupleFetcher& fetch,
                                     txn_id_t txn = 0) const;
+
+  /// Batched edge-server execution: answers every query under ONE shared
+  /// latch acquisition — the whole batch reads a single consistent tree
+  /// state (one replica version) — and shares work across queries: tuple
+  /// fetches are memoized batch-wide, so overlapping envelopes read each
+  /// tuple from the replica store once. Outputs are positional (outs[i]
+  /// answers queries[i], with its own VO). Does not take §3.4 digest
+  /// locks: edge replicas run without a LockManager; the latch alone
+  /// serializes against snapshot installs and delta replay.
+  Result<std::vector<QueryOutput>> ExecuteSelectBatch(
+      std::span<const SelectQuery> queries, const TupleFetcher& fetch,
+      VBBatchStats* batch_stats = nullptr) const;
 
   Digest root_digest() const;
   Signature root_signature() const;
@@ -262,6 +287,12 @@ class VBTree {
   Result<size_t> DeleteRangeLocked(int64_t lo, int64_t hi);
 
   // --- query helpers ---
+  /// Static validation shared by ExecuteSelect and ExecuteSelectBatch;
+  /// `q` must already be projection-normalized.
+  Status ValidateSelect(const SelectQuery& q) const;
+  /// Body of one select under an already-held shared latch.
+  Status ExecuteSelectLocked(const SelectQuery& q, const TupleFetcher& fetch,
+                             int tree_height, QueryOutput* out) const;
   const Node* FindEnvelopeTop(const KeyRange& range, Signature* top_sig,
                               int* depth_of_top) const;
   void CollectEnvelopeIds(const Node* node, const KeyRange& range,

@@ -1,0 +1,447 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "edge/central_server.h"
+#include "edge/client.h"
+#include "edge/edge_server.h"
+#include "edge/query_service/batch_verifier.h"
+#include "edge/query_service/query_service.h"
+#include "query/query_serde.h"
+#include "tests/testutil.h"
+
+namespace vbtree {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool: bounded-queue semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(ThreadPoolOptions{4, 64, OverflowPolicy::kBlock});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&count] { count++; }).ok());
+  }
+  pool.Shutdown();  // drains
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.stats().executed, 100u);
+}
+
+TEST(ThreadPoolTest, RejectPolicyShedsWhenQueueFull) {
+  ThreadPool pool(ThreadPoolOptions{1, 1, OverflowPolicy::kReject});
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  // Occupy the single worker deterministically.
+  ASSERT_TRUE(pool.Submit([gate] { gate.wait(); }).ok());
+  // Wait until the worker has dequeued it (queue drains to 0).
+  while (pool.queue_depth() > 0) std::this_thread::yield();
+  // Fill the queue slot, then overflow.
+  ASSERT_TRUE(pool.Submit([gate] { gate.wait(); }).ok());
+  Status rejected = pool.Submit([] {});
+  EXPECT_TRUE(rejected.IsResourceExhausted()) << rejected.ToString();
+  EXPECT_EQ(pool.stats().rejected, 1u);
+  release.set_value();
+  pool.Shutdown();
+  EXPECT_EQ(pool.stats().executed, 2u);
+}
+
+TEST(ThreadPoolTest, BlockPolicyThrottlesUntilSpaceFrees) {
+  ThreadPool pool(ThreadPoolOptions{1, 1, OverflowPolicy::kBlock});
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  ASSERT_TRUE(pool.Submit([gate] { gate.wait(); }).ok());
+  while (pool.queue_depth() > 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.Submit([gate] { gate.wait(); }).ok());  // fills the queue
+
+  std::atomic<bool> third_accepted{false};
+  std::thread submitter([&] {
+    // Blocks until the gated tasks run and free a slot.
+    ASSERT_TRUE(pool.Submit([] {}).ok());
+    third_accepted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_accepted.load());  // still throttled
+  release.set_value();
+  submitter.join();
+  EXPECT_TRUE(third_accepted.load());
+  pool.Shutdown();
+  EXPECT_EQ(pool.stats().executed, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService + BatchVerifier against a full Fig. 2 topology.
+// ---------------------------------------------------------------------------
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CentralServer::Options opts;
+    opts.tree_opts.config.max_internal = 16;
+    opts.tree_opts.config.max_leaf = 16;
+    auto central = CentralServer::Create(opts);
+    ASSERT_TRUE(central.ok());
+    central_ = central.MoveValueUnsafe();
+
+    schema_ = testutil::MakeWideSchema(10);
+    ASSERT_TRUE(central_->CreateTable("items", schema_).ok());
+    Rng rng(42);
+    ASSERT_TRUE(
+        central_->LoadTable("items", testutil::MakeRows(schema_, 1000, &rng))
+            .ok());
+
+    edge_ = std::make_unique<EdgeServer>("edge-1");
+    ASSERT_TRUE(
+        testutil::Publish(central_.get(), "items", edge_.get(), &net_).ok());
+
+    client_ = std::make_unique<Client>(central_->db_name(),
+                                       central_->key_directory());
+    client_->RegisterTable("items", schema_);
+  }
+
+  SelectQuery RangeQuery(int64_t lo, int64_t hi) {
+    SelectQuery q;
+    q.table = "items";
+    q.range = KeyRange{lo, hi};
+    return q;
+  }
+
+  QueryBatch MixedBatch() {
+    QueryBatch batch;
+    batch.table = "items";
+    batch.queries.push_back(RangeQuery(100, 160));
+    SelectQuery projected = RangeQuery(140, 200);  // overlaps the first
+    projected.projection = {0, 2, 5};
+    batch.queries.push_back(projected);
+    SelectQuery conditional = RangeQuery(0, 400);
+    conditional.conditions.push_back(
+        ColumnCondition{1, CompareOp::kNe, Value::Str("no-such-value")});
+    batch.queries.push_back(conditional);
+    batch.queries.push_back(RangeQuery(950, 999));
+    return batch;
+  }
+
+  Schema schema_;
+  SimulatedNetwork net_;
+  std::unique_ptr<CentralServer> central_;
+  std::unique_ptr<EdgeServer> edge_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(QueryServiceTest, BatchAnswersMatchSerialExecutionRowForRow) {
+  QueryBatch batch = MixedBatch();
+  auto batched = edge_->HandleQueryBatch(batch);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched->responses.size(), batch.queries.size());
+  EXPECT_GT(batched->stats.shared_fetch_hits, 0u)
+      << "overlapping envelopes should share tuple fetches";
+
+  for (size_t i = 0; i < batch.queries.size(); ++i) {
+    auto serial = edge_->HandleQuery(batch.queries[i]);
+    ASSERT_TRUE(serial.ok());
+    const QueryResponse& b = batched->responses[i];
+    ASSERT_EQ(b.rows.size(), serial->rows.size()) << "query " << i;
+    for (size_t r = 0; r < b.rows.size(); ++r) {
+      EXPECT_EQ(b.rows[r].key, serial->rows[r].key);
+      ASSERT_EQ(b.rows[r].values.size(), serial->rows[r].values.size());
+      for (size_t v = 0; v < b.rows[r].values.size(); ++v) {
+        EXPECT_EQ(b.rows[r].values[v].Compare(serial->rows[r].values[v]), 0);
+      }
+    }
+    EXPECT_EQ(b.replica_version, serial->replica_version);
+  }
+}
+
+TEST_F(QueryServiceTest, BatchedAnswersVerifyThroughService) {
+  QueryService service(edge_.get(), QueryServiceOptions{2, 64});
+  BatchVerifier verifier(BatchVerifier::Options{2});
+  auto out = client_->QueryBatched(&service, MixedBatch(), /*now=*/10,
+                                   &verifier, &net_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->results.size(), 4u);
+  for (size_t i = 0; i < out->results.size(); ++i) {
+    EXPECT_TRUE(out->results[i].verification.ok())
+        << "query " << i << ": " << out->results[i].verification.ToString();
+    EXPECT_GT(out->results[i].rows.size(), 0u);
+    EXPECT_GT(out->results[i].counters.attr_hashes, 0u);
+  }
+  EXPECT_FALSE(out->stale_replica);
+  EXPECT_GT(out->stats.exec_us, 0u);
+  EXPECT_GT(out->stats.total_vo_bytes, 0u);
+  // Request/response traffic went over the accounted channels.
+  EXPECT_GT(net_.stats("client->edge:edge-1").bytes, 0u);
+  EXPECT_GT(net_.stats("edge:edge-1->client").bytes, 0u);
+}
+
+TEST_F(QueryServiceTest, SingleQuerySubmissionVerifies) {
+  QueryService service(edge_.get(), QueryServiceOptions{2, 64});
+  auto resp = service.Execute(RangeQuery(10, 40));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->rows.size(), 31u);
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_GT(stats.vo_bytes_total, 0u);
+}
+
+TEST_F(QueryServiceTest, ConcurrentQueriesRaceSnapshotInstallsAndDeltas) {
+  QueryService service(edge_.get(), QueryServiceOptions{4, 256});
+  std::atomic<bool> stop{false};
+
+  // Writer: churn the central table and alternately ship full snapshots
+  // and deltas — both take the edge's exclusive latch mid-query-stream.
+  std::thread writer([&] {
+    Rng rng(7);
+    int64_t key = 10000;
+    int round = 0;
+    while (!stop.load()) {
+      ASSERT_TRUE(central_
+                      ->InsertTuple("items",
+                                    testutil::MakeTuple(schema_, key++, &rng))
+                      .ok());
+      Status shipped =
+          (round++ % 2 == 0)
+              ? testutil::Publish(central_.get(), "items", edge_.get())
+              : testutil::PublishDelta(central_.get(), "items", edge_.get());
+      ASSERT_TRUE(shipped.ok()) << shipped.ToString();
+    }
+  });
+
+  // Readers: authenticated queries through the service the whole time.
+  std::atomic<uint64_t> verified{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Client client(central_->db_name(), central_->key_directory());
+      client.RegisterTable("items", schema_);
+      Rng rng(100 + t);
+      BatchVerifier inline_verifier(BatchVerifier::Options{0});
+      for (int i = 0; i < 30; ++i) {
+        QueryBatch batch;
+        batch.table = "items";
+        for (int q = 0; q < 4; ++q) {
+          int64_t lo = static_cast<int64_t>(rng.Uniform(900));
+          batch.queries.push_back(RangeQuery(lo, lo + 50));
+        }
+        auto out = client.QueryBatched(&service, batch, /*now=*/10,
+                                       &inline_verifier);
+        ASSERT_TRUE(out.ok()) << out.status().ToString();
+        for (const auto& v : out->results) {
+          ASSERT_TRUE(v.verification.ok()) << v.verification.ToString();
+          verified++;
+        }
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(verified.load(), 3u * 30u * 4u);
+  // Replica converged to some post-churn version and queries never saw a
+  // torn state (every VO authenticated above).
+  EXPECT_GT(edge_->TableVersion("items"), 0u);
+}
+
+TEST_F(QueryServiceTest, RejectBackpressureSurfacesToSubmitters) {
+  QueryServiceOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 1;
+  opts.overflow = OverflowPolicy::kReject;
+  opts.modeled_io_stall_us = 100000;  // pin the worker for 100ms
+  QueryService service(edge_.get(), opts);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  futures.push_back(service.Submit(RangeQuery(0, 10)));
+  // Wait until the worker has dequeued the first query (it then stalls
+  // for 100ms), so the remaining submissions race only the queue slot.
+  while (service.queue_depth() > 0) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(service.Submit(RangeQuery(0, 10)));
+  }
+  size_t ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    Result<QueryResponse> r = f.get();
+    if (r.ok()) {
+      ok++;
+    } else {
+      EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+      rejected++;
+    }
+  }
+  // One in flight + one queued are accepted; with a 100ms stall the
+  // other four submissions (issued within microseconds) must overflow.
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(rejected, 4u);
+  EXPECT_EQ(service.stats().rejected, rejected);
+}
+
+TEST_F(QueryServiceTest, BlockBackpressureAcceptsEverything) {
+  QueryServiceOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 2;
+  opts.overflow = OverflowPolicy::kBlock;
+  QueryService service(edge_.get(), opts);
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(service.Submit(RangeQuery(i * 10, i * 10 + 20)));
+  }
+  for (auto& f : futures) {
+    Result<QueryResponse> r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(service.stats().queries, 32u);
+  EXPECT_EQ(service.stats().rejected, 0u);
+}
+
+TEST_F(QueryServiceTest, StoreTamperDetectedUnderBatching) {
+  ASSERT_TRUE(edge_->TamperValueByKey("items", 150, 3,
+                                      Value::Str("forged")).ok());
+  QueryService service(edge_.get(), QueryServiceOptions{2, 64});
+  BatchVerifier verifier(BatchVerifier::Options{2});
+
+  QueryBatch batch;
+  batch.table = "items";
+  batch.queries.push_back(RangeQuery(100, 200));  // covers the forged tuple
+  batch.queries.push_back(RangeQuery(500, 560));  // untouched region
+  auto out = client_->QueryBatched(&service, batch, /*now=*/10, &verifier,
+                                   &net_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->results[0].verification.IsVerificationFailure())
+      << out->results[0].verification.ToString();
+  EXPECT_TRUE(out->results[1].verification.ok())
+      << out->results[1].verification.ToString();
+}
+
+TEST_F(QueryServiceTest, ResponseTamperDetectedUnderBatching) {
+  QueryService service(edge_.get(), QueryServiceOptions{2, 64});
+  for (ResponseTamper mode :
+       {ResponseTamper::kModifyValue, ResponseTamper::kInjectRow,
+        ResponseTamper::kDropRow}) {
+    edge_->set_response_tamper(mode);
+    auto out = client_->QueryBatched(&service, MixedBatch(), /*now=*/10,
+                                     /*verifier=*/nullptr, &net_);
+    ASSERT_TRUE(out.ok());
+    size_t failures = 0;
+    for (const auto& v : out->results) {
+      if (!v.verification.ok()) failures++;
+    }
+    EXPECT_GT(failures, 0u) << "tamper mode " << static_cast<int>(mode);
+  }
+  edge_->set_response_tamper(ResponseTamper::kNone);
+}
+
+TEST_F(QueryServiceTest, BatchPreservesMonotonicReadWatermark) {
+  // Second edge left at the load-time replica state.
+  auto stale_edge = std::make_unique<EdgeServer>("edge-stale");
+  ASSERT_TRUE(
+      testutil::Publish(central_.get(), "items", stale_edge.get()).ok());
+
+  // Advance the central table and refresh only the primary edge.
+  Rng rng(9);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        central_->InsertTuple("items",
+                              testutil::MakeTuple(schema_, 5000 + i, &rng))
+            .ok());
+  }
+  ASSERT_TRUE(testutil::Publish(central_.get(), "items", edge_.get()).ok());
+  ASSERT_GT(edge_->TableVersion("items"), stale_edge->TableVersion("items"));
+
+  QueryService fresh_service(edge_.get(), QueryServiceOptions{2, 64});
+  QueryService stale_service(stale_edge.get(), QueryServiceOptions{2, 64});
+
+  QueryBatch batch;
+  batch.table = "items";
+  batch.queries.push_back(RangeQuery(10, 60));
+
+  auto fresh = client_->QueryBatched(&fresh_service, batch, /*now=*/10);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fresh->results[0].verification.ok());
+  EXPECT_FALSE(fresh->stale_replica);
+
+  auto stale = client_->QueryBatched(&stale_service, batch, /*now=*/10);
+  ASSERT_TRUE(stale.ok());
+  ASSERT_TRUE(stale->results[0].verification.ok());
+  EXPECT_TRUE(stale->stale_replica) << "older replica must be flagged";
+  EXPECT_TRUE(stale->results[0].stale_replica);
+  EXPECT_LT(stale->replica_version, fresh->replica_version);
+}
+
+TEST_F(QueryServiceTest, BatchVerifierMatchesSerialVerifierOutcomes) {
+  QueryBatch batch = MixedBatch();
+  // Normalize as the client would: jobs reference normalized queries.
+  for (SelectQuery& q : batch.queries) q.NormalizeProjection();
+  auto resp = edge_->HandleQueryBatch(batch);
+  ASSERT_TRUE(resp.ok());
+
+  DigestSchema ds(central_->db_name(), "items", schema_,
+                  HashAlgorithm::kSha256, 128);
+  auto rec = central_->key_directory()->RecovererFor(1, /*now=*/10);
+  ASSERT_TRUE(rec.ok());
+
+  std::vector<BatchVerifier::Job> jobs;
+  for (size_t i = 0; i < batch.queries.size(); ++i) {
+    jobs.push_back(BatchVerifier::Job{&batch.queries[i],
+                                      &resp->responses[i].rows,
+                                      &resp->responses[i].vo});
+  }
+  BatchVerifier parallel(BatchVerifier::Options{3});
+  BatchVerifier inline_mode(BatchVerifier::Options{0});
+  auto par = parallel.VerifyAll(ds, rec->get(), jobs);
+  auto ser = inline_mode.VerifyAll(ds, rec->get(), jobs);
+  ASSERT_EQ(par.size(), ser.size());
+  for (size_t i = 0; i < par.size(); ++i) {
+    EXPECT_EQ(par[i].verification.code(), ser[i].verification.code());
+    EXPECT_TRUE(par[i].verification.ok());
+    // Identical work on both paths: the per-job counters agree exactly.
+    EXPECT_EQ(par[i].counters.attr_hashes, ser[i].counters.attr_hashes);
+    EXPECT_EQ(par[i].counters.recovers, ser[i].counters.recovers);
+  }
+}
+
+TEST_F(QueryServiceTest, BatchWirePathRoundTrips) {
+  // Direct (service-less) wire dispatch: request bytes in, response
+  // bytes out, decoding to the same answers as the parsed path.
+  QueryBatch batch = MixedBatch();
+  for (SelectQuery& q : batch.queries) q.NormalizeProjection();
+
+  ByteWriter req(1 << 10);
+  SerializeQueryBatch(batch, &req);
+  auto resp_bytes = edge_->HandleQueryBatchBytes(Slice(req.buffer()));
+  ASSERT_TRUE(resp_bytes.ok()) << resp_bytes.status().ToString();
+
+  ByteReader r((Slice(*resp_bytes)));
+  auto wire = DeserializeQueryBatchResponse(&r, schema_, batch.queries);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  auto direct = edge_->HandleQueryBatch(batch);
+  ASSERT_TRUE(direct.ok());
+
+  ASSERT_EQ(wire->responses.size(), direct->responses.size());
+  EXPECT_EQ(wire->replica_version, direct->replica_version);
+  EXPECT_EQ(wire->stats.queue_wait_us, 0u);  // direct path: never queued
+  for (size_t i = 0; i < wire->responses.size(); ++i) {
+    EXPECT_EQ(wire->responses[i].rows.size(),
+              direct->responses[i].rows.size());
+    // Both ends account row payload identically.
+    EXPECT_EQ(wire->responses[i].result_bytes,
+              direct->responses[i].result_bytes);
+    EXPECT_EQ(wire->responses[i].vo_bytes, direct->responses[i].vo_bytes);
+  }
+  EXPECT_EQ(wire->stats.total_result_bytes, direct->stats.total_result_bytes);
+}
+
+TEST_F(QueryServiceTest, BatchRejectsMixedTables) {
+  QueryBatch batch;
+  batch.table = "items";
+  SelectQuery q = RangeQuery(0, 10);
+  q.table = "other_table";
+  batch.queries.push_back(q);
+  auto resp = edge_->HandleQueryBatch(batch);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbtree
