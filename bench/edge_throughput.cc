@@ -25,11 +25,13 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/random.h"
 #include "edge/central_server.h"
 #include "edge/client.h"
 #include "edge/edge_server.h"
 #include "edge/propagation/distribution_hub.h"
 #include "edge/query_service/query_service.h"
+#include "query/query_serde.h"
 
 using namespace vbtree;
 using vbtree::bench::MeasuredTuples;
@@ -55,6 +57,11 @@ struct Config {
   uint64_t stall_us = 10000;
   size_t queue_capacity = 256;
   uint64_t churn_interval_us = 2000;
+  /// Zipf exponent for range starts (0 = uniform): skewed starts make
+  /// batch envelopes overlap — the workload signature interning and the
+  /// edge VO cache are built for. The default models a hot-range edge
+  /// (CDN-style popularity skew).
+  double zipf = 0.99;
   bool json = false;
 };
 
@@ -74,7 +81,13 @@ struct RunResult {
   double queue_wait_avg_us = 0;
   uint64_t queue_wait_max_us = 0;
   double exec_avg_us = 0;
+  /// Raw (self-contained) VO bytes — what wire v1 would have shipped.
   uint64_t vo_bytes_total = 0;
+  /// VO bytes actually shipped (wire v2: signature pool + pooled VOs).
+  uint64_t vo_wire_bytes_total = 0;
+  uint64_t vo_cache_hits = 0;
+  double vo_bytes_per_query = 0;
+  double vo_raw_bytes_per_query = 0;
   uint64_t shared_fetch_hits = 0;
   uint64_t tuple_fetches = 0;
 };
@@ -141,13 +154,19 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
       client.RegisterTable("events", schema);
       QueryService* service = services[c % services.size()].get();
       Rng rng(77 + c);
+      // Zipf-skewed range starts: hot windows recur within and across
+      // batches, so envelopes overlap (interning + VO-cache territory).
+      ZipfGenerator zipf(n_tuples, cfg.zipf > 0 ? cfg.zipf : 0.99,
+                         990 + c);
       while (!stop.load(std::memory_order_relaxed)) {
         QueryBatch batch;
         batch.table = "events";
         batch.queries.reserve(cfg.batch);
         for (size_t i = 0; i < cfg.batch; ++i) {
           SelectQuery q;
-          int64_t lo = static_cast<int64_t>(rng.Uniform(n_tuples));
+          int64_t lo = cfg.zipf > 0
+                           ? static_cast<int64_t>(zipf.Next())
+                           : static_cast<int64_t>(rng.Uniform(n_tuples));
           q.range = KeyRange{lo, lo + cfg.range_span};
           if (i % 2 == 1) q.projection = {0, 1, 2};
           batch.queries.push_back(std::move(q));
@@ -169,8 +188,21 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
             if (!v.verification.ok()) tally.verify_failures++;
           }
         } else {
-          auto out = service->SubmitBatch(batch).get();
+          // Unverified batches still take the full wire path, so the
+          // service's VO wire-byte accounting covers every batch, not
+          // just the verified sample.
+          QueryBatch nb = batch;
+          for (SelectQuery& q : nb.queries) {
+            q.table = batch.table;
+            q.NormalizeProjection();
+          }
+          ByteWriter req(1 << 10);
+          SerializeQueryBatch(nb, &req);
+          auto bytes = service->SubmitBatchBytes(req.TakeBuffer()).get();
           uint64_t us = static_cast<uint64_t>(t.ElapsedMs() * 1000.0);
+          if (!bytes.ok()) continue;
+          ByteReader r((Slice(*bytes)));
+          auto out = DeserializeQueryBatchResponse(&r, schema, nb.queries);
           if (!out.ok()) continue;
           tally.latencies_us.push_back(us);
           tally.batches++;
@@ -204,21 +236,30 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
   run.batch_p50_us = Percentile(&latencies, 0.50);
   run.batch_p99_us = Percentile(&latencies, 0.99);
 
-  uint64_t waits = 0, execs = 0, completed = 0;
+  uint64_t waits = 0, execs = 0, completed = 0, wire_queries = 0;
   for (auto& s : services) {
     QueryService::Stats st = s->stats();
     waits += st.queue_wait_us_total;
     execs += st.exec_us_total;
     completed += st.batches;
+    wire_queries += st.batched_queries;
     run.queue_wait_max_us = std::max(run.queue_wait_max_us,
                                      st.queue_wait_us_max);
     run.vo_bytes_total += st.vo_bytes_total;
+    run.vo_wire_bytes_total += st.vo_wire_bytes_total;
+    run.vo_cache_hits += st.vo_cache_hits;
   }
   if (completed > 0) {
     run.queue_wait_avg_us =
         static_cast<double>(waits) / static_cast<double>(completed);
     run.exec_avg_us =
         static_cast<double>(execs) / static_cast<double>(completed);
+  }
+  if (wire_queries > 0) {
+    run.vo_bytes_per_query = static_cast<double>(run.vo_wire_bytes_total) /
+                             static_cast<double>(wire_queries);
+    run.vo_raw_bytes_per_query = static_cast<double>(run.vo_bytes_total) /
+                                 static_cast<double>(wire_queries);
   }
 
   // Shared-traversal savings: re-issue one representative batch directly
@@ -255,6 +296,7 @@ void PrintJson(const Config& cfg, size_t n_tuples,
   std::printf("  \"stall_us\": %llu,\n",
               static_cast<unsigned long long>(cfg.stall_us));
   std::printf("  \"verify_sample\": %zu,\n", cfg.verify_sample);
+  std::printf("  \"zipf\": %.2f,\n", cfg.zipf);
   std::printf("  \"transport_bytes\": %llu,\n",
               static_cast<unsigned long long>(net_bytes));
   std::printf("  \"runs\": [\n");
@@ -266,6 +308,9 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                 "\"batch_p50_us\": %.0f, \"batch_p99_us\": %.0f, "
                 "\"queue_wait_avg_us\": %.1f, \"queue_wait_max_us\": %llu, "
                 "\"exec_avg_us\": %.1f, \"vo_bytes\": %llu, "
+                "\"vo_wire_bytes\": %llu, \"vo_cache_hits\": %llu, "
+                "\"vo_bytes_per_query\": %.1f, "
+                "\"vo_raw_bytes_per_query\": %.1f, "
                 "\"verify_failures\": %llu, \"stale_batches\": %llu, "
                 "\"updates_applied\": %llu, \"shared_fetch_hits\": %llu, "
                 "\"tuple_fetches\": %llu}%s\n",
@@ -278,6 +323,9 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                 static_cast<unsigned long long>(r.queue_wait_max_us),
                 r.exec_avg_us,
                 static_cast<unsigned long long>(r.vo_bytes_total),
+                static_cast<unsigned long long>(r.vo_wire_bytes_total),
+                static_cast<unsigned long long>(r.vo_cache_hits),
+                r.vo_bytes_per_query, r.vo_raw_bytes_per_query,
                 static_cast<unsigned long long>(r.verify_failures),
                 static_cast<unsigned long long>(r.stale_batches),
                 static_cast<unsigned long long>(r.updates_applied),
@@ -290,9 +338,18 @@ void PrintJson(const Config& cfg, size_t n_tuples,
   if (runs.size() >= 2 && runs.front().qps > 0) {
     speedup = runs.back().qps / runs.front().qps;
   }
-  std::printf("  \"speedup_%zuv%zu\": %.2f\n",
+  std::printf("  \"speedup_%zuv%zu\": %.2f,\n",
               runs.empty() ? 0 : runs.back().workers,
               runs.empty() ? 0 : runs.front().workers, speedup);
+  // Headline VO wire cost (last run) and the reduction signature interning
+  // + VO caching bought vs the raw per-query encoding; the CI smoke job
+  // guards vo_bytes_per_query against regressions.
+  double vo_per_q = runs.empty() ? 0 : runs.back().vo_bytes_per_query;
+  double vo_raw_per_q = runs.empty() ? 0 : runs.back().vo_raw_bytes_per_query;
+  std::printf("  \"vo_bytes_per_query\": %.1f,\n", vo_per_q);
+  std::printf("  \"vo_raw_bytes_per_query\": %.1f,\n", vo_raw_per_q);
+  std::printf("  \"vo_reduction_pct\": %.1f\n",
+              vo_raw_per_q > 0 ? 100.0 * (1.0 - vo_per_q / vo_raw_per_q) : 0);
   std::printf("}\n");
 }
 
@@ -326,6 +383,11 @@ int main(int argc, char** argv) {
       cfg.queue_capacity = static_cast<size_t>(std::atol(next()));
     } else if (arg == "--churn-interval-us") {
       cfg.churn_interval_us = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--zipf") {
+      cfg.zipf = std::atof(next());
+      // The Gray et al. approximation needs theta in (0, 1): at exactly 1
+      // its eta/alpha terms degenerate and every draw lands on n.
+      if (cfg.zipf >= 1.0) cfg.zipf = 0.999;
     } else if (arg == "--workers") {
       cfg.workers.clear();
       std::string list = next();
@@ -341,7 +403,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: edge_throughput [--json] [--edges K] [--clients M]"
                    " [--workers 1,8] [--batch B] [--seconds S] [--range N]"
-                   " [--stall-us U] [--queue CAP] [--churn-interval-us U]\n");
+                   " [--stall-us U] [--queue CAP] [--churn-interval-us U]"
+                   " [--zipf THETA]\n");
       return 2;
     }
   }
@@ -411,7 +474,8 @@ int main(int argc, char** argv) {
       std::printf(
           "workers=%-2zu qps=%9.1f  p50=%7.0fus  p99=%7.0fus  "
           "queue_wait(avg/max)=%6.0f/%llu us  batches=%llu  "
-          "verify_fail=%llu stale=%llu updates=%llu shared_hits=%llu/%llu\n",
+          "verify_fail=%llu stale=%llu updates=%llu shared_hits=%llu/%llu  "
+          "vo_B/q=%.0f (raw %.0f)  vo_cache_hits=%llu\n",
           r.workers, r.qps, r.batch_p50_us, r.batch_p99_us,
           r.queue_wait_avg_us,
           static_cast<unsigned long long>(r.queue_wait_max_us),
@@ -421,7 +485,9 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.updates_applied),
           static_cast<unsigned long long>(r.shared_fetch_hits),
           static_cast<unsigned long long>(
-              r.shared_fetch_hits + r.tuple_fetches));
+              r.shared_fetch_hits + r.tuple_fetches),
+          r.vo_bytes_per_query, r.vo_raw_bytes_per_query,
+          static_cast<unsigned long long>(r.vo_cache_hits));
     }
   }
   hub.Stop();

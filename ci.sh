@@ -28,10 +28,38 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 if [[ "$MODE" == "bench-smoke" ]]; then
   # Short closed-loop pass; the JSON is the CI perf-trajectory artifact.
+  # The committed artifact is the VO-wire-cost baseline: take it from
+  # HEAD so neither the fresh run below nor a stale working-tree copy
+  # can masquerade as the baseline.
+  BASELINE="$(mktemp)"
+  git show HEAD:BENCH_edge_throughput.json > "$BASELINE" 2>/dev/null \
+    || cp BENCH_edge_throughput.json "$BASELINE" 2>/dev/null \
+    || echo '{}' > "$BASELINE"
   VBT_BENCH_TUPLES="${VBT_BENCH_TUPLES:-2000}" \
     "./$BUILD_DIR/bench/edge_throughput" --json --seconds 1.5 \
     > BENCH_edge_throughput.json
   python3 -m json.tool BENCH_edge_throughput.json > /dev/null
+  # Guard the VO wire cost: vo_bytes_per_query must be present, and must
+  # not regress more than 10% against the committed baseline (when the
+  # baseline carries the field — bootstrap runs only assert presence).
+  python3 - "$BASELINE" <<'PY'
+import json, sys
+new = json.load(open("BENCH_edge_throughput.json"))
+if "vo_bytes_per_query" not in new:
+    sys.exit("FAIL: vo_bytes_per_query missing from BENCH_edge_throughput.json")
+cur = float(new["vo_bytes_per_query"])
+if cur <= 0:
+    sys.exit("FAIL: vo_bytes_per_query is %r (no wire batches completed?)" % cur)
+base = json.load(open(sys.argv[1])).get("vo_bytes_per_query")
+if base is None:
+    print("vo_bytes_per_query=%.1f (no baseline; presence check only)" % cur)
+elif cur > float(base) * 1.10:
+    sys.exit("FAIL: vo_bytes_per_query regressed: %.1f vs baseline %.1f (+%.1f%%)"
+             % (cur, float(base), 100.0 * (cur / float(base) - 1.0)))
+else:
+    print("vo_bytes_per_query=%.1f vs baseline %.1f: OK" % (cur, float(base)))
+PY
+  rm -f "$BASELINE"
   echo "wrote BENCH_edge_throughput.json"
   exit 0
 fi

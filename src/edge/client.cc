@@ -158,6 +158,14 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
     v.replica_version = resp.replica_version;
     v.result_bytes = qr.result_bytes;
     v.vo_bytes = qr.vo_bytes;
+    if (!qr.status.ok()) {
+      // The edge reported this query failed (bad predicate, execution
+      // error). There are no rows/VO to authenticate; surface the status
+      // as-is — like a transport error it is unauthenticated, but a lying
+      // edge gains nothing beyond withholding an answer.
+      v.verification = qr.status;
+      continue;
+    }
     v.vo_digests = qr.vo.DigestCount();
     uint32_t kv = qr.vo.key_version;
     auto rec_it = recoverers.find(kv);

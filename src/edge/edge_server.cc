@@ -9,7 +9,23 @@ namespace vbtree {
 
 namespace {
 constexpr uint32_t kSnapshotMagic = 0x50414E53;  // "SNAP"
+
+/// Per-table VO-cache capacity; at the cap the table's entries are
+/// dropped wholesale (hot ranges repopulate within a few requests, and
+/// a simple policy keeps the query hot path free of eviction bookkeeping).
+constexpr size_t kVOCacheMaxEntries = 1024;
 }  // namespace
+
+std::string VOCacheKey(const SelectQuery& q) {
+  // The serialized normalized query (minus the redundant table name — the
+  // cache is per table) is a canonical fingerprint of range, conditions
+  // and projection; sharing the batch framing's encoder keeps the
+  // fingerprint complete if SelectQuery ever grows a field.
+  ByteWriter w(64);
+  SerializeSelectQuerySansTable(q, &w);
+  return std::string(reinterpret_cast<const char*>(w.buffer().data()),
+                     w.size());
+}
 
 Status EdgeServer::InstallSnapshot(Slice snapshot) {
   ByteReader r(snapshot);
@@ -35,8 +51,13 @@ Status EdgeServer::InstallSnapshot(Slice snapshot) {
   VBT_ASSIGN_OR_RETURN(replica.tree, VBTree::Deserialize(&r, nullptr));
   // The tree carries its replica version end-to-end.
   replica.version = replica.tree->version();
-  std::unique_lock lock(mu_);
-  tables_[table] = std::move(replica);
+  {
+    std::unique_lock lock(mu_);
+    tables_[table] = std::move(replica);
+  }
+  // Version bump: cached proofs were built from the replaced tree state
+  // and must never be served again.
+  VOCacheFlush(table);
   return Status::OK();
 }
 
@@ -61,6 +82,10 @@ Status EdgeServer::ApplyUpdateBatch(Slice batch_bytes) {
         ", batch starts at " + std::to_string(batch.from_version) +
         " (request a full snapshot)");
   }
+  // Replay mutates the tree from the first op on: flush the VO cache
+  // before touching anything, so even a mid-replay failure cannot leave
+  // proofs of the pre-delta state behind.
+  VOCacheFlush(batch.table);
   for (const UpdateOp& op : batch.ops) {
     std::deque<Signature> feed(op.resigned.begin(), op.resigned.end());
     if (op.kind == UpdateOp::Kind::kInsert) {
@@ -91,6 +116,120 @@ uint64_t EdgeServer::TableVersion(const std::string& table) const {
   return it == tables_.end() ? 0 : it->second.version;
 }
 
+std::shared_ptr<const EdgeServer::CachedQuery> EdgeServer::MakeCachedQuery(
+    QueryOutput out) {
+  auto entry = std::make_shared<CachedQuery>();
+  entry->out = std::move(out);
+  for (const ResultRow& row : entry->out.rows) {
+    entry->result_bytes += row.SerializedSize();
+  }
+  entry->vo_bytes = entry->out.vo.SerializedSize();
+  return entry;
+}
+
+QueryResponse EdgeServer::ResponseFromCached(const CachedQuery& entry,
+                                             uint64_t replica_version) const {
+  QueryResponse resp;
+  resp.rows = entry.out.rows;
+  resp.vo = entry.out.vo.Clone();
+  resp.replica_version = replica_version;
+  // Tamper modes touch rows only, so the memoized VO size always holds;
+  // row bytes are recomputed only when a tamper hook actually ran.
+  resp.vo_bytes = entry.vo_bytes;
+  if (response_tamper_ == ResponseTamper::kNone) {
+    resp.result_bytes = entry.result_bytes;
+  } else {
+    ApplyResponseTamper(&resp);
+    for (const ResultRow& row : resp.rows) {
+      resp.result_bytes += row.SerializedSize();
+    }
+  }
+  return resp;
+}
+
+void EdgeServer::VOCacheLookupBatch(
+    const std::string& table, const std::vector<std::string>& keys,
+    uint64_t version,
+    std::vector<std::shared_ptr<const CachedQuery>>* results) const {
+  results->assign(keys.size(), nullptr);
+  std::lock_guard guard(vo_cache_mu_);
+  VOCache& cache = vo_caches_[table];
+  if (cache.version != version) {
+    cache.misses += keys.size();
+    return;
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto it = cache.entries.find(keys[i]);
+    if (it == cache.entries.end()) {
+      cache.misses++;
+    } else {
+      cache.hits++;
+      (*results)[i] = it->second;
+    }
+  }
+}
+
+std::shared_ptr<const EdgeServer::CachedQuery> EdgeServer::VOCacheLookup(
+    const std::string& table, const std::string& key, uint64_t version) const {
+  std::lock_guard guard(vo_cache_mu_);
+  VOCache& cache = vo_caches_[table];
+  if (cache.version != version) {
+    cache.misses++;
+    return nullptr;
+  }
+  auto it = cache.entries.find(key);
+  if (it == cache.entries.end()) {
+    cache.misses++;
+    return nullptr;
+  }
+  cache.hits++;
+  return it->second;
+}
+
+void EdgeServer::VOCacheInsertBatch(
+    const std::string& table, uint64_t version,
+    std::vector<std::pair<std::string, std::shared_ptr<const CachedQuery>>>
+        entries) const {
+  if (entries.empty()) return;
+  std::lock_guard guard(vo_cache_mu_);
+  VOCache& cache = vo_caches_[table];
+  if (cache.version != version) {
+    // First entries at a new version (or a racing stale insert): the map
+    // only ever holds entries of ONE version.
+    cache.entries.clear();
+    cache.version = version;
+  }
+  for (auto& [key, entry] : entries) {
+    if (cache.entries.size() >= kVOCacheMaxEntries) cache.entries.clear();
+    cache.entries.insert_or_assign(key, std::move(entry));
+  }
+}
+
+void EdgeServer::VOCacheInsert(const std::string& table,
+                               const std::string& key, uint64_t version,
+                               std::shared_ptr<const CachedQuery> entry) const {
+  std::vector<std::pair<std::string, std::shared_ptr<const CachedQuery>>> one;
+  one.emplace_back(key, std::move(entry));
+  VOCacheInsertBatch(table, version, std::move(one));
+}
+
+void EdgeServer::VOCacheFlush(const std::string& table) const {
+  std::lock_guard guard(vo_cache_mu_);
+  auto it = vo_caches_.find(table);
+  if (it == vo_caches_.end()) return;
+  it->second.entries.clear();
+  it->second.invalidations++;
+}
+
+EdgeServer::VOCacheStats EdgeServer::vo_cache_stats(
+    const std::string& table) const {
+  std::lock_guard guard(vo_cache_mu_);
+  auto it = vo_caches_.find(table);
+  if (it == vo_caches_.end()) return VOCacheStats{};
+  return VOCacheStats{it->second.hits, it->second.misses,
+                      it->second.entries.size(), it->second.invalidations};
+}
+
 Result<QueryResponse> EdgeServer::HandleQuery(const SelectQuery& query) const {
   std::shared_lock lock(mu_);
   auto it = tables_.find(query.table);
@@ -98,19 +237,19 @@ Result<QueryResponse> EdgeServer::HandleQuery(const SelectQuery& query) const {
     return Status::NotFound("edge server has no replica of " + query.table);
   }
   const TableReplica& replica = it->second;
-  VBT_ASSIGN_OR_RETURN(QueryOutput out, replica.tree->ExecuteSelect(
-                                            query, replica.store.Fetcher()));
-  QueryResponse resp;
-  resp.rows = std::move(out.rows);
-  resp.vo = std::move(out.vo);
-  resp.replica_version = replica.version;
-  ApplyResponseTamper(&resp);
-  resp.result_bytes = 0;
-  for (const ResultRow& row : resp.rows) {
-    resp.result_bytes += row.SerializedSize();
+
+  SelectQuery norm = query;
+  norm.NormalizeProjection();
+  const std::string cache_key = VOCacheKey(norm);
+  std::shared_ptr<const CachedQuery> cached =
+      VOCacheLookup(query.table, cache_key, replica.version);
+  if (cached == nullptr) {
+    VBT_ASSIGN_OR_RETURN(QueryOutput out, replica.tree->ExecuteSelect(
+                                              query, replica.store.Fetcher()));
+    cached = MakeCachedQuery(std::move(out));
+    VOCacheInsert(query.table, cache_key, replica.version, cached);
   }
-  resp.vo_bytes = resp.vo.SerializedSize();
-  return resp;
+  return ResponseFromCached(*cached, replica.version);
 }
 
 void EdgeServer::ApplyResponseTamper(QueryResponse* resp) const {
@@ -156,27 +295,76 @@ Result<QueryBatchResponse> EdgeServer::HandleQueryBatch(
     return Status::NotFound("edge server has no replica of " + batch.table);
   }
   const TableReplica& replica = it->second;
+
+  // VO-cache pass: hot ranges skip BuildVONode entirely. The shared latch
+  // is held across the whole batch, so the replica version cannot move
+  // between the lookup and the insert; the cache mutex is taken once for
+  // all lookups and once for all inserts.
+  const size_t n = batch.queries.size();
+  std::vector<std::string> cache_keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    SelectQuery norm = batch.queries[i];
+    norm.NormalizeProjection();
+    cache_keys[i] = VOCacheKey(norm);
+  }
+  std::vector<std::shared_ptr<const CachedQuery>> cached;
+  VOCacheLookupBatch(batch.table, cache_keys, replica.version, &cached);
+  std::vector<SelectQuery> miss_queries;
+  std::vector<size_t> miss_index;
+  uint64_t cache_hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (cached[i] != nullptr) {
+      cache_hits++;
+    } else {
+      miss_queries.push_back(batch.queries[i]);
+      miss_index.push_back(i);
+    }
+  }
+
   VBBatchStats tree_stats;
-  VBT_ASSIGN_OR_RETURN(
-      std::vector<QueryOutput> outs,
-      replica.tree->ExecuteSelectBatch(batch.queries, replica.store.Fetcher(),
-                                       &tree_stats));
+  std::vector<QueryOutput> miss_outs;
+  if (!miss_queries.empty()) {
+    VBT_ASSIGN_OR_RETURN(
+        miss_outs,
+        replica.tree->ExecuteSelectBatch(miss_queries, replica.store.Fetcher(),
+                                         &tree_stats));
+  }
+  std::vector<std::pair<std::string, std::shared_ptr<const CachedQuery>>>
+      inserts;
+  inserts.reserve(miss_outs.size());
+  for (size_t m = 0; m < miss_outs.size(); ++m) {
+    // Only honest, successful outputs are worth memoizing; failed slots
+    // are cheap to recompute and carry no proof.
+    if (miss_outs[m].status.ok()) {
+      auto owned = MakeCachedQuery(std::move(miss_outs[m]));
+      cached[miss_index[m]] = owned;
+      inserts.emplace_back(cache_keys[miss_index[m]], std::move(owned));
+    }
+  }
+  VOCacheInsertBatch(batch.table, replica.version, std::move(inserts));
 
   QueryBatchResponse resp;
   resp.replica_version = replica.version;
-  resp.responses.reserve(outs.size());
-  for (QueryOutput& out : outs) {
+  resp.responses.reserve(n);
+  size_t miss_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_miss =
+        miss_pos < miss_index.size() && miss_index[miss_pos] == i;
     QueryResponse r;
-    r.rows = std::move(out.rows);
-    r.vo = std::move(out.vo);
-    r.replica_version = replica.version;
-    ApplyResponseTamper(&r);
-    for (const ResultRow& row : r.rows) r.result_bytes += row.SerializedSize();
-    r.vo_bytes = r.vo.SerializedSize();
-    resp.stats.total_result_bytes += r.result_bytes;
-    resp.stats.total_vo_bytes += r.vo_bytes;
+    if (cached[i] != nullptr) {
+      r = ResponseFromCached(*cached[i], replica.version);
+      resp.stats.total_result_bytes += r.result_bytes;
+      resp.stats.total_vo_bytes += r.vo_bytes;
+    } else {
+      // Successful misses were published to cached[] above, so a still-null
+      // slot is a failed query: carry its status, ship no rows/VO.
+      r.replica_version = replica.version;
+      r.status = miss_outs[miss_pos].status;
+    }
+    if (is_miss) miss_pos++;
     resp.responses.push_back(std::move(r));
   }
+  resp.stats.vo_cache_hits = cache_hits;
   resp.stats.nodes_visited = tree_stats.nodes_visited;
   resp.stats.tuple_fetches = tree_stats.tuple_fetches;
   resp.stats.shared_fetch_hits = tree_stats.shared_fetch_hits;
@@ -212,6 +400,10 @@ Status EdgeServer::TamperValueByKey(const std::string& table, int64_t key,
   std::unique_lock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no replica of " + table);
+  // The hook models store corruption on a hacked edge: drop any cached
+  // (honest, pre-tamper) outputs so subsequent VOs are rebuilt from the
+  // corrupted store — which is what the client-side detection tests prove.
+  VOCacheFlush(table);
   return it->second.store.TamperByKey(key, col, std::move(v));
 }
 
@@ -242,36 +434,113 @@ Result<QueryResponse> DeserializeQueryResponse(
   return resp;
 }
 
-void SerializeQueryBatchResponse(const QueryBatchResponse& resp,
-                                 ByteWriter* w) {
+void SerializeQueryBatchResponse(const QueryBatchResponse& resp, ByteWriter* w,
+                                 BatchWire wire, BatchExecStats* wire_stats) {
+  w->PutU8(static_cast<uint8_t>(wire));
   w->PutU64(resp.replica_version);
   w->PutVarint(resp.responses.size());
-  for (const QueryResponse& qr : resp.responses) {
-    SerializeResultRows(qr.rows, w);
-    qr.vo.Serialize(w);
+
+  uint64_t vo_wire_bytes = 0;
+  uint64_t sig_pool_entries = 0;
+  if (wire == BatchWire::kV1) {
+    // Legacy layout: self-contained VOs, no statuses — a failed slot
+    // ships empty rows plus an empty VO, which can never authenticate.
+    for (const QueryResponse& qr : resp.responses) {
+      SerializeResultRows(qr.rows, w);
+      qr.vo.Serialize(w);
+    }
+  } else {
+    // v2: the response bodies are written into a scratch buffer while
+    // interning every signature, so the pool — which a one-pass reader
+    // needs first — can precede them on the wire.
+    SignaturePool pool;
+    ByteWriter body(1 << 12);
+    for (const QueryResponse& qr : resp.responses) {
+      if (!qr.status.ok()) {
+        body.PutU8(1);
+        SerializeStatus(qr.status, &body);
+        continue;
+      }
+      body.PutU8(0);
+      SerializeResultRows(qr.rows, &body);
+      const size_t before = body.size();
+      qr.vo.SerializePooled(&body, &pool);
+      vo_wire_bytes += body.size() - before;
+    }
+    const size_t pool_start = w->size();
+    pool.Serialize(w);
+    vo_wire_bytes += w->size() - pool_start;
+    sig_pool_entries = pool.size();
+    w->PutBytes(Slice(body.buffer()));
   }
+
   w->PutU64(resp.stats.queue_wait_us);
   w->PutU64(resp.stats.exec_us);
   w->PutVarint(resp.stats.nodes_visited);
   w->PutVarint(resp.stats.tuple_fetches);
   w->PutVarint(resp.stats.shared_fetch_hits);
+  if (wire == BatchWire::kV2) {
+    // Raw totals cannot be recomputed from pooled bytes client-side, and
+    // the wire-cost fields are only known post-serialization: ship them.
+    w->PutVarint(resp.stats.total_vo_bytes);
+    w->PutVarint(vo_wire_bytes);
+    w->PutVarint(sig_pool_entries);
+    w->PutVarint(resp.stats.vo_cache_hits);
+  }
+  if (wire_stats != nullptr) {
+    *wire_stats = resp.stats;
+    wire_stats->vo_wire_bytes = vo_wire_bytes;
+    wire_stats->sig_pool_entries = sig_pool_entries;
+  }
 }
 
 Result<QueryBatchResponse> DeserializeQueryBatchResponse(
     ByteReader* r, const Schema& schema,
     const std::vector<SelectQuery>& queries) {
+  VBT_ASSIGN_OR_RETURN(uint8_t version, r->ReadU8());
+  if (version != static_cast<uint8_t>(BatchWire::kV1) &&
+      version != static_cast<uint8_t>(BatchWire::kV2)) {
+    return Status::Corruption("unknown batch response wire version " +
+                              std::to_string(version));
+  }
+  const bool v2 = version == static_cast<uint8_t>(BatchWire::kV2);
+
   QueryBatchResponse resp;
   VBT_ASSIGN_OR_RETURN(resp.replica_version, r->ReadU64());
   VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+  // Positional indexing downstream (Client::QueryBatched pairs
+  // resp.responses[i] with its queries[i]): an untrusted edge answering
+  // with a different count must be rejected here, not discovered as an
+  // out-of-bounds access or silent truncation later.
   if (n != queries.size()) {
     return Status::Corruption("batch response count " + std::to_string(n) +
                               " != query count " +
                               std::to_string(queries.size()));
   }
+
+  SignaturePool pool;
+  uint64_t vo_wire_bytes = 0;
+  if (v2) {
+    const size_t pool_start = r->position();
+    VBT_ASSIGN_OR_RETURN(pool, SignaturePool::Deserialize(r));
+    vo_wire_bytes += r->position() - pool_start;
+  }
+
   resp.responses.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     QueryResponse qr;
     qr.replica_version = resp.replica_version;
+    if (v2) {
+      VBT_ASSIGN_OR_RETURN(uint8_t failed, r->ReadU8());
+      if (failed != 0) {
+        VBT_RETURN_NOT_OK(DeserializeStatus(r, &qr.status));
+        if (qr.status.ok()) {
+          return Status::Corruption("batch error slot carries an OK status");
+        }
+        resp.responses.push_back(std::move(qr));
+        continue;
+      }
+    }
     VBT_ASSIGN_OR_RETURN(
         qr.rows, DeserializeResultRows(r, schema, queries[i].projection));
     // Same accounting rule as the serving edge (sum of row payloads,
@@ -281,17 +550,38 @@ Result<QueryBatchResponse> DeserializeQueryBatchResponse(
       qr.result_bytes += row.SerializedSize();
     }
     size_t start = r->position();
-    VBT_ASSIGN_OR_RETURN(qr.vo, VerificationObject::Deserialize(r));
+    if (v2) {
+      VBT_ASSIGN_OR_RETURN(qr.vo,
+                           VerificationObject::DeserializePooled(r, pool));
+    } else {
+      VBT_ASSIGN_OR_RETURN(qr.vo, VerificationObject::Deserialize(r));
+    }
+    // Under v2 this is the pooled (index-referencing) footprint; the raw
+    // equivalent arrives in the stats trailer.
     qr.vo_bytes = r->position() - start;
+    vo_wire_bytes += qr.vo_bytes;
     resp.stats.total_result_bytes += qr.result_bytes;
-    resp.stats.total_vo_bytes += qr.vo_bytes;
+    if (!v2) resp.stats.total_vo_bytes += qr.vo_bytes;
     resp.responses.push_back(std::move(qr));
   }
+
   VBT_ASSIGN_OR_RETURN(resp.stats.queue_wait_us, r->ReadU64());
   VBT_ASSIGN_OR_RETURN(resp.stats.exec_us, r->ReadU64());
   VBT_ASSIGN_OR_RETURN(resp.stats.nodes_visited, r->ReadVarint());
   VBT_ASSIGN_OR_RETURN(resp.stats.tuple_fetches, r->ReadVarint());
   VBT_ASSIGN_OR_RETURN(resp.stats.shared_fetch_hits, r->ReadVarint());
+  if (v2) {
+    VBT_ASSIGN_OR_RETURN(resp.stats.total_vo_bytes, r->ReadVarint());
+    // The trailer's wire-cost and pool-size claims are consumed but the
+    // locally measured values win — an edge cannot skew this telemetry.
+    VBT_ASSIGN_OR_RETURN(uint64_t claimed_wire, r->ReadVarint());
+    (void)claimed_wire;
+    resp.stats.vo_wire_bytes = vo_wire_bytes;
+    VBT_ASSIGN_OR_RETURN(uint64_t claimed_pool_entries, r->ReadVarint());
+    (void)claimed_pool_entries;
+    resp.stats.sig_pool_entries = pool.size();
+    VBT_ASSIGN_OR_RETURN(resp.stats.vo_cache_hits, r->ReadVarint());
+  }
   return resp;
 }
 

@@ -28,6 +28,14 @@ enum class ResponseTamper {
 
 /// A query answer as shipped from edge to client.
 struct QueryResponse {
+  /// Per-query outcome inside a batch (wire v2): a slot whose query
+  /// failed validation or execution carries its status here with empty
+  /// rows/VO, so one bad predicate does not poison its batch siblings.
+  /// Note the status is asserted by the *untrusted* edge — a lying edge
+  /// suppressing an answer this way is equivalent to a transport error,
+  /// and the client surfaces it unverified (it can never make a wrong
+  /// answer authenticate).
+  Status status = Status::OK();
   std::vector<ResultRow> rows;
   VerificationObject vo;
   /// Version of the replica that served the answer (monotone per table;
@@ -54,7 +62,18 @@ struct BatchExecStats {
   uint64_t tuple_fetches = 0;
   uint64_t shared_fetch_hits = 0;
   uint64_t total_result_bytes = 0;
+  /// Raw (self-contained, v1-equivalent) VO bytes summed over the batch —
+  /// what the batch would have cost without signature interning.
   uint64_t total_vo_bytes = 0;
+  /// Actual VO wire cost under v2: the signature pool plus every
+  /// pool-referencing skeleton. 0 when the response never hit the wire
+  /// (in-process dispatch) or was shipped as v1.
+  uint64_t vo_wire_bytes = 0;
+  /// Distinct signatures interned into the batch pool (v2 only).
+  uint64_t sig_pool_entries = 0;
+  /// Queries in this batch answered from the edge's VO cache (skipping
+  /// BuildVONode entirely).
+  uint64_t vo_cache_hits = 0;
 };
 
 /// The coalesced answer to a QueryBatch: positional responses — all
@@ -127,6 +146,18 @@ class EdgeServer {
   /// The replica tree (introspection for tests).
   const VBTree* tree(const std::string& table) const;
 
+  /// VO-cache telemetry for one table (all-zero when the table is
+  /// unknown or never queried).
+  struct VOCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+    /// Wholesale flushes caused by snapshot/delta installs (version
+    /// bumps) — the invalidation rule that makes stale proofs impossible.
+    uint64_t invalidations = 0;
+  };
+  VOCacheStats vo_cache_stats(const std::string& table) const;
+
  private:
   struct TableReplica {
     Schema schema;
@@ -135,13 +166,72 @@ class EdgeServer {
     uint64_t version = 0;
   };
 
+  /// One memoized honest query output (rows + VO) plus its serialized
+  /// sizes, computed once at insert so cache hits never re-serialize the
+  /// VO just for byte accounting.
+  struct CachedQuery {
+    QueryOutput out;
+    size_t result_bytes = 0;
+    size_t vo_bytes = 0;
+  };
+
+  /// Edge-side VO cache: memoizes whole honest query outputs keyed by
+  /// the normalized query fingerprint, valid for exactly one replica
+  /// version. Every snapshot install / delta replay bumps the version
+  /// and flushes the table's cache wholesale, so a cached proof can
+  /// never outlive the tree state it was built from. Entries are
+  /// shared_ptr-held so concurrent readers copy without holding the
+  /// cache mutex during the (comparatively expensive) clone.
+  struct VOCache {
+    std::map<std::string, std::shared_ptr<const CachedQuery>> entries;
+    uint64_t version = 0;  ///< replica version the entries were built at
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+  };
+
   void ApplyResponseTamper(QueryResponse* resp) const;
+
+  /// Wraps a successful execution output as a cache entry, computing the
+  /// serialized sizes once.
+  static std::shared_ptr<const CachedQuery> MakeCachedQuery(QueryOutput out);
+  /// Builds the response served from a cache entry (rows copy + VO clone,
+  /// tamper hook, byte accounting from the memoized sizes).
+  QueryResponse ResponseFromCached(const CachedQuery& entry,
+                                   uint64_t replica_version) const;
+
+  /// Fills results[i] with the entry for keys[i] at `version` (nullptr on
+  /// miss), taking the cache mutex once for the whole batch.
+  void VOCacheLookupBatch(
+      const std::string& table, const std::vector<std::string>& keys,
+      uint64_t version,
+      std::vector<std::shared_ptr<const CachedQuery>>* results) const;
+  std::shared_ptr<const CachedQuery> VOCacheLookup(const std::string& table,
+                                                   const std::string& key,
+                                                   uint64_t version) const;
+  void VOCacheInsertBatch(
+      const std::string& table, uint64_t version,
+      std::vector<std::pair<std::string, std::shared_ptr<const CachedQuery>>>
+          entries) const;
+  void VOCacheInsert(const std::string& table, const std::string& key,
+                     uint64_t version,
+                     std::shared_ptr<const CachedQuery> entry) const;
+  /// Flushes one table's cache (install paths; exclusive latch held).
+  void VOCacheFlush(const std::string& table) const;
 
   std::string name_;
   mutable std::shared_mutex mu_;
   std::map<std::string, TableReplica> tables_;
+  /// Guarded by its own mutex (not mu_): lookups/inserts happen under the
+  /// shared latch from many query workers at once.
+  mutable std::mutex vo_cache_mu_;
+  mutable std::map<std::string, VOCache> vo_caches_;
   ResponseTamper response_tamper_ = ResponseTamper::kNone;
 };
+
+/// Builds the cache fingerprint of a normalized query: range, conditions
+/// and projection (the table is the cache's own key). Exposed for tests.
+std::string VOCacheKey(const SelectQuery& q);
 
 /// Serializes a QueryResponse (rows block + VO block) and computes the
 /// per-component sizes.
@@ -149,11 +239,31 @@ void SerializeQueryResponse(const QueryResponse& resp, ByteWriter* w);
 Result<QueryResponse> DeserializeQueryResponse(
     ByteReader* r, const Schema& schema, const std::vector<size_t>& projection);
 
-/// Batch response wire format: replica version once, positional
-/// rows+VO blocks, stats trailer. Deserialization needs the (normalized)
-/// queries the batch was built from, for the per-query projections.
-void SerializeQueryBatchResponse(const QueryBatchResponse& resp,
-                                 ByteWriter* w);
+/// Batch response wire versions, selected by the leading version byte.
+enum class BatchWire : uint8_t {
+  /// Self-contained VOs (the original layout behind a version byte).
+  /// Cannot carry per-query statuses or the signature pool.
+  kV1 = 1,
+  /// Batch-level signature pool + pool-referencing VOs + per-query
+  /// statuses + extended stats trailer.
+  kV2 = 2,
+};
+
+/// Batch response wire format: version byte, replica version once, (v2) a
+/// batch-level signature pool, positional status/rows/VO blocks, stats
+/// trailer. Deserialization needs the (normalized) queries the batch was
+/// built from, for the per-query projections, and validates that the
+/// response count equals the query count (kCorruption otherwise — an
+/// untrusted edge must not be able to drive positional indexing out of
+/// bounds). The trailer's vo_wire_bytes / sig_pool_entries fields are
+/// computed during serialization from what actually hit the wire.
+/// `wire_stats`, when supplied, receives a copy of resp.stats with the
+/// serialization-time vo_wire_bytes / sig_pool_entries filled in (the
+/// serving side's accounting hook; the receiving side gets the same
+/// numbers from the trailer).
+void SerializeQueryBatchResponse(const QueryBatchResponse& resp, ByteWriter* w,
+                                 BatchWire wire = BatchWire::kV2,
+                                 BatchExecStats* wire_stats = nullptr);
 Result<QueryBatchResponse> DeserializeQueryBatchResponse(
     ByteReader* r, const Schema& schema,
     const std::vector<SelectQuery>& queries);

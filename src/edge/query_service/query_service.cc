@@ -36,7 +36,8 @@ void QueryService::ApplyStall() const {
 
 void QueryService::Account(uint64_t queue_wait_us, uint64_t exec_us,
                            size_t queries, bool is_batch, uint64_t vo_bytes,
-                           uint64_t result_bytes, bool error) {
+                           uint64_t result_bytes, bool error,
+                           const BatchExecStats* batch_stats) {
   std::lock_guard lock(stats_mu_);
   if (is_batch) {
     stats_.batches++;
@@ -50,6 +51,10 @@ void QueryService::Account(uint64_t queue_wait_us, uint64_t exec_us,
   stats_.exec_us_total += exec_us;
   stats_.vo_bytes_total += vo_bytes;
   stats_.result_bytes_total += result_bytes;
+  if (batch_stats != nullptr) {
+    stats_.vo_wire_bytes_total += batch_stats->vo_wire_bytes;
+    stats_.vo_cache_hits += batch_stats->vo_cache_hits;
+  }
 }
 
 std::future<Result<QueryResponse>> QueryService::Submit(SelectQuery query) {
@@ -95,7 +100,7 @@ std::future<Result<QueryBatchResponse>> QueryService::SubmitBatch(
       result_bytes = resp->stats.total_result_bytes;
     }
     Account(wait_us, exec_us, b.queries.size(), /*is_batch=*/true, vo_bytes,
-            result_bytes, !resp.ok());
+            result_bytes, !resp.ok(), resp.ok() ? &resp->stats : nullptr);
     promise->set_value(std::move(resp));
   });
   if (!submitted.ok()) {
@@ -126,11 +131,12 @@ std::future<Result<std::vector<uint8_t>>> QueryService::SubmitBatchBytes(
                            edge_->HandleQueryBatch(batch));
       resp.stats.queue_wait_us = wait_us;
       const uint64_t exec_us = MicrosSince(exec_start);
-      Account(wait_us, exec_us, batch.queries.size(), /*is_batch=*/true,
-              resp.stats.total_vo_bytes, resp.stats.total_result_bytes,
-              /*error=*/false);
       ByteWriter w(1 << 14);
-      SerializeQueryBatchResponse(resp, &w);
+      BatchExecStats wire_stats;
+      SerializeQueryBatchResponse(resp, &w, BatchWire::kV2, &wire_stats);
+      Account(wait_us, exec_us, batch.queries.size(), /*is_batch=*/true,
+              wire_stats.total_vo_bytes, wire_stats.total_result_bytes,
+              /*error=*/false, &wire_stats);
       return w.TakeBuffer();
     };
     Result<std::vector<uint8_t>> out = run();

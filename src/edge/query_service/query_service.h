@@ -54,7 +54,13 @@ class QueryService {
     uint64_t queue_wait_us_total = 0;
     uint64_t queue_wait_us_max = 0;
     uint64_t exec_us_total = 0;
+    /// Raw (self-contained) VO bytes — what v1 framing would have shipped.
     uint64_t vo_bytes_total = 0;
+    /// VO bytes actually shipped under wire v2 (signature pool + pooled
+    /// skeletons); only the bytes wire path contributes.
+    uint64_t vo_wire_bytes_total = 0;
+    /// Batched queries answered from the edge's VO cache.
+    uint64_t vo_cache_hits = 0;
     uint64_t result_bytes_total = 0;
   };
 
@@ -95,10 +101,12 @@ class QueryService {
   using Clock = std::chrono::steady_clock;
 
   void ApplyStall() const;
-  /// Records one completed execution into stats_.
+  /// Records one completed execution into stats_. `batch_stats` (may be
+  /// null for single queries / errors) contributes the VO byte and cache
+  /// telemetry.
   void Account(uint64_t queue_wait_us, uint64_t exec_us, size_t queries,
                bool is_batch, uint64_t vo_bytes, uint64_t result_bytes,
-               bool error);
+               bool error, const BatchExecStats* batch_stats = nullptr);
 
   EdgeServer* edge_;
   QueryServiceOptions options_;

@@ -19,8 +19,11 @@ Result<Value> DeserializeValueWithType(ByteReader* r) {
 
 }  // namespace
 
-void SerializeSelectQuery(const SelectQuery& q, ByteWriter* w) {
-  w->PutString(q.table);
+namespace {
+
+/// Everything after the table field; shared by the full and sans-table
+/// encodings so the two can never diverge.
+void SerializeSelectQueryTail(const SelectQuery& q, ByteWriter* w) {
   w->PutI64(q.range.lo);
   w->PutI64(q.range.hi);
   w->PutVarint(q.conditions.size());
@@ -31,6 +34,18 @@ void SerializeSelectQuery(const SelectQuery& q, ByteWriter* w) {
   }
   w->PutVarint(q.projection.size());
   for (size_t c : q.projection) w->PutVarint(c);
+}
+
+}  // namespace
+
+void SerializeSelectQuery(const SelectQuery& q, ByteWriter* w) {
+  w->PutString(q.table);
+  SerializeSelectQueryTail(q, w);
+}
+
+void SerializeSelectQuerySansTable(const SelectQuery& q, ByteWriter* w) {
+  w->PutString(std::string());  // empty table slot keeps the framing
+  SerializeSelectQueryTail(q, w);
 }
 
 Result<SelectQuery> DeserializeSelectQuery(ByteReader* r) {
@@ -65,9 +80,7 @@ void SerializeQueryBatch(const QueryBatch& batch, ByteWriter* w) {
   w->PutString(batch.table);
   w->PutVarint(batch.queries.size());
   for (const SelectQuery& q : batch.queries) {
-    SelectQuery stripped = q;
-    stripped.table.clear();
-    SerializeSelectQuery(stripped, w);
+    SerializeSelectQuerySansTable(q, w);
   }
 }
 
@@ -89,6 +102,21 @@ void SerializeResultRows(const std::vector<ResultRow>& rows, ByteWriter* w) {
   for (const ResultRow& row : rows) {
     for (const Value& v : row.values) v.Serialize(w);
   }
+}
+
+void SerializeStatus(const Status& s, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(s.code()));
+  w->PutString(s.message());
+}
+
+Status DeserializeStatus(ByteReader* r, Status* out) {
+  VBT_ASSIGN_OR_RETURN(uint8_t code, r->ReadU8());
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption("bad StatusCode on the wire");
+  }
+  VBT_ASSIGN_OR_RETURN(std::string msg, r->ReadString());
+  *out = Status(static_cast<StatusCode>(code), std::move(msg));
+  return Status::OK();
 }
 
 Result<std::vector<ResultRow>> DeserializeResultRows(

@@ -16,6 +16,11 @@ namespace vbtree {
 void SerializeSelectQuery(const SelectQuery& q, ByteWriter* w);
 Result<SelectQuery> DeserializeSelectQuery(ByteReader* r);
 
+/// Same encoding with an empty table slot: the canonical "query bytes
+/// minus table" form shared by batch framing (the batch names the table
+/// once) and the edge VO-cache fingerprint (the cache is per table).
+void SerializeSelectQuerySansTable(const SelectQuery& q, ByteWriter* w);
+
 /// Batched request: the table name once, then each query without its
 /// (redundant) table field.
 void SerializeQueryBatch(const QueryBatch& batch, ByteWriter* w);
@@ -26,6 +31,14 @@ Result<QueryBatch> DeserializeQueryBatch(ByteReader* r);
 void SerializeResultRows(const std::vector<ResultRow>& rows, ByteWriter* w);
 Result<std::vector<ResultRow>> DeserializeResultRows(
     ByteReader* r, const Schema& schema, const std::vector<size_t>& projection);
+
+/// Per-query Status on the wire (batch response v2 carries one per failed
+/// slot): u8 code + message. Deserialization rejects unknown codes with
+/// kCorruption, so a malicious edge cannot smuggle an out-of-enum value.
+/// (Returns the parse outcome; the decoded status lands in `*out` —
+/// `Result<Status>` would be ambiguous with the error constructor.)
+void SerializeStatus(const Status& s, ByteWriter* w);
+Status DeserializeStatus(ByteReader* r, Status* out);
 
 }  // namespace vbtree
 

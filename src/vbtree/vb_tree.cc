@@ -739,9 +739,12 @@ Result<std::vector<QueryOutput>> VBTree::ExecuteSelectBatch(
     std::span<const SelectQuery> queries, const TupleFetcher& fetch,
     VBBatchStats* batch_stats) const {
   std::vector<SelectQuery> qs(queries.begin(), queries.end());
-  for (SelectQuery& q : qs) {
-    q.NormalizeProjection();
-    VBT_RETURN_NOT_OK(ValidateSelect(q));
+  // Per-query validation outcomes; a failed slot is skipped below and
+  // reported through outs[i].status, not by aborting its siblings.
+  std::vector<Status> validation(qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    qs[i].NormalizeProjection();
+    validation[i] = ValidateSelect(qs[i]);
   }
 
   // Batch-scoped tuple memo: queries with overlapping envelopes share each
@@ -772,9 +775,18 @@ Result<std::vector<QueryOutput>> VBTree::ExecuteSelectBatch(
   const int tree_height = height();  // latch already held
   std::vector<QueryOutput> outs;
   outs.reserve(qs.size());
-  for (const SelectQuery& q : qs) {
+  for (size_t i = 0; i < qs.size(); ++i) {
     QueryOutput out;
-    VBT_RETURN_NOT_OK(ExecuteSelectLocked(q, shared_fetch, tree_height, &out));
+    out.status = validation[i];
+    if (out.status.ok()) {
+      out.status =
+          ExecuteSelectLocked(qs[i], shared_fetch, tree_height, &out);
+      if (!out.status.ok()) {
+        // Partial VO state from a failed execution must not leak.
+        out.rows.clear();
+        out.vo = VerificationObject{};
+      }
+    }
     if (batch_stats != nullptr) {
       batch_stats->nodes_visited += out.stats.nodes_visited;
     }

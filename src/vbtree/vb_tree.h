@@ -75,6 +75,11 @@ struct VBBatchStats {
 
 /// A query answer as produced by an edge server: result rows plus the VO.
 struct QueryOutput {
+  /// Per-query outcome inside a batch: validation or execution failures
+  /// of ONE query no longer poison its batch siblings — the failed slot
+  /// carries its status here (rows/vo empty) while the rest authenticate
+  /// normally.
+  Status status = Status::OK();
   std::vector<ResultRow> rows;
   VerificationObject vo;
   VBQueryStats stats;
@@ -146,9 +151,12 @@ class VBTree {
   /// state (one replica version) — and shares work across queries: tuple
   /// fetches are memoized batch-wide, so overlapping envelopes read each
   /// tuple from the replica store once. Outputs are positional (outs[i]
-  /// answers queries[i], with its own VO). Does not take §3.4 digest
-  /// locks: edge replicas run without a LockManager; the latch alone
-  /// serializes against snapshot installs and delta replay.
+  /// answers queries[i], with its own VO). Per-query validation or
+  /// execution failures are carried in outs[i].status instead of failing
+  /// the batch — one bad predicate no longer poisons N−1 good answers;
+  /// the outer Result is reserved for tree-level errors. Does not take
+  /// §3.4 digest locks: edge replicas run without a LockManager; the
+  /// latch alone serializes against snapshot installs and delta replay.
   Result<std::vector<QueryOutput>> ExecuteSelectBatch(
       std::span<const SelectQuery> queries, const TupleFetcher& fetch,
       VBBatchStats* batch_stats = nullptr) const;

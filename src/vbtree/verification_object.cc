@@ -16,34 +16,55 @@ size_t CountDigests(const VONode& n) {
   return count;
 }
 
-void SerializeNode(const VONode& n, ByteWriter* w) {
+/// Writes one signature either inline (pool == nullptr, v1) or as a
+/// varint index into the batch pool (v2).
+void WriteSig(const Signature& s, ByteWriter* w, SignaturePool* pool) {
+  if (pool == nullptr) {
+    w->PutLengthPrefixed(Slice(s.data(), s.size()));
+  } else {
+    w->PutVarint(pool->Intern(s));
+  }
+}
+
+Result<Signature> ReadSig(ByteReader* r, const SignaturePool* pool) {
+  if (pool == nullptr) {
+    VBT_ASSIGN_OR_RETURN(Slice s, r->ReadLengthPrefixed());
+    return Signature(s.data(), s.data() + s.size());
+  }
+  VBT_ASSIGN_OR_RETURN(uint64_t idx, r->ReadVarint());
+  const Signature* entry = pool->Get(idx);
+  if (entry == nullptr) {
+    return Status::Corruption("signature pool index " + std::to_string(idx) +
+                              " out of range (pool has " +
+                              std::to_string(pool->size()) + " entries)");
+  }
+  return *entry;
+}
+
+void SerializeNode(const VONode& n, ByteWriter* w, SignaturePool* pool) {
   w->PutU8(n.is_leaf ? 1 : 0);
   if (n.is_leaf) {
     w->PutVarint(n.result_count);
     w->PutVarint(n.filtered_tuple_sigs.size());
     for (const Signature& s : n.filtered_tuple_sigs) {
-      w->PutLengthPrefixed(Slice(s.data(), s.size()));
+      WriteSig(s, w, pool);
     }
   } else {
     w->PutVarint(n.items.size());
     for (const VONode::Item& item : n.items) {
       if (item.is_covered()) {
         w->PutU8(1);
-        SerializeNode(*item.covered, w);
+        SerializeNode(*item.covered, w, pool);
       } else {
         w->PutU8(0);
-        w->PutLengthPrefixed(Slice(item.opaque.data(), item.opaque.size()));
+        WriteSig(item.opaque, w, pool);
       }
     }
   }
 }
 
-Result<Signature> ReadSig(ByteReader* r) {
-  VBT_ASSIGN_OR_RETURN(Slice s, r->ReadLengthPrefixed());
-  return Signature(s.data(), s.data() + s.size());
-}
-
-Result<std::unique_ptr<VONode>> DeserializeNode(ByteReader* r, int depth) {
+Result<std::unique_ptr<VONode>> DeserializeNode(ByteReader* r, int depth,
+                                                const SignaturePool* pool) {
   if (depth > 64) return Status::Corruption("VO skeleton too deep");
   auto n = std::make_unique<VONode>();
   VBT_ASSIGN_OR_RETURN(uint8_t is_leaf, r->ReadU8());
@@ -54,7 +75,7 @@ Result<std::unique_ptr<VONode>> DeserializeNode(ByteReader* r, int depth) {
     VBT_ASSIGN_OR_RETURN(uint64_t nf, r->ReadCount());
     n->filtered_tuple_sigs.reserve(nf);
     for (uint64_t i = 0; i < nf; ++i) {
-      VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r));
+      VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r, pool));
       n->filtered_tuple_sigs.push_back(std::move(s));
     }
   } else {
@@ -64,9 +85,9 @@ Result<std::unique_ptr<VONode>> DeserializeNode(ByteReader* r, int depth) {
       VBT_ASSIGN_OR_RETURN(uint8_t covered, r->ReadU8());
       VONode::Item item;
       if (covered != 0) {
-        VBT_ASSIGN_OR_RETURN(item.covered, DeserializeNode(r, depth + 1));
+        VBT_ASSIGN_OR_RETURN(item.covered, DeserializeNode(r, depth + 1, pool));
       } else {
-        VBT_ASSIGN_OR_RETURN(item.opaque, ReadSig(r));
+        VBT_ASSIGN_OR_RETURN(item.opaque, ReadSig(r, pool));
       }
       n->items.push_back(std::move(item));
     }
@@ -92,7 +113,69 @@ std::unique_ptr<VONode> CloneNode(const VONode& n) {
   return out;
 }
 
+void SerializeImpl(const VerificationObject& vo, ByteWriter* w,
+                   SignaturePool* pool) {
+  w->PutU32(vo.key_version);
+  WriteSig(vo.signed_top, w, pool);
+  w->PutU8(vo.skeleton != nullptr ? 1 : 0);
+  if (vo.skeleton != nullptr) SerializeNode(*vo.skeleton, w, pool);
+  w->PutVarint(vo.num_filtered_cols);
+  w->PutVarint(vo.projected_attr_sigs.size());
+  for (const Signature& s : vo.projected_attr_sigs) {
+    WriteSig(s, w, pool);
+  }
+}
+
+Result<VerificationObject> DeserializeImpl(ByteReader* r,
+                                           const SignaturePool* pool) {
+  VerificationObject vo;
+  VBT_ASSIGN_OR_RETURN(vo.key_version, r->ReadU32());
+  VBT_ASSIGN_OR_RETURN(vo.signed_top, ReadSig(r, pool));
+  VBT_ASSIGN_OR_RETURN(uint8_t has_skeleton, r->ReadU8());
+  if (has_skeleton != 0) {
+    VBT_ASSIGN_OR_RETURN(vo.skeleton, DeserializeNode(r, 0, pool));
+  }
+  VBT_ASSIGN_OR_RETURN(uint64_t nfc, r->ReadVarint());
+  vo.num_filtered_cols = static_cast<uint32_t>(nfc);
+  VBT_ASSIGN_OR_RETURN(uint64_t np, r->ReadCount());
+  vo.projected_attr_sigs.reserve(np);
+  for (uint64_t i = 0; i < np; ++i) {
+    VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r, pool));
+    vo.projected_attr_sigs.push_back(std::move(s));
+  }
+  return vo;
+}
+
 }  // namespace
+
+uint32_t SignaturePool::Intern(const Signature& sig) {
+  auto [it, inserted] =
+      index_.emplace(sig, static_cast<uint32_t>(entries_.size()));
+  if (inserted) {
+    entries_.push_back(sig);
+    entry_bytes_ += sig.size();
+  }
+  return it->second;
+}
+
+void SignaturePool::Serialize(ByteWriter* w) const {
+  w->PutVarint(entries_.size());
+  for (const Signature& s : entries_) {
+    w->PutLengthPrefixed(Slice(s.data(), s.size()));
+  }
+}
+
+Result<SignaturePool> SignaturePool::Deserialize(ByteReader* r) {
+  SignaturePool pool;
+  VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
+  pool.entries_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    VBT_ASSIGN_OR_RETURN(Slice s, r->ReadLengthPrefixed());
+    pool.entries_.emplace_back(s.data(), s.data() + s.size());
+    pool.entry_bytes_ += s.size();
+  }
+  return pool;
+}
 
 size_t VerificationObject::DigestCount() const {
   size_t count = 1 + projected_attr_sigs.size();  // signed_top + D_P
@@ -101,34 +184,21 @@ size_t VerificationObject::DigestCount() const {
 }
 
 void VerificationObject::Serialize(ByteWriter* w) const {
-  w->PutU32(key_version);
-  w->PutLengthPrefixed(Slice(signed_top.data(), signed_top.size()));
-  w->PutU8(skeleton != nullptr ? 1 : 0);
-  if (skeleton != nullptr) SerializeNode(*skeleton, w);
-  w->PutVarint(num_filtered_cols);
-  w->PutVarint(projected_attr_sigs.size());
-  for (const Signature& s : projected_attr_sigs) {
-    w->PutLengthPrefixed(Slice(s.data(), s.size()));
-  }
+  SerializeImpl(*this, w, nullptr);
 }
 
 Result<VerificationObject> VerificationObject::Deserialize(ByteReader* r) {
-  VerificationObject vo;
-  VBT_ASSIGN_OR_RETURN(vo.key_version, r->ReadU32());
-  VBT_ASSIGN_OR_RETURN(vo.signed_top, ReadSig(r));
-  VBT_ASSIGN_OR_RETURN(uint8_t has_skeleton, r->ReadU8());
-  if (has_skeleton != 0) {
-    VBT_ASSIGN_OR_RETURN(vo.skeleton, DeserializeNode(r, 0));
-  }
-  VBT_ASSIGN_OR_RETURN(uint64_t nfc, r->ReadVarint());
-  vo.num_filtered_cols = static_cast<uint32_t>(nfc);
-  VBT_ASSIGN_OR_RETURN(uint64_t np, r->ReadCount());
-  vo.projected_attr_sigs.reserve(np);
-  for (uint64_t i = 0; i < np; ++i) {
-    VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r));
-    vo.projected_attr_sigs.push_back(std::move(s));
-  }
-  return vo;
+  return DeserializeImpl(r, nullptr);
+}
+
+void VerificationObject::SerializePooled(ByteWriter* w,
+                                         SignaturePool* pool) const {
+  SerializeImpl(*this, w, pool);
+}
+
+Result<VerificationObject> VerificationObject::DeserializePooled(
+    ByteReader* r, const SignaturePool& pool) {
+  return DeserializeImpl(r, &pool);
 }
 
 size_t VerificationObject::SerializedSize() const {

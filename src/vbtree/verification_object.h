@@ -2,6 +2,7 @@
 #define VBTREE_VBTREE_VERIFICATION_OBJECT_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -10,6 +11,42 @@
 #include "crypto/signer.h"
 
 namespace vbtree {
+
+/// Batch-level signature interning table (wire format v2).
+///
+/// Overlapping query envelopes inside a coalesced batch re-ship the same
+/// boundary-tuple and opaque-branch signatures once per query; with a
+/// 16-byte SimSigner that duplication dominates the VO wire cost. The
+/// pool stores each distinct signature once per batch and lets every VO
+/// reference it by a varint index — restoring the paper's "VO is simply
+/// a set of signed digests" size claim at batch granularity.
+///
+/// Build side: `Intern` deduplicates and returns the entry index.
+/// Read side: `Deserialize` then `Get`, which bounds-checks so a
+/// malicious edge cannot send indices past the table.
+class SignaturePool {
+ public:
+  /// Returns the pool index of `sig`, inserting it on first sight.
+  uint32_t Intern(const Signature& sig);
+
+  /// Entry at `idx`, or nullptr when idx is out of range.
+  const Signature* Get(uint64_t idx) const {
+    return idx < entries_.size() ? &entries_[idx] : nullptr;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// Sum of entry byte lengths (excludes framing); telemetry.
+  size_t entry_bytes() const { return entry_bytes_; }
+
+  void Serialize(ByteWriter* w) const;
+  static Result<SignaturePool> Deserialize(ByteReader* r);
+
+ private:
+  std::vector<Signature> entries_;
+  std::map<Signature, uint32_t> index_;  // build side only
+  size_t entry_bytes_ = 0;
+};
 
 /// One node of the enveloping subtree's skeleton.
 ///
@@ -68,11 +105,23 @@ struct VerificationObject {
   /// the paper's communication formulas count.
   size_t DigestCount() const;
 
-  /// Exact wire size in bytes.
+  /// Exact wire size in bytes of the self-contained (v1) encoding.
   size_t SerializedSize() const;
 
   void Serialize(ByteWriter* w) const;
   static Result<VerificationObject> Deserialize(ByteReader* r);
+
+  /// Pool-referencing encoding (wire v2): identical structure, but every
+  /// signature is written as a varint index into `pool` (interned on the
+  /// fly). The pool must be serialized ahead of the VOs in the enclosing
+  /// message so a one-pass reader can resolve the indices.
+  void SerializePooled(ByteWriter* w, SignaturePool* pool) const;
+
+  /// Decodes a pool-referencing VO, materializing each referenced
+  /// signature as a copy so downstream verification is layout-agnostic.
+  /// An index past the pool is kCorruption, never a crash.
+  static Result<VerificationObject> DeserializePooled(
+      ByteReader* r, const SignaturePool& pool);
 
   /// Deep copy (VOs are move-only by default due to unique_ptr).
   VerificationObject Clone() const;

@@ -109,6 +109,20 @@ class QueryServiceTest : public ::testing::Test {
     return q;
   }
 
+  /// Heavily overlapping windows with a common projection: the workload
+  /// signature interning targets — boundary, opaque-branch and
+  /// projected-attribute signatures repeat across the batch's envelopes.
+  QueryBatch HotRangeBatch() {
+    QueryBatch batch;
+    batch.table = "items";
+    for (int i = 0; i < 8; ++i) {
+      SelectQuery q = RangeQuery(100 + 2 * i, 140 + 2 * i);
+      q.projection = {0, 2, 5};
+      batch.queries.push_back(std::move(q));
+    }
+    return batch;
+  }
+
   QueryBatch MixedBatch() {
     QueryBatch batch;
     batch.table = "items";
@@ -427,9 +441,268 @@ TEST_F(QueryServiceTest, BatchWirePathRoundTrips) {
     // Both ends account row payload identically.
     EXPECT_EQ(wire->responses[i].result_bytes,
               direct->responses[i].result_bytes);
-    EXPECT_EQ(wire->responses[i].vo_bytes, direct->responses[i].vo_bytes);
+    // Wire v2 ships pool-referencing VOs: the per-query wire footprint
+    // must undercut the raw (self-contained) size the direct path reports.
+    EXPECT_LT(wire->responses[i].vo_bytes, direct->responses[i].vo_bytes);
   }
   EXPECT_EQ(wire->stats.total_result_bytes, direct->stats.total_result_bytes);
+  // The raw total survives the trailer; the actual wire cost (pool +
+  // pooled skeletons) is measured while parsing. MixedBatch shares little
+  // (mostly singleton signatures), so the pool only has to stay within
+  // its small constant framing overhead here — the shrink is asserted on
+  // the overlapping workload below.
+  EXPECT_EQ(wire->stats.total_vo_bytes, direct->stats.total_vo_bytes);
+  EXPECT_GT(wire->stats.vo_wire_bytes, 0u);
+  EXPECT_LT(wire->stats.vo_wire_bytes, wire->stats.total_vo_bytes * 12 / 10);
+  EXPECT_GT(wire->stats.sig_pool_entries, 0u);
+}
+
+TEST_F(QueryServiceTest, PooledWireCutsVOBytesOnOverlappingRanges) {
+  QueryBatch batch = HotRangeBatch();
+  for (SelectQuery& q : batch.queries) q.NormalizeProjection();
+  auto resp = edge_->HandleQueryBatch(batch);
+  ASSERT_TRUE(resp.ok());
+
+  ByteWriter w(1 << 12);
+  SerializeQueryBatchResponse(*resp, &w, BatchWire::kV2);
+  ByteReader r((Slice(w.buffer())));
+  auto wire = DeserializeQueryBatchResponse(&r, schema_, batch.queries);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+
+  // The acceptance bar of the interning change: ≥30% fewer VO bytes on
+  // the wire than the raw per-query encoding on an overlapping workload.
+  ASSERT_GT(wire->stats.total_vo_bytes, 0u);
+  EXPECT_LE(wire->stats.vo_wire_bytes * 10, wire->stats.total_vo_bytes * 7)
+      << "pooled " << wire->stats.vo_wire_bytes << " vs raw "
+      << wire->stats.total_vo_bytes;
+
+  // And the answers still authenticate.
+  DigestSchema ds(central_->db_name(), "items", schema_,
+                  HashAlgorithm::kSha256, 128);
+  auto rec = central_->key_directory()->RecovererFor(1, /*now=*/10);
+  ASSERT_TRUE(rec.ok());
+  BatchVerifier inline_verifier(BatchVerifier::Options{0});
+  for (size_t i = 0; i < wire->responses.size(); ++i) {
+    BatchVerifier::Job job{&batch.queries[i], &wire->responses[i].rows,
+                           &wire->responses[i].vo};
+    auto outcome = inline_verifier.VerifyAll(ds, rec->get(), {&job, 1});
+    EXPECT_TRUE(outcome[0].verification.ok())
+        << "query " << i << ": " << outcome[0].verification.ToString();
+  }
+}
+
+TEST_F(QueryServiceTest, LegacyWireV1RoundTripsAndMatchesV2Answers) {
+  QueryBatch batch = HotRangeBatch();
+  for (SelectQuery& q : batch.queries) q.NormalizeProjection();
+  auto direct = edge_->HandleQueryBatch(batch);
+  ASSERT_TRUE(direct.ok());
+
+  ByteWriter v1(1 << 12), v2(1 << 12);
+  SerializeQueryBatchResponse(*direct, &v1, BatchWire::kV1);
+  SerializeQueryBatchResponse(*direct, &v2, BatchWire::kV2);
+
+  ByteReader r1((Slice(v1.buffer())));
+  auto from_v1 = DeserializeQueryBatchResponse(&r1, schema_, batch.queries);
+  ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
+  ByteReader r2((Slice(v2.buffer())));
+  auto from_v2 = DeserializeQueryBatchResponse(&r2, schema_, batch.queries);
+  ASSERT_TRUE(from_v2.ok()) << from_v2.status().ToString();
+
+  // Same answers and same VOs through either framing; only the bytes on
+  // the wire differ (the overlapping batch interns shared signatures).
+  ASSERT_EQ(from_v1->responses.size(), from_v2->responses.size());
+  for (size_t i = 0; i < from_v1->responses.size(); ++i) {
+    const QueryResponse& a = from_v1->responses[i];
+    const QueryResponse& b = from_v2->responses[i];
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (size_t r = 0; r < a.rows.size(); ++r) {
+      EXPECT_EQ(a.rows[r].key, b.rows[r].key);
+    }
+    EXPECT_EQ(a.vo.DigestCount(), b.vo.DigestCount());
+    ByteWriter wa, wb;
+    a.vo.Serialize(&wa);
+    b.vo.Serialize(&wb);
+    EXPECT_EQ(wa.buffer(), wb.buffer()) << "VO " << i << " diverged";
+  }
+  EXPECT_LT(v2.size(), v1.size()) << "pooled framing must shrink the batch";
+}
+
+TEST_F(QueryServiceTest, ResponseCountMismatchIsCorruptionNotOutOfBounds) {
+  // An adversarial edge answering with a different response count than
+  // the query count must be rejected at deserialization — positional
+  // indexing downstream would otherwise run out of bounds (too many) or
+  // silently truncate (too few).
+  QueryBatch batch = MixedBatch();
+  for (SelectQuery& q : batch.queries) q.NormalizeProjection();
+  auto resp = edge_->HandleQueryBatch(batch);
+  ASSERT_TRUE(resp.ok());
+
+  for (BatchWire wire : {BatchWire::kV1, BatchWire::kV2}) {
+    // Too few: drop the last response before serializing.
+    QueryBatchResponse fewer;
+    fewer.replica_version = resp->replica_version;
+    fewer.stats = resp->stats;
+    for (size_t i = 0; i + 1 < resp->responses.size(); ++i) {
+      QueryResponse qr;
+      qr.status = resp->responses[i].status;
+      qr.rows = resp->responses[i].rows;
+      qr.vo = resp->responses[i].vo.Clone();
+      fewer.responses.push_back(std::move(qr));
+    }
+    ByteWriter w;
+    SerializeQueryBatchResponse(fewer, &w, wire);
+    ByteReader r((Slice(w.buffer())));
+    auto out = DeserializeQueryBatchResponse(&r, schema_, batch.queries);
+    ASSERT_FALSE(out.ok());
+    EXPECT_TRUE(out.status().IsCorruption()) << out.status().ToString();
+
+    // Too many: deserialize against a shorter query list.
+    std::vector<SelectQuery> shorter(batch.queries.begin(),
+                                     batch.queries.end() - 1);
+    ByteWriter w2;
+    SerializeQueryBatchResponse(*resp, &w2, wire);
+    ByteReader r2((Slice(w2.buffer())));
+    auto out2 = DeserializeQueryBatchResponse(&r2, schema_, shorter);
+    ASSERT_FALSE(out2.ok());
+    EXPECT_TRUE(out2.status().IsCorruption()) << out2.status().ToString();
+  }
+}
+
+TEST_F(QueryServiceTest, BatchWithOneInvalidQueryStillAuthenticatesRest) {
+  QueryService service(edge_.get(), QueryServiceOptions{2, 64});
+  QueryBatch batch;
+  batch.table = "items";
+  batch.queries.push_back(RangeQuery(100, 160));
+  batch.queries.push_back(RangeQuery(60, 20));  // empty range: invalid
+  SelectQuery bad_condition = RangeQuery(200, 260);
+  bad_condition.conditions.push_back(
+      ColumnCondition{99, CompareOp::kEq, Value::Int(1)});  // no such column
+  batch.queries.push_back(bad_condition);
+  batch.queries.push_back(RangeQuery(300, 360));
+
+  auto out = client_->QueryBatched(&service, batch, /*now=*/10,
+                                   /*verifier=*/nullptr, &net_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->results.size(), 4u);
+  EXPECT_TRUE(out->results[0].verification.ok())
+      << out->results[0].verification.ToString();
+  EXPECT_EQ(out->results[1].verification.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(out->results[1].rows.empty());
+  EXPECT_EQ(out->results[2].verification.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(out->results[3].verification.ok())
+      << out->results[3].verification.ToString();
+  EXPECT_GT(out->results[0].rows.size(), 0u);
+  EXPECT_GT(out->results[3].rows.size(), 0u);
+}
+
+TEST_F(QueryServiceTest, VOCacheServesHotRangesAndAnswersStillAuthenticate) {
+  QueryService service(edge_.get(), QueryServiceOptions{2, 64});
+  QueryBatch batch = MixedBatch();
+
+  auto first = client_->QueryBatched(&service, batch, /*now=*/10);
+  ASSERT_TRUE(first.ok());
+  for (const auto& v : first->results) ASSERT_TRUE(v.verification.ok());
+  EdgeServer::VOCacheStats cold = edge_->vo_cache_stats("items");
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.entries, batch.queries.size());
+
+  // Identical batch again: every query must be served from the cache and
+  // the answers must be byte-equivalent — they authenticate identically.
+  auto second = client_->QueryBatched(&service, batch, /*now=*/10);
+  ASSERT_TRUE(second.ok());
+  for (const auto& v : second->results) ASSERT_TRUE(v.verification.ok());
+  EXPECT_EQ(second->stats.vo_cache_hits, batch.queries.size());
+  EdgeServer::VOCacheStats warm = edge_->vo_cache_stats("items");
+  EXPECT_EQ(warm.hits, batch.queries.size());
+  ASSERT_EQ(second->results.size(), first->results.size());
+  for (size_t i = 0; i < first->results.size(); ++i) {
+    ASSERT_EQ(second->results[i].rows.size(), first->results[i].rows.size());
+    EXPECT_EQ(second->results[i].vo_bytes, first->results[i].vo_bytes);
+  }
+  EXPECT_EQ(service.stats().vo_cache_hits, batch.queries.size());
+}
+
+TEST_F(QueryServiceTest, VOCacheFlushedOnEveryVersionBump) {
+  QueryService service(edge_.get(), QueryServiceOptions{2, 64});
+  QueryBatch batch;
+  batch.table = "items";
+  batch.queries.push_back(RangeQuery(10, 60));
+
+  ASSERT_TRUE(client_->QueryBatched(&service, batch, /*now=*/10).ok());
+  ASSERT_TRUE(client_->QueryBatched(&service, batch, /*now=*/10).ok());
+  ASSERT_EQ(edge_->vo_cache_stats("items").hits, 1u);
+
+  // Delta install bumps the version: the cache must be flushed wholesale
+  // and the next answer must be built from (and verify against) the new
+  // tree state.
+  Rng rng(21);
+  ASSERT_TRUE(
+      central_->InsertTuple("items", testutil::MakeTuple(schema_, 7000, &rng))
+          .ok());
+  ASSERT_TRUE(
+      testutil::PublishDelta(central_.get(), "items", edge_.get()).ok());
+  EXPECT_GE(edge_->vo_cache_stats("items").invalidations, 1u);
+  EXPECT_EQ(edge_->vo_cache_stats("items").entries, 0u);
+
+  auto after = client_->QueryBatched(&service, batch, /*now=*/10);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->results[0].verification.ok())
+      << after->results[0].verification.ToString();
+  EXPECT_EQ(after->stats.vo_cache_hits, 0u);
+  EXPECT_EQ(after->replica_version, edge_->TableVersion("items"));
+
+  // Snapshot install flushes too.
+  ASSERT_TRUE(testutil::Publish(central_.get(), "items", edge_.get()).ok());
+  EXPECT_EQ(edge_->vo_cache_stats("items").entries, 0u);
+}
+
+TEST_F(QueryServiceTest, TamperedPooledSignatureStillDetected) {
+  // Flip one byte inside the serialized v2 signature pool: the response
+  // must either fail to parse or fail verification — never authenticate.
+  QueryBatch batch = MixedBatch();
+  for (SelectQuery& q : batch.queries) q.NormalizeProjection();
+  auto resp = edge_->HandleQueryBatch(batch);
+  ASSERT_TRUE(resp.ok());
+
+  ByteWriter w(1 << 12);
+  SerializeQueryBatchResponse(*resp, &w, BatchWire::kV2);
+  std::vector<uint8_t> honest = w.TakeBuffer();
+
+  DigestSchema ds(central_->db_name(), "items", schema_,
+                  HashAlgorithm::kSha256, 128);
+  auto rec = central_->key_directory()->RecovererFor(1, /*now=*/10);
+  ASSERT_TRUE(rec.ok());
+
+  // The pool begins right after the version byte (1), replica version
+  // (8) and the response-count varint; its entries are the signature
+  // bytes themselves, so flipping anywhere inside the first entries hits
+  // pooled signature material shared across the batch's VOs.
+  Rng rng(31337);
+  int rejected = 0;
+  for (int trial = 0; trial < 32; ++trial) {
+    std::vector<uint8_t> bytes = honest;
+    size_t pos = 12 + rng.Uniform(64);  // inside the pool region
+    ASSERT_LT(pos, bytes.size());
+    bytes[pos] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+    ByteReader r((Slice(bytes)));
+    auto out = DeserializeQueryBatchResponse(&r, schema_, batch.queries);
+    if (!out.ok()) {
+      rejected++;
+      continue;
+    }
+    bool any_failed = false;
+    BatchVerifier inline_verifier(BatchVerifier::Options{0});
+    for (size_t i = 0; i < out->responses.size(); ++i) {
+      BatchVerifier::Job job{&batch.queries[i], &out->responses[i].rows,
+                             &out->responses[i].vo};
+      auto outcome = inline_verifier.VerifyAll(ds, rec->get(), {&job, 1});
+      if (!outcome[0].verification.ok()) any_failed = true;
+    }
+    if (any_failed) rejected++;
+  }
+  EXPECT_EQ(rejected, 32) << "a flipped pooled signature authenticated";
 }
 
 TEST_F(QueryServiceTest, BatchRejectsMixedTables) {
