@@ -29,7 +29,7 @@ Uint128 CommutativeHash::ModExp(Uint128 base, Uint128 exp) const {
 }
 
 Digest CommutativeHash::Extend(const Digest& acc, const Digest& d) const {
-  if (counters_ != nullptr) counters_->combine_ops++;
+  if (counters_ != nullptr) CryptoCounters::Tick(counters_->combine_ops);
   // Exponent 0 would collapse the accumulator to 1 for every input; a
   // 16-byte hash output is zero with probability 2^-128, but map it to 1
   // deterministically so the function is total.
@@ -39,9 +39,15 @@ Digest CommutativeHash::Extend(const Digest& acc, const Digest& d) const {
 }
 
 Digest CommutativeHash::Combine(std::span<const Digest> digests) const {
-  Digest acc = Identity();
-  for (const Digest& d : digests) acc = Extend(acc, d);
-  return acc;
+  // Fold the exponent product first (one 128-bit multiply per digest),
+  // then pay a single exponentiation: G^(d1·...·dm) directly, instead of
+  // the chained ((G^d1)^d2)... which costs one full square-and-multiply
+  // per digest. Bit-identical by (G^a)^b = G^(ab) — the same algebra the
+  // server's kRecomputeProduct strategy uses, and property-tested against
+  // the chained form. This is the client-verification recombination hot
+  // path: every VO node digest is one Combine over its parts.
+  if (counters_ != nullptr) CryptoCounters::Tick(counters_->combine_ops, digests.size());
+  return FromExponent(ExponentProduct(digests));
 }
 
 Uint128 InverseOdd128(Uint128 x) {
@@ -78,13 +84,14 @@ Digest CommutativeHash::FromExponent(Uint128 exponent) const {
 
 Digest CommutativeHash::CombineViaExponent(
     std::span<const Digest> digests) const {
-  if (counters_ != nullptr) counters_->combine_ops += digests.size();
-  return FromExponent(ExponentProduct(digests));
+  // Combine itself folds the exponent product now; kept as a named alias
+  // for call sites written against the strategy split.
+  return Combine(digests);
 }
 
 Uint128 CommutativeHash::UpdateExponent(Uint128 exponent, const Digest& d_old,
                                         const Digest& d_new) const {
-  if (counters_ != nullptr) counters_->combine_ops++;
+  if (counters_ != nullptr) CryptoCounters::Tick(counters_->combine_ops);
   Uint128 inv = InverseOdd128(ExponentFactor(d_old));
   return exponent.MulWrap(inv).MulWrap(ExponentFactor(d_new)).Mask(bits_);
 }
@@ -93,7 +100,7 @@ Digest ChainedHash::Combine(std::span<const Digest> digests) const {
   ByteWriter w(digests.size() * kDigestLen);
   for (const Digest& d : digests) {
     w.PutBytes(d.AsSlice());
-    if (counters_ != nullptr) counters_->combine_ops++;
+    if (counters_ != nullptr) CryptoCounters::Tick(counters_->combine_ops);
   }
   return HashToDigest(HashAlgorithm::kSha256, Slice(w.buffer()));
 }

@@ -1,6 +1,7 @@
 #ifndef VBTREE_CRYPTO_COUNTERS_H_
 #define VBTREE_CRYPTO_COUNTERS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace vbtree {
@@ -13,13 +14,65 @@ namespace vbtree {
 /// The analytical figures (Fig. 12, Fig. 13) are expressed in units of
 /// Cost_h; `CostUnits` converts measured counts into the same units given
 /// the two ratios the paper sweeps.
+///
+/// Every field is an atomic ticked with relaxed ordering (use the Tick
+/// helper, not operator++, on hot paths — the latter is a seq_cst RMW):
+/// one counter block may be bumped from many threads at once (the
+/// BatchVerifier's pool-recovery phase fans one batch's signature pool
+/// across its workers into a single batch-level sink). Relaxed ordering
+/// is enough — the counts are telemetry, read only after the work they
+/// count has been joined. Copy construction and assignment take a
+/// relaxed snapshot per field so the struct keeps its original value
+/// semantics (outcomes are returned by value everywhere).
 struct CryptoCounters {
-  uint64_t attr_hashes = 0;  ///< h() evaluations (Cost_h each)
-  uint64_t combine_ops = 0;  ///< digests folded by g (Cost_k each)
-  uint64_t signs = 0;        ///< signature creations (central server only)
-  uint64_t recovers = 0;     ///< signature decrypts (Cost_s each)
+  /// Relaxed increment for the per-operation hot paths.
+  static void Tick(std::atomic<uint64_t>& c, uint64_t n = 1) {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t> attr_hashes{0};  ///< h() evaluations (Cost_h each)
+  std::atomic<uint64_t> combine_ops{0};  ///< digests folded by g (Cost_k each)
+  std::atomic<uint64_t> signs{0};        ///< signature creations (central server only)
+  std::atomic<uint64_t> recovers{0};     ///< signature decrypts (Cost_s each)
+
+  /// Recovered-digest cache traffic (client verification fast path): a
+  /// hit is one Cost_s avoided; an eviction is capacity pressure.
+  std::atomic<uint64_t> digest_cache_hits{0};
+  std::atomic<uint64_t> digest_cache_misses{0};
+  std::atomic<uint64_t> digest_cache_evictions{0};
+
+  CryptoCounters() = default;
+  CryptoCounters(const CryptoCounters& o) { *this = o; }
+  CryptoCounters& operator=(const CryptoCounters& o) {
+    CopyField(attr_hashes, o.attr_hashes);
+    CopyField(combine_ops, o.combine_ops);
+    CopyField(signs, o.signs);
+    CopyField(recovers, o.recovers);
+    CopyField(digest_cache_hits, o.digest_cache_hits);
+    CopyField(digest_cache_misses, o.digest_cache_misses);
+    CopyField(digest_cache_evictions, o.digest_cache_evictions);
+    return *this;
+  }
 
   void Reset() { *this = CryptoCounters{}; }
+
+  /// Accumulates another counter block into this one.
+  void Add(const CryptoCounters& o) {
+    Tick(attr_hashes, o.attr_hashes.load(std::memory_order_relaxed));
+    Tick(combine_ops, o.combine_ops.load(std::memory_order_relaxed));
+    Tick(signs, o.signs.load(std::memory_order_relaxed));
+    Tick(recovers, o.recovers.load(std::memory_order_relaxed));
+    Tick(digest_cache_hits,
+         o.digest_cache_hits.load(std::memory_order_relaxed));
+    Tick(digest_cache_misses,
+         o.digest_cache_misses.load(std::memory_order_relaxed));
+    Tick(digest_cache_evictions,
+         o.digest_cache_evictions.load(std::memory_order_relaxed));
+  }
+
+  static void CopyField(std::atomic<uint64_t>& dst,
+                        const std::atomic<uint64_t>& src) {
+    dst.store(src.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
 
   CryptoCounters operator-(const CryptoCounters& o) const {
     CryptoCounters r;
@@ -27,6 +80,10 @@ struct CryptoCounters {
     r.combine_ops = combine_ops - o.combine_ops;
     r.signs = signs - o.signs;
     r.recovers = recovers - o.recovers;
+    r.digest_cache_hits = digest_cache_hits - o.digest_cache_hits;
+    r.digest_cache_misses = digest_cache_misses - o.digest_cache_misses;
+    r.digest_cache_evictions =
+        digest_cache_evictions - o.digest_cache_evictions;
     return r;
   }
 
@@ -34,9 +91,10 @@ struct CryptoCounters {
   /// @param cost_k_ratio Cost_k / Cost_h (paper default 10, Fig. 13a sweeps 0–3).
   /// @param x Cost_s / Cost_h (Fig. 12 uses X in {5, 10, 100}).
   double CostUnits(double cost_k_ratio, double x) const {
-    return static_cast<double>(attr_hashes) +
-           cost_k_ratio * static_cast<double>(combine_ops) +
-           x * static_cast<double>(recovers);
+    return static_cast<double>(attr_hashes.load(std::memory_order_relaxed)) +
+           cost_k_ratio *
+               static_cast<double>(combine_ops.load(std::memory_order_relaxed)) +
+           x * static_cast<double>(recovers.load(std::memory_order_relaxed));
   }
 };
 

@@ -15,7 +15,7 @@ class CountingRecoverer : public Recoverer {
       : inner_(inner), counters_(counters) {}
 
   Result<Digest> Recover(const Signature& sig) override {
-    if (counters_ != nullptr) counters_->recovers++;
+    if (counters_ != nullptr) CryptoCounters::Tick(counters_->recovers);
     return inner_->Recover(sig);
   }
 

@@ -10,16 +10,44 @@ namespace vbtree {
 
 namespace {
 
+/// Explicitly fetched digest implementations, resolved once per process.
+/// The convenience one-shot (EVP_Digest with an implicitly fetched MD)
+/// re-resolves the algorithm through the provider machinery on every
+/// call, which costs more than the SHA-256 of a 60-byte attribute
+/// preimage itself — and attribute hashing is the top Cost_h consumer on
+/// the client verification path.
 const EVP_MD* MdFor(HashAlgorithm algo) {
+#if OPENSSL_VERSION_NUMBER >= 0x30000000L
+  static const EVP_MD* sha256 = EVP_MD_fetch(nullptr, "SHA-256", nullptr);
+  static const EVP_MD* sha1 = EVP_MD_fetch(nullptr, "SHA-1", nullptr);
+  static const EVP_MD* md5 = EVP_MD_fetch(nullptr, "MD5", nullptr);
+#else
+  static const EVP_MD* sha256 = EVP_sha256();
+  static const EVP_MD* sha1 = EVP_sha1();
+  static const EVP_MD* md5 = EVP_md5();
+#endif
   switch (algo) {
     case HashAlgorithm::kSha256:
-      return EVP_sha256();
+      return sha256;
     case HashAlgorithm::kSha1:
-      return EVP_sha1();
+      return sha1;
     case HashAlgorithm::kMd5:
-      return EVP_md5();
+      return md5;
   }
-  return EVP_sha256();
+  return sha256;
+}
+
+/// Per-thread reusable digest context: EVP_MD_CTX_new/free per hash is
+/// allocator traffic the hot loop doesn't need, and reusing a context
+/// across Init/Update/Final cycles is the OpenSSL-sanctioned pattern.
+/// Thread-local keeps HashToDigest safe under the BatchVerifier's
+/// parallel workers with zero synchronization.
+EVP_MD_CTX* ThreadMdCtx() {
+  thread_local struct Holder {
+    EVP_MD_CTX* ctx = EVP_MD_CTX_new();
+    ~Holder() { EVP_MD_CTX_free(ctx); }
+  } holder;
+  return holder.ctx;
 }
 
 }  // namespace
@@ -27,9 +55,11 @@ const EVP_MD* MdFor(HashAlgorithm algo) {
 Digest HashToDigest(HashAlgorithm algo, Slice input) {
   unsigned char out[EVP_MAX_MD_SIZE];
   unsigned int out_len = 0;
-  int rc = EVP_Digest(input.data(), input.size(), out, &out_len, MdFor(algo),
-                      nullptr);
-  VBT_CHECK(rc == 1);
+  EVP_MD_CTX* ctx = ThreadMdCtx();
+  int rc = EVP_DigestInit_ex(ctx, MdFor(algo), nullptr) == 1 &&
+           EVP_DigestUpdate(ctx, input.data(), input.size()) == 1 &&
+           EVP_DigestFinal_ex(ctx, out, &out_len) == 1;
+  VBT_CHECK(rc);
   Digest d;
   size_t n = out_len < kDigestLen ? out_len : kDigestLen;
   std::memcpy(d.bytes.data(), out, n);
@@ -39,9 +69,11 @@ Digest HashToDigest(HashAlgorithm algo, Slice input) {
 std::array<uint8_t, 32> Sha256(Slice input) {
   std::array<uint8_t, 32> out{};
   unsigned int out_len = 0;
-  int rc = EVP_Digest(input.data(), input.size(), out.data(), &out_len,
-                      EVP_sha256(), nullptr);
-  VBT_CHECK(rc == 1 && out_len == 32);
+  EVP_MD_CTX* ctx = ThreadMdCtx();
+  int rc = EVP_DigestInit_ex(ctx, MdFor(HashAlgorithm::kSha256), nullptr) == 1 &&
+           EVP_DigestUpdate(ctx, input.data(), input.size()) == 1 &&
+           EVP_DigestFinal_ex(ctx, out.data(), &out_len) == 1;
+  VBT_CHECK(rc && out_len == 32);
   return out;
 }
 

@@ -63,7 +63,7 @@ Result<std::unique_ptr<RsaSigner>> RsaSigner::Generate(
 }
 
 Result<Signature> RsaSigner::Sign(const Digest& d) {
-  if (counters_ != nullptr) counters_->signs++;
+  if (counters_ != nullptr) CryptoCounters::Tick(counters_->signs);
   CtxPtr ctx(EVP_PKEY_CTX_new(impl_->pkey.get(), nullptr));
   if (!ctx) return Status::Internal(OpenSslError("sign ctx"));
   if (EVP_PKEY_sign_init(ctx.get()) <= 0 ||
@@ -122,7 +122,7 @@ Result<std::unique_ptr<RsaRecoverer>> RsaRecoverer::FromPublicKeyDer(
 }
 
 Result<Digest> RsaRecoverer::Recover(const Signature& sig) {
-  if (counters_ != nullptr) counters_->recovers++;
+  if (counters_ != nullptr) CryptoCounters::Tick(counters_->recovers);
   CtxPtr ctx(EVP_PKEY_CTX_new(impl_->pkey.get(), nullptr));
   if (!ctx) return Status::Internal(OpenSslError("recover ctx"));
   if (EVP_PKEY_verify_recover_init(ctx.get()) <= 0 ||

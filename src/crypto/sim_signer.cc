@@ -11,22 +11,66 @@ namespace vbtree {
 
 namespace {
 
+/// The AES-128-ECB implementation, fetched once per process (the
+/// implicitly fetched EVP_aes_128_ecb() re-resolves through the provider
+/// machinery on every CipherInit, several times the cost of the block
+/// transform itself).
+const EVP_CIPHER* Aes128Ecb() {
+#if OPENSSL_VERSION_NUMBER >= 0x30000000L
+  static const EVP_CIPHER* cipher =
+      EVP_CIPHER_fetch(nullptr, "AES-128-ECB", nullptr);
+#else
+  static const EVP_CIPHER* cipher = EVP_aes_128_ecb();
+#endif
+  return cipher;
+}
+
 /// One-block AES-128-ECB transform (16-byte in, 16-byte out, no padding).
 /// ECB over a single block is a plain PRP application, which is all the
 /// simulation needs.
+///
+/// The cipher context is reused per thread instead of allocated per
+/// call: Recover() is the client verification hot loop (one call per
+/// distinct signature even with all caches warm), and the context
+/// allocation + init used to dominate the decrypt by an order of
+/// magnitude. Thread-local keeps concurrent Recover() calls from the
+/// BatchVerifier's workers safe without locking; re-keying a reused
+/// context is cheap and correct (different signers/recoverers may pass
+/// different keys on the same thread).
 bool AesBlock(const std::array<uint8_t, 16>& key, const uint8_t* in,
               uint8_t* out, bool encrypt) {
-  EVP_CIPHER_CTX* ctx = EVP_CIPHER_CTX_new();
-  if (ctx == nullptr) return false;
-  bool ok = EVP_CipherInit_ex(ctx, EVP_aes_128_ecb(), nullptr, key.data(),
-                              nullptr, encrypt ? 1 : 0) == 1;
-  EVP_CIPHER_CTX_set_padding(ctx, 0);
+  // One keyed context per (thread, direction), re-keyed only when the
+  // caller's key changes. ECB carries no state between blocks, so a
+  // keyed context can serve any number of independent CipherUpdate
+  // calls; with padding off there is nothing for CipherFinal to flush.
+  thread_local struct Holder {
+    struct Slot {
+      EVP_CIPHER_CTX* ctx = nullptr;
+      std::array<uint8_t, 16> key{};
+      bool keyed = false;
+    } slots[2];
+    ~Holder() {
+      EVP_CIPHER_CTX_free(slots[0].ctx);
+      EVP_CIPHER_CTX_free(slots[1].ctx);
+    }
+  } holder;
+  auto& slot = holder.slots[encrypt ? 1 : 0];
+  if (slot.ctx == nullptr) {
+    slot.ctx = EVP_CIPHER_CTX_new();
+    if (slot.ctx == nullptr) return false;
+  }
+  if (!slot.keyed || slot.key != key) {
+    if (EVP_CipherInit_ex(slot.ctx, Aes128Ecb(), nullptr, key.data(), nullptr,
+                          encrypt ? 1 : 0) != 1) {
+      slot.keyed = false;
+      return false;
+    }
+    EVP_CIPHER_CTX_set_padding(slot.ctx, 0);
+    slot.key = key;
+    slot.keyed = true;
+  }
   int len = 0;
-  ok = ok && EVP_CipherUpdate(ctx, out, &len, in, 16) == 1 && len == 16;
-  int fin = 0;
-  ok = ok && EVP_CipherFinal_ex(ctx, out + len, &fin) == 1;
-  EVP_CIPHER_CTX_free(ctx);
-  return ok;
+  return EVP_CipherUpdate(slot.ctx, out, &len, in, 16) == 1 && len == 16;
 }
 
 std::array<uint8_t, 16> DeriveKey(uint64_t seed) {
@@ -52,7 +96,7 @@ SimSigner::SimSigner(uint64_t key_seed, CryptoCounters* counters,
 SimSigner::~SimSigner() = default;
 
 Result<Signature> SimSigner::Sign(const Digest& d) {
-  if (counters_ != nullptr) counters_->signs++;
+  if (counters_ != nullptr) CryptoCounters::Tick(counters_->signs);
   Signature sig(kDigestLen);
   uint8_t buf[16];
   std::memcpy(buf, d.bytes.data(), 16);
@@ -78,7 +122,7 @@ Result<Digest> SimRecoverer::Recover(const Signature& sig) {
   if (sig.size() != kDigestLen) {
     return Status::VerificationFailure("bad signature length");
   }
-  if (counters_ != nullptr) counters_->recovers++;
+  if (counters_ != nullptr) CryptoCounters::Tick(counters_->recovers);
   Digest d;
   uint8_t buf[16];
   std::memcpy(buf, sig.data(), 16);

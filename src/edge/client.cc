@@ -1,10 +1,68 @@
 #include "edge/client.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "query/query_serde.h"
 
 namespace vbtree {
+
+namespace {
+/// Replica-version epochs kept per table in the signed-top memo.
+constexpr size_t kTopMemoEpochs = 2;
+/// Entries per epoch; beyond this, inserts are dropped (a scan-heavy
+/// workload should not let the memo grow without bound).
+constexpr size_t kTopMemoMaxEntries = 4096;
+}  // namespace
+
+const Digest* Client::LookupTopMemo(const std::string& table,
+                                    uint64_t replica_version,
+                                    uint32_t key_version,
+                                    const Signature& sig) const {
+  auto t = top_memo_.find(table);
+  if (t == top_memo_.end()) return nullptr;
+  for (const TopMemoEpoch& epoch : t->second) {
+    if (epoch.replica_version != replica_version) continue;
+    auto e = epoch.tops.find(sig);
+    if (e != epoch.tops.end() && e->second.key_version == key_version) {
+      return &e->second.digest;
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+void Client::InsertTopMemo(const std::string& table, uint64_t replica_version,
+                           uint32_t key_version, const Signature& sig,
+                           const Digest& digest) {
+  std::vector<TopMemoEpoch>& epochs = top_memo_[table];
+  TopMemoEpoch* target = nullptr;
+  for (TopMemoEpoch& epoch : epochs) {
+    if (epoch.replica_version == replica_version) {
+      target = &epoch;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    // Keep the kTopMemoEpochs numerically *highest* versions (not the
+    // most recently seen): a batch from a lagging edge must not evict
+    // the freshest epoch — surviving exactly that alternation is why
+    // more than one epoch is kept.
+    if (epochs.size() >= kTopMemoEpochs &&
+        replica_version < epochs.back().replica_version) {
+      return;
+    }
+    auto pos = epochs.begin();
+    while (pos != epochs.end() && pos->replica_version > replica_version) {
+      ++pos;
+    }
+    pos = epochs.insert(pos, TopMemoEpoch{replica_version, {}});
+    if (epochs.size() > kTopMemoEpochs) epochs.resize(kTopMemoEpochs);
+    target = &*pos;
+  }
+  if (target->tops.size() >= kTopMemoMaxEntries) return;
+  target->tops[sig] = TopEntry{key_version, digest};
+}
 
 void Client::RegisterTable(const std::string& table, Schema schema,
                            HashAlgorithm algo, int modulus_bits) {
@@ -71,6 +129,9 @@ Result<Client::Verified> Client::Query(EdgeServer* edge,
                   meta.modulus_bits);
   Verifier verifier(std::move(ds), &recoverer);
   verifier.set_counters(&out.counters);
+  if (verify_fast_path_ && digest_cache_ != nullptr) {
+    verifier.set_digest_cache(digest_cache_.get(), resp.vo.key_version);
+  }
   out.verification = verifier.VerifySelect(q, resp.rows, resp.vo);
   out.rows = std::move(resp.rows);
 
@@ -146,12 +207,14 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
   // All VOs of a batch normally carry one key version (single tree
   // state); resolve per distinct version anyway so a malformed response
   // cannot alias a stale key onto a fresh one.
+  const auto verify_start = std::chrono::steady_clock::now();
   DigestSchema ds(db_name_, batch.table, meta.schema, meta.algo,
                   meta.modulus_bits);
   std::map<uint32_t, Result<std::shared_ptr<Recoverer>>> recoverers;
   std::vector<BatchVerifier::Job> jobs;
   std::vector<size_t> job_index;  // jobs[j] authenticates results[job_index[j]]
   jobs.reserve(resp.responses.size());
+  const bool fast_path = verify_fast_path_;
   for (size_t i = 0; i < resp.responses.size(); ++i) {
     const QueryResponse& qr = resp.responses[i];
     Verified& v = out.results[i];
@@ -176,48 +239,78 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
       v.verification = rec_it->second.status();
       continue;
     }
-    jobs.push_back(BatchVerifier::Job{&b.queries[i], &qr.rows, &qr.vo});
+    BatchVerifier::Job job{&b.queries[i], &qr.rows, &qr.vo, nullptr};
+    if (fast_path) {
+      // Batches at one watermark pay each distinct signed-top recovery
+      // once: byte-identical tops already recovered at this (table,
+      // replica_version, key_version) come from the memo.
+      job.known_top = LookupTopMemo(batch.table, resp.replica_version, kv,
+                                    qr.vo.signed_top);
+      if (job.known_top != nullptr) out.top_memo_hits++;
+    }
+    jobs.push_back(job);
     job_index.push_back(i);
   }
 
   std::vector<BatchVerifier::Outcome> outcomes;
   if (!jobs.empty()) {
-    // One recoverer per batch in practice; pick each job's own.
-    if (verifier != nullptr) {
-      // The jobs all share a key version in the non-adversarial case; a
-      // mixed-version batch degrades to per-version groups.
-      std::map<uint32_t, std::vector<size_t>> by_version;
-      for (size_t j = 0; j < jobs.size(); ++j) {
-        by_version[resp.responses[job_index[j]].vo.key_version].push_back(j);
+    // The jobs all share a key version in the non-adversarial case; a
+    // mixed-version batch degrades to per-version groups. One VerifyAll
+    // call per group so the batch's signature pool is recovered once per
+    // group, not once per job.
+    BatchVerifier inline_verifier(BatchVerifier::Options{0});
+    BatchVerifier* bv = verifier != nullptr ? verifier : &inline_verifier;
+    std::map<uint32_t, std::vector<size_t>> by_version;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      by_version[resp.responses[job_index[j]].vo.key_version].push_back(j);
+    }
+    outcomes.resize(jobs.size());
+    // The whole-pool recovery phase runs for the dominant key version
+    // only: a (necessarily adversarial) mixed-version batch would
+    // otherwise re-recover all P pool entries once per version group.
+    // Minority groups still verify correctly through the cache /
+    // per-reference path.
+    uint32_t pool_kv = 0;
+    size_t pool_kv_jobs = 0;
+    for (const auto& [kv, group] : by_version) {
+      if (group.size() > pool_kv_jobs) {
+        pool_kv_jobs = group.size();
+        pool_kv = kv;
       }
-      outcomes.resize(jobs.size());
-      for (auto& [kv, group] : by_version) {
-        Recoverer* rec = recoverers.at(kv).ValueOrDie().get();
-        std::vector<BatchVerifier::Job> group_jobs;
-        group_jobs.reserve(group.size());
-        for (size_t j : group) group_jobs.push_back(jobs[j]);
-        std::vector<BatchVerifier::Outcome> group_out =
-            verifier->VerifyAll(ds, rec, group_jobs);
-        for (size_t g = 0; g < group.size(); ++g) {
-          outcomes[group[g]] = std::move(group_out[g]);
-        }
-      }
-    } else {
-      BatchVerifier inline_verifier(BatchVerifier::Options{0});
-      outcomes.reserve(jobs.size());
-      for (size_t j = 0; j < jobs.size(); ++j) {
-        uint32_t kv = resp.responses[job_index[j]].vo.key_version;
-        Recoverer* rec = recoverers.at(kv).ValueOrDie().get();
-        outcomes.push_back(std::move(
-            inline_verifier.VerifyAll(ds, rec, {&jobs[j], 1})[0]));
+    }
+    for (auto& [kv, group] : by_version) {
+      Recoverer* rec = recoverers.at(kv).ValueOrDie().get();
+      std::vector<BatchVerifier::Job> group_jobs;
+      group_jobs.reserve(group.size());
+      for (size_t j : group) group_jobs.push_back(jobs[j]);
+      BatchVerifier::PoolContext ctx;
+      ctx.pool = kv == pool_kv ? resp.sig_pool.get() : nullptr;
+      ctx.cache = digest_cache_.get();
+      ctx.cache_domain = kv;
+      ctx.pool_counters = &out.crypto;
+      std::vector<BatchVerifier::Outcome> group_out =
+          bv->VerifyAll(ds, rec, group_jobs, fast_path ? &ctx : nullptr);
+      for (size_t g = 0; g < group.size(); ++g) {
+        outcomes[group[g]] = std::move(group_out[g]);
       }
     }
     for (size_t j = 0; j < jobs.size(); ++j) {
       Verified& v = out.results[job_index[j]];
       v.verification = std::move(outcomes[j].verification);
       v.counters = outcomes[j].counters;
+      out.crypto.Add(outcomes[j].counters);
+      if (fast_path && v.verification.ok() && outcomes[j].top_recovered) {
+        InsertTopMemo(batch.table, resp.replica_version,
+                      resp.responses[job_index[j]].vo.key_version,
+                      resp.responses[job_index[j]].vo.signed_top,
+                      outcomes[j].top_digest);
+      }
     }
   }
+  out.verify_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - verify_start)
+          .count());
 
   for (size_t i = 0; i < resp.responses.size(); ++i) {
     out.results[i].rows = std::move(resp.responses[i].rows);

@@ -4,9 +4,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "crypto/counting_recoverer.h"
 #include "crypto/key_manager.h"
+#include "crypto/recovered_digest_cache.h"
 #include "edge/edge_server.h"
 #include "edge/propagation/transport.h"
 #include "edge/query_service/batch_verifier.h"
@@ -30,7 +33,24 @@ namespace vbtree {
 class Client {
  public:
   Client(std::string db_name, KeyDirectory* keys)
-      : db_name_(std::move(db_name)), keys_(keys) {}
+      : db_name_(std::move(db_name)),
+        keys_(keys),
+        digest_cache_(std::make_shared<RecoveredDigestCache>()) {}
+
+  /// Replaces (or, with nullptr, disables) the cross-batch
+  /// recovered-digest cache. Client libraries embedding many Clients can
+  /// share one instance — the cache is internally sharded and
+  /// thread-safe even though the Client itself is not.
+  void set_digest_cache(std::shared_ptr<RecoveredDigestCache> cache) {
+    digest_cache_ = std::move(cache);
+  }
+  RecoveredDigestCache* digest_cache() const { return digest_cache_.get(); }
+
+  /// Disables/enables the whole verification fast path (pooled
+  /// once-per-batch recovery, digest cache, signed-top memo). On by
+  /// default; the load driver's --no-verify-cache control and A/B tests
+  /// turn it off to measure the plain Recover-per-reference path.
+  void set_verify_fast_path(bool enabled) { verify_fast_path_ = enabled; }
 
   /// Registers table metadata (obtained from the central server's catalog
   /// over an authenticated channel); required before querying the table.
@@ -75,6 +95,18 @@ class Client {
     /// per-component byte totals.
     BatchExecStats stats;
     size_t request_bytes = 0;
+    /// Client-side crypto work for the whole batch: the pool-recovery
+    /// phase (batch-level, not attributable to one query) plus every
+    /// per-query outcome. recovers == actual p() calls; cache fields
+    /// count digest-cache traffic.
+    CryptoCounters crypto;
+    /// Wall time spent authenticating (key resolution, pool recovery,
+    /// per-query verification) — the bench's verify_cost_us_per_query
+    /// numerator.
+    uint64_t verify_us = 0;
+    /// Signed-top recoveries skipped via the (table, replica_version)
+    /// memo.
+    uint64_t top_memo_hits = 0;
   };
 
   /// Ships a QueryBatch through `service`'s submission queue (full wire
@@ -103,12 +135,40 @@ class Client {
     channel_id_t down = kInvalidChannel;
   };
 
+  /// One memoized signed-top recovery: the digest `sig` decrypts to
+  /// under key version `key_version` (recovery is a pure function of the
+  /// bytes given the key, so replaying it is sound; see DESIGN.md §6).
+  struct TopEntry {
+    uint32_t key_version = 0;
+    Digest digest;
+  };
+  /// Signed-top recoveries observed at one (table's) replica version.
+  struct TopMemoEpoch {
+    uint64_t replica_version = 0;
+    std::unordered_map<Signature, TopEntry, SignatureHash> tops;
+  };
+
+  /// Memo probe/update for the signed-top fast path (newest-first epoch
+  /// list per table, bounded).
+  const Digest* LookupTopMemo(const std::string& table,
+                              uint64_t replica_version, uint32_t key_version,
+                              const Signature& sig) const;
+  void InsertTopMemo(const std::string& table, uint64_t replica_version,
+                     uint32_t key_version, const Signature& sig,
+                     const Digest& digest);
+
   std::string db_name_;
   KeyDirectory* keys_;
   std::map<std::string, TableMeta> tables_;
   std::map<std::string, EdgeChannels> channels_;
   /// Highest replica version seen per table (monotonic-read watermark).
   std::map<std::string, uint64_t> freshness_;
+  std::shared_ptr<RecoveredDigestCache> digest_cache_;
+  bool verify_fast_path_ = true;
+  /// Per-table signed-top memo: batches at one watermark pay the top
+  /// recovery once. Keeps the 2 newest replica versions so propagation
+  /// races don't thrash it.
+  std::map<std::string, std::vector<TopMemoEpoch>> top_memo_;
 };
 
 }  // namespace vbtree

@@ -581,6 +581,9 @@ Result<QueryBatchResponse> DeserializeQueryBatchResponse(
     (void)claimed_pool_entries;
     resp.stats.sig_pool_entries = pool.size();
     VBT_ASSIGN_OR_RETURN(resp.stats.vo_cache_hits, r->ReadVarint());
+    // Hand the pool to the client so verification can recover each
+    // distinct signature once (the VOs above carry its indices).
+    resp.sig_pool = std::make_shared<const SignaturePool>(std::move(pool));
   }
   return resp;
 }

@@ -83,6 +83,13 @@ struct QueryBatchResponse {
   std::vector<QueryResponse> responses;
   uint64_t replica_version = 0;
   BatchExecStats stats;
+  /// The batch's signature pool, retained by the wire-v2 deserializer so
+  /// the client's BatchVerifier can recover every distinct signature once
+  /// and have the VOs consume the digests by pool index. Null when the
+  /// response was built in-process or arrived as v1. Shared because
+  /// QueryBatchResponse is moved around while verification jobs hold
+  /// pool-index references into it.
+  std::shared_ptr<const SignaturePool> sig_pool;
 };
 
 /// An unsecured proxy server at the network edge (Fig. 2): holds replicas

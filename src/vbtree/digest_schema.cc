@@ -6,10 +6,14 @@ namespace vbtree {
 
 Digest DigestSchema::AttributeDigest(int64_t key, size_t col_idx,
                                      const Value& v) const {
-  if (counters_ != nullptr) counters_->attr_hashes++;
+  if (counters_ != nullptr) CryptoCounters::Tick(counters_->attr_hashes);
   // Length-prefixed fields make the preimage unambiguous (no separator
-  // collisions between e.g. table and attribute names).
-  ByteWriter w(64);
+  // collisions between e.g. table and attribute names). The preimage
+  // buffer is reused per thread: this runs once per returned attribute on
+  // the client verification hot path, where a fresh heap allocation per
+  // digest is measurable.
+  thread_local ByteWriter w(64);
+  w.Clear();
   w.PutString(db_name_);
   w.PutString(table_name_);
   w.PutString(schema_.column(col_idx).name);

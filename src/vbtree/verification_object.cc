@@ -26,7 +26,11 @@ void WriteSig(const Signature& s, ByteWriter* w, SignaturePool* pool) {
   }
 }
 
-Result<Signature> ReadSig(ByteReader* r, const SignaturePool* pool) {
+/// Reads one signature; when pooled, `*ref` additionally receives the
+/// pool index the signature was materialized from (kNoPoolRef inline).
+Result<Signature> ReadSig(ByteReader* r, const SignaturePool* pool,
+                          uint32_t* ref) {
+  if (ref != nullptr) *ref = kNoPoolRef;
   if (pool == nullptr) {
     VBT_ASSIGN_OR_RETURN(Slice s, r->ReadLengthPrefixed());
     return Signature(s.data(), s.data() + s.size());
@@ -38,6 +42,7 @@ Result<Signature> ReadSig(ByteReader* r, const SignaturePool* pool) {
                               " out of range (pool has " +
                               std::to_string(pool->size()) + " entries)");
   }
+  if (ref != nullptr) *ref = static_cast<uint32_t>(idx);
   return *entry;
 }
 
@@ -74,9 +79,12 @@ Result<std::unique_ptr<VONode>> DeserializeNode(ByteReader* r, int depth,
     n->result_count = static_cast<uint32_t>(rc);
     VBT_ASSIGN_OR_RETURN(uint64_t nf, r->ReadCount());
     n->filtered_tuple_sigs.reserve(nf);
+    if (pool != nullptr) n->filtered_tuple_refs.reserve(nf);
     for (uint64_t i = 0; i < nf; ++i) {
-      VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r, pool));
+      uint32_t ref = kNoPoolRef;
+      VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r, pool, &ref));
       n->filtered_tuple_sigs.push_back(std::move(s));
+      if (pool != nullptr) n->filtered_tuple_refs.push_back(ref);
     }
   } else {
     VBT_ASSIGN_OR_RETURN(uint64_t ni, r->ReadCount());
@@ -87,7 +95,7 @@ Result<std::unique_ptr<VONode>> DeserializeNode(ByteReader* r, int depth,
       if (covered != 0) {
         VBT_ASSIGN_OR_RETURN(item.covered, DeserializeNode(r, depth + 1, pool));
       } else {
-        VBT_ASSIGN_OR_RETURN(item.opaque, ReadSig(r, pool));
+        VBT_ASSIGN_OR_RETURN(item.opaque, ReadSig(r, pool, &item.opaque_ref));
       }
       n->items.push_back(std::move(item));
     }
@@ -100,6 +108,7 @@ std::unique_ptr<VONode> CloneNode(const VONode& n) {
   out->is_leaf = n.is_leaf;
   out->result_count = n.result_count;
   out->filtered_tuple_sigs = n.filtered_tuple_sigs;
+  out->filtered_tuple_refs = n.filtered_tuple_refs;
   out->items.reserve(n.items.size());
   for (const VONode::Item& item : n.items) {
     VONode::Item copy;
@@ -107,6 +116,7 @@ std::unique_ptr<VONode> CloneNode(const VONode& n) {
       copy.covered = CloneNode(*item.covered);
     } else {
       copy.opaque = item.opaque;
+      copy.opaque_ref = item.opaque_ref;
     }
     out->items.push_back(std::move(copy));
   }
@@ -130,7 +140,7 @@ Result<VerificationObject> DeserializeImpl(ByteReader* r,
                                            const SignaturePool* pool) {
   VerificationObject vo;
   VBT_ASSIGN_OR_RETURN(vo.key_version, r->ReadU32());
-  VBT_ASSIGN_OR_RETURN(vo.signed_top, ReadSig(r, pool));
+  VBT_ASSIGN_OR_RETURN(vo.signed_top, ReadSig(r, pool, &vo.signed_top_ref));
   VBT_ASSIGN_OR_RETURN(uint8_t has_skeleton, r->ReadU8());
   if (has_skeleton != 0) {
     VBT_ASSIGN_OR_RETURN(vo.skeleton, DeserializeNode(r, 0, pool));
@@ -139,9 +149,12 @@ Result<VerificationObject> DeserializeImpl(ByteReader* r,
   vo.num_filtered_cols = static_cast<uint32_t>(nfc);
   VBT_ASSIGN_OR_RETURN(uint64_t np, r->ReadCount());
   vo.projected_attr_sigs.reserve(np);
+  if (pool != nullptr) vo.projected_attr_refs.reserve(np);
   for (uint64_t i = 0; i < np; ++i) {
-    VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r, pool));
+    uint32_t ref = kNoPoolRef;
+    VBT_ASSIGN_OR_RETURN(Signature s, ReadSig(r, pool, &ref));
     vo.projected_attr_sigs.push_back(std::move(s));
+    if (pool != nullptr) vo.projected_attr_refs.push_back(ref);
   }
   return vo;
 }
@@ -211,9 +224,11 @@ VerificationObject VerificationObject::Clone() const {
   VerificationObject out;
   out.key_version = key_version;
   out.signed_top = signed_top;
+  out.signed_top_ref = signed_top_ref;
   if (skeleton != nullptr) out.skeleton = CloneNode(*skeleton);
   out.num_filtered_cols = num_filtered_cols;
   out.projected_attr_sigs = projected_attr_sigs;
+  out.projected_attr_refs = projected_attr_refs;
   return out;
 }
 

@@ -48,6 +48,10 @@ class SignaturePool {
   size_t entry_bytes_ = 0;
 };
 
+/// Sentinel for "this signature did not come from a batch pool" in the
+/// pool-reference fields below.
+inline constexpr uint32_t kNoPoolRef = 0xFFFFFFFFu;
+
 /// One node of the enveloping subtree's skeleton.
 ///
 /// The paper describes the VO as "simply a set of signed digests" thanks
@@ -67,6 +71,11 @@ struct VONode {
   // This is the D_S contribution of Fig. 5/6.
   uint32_t result_count = 0;
   std::vector<Signature> filtered_tuple_sigs;
+  /// Pool indices the sigs above were materialized from (parallel to
+  /// filtered_tuple_sigs; filled by DeserializePooled, empty otherwise).
+  /// Pure client-side bookkeeping for the once-per-pool verification fast
+  /// path — never serialized, and each entry is kNoPoolRef when unknown.
+  std::vector<uint32_t> filtered_tuple_refs;
 
   // Internal payload: one item per child, in tree order. A child whose key
   // span overlaps the result recurses (`covered`); any other branch is
@@ -74,6 +83,8 @@ struct VONode {
   struct Item {
     std::unique_ptr<VONode> covered;  // set for overlapping children
     Signature opaque;                 // set for non-overlapping branches
+    /// Pool index `opaque` was materialized from (see filtered_tuple_refs).
+    uint32_t opaque_ref = kNoPoolRef;
 
     bool is_covered() const { return covered != nullptr; }
   };
@@ -91,6 +102,9 @@ struct VerificationObject {
 
   /// s(D_N) for the top node N of the enveloping subtree.
   Signature signed_top;
+  /// Pool index signed_top was materialized from (kNoPoolRef when the VO
+  /// did not arrive through a batch pool).
+  uint32_t signed_top_ref = kNoPoolRef;
 
   std::unique_ptr<VONode> skeleton;
 
@@ -100,6 +114,9 @@ struct VerificationObject {
   /// tuple digest.
   uint32_t num_filtered_cols = 0;
   std::vector<Signature> projected_attr_sigs;
+  /// Pool indices for projected_attr_sigs (parallel when pooled, empty
+  /// otherwise; see filtered_tuple_refs).
+  std::vector<uint32_t> projected_attr_refs;
 
   /// Total number of signed digests carried (|D_S| + |D_P| + 1); the unit
   /// the paper's communication formulas count.

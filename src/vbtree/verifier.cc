@@ -4,6 +4,26 @@
 
 namespace vbtree {
 
+Result<Digest> Verifier::ResolveSig(const Signature& sig, uint32_t ref) {
+  if (ref != kNoPoolRef && ref < pool_.size()) {
+    // The deserializer materialized `sig` from pool entry `ref`, so the
+    // once-per-batch recovery at that index is exactly p(sig). A VO that
+    // lies about its refs can only point at a different pool entry, whose
+    // digest then fails the digest-equation comparison — same outcome as
+    // shipping the wrong signature inline.
+    const RecoveredSignature& entry = pool_[ref];
+    if (!entry.status.ok()) return entry.status;
+    return entry.digest;
+  }
+  Digest d;
+  if (cache_ != nullptr && cache_->Lookup(cache_domain_, sig, &d, counters_)) {
+    return d;
+  }
+  VBT_ASSIGN_OR_RETURN(d, recoverer_->Recover(sig));
+  if (cache_ != nullptr) cache_->Insert(cache_domain_, sig, d, counters_);
+  return d;
+}
+
 Result<Digest> Verifier::ComputeNodeDigest(
     const VONode& node, const std::vector<ResultRow>& rows,
     const SelectQuery& q, const std::vector<size_t>& filtered_cols,
@@ -35,16 +55,23 @@ Result<Digest> Verifier::ComputeNodeDigest(
               ds_.AttributeDigest(row.key, proj_cols[p], row.values[p]));
         }
         for (size_t f = 0; f < filtered_cols.size(); ++f) {
-          const Signature& sig =
-              vo.projected_attr_sigs[row_idx * filtered_cols.size() + f];
-          VBT_ASSIGN_OR_RETURN(Digest d, recoverer_->Recover(sig));
+          const size_t sig_idx = row_idx * filtered_cols.size() + f;
+          const Signature& sig = vo.projected_attr_sigs[sig_idx];
+          const uint32_t ref = sig_idx < vo.projected_attr_refs.size()
+                                   ? vo.projected_attr_refs[sig_idx]
+                                   : kNoPoolRef;
+          VBT_ASSIGN_OR_RETURN(Digest d, ResolveSig(sig, ref));
           attrs.push_back(d);
         }
       }
       parts.push_back(ds_.CombineDigests(attrs));
     }
-    for (const Signature& sig : node.filtered_tuple_sigs) {
-      VBT_ASSIGN_OR_RETURN(Digest d, recoverer_->Recover(sig));
+    for (size_t i = 0; i < node.filtered_tuple_sigs.size(); ++i) {
+      const uint32_t ref = i < node.filtered_tuple_refs.size()
+                               ? node.filtered_tuple_refs[i]
+                               : kNoPoolRef;
+      VBT_ASSIGN_OR_RETURN(Digest d,
+                           ResolveSig(node.filtered_tuple_sigs[i], ref));
       parts.push_back(d);
     }
     return ds_.CombineDigests(parts);
@@ -58,7 +85,7 @@ Result<Digest> Verifier::ComputeNodeDigest(
           ComputeNodeDigest(*item.covered, rows, q, filtered_cols, vo, cursor));
       parts.push_back(d);
     } else {
-      VBT_ASSIGN_OR_RETURN(Digest d, recoverer_->Recover(item.opaque));
+      VBT_ASSIGN_OR_RETURN(Digest d, ResolveSig(item.opaque, item.opaque_ref));
       parts.push_back(d);
     }
   }
@@ -68,6 +95,7 @@ Result<Digest> Verifier::ComputeNodeDigest(
 Status Verifier::VerifySelect(const SelectQuery& query,
                               const std::vector<ResultRow>& rows,
                               const VerificationObject& vo) {
+  top_valid_ = false;
   SelectQuery q = query;
   q.NormalizeProjection();
   const size_t m = ds_.schema().num_columns();
@@ -136,8 +164,18 @@ Status Verifier::VerifySelect(const SelectQuery& query,
         "returned tuples not all accounted for by the VO");
   }
 
-  // Recover s(D_N) and compare (Lemma 1 / Lemma 2 check).
-  VBT_ASSIGN_OR_RETURN(Digest expected, recoverer_->Recover(vo.signed_top));
+  // Recover s(D_N) and compare (Lemma 1 / Lemma 2 check). A caller-known
+  // top digest (memoized recovery of byte-identical signature bytes)
+  // skips the recovery but never the comparison.
+  Digest expected;
+  if (known_top_ != nullptr) {
+    expected = *known_top_;
+  } else {
+    VBT_ASSIGN_OR_RETURN(expected,
+                         ResolveSig(vo.signed_top, vo.signed_top_ref));
+    recovered_top_ = expected;
+    top_valid_ = true;
+  }
   if (!(computed == expected)) {
     return Status::VerificationFailure(
         "digest mismatch: query result failed authentication");

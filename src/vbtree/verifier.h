@@ -1,14 +1,24 @@
 #ifndef VBTREE_VBTREE_VERIFIER_H_
 #define VBTREE_VBTREE_VERIFIER_H_
 
+#include <span>
 #include <vector>
 
+#include "crypto/recovered_digest_cache.h"
 #include "crypto/signer.h"
 #include "query/predicate.h"
 #include "vbtree/digest_schema.h"
 #include "vbtree/verification_object.h"
 
 namespace vbtree {
+
+/// Outcome of recovering one batch-pool signature: computed once per
+/// batch by the BatchVerifier and consumed positionally (by pool index)
+/// by every VO that references the entry.
+struct RecoveredSignature {
+  Status status = Status::OK();
+  Digest digest;
+};
 
 /// Client-side result authentication (Lemmas 1 and 2 of §3.3).
 ///
@@ -28,6 +38,22 @@ namespace vbtree {
 /// *omits* qualifying tuples by reclassifying them as gaps is not
 /// detected — the threat model assumes servers do not maliciously drop
 /// results; see DESIGN.md.)
+///
+/// Verification fast path (DESIGN.md §6): signature recovery — the
+/// client's dominant cost — is layered so each Cost_s is paid at most
+/// once per distinct signature:
+///  1. a VO that arrived through a batch SignaturePool carries the pool
+///     index of every signature; supply the batch's once-recovered
+///     digests via set_recovered_pool and the verifier consumes them
+///     positionally instead of calling Recover per reference;
+///  2. a cross-batch RecoveredDigestCache (set_digest_cache) memoizes
+///     byte-keyed recoveries for signatures not resolved by the pool;
+///  3. set_known_top short-circuits the final s(D_N) recovery when the
+///     caller already recovered the identical signature bytes (the
+///     client's per-(table, replica_version) top memo).
+/// All three are sound because p() is a deterministic function of the
+/// signature bytes under one public key; none of them bypasses the
+/// digest-equation comparison itself.
 class Verifier {
  public:
   /// `digest_schema` must match the central server's (same db/table/
@@ -36,8 +62,38 @@ class Verifier {
   Verifier(DigestSchema digest_schema, Recoverer* recoverer)
       : ds_(std::move(digest_schema)), recoverer_(recoverer) {}
 
-  /// Routes Cost_h/Cost_k accounting (Cost_s accrues in the Recoverer).
-  void set_counters(CryptoCounters* counters) { ds_.set_counters(counters); }
+  /// Routes Cost_h/Cost_k accounting, plus this verifier's digest-cache
+  /// traffic (Cost_s accrues in the Recoverer).
+  void set_counters(CryptoCounters* counters) {
+    counters_ = counters;
+    ds_.set_counters(counters);
+  }
+
+  /// Supplies the once-per-batch recovered digests of the signature pool
+  /// the VO's *_ref fields index into. The span must stay alive for the
+  /// duration of VerifySelect.
+  void set_recovered_pool(std::span<const RecoveredSignature> pool) {
+    pool_ = pool;
+  }
+
+  /// Supplies the cross-batch recovered-digest cache. `domain` is the
+  /// signing-key version the signatures resolve under (entries from
+  /// other key epochs never hit).
+  void set_digest_cache(RecoveredDigestCache* cache, uint64_t domain) {
+    cache_ = cache;
+    cache_domain_ = domain;
+  }
+
+  /// Short-circuits the final signed-top recovery with an
+  /// already-recovered digest for byte-identical signature bytes.
+  void set_known_top(const Digest* top) { known_top_ = top; }
+
+  /// After a VerifySelect that resolved the signed top itself (known_top
+  /// not used), the recovered digest — the caller's memo feed. Null
+  /// otherwise.
+  const Digest* recovered_top() const {
+    return top_valid_ ? &recovered_top_ : nullptr;
+  }
 
   /// Returns OK iff the result authenticates against the VO.
   Status VerifySelect(const SelectQuery& query,
@@ -45,6 +101,10 @@ class Verifier {
                       const VerificationObject& vo);
 
  private:
+  /// Recovers the digest a signature decrypts to, cheapest source first:
+  /// batch pool (by index), byte-keyed cache, then the Recoverer.
+  Result<Digest> ResolveSig(const Signature& sig, uint32_t ref);
+
   Result<Digest> ComputeNodeDigest(const VONode& node,
                                    const std::vector<ResultRow>& rows,
                                    const SelectQuery& q,
@@ -54,6 +114,13 @@ class Verifier {
 
   DigestSchema ds_;
   Recoverer* recoverer_;
+  CryptoCounters* counters_ = nullptr;
+  std::span<const RecoveredSignature> pool_;
+  RecoveredDigestCache* cache_ = nullptr;
+  uint64_t cache_domain_ = 0;
+  const Digest* known_top_ = nullptr;
+  Digest recovered_top_;
+  bool top_valid_ = false;
 };
 
 }  // namespace vbtree
