@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +49,10 @@ struct Config {
   size_t batch = 8;
   double seconds = 2.0;
   int64_t range_span = 16;
+  /// Key-range shards for the events table (1 = the pre-sharding
+  /// monolith). Shards >1 run the full scatter-gather path: signed
+  /// PartitionMap, per-shard VOs, per-shard propagation streams.
+  size_t shards = 1;
   /// Authenticate every Nth batch end-to-end through Client::QueryBatched;
   /// the rest are driven through the service unverified. Default 1: with
   /// the client verification fast path (pooled once-per-batch recovery +
@@ -105,6 +110,10 @@ struct RunResult {
   uint64_t verify_us_total = 0;
   double verify_coverage = 0;
   double verify_cost_us_per_query = 0;
+  /// Scatter-gather telemetry (shards > 1): wall time authenticating
+  /// partition maps, and sub-queries executed per shard id.
+  uint64_t map_verify_us_total = 0;
+  std::map<uint32_t, uint64_t> shard_queries;
 };
 
 double Percentile(std::vector<uint64_t>* v, double p) {
@@ -159,6 +168,8 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
     CryptoCounters crypto;
     uint64_t verify_us = 0;
     uint64_t top_memo_hits = 0;
+    uint64_t map_verify_us = 0;
+    std::map<uint32_t, uint64_t> shard_queries;
   };
   std::vector<ClientTally> tallies(cfg.clients);
   std::vector<std::thread> client_threads;
@@ -170,7 +181,11 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
       ClientTally& tally = tallies[c];
       Client client("edgedb", central->key_directory());
       client.set_verify_fast_path(cfg.verify_cache);
-      client.RegisterTable("events", schema);
+      if (cfg.shards > 1) {
+        client.RegisterShardedTable("events", schema);
+      } else {
+        client.RegisterTable("events", schema);
+      }
       QueryService* service = services[c % services.size()].get();
       Rng rng(77 + c);
       // Zipf-skewed range starts: hot windows recur within and across
@@ -204,6 +219,10 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
           tally.crypto.Add(out->crypto);
           tally.verify_us += out->verify_us;
           tally.top_memo_hits += out->top_memo_hits;
+          tally.map_verify_us += out->map_verify_us;
+          for (const auto& [shard_id, count] : out->shard_query_counts) {
+            tally.shard_queries[shard_id] += count;
+          }
           if (out->stale_replica) tally.stale_batches++;
           for (const auto& v : out->results) {
             tally.rows += v.rows.size();
@@ -222,14 +241,28 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
           SerializeQueryBatch(nb, &req);
           auto bytes = service->SubmitBatchBytes(req.TakeBuffer()).get();
           uint64_t us = static_cast<uint64_t>(t.ElapsedMs() * 1000.0);
-          if (!bytes.ok()) continue;
+          if (!bytes.ok() || bytes->empty()) continue;
           ByteReader r((Slice(*bytes)));
-          auto out = DeserializeQueryBatchResponse(&r, schema, nb.queries);
-          if (!out.ok()) continue;
-          tally.latencies_us.push_back(us);
-          tally.batches++;
-          tally.queries += out->responses.size();
-          for (const auto& qr : out->responses) tally.rows += qr.rows.size();
+          if ((*bytes)[0] == static_cast<uint8_t>(BatchWire::kSharded)) {
+            auto out =
+                DeserializeShardedQueryBatchResponse(&r, schema, nb.queries);
+            if (!out.ok()) continue;
+            tally.latencies_us.push_back(us);
+            tally.batches++;
+            tally.queries += nb.queries.size();
+            for (const auto& g : out->groups) {
+              for (const auto& qr : g.resp.responses) {
+                tally.rows += qr.rows.size();
+              }
+            }
+          } else {
+            auto out = DeserializeQueryBatchResponse(&r, schema, nb.queries);
+            if (!out.ok()) continue;
+            tally.latencies_us.push_back(us);
+            tally.batches++;
+            tally.queries += out->responses.size();
+            for (const auto& qr : out->responses) tally.rows += qr.rows.size();
+          }
         }
       }
     });
@@ -256,6 +289,10 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
     run.digest_cache_evictions += t.crypto.digest_cache_evictions.load();
     run.top_memo_hits += t.top_memo_hits;
     run.verify_us_total += t.verify_us;
+    run.map_verify_us_total += t.map_verify_us;
+    for (const auto& [shard_id, count] : t.shard_queries) {
+      run.shard_queries[shard_id] += count;
+    }
     latencies.insert(latencies.end(), t.latencies_us.begin(),
                      t.latencies_us.end());
   }
@@ -311,10 +348,16 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
       batch.queries.push_back(
           SelectQuery{"events", KeyRange{lo, lo + cfg.range_span}, {}, {}});
     }
-    auto resp = (*edges)[0]->HandleQueryBatch(batch);
-    if (resp.ok()) {
-      run.shared_fetch_hits = resp->stats.shared_fetch_hits;
-      run.tuple_fetches = resp->stats.tuple_fetches;
+    auto record = [&run](const BatchExecStats& stats) {
+      run.shared_fetch_hits = stats.shared_fetch_hits;
+      run.tuple_fetches = stats.tuple_fetches;
+    };
+    if (cfg.shards > 1) {
+      auto resp = (*edges)[0]->HandleQueryBatchSharded(batch);
+      if (resp.ok()) record(resp->stats);
+    } else {
+      auto resp = (*edges)[0]->HandleQueryBatch(batch);
+      if (resp.ok()) record(resp->stats);
     }
   }
   return run;
@@ -325,6 +368,7 @@ void PrintJson(const Config& cfg, size_t n_tuples,
   std::printf("{\n");
   std::printf("  \"bench\": \"edge_throughput\",\n");
   std::printf("  \"tuples\": %zu,\n", n_tuples);
+  std::printf("  \"shards\": %zu,\n", cfg.shards);
   std::printf("  \"edges\": %zu,\n", cfg.edges);
   std::printf("  \"clients\": %zu,\n", cfg.clients);
   std::printf("  \"batch\": %zu,\n", cfg.batch);
@@ -359,7 +403,8 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                 "\"digest_cache_misses\": %llu, "
                 "\"digest_cache_evictions\": %llu, "
                 "\"digest_cache_hit_rate\": %.3f, "
-                "\"top_memo_hits\": %llu}%s\n",
+                "\"top_memo_hits\": %llu, "
+                "\"map_verify_us\": %llu}%s\n",
                 r.workers, r.seconds, r.qps,
                 static_cast<unsigned long long>(r.batches),
                 static_cast<unsigned long long>(r.queries),
@@ -389,6 +434,7 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                                               r.digest_cache_misses)
                     : 0.0,
                 static_cast<unsigned long long>(r.top_memo_hits),
+                static_cast<unsigned long long>(r.map_verify_us_total),
                 i + 1 < runs.size() ? "," : "");
   }
   std::printf("  ],\n");
@@ -434,11 +480,31 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                               ? 0
                               : last->digest_cache_hits +
                                     last->digest_cache_misses;
-  std::printf("  \"digest_cache_hit_rate\": %.3f\n",
+  std::printf("  \"digest_cache_hit_rate\": %.3f,\n",
               cache_probes > 0
                   ? static_cast<double>(last->digest_cache_hits) /
                         static_cast<double>(cache_probes)
                   : 0.0);
+  // Scatter-gather overhead: wall time authenticating partition maps per
+  // verified query (~0 once the byte-identical map cache is warm) and
+  // per-shard sub-query throughput from the last run.
+  std::printf("  \"map_verify_us_per_query\": %.3f,\n",
+              (last != nullptr && last->verified_queries > 0)
+                  ? static_cast<double>(last->map_verify_us_total) /
+                        static_cast<double>(last->verified_queries)
+                  : 0.0);
+  std::printf("  \"per_shard_qps\": {");
+  if (last != nullptr) {
+    bool first = true;
+    for (const auto& [shard_id, count] : last->shard_queries) {
+      std::printf("%s\"%u\": %.1f", first ? "" : ", ", shard_id,
+                  last->seconds > 0
+                      ? static_cast<double>(count) / last->seconds
+                      : 0.0);
+      first = false;
+    }
+  }
+  std::printf("}\n");
   std::printf("}\n");
 }
 
@@ -463,6 +529,9 @@ int main(int argc, char** argv) {
       cfg.seconds = std::atof(next());
     } else if (arg == "--range") {
       cfg.range_span = std::atol(next());
+    } else if (arg == "--shards") {
+      cfg.shards = static_cast<size_t>(std::atol(next()));
+      if (cfg.shards == 0) cfg.shards = 1;
     } else if (arg == "--verify-sample") {
       cfg.verify_sample = static_cast<size_t>(std::atol(next()));
       if (cfg.verify_sample == 0) cfg.verify_sample = 1;
@@ -494,7 +563,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: edge_throughput [--json] [--edges K] [--clients M]"
                    " [--workers 1,8] [--batch B] [--seconds S] [--range N]"
-                   " [--verify-sample N] [--no-verify-cache]"
+                   " [--shards N] [--verify-sample N] [--no-verify-cache]"
                    " [--stall-us U] [--queue CAP] [--churn-interval-us U]"
                    " [--zipf THETA]\n");
       return 2;
@@ -518,7 +587,13 @@ int main(int argc, char** argv) {
   }
   CentralServer& central = **central_or;
   Schema schema = PaperSchema();
-  if (!central.CreateTable("events", schema).ok()) return 1;
+  // Even key-range splits over the loaded domain; churn keys (> n_tuples)
+  // land in the last shard, exercising one hot per-shard delta stream.
+  if (!central.CreateTable("events", schema,
+                           EvenSplitPoints(n_tuples, cfg.shards))
+           .ok()) {
+    return 1;
+  }
   {
     Rng rng(42);
     std::vector<Tuple> rows;

@@ -49,11 +49,18 @@ if [[ "$MODE" == "bench-smoke" ]]; then
   #    Cost_s gate: the fast path's whole point is paying fewer
   #    signature recoveries, and the count is workload-, not
   #    host-dependent;
-  #  * verify_cost_us_per_query <= baseline * 1.10 (when the baseline
+  #  * verify_cost_us_per_query <= baseline * 1.25 (when the baseline
   #    carries the field — bootstrap runs only assert presence). This
   #    one is wall-clock and therefore host-sensitive: the committed
   #    baseline must be regenerated (./ci.sh --bench-smoke, commit the
-  #    JSON) whenever the reference host changes.
+  #    JSON) whenever the reference host changes. The 25% band reflects
+  #    measured run-to-run variance on the reference host (single-CPU
+  #    container; six identical back-to-back runs spanned 121–168 us/q,
+  #    and an interleaved A/B of two builds overlapped completely —
+  #    126/135/184 vs 135/164/137), so a 10% band was pure noise. The
+  #    deterministic recover_calls_per_query gate above is the tight
+  #    one — a real fast-path regression moves the operation count, not
+  #    just the wall clock.
   python3 - "$BASELINE" <<'PY'
 import json, sys
 new = json.load(open("BENCH_edge_throughput.json"))
@@ -111,7 +118,7 @@ bvc = base.get("verify_cost_us_per_query")
 if bvc is None or float(bvc) <= 0:
     print("verify_cost_us_per_query=%.1f (no baseline; presence check only)"
           % float(vc))
-elif float(vc) > float(bvc) * 1.10:
+elif float(vc) > float(bvc) * 1.25:
     sys.exit("FAIL: verify_cost_us_per_query regressed: %.1f vs baseline %.1f "
              "(+%.1f%%)" % (float(vc), float(bvc),
                             100.0 * (float(vc) / float(bvc) - 1.0)))
@@ -121,6 +128,47 @@ else:
 PY
   rm -f "$BASELINE"
   echo "wrote BENCH_edge_throughput.json"
+  # Scatter-gather smoke: the same closed loop at 4 key-range shards.
+  # Gates (same host, same configuration — so the comparison is fair):
+  #  * verify_failures == 0 and verify_coverage == 1.0 at shards=4 —
+  #    every scattered answer authenticates per shard against the signed
+  #    PartitionMap;
+  #  * sharded qps >= 90% of the fresh single-shard run above (the
+  #    scatter layer must not tax throughput; 10% slack absorbs
+  #    closed-loop noise).
+  VBT_BENCH_TUPLES="${VBT_BENCH_TUPLES:-2000}" \
+    "./$BUILD_DIR/bench/edge_throughput" --json --seconds 1.5 --shards 4 \
+    > BENCH_edge_throughput_shards4.json
+  python3 -m json.tool BENCH_edge_throughput_shards4.json > /dev/null
+  python3 - <<'PY'
+import json, sys
+mono = json.load(open("BENCH_edge_throughput.json"))
+shard = json.load(open("BENCH_edge_throughput_shards4.json"))
+
+if shard.get("shards") != 4:
+    sys.exit("FAIL: shards-4 run did not record shards=4")
+fails = sum(int(r.get("verify_failures", 0)) for r in shard.get("runs", []))
+if fails:
+    sys.exit("FAIL: %d verification failures in the shards=4 smoke run" % fails)
+q = sum(int(r.get("queries", 0)) for r in shard.get("runs", []))
+vq = sum(int(r.get("verified_queries", 0)) for r in shard.get("runs", []))
+if q == 0 or vq != q:
+    sys.exit("FAIL: shards=4 verify_coverage %d/%d" % (vq, q))
+print("shards=4 verify: %d/%d queries authenticated, 0 failures" % (vq, q))
+
+if "per_shard_qps" not in shard or not shard["per_shard_qps"]:
+    sys.exit("FAIL: per_shard_qps missing/empty in shards-4 JSON")
+if "map_verify_us_per_query" not in shard:
+    sys.exit("FAIL: map_verify_us_per_query missing in shards-4 JSON")
+mono_qps = max(float(r.get("qps", 0)) for r in mono.get("runs", []))
+shard_qps = max(float(r.get("qps", 0)) for r in shard.get("runs", []))
+if mono_qps > 0 and shard_qps < 0.90 * mono_qps:
+    sys.exit("FAIL: shards=4 qps %.1f < 90%% of single-shard qps %.1f"
+             % (shard_qps, mono_qps))
+print("shards=4 qps %.1f vs single-shard %.1f: OK (per-shard: %s)"
+      % (shard_qps, mono_qps, shard["per_shard_qps"]))
+PY
+  echo "wrote BENCH_edge_throughput_shards4.json"
   # Crypto fast-path microbench: Recover-vs-cache throughput on this
   # host. Uploaded as a CI artifact (not committed, not gated — the
   # ratios are host-dependent).

@@ -80,6 +80,9 @@ class Status {
   const std::string& message() const { return msg_; }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
   bool IsVerificationFailure() const {
     return code_ == StatusCode::kVerificationFailure;
   }

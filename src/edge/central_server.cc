@@ -1,6 +1,7 @@
 #include "edge/central_server.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "query/executor.h"
 
@@ -8,6 +9,8 @@ namespace vbtree {
 
 namespace {
 constexpr uint32_t kSnapshotMagic = 0x50414E53;  // "SNAP"
+constexpr int64_t kMinKey = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMaxKey = std::numeric_limits<int64_t>::max();
 }  // namespace
 
 Result<std::unique_ptr<CentralServer>> CentralServer::Create(Options options) {
@@ -65,18 +68,117 @@ Result<const CentralServer::TableState*> CentralServer::GetTableState(
   return it->second.get();
 }
 
-Result<table_id_t> CentralServer::CreateTable(const std::string& name,
-                                              Schema schema) {
-  std::lock_guard<std::mutex> dml(dml_mu_);
-  VBT_ASSIGN_OR_RETURN(table_id_t id, catalog_.CreateTable(name, schema));
-  auto state = std::make_unique<TableState>(options_.update_log_window);
-  VBT_ASSIGN_OR_RETURN(state->heap, TableHeap::Create(pool_.get(), schema));
+Result<std::shared_ptr<CentralServer::ShardState>> CentralServer::ResolveShard(
+    const std::string& dist_name) const {
+  std::string base = dist_name;
+  uint32_t shard_id = 0;
+  bool qualified = PartitionMap::ParseShardName(dist_name, &base, &shard_id);
+  VBT_ASSIGN_OR_RETURN(const TableState* table, GetTableState(base));
+  std::shared_lock layout(table->layout_mu);
+  for (const auto& shard : table->shards) {
+    if (shard->shard_id == shard_id) return shard;
+  }
+  return Status::NotFound(qualified
+                              ? "no shard named " + dist_name
+                              : "table " + base +
+                                    " is sharded; address shards by "
+                                    "distribution name");
+}
+
+std::shared_ptr<CentralServer::ShardState> CentralServer::ShardForKey(
+    const TableState& table, int64_t key) const {
+  std::shared_lock layout(table.layout_mu);
+  for (const auto& shard : table.shards) {
+    if (key >= shard->lo && key <= shard->hi) return shard;
+  }
+  return nullptr;  // unreachable for a well-formed layout
+}
+
+Result<std::shared_ptr<CentralServer::ShardState>> CentralServer::MakeShard(
+    const std::string& table, const Schema& schema, uint32_t shard_id,
+    int64_t lo, int64_t hi) {
+  auto shard = std::make_shared<ShardState>(options_.update_log_window);
+  shard->shard_id = shard_id;
+  shard->lo = lo;
+  shard->hi = hi;
+  shard->dist_name = PartitionMap::ShardName(table, shard_id);
+  VBT_ASSIGN_OR_RETURN(shard->heap, TableHeap::Create(pool_.get(), schema));
   VBTreeOptions opts = options_.tree_opts;
   opts.key_version = key_version_;
-  DigestSchema ds(options_.db_name, name, schema, opts.hash_algo,
+  // The digest schema is qualified by the shard's distribution name:
+  // signatures minted for this shard verify ONLY against this shard.
+  DigestSchema ds(options_.db_name, shard->dist_name, schema, opts.hash_algo,
                   opts.modulus_bits);
-  state->tree = std::make_unique<VBTree>(std::move(ds), opts, current_signer_,
+  shard->tree = std::make_unique<VBTree>(std::move(ds), opts, current_signer_,
                                          &lock_manager_);
+  return shard;
+}
+
+Status CentralServer::SignMap(TableState* table) {
+  table->map.db_name = options_.db_name;
+  table->map.key_version = key_version_;
+  table->map.shards.clear();
+  for (const auto& shard : table->shards) {
+    table->map.shards.push_back(
+        ShardEntry{shard->shard_id, shard->lo, shard->hi});
+  }
+  VBT_RETURN_NOT_OK(table->map.CheckWellFormed());
+  Digest content = table->map.ContentDigest(options_.tree_opts.hash_algo);
+  VBT_ASSIGN_OR_RETURN(table->map.sig, current_signer_->Sign(content));
+  ByteWriter w(128);
+  table->map.Serialize(&w);
+  table->map_bytes =
+      std::make_shared<const std::vector<uint8_t>>(w.TakeBuffer());
+  return Status::OK();
+}
+
+Result<table_id_t> CentralServer::CreateTable(const std::string& name,
+                                              Schema schema) {
+  return CreateTable(name, std::move(schema), {});
+}
+
+Result<table_id_t> CentralServer::CreateTable(
+    const std::string& name, Schema schema,
+    const std::vector<int64_t>& split_points) {
+  if (name.find('#') != std::string::npos) {
+    return Status::InvalidArgument(
+        "table names must not contain '#' (reserved for shard qualifiers)");
+  }
+  for (size_t i = 0; i < split_points.size(); ++i) {
+    if (split_points[i] == kMinKey) {
+      return Status::InvalidArgument("split point at INT64_MIN is a no-op");
+    }
+    if (i > 0 && split_points[i] <= split_points[i - 1]) {
+      return Status::InvalidArgument("split points must be strictly ascending");
+    }
+  }
+  std::lock_guard<std::mutex> dml(dml_mu_);
+  VBT_ASSIGN_OR_RETURN(table_id_t id, catalog_.CreateTable(name, schema));
+  auto state = std::make_unique<TableState>();
+  state->schema = schema;
+  state->map.table = name;
+  state->map.epoch = 1;
+  if (split_points.empty()) {
+    // Sole shard id 0: plain table name, digest-compatible with the
+    // pre-sharding layout.
+    VBT_ASSIGN_OR_RETURN(auto shard,
+                         MakeShard(name, schema, 0, kMinKey, kMaxKey));
+    state->shards.push_back(std::move(shard));
+  } else {
+    int64_t lo = kMinKey;
+    for (size_t i = 0; i <= split_points.size(); ++i) {
+      // The split point itself starts the next shard, so this shard ends
+      // one key before it (the final shard pins INT64_MAX).
+      const bool last = i == split_points.size();
+      int64_t hi = last ? kMaxKey : split_points[i] - 1;
+      VBT_ASSIGN_OR_RETURN(
+          auto shard,
+          MakeShard(name, schema, state->next_shard_id++, lo, hi));
+      state->shards.push_back(std::move(shard));
+      if (!last) lo = split_points[i];
+    }
+  }
+  VBT_RETURN_NOT_OK(SignMap(state.get()));
   {
     std::unique_lock maps(maps_mu_);
     tables_[name] = std::move(state);
@@ -89,25 +191,40 @@ Status CentralServer::LoadTable(const std::string& name,
                                 std::vector<Tuple> rows) {
   std::lock_guard<std::mutex> dml(dml_mu_);
   VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
-  std::unique_lock lock(state->mu);
   std::sort(rows.begin(), rows.end(),
             [](const Tuple& a, const Tuple& b) { return a.key() < b.key(); });
-  std::vector<std::pair<Tuple, Rid>> pairs;
-  pairs.reserve(rows.size());
-  for (Tuple& t : rows) {
-    VBT_ASSIGN_OR_RETURN(Rid rid, state->heap->Insert(t));
-    pairs.emplace_back(std::move(t), rid);
+  std::shared_lock layout(state->layout_mu);
+  // Rows are sorted, shards ascend by range: one pass routes each
+  // contiguous run to its owning shard.
+  size_t r = 0;
+  for (const auto& shard : state->shards) {
+    std::vector<std::pair<Tuple, Rid>> pairs;
+    std::unique_lock lock(shard->mu);
+    while (r < rows.size() && rows[r].key() <= shard->hi) {
+      VBT_ASSIGN_OR_RETURN(Rid rid, shard->heap->Insert(rows[r]));
+      pairs.emplace_back(std::move(rows[r]), rid);
+      ++r;
+    }
+    if (!pairs.empty()) {
+      VBT_RETURN_NOT_OK(shard->tree->BulkLoad(pairs));
+      shard->log.Reset(shard->tree->version());
+    }
   }
-  return state->tree->BulkLoad(pairs);
+  return Status::OK();
 }
 
 Status CentralServer::InsertTuple(const std::string& name, const Tuple& tuple,
                                   txn_id_t txn) {
   std::lock_guard<std::mutex> dml(dml_mu_);
   VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
+  std::shared_ptr<ShardState> shard = ShardForKey(*state, tuple.key());
+  if (shard == nullptr) {
+    return Status::Internal("no shard owns key " +
+                            std::to_string(tuple.key()));
+  }
   {
-    std::unique_lock lock(state->mu);
-    VBT_ASSIGN_OR_RETURN(Rid rid, state->heap->Insert(tuple));
+    std::unique_lock lock(shard->mu);
+    VBT_ASSIGN_OR_RETURN(Rid rid, shard->heap->Insert(tuple));
 
     // Record the op for delta propagation: entry signature material plus
     // the node signatures the insert produces (deterministic signers give
@@ -116,18 +233,18 @@ Status CentralServer::InsertTuple(const std::string& name, const Tuple& tuple,
     op.kind = UpdateOp::Kind::kInsert;
     op.tuple = tuple;
     op.rid = rid;
-    VBT_ASSIGN_OR_RETURN(op.material, state->tree->MakeEntryMaterial(tuple));
-    state->tree->set_signature_log(&op.resigned);
-    Status insert_status = state->tree->Insert(tuple, rid, txn);
-    state->tree->set_signature_log(nullptr);
+    VBT_ASSIGN_OR_RETURN(op.material, shard->tree->MakeEntryMaterial(tuple));
+    shard->tree->set_signature_log(&op.resigned);
+    Status insert_status = shard->tree->Insert(tuple, rid, txn);
+    shard->tree->set_signature_log(nullptr);
     VBT_RETURN_NOT_OK(insert_status);
-    if (state->log.head_version() + 1 != state->tree->version()) {
+    if (shard->log.head_version() + 1 != shard->tree->version()) {
       // The tree was mutated out-of-band (direct tree() access by tests
       // or benches): those versions were never logged, so restart the
       // lineage — stale subscribers catch up by snapshot.
-      state->log.Reset(state->tree->version() - 1);
+      shard->log.Reset(shard->tree->version() - 1);
     }
-    state->log.Append(std::move(op));
+    shard->log.Append(std::move(op));
   }
 
   // Incremental maintenance of join views referencing this table. DDL is
@@ -163,23 +280,41 @@ Result<size_t> CentralServer::DeleteRange(const std::string& name, int64_t lo,
   if (lo > hi) return static_cast<size_t>(0);
   std::lock_guard<std::mutex> dml(dml_mu_);
   VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
-  std::vector<int64_t> doomed = state->tree->KeysInRange(lo, hi);
+
+  // Snapshot the overlapping shards under the layout latch, then apply
+  // the clamped delete to each shard's independent version stream.
+  std::vector<std::shared_ptr<ShardState>> touched;
+  {
+    std::shared_lock layout(state->layout_mu);
+    for (const auto& shard : state->shards) {
+      if (shard->lo <= hi && shard->hi >= lo) touched.push_back(shard);
+    }
+  }
 
   size_t removed = 0;
-  {
-    std::unique_lock lock(state->mu);
+  std::vector<int64_t> doomed;
+  for (const auto& shard : touched) {
+    const int64_t clamped_lo = std::max(lo, shard->lo);
+    const int64_t clamped_hi = std::min(hi, shard->hi);
+    std::vector<int64_t> keys =
+        shard->tree->KeysInRange(clamped_lo, clamped_hi);
+    doomed.insert(doomed.end(), keys.begin(), keys.end());
+
+    std::unique_lock lock(shard->mu);
     UpdateOp op;
     op.kind = UpdateOp::Kind::kDeleteRange;
-    op.lo = lo;
-    op.hi = hi;
-    state->tree->set_signature_log(&op.resigned);
-    auto removed_or = state->tree->DeleteRange(lo, hi, txn);
-    state->tree->set_signature_log(nullptr);
-    VBT_ASSIGN_OR_RETURN(removed, std::move(removed_or));
-    if (state->log.head_version() + 1 != state->tree->version()) {
-      state->log.Reset(state->tree->version() - 1);
+    op.lo = clamped_lo;
+    op.hi = clamped_hi;
+    shard->tree->set_signature_log(&op.resigned);
+    auto removed_or = shard->tree->DeleteRange(clamped_lo, clamped_hi, txn);
+    shard->tree->set_signature_log(nullptr);
+    size_t shard_removed = 0;
+    VBT_ASSIGN_OR_RETURN(shard_removed, std::move(removed_or));
+    removed += shard_removed;
+    if (shard->log.head_version() + 1 != shard->tree->version()) {
+      shard->log.Reset(shard->tree->version() - 1);
     }
-    state->log.Append(std::move(op));
+    shard->log.Append(std::move(op));
   }
 
   for (auto& [view_name, vs] : views_) {
@@ -198,18 +333,98 @@ Result<size_t> CentralServer::DeleteRange(const std::string& name, int64_t lo,
   return removed;
 }
 
+Status CentralServer::SplitShard(const std::string& name, int64_t split_key) {
+  std::lock_guard<std::mutex> dml(dml_mu_);
+  VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
+
+  std::shared_ptr<ShardState> parent = ShardForKey(*state, split_key);
+  if (parent == nullptr || parent->lo >= split_key) {
+    return Status::InvalidArgument(
+        "split key must fall strictly inside an existing shard range");
+  }
+
+  // Live rows of the parent: heap rows still indexed by the tree (the
+  // heap may hold tombstoned leftovers from range deletes).
+  std::vector<Tuple> rows;
+  {
+    std::shared_lock lock(parent->mu);
+    for (TableHeap::Iterator it = parent->heap->Begin(); it.Valid();
+         it.Next()) {
+      VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
+      if (!parent->tree->KeysInRange(t.key(), t.key()).empty()) {
+        rows.push_back(std::move(t));
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Tuple& a, const Tuple& b) { return a.key() < b.key(); });
+
+  // Fresh ids for both halves: pre-split signatures can never alias a
+  // current shard.
+  VBT_ASSIGN_OR_RETURN(auto left, MakeShard(name, state->schema,
+                                            state->next_shard_id++,
+                                            parent->lo, split_key - 1));
+  VBT_ASSIGN_OR_RETURN(auto right, MakeShard(name, state->schema,
+                                             state->next_shard_id++,
+                                             split_key, parent->hi));
+  for (ShardState* half : {left.get(), right.get()}) {
+    std::vector<std::pair<Tuple, Rid>> pairs;
+    for (const Tuple& t : rows) {
+      if (t.key() < half->lo || t.key() > half->hi) continue;
+      VBT_ASSIGN_OR_RETURN(Rid rid, half->heap->Insert(t));
+      pairs.emplace_back(t, rid);
+    }
+    if (!pairs.empty()) {
+      VBT_RETURN_NOT_OK(half->tree->BulkLoad(pairs));
+    }
+    half->log.Reset(half->tree->version());
+  }
+
+  std::unique_lock layout(state->layout_mu);
+  auto pos = std::find(state->shards.begin(), state->shards.end(), parent);
+  if (pos == state->shards.end()) {
+    return Status::Internal("parent shard vanished during split");
+  }
+  pos = state->shards.erase(pos);
+  pos = state->shards.insert(pos, std::move(right));
+  state->shards.insert(pos, std::move(left));
+  state->map.epoch++;
+  return SignMap(state);
+}
+
+Result<size_t> CentralServer::ShardCount(const std::string& name) const {
+  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
+  std::shared_lock layout(state->layout_mu);
+  return state->shards.size();
+}
+
+Result<PartitionMap> CentralServer::TablePartitionMap(
+    const std::string& name) const {
+  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
+  std::shared_lock layout(state->layout_mu);
+  return state->map;
+}
+
 Result<std::vector<Tuple>> CentralServer::MatchingRows(
     const std::string& table, size_t col, const Value& value) const {
   VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(table));
-  std::shared_lock lock(state->mu);
-  // Only rows still indexed by the VB-tree count (heap may hold tombstoned
-  // leftovers from deletes).
+  std::vector<std::shared_ptr<ShardState>> shards;
+  {
+    std::shared_lock layout(state->layout_mu);
+    shards = state->shards;
+  }
+  // Only rows still indexed by a shard's VB-tree count (heaps may hold
+  // tombstoned leftovers from deletes).
   std::vector<Tuple> out;
-  for (TableHeap::Iterator it = state->heap->Begin(); it.Valid(); it.Next()) {
-    VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
-    if (t.value(col).Compare(value) == 0 &&
-        !state->tree->KeysInRange(t.key(), t.key()).empty()) {
-      out.push_back(std::move(t));
+  for (const auto& shard : shards) {
+    std::shared_lock lock(shard->mu);
+    for (TableHeap::Iterator it = shard->heap->Begin(); it.Valid();
+         it.Next()) {
+      VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
+      if (t.value(col).Compare(value) == 0 &&
+          !shard->tree->KeysInRange(t.key(), t.key()).empty()) {
+        out.push_back(std::move(t));
+      }
     }
   }
   return out;
@@ -228,29 +443,29 @@ Status CentralServer::CreateJoinView(const JoinSpec& spec) {
   VBT_ASSIGN_OR_RETURN(const TableState* right,
                        GetTableState(spec.right_table));
 
-  std::vector<Tuple> left_rows, right_rows;
-  {
-    std::shared_lock llock(left->mu);
-    for (TableHeap::Iterator it = left->heap->Begin(); it.Valid(); it.Next()) {
-      VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
-      left_rows.push_back(std::move(t));
+  auto collect_rows =
+      [](const TableState* table) -> Result<std::vector<Tuple>> {
+    std::vector<Tuple> rows;
+    std::shared_lock layout(table->layout_mu);
+    for (const auto& shard : table->shards) {
+      std::shared_lock lock(shard->mu);
+      for (TableHeap::Iterator it = shard->heap->Begin(); it.Valid();
+           it.Next()) {
+        VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
+        rows.push_back(std::move(t));
+      }
     }
-  }
-  {
-    std::shared_lock rlock(right->mu);
-    for (TableHeap::Iterator it = right->heap->Begin(); it.Valid();
-         it.Next()) {
-      VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
-      right_rows.push_back(std::move(t));
-    }
-  }
+    return rows;
+  };
+  VBT_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows, collect_rows(left));
+  VBT_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows, collect_rows(right));
 
   VBTreeOptions opts = options_.tree_opts;
   opts.key_version = key_version_;
   VBT_ASSIGN_OR_RETURN(
       std::unique_ptr<JoinView> view,
-      JoinView::Materialize(spec, options_.db_name, left->heap->schema(),
-                            right->heap->schema(), left_rows, right_rows,
+      JoinView::Materialize(spec, options_.db_name, left->schema,
+                            right->schema, left_rows, right_rows,
                             pool_.get(), current_signer_, opts));
   VBT_RETURN_NOT_OK(
       catalog_.CreateTable(spec.view_name, view->schema(), /*is_view=*/true)
@@ -313,10 +528,11 @@ Result<std::vector<uint8_t>> CentralServer::ExportTableSnapshot(
       return w.TakeBuffer();
     }
   }
-  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
-  std::shared_lock lock(state->mu);
-  VBT_RETURN_NOT_OK(ExportHeapAndTree(name, state->heap->schema(),
-                                      state->heap.get(), state->tree.get(),
+  VBT_ASSIGN_OR_RETURN(std::shared_ptr<ShardState> shard, ResolveShard(name));
+  std::shared_lock lock(shard->mu);
+  VBT_RETURN_NOT_OK(ExportHeapAndTree(shard->dist_name,
+                                      shard->heap->schema(),
+                                      shard->heap.get(), shard->tree.get(),
                                       &w));
   return w.TakeBuffer();
 }
@@ -324,26 +540,26 @@ Result<std::vector<uint8_t>> CentralServer::ExportTableSnapshot(
 Result<UpdateBatch> CentralServer::DeltaSince(const std::string& name,
                                               uint64_t from_version,
                                               size_t max_ops) const {
-  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
-  std::shared_lock lock(state->mu);
-  return state->log.BatchSince(name, from_version, max_ops);
+  VBT_ASSIGN_OR_RETURN(std::shared_ptr<ShardState> shard, ResolveShard(name));
+  std::shared_lock lock(shard->mu);
+  return shard->log.BatchSince(shard->dist_name, from_version, max_ops);
 }
 
 Result<bool> CentralServer::DeltaCovers(const std::string& name,
                                         uint64_t from_version) const {
-  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
-  std::shared_lock lock(state->mu);
+  VBT_ASSIGN_OR_RETURN(std::shared_ptr<ShardState> shard, ResolveShard(name));
+  std::shared_lock lock(shard->mu);
   // A log whose head trails the tree version means the tree was mutated
   // out-of-band: a delta replay would silently diverge, so force a
   // snapshot until the next DML restarts the lineage.
-  return state->log.Covers(from_version) &&
-         state->log.head_version() == state->tree->version();
+  return shard->log.Covers(from_version) &&
+         shard->log.head_version() == shard->tree->version();
 }
 
 Status CentralServer::TruncateLog(const std::string& name, uint64_t version) {
-  VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
-  std::unique_lock lock(state->mu);
-  state->log.TruncateThrough(version);
+  VBT_ASSIGN_OR_RETURN(std::shared_ptr<ShardState> shard, ResolveShard(name));
+  std::unique_lock lock(shard->mu);
+  shard->log.TruncateThrough(version);
   return Status::OK();
 }
 
@@ -353,8 +569,8 @@ Result<uint64_t> CentralServer::VersionOf(const std::string& name) const {
     auto view_it = views_.find(name);
     if (view_it != views_.end()) return view_it->second->view->tree()->version();
   }
-  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
-  return state->tree->version();
+  VBT_ASSIGN_OR_RETURN(std::shared_ptr<ShardState> shard, ResolveShard(name));
+  return shard->tree->version();
 }
 
 std::vector<std::string> CentralServer::TableNames() const {
@@ -365,6 +581,33 @@ std::vector<std::string> CentralServer::TableNames() const {
 std::vector<std::string> CentralServer::ViewNames() const {
   std::shared_lock maps(maps_mu_);
   return view_order_;
+}
+
+std::vector<std::string> CentralServer::ShardNames() const {
+  std::shared_lock maps(maps_mu_);
+  std::vector<std::string> names;
+  for (const std::string& table : table_order_) {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) continue;
+    std::shared_lock layout(it->second->layout_mu);
+    for (const auto& shard : it->second->shards) {
+      names.push_back(shard->dist_name);
+    }
+  }
+  return names;
+}
+
+std::vector<CentralServer::MapInfo> CentralServer::PartitionMaps() const {
+  std::shared_lock maps(maps_mu_);
+  std::vector<MapInfo> out;
+  for (const std::string& table : table_order_) {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) continue;
+    std::shared_lock layout(it->second->layout_mu);
+    out.push_back(MapInfo{table, it->second->map.epoch,
+                          it->second->map_bytes});
+  }
+  return out;
 }
 
 Status CentralServer::RotateKey(uint64_t now) {
@@ -387,13 +630,20 @@ Status CentralServer::RotateKey(uint64_t now) {
       std::move(recoverer));
 
   for (auto& [name, state] : tables_) {
-    std::unique_lock lock(state->mu);
-    VBT_RETURN_NOT_OK(state->tree->ResignAll(
-        current_signer_, key_version_,
-        Executor::FetcherFor(state->heap.get())));
-    // A re-sign cannot ship as a delta: restart the log lineage so every
-    // subscriber catches up with a fresh snapshot.
-    state->log.Reset(state->tree->version());
+    std::unique_lock layout(state->layout_mu);
+    for (auto& shard : state->shards) {
+      std::unique_lock lock(shard->mu);
+      VBT_RETURN_NOT_OK(shard->tree->ResignAll(
+          current_signer_, key_version_,
+          Executor::FetcherFor(shard->heap.get())));
+      // A re-sign cannot ship as a delta: restart the log lineage so every
+      // subscriber catches up with a fresh snapshot.
+      shard->log.Reset(shard->tree->version());
+    }
+    // The map signature must also move to the new key; bump the epoch so
+    // the hub re-ships it (and clients advance their epoch floors).
+    state->map.epoch++;
+    VBT_RETURN_NOT_OK(SignMap(state.get()));
   }
   for (auto& [name, vs] : views_) {
     std::unique_lock vlock(vs->mu);
@@ -404,18 +654,25 @@ Status CentralServer::RotateKey(uint64_t now) {
   return Status::OK();
 }
 
+Result<CentralServer::SnapshotShape> CentralServer::SnapshotShapeOf(
+    const std::string& name) const {
+  VBT_ASSIGN_OR_RETURN(std::shared_ptr<ShardState> shard, ResolveShard(name));
+  return SnapshotShape{
+      shard->tree->size(),
+      shard->tree->digest_schema().schema().num_columns()};
+}
+
 VBTree* CentralServer::tree(const std::string& name) {
+  auto shard = ResolveShard(name);
+  if (shard.ok()) return (*shard)->tree.get();
   std::shared_lock maps(maps_mu_);
-  auto it = tables_.find(name);
-  if (it != tables_.end()) return it->second->tree.get();
   auto vit = views_.find(name);
   return vit != views_.end() ? vit->second->view->tree() : nullptr;
 }
 
 TableHeap* CentralServer::heap(const std::string& name) {
-  std::shared_lock maps(maps_mu_);
-  auto it = tables_.find(name);
-  return it == tables_.end() ? nullptr : it->second->heap.get();
+  auto shard = ResolveShard(name);
+  return shard.ok() ? (*shard)->heap.get() : nullptr;
 }
 
 }  // namespace vbtree

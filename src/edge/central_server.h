@@ -12,6 +12,7 @@
 #include "crypto/key_manager.h"
 #include "crypto/rsa_signer.h"
 #include "crypto/sim_signer.h"
+#include "edge/partition_map.h"
 #include "edge/propagation/update_log.h"
 #include "query/join_view.h"
 #include "storage/table_heap.h"
@@ -25,17 +26,30 @@ namespace vbtree {
 /// materialized join views), applies all updates (§3.4), and rotates
 /// signing keys with validity windows.
 ///
-/// Distribution to edge servers is NOT driven from here: every DML op is
-/// recorded in a per-table, versioned UpdateLog, and the propagation
-/// subsystem (edge/propagation/distribution_hub.h) asynchronously ships
-/// batched deltas — or full snapshots for catch-up — to its subscribers.
-/// This class only exposes the versioned read surface the hub consumes:
-/// ExportTableSnapshot, DeltaSince, VersionOf, TruncateLog.
+/// Tables are range-sharded: every table is a set of key-range shards,
+/// each an independently signed VB-tree with its own heap and update
+/// log, stitched together by a signed, epoch-versioned PartitionMap
+/// (edge/partition_map.h). A freshly created table has one shard
+/// spanning the whole key domain (wire- and digest-compatible with the
+/// pre-sharding layout); CreateTable with split points, or SplitShard
+/// later, produces independent shards whose digest schemas are
+/// qualified by the shard's distribution name — so no signature minted
+/// for one shard can authenticate data served as another.
 ///
-/// Concurrency: DML (InsertTuple / DeleteRange / RotateKey / DDL) is
-/// serialized by an internal mutex, mirroring the paper's single trusted
-/// writer; the export/delta read surface takes per-table shared latches
-/// and may be called concurrently with DML from the propagator thread.
+/// Distribution to edge servers is NOT driven from here: every DML op is
+/// recorded in a per-shard, versioned UpdateLog, and the propagation
+/// subsystem (edge/propagation/distribution_hub.h) asynchronously ships
+/// the signed maps plus batched per-shard deltas — or full shard
+/// snapshots for catch-up — to its subscribers. This class only exposes
+/// the versioned read surface the hub consumes: ExportTableSnapshot,
+/// DeltaSince, VersionOf, TruncateLog (all keyed by shard distribution
+/// name), ShardNames, and PartitionMaps.
+///
+/// Concurrency: DML (InsertTuple / DeleteRange / SplitShard / RotateKey /
+/// DDL) is serialized by an internal mutex, mirroring the paper's single
+/// trusted writer; the export/delta read surface takes per-shard shared
+/// latches and may be called concurrently with DML from the propagator
+/// thread.
 class CentralServer {
  public:
   struct Options {
@@ -51,7 +65,7 @@ class CentralServer {
     /// Validity window (logical time) granted to each key version.
     uint64_t key_validity = 1'000'000;
     size_t buffer_pool_pages = 16384;
-    /// Ops retained per table for delta propagation; subscribers further
+    /// Ops retained per shard for delta propagation; subscribers further
     /// behind than this are caught up with a snapshot.
     size_t update_log_window = 1 << 16;
   };
@@ -65,10 +79,21 @@ class CentralServer {
   uint32_t current_key_version() const { return key_version_; }
 
   // --- DDL / loading ---
+
+  /// Creates a table as one shard covering the whole key domain (shard
+  /// id 0, plain table name — the pre-sharding layout).
   Result<table_id_t> CreateTable(const std::string& name, Schema schema);
 
-  /// Bulk-loads rows (sorted internally by key) into the heap and builds
-  /// the table's VB-tree with every digest signed.
+  /// Creates a table pre-split at `split_points` (strictly ascending;
+  /// each point starts a new shard): k points → k+1 shards with fresh
+  /// ids 1..k+1, each signed under its shard-qualified digest schema.
+  /// Table names must not contain '#' (reserved for shard qualifiers).
+  Result<table_id_t> CreateTable(const std::string& name, Schema schema,
+                                 const std::vector<int64_t>& split_points);
+
+  /// Bulk-loads rows (routed to their owning shards and sorted by key)
+  /// into the shard heaps and builds each shard's VB-tree with every
+  /// digest signed.
   Status LoadTable(const std::string& name, std::vector<Tuple> rows);
 
   Result<const TableInfo*> DescribeTable(const std::string& name) const {
@@ -81,27 +106,44 @@ class CentralServer {
   Result<size_t> DeleteRange(const std::string& name, int64_t lo, int64_t hi,
                              txn_id_t txn = 0);
 
+  /// Splits the shard of `name` owning `split_key` into two shards with
+  /// fresh ids: [lo, split_key-1] and [split_key, hi]. Rebuilds and
+  /// re-signs both halves from the parent's rows, bumps the map epoch
+  /// and re-signs the map; the parent shard's id never reappears, so its
+  /// signatures cannot verify as any current shard. The parent's update
+  /// log lineage ends here — subscribers pick the new shards up by
+  /// snapshot under the new map epoch.
+  Status SplitShard(const std::string& name, int64_t split_key);
+
+  /// Shards of `name`, ascending by range (introspection for tests).
+  Result<size_t> ShardCount(const std::string& name) const;
+
+  /// Copy of the table's current signed PartitionMap.
+  Result<PartitionMap> TablePartitionMap(const std::string& name) const;
+
   // --- materialized join views (§3.3 Join) ---
   Status CreateJoinView(const JoinSpec& spec);
   Result<const JoinView*> GetJoinView(const std::string& view_name) const;
 
   // --- versioned distribution surface (consumed by DistributionHub) ---
 
-  /// Serializes one table (or view): schema, rows with their Rids, and
-  /// the complete VB-tree (which carries the replica version).
+  /// Serializes one shard (by distribution name) or view: schema, rows
+  /// with their Rids, and the complete VB-tree (which carries the
+  /// replica version). Plain table names resolve to the table's sole
+  /// id-0 shard.
   Result<std::vector<uint8_t>> ExportTableSnapshot(
       const std::string& name) const;
 
-  /// Batch of up to `max_ops` logged ops replaying `name` forward from
-  /// `from_version`. Does not consume the log — several subscribers at
-  /// different versions can each be served. kInvalidArgument when
+  /// Batch of up to `max_ops` logged ops replaying shard `name` forward
+  /// from `from_version`. Does not consume the log — several subscribers
+  /// at different versions can each be served. kInvalidArgument when
   /// `from_version` predates the retained window (snapshot required).
-  /// Base tables only (views are propagated by snapshot).
+  /// Shards only (views are propagated by snapshot).
   Result<UpdateBatch> DeltaSince(const std::string& name,
                                  uint64_t from_version,
                                  size_t max_ops = ~size_t{0}) const;
 
-  /// Whether DeltaSince can serve `from_version` for `name`.
+  /// Whether DeltaSince can serve `from_version` for shard `name`.
   Result<bool> DeltaCovers(const std::string& name,
                            uint64_t from_version) const;
 
@@ -109,12 +151,11 @@ class CentralServer {
   /// subscribers have applied them).
   Status TruncateLog(const std::string& name, uint64_t version);
 
-  /// Current replica version of a table or view (its VB-tree version):
-  /// the number of mutations since load. Monotone.
+  /// Current replica version of a shard or view (its VB-tree version):
+  /// the number of mutations since load. Monotone per shard lineage.
   Result<uint64_t> VersionOf(const std::string& name) const;
 
-  /// Ops applied to base table `name` since load. Alias of VersionOf for
-  /// base tables.
+  /// Ops applied to shard `name` since load. Alias of VersionOf.
   Result<uint64_t> TableVersion(const std::string& name) const {
     return VersionOf(name);
   }
@@ -123,13 +164,42 @@ class CentralServer {
   std::vector<std::string> TableNames() const;
   std::vector<std::string> ViewNames() const;
 
+  /// Distribution names of every shard of every base table, in table
+  /// creation order, shards ascending by range — the per-shard version
+  /// streams the propagation hub subscribes edges to.
+  std::vector<std::string> ShardNames() const;
+
+  /// The signed maps the hub ships ahead of shard data.
+  struct MapInfo {
+    std::string table;
+    uint64_t epoch = 0;
+    std::shared_ptr<const std::vector<uint8_t>> bytes;
+  };
+  std::vector<MapInfo> PartitionMaps() const;
+
   // --- key management (§3.4 delayed update propagation) ---
   /// Expires the current key version at `now`, generates a new key, and
-  /// re-signs every tree/view under it. Bumps every table and view
-  /// version and resets the update logs: replicas must re-snapshot.
+  /// re-signs every shard tree, view and partition map under it. Bumps
+  /// every shard and view version, bumps every map epoch, and resets the
+  /// update logs: replicas must re-snapshot.
   Status RotateKey(uint64_t now);
 
+  /// Cost-model inputs for one shard's snapshot (tuple count + column
+  /// count), read while holding the shard alive — safe against a
+  /// concurrent SplitShard retiring the shard (the propagation hub's
+  /// kCostBased policy calls this from the propagator thread).
+  struct SnapshotShape {
+    size_t num_tuples = 0;
+    size_t num_cols = 0;
+  };
+  Result<SnapshotShape> SnapshotShapeOf(const std::string& name) const;
+
   // --- direct access for tests and benches ---
+  /// Resolves a shard distribution name (or the plain name of a
+  /// single-shard table, or a view name) to its tree/heap. NOT
+  /// split-safe: the raw pointer dangles if SplitShard retires the
+  /// shard — test/bench hooks only, never called concurrently with
+  /// splits.
   VBTree* tree(const std::string& name);
   TableHeap* heap(const std::string& name);
 
@@ -137,7 +207,13 @@ class CentralServer {
   explicit CentralServer(Options options)
       : options_(std::move(options)), catalog_(options_.db_name) {}
 
-  struct TableState {
+  /// One key-range shard: its own heap, independently signed VB-tree,
+  /// and retained op log (an independent version stream).
+  struct ShardState {
+    uint32_t shard_id = 0;
+    int64_t lo = 0;
+    int64_t hi = 0;
+    std::string dist_name;
     std::unique_ptr<TableHeap> heap;
     std::unique_ptr<VBTree> tree;
     /// Retained op log; head always equals tree->version().
@@ -145,7 +221,20 @@ class CentralServer {
     /// Guards heap + log against concurrent export (tree self-latches).
     mutable std::shared_mutex mu;
 
-    explicit TableState(size_t log_window) : log(log_window) {}
+    explicit ShardState(size_t log_window) : log(log_window) {}
+  };
+
+  struct TableState {
+    Schema schema;
+    /// Current signed map and its serialized form (shipped by the hub).
+    PartitionMap map;
+    std::shared_ptr<const std::vector<uint8_t>> map_bytes;
+    /// Ascending by lo. shared_ptr so exports racing a SplitShard keep
+    /// the retiring shard alive until they finish.
+    std::vector<std::shared_ptr<ShardState>> shards;
+    uint32_t next_shard_id = 1;
+    /// Guards the shard vector + map against concurrent layout changes.
+    mutable std::shared_mutex layout_mu;
   };
 
   struct ViewState {
@@ -159,8 +248,25 @@ class CentralServer {
   Result<TableState*> GetTableState(const std::string& name);
   Result<const TableState*> GetTableState(const std::string& name) const;
 
+  /// Resolves a shard distribution name ("t", "t#3") to its ShardState.
+  Result<std::shared_ptr<ShardState>> ResolveShard(
+      const std::string& dist_name) const;
+  /// The shard of `table` owning `key` (layout latch taken shared).
+  std::shared_ptr<ShardState> ShardForKey(const TableState& table,
+                                          int64_t key) const;
+
+  /// Builds an empty signed shard tree for [lo, hi].
+  Result<std::shared_ptr<ShardState>> MakeShard(const std::string& table,
+                                                const Schema& schema,
+                                                uint32_t shard_id, int64_t lo,
+                                                int64_t hi);
+  /// Recomputes, signs and re-serializes `table`'s map from its current
+  /// shard layout (layout latch must be held exclusively by the caller,
+  /// or the table not yet published).
+  Status SignMap(TableState* table);
+
   /// Finds all rows of `table` matching `value` on column `col` (join
-  /// maintenance helper).
+  /// maintenance helper); scans every shard.
   Result<std::vector<Tuple>> MatchingRows(const std::string& table, size_t col,
                                           const Value& value) const;
 

@@ -8,11 +8,18 @@
 namespace vbtree {
 
 namespace {
-/// Replica-version epochs kept per table in the signed-top memo.
+/// Replica-version epochs kept per shard in the signed-top memo.
 constexpr size_t kTopMemoEpochs = 2;
 /// Entries per epoch; beyond this, inserts are dropped (a scan-heavy
 /// workload should not let the memo grow without bound).
 constexpr size_t kTopMemoMaxEntries = 4096;
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
 }  // namespace
 
 const Digest* Client::LookupTopMemo(const std::string& table,
@@ -66,35 +73,78 @@ void Client::InsertTopMemo(const std::string& table, uint64_t replica_version,
 
 void Client::RegisterTable(const std::string& table, Schema schema,
                            HashAlgorithm algo, int modulus_bits) {
-  tables_[table] = TableMeta{std::move(schema), algo, modulus_bits};
+  tables_[table] = TableMeta{std::move(schema), algo, modulus_bits,
+                             /*sharded=*/false};
 }
 
-Result<Client::Verified> Client::Query(EdgeServer* edge,
-                                       const SelectQuery& query, uint64_t now,
-                                       Transport* net) {
-  auto meta_it = tables_.find(query.table);
-  if (meta_it == tables_.end()) {
-    return Status::InvalidArgument("table not registered with client: " +
-                                   query.table);
-  }
-  const TableMeta& meta = meta_it->second;
+void Client::RegisterShardedTable(const std::string& table, Schema schema,
+                                  HashAlgorithm algo, int modulus_bits) {
+  tables_[table] = TableMeta{std::move(schema), algo, modulus_bits,
+                             /*sharded=*/true};
+}
 
-  SelectQuery q = query;
-  q.NormalizeProjection();
-
-  EdgeChannels* channels = nullptr;
-  if (net != nullptr) {
-    channels = &channels_[edge->name()];
-    if (channels->transport != net) {
-      channels->transport = net;
-      channels->up = net->Channel("client->edge:" + edge->name());
-      channels->down = net->Channel("edge:" + edge->name() + "->client");
-    }
+Client::EdgeChannels* Client::ResolveChannels(EdgeServer* edge,
+                                              Transport* net) {
+  if (net == nullptr) return nullptr;
+  EdgeChannels* channels = &channels_[edge->name()];
+  if (channels->transport != net) {
+    channels->transport = net;
+    channels->up = net->Channel("client->edge:" + edge->name());
+    channels->down = net->Channel("edge:" + edge->name() + "->client");
   }
+  return channels;
+}
+
+Result<const PartitionMap*> Client::VerifyMapBytes(const std::string& table,
+                                                   const TableMeta& meta,
+                                                   Slice bytes, uint64_t now) {
+  auto cached = maps_.find(table);
+  if (cached != maps_.end() && cached->second.bytes.size() == bytes.size() &&
+      std::equal(bytes.data(), bytes.data() + bytes.size(),
+                 cached->second.bytes.begin())) {
+    // Byte-identical to a map this client already authenticated: the
+    // signature check would recompute the same digest over the same
+    // bytes, so skipping it is sound (and keeps the per-query map cost
+    // an allocation-free compare on the steady state).
+    return &cached->second.map;
+  }
+  ByteReader r{bytes};
+  VBT_ASSIGN_OR_RETURN(PartitionMap map, PartitionMap::Deserialize(&r));
+  if (map.table != table || map.db_name != db_name_) {
+    return Status::VerificationFailure(
+        "partition map is bound to " + map.db_name + "." + map.table +
+        ", not " + db_name_ + "." + table);
+  }
+  uint64_t& floor = map_floor_[table];
+  if (map.epoch < floor) {
+    return Status::VerificationFailure(
+        "stale partition map: epoch " + std::to_string(map.epoch) +
+        " below this client's floor " + std::to_string(floor) +
+        " (pre-split layout replayed?)");
+  }
+  // Key freshness applies to the map exactly as to tree digests: a map
+  // signed under an expired key version is rejected here.
+  VBT_ASSIGN_OR_RETURN(std::shared_ptr<Recoverer> rec,
+                       keys_->RecovererFor(map.key_version, now));
+  VBT_RETURN_NOT_OK(map.Verify(rec.get(), meta.algo));
+  floor = std::max(floor, map.epoch);
+  VerifiedMap& slot = maps_[table];
+  slot.epoch = map.epoch;
+  slot.bytes.assign(bytes.data(), bytes.data() + bytes.size());
+  slot.map = std::move(map);
+  return &slot.map;
+}
+
+Result<Client::Verified> Client::QueryOne(EdgeServer* edge,
+                                          const SelectQuery& wire_query,
+                                          const std::string& schema_table,
+                                          const TableMeta& meta, uint64_t now,
+                                          Transport* net) {
+  EdgeChannels* channels = ResolveChannels(edge, net);
 
   // --- request over the wire ---
   ByteWriter req;
-  SerializeSelectQuery(q, &req);
+  SerializeSelectQuery(wire_query, &req);
   if (channels != nullptr) net->Record(channels->up, req.size());
   VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> resp_bytes,
                        edge->HandleQueryBytes(Slice(req.buffer())));
@@ -104,7 +154,7 @@ Result<Client::Verified> Client::Query(EdgeServer* edge,
   ByteReader r((Slice(resp_bytes)));
   VBT_ASSIGN_OR_RETURN(
       QueryResponse resp,
-      DeserializeQueryResponse(&r, meta.schema, q.projection));
+      DeserializeQueryResponse(&r, meta.schema, wire_query.projection));
 
   Verified out;
   out.request_bytes = req.size();
@@ -124,15 +174,15 @@ Result<Client::Verified> Client::Query(EdgeServer* edge,
   std::shared_ptr<Recoverer> base = rec_or.MoveValueUnsafe();
   CountingRecoverer recoverer(base.get(), &out.counters);
 
-  // --- authenticate ---
-  DigestSchema ds(db_name_, query.table, meta.schema, meta.algo,
+  // --- authenticate under the (shard-qualified) digest schema ---
+  DigestSchema ds(db_name_, schema_table, meta.schema, meta.algo,
                   meta.modulus_bits);
   Verifier verifier(std::move(ds), &recoverer);
   verifier.set_counters(&out.counters);
   if (verify_fast_path_ && digest_cache_ != nullptr) {
     verifier.set_digest_cache(digest_cache_.get(), resp.vo.key_version);
   }
-  out.verification = verifier.VerifySelect(q, resp.rows, resp.vo);
+  out.verification = verifier.VerifySelect(wire_query, resp.rows, resp.vo);
   out.rows = std::move(resp.rows);
 
   // --- replica freshness: flag non-monotonic reads across edges ---
@@ -141,74 +191,127 @@ Result<Client::Verified> Client::Query(EdgeServer* edge,
   // authenticated — otherwise a tampered response could poison the
   // staleness signal for every later honest read.
   if (out.verification.ok()) {
-    uint64_t& watermark = freshness_[query.table];
+    uint64_t& watermark = freshness_[schema_table];
     out.stale_replica = resp.replica_version < watermark;
     watermark = std::max(watermark, resp.replica_version);
   }
   return out;
 }
 
-Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
-                                                   const QueryBatch& batch,
-                                                   uint64_t now,
-                                                   BatchVerifier* verifier,
-                                                   Transport* net) {
-  auto meta_it = tables_.find(batch.table);
+void Client::MergeVerifiedPart(Verified* merged, Verified part,
+                               bool first_part) {
+  if (first_part) {
+    *merged = std::move(part);
+    return;
+  }
+  // Shard parts arrive in ascending shard (= key) order; adjacent parts
+  // must meet at the map's signed boundaries without overlap. Each VO
+  // already proves its rows lie inside the clamped (disjoint) ranges, so
+  // this is defense in depth against a merge bug, not a new trust step.
+  if (!merged->rows.empty() && !part.rows.empty() &&
+      merged->rows.back().key >= part.rows.front().key) {
+    Status overlap = Status::VerificationFailure(
+        "cross-shard results overlap at key " +
+        std::to_string(part.rows.front().key));
+    if (merged->verification.ok()) merged->verification = overlap;
+  }
+  merged->rows.insert(merged->rows.end(),
+                      std::make_move_iterator(part.rows.begin()),
+                      std::make_move_iterator(part.rows.end()));
+  if (merged->verification.ok() && !part.verification.ok()) {
+    merged->verification = part.verification;
+  }
+  merged->replica_version =
+      std::min(merged->replica_version, part.replica_version);
+  merged->stale_replica = merged->stale_replica || part.stale_replica;
+  merged->shards_touched += part.shards_touched;
+  merged->request_bytes += part.request_bytes;
+  merged->result_bytes += part.result_bytes;
+  merged->vo_bytes += part.vo_bytes;
+  merged->vo_digests += part.vo_digests;
+  merged->counters.Add(part.counters);
+}
+
+Result<Client::Verified> Client::Query(EdgeServer* edge,
+                                       const SelectQuery& query, uint64_t now,
+                                       Transport* net) {
+  auto meta_it = tables_.find(query.table);
   if (meta_it == tables_.end()) {
     return Status::InvalidArgument("table not registered with client: " +
-                                   batch.table);
+                                   query.table);
   }
   const TableMeta& meta = meta_it->second;
-  if (batch.queries.empty()) {
-    return Status::InvalidArgument("empty query batch");
+
+  SelectQuery q = query;
+  q.NormalizeProjection();
+
+  if (!meta.sharded) {
+    return QueryOne(edge, q, q.table, meta, now, net);
   }
 
-  // Normalize locally: the response rows are encoded against the
-  // normalized projections, and the verifier needs the same view.
-  QueryBatch b = batch;
-  for (SelectQuery& q : b.queries) {
-    q.table = batch.table;
-    q.NormalizeProjection();
+  // --- sharded: authenticate the layout, then scatter-gather ---
+  auto map_bytes = edge->PartitionMapBytes(query.table);
+  if (!map_bytes.ok()) return map_bytes.status();
+  auto map_or = VerifyMapBytes(query.table, meta, Slice(**map_bytes), now);
+  if (!map_or.ok()) {
+    // An unverifiable or stale map is an authentication failure, not a
+    // transport error: the edge presented a layout this client must not
+    // trust.
+    Verified out;
+    out.verification = map_or.status();
+    return out;
+  }
+  const PartitionMap& map = **map_or;
+  std::vector<size_t> owners = map.ShardIndicesForRange(q.range);
+  if (owners.empty()) {
+    return Status::InvalidArgument("empty key range");
   }
 
-  EdgeServer* edge = service->edge();
-  EdgeChannels* channels = nullptr;
-  if (net != nullptr) {
-    channels = &channels_[edge->name()];
-    if (channels->transport != net) {
-      channels->transport = net;
-      channels->up = net->Channel("client->edge:" + edge->name());
-      channels->down = net->Channel("edge:" + edge->name() + "->client");
+  Verified out;
+  bool first = true;
+  for (size_t idx : owners) {
+    SelectQuery sub = q;
+    const std::string shard = map.shard_name(idx);
+    if (owners.size() == 1) {
+      // Single-shard range: ship the base-table query and let the edge
+      // route it (the expected shard — hence the digest schema — is
+      // still dictated by the client's verified map).
+    } else {
+      sub.table = shard;
+      sub.range.lo = std::max(q.range.lo, map.shards[idx].lo);
+      sub.range.hi = std::min(q.range.hi, map.shards[idx].hi);
     }
+    auto part = QueryOne(edge, sub, shard, meta, now, net);
+    if (!part.ok()) {
+      // A shard the signed map dictates is unanswerable: completeness
+      // cannot be established, which is an authentication failure (an
+      // edge must not be able to hide a shard behind an "error").
+      Verified missing;
+      missing.verification = Status::VerificationFailure(
+          "shard " + shard + " unanswered: " + part.status().ToString());
+      MergeVerifiedPart(&out, std::move(missing), first);
+    } else {
+      MergeVerifiedPart(&out, std::move(*part), first);
+    }
+    first = false;
   }
+  out.map_epoch = map.epoch;
+  out.shards_touched = owners.size();
+  return out;
+}
 
-  // --- request over the wire, through the edge's submission queue ---
-  ByteWriter req(1 << 10);
-  SerializeQueryBatch(b, &req);
-  const size_t request_bytes = req.size();
-  if (channels != nullptr) net->Record(channels->up, request_bytes);
-  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> resp_bytes,
-                       service->SubmitBatchBytes(req.TakeBuffer()).get());
-  if (channels != nullptr) net->Record(channels->down, resp_bytes.size());
-
-  // --- parse ---
-  ByteReader r((Slice(resp_bytes)));
-  VBT_ASSIGN_OR_RETURN(
-      QueryBatchResponse resp,
-      DeserializeQueryBatchResponse(&r, meta.schema, b.queries));
-
-  VerifiedBatch out;
-  out.replica_version = resp.replica_version;
-  out.stats = resp.stats;
-  out.request_bytes = request_bytes;
+Client::GroupOutcome Client::VerifyBatchGroup(
+    const std::string& schema_table, const TableMeta& meta,
+    std::span<const SelectQuery> queries, QueryBatchResponse& resp,
+    uint64_t now, BatchVerifier* verifier) {
+  GroupOutcome out;
   out.results.resize(resp.responses.size());
 
   // --- key freshness (§3.4), then fan out authentication ---
-  // All VOs of a batch normally carry one key version (single tree
+  // All VOs of a group normally carry one key version (single tree
   // state); resolve per distinct version anyway so a malformed response
   // cannot alias a stale key onto a fresh one.
-  const auto verify_start = std::chrono::steady_clock::now();
-  DigestSchema ds(db_name_, batch.table, meta.schema, meta.algo,
+  DigestSchema ds(db_name_, schema_table, meta.schema, meta.algo,
                   meta.modulus_bits);
   std::map<uint32_t, Result<std::shared_ptr<Recoverer>>> recoverers;
   std::vector<BatchVerifier::Job> jobs;
@@ -239,12 +342,12 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
       v.verification = rec_it->second.status();
       continue;
     }
-    BatchVerifier::Job job{&b.queries[i], &qr.rows, &qr.vo, nullptr};
+    BatchVerifier::Job job{&queries[i], &qr.rows, &qr.vo, nullptr};
     if (fast_path) {
       // Batches at one watermark pay each distinct signed-top recovery
-      // once: byte-identical tops already recovered at this (table,
+      // once: byte-identical tops already recovered at this (shard,
       // replica_version, key_version) come from the memo.
-      job.known_top = LookupTopMemo(batch.table, resp.replica_version, kv,
+      job.known_top = LookupTopMemo(schema_table, resp.replica_version, kv,
                                     qr.vo.signed_top);
       if (job.known_top != nullptr) out.top_memo_hits++;
     }
@@ -300,37 +403,200 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
       v.counters = outcomes[j].counters;
       out.crypto.Add(outcomes[j].counters);
       if (fast_path && v.verification.ok() && outcomes[j].top_recovered) {
-        InsertTopMemo(batch.table, resp.replica_version,
+        InsertTopMemo(schema_table, resp.replica_version,
                       resp.responses[job_index[j]].vo.key_version,
                       resp.responses[job_index[j]].vo.signed_top,
                       outcomes[j].top_digest);
       }
     }
   }
-  out.verify_us = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - verify_start)
-          .count());
 
   for (size_t i = 0; i < resp.responses.size(); ++i) {
     out.results[i].rows = std::move(resp.responses[i].rows);
   }
 
-  // --- replica freshness: one version served the whole batch, and only
+  // --- replica freshness: one version served the whole group, and only
   // authenticated answers may move the watermark (same rule as Query) ---
-  bool any_verified = false;
   for (const Verified& v : out.results) {
     if (v.verification.ok()) {
-      any_verified = true;
+      out.any_verified = true;
       break;
     }
   }
-  if (any_verified) {
-    uint64_t& watermark = freshness_[batch.table];
+  if (out.any_verified) {
+    uint64_t& watermark = freshness_[schema_table];
     out.stale_replica = resp.replica_version < watermark;
     watermark = std::max(watermark, resp.replica_version);
     for (Verified& v : out.results) {
       if (v.verification.ok()) v.stale_replica = out.stale_replica;
+    }
+  }
+  return out;
+}
+
+Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
+                                                   const QueryBatch& batch,
+                                                   uint64_t now,
+                                                   BatchVerifier* verifier,
+                                                   Transport* net) {
+  auto meta_it = tables_.find(batch.table);
+  if (meta_it == tables_.end()) {
+    return Status::InvalidArgument("table not registered with client: " +
+                                   batch.table);
+  }
+  const TableMeta& meta = meta_it->second;
+  if (batch.queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+
+  // Normalize locally: the response rows are encoded against the
+  // normalized projections, and the verifier needs the same view.
+  QueryBatch b = batch;
+  for (SelectQuery& q : b.queries) {
+    q.table = batch.table;
+    q.NormalizeProjection();
+  }
+
+  EdgeServer* edge = service->edge();
+  EdgeChannels* channels = ResolveChannels(edge, net);
+
+  // --- request over the wire, through the edge's submission queue ---
+  ByteWriter req(1 << 10);
+  SerializeQueryBatch(b, &req);
+  const size_t request_bytes = req.size();
+  if (channels != nullptr) net->Record(channels->up, request_bytes);
+  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> resp_bytes,
+                       service->SubmitBatchBytes(req.TakeBuffer()).get());
+  if (channels != nullptr) net->Record(channels->down, resp_bytes.size());
+  if (resp_bytes.empty()) {
+    return Status::Corruption("empty batch response");
+  }
+
+  VerifiedBatch out;
+  out.request_bytes = request_bytes;
+
+  const bool sharded_wire =
+      resp_bytes[0] == static_cast<uint8_t>(BatchWire::kSharded);
+  if (!sharded_wire) {
+    if (meta.sharded) {
+      // The edge answered with a direct (single-replica) response for a
+      // table the catalog says is sharded. That is legitimate only when
+      // the authenticated map has exactly one shard carrying the plain
+      // table name; anything else is an edge trying to dodge per-shard
+      // verification.
+      const auto map_verify_start = std::chrono::steady_clock::now();
+      auto map_bytes = edge->PartitionMapBytes(batch.table);
+      if (!map_bytes.ok()) return map_bytes.status();
+      auto map_or =
+          VerifyMapBytes(batch.table, meta, Slice(**map_bytes), now);
+      out.map_verify_us = MicrosSince(map_verify_start);
+      if (!map_or.ok()) return map_or.status();
+      const PartitionMap& map = **map_or;
+      if (map.shards.size() != 1 || map.shard_name(0) != batch.table) {
+        return Status::Corruption(
+            "edge answered a sharded table with a direct batch response");
+      }
+      out.map_epoch = map.epoch;
+    }
+    // --- parse + verify the single coalesced response ---
+    ByteReader r((Slice(resp_bytes)));
+    VBT_ASSIGN_OR_RETURN(
+        QueryBatchResponse resp,
+        DeserializeQueryBatchResponse(&r, meta.schema, b.queries));
+    out.replica_version = resp.replica_version;
+    out.stats = resp.stats;
+    const auto verify_start = std::chrono::steady_clock::now();
+    GroupOutcome group =
+        VerifyBatchGroup(batch.table, meta, b.queries, resp, now, verifier);
+    out.verify_us = MicrosSince(verify_start);
+    out.results = std::move(group.results);
+    out.crypto = group.crypto;
+    out.top_memo_hits = group.top_memo_hits;
+    out.stale_replica = group.stale_replica;
+    return out;
+  }
+
+  // --- sharded scatter-gather response ---
+  ByteReader r((Slice(resp_bytes)));
+  VBT_ASSIGN_OR_RETURN(
+      ShardedBatchDecoded decoded,
+      DeserializeShardedQueryBatchResponse(&r, meta.schema, b.queries));
+  if (!meta.sharded) {
+    // An edge must not be able to force scatter semantics onto a table
+    // the catalog says is unsharded.
+    return Status::Corruption(
+        "edge answered an unsharded table with a sharded batch response");
+  }
+
+  // Authenticate the map the edge claims to have scattered under; the
+  // decode above already validated the groups against the plan this map
+  // dictates.
+  const auto map_verify_start = std::chrono::steady_clock::now();
+  auto map_or =
+      VerifyMapBytes(batch.table, meta, Slice(decoded.map_bytes), now);
+  out.map_verify_us = MicrosSince(map_verify_start);
+  if (!map_or.ok()) {
+    // Deliver the (unverifiable) rows with the failure on every slot:
+    // the caller sees its data but nothing authenticates.
+    out.results.resize(b.queries.size());
+    for (size_t g = 0; g < decoded.groups.size(); ++g) {
+      const std::vector<ShardSlice>& slices = decoded.plan[g].slices;
+      auto& responses = decoded.groups[g].resp.responses;
+      for (size_t s = 0; s < slices.size() && s < responses.size(); ++s) {
+        Verified& v = out.results[slices[s].query_index];
+        v.verification = map_or.status();
+        v.rows.insert(v.rows.end(),
+                      std::make_move_iterator(responses[s].rows.begin()),
+                      std::make_move_iterator(responses[s].rows.end()));
+      }
+    }
+    return out;
+  }
+  const PartitionMap& map = **map_or;
+  out.map_epoch = map.epoch;
+
+  out.results.resize(b.queries.size());
+  std::vector<bool> started(b.queries.size(), false);
+  out.replica_version = ~uint64_t{0};
+  const auto verify_start = std::chrono::steady_clock::now();
+  for (size_t g = 0; g < decoded.groups.size(); ++g) {
+    const ShardScatter& planned = decoded.plan[g];
+    const std::string shard = map.shard_name(planned.shard_index);
+    std::vector<SelectQuery> slice_queries;
+    slice_queries.reserve(planned.slices.size());
+    for (const ShardSlice& slice : planned.slices) {
+      slice_queries.push_back(slice.query);
+    }
+    QueryBatchResponse& resp = decoded.groups[g].resp;
+    out.stats.Accumulate(resp.stats);
+    GroupOutcome gv =
+        VerifyBatchGroup(shard, meta, slice_queries, resp, now, verifier);
+    out.crypto.Add(gv.crypto);
+    out.top_memo_hits += gv.top_memo_hits;
+    out.stale_replica = out.stale_replica || gv.stale_replica;
+    out.replica_version = std::min(out.replica_version, resp.replica_version);
+    out.shard_query_counts.emplace_back(planned.shard_id,
+                                        planned.slices.size());
+    // Stitch: groups ascend by shard index, so per-query parts land in
+    // key order.
+    for (size_t s = 0; s < planned.slices.size(); ++s) {
+      const size_t qi = planned.slices[s].query_index;
+      MergeVerifiedPart(&out.results[qi], std::move(gv.results[s]),
+                        !started[qi]);
+      started[qi] = true;
+    }
+  }
+  out.verify_us = MicrosSince(verify_start);
+  if (out.replica_version == ~uint64_t{0}) out.replica_version = 0;
+  for (size_t qi = 0; qi < out.results.size(); ++qi) {
+    out.results[qi].map_epoch = map.epoch;
+    if (!started[qi]) {
+      // The scatter plan assigned this query to no shard: its range is
+      // empty. Nothing was executed or verified — report that (matching
+      // the unsharded path's validation) instead of a default-OK slot
+      // that would count as authenticated.
+      out.results[qi].verification =
+          Status::InvalidArgument("empty key range");
     }
   }
   return out;

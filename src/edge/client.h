@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "crypto/key_manager.h"
 #include "crypto/recovered_digest_cache.h"
 #include "edge/edge_server.h"
+#include "edge/partition_map.h"
 #include "edge/propagation/transport.h"
 #include "edge/query_service/batch_verifier.h"
 #include "edge/query_service/query_service.h"
@@ -24,10 +26,23 @@ namespace vbtree {
 /// KeyDirectory so results signed with an expired key version are
 /// rejected (§3.4).
 ///
+/// Sharded tables (RegisterShardedTable) add a scatter-gather layer: the
+/// client obtains the table's signed PartitionMap from the edge,
+/// authenticates it (signature + epoch floor), derives which shards a
+/// query must touch, and verifies one VO per shard under that shard's
+/// qualified digest schema. Cross-shard completeness holds because (a)
+/// the map's signed boundaries dictate exactly which k shards a range
+/// intersects and the client demands exactly those k VOs, (b) each
+/// per-shard VO proves completeness of the range clamped to the shard's
+/// signed boundaries, and (c) adjacent clamped ranges meet exactly at
+/// those boundaries — so the union covers the whole query range with no
+/// key the edge could silently drop between shards.
+///
 /// The client also tracks the highest replica version it has seen per
-/// table: an answer from a less up-to-date edge is flagged stale
-/// (authentic-but-old data is exactly what a compromised or lagging edge
-/// could serve within a key validity window).
+/// shard, plus a per-table partition-map epoch floor: an answer from a
+/// less up-to-date edge is flagged stale, and a map older than one this
+/// client has already authenticated (e.g. replayed from before a shard
+/// split) is rejected outright.
 ///
 /// Not internally synchronized: use one Client per thread.
 class Client {
@@ -58,20 +73,35 @@ class Client {
                      HashAlgorithm algo = HashAlgorithm::kSha256,
                      int modulus_bits = 128);
 
+  /// Registers a range-sharded table: queries route through the signed
+  /// PartitionMap (fetched from the edge, client-authenticated) and
+  /// every answer verifies per shard. The "this table is sharded" bit
+  /// travels with the schema over the authenticated catalog channel — a
+  /// malicious edge cannot downgrade a sharded table to an unsharded one
+  /// by withholding its map.
+  void RegisterShardedTable(const std::string& table, Schema schema,
+                            HashAlgorithm algo = HashAlgorithm::kSha256,
+                            int modulus_bits = 128);
+
   /// Outcome of one authenticated query.
   struct Verified {
     std::vector<ResultRow> rows;
     /// OK, or kVerificationFailure with the reason.
     Status verification;
-    /// Version of the replica that served the answer.
+    /// Version of the replica that served the answer (minimum across
+    /// shards for a scattered query).
     uint64_t replica_version = 0;
     /// True when this answer came from a replica older than one this
-    /// client already read for the same table (monotonic-read check).
+    /// client already read for the same shard (monotonic-read check).
     bool stale_replica = false;
+    /// Partition-map epoch the answer verified under (0: unsharded).
+    uint64_t map_epoch = 0;
+    /// Shards this query's range touched (1 for unsharded tables).
+    size_t shards_touched = 1;
     size_t request_bytes = 0;
     size_t result_bytes = 0;
     size_t vo_bytes = 0;
-    /// Signed digests carried by the VO (|D_S| + |D_P| + 1).
+    /// Signed digests carried by the VO(s) (|D_S| + |D_P| + 1 per shard).
     size_t vo_digests = 0;
     /// Client-side Cost_h / Cost_k / Cost_s operation counts.
     CryptoCounters counters;
@@ -79,7 +109,10 @@ class Client {
 
   /// Sends `query` to `edge` and verifies the answer at logical time
   /// `now`. Transport errors surface as the outer Status; authentication
-  /// failures are reported in Verified::verification.
+  /// failures are reported in Verified::verification. Sharded tables
+  /// scatter-gather: a range spanning k shards issues k clamped
+  /// sub-queries and merges their verified rows in shard (= key) order;
+  /// a single-shard range ships as one query the edge routes itself.
   Result<Verified> Query(EdgeServer* edge, const SelectQuery& query,
                          uint64_t now, Transport* net = nullptr);
 
@@ -87,14 +120,20 @@ class Client {
   /// plus the batch-level telemetry the edge reported.
   struct VerifiedBatch {
     std::vector<Verified> results;
-    /// The one replica version that served the whole batch.
+    /// The one replica version that served the whole batch (minimum
+    /// across shard groups for a sharded batch).
     uint64_t replica_version = 0;
     /// Batch-level monotonic-read flag (mirrored into every result).
     bool stale_replica = false;
+    /// Partition-map epoch the batch verified under (0: unsharded).
+    uint64_t map_epoch = 0;
     /// Edge-side telemetry: queue wait, exec time, shared-fetch savings,
-    /// per-component byte totals.
+    /// per-component byte totals (group-aggregated when sharded).
     BatchExecStats stats;
     size_t request_bytes = 0;
+    /// Sub-queries executed per shard: (shard_id, count). Empty for
+    /// unsharded batches. Feeds the load driver's per-shard qps.
+    std::vector<std::pair<uint32_t, uint64_t>> shard_query_counts;
     /// Client-side crypto work for the whole batch: the pool-recovery
     /// phase (batch-level, not attributable to one query) plus every
     /// per-query outcome. recovers == actual p() calls; cache fields
@@ -104,7 +143,10 @@ class Client {
     /// per-query verification) — the bench's verify_cost_us_per_query
     /// numerator.
     uint64_t verify_us = 0;
-    /// Signed-top recoveries skipped via the (table, replica_version)
+    /// Wall time spent authenticating the partition map (signature
+    /// recovery + layout checks; ~0 on the byte-identical cache hit).
+    uint64_t map_verify_us = 0;
+    /// Signed-top recoveries skipped via the (shard, replica_version)
     /// memo.
     uint64_t top_memo_hits = 0;
   };
@@ -112,9 +154,12 @@ class Client {
   /// Ships a QueryBatch through `service`'s submission queue (full wire
   /// path) and authenticates every per-query VO — fanned across
   /// `verifier`'s worker pool when one is supplied, inline otherwise.
-  /// Monotonic-read semantics match Query(): the watermark only advances
-  /// on responses that authenticated, and the batch is flagged stale when
-  /// its (single) replica version is below the watermark.
+  /// Sharded tables come back as a scatter-gather response: the client
+  /// re-authenticates the embedded map, recomputes the scatter plan, and
+  /// verifies each shard group under its own digest schema before
+  /// stitching per-query results back together. Monotonic-read semantics
+  /// match Query(): per-shard watermarks only advance on responses that
+  /// authenticated.
   Result<VerifiedBatch> QueryBatched(QueryService* service,
                                      const QueryBatch& batch, uint64_t now,
                                      BatchVerifier* verifier = nullptr,
@@ -125,6 +170,7 @@ class Client {
     Schema schema;
     HashAlgorithm algo;
     int modulus_bits;
+    bool sharded = false;
   };
 
   /// Interned request/response channel ids, cached per edge so the query
@@ -142,14 +188,31 @@ class Client {
     uint32_t key_version = 0;
     Digest digest;
   };
-  /// Signed-top recoveries observed at one (table's) replica version.
+  /// Signed-top recoveries observed at one (shard's) replica version.
   struct TopMemoEpoch {
     uint64_t replica_version = 0;
     std::unordered_map<Signature, TopEntry, SignatureHash> tops;
   };
 
+  /// A partition map this client has authenticated, kept with its exact
+  /// bytes so re-presenting the identical map skips the signature work.
+  struct VerifiedMap {
+    uint64_t epoch = 0;
+    std::vector<uint8_t> bytes;
+    PartitionMap map;
+  };
+
+  /// Verification outcome of one coalesced (single-shard) batch group.
+  struct GroupOutcome {
+    std::vector<Verified> results;  ///< positional with the group queries
+    CryptoCounters crypto;
+    uint64_t top_memo_hits = 0;
+    bool stale_replica = false;
+    bool any_verified = false;
+  };
+
   /// Memo probe/update for the signed-top fast path (newest-first epoch
-  /// list per table, bounded).
+  /// list per shard, bounded).
   const Digest* LookupTopMemo(const std::string& table,
                               uint64_t replica_version, uint32_t key_version,
                               const Signature& sig) const;
@@ -157,15 +220,55 @@ class Client {
                      uint32_t key_version, const Signature& sig,
                      const Digest& digest);
 
+  EdgeChannels* ResolveChannels(EdgeServer* edge, Transport* net);
+
+  /// Authenticates (and caches) a partition map presented by an edge:
+  /// parse, structural checks, table/db binding, epoch floor, signature
+  /// recovery under the KeyDirectory. Bytes identical to the cached
+  /// verified map short-circuit without copying or re-verifying. The
+  /// returned pointer lives until the next VerifyMapBytes call for the
+  /// same table.
+  Result<const PartitionMap*> VerifyMapBytes(const std::string& table,
+                                             const TableMeta& meta,
+                                             Slice bytes, uint64_t now);
+
+  /// One wire query against `edge`, authenticated under `schema_table`
+  /// (the shard-qualified digest schema and watermark key; equals
+  /// wire_query.table for unsharded tables).
+  Result<Verified> QueryOne(EdgeServer* edge, const SelectQuery& wire_query,
+                            const std::string& schema_table,
+                            const TableMeta& meta, uint64_t now,
+                            Transport* net);
+
+  /// Folds one shard's verified part into a scattered query's merged
+  /// outcome (rows append in shard order, cross-shard boundary check,
+  /// byte/counter sums, first failure wins).
+  static void MergeVerifiedPart(Verified* merged, Verified part,
+                                bool first_part);
+
+  /// Verifies the per-query VOs of one coalesced response against
+  /// `queries` under `schema_table`'s digest schema; updates the
+  /// schema_table watermark. The extracted core shared by the unsharded
+  /// batch path and every shard group of a scattered batch.
+  GroupOutcome VerifyBatchGroup(const std::string& schema_table,
+                                const TableMeta& meta,
+                                std::span<const SelectQuery> queries,
+                                QueryBatchResponse& resp, uint64_t now,
+                                BatchVerifier* verifier);
+
   std::string db_name_;
   KeyDirectory* keys_;
   std::map<std::string, TableMeta> tables_;
   std::map<std::string, EdgeChannels> channels_;
-  /// Highest replica version seen per table (monotonic-read watermark).
+  /// Highest replica version seen per shard (monotonic-read watermark).
   std::map<std::string, uint64_t> freshness_;
+  /// Authenticated maps and the per-table epoch floor: a map older than
+  /// one this client has accepted can never verify again.
+  std::map<std::string, VerifiedMap> maps_;
+  std::map<std::string, uint64_t> map_floor_;
   std::shared_ptr<RecoveredDigestCache> digest_cache_;
   bool verify_fast_path_ = true;
-  /// Per-table signed-top memo: batches at one watermark pay the top
+  /// Per-shard signed-top memo: batches at one watermark pay the top
   /// recovery once. Keeps the 2 newest replica versions so propagation
   /// races don't thrash it.
   std::map<std::string, std::vector<TopMemoEpoch>> top_memo_;

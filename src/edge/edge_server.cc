@@ -14,6 +14,16 @@ constexpr uint32_t kSnapshotMagic = 0x50414E53;  // "SNAP"
 /// dropped wholesale (hot ranges repopulate within a few requests, and
 /// a simple policy keeps the query hot path free of eviction bookkeeping).
 constexpr size_t kVOCacheMaxEntries = 1024;
+
+/// Splits a replica name into (base table, shard id): "t#3" → ("t", 3),
+/// plain "t" → ("t", 0) — id 0 is the sole shard of an unsplit table.
+void SplitReplicaName(const std::string& name, std::string* base,
+                      uint32_t* shard_id) {
+  if (!PartitionMap::ParseShardName(name, base, shard_id)) {
+    *base = name;
+    *shard_id = 0;
+  }
+}
 }  // namespace
 
 std::string VOCacheKey(const SelectQuery& q) {
@@ -53,12 +63,75 @@ Status EdgeServer::InstallSnapshot(Slice snapshot) {
   replica.version = replica.tree->version();
   {
     std::unique_lock lock(mu_);
+    // Map gating: once a PartitionMap is installed for the base table,
+    // only shards of the *current* layout may be installed — a pre-split
+    // shard snapshot cannot resurrect a retired layout on this edge.
+    std::string base;
+    uint32_t shard_id = 0;
+    SplitReplicaName(table, &base, &shard_id);
+    auto m = maps_.find(base);
+    if (m != maps_.end() && m->second.map.FindShard(shard_id) == nullptr) {
+      return Status::InvalidArgument(
+          "snapshot of shard '" + table +
+          "' is not in the installed partition map (epoch " +
+          std::to_string(m->second.map.epoch) + ")");
+    }
     tables_[table] = std::move(replica);
   }
   // Version bump: cached proofs were built from the replaced tree state
   // and must never be served again.
   VOCacheFlush(table);
   return Status::OK();
+}
+
+Status EdgeServer::InstallPartitionMap(Slice map_bytes) {
+  ByteReader r(map_bytes);
+  VBT_ASSIGN_OR_RETURN(PartitionMap map, PartitionMap::Deserialize(&r));
+  auto bytes = std::make_shared<const std::vector<uint8_t>>(
+      map_bytes.data(), map_bytes.data() + map_bytes.size());
+  std::vector<std::string> dropped;
+  {
+    std::unique_lock lock(mu_);
+    auto it = maps_.find(map.table);
+    if (it != maps_.end() && it->second.map.epoch > map.epoch) {
+      return Status::InvalidArgument(
+          "stale partition map epoch " + std::to_string(map.epoch) +
+          " for '" + map.table + "' (installed epoch " +
+          std::to_string(it->second.map.epoch) + ")");
+    }
+    // Retire replicas that left the layout; their cached proofs go too.
+    for (auto t = tables_.begin(); t != tables_.end();) {
+      std::string base;
+      uint32_t shard_id = 0;
+      SplitReplicaName(t->first, &base, &shard_id);
+      if (base == map.table && map.FindShard(shard_id) == nullptr) {
+        dropped.push_back(t->first);
+        t = tables_.erase(t);
+      } else {
+        ++t;
+      }
+    }
+    const std::string table = map.table;
+    maps_[table] = InstalledMap{std::move(map), std::move(bytes)};
+  }
+  for (const std::string& name : dropped) VOCacheFlush(name);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const std::vector<uint8_t>>>
+EdgeServer::PartitionMapBytes(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  auto it = maps_.find(table);
+  if (it == maps_.end()) {
+    return Status::NotFound("no partition map installed for " + table);
+  }
+  return it->second.bytes;
+}
+
+uint64_t EdgeServer::MapEpoch(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  auto it = maps_.find(table);
+  return it == maps_.end() ? 0 : it->second.map.epoch;
 }
 
 Status EdgeServer::ApplyUpdateBatch(Slice batch_bytes) {
@@ -136,7 +209,8 @@ QueryResponse EdgeServer::ResponseFromCached(const CachedQuery& entry,
   // Tamper modes touch rows only, so the memoized VO size always holds;
   // row bytes are recomputed only when a tamper hook actually ran.
   resp.vo_bytes = entry.vo_bytes;
-  if (response_tamper_ == ResponseTamper::kNone) {
+  if (response_tamper_ == ResponseTamper::kNone ||
+      response_tamper_ == ResponseTamper::kDropShardGroup) {
     resp.result_bytes = entry.result_bytes;
   } else {
     ApplyResponseTamper(&resp);
@@ -232,22 +306,46 @@ EdgeServer::VOCacheStats EdgeServer::vo_cache_stats(
 
 Result<QueryResponse> EdgeServer::HandleQuery(const SelectQuery& query) const {
   std::shared_lock lock(mu_);
+  std::string resolved = query.table;
   auto it = tables_.find(query.table);
   if (it == tables_.end()) {
-    return Status::NotFound("edge server has no replica of " + query.table);
+    // Route through the table's partition map: a base-table query whose
+    // range lies within one shard executes against that shard replica; a
+    // spanning range must be scattered by the caller (it needs one VO
+    // per shard anyway).
+    auto m = maps_.find(query.table);
+    if (m == maps_.end()) {
+      return Status::NotFound("edge server has no replica of " + query.table);
+    }
+    std::vector<size_t> owners =
+        m->second.map.ShardIndicesForRange(query.range);
+    if (owners.empty()) {
+      return Status::InvalidArgument("empty key range");
+    }
+    if (owners.size() > 1) {
+      return Status::InvalidArgument(
+          "range spans " + std::to_string(owners.size()) + " shards of '" +
+          query.table + "'; scatter one query per shard");
+    }
+    resolved = m->second.map.shard_name(owners[0]);
+    it = tables_.find(resolved);
+    if (it == tables_.end()) {
+      return Status::NotFound("shard replica not installed: " + resolved);
+    }
   }
   const TableReplica& replica = it->second;
 
   SelectQuery norm = query;
+  norm.table = resolved;
   norm.NormalizeProjection();
   const std::string cache_key = VOCacheKey(norm);
   std::shared_ptr<const CachedQuery> cached =
-      VOCacheLookup(query.table, cache_key, replica.version);
+      VOCacheLookup(resolved, cache_key, replica.version);
   if (cached == nullptr) {
     VBT_ASSIGN_OR_RETURN(QueryOutput out, replica.tree->ExecuteSelect(
-                                              query, replica.store.Fetcher()));
+                                              norm, replica.store.Fetcher()));
     cached = MakeCachedQuery(std::move(out));
-    VOCacheInsert(query.table, cache_key, replica.version, cached);
+    VOCacheInsert(resolved, cache_key, replica.version, cached);
   }
   return ResponseFromCached(*cached, replica.version);
 }
@@ -255,6 +353,7 @@ Result<QueryResponse> EdgeServer::HandleQuery(const SelectQuery& query) const {
 void EdgeServer::ApplyResponseTamper(QueryResponse* resp) const {
   switch (response_tamper_) {
     case ResponseTamper::kNone:
+    case ResponseTamper::kDropShardGroup:
       return;
     case ResponseTamper::kModifyValue:
       if (!resp->rows.empty() && resp->rows[0].values.size() > 1) {
@@ -275,40 +374,24 @@ void EdgeServer::ApplyResponseTamper(QueryResponse* resp) const {
   }
 }
 
-Result<QueryBatchResponse> EdgeServer::HandleQueryBatch(
-    const QueryBatch& batch) const {
+Result<QueryBatchResponse> EdgeServer::ExecuteBatchLocked(
+    const std::string& table, const TableReplica& replica,
+    std::span<const SelectQuery> queries) const {
   const auto start = std::chrono::steady_clock::now();
-  // The per-query table field is redundant inside a batch (the tree is
-  // selected once below, and ExecuteSelectBatch never reads it), so a
-  // mismatch check suffices — no per-query copies on this hot path.
-  for (const SelectQuery& q : batch.queries) {
-    if (!q.table.empty() && q.table != batch.table) {
-      return Status::InvalidArgument("batch over '" + batch.table +
-                                     "' contains a query on '" + q.table +
-                                     "'");
-    }
-  }
-
-  std::shared_lock lock(mu_);
-  auto it = tables_.find(batch.table);
-  if (it == tables_.end()) {
-    return Status::NotFound("edge server has no replica of " + batch.table);
-  }
-  const TableReplica& replica = it->second;
 
   // VO-cache pass: hot ranges skip BuildVONode entirely. The shared latch
   // is held across the whole batch, so the replica version cannot move
   // between the lookup and the insert; the cache mutex is taken once for
   // all lookups and once for all inserts.
-  const size_t n = batch.queries.size();
+  const size_t n = queries.size();
   std::vector<std::string> cache_keys(n);
   for (size_t i = 0; i < n; ++i) {
-    SelectQuery norm = batch.queries[i];
+    SelectQuery norm = queries[i];
     norm.NormalizeProjection();
     cache_keys[i] = VOCacheKey(norm);
   }
   std::vector<std::shared_ptr<const CachedQuery>> cached;
-  VOCacheLookupBatch(batch.table, cache_keys, replica.version, &cached);
+  VOCacheLookupBatch(table, cache_keys, replica.version, &cached);
   std::vector<SelectQuery> miss_queries;
   std::vector<size_t> miss_index;
   uint64_t cache_hits = 0;
@@ -316,7 +399,7 @@ Result<QueryBatchResponse> EdgeServer::HandleQueryBatch(
     if (cached[i] != nullptr) {
       cache_hits++;
     } else {
-      miss_queries.push_back(batch.queries[i]);
+      miss_queries.push_back(queries[i]);
       miss_index.push_back(i);
     }
   }
@@ -341,7 +424,7 @@ Result<QueryBatchResponse> EdgeServer::HandleQueryBatch(
       inserts.emplace_back(cache_keys[miss_index[m]], std::move(owned));
     }
   }
-  VOCacheInsertBatch(batch.table, replica.version, std::move(inserts));
+  VOCacheInsertBatch(table, replica.version, std::move(inserts));
 
   QueryBatchResponse resp;
   resp.replica_version = replica.version;
@@ -375,14 +458,110 @@ Result<QueryBatchResponse> EdgeServer::HandleQueryBatch(
   return resp;
 }
 
+Result<QueryBatchResponse> EdgeServer::HandleQueryBatch(
+    const QueryBatch& batch) const {
+  // The per-query table field is redundant inside a batch (the tree is
+  // selected once below, and ExecuteSelectBatch never reads it), so a
+  // mismatch check suffices — no per-query copies on this hot path.
+  for (const SelectQuery& q : batch.queries) {
+    if (!q.table.empty() && q.table != batch.table) {
+      return Status::InvalidArgument("batch over '" + batch.table +
+                                     "' contains a query on '" + q.table +
+                                     "'");
+    }
+  }
+
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(batch.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("edge server has no replica of " + batch.table);
+  }
+  return ExecuteBatchLocked(batch.table, it->second, batch.queries);
+}
+
+Result<ShardedQueryBatchResponse> EdgeServer::HandleQueryBatchSharded(
+    const QueryBatch& batch) const {
+  for (const SelectQuery& q : batch.queries) {
+    if (!q.table.empty() && q.table != batch.table) {
+      return Status::InvalidArgument("batch over '" + batch.table +
+                                     "' contains a query on '" + q.table +
+                                     "'");
+    }
+  }
+
+  // ONE shared latch acquisition for the whole scatter: every shard
+  // group answers from the same consistent edge state (per-shard replica
+  // versions still travel in each group's response).
+  std::shared_lock lock(mu_);
+  auto m = maps_.find(batch.table);
+  if (m == maps_.end()) {
+    return Status::NotFound("edge server has no partition map for " +
+                            batch.table);
+  }
+  const InstalledMap& installed = m->second;
+  std::vector<ShardScatter> plan =
+      BuildScatterPlan(installed.map, batch.queries);
+
+  ShardedQueryBatchResponse out;
+  out.map_bytes = installed.bytes;
+  out.groups.reserve(plan.size());
+  for (const ShardScatter& group : plan) {
+    const std::string shard_name = installed.map.shard_name(group.shard_index);
+    auto it = tables_.find(shard_name);
+    if (it == tables_.end()) {
+      return Status::NotFound("shard replica not installed: " + shard_name);
+    }
+    std::vector<SelectQuery> slice_queries;
+    slice_queries.reserve(group.slices.size());
+    for (const ShardSlice& slice : group.slices) {
+      slice_queries.push_back(slice.query);
+    }
+    VBT_ASSIGN_OR_RETURN(
+        QueryBatchResponse gr,
+        ExecuteBatchLocked(shard_name, it->second, slice_queries));
+    out.stats.Accumulate(gr.stats);
+    out.groups.push_back(ShardBatchGroup{group.shard_id, std::move(gr)});
+  }
+  if (response_tamper_ == ResponseTamper::kDropShardGroup &&
+      out.groups.size() > 1) {
+    out.groups.pop_back();
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> EdgeServer::ExecuteBatchToWire(
+    const QueryBatch& batch, uint64_t queue_wait_us,
+    BatchExecStats* wire_stats) const {
+  bool direct;
+  {
+    std::shared_lock lock(mu_);
+    direct = tables_.count(batch.table) != 0;
+    if (!direct && maps_.count(batch.table) == 0) {
+      return Status::NotFound("edge server has no replica of " + batch.table);
+    }
+  }
+  ByteWriter w(1 << 14);
+  if (direct) {
+    VBT_ASSIGN_OR_RETURN(QueryBatchResponse resp, HandleQueryBatch(batch));
+    resp.stats.queue_wait_us = queue_wait_us;
+    SerializeQueryBatchResponse(resp, &w, BatchWire::kV2, wire_stats);
+  } else {
+    VBT_ASSIGN_OR_RETURN(ShardedQueryBatchResponse resp,
+                         HandleQueryBatchSharded(batch));
+    for (ShardBatchGroup& g : resp.groups) {
+      g.resp.stats.queue_wait_us = queue_wait_us;
+    }
+    resp.stats.queue_wait_us = queue_wait_us;
+    SerializeShardedQueryBatchResponse(resp, &w, wire_stats);
+  }
+  return w.TakeBuffer();
+}
+
 Result<std::vector<uint8_t>> EdgeServer::HandleQueryBatchBytes(
     Slice request) const {
   ByteReader r(request);
   VBT_ASSIGN_OR_RETURN(QueryBatch batch, DeserializeQueryBatch(&r));
-  VBT_ASSIGN_OR_RETURN(QueryBatchResponse resp, HandleQueryBatch(batch));
-  ByteWriter w(1 << 14);
-  SerializeQueryBatchResponse(resp, &w);
-  return w.TakeBuffer();
+  return ExecuteBatchToWire(batch, /*queue_wait_us=*/0, nullptr);
 }
 
 Result<std::vector<uint8_t>> EdgeServer::HandleQueryBytes(
@@ -398,12 +577,23 @@ Result<std::vector<uint8_t>> EdgeServer::HandleQueryBytes(
 Status EdgeServer::TamperValueByKey(const std::string& table, int64_t key,
                                     size_t col, Value v) {
   std::unique_lock lock(mu_);
+  std::string resolved = table;
   auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    // Route through the map, like queries: the hacker corrupts whichever
+    // shard replica owns the key.
+    auto m = maps_.find(table);
+    if (m != maps_.end()) {
+      resolved = m->second.map.ShardName(
+          table, m->second.map.ShardForKey(key).shard_id);
+      it = tables_.find(resolved);
+    }
+  }
   if (it == tables_.end()) return Status::NotFound("no replica of " + table);
   // The hook models store corruption on a hacked edge: drop any cached
   // (honest, pre-tamper) outputs so subsequent VOs are rebuilt from the
   // corrupted store — which is what the client-side detection tests prove.
-  VOCacheFlush(table);
+  VOCacheFlush(resolved);
   return it->second.store.TamperByKey(key, col, std::move(v));
 }
 
@@ -586,6 +776,74 @@ Result<QueryBatchResponse> DeserializeQueryBatchResponse(
     resp.sig_pool = std::make_shared<const SignaturePool>(std::move(pool));
   }
   return resp;
+}
+
+void SerializeShardedQueryBatchResponse(const ShardedQueryBatchResponse& resp,
+                                        ByteWriter* w,
+                                        BatchExecStats* wire_stats) {
+  w->PutU8(static_cast<uint8_t>(BatchWire::kSharded));
+  w->PutLengthPrefixed(resp.map_bytes == nullptr ? Slice()
+                                                 : Slice(*resp.map_bytes));
+  w->PutVarint(resp.groups.size());
+  BatchExecStats agg;
+  agg.queue_wait_us = resp.stats.queue_wait_us;
+  for (const ShardBatchGroup& g : resp.groups) {
+    w->PutU32(g.shard_id);
+    BatchExecStats group_wire;
+    SerializeQueryBatchResponse(g.resp, w, BatchWire::kV2, &group_wire);
+    agg.Accumulate(group_wire);
+  }
+  if (wire_stats != nullptr) *wire_stats = agg;
+}
+
+Result<ShardedBatchDecoded> DeserializeShardedQueryBatchResponse(
+    ByteReader* r, const Schema& schema,
+    const std::vector<SelectQuery>& queries) {
+  VBT_ASSIGN_OR_RETURN(uint8_t version, r->ReadU8());
+  if (version != static_cast<uint8_t>(BatchWire::kSharded)) {
+    return Status::Corruption("not a sharded batch response (version " +
+                              std::to_string(version) + ")");
+  }
+  ShardedBatchDecoded out;
+  VBT_ASSIGN_OR_RETURN(Slice map_bytes, r->ReadLengthPrefixed());
+  out.map_bytes.assign(map_bytes.data(), map_bytes.data() + map_bytes.size());
+  {
+    ByteReader map_reader(map_bytes);
+    VBT_ASSIGN_OR_RETURN(out.map, PartitionMap::Deserialize(&map_reader));
+  }
+  // The plan is a pure function of (map, queries): the client derives its
+  // completeness expectations from the SAME map the edge claims to have
+  // scattered under. If the map is forged, its signature check fails
+  // later; if the groups don't match the plan, the edge omitted or
+  // invented shard answers — kCorruption either way.
+  out.plan = BuildScatterPlan(out.map, queries);
+  VBT_ASSIGN_OR_RETURN(uint64_t n_groups, r->ReadCount());
+  if (n_groups != out.plan.size()) {
+    return Status::Corruption(
+        "sharded batch response has " + std::to_string(n_groups) +
+        " shard groups, scatter plan dictates " +
+        std::to_string(out.plan.size()));
+  }
+  out.groups.reserve(out.plan.size());
+  for (const ShardScatter& planned : out.plan) {
+    ShardBatchGroup group;
+    VBT_ASSIGN_OR_RETURN(group.shard_id, r->ReadU32());
+    if (group.shard_id != planned.shard_id) {
+      return Status::Corruption(
+          "sharded batch response group for shard " +
+          std::to_string(group.shard_id) + ", scatter plan dictates shard " +
+          std::to_string(planned.shard_id));
+    }
+    std::vector<SelectQuery> slice_queries;
+    slice_queries.reserve(planned.slices.size());
+    for (const ShardSlice& slice : planned.slices) {
+      slice_queries.push_back(slice.query);
+    }
+    VBT_ASSIGN_OR_RETURN(
+        group.resp, DeserializeQueryBatchResponse(r, schema, slice_queries));
+    out.groups.push_back(std::move(group));
+  }
+  return out;
 }
 
 }  // namespace vbtree

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "edge/network.h"
+#include "edge/partition_map.h"
 #include "edge/replica_store.h"
 #include "query/predicate.h"
 #include "vbtree/vb_tree.h"
@@ -24,6 +25,10 @@ enum class ResponseTamper {
   kInjectRow,
   /// Silently drop the last result row.
   kDropRow,
+  /// Omit the last shard group from a sharded (scatter-gather) batch
+  /// response — the "hide a whole shard's answers" attack the signed
+  /// PartitionMap exists to expose.
+  kDropShardGroup,
 };
 
 /// A query answer as shipped from edge to client.
@@ -74,6 +79,22 @@ struct BatchExecStats {
   /// Queries in this batch answered from the edge's VO cache (skipping
   /// BuildVONode entirely).
   uint64_t vo_cache_hits = 0;
+
+  /// Folds another group's stats in (sharded responses aggregate their
+  /// per-shard groups; queue_wait is batch-level, so the max wins).
+  void Accumulate(const BatchExecStats& o) {
+    queue_wait_us = queue_wait_us > o.queue_wait_us ? queue_wait_us
+                                                    : o.queue_wait_us;
+    exec_us += o.exec_us;
+    nodes_visited += o.nodes_visited;
+    tuple_fetches += o.tuple_fetches;
+    shared_fetch_hits += o.shared_fetch_hits;
+    total_result_bytes += o.total_result_bytes;
+    total_vo_bytes += o.total_vo_bytes;
+    vo_wire_bytes += o.vo_wire_bytes;
+    sig_pool_entries += o.sig_pool_entries;
+    vo_cache_hits += o.vo_cache_hits;
+  }
 };
 
 /// The coalesced answer to a QueryBatch: positional responses — all
@@ -92,36 +113,90 @@ struct QueryBatchResponse {
   std::shared_ptr<const SignaturePool> sig_pool;
 };
 
+/// One shard's coalesced answers inside a scatter-gather batch response:
+/// `resp` is positional over the shard's slice queries of the scatter
+/// plan (partition_map.h), which both ends derive from the same signed
+/// map.
+struct ShardBatchGroup {
+  uint32_t shard_id = 0;
+  QueryBatchResponse resp;
+};
+
+/// The edge's answer to a batch over a sharded table: the signed map the
+/// edge scattered under (the client re-verifies it — signature, epoch
+/// floor — before trusting the layout), plus one group per planned
+/// shard, ascending by shard index. Every group executes under the same
+/// single latch acquisition, so the whole scatter reads one consistent
+/// edge state.
+struct ShardedQueryBatchResponse {
+  std::shared_ptr<const std::vector<uint8_t>> map_bytes;
+  std::vector<ShardBatchGroup> groups;
+  BatchExecStats stats;  ///< aggregate over groups
+};
+
+/// Client-side decode of a sharded batch response: the parsed (not yet
+/// trusted) map, the scatter plan recomputed from it, and the per-group
+/// responses. Group count and shard ids are validated against the plan
+/// during decode, so an edge omitting (or duplicating) a shard's answers
+/// is rejected as kCorruption before verification even starts.
+struct ShardedBatchDecoded {
+  PartitionMap map;
+  std::vector<uint8_t> map_bytes;
+  std::vector<ShardScatter> plan;
+  std::vector<ShardBatchGroup> groups;  ///< positional with `plan`
+};
+
 /// An unsecured proxy server at the network edge (Fig. 2): holds replicas
-/// of tables and their VB-trees, executes select-project(-join-view)
-/// queries, and builds a verification object for every answer. It cannot
-/// sign anything — all signatures in its replicas came from the central
-/// server.
+/// of table *shards* and their VB-trees, plus each table's signed
+/// PartitionMap; executes select-project(-join-view) queries, routing
+/// through the map when a query names the base table; and builds a
+/// verification object for every answer. It cannot sign anything — all
+/// signatures in its replicas came from the central server.
 ///
-/// Thread-safe: queries run under a shared latch; snapshot installation
-/// (update propagation) takes it exclusively, so in-flight queries finish
-/// against the old replica before it is swapped out.
+/// Thread-safe: queries run under a shared latch; snapshot/map
+/// installation (update propagation) takes it exclusively, so in-flight
+/// queries finish against the old replica before it is swapped out.
 class EdgeServer {
  public:
   explicit EdgeServer(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
 
-  /// Installs (or replaces) a table replica from a central-server
-  /// snapshot.
+  /// Installs (or replaces) a shard replica from a central-server
+  /// snapshot. Map-gated: when a PartitionMap for the shard's base table
+  /// is installed, the shard must appear in it — a stale pre-split shard
+  /// (or one from a layout this edge has moved past) is rejected with
+  /// kInvalidArgument. Tables with no installed map (direct test use)
+  /// are accepted ungated.
   Status InstallSnapshot(Slice snapshot);
 
+  /// Installs a table's signed PartitionMap (shipped by the hub ahead of
+  /// shard data). Epoch-monotone: an older epoch than the installed one
+  /// is rejected; a newer one replaces it and drops shard replicas that
+  /// are no longer in the layout (their cached proofs go with them).
+  Status InstallPartitionMap(Slice map_bytes);
+
+  /// The installed map's serialized bytes (clients fetch + verify these
+  /// to learn the scatter layout), or kNotFound. Shared, not copied:
+  /// the steady-state client re-check is a byte compare against its
+  /// cached verified map.
+  Result<std::shared_ptr<const std::vector<uint8_t>>> PartitionMapBytes(
+      const std::string& table) const;
+
+  /// Epoch of the installed map for `table`, or 0 when none.
+  uint64_t MapEpoch(const std::string& table) const;
+
   /// Applies a serialized UpdateBatch (delta propagation, §3.4): each op
-  /// is replayed structurally against the replica tree, with the central
-  /// server's signatures spliced in. Version-gated: fails with
+  /// is replayed structurally against the shard replica tree, with the
+  /// central server's signatures spliced in. Version-gated: fails with
   /// kInvalidArgument unless the batch starts exactly at the replica's
   /// version (the propagation hub then catches the replica up with a
   /// full snapshot). Thread-safe: replay takes the exclusive latch, so
   /// in-flight queries finish against the old state first.
   Status ApplyUpdateBatch(Slice batch);
 
-  /// Current replica version of `table` (number of ops applied since its
-  /// snapshot lineage began), or 0 if absent.
+  /// Current replica version of shard `table` (number of ops applied
+  /// since its snapshot lineage began), or 0 if absent.
   uint64_t TableVersion(const std::string& table) const;
 
   bool HasTable(const std::string& table) const {
@@ -129,23 +204,46 @@ class EdgeServer {
     return tables_.count(table) != 0;
   }
 
-  /// Executes a query against local replicas and builds the VO.
+  /// Executes a query against local replicas and builds the VO. A query
+  /// naming a base table with an installed map is routed to the owning
+  /// shard when its range lies within one shard; a range spanning
+  /// several shards must be scattered by the caller (kInvalidArgument).
   Result<QueryResponse> HandleQuery(const SelectQuery& query) const;
 
   /// Full wire path: parse request bytes, execute, serialize response.
   Result<std::vector<uint8_t>> HandleQueryBytes(Slice request) const;
 
-  /// Executes a QueryBatch with shared traversals (one latch acquisition,
-  /// batch-wide tuple memo) and builds the coalesced response.
+  /// Executes a QueryBatch against one directly-addressed replica with
+  /// shared traversals (one latch acquisition, batch-wide tuple memo)
+  /// and builds the coalesced response.
   Result<QueryBatchResponse> HandleQueryBatch(const QueryBatch& batch) const;
+
+  /// Scatter-gather execution of a batch naming a base table with an
+  /// installed map: the batch is partitioned per-shard by the
+  /// deterministic scatter plan and every shard group executes with the
+  /// usual shared traversals — all under ONE latch acquisition, so the
+  /// groups answer from a single consistent edge state.
+  Result<ShardedQueryBatchResponse> HandleQueryBatchSharded(
+      const QueryBatch& batch) const;
 
   /// Full wire path for batches, for callers that bypass a QueryService
   /// (direct dispatch): the response's queue_wait_us is 0 by definition.
   /// Queued dispatch goes through QueryService::SubmitBatchBytes, which
-  /// stamps the measured wait into the serialized stats.
+  /// stamps the measured wait into the serialized stats. Dispatches to
+  /// the direct (v2) or sharded (v3) layout by how `batch.table`
+  /// resolves.
   Result<std::vector<uint8_t>> HandleQueryBatchBytes(Slice request) const;
 
+  /// Shared body of the bytes paths: executes `batch` (direct or
+  /// sharded) and serializes the response, stamping `queue_wait_us` and
+  /// reporting the serialization-time wire stats.
+  Result<std::vector<uint8_t>> ExecuteBatchToWire(
+      const QueryBatch& batch, uint64_t queue_wait_us,
+      BatchExecStats* wire_stats) const;
+
   // --- hacked-server hooks ---
+  /// Tampers a stored value; `table` may be a shard name or a mapped
+  /// base table (routed to the owning shard).
   Status TamperValueByKey(const std::string& table, int64_t key, size_t col,
                           Value v);
   void set_response_tamper(ResponseTamper mode) { response_tamper_ = mode; }
@@ -173,6 +271,11 @@ class EdgeServer {
     uint64_t version = 0;
   };
 
+  struct InstalledMap {
+    PartitionMap map;
+    std::shared_ptr<const std::vector<uint8_t>> bytes;
+  };
+
   /// One memoized honest query output (rows + VO) plus its serialized
   /// sizes, computed once at insert so cache hits never re-serialize the
   /// VO just for byte accounting.
@@ -198,6 +301,13 @@ class EdgeServer {
   };
 
   void ApplyResponseTamper(QueryResponse* resp) const;
+
+  /// Body of one coalesced batch against `replica`, under an
+  /// already-held shared latch. `table` is the replica's (shard) name —
+  /// the VO-cache key space.
+  Result<QueryBatchResponse> ExecuteBatchLocked(
+      const std::string& table, const TableReplica& replica,
+      std::span<const SelectQuery> queries) const;
 
   /// Wraps a successful execution output as a cache entry, computing the
   /// serialized sizes once.
@@ -228,7 +338,10 @@ class EdgeServer {
 
   std::string name_;
   mutable std::shared_mutex mu_;
+  /// Shard replicas, keyed by distribution name ("t" or "t#3").
   std::map<std::string, TableReplica> tables_;
+  /// Installed partition maps, keyed by base table name.
+  std::map<std::string, InstalledMap> maps_;
   /// Guarded by its own mutex (not mu_): lookups/inserts happen under the
   /// shared latch from many query workers at once.
   mutable std::mutex vo_cache_mu_;
@@ -254,6 +367,9 @@ enum class BatchWire : uint8_t {
   /// Batch-level signature pool + pool-referencing VOs + per-query
   /// statuses + extended stats trailer.
   kV2 = 2,
+  /// Scatter-gather over a sharded table: the signed map bytes followed
+  /// by one embedded v2 response per planned shard group.
+  kSharded = 3,
 };
 
 /// Batch response wire format: version byte, replica version once, (v2) a
@@ -272,6 +388,23 @@ void SerializeQueryBatchResponse(const QueryBatchResponse& resp, ByteWriter* w,
                                  BatchWire wire = BatchWire::kV2,
                                  BatchExecStats* wire_stats = nullptr);
 Result<QueryBatchResponse> DeserializeQueryBatchResponse(
+    ByteReader* r, const Schema& schema,
+    const std::vector<SelectQuery>& queries);
+
+/// Sharded (v3) batch response framing: version byte, the serialized
+/// signed map, then per-group shard id + embedded v2 response.
+/// `wire_stats` receives the group-aggregated serialization-time stats.
+void SerializeShardedQueryBatchResponse(const ShardedQueryBatchResponse& resp,
+                                        ByteWriter* w,
+                                        BatchExecStats* wire_stats = nullptr);
+
+/// Decodes a v3 response against the original (normalized, base-table)
+/// `queries`: parses the embedded map, recomputes the scatter plan from
+/// it, and validates group count / shard ids / per-group response counts
+/// against the plan — an edge omitting a shard's answers fails here with
+/// kCorruption. The map itself is NOT authenticated here; the caller
+/// (Client) must Verify() it before trusting the layout.
+Result<ShardedBatchDecoded> DeserializeShardedQueryBatchResponse(
     ByteReader* r, const Schema& schema,
     const std::vector<SelectQuery>& queries);
 

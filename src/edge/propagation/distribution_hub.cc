@@ -31,6 +31,8 @@ Status DistributionHub::Subscribe(EdgeServer* edge) {
         transport_->Channel("central->edge:" + edge->name());
     sub->delta_channel =
         transport_->Channel("central->edge:" + edge->name() + ":delta");
+    sub->map_channel =
+        transport_->Channel("central->edge:" + edge->name() + ":map");
   }
   subscribers_.push_back(std::move(sub));
   return Status::OK();
@@ -97,12 +99,61 @@ Status DistributionHub::FlushOnce() {
 }
 
 std::vector<std::string> DistributionHub::DistributedNames() const {
-  std::vector<std::string> names = central_->TableNames();
+  // Per-shard version streams: every shard of every table is its own
+  // snapshot/delta lineage (views remain whole-object snapshots).
+  std::vector<std::string> names = central_->ShardNames();
   if (options_.distribute_views) {
     std::vector<std::string> views = central_->ViewNames();
     names.insert(names.end(), views.begin(), views.end());
   }
   return names;
+}
+
+Status DistributionHub::ShipMaps() {
+  std::vector<CentralServer::MapInfo> maps = central_->PartitionMaps();
+  if (maps.empty()) return Status::OK();
+
+  struct MapShip {
+    Subscriber* sub;
+    const CentralServer::MapInfo* info;
+  };
+  std::vector<MapShip> ships;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (const auto& sub : subscribers_) {
+      for (const CentralServer::MapInfo& info : maps) {
+        auto it = sub->applied_maps.find(info.table);
+        if (it != sub->applied_maps.end() && it->second >= info.epoch) {
+          continue;
+        }
+        ships.push_back(MapShip{sub.get(), &info});
+      }
+    }
+  }
+  Status first_error = Status::OK();
+  for (const MapShip& ship : ships) {
+    // Byte accounting mirrors RunJob: everything Recorded on a channel
+    // is counted in bytes_shipped, delivered or not — the exact
+    // channel-sum == bytes_shipped invariant the tests assert.
+    if (transport_ != nullptr && ship.sub->map_channel != kInvalidChannel) {
+      transport_->Record(ship.sub->map_channel, ship.info->bytes->size());
+    }
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.maps_shipped++;
+      stats_.bytes_shipped += ship.info->bytes->size();
+    }
+    Status s = ship.sub->edge->InstallPartitionMap(Slice(*ship.info->bytes));
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (s.ok()) {
+      ship.sub->applied_maps[ship.info->table] = ship.info->epoch;
+    } else {
+      if (first_error.ok()) first_error = s;
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.ship_errors++;
+    }
+  }
+  return first_error;
 }
 
 Result<std::shared_ptr<const std::vector<uint8_t>>>
@@ -117,6 +168,11 @@ DistributionHub::SnapshotBytes(const std::string& name) {
 }
 
 Status DistributionHub::BuildAndRunPlan() {
+  // Maps first: shard installs are gated on a consistent layout, so a
+  // subscriber must hold the current epoch before any shard payload of
+  // that epoch arrives.
+  Status map_status = ShipMaps();
+
   std::vector<std::string> names = DistributedNames();
   std::vector<std::string> view_list = central_->ViewNames();
   std::set<std::string> views(view_list.begin(), view_list.end());
@@ -159,7 +215,7 @@ Status DistributionHub::BuildAndRunPlan() {
       }
     }
   }
-  if (wants.empty()) return Status::OK();
+  if (wants.empty()) return map_status;
 
   // Serialize payloads outside the registry lock, once per distinct
   // (table, from_version): a delta batch is shared by every subscriber at
@@ -173,7 +229,7 @@ Status DistributionHub::BuildAndRunPlan() {
   std::set<std::pair<std::string, uint64_t>> snapshot_decisions;
   std::vector<ShipJob> jobs;
   jobs.reserve(wants.size());
-  Status first_error = Status::OK();
+  Status first_error = map_status;
   for (Want& w : wants) {
     ShipJob job;
     job.sub = w.sub;
@@ -198,12 +254,13 @@ Status DistributionHub::BuildAndRunPlan() {
           if (options_.policy == ShipPolicy::kCostBased) {
             // A delta bigger than the modeled snapshot is a loss: the
             // replica can be rebuilt for less than replaying the churn.
-            const VBTree* tree = central_->tree(w.name);
-            if (tree != nullptr) {
+            // SnapshotShapeOf reads under the shard's shared_ptr, so a
+            // concurrent SplitShard cannot free the tree mid-read.
+            auto shape = central_->SnapshotShapeOf(w.name);
+            if (shape.ok()) {
               costmodel::CostParams p;
-              p.num_tuples = static_cast<double>(tree->size());
-              p.num_cols = static_cast<double>(
-                  tree->digest_schema().schema().num_columns());
+              p.num_tuples = static_cast<double>(shape->num_tuples);
+              p.num_cols = static_cast<double>(shape->num_cols);
               if (static_cast<double>(bytes->size()) >
                   costmodel::SnapshotBytesEstimate(p)) {
                 w.snapshot = true;
@@ -331,6 +388,7 @@ Status DistributionHub::RunJob(const ShipJob& job) {
 
 bool DistributionHub::Converged() {
   std::vector<std::string> names = DistributedNames();
+  std::vector<CentralServer::MapInfo> maps = central_->PartitionMaps();
   std::lock_guard<std::mutex> lock(state_mu_);
   for (const std::string& name : names) {
     auto head = central_->VersionOf(name);
@@ -339,6 +397,14 @@ bool DistributionHub::Converged() {
       auto it = sub->applied.find(name);
       if (it == sub->applied.end() || it->second != *head) return false;
       if (sub->force_snapshot.count(name) != 0) return false;
+    }
+  }
+  for (const CentralServer::MapInfo& info : maps) {
+    for (const auto& sub : subscribers_) {
+      auto it = sub->applied_maps.find(info.table);
+      if (it == sub->applied_maps.end() || it->second < info.epoch) {
+        return false;
+      }
     }
   }
   return true;

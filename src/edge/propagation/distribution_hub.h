@@ -51,9 +51,17 @@ struct PropagationOptions {
 /// The asynchronous update-propagation subsystem (§3.4 "propagate the
 /// changes periodically", scaled to a fleet): owns a subscriber registry
 /// of edge servers and a background propagator thread that, every
-/// `flush_interval`, batches the pending ops of every table from the
-/// central server's versioned UpdateLogs and ships them to all
-/// stale subscribers concurrently over the Transport.
+/// `flush_interval`, batches the pending ops of every table *shard* from
+/// the central server's versioned UpdateLogs and ships them to all
+/// stale subscribers concurrently over the Transport. Shards are
+/// independent version streams: each has its own snapshot/delta lineage,
+/// so an update to one shard never re-ships its table's siblings.
+///
+/// Partition maps ship first: at the start of every round, any
+/// subscriber whose installed map epoch trails the central's receives
+/// the table's signed PartitionMap before any shard payload — edges
+/// apply shard updates only under a consistent layout (installs of
+/// shards outside the installed map are rejected edge-side).
 ///
 /// Version gating makes delivery idempotent and self-healing: each
 /// subscriber tracks the replica version it has applied per table; a
@@ -117,6 +125,8 @@ class DistributionHub {
     uint64_t snapshots_shipped = 0;
     /// Snapshots forced by a version gap / log truncation / apply error.
     uint64_t catch_up_snapshots = 0;
+    /// Signed partition maps shipped (epoch bumps and fresh subscribers).
+    uint64_t maps_shipped = 0;
     uint64_t bytes_shipped = 0;
     uint64_t ship_errors = 0;
   };
@@ -125,13 +135,16 @@ class DistributionHub {
  private:
   struct Subscriber {
     EdgeServer* edge = nullptr;
-    /// Versions this subscriber has applied, per table/view name. A
+    /// Versions this subscriber has applied, per shard/view name. A
     /// missing entry means "never shipped" → snapshot.
     std::map<std::string, uint64_t> applied;
+    /// Partition-map epochs this subscriber has installed, per table.
+    std::map<std::string, uint64_t> applied_maps;
     /// Names whose next ship must be a snapshot regardless of versions.
     std::set<std::string> force_snapshot;
     channel_id_t snapshot_channel = kInvalidChannel;
     channel_id_t delta_channel = kInvalidChannel;
+    channel_id_t map_channel = kInvalidChannel;
   };
 
   struct ShipJob {
@@ -144,6 +157,9 @@ class DistributionHub {
 
   void PropagatorLoop();
   Status BuildAndRunPlan();
+  /// Ships every stale subscriber the current signed partition maps —
+  /// called at the top of each round, before any shard payload.
+  Status ShipMaps();
   Status RunJob(const ShipJob& job);
   /// Serializes (and caches for this flush) the snapshot of `name`.
   Result<std::shared_ptr<const std::vector<uint8_t>>> SnapshotBytes(

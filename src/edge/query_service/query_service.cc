@@ -124,20 +124,22 @@ std::future<Result<std::vector<uint8_t>>> QueryService::SubmitBatchBytes(
     const Clock::time_point exec_start = Clock::now();
     // Parse here (on the worker) so deserialization cost also comes off
     // the client's critical path; re-serialize with the measured wait.
+    // ExecuteBatchToWire dispatches direct (v2) vs scatter-gather (v3)
+    // by how the batch's table resolves on this edge.
     auto run = [&]() -> Result<std::vector<uint8_t>> {
       ByteReader r((Slice(req)));
       VBT_ASSIGN_OR_RETURN(QueryBatch batch, DeserializeQueryBatch(&r));
-      VBT_ASSIGN_OR_RETURN(QueryBatchResponse resp,
-                           edge_->HandleQueryBatch(batch));
-      resp.stats.queue_wait_us = wait_us;
-      const uint64_t exec_us = MicrosSince(exec_start);
-      ByteWriter w(1 << 14);
       BatchExecStats wire_stats;
-      SerializeQueryBatchResponse(resp, &w, BatchWire::kV2, &wire_stats);
-      Account(wait_us, exec_us, batch.queries.size(), /*is_batch=*/true,
-              wire_stats.total_vo_bytes, wire_stats.total_result_bytes,
-              /*error=*/false, &wire_stats);
-      return w.TakeBuffer();
+      VBT_ASSIGN_OR_RETURN(
+          std::vector<uint8_t> out,
+          edge_->ExecuteBatchToWire(batch, wait_us, &wire_stats));
+      // wire_stats.exec_us is the edge-measured execution time (inside
+      // the latch, group-summed when sharded) — serialization stays out
+      // of the exec metric, as before the ExecuteBatchToWire refactor.
+      Account(wait_us, wire_stats.exec_us, batch.queries.size(),
+              /*is_batch=*/true, wire_stats.total_vo_bytes,
+              wire_stats.total_result_bytes, /*error=*/false, &wire_stats);
+      return out;
     };
     Result<std::vector<uint8_t>> out = run();
     if (!out.ok()) {

@@ -1,6 +1,7 @@
 #ifndef VBTREE_EDGE_REPLICA_STORE_H_
 #define VBTREE_EDGE_REPLICA_STORE_H_
 
+#include <map>
 #include <unordered_map>
 
 #include "catalog/tuple.h"
@@ -9,10 +10,16 @@
 
 namespace vbtree {
 
-/// The tuple replica held by an edge server for one table: Rid → tuple,
-/// addressed by the Rids embedded in the distributed VB-tree's leaf
-/// entries. Being *unsecured* (§3.1), it exposes tamper hooks that tests
-/// and examples use to play the hacked-edge-server role.
+/// The tuple replica held by an edge server for one table shard: Rid →
+/// tuple, addressed by the Rids embedded in the distributed VB-tree's
+/// leaf entries. Being *unsecured* (§3.1), it exposes tamper hooks that
+/// tests and examples use to play the hacked-edge-server role.
+///
+/// The key index is an ordered map so range deletes (delta replay of
+/// DeleteRange ops) cost O(log n + k) instead of scanning every key the
+/// replica holds — under per-shard delta streams the same op volume
+/// replays against many small replicas, and the full-scan erase was the
+/// dominant replay cost.
 class ReplicaStore {
  public:
   Status Put(const Rid& rid, Tuple tuple) {
@@ -44,18 +51,17 @@ class ReplicaStore {
   }
 
   /// Removes all tuples with keys in [lo, hi] (delta-replay of a range
-  /// delete); returns how many were removed.
+  /// delete); returns how many were removed. O(log n + k): the ordered
+  /// key index seeks to lo and walks only the doomed run.
   size_t RemoveKeyRange(int64_t lo, int64_t hi) {
-    std::vector<int64_t> doomed;
-    for (const auto& [key, rid] : rid_by_key_) {
-      if (key >= lo && key <= hi) doomed.push_back(key);
-    }
-    for (int64_t key : doomed) {
-      auto it = rid_by_key_.find(key);
+    size_t removed = 0;
+    auto it = rid_by_key_.lower_bound(lo);
+    while (it != rid_by_key_.end() && it->first <= hi) {
       by_rid_.erase(Pack(it->second));
-      rid_by_key_.erase(it);
+      it = rid_by_key_.erase(it);
+      removed++;
     }
-    return doomed.size();
+    return removed;
   }
 
   /// Adapter for VBTree::ExecuteSelect.
@@ -70,7 +76,8 @@ class ReplicaStore {
   }
 
   std::unordered_map<uint64_t, Tuple> by_rid_;
-  std::unordered_map<int64_t, Rid> rid_by_key_;
+  /// Ordered: RemoveKeyRange seeks instead of scanning.
+  std::map<int64_t, Rid> rid_by_key_;
 };
 
 }  // namespace vbtree

@@ -244,12 +244,16 @@ TEST_F(PropagationTest, MultiEdgeConvergenceUnderConcurrentChurn) {
   // max_batch_ops=16 and 160 ops, there must be several deltas.
   auto stats = hub.stats();
   EXPECT_GE(stats.deltas_shipped, static_cast<uint64_t>(kEdges));
+  // Every subscriber got the table's signed partition map before any
+  // shard payload.
+  EXPECT_GE(stats.maps_shipped, static_cast<uint64_t>(kEdges));
   // Exact byte accounting flowed through the per-edge channels.
   uint64_t channel_bytes = 0;
   for (const auto& edge : edges) {
     channel_bytes += net.stats("central->edge:" + edge->name()).bytes;
     channel_bytes +=
         net.stats("central->edge:" + edge->name() + ":delta").bytes;
+    channel_bytes += net.stats("central->edge:" + edge->name() + ":map").bytes;
   }
   EXPECT_EQ(channel_bytes, stats.bytes_shipped);
 }

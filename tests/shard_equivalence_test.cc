@@ -1,0 +1,246 @@
+// Shard-vs-monolith equivalence: the same rows served at 1, 4 and 16
+// shards must produce row-for-row identical *verified* results for the
+// same queries — including ranges inside one shard, ranges landing
+// exactly on shard boundaries, and ranges spanning every shard — through
+// both the single-query scatter path and the batched scatter-gather
+// path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "edge/central_server.h"
+#include "edge/client.h"
+#include "edge/edge_server.h"
+#include "edge/propagation/distribution_hub.h"
+#include "edge/query_service/query_service.h"
+#include "tests/testutil.h"
+
+namespace vbtree {
+namespace {
+
+constexpr size_t kRows = 800;
+
+/// One complete stack (central + hub + edge + client) over the same rows
+/// at a given shard count.
+struct Stack {
+  std::unique_ptr<CentralServer> central;
+  std::unique_ptr<EdgeServer> edge;
+  std::unique_ptr<DistributionHub> hub;
+  std::unique_ptr<Client> client;
+  SimulatedNetwork net;
+  Schema schema;
+
+  ~Stack() {
+    if (hub != nullptr) hub->Stop();
+  }
+};
+
+std::unique_ptr<Stack> MakeStack(size_t shards) {
+  auto stack = std::make_unique<Stack>();
+  CentralServer::Options opts;
+  opts.tree_opts.config.max_internal = 16;
+  opts.tree_opts.config.max_leaf = 16;
+  auto central = CentralServer::Create(opts);
+  if (!central.ok()) return nullptr;
+  stack->central = central.MoveValueUnsafe();
+  stack->schema = testutil::MakeWideSchema(5);
+
+  if (!stack->central
+           ->CreateTable("t", stack->schema, EvenSplitPoints(kRows, shards))
+           .ok()) {
+    return nullptr;
+  }
+  // Identical seed across stacks → identical rows.
+  Rng rng(4242);
+  if (!stack->central
+           ->LoadTable("t", testutil::MakeRows(stack->schema, kRows, &rng))
+           .ok()) {
+    return nullptr;
+  }
+
+  stack->edge = std::make_unique<EdgeServer>("edge");
+  PropagationOptions popts;
+  popts.auto_start = false;
+  stack->hub = std::make_unique<DistributionHub>(stack->central.get(),
+                                                 &stack->net, popts);
+  if (!stack->hub->Subscribe(stack->edge.get()).ok()) return nullptr;
+  if (!stack->hub->SyncAll().ok()) return nullptr;
+
+  stack->client = std::make_unique<Client>(stack->central->db_name(),
+                                           stack->central->key_directory());
+  if (shards == 1) {
+    // The 1-shard stack registers the table the pre-sharding way: the
+    // legacy verification path is the equivalence baseline.
+    stack->client->RegisterTable("t", stack->schema);
+  } else {
+    stack->client->RegisterShardedTable("t", stack->schema);
+  }
+  return stack;
+}
+
+/// Queries covering the boundary taxonomy for the 4-shard layout
+/// (boundaries at 200/400/600) and the 16-shard layout (every 50).
+std::vector<SelectQuery> EquivalenceQueries() {
+  std::vector<SelectQuery> queries;
+  auto add = [&](int64_t lo, int64_t hi) {
+    SelectQuery q;
+    q.table = "t";
+    q.range = KeyRange{lo, hi};
+    queries.push_back(std::move(q));
+  };
+  add(120, 180);    // strictly inside one shard (all layouts)
+  add(200, 399);    // exactly one 4-shard shard, 4 of the 16-shard ones
+  add(199, 200);    // straddles a boundary by one key on each side
+  add(400, 400);    // single key exactly on a boundary
+  add(399, 399);    // single key just left of a boundary
+  add(150, 650);    // spans 3+ shards
+  add(0, kRows - 1);        // full table
+  add(-100, 2 * kRows);     // beyond both ends of the data
+  // Conditions + projection interact with per-shard VOs the same way
+  // they do with the monolith's.
+  {
+    SelectQuery q;
+    q.table = "t";
+    q.range = KeyRange{100, 700};
+    q.projection = {0, 2};
+    queries.push_back(std::move(q));
+  }
+  {
+    SelectQuery q;
+    q.table = "t";
+    q.range = KeyRange{0, kRows - 1};
+    q.conditions.push_back(
+        ColumnCondition{1, CompareOp::kGt, Value::Str("m")});
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+void ExpectSameRows(const std::vector<ResultRow>& a,
+                    const std::vector<ResultRow>& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << what << " row " << i;
+    ASSERT_EQ(a[i].values.size(), b[i].values.size()) << what << " row " << i;
+    for (size_t v = 0; v < a[i].values.size(); ++v) {
+      EXPECT_EQ(a[i].values[v].Compare(b[i].values[v]), 0)
+          << what << " row " << i << " col " << v;
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, SingleQueriesMatchRowForRow) {
+  auto mono = MakeStack(1);
+  auto four = MakeStack(4);
+  auto sixteen = MakeStack(16);
+  ASSERT_NE(mono, nullptr);
+  ASSERT_NE(four, nullptr);
+  ASSERT_NE(sixteen, nullptr);
+
+  size_t qi = 0;
+  for (const SelectQuery& q : EquivalenceQueries()) {
+    const std::string what = "query " + std::to_string(qi++);
+    auto r1 = mono->client->Query(mono->edge.get(), q, 10, &mono->net);
+    auto r4 = four->client->Query(four->edge.get(), q, 10, &four->net);
+    auto r16 =
+        sixteen->client->Query(sixteen->edge.get(), q, 10, &sixteen->net);
+    ASSERT_TRUE(r1.ok()) << what << ": " << r1.status().ToString();
+    ASSERT_TRUE(r4.ok()) << what << ": " << r4.status().ToString();
+    ASSERT_TRUE(r16.ok()) << what << ": " << r16.status().ToString();
+    EXPECT_TRUE(r1->verification.ok())
+        << what << ": " << r1->verification.ToString();
+    EXPECT_TRUE(r4->verification.ok())
+        << what << ": " << r4->verification.ToString();
+    EXPECT_TRUE(r16->verification.ok())
+        << what << ": " << r16->verification.ToString();
+    ExpectSameRows(r1->rows, r4->rows, what + " (1 vs 4)");
+    ExpectSameRows(r1->rows, r16->rows, what + " (1 vs 16)");
+  }
+}
+
+TEST(ShardEquivalenceTest, BatchedQueriesMatchRowForRow) {
+  auto mono = MakeStack(1);
+  auto four = MakeStack(4);
+  auto sixteen = MakeStack(16);
+  ASSERT_NE(mono, nullptr);
+  ASSERT_NE(four, nullptr);
+  ASSERT_NE(sixteen, nullptr);
+
+  QueryBatch batch;
+  batch.table = "t";
+  batch.queries = EquivalenceQueries();
+
+  auto run = [&](Stack* stack) {
+    QueryService service(stack->edge.get(), QueryServiceOptions{2, 64});
+    return stack->client->QueryBatched(&service, batch, 10, nullptr,
+                                       &stack->net);
+  };
+  auto b1 = run(mono.get());
+  auto b4 = run(four.get());
+  auto b16 = run(sixteen.get());
+  ASSERT_TRUE(b1.ok()) << b1.status().ToString();
+  ASSERT_TRUE(b4.ok()) << b4.status().ToString();
+  ASSERT_TRUE(b16.ok()) << b16.status().ToString();
+  ASSERT_EQ(b1->results.size(), batch.queries.size());
+  ASSERT_EQ(b4->results.size(), batch.queries.size());
+  ASSERT_EQ(b16->results.size(), batch.queries.size());
+  for (size_t i = 0; i < batch.queries.size(); ++i) {
+    const std::string what = "batched query " + std::to_string(i);
+    EXPECT_TRUE(b1->results[i].verification.ok())
+        << what << ": " << b1->results[i].verification.ToString();
+    EXPECT_TRUE(b4->results[i].verification.ok())
+        << what << ": " << b4->results[i].verification.ToString();
+    EXPECT_TRUE(b16->results[i].verification.ok())
+        << what << ": " << b16->results[i].verification.ToString();
+    ExpectSameRows(b1->results[i].rows, b4->results[i].rows,
+                   what + " (1 vs 4)");
+    ExpectSameRows(b1->results[i].rows, b16->results[i].rows,
+                   what + " (1 vs 16)");
+  }
+}
+
+TEST(ShardEquivalenceTest, UpdatesKeepShardedStacksEquivalent) {
+  auto mono = MakeStack(1);
+  auto four = MakeStack(4);
+  ASSERT_NE(mono, nullptr);
+  ASSERT_NE(four, nullptr);
+
+  // Same DML against both stacks: a boundary-crossing range delete, then
+  // inserts into several shards (one exactly on the 4-shard boundary key
+  // 400, re-filling a hole the delete left).
+  for (Stack* stack : {mono.get(), four.get()}) {
+    Rng rng(99);
+    auto removed = stack->central->DeleteRange("t", 390, 410);
+    ASSERT_TRUE(removed.ok());
+    EXPECT_EQ(*removed, 21u);
+    ASSERT_TRUE(stack->central
+                    ->InsertTuple("t", testutil::MakeTuple(stack->schema,
+                                                           kRows + 5, &rng))
+                    .ok());
+    ASSERT_TRUE(stack->central
+                    ->InsertTuple("t", testutil::MakeTuple(stack->schema,
+                                                           400, &rng))
+                    .ok());
+    ASSERT_TRUE(stack->hub->SyncAll().ok());
+  }
+
+  for (auto [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+           {380, 420}, {0, kRows + 10}, {395, 405}}) {
+    SelectQuery q;
+    q.table = "t";
+    q.range = KeyRange{lo, hi};
+    auto r1 = mono->client->Query(mono->edge.get(), q, 10, &mono->net);
+    auto r4 = four->client->Query(four->edge.get(), q, 10, &four->net);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r4.ok());
+    EXPECT_TRUE(r1->verification.ok()) << r1->verification.ToString();
+    EXPECT_TRUE(r4->verification.ok()) << r4->verification.ToString();
+    ExpectSameRows(r1->rows, r4->rows,
+                   "post-update [" + std::to_string(lo) + "," +
+                       std::to_string(hi) + "]");
+  }
+}
+
+}  // namespace
+}  // namespace vbtree

@@ -53,6 +53,8 @@ struct CliState {
   /// the walkthrough stays step-by-step.
   std::unique_ptr<DistributionHub> hub;
   Schema schema;
+  /// Key-range shards for the demo table (--shards N; 1 = monolith).
+  size_t shards = 1;
   bool loaded = false;
   uint64_t now = 1;
 };
@@ -87,7 +89,15 @@ void DoLoad(CliState* st, size_t n) {
   st->schema = Schema({{"id", TypeId::kInt64},
                        {"payload", TypeId::kString},
                        {"tag", TypeId::kString}});
-  if (!st->central->CreateTable(kTable, st->schema).ok()) return;
+  // --shards N pre-splits the demo table evenly over the loaded keys:
+  // every shard is its own signed VB-tree, stitched by the signed
+  // PartitionMap the client authenticates before scattering queries.
+  auto created = st->central->CreateTable(
+      kTable, st->schema, EvenSplitPoints(n, st->shards));
+  if (!created.ok()) {
+    std::printf("error: %s\n", created.status().ToString().c_str());
+    return;
+  }
   Rng rng(7);
   std::vector<Tuple> rows;
   rows.reserve(n);
@@ -110,15 +120,25 @@ void DoLoad(CliState* st, size_t n) {
   st->client =
       std::make_unique<Client>(st->central->db_name(),
                                st->central->key_directory());
-  st->client->RegisterTable(kTable, st->schema);
+  if (st->shards > 1) {
+    st->client->RegisterShardedTable(kTable, st->schema);
+    std::printf("loaded %zu rows across %zu shards (map epoch %llu)\n", n,
+                st->central->ShardCount(kTable).ValueOrDie(),
+                static_cast<unsigned long long>(
+                    st->central->TablePartitionMap(kTable)
+                        .ValueOrDie()
+                        .epoch));
+  } else {
+    st->client->RegisterTable(kTable, st->schema);
+    std::printf("loaded %zu rows; root digest %s...\n", n,
+                st->central->tree(kTable)->root_digest().ToHex().substr(0, 16)
+                    .c_str());
+  }
   st->loaded = true;
-  std::printf("loaded %zu rows; root digest %s...\n", n,
-              st->central->tree(kTable)->root_digest().ToHex().substr(0, 16)
-                  .c_str());
 }
 
 void DoQuery(CliState* st, int64_t lo, int64_t hi) {
-  if (!st->edge->HasTable(kTable)) {
+  if (!st->edge->HasTable(kTable) && st->edge->MapEpoch(kTable) == 0) {
     std::printf("error: edge has no replica; run `publish`\n");
     return;
   }
@@ -195,9 +215,15 @@ void Dispatch(CliState* st, const std::string& line) {
     if (!RequireLoaded(*st)) return;
     Status s = st->hub->SyncAll();
     if (s.ok()) {
-      std::printf("hub flushed; edge at version %llu\n",
-                  static_cast<unsigned long long>(
-                      st->edge->TableVersion(kTable)));
+      if (st->shards > 1) {
+        std::printf("hub flushed; edge at map epoch %llu\n",
+                    static_cast<unsigned long long>(
+                        st->edge->MapEpoch(kTable)));
+      } else {
+        std::printf("hub flushed; edge at version %llu\n",
+                    static_cast<unsigned long long>(
+                        st->edge->TableVersion(kTable)));
+      }
     } else {
       std::printf("error: %s\n", s.ToString().c_str());
     }
@@ -223,23 +249,38 @@ void Dispatch(CliState* st, const std::string& line) {
     DoQuery(st, lo, hi);
   } else if (cmd == "audit") {
     if (!RequireLoaded(*st)) return;
-    const VBTree* tree = st->edge->tree(kTable);
-    if (tree == nullptr) {
-      std::printf("error: edge has no replica; run `publish`\n");
+    // Audits every shard replica (one shard, the plain name, when the
+    // table is unsharded).
+    auto map = st->central->TablePartitionMap(kTable);
+    if (!map.ok()) {
+      std::printf("error: %s\n", map.status().ToString().c_str());
       return;
     }
-    auto rec = st->central->key_directory()->RecovererFor(
-        tree->key_version(), st->now);
-    if (!rec.ok()) {
-      std::printf("audit failed: %s\n", rec.status().ToString().c_str());
-      return;
+    size_t total = 0;
+    for (size_t i = 0; i < map->shards.size(); ++i) {
+      const std::string shard = map->shard_name(i);
+      const VBTree* tree = st->edge->tree(shard);
+      if (tree == nullptr) {
+        std::printf("error: edge has no replica of %s; run `publish`\n",
+                    shard.c_str());
+        return;
+      }
+      auto rec = st->central->key_directory()->RecovererFor(
+          tree->key_version(), st->now);
+      if (!rec.ok()) {
+        std::printf("audit failed: %s\n", rec.status().ToString().c_str());
+        return;
+      }
+      auto audited = tree->AuditSignatures(rec->get());
+      if (!audited.ok()) {
+        std::printf("audit FAILED (%s): %s\n", shard.c_str(),
+                    audited.status().ToString().c_str());
+        return;
+      }
+      total += *audited;
     }
-    auto audited = tree->AuditSignatures(rec->get());
-    if (audited.ok()) {
-      std::printf("audit OK: %zu signatures verified\n", *audited);
-    } else {
-      std::printf("audit FAILED: %s\n", audited.status().ToString().c_str());
-    }
+    std::printf("audit OK: %zu signatures verified across %zu shard(s)\n",
+                total, map->shards.size());
   } else if (cmd == "rotate") {
     if (!RequireLoaded(*st)) return;
     uint64_t now = st->now;
@@ -252,20 +293,26 @@ void Dispatch(CliState* st, const std::string& line) {
                 st->central->current_key_version());
   } else if (cmd == "stats") {
     if (!RequireLoaded(*st)) return;
-    VBTree* tree = st->central->tree(kTable);
-    std::printf(
-        "central: %zu rows, height %d, %llu nodes, key v%u, table v%llu\n",
-        tree->size(), tree->height(),
-        static_cast<unsigned long long>(tree->node_count()),
-        st->central->current_key_version(),
-        static_cast<unsigned long long>(
-            st->central->TableVersion(kTable).ok()
-                ? *st->central->TableVersion(kTable)
-                : 0));
-    std::printf("edge: replica %s, version %llu\n",
-                st->edge->HasTable(kTable) ? "installed" : "absent",
-                static_cast<unsigned long long>(
-                    st->edge->TableVersion(kTable)));
+    auto map = st->central->TablePartitionMap(kTable);
+    if (!map.ok()) {
+      std::printf("error: %s\n", map.status().ToString().c_str());
+      return;
+    }
+    std::printf("central: key v%u, %zu shard(s), map epoch %llu\n",
+                st->central->current_key_version(), map->shards.size(),
+                static_cast<unsigned long long>(map->epoch));
+    for (size_t i = 0; i < map->shards.size(); ++i) {
+      const std::string shard = map->shard_name(i);
+      VBTree* tree = st->central->tree(shard);
+      if (tree == nullptr) continue;
+      std::printf(
+          "  %s: %zu rows, height %d, %llu nodes, v%llu | edge %s v%llu\n",
+          shard.c_str(), tree->size(), tree->height(),
+          static_cast<unsigned long long>(tree->node_count()),
+          static_cast<unsigned long long>(tree->version()),
+          st->edge->HasTable(shard) ? "installed" : "absent",
+          static_cast<unsigned long long>(st->edge->TableVersion(shard)));
+    }
     std::printf("network: %llu bytes total\n",
                 static_cast<unsigned long long>(st->net.total_bytes()));
     auto hub_stats = st->hub->stats();
@@ -286,12 +333,25 @@ void Dispatch(CliState* st, const std::string& line) {
 
 int main(int argc, char** argv) {
   CliState st;
+  const char* script_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      long n = std::atol(argv[++i]);
+      st.shards = n > 0 ? static_cast<size_t>(n) : 1;
+    } else if (script_path == nullptr) {
+      script_path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: vbtree_cli [--shards N] [script]\n");
+      return 2;
+    }
+  }
   std::printf("vbtree_cli — authenticated query processing demo (try `help`)\n");
 
-  if (argc > 1) {
-    std::ifstream script(argv[1]);
+  if (script_path != nullptr) {
+    std::ifstream script(script_path);
     if (!script) {
-      std::fprintf(stderr, "cannot open script %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open script %s\n", script_path);
       return 1;
     }
     std::string line;
