@@ -91,6 +91,13 @@ struct RunResult {
   double queue_wait_avg_us = 0;
   uint64_t queue_wait_max_us = 0;
   double exec_avg_us = 0;
+  /// OLC telemetry: optimistic-read restarts across every service batch
+  /// (0 ⇔ no writer ever overlapped a traversal) and time spent yielding
+  /// between restarts or blocked on the tree's pessimistic fallback.
+  uint64_t olc_restarts = 0;
+  uint64_t latch_wait_us_total = 0;
+  double olc_restarts_per_query = 0;
+  double latch_wait_avg_us = 0;
   /// Raw (self-contained) VO bytes — what wire v1 would have shipped.
   uint64_t vo_bytes_total = 0;
   /// VO bytes actually shipped (wire v2: signature pool + pooled VOs).
@@ -322,29 +329,41 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
     run.vo_bytes_total += st.vo_bytes_total;
     run.vo_wire_bytes_total += st.vo_wire_bytes_total;
     run.vo_cache_hits += st.vo_cache_hits;
+    run.olc_restarts += st.olc_restarts;
+    run.latch_wait_us_total += st.latch_wait_us_total;
   }
   if (completed > 0) {
     run.queue_wait_avg_us =
         static_cast<double>(waits) / static_cast<double>(completed);
     run.exec_avg_us =
         static_cast<double>(execs) / static_cast<double>(completed);
+    run.latch_wait_avg_us = static_cast<double>(run.latch_wait_us_total) /
+                            static_cast<double>(completed);
   }
   if (wire_queries > 0) {
     run.vo_bytes_per_query = static_cast<double>(run.vo_wire_bytes_total) /
                              static_cast<double>(wire_queries);
     run.vo_raw_bytes_per_query = static_cast<double>(run.vo_bytes_total) /
                                  static_cast<double>(wire_queries);
+    run.olc_restarts_per_query = static_cast<double>(run.olc_restarts) /
+                                 static_cast<double>(wire_queries);
   }
 
   // Shared-traversal savings: re-issue one representative batch directly
   // so the VBBatchStats are attributable (service-side batches all fold
-  // into the same counters).
+  // into the same counters). Two details keep these counters honest:
+  // the VO cache is bypassed — a cache hit skips the tree walk entirely,
+  // so a repeated batch would report tuple_fetches=0 and the memo would
+  // look dead (it did, for a whole release) — and the ranges form an
+  // overlapping staircase (step = span/2), so consecutive queries share
+  // tuples and the per-batch fetch memo provably has hits to report.
   {
-    Rng rng(9);
     QueryBatch batch;
     batch.table = "events";
+    const int64_t base = static_cast<int64_t>(n_tuples / 4);
+    const int64_t step = std::max<int64_t>(1, cfg.range_span / 2);
     for (size_t i = 0; i < cfg.batch; ++i) {
-      int64_t lo = static_cast<int64_t>(rng.Uniform(n_tuples / 2));
+      int64_t lo = base + static_cast<int64_t>(i) * step;
       batch.queries.push_back(
           SelectQuery{"events", KeyRange{lo, lo + cfg.range_span}, {}, {}});
     }
@@ -353,10 +372,12 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
       run.tuple_fetches = stats.tuple_fetches;
     };
     if (cfg.shards > 1) {
-      auto resp = (*edges)[0]->HandleQueryBatchSharded(batch);
+      auto resp = (*edges)[0]->HandleQueryBatchSharded(
+          batch, /*bypass_vo_cache=*/true);
       if (resp.ok()) record(resp->stats);
     } else {
-      auto resp = (*edges)[0]->HandleQueryBatch(batch);
+      auto resp =
+          (*edges)[0]->HandleQueryBatch(batch, /*bypass_vo_cache=*/true);
       if (resp.ok()) record(resp->stats);
     }
   }
@@ -389,7 +410,9 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                 "\"verified_queries\": %llu, "
                 "\"batch_p50_us\": %.0f, \"batch_p99_us\": %.0f, "
                 "\"queue_wait_avg_us\": %.1f, \"queue_wait_max_us\": %llu, "
-                "\"exec_avg_us\": %.1f, \"vo_bytes\": %llu, "
+                "\"exec_avg_us\": %.1f, \"olc_restarts\": %llu, "
+                "\"olc_restarts_per_query\": %.4f, "
+                "\"latch_wait_avg_us\": %.2f, \"vo_bytes\": %llu, "
                 "\"vo_wire_bytes\": %llu, \"vo_cache_hits\": %llu, "
                 "\"vo_bytes_per_query\": %.1f, "
                 "\"vo_raw_bytes_per_query\": %.1f, "
@@ -413,6 +436,8 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                 r.batch_p50_us, r.batch_p99_us, r.queue_wait_avg_us,
                 static_cast<unsigned long long>(r.queue_wait_max_us),
                 r.exec_avg_us,
+                static_cast<unsigned long long>(r.olc_restarts),
+                r.olc_restarts_per_query, r.latch_wait_avg_us,
                 static_cast<unsigned long long>(r.vo_bytes_total),
                 static_cast<unsigned long long>(r.vo_wire_bytes_total),
                 static_cast<unsigned long long>(r.vo_cache_hits),
@@ -641,6 +666,7 @@ int main(int argc, char** argv) {
       std::printf(
           "workers=%-2zu qps=%9.1f  p50=%7.0fus  p99=%7.0fus  "
           "queue_wait(avg/max)=%6.0f/%llu us  batches=%llu  "
+          "olc_restarts=%llu latch_wait=%.0fus/b  "
           "verify_fail=%llu stale=%llu updates=%llu shared_hits=%llu/%llu  "
           "vo_B/q=%.0f (raw %.0f)  vo_cache_hits=%llu  "
           "verify=%.0fus/q cov=%.2f recovers=%llu dcache=%llu/%llu "
@@ -649,6 +675,8 @@ int main(int argc, char** argv) {
           r.queue_wait_avg_us,
           static_cast<unsigned long long>(r.queue_wait_max_us),
           static_cast<unsigned long long>(r.batches),
+          static_cast<unsigned long long>(r.olc_restarts),
+          r.latch_wait_avg_us,
           static_cast<unsigned long long>(r.verify_failures),
           static_cast<unsigned long long>(r.stale_batches),
           static_cast<unsigned long long>(r.updates_applied),

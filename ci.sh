@@ -1,24 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 verify line: configure, build, run every test via CTest.
 #
-#   ./ci.sh                 regular build + ctest (build/)
-#   ./ci.sh --sanitize      ASan+UBSan build + ctest (build-asan/)
-#   ./ci.sh --bench-smoke   regular build, then a short edge_throughput
-#                           run emitting BENCH_edge_throughput.json
+#   ./ci.sh                   regular build + ctest (build/)
+#   ./ci.sh --sanitize        ASan+UBSan build + ctest (build-asan/)
+#   ./ci.sh --sanitize=thread TSan build + the concurrency-focused test
+#                             subset (build-tsan/) — the OLC race job
+#   ./ci.sh --bench-smoke     regular build, then a short edge_throughput
+#                             run emitting BENCH_edge_throughput.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
 MODE="default"
 case "${1:-}" in
-  --sanitize) MODE="sanitize" ;;
+  --sanitize|--sanitize=address) MODE="sanitize" ;;
+  --sanitize=thread) MODE="tsan" ;;
   --bench-smoke) MODE="bench-smoke" ;;
   "") ;;
-  *) echo "usage: ci.sh [--sanitize|--bench-smoke]" >&2; exit 2 ;;
+  *) echo "usage: ci.sh [--sanitize[=address|thread]|--bench-smoke]" >&2
+     exit 2 ;;
 esac
 
 if [[ "$MODE" == "sanitize" ]]; then
   BUILD_DIR=build-asan
   cmake -B "$BUILD_DIR" -S . -DVBT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+elif [[ "$MODE" == "tsan" ]]; then
+  BUILD_DIR=build-tsan
+  cmake -B "$BUILD_DIR" -S . -DVBT_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
 else
   BUILD_DIR=build
   cmake -B "$BUILD_DIR" -S .
@@ -125,6 +133,52 @@ elif float(vc) > float(bvc) * 1.25:
 else:
     print("verify_cost_us_per_query=%.1f vs baseline %.1f: OK"
           % (float(vc), float(bvc)))
+
+# OLC scaling gate: exec_avg_us at workers=8 is the latch-contention
+# signal the optimistic-lock-coupling tree exists to shrink — if a
+# change re-serializes readers, execution time under a full pool moves
+# long before qps does (the modeled stall hides small shifts in qps).
+# 10% band: exec_avg_us is batch-work CPU time, far less noisy than the
+# wall-clock verify costs above. Telemetry fields must also be present
+# so the artifact keeps carrying the restart-rate trajectory.
+def run_at(doc, w):
+    for r in doc.get("runs", []):
+        if int(r.get("workers", -1)) == w:
+            return r
+    return None
+
+r8 = run_at(new, 8)
+if r8 is None:
+    sys.exit("FAIL: no workers=8 run in BENCH_edge_throughput.json")
+for fld in ("olc_restarts_per_query", "latch_wait_avg_us", "exec_avg_us"):
+    if fld not in r8:
+        sys.exit("FAIL: %s missing from the workers=8 run" % fld)
+cur8 = float(r8["exec_avg_us"])
+b8 = run_at(base, 8)
+base8 = float(b8.get("exec_avg_us", 0)) if b8 is not None else 0.0
+if base8 <= 0:
+    print("exec_avg_us@8=%.1f (no baseline; presence check only)" % cur8)
+elif cur8 > base8 * 1.10:
+    sys.exit("FAIL: exec_avg_us@workers=8 regressed: %.1f vs baseline %.1f "
+             "(+%.1f%%)" % (cur8, base8, 100.0 * (cur8 / base8 - 1.0)))
+else:
+    print("exec_avg_us@8=%.1f vs baseline %.1f: OK (olc_restarts/q=%.4f, "
+          "latch_wait=%.2fus/b)" % (cur8, base8,
+                                    float(r8["olc_restarts_per_query"]),
+                                    float(r8["latch_wait_avg_us"])))
+
+# Batch tuple-fetch memo gate: the representative batch each run
+# re-issues must actually walk the tree and share fetches — both
+# counters sat at zero for a release because VO-cache hits skipped the
+# walk and nothing noticed.
+for r in new.get("runs", []):
+    tf = int(r.get("tuple_fetches", 0))
+    sh = int(r.get("shared_fetch_hits", 0))
+    if tf <= 0 or sh <= 0:
+        sys.exit("FAIL: dead batch fetch memo at workers=%s: "
+                 "tuple_fetches=%d shared_fetch_hits=%d"
+                 % (r.get("workers"), tf, sh))
+print("batch fetch memo live in every run: OK")
 PY
   rm -f "$BASELINE"
   echo "wrote BENCH_edge_throughput.json"
@@ -167,6 +221,18 @@ if mono_qps > 0 and shard_qps < 0.90 * mono_qps:
              % (shard_qps, mono_qps))
 print("shards=4 qps %.1f vs single-shard %.1f: OK (per-shard: %s)"
       % (shard_qps, mono_qps, shard["per_shard_qps"]))
+
+# The per-(shard,batch) fetch memo must be live under scatter-gather
+# too — this exact artifact shipped with tuple_fetches=0 AND
+# shared_fetch_hits=0 when the memo silently died under sharding.
+for r in shard.get("runs", []):
+    tf = int(r.get("tuple_fetches", 0))
+    sh = int(r.get("shared_fetch_hits", 0))
+    if tf <= 0 or sh <= 0:
+        sys.exit("FAIL: dead sharded fetch memo at workers=%s: "
+                 "tuple_fetches=%d shared_fetch_hits=%d"
+                 % (r.get("workers"), tf, sh))
+print("shards=4 batch fetch memo live in every run: OK")
 PY
   echo "wrote BENCH_edge_throughput_shards4.json"
   # Crypto fast-path microbench: Recover-vs-cache throughput on this
@@ -185,4 +251,15 @@ if [[ "$MODE" == "sanitize" ]]; then
   export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 fi
-ctest --output-on-failure -j "$(nproc)"
+if [[ "$MODE" == "tsan" ]]; then
+  # The TSan job runs the concurrency-heavy subset: the worker-pool
+  # service suite, the scatter-gather equivalence suite, and the OLC
+  # stress suite (readers racing splits, forced restarts, snapshot
+  # installs). The full suite under TSan is prohibitively slow on the
+  # single-CPU CI runner and adds no interleavings these don't hit.
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+  ctest --output-on-failure -j "$(nproc)" \
+        -R "query_service|shard_equivalence|olc_stress"
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi

@@ -1,0 +1,185 @@
+#ifndef VBTREE_COMMON_OLC_H_
+#define VBTREE_COMMON_OLC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace vbtree {
+namespace olc {
+
+// Optimistic-lock-coupling primitives for the VB-tree (vmcache-style
+// versioned latches): every node carries a 64-bit version word
+//
+//     word = (version << 1) | locked
+//
+// Readers never latch. They read the word (acquire), give up immediately
+// if the lock bit is set, read the node's immutable content snapshot, and
+// re-check every recorded word after the traversal — any bump or lock
+// observed at validation time means a writer overlapped and the attempt
+// restarts from the root. Writers (which an external exclusive mutex
+// already serializes against each other) set the lock bit on every node
+// they touch, publish new content snapshots, and release with a version
+// bump, so no reader can ever validate a mixed state.
+//
+// Node contents are immutable once published: writers clone-on-write and
+// retire the old snapshot through the epoch reclaimer below, so a reader
+// holding a stale pointer dereferences intact (merely outdated) memory
+// and fails validation afterwards — torn reads are impossible by
+// construction, which is what makes the scheme sound for variable-length
+// C++ payloads (vectors, signatures) rather than fixed PODs.
+
+inline constexpr uint64_t kLockedBit = 1;
+
+inline bool IsLocked(uint64_t word) { return (word & kLockedBit) != 0; }
+
+/// The word a node is born with: version 1, unlocked.
+inline constexpr uint64_t kInitialWord = 1ull << 1;
+
+/// Next word after releasing a lock taken on `locked_word`: clear the
+/// lock bit, bump the version.
+inline uint64_t BumpedUnlocked(uint64_t locked_word) {
+  return ((locked_word >> 1) + 1) << 1;
+}
+
+/// Epoch-based reclamation for retired node shells / content snapshots.
+///
+/// Readers pin the global epoch for the duration of one traversal
+/// attempt; writers (externally serialized) retire objects tagged with
+/// the epoch current at retire time and free an object only once the
+/// epoch has advanced twice past its tag — by which point every reader
+/// that could have loaded a pointer to it has unpinned.
+///
+/// The pin protocol closes the classic publication race with a verify
+/// loop: the reader stores its epoch (seq_cst) and re-reads the global
+/// epoch until it observes the value it pinned. Reading epoch E through
+/// a seq_cst load synchronizes with the writer's advance store to E, so
+/// every content swap retired with tag <= E-1 happens-before the
+/// reader's subsequent pointer loads — the reader cannot even observe a
+/// pointer that the writer is already entitled to free.
+class EpochReclaimer {
+ public:
+  static constexpr size_t kSlots = 64;
+
+  EpochReclaimer() = default;
+  ~EpochReclaimer() { DrainAll(); }
+
+  EpochReclaimer(const EpochReclaimer&) = delete;
+  EpochReclaimer& operator=(const EpochReclaimer&) = delete;
+
+ private:
+  struct Slot;
+
+ public:
+
+  /// RAII reader pin. Claims a slot per pin (O(kSlots) relaxed scan,
+  /// negligible next to a traversal) so no thread-local registration can
+  /// dangle across reclaimer lifetimes.
+  class Pin {
+   public:
+    explicit Pin(EpochReclaimer* r) : r_(r) {
+      slot_ = r_->ClaimSlot();
+      uint64_t e = r_->global_.load(std::memory_order_seq_cst);
+      for (;;) {
+        slot_->epoch.store(e, std::memory_order_seq_cst);
+        uint64_t now = r_->global_.load(std::memory_order_seq_cst);
+        if (now == e) break;
+        e = now;
+      }
+    }
+    ~Pin() {
+      slot_->epoch.store(0, std::memory_order_release);
+      slot_->used.store(false, std::memory_order_release);
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    EpochReclaimer* r_;
+    Slot* slot_;
+  };
+
+  /// Writer side (caller must hold the structure's exclusive writer
+  /// mutex): queue `deleter` to run once no pinned reader can still hold
+  /// a pointer obtained before the retire.
+  void Retire(std::function<void()> deleter) {
+    limbo_.emplace_back(global_.load(std::memory_order_relaxed),
+                        std::move(deleter));
+  }
+
+  /// Writer side: advance the epoch if every pinned reader has caught
+  /// up, then free limbo entries two epochs old. Called at the end of
+  /// each write operation.
+  void Collect() {
+    const uint64_t e = global_.load(std::memory_order_relaxed);
+    bool can_advance = true;
+    for (size_t i = 0; i < kSlots; ++i) {
+      uint64_t p = slots_[i].epoch.load(std::memory_order_seq_cst);
+      if (p != 0 && p != e) {
+        can_advance = false;
+        break;
+      }
+    }
+    if (can_advance) global_.store(e + 1, std::memory_order_seq_cst);
+    const uint64_t frontier = global_.load(std::memory_order_relaxed);
+    size_t kept = 0;
+    for (size_t i = 0; i < limbo_.size(); ++i) {
+      // Free once global >= tag + 2: readers pinned at `tag` (the last
+      // ones able to load the retired pointer) block the advance past
+      // tag + 1, so reaching tag + 2 proves they have all unpinned.
+      if (limbo_[i].first + 2 <= frontier) {
+        limbo_[i].second();
+      } else {
+        if (kept != i) limbo_[kept] = std::move(limbo_[i]);
+        kept++;
+      }
+    }
+    limbo_.resize(kept);
+  }
+
+  /// Destructor path: no readers can remain; run everything.
+  void DrainAll() {
+    for (auto& [tag, fn] : limbo_) fn();
+    limbo_.clear();
+  }
+
+  size_t limbo_size() const { return limbo_.size(); }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<bool> used{false};
+  };
+
+  Slot* ClaimSlot() {
+    const size_t start =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots;
+    for (;;) {
+      for (size_t i = 0; i < kSlots; ++i) {
+        Slot& s = slots_[(start + i) % kSlots];
+        bool expected = false;
+        if (!s.used.load(std::memory_order_relaxed) &&
+            s.used.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+          return &s;
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Starts at 2 so a zero slot always means "unpinned" and freshly
+  /// retired objects (tag >= 2) never free at frontier 0/1.
+  std::atomic<uint64_t> global_{2};
+  Slot slots_[kSlots];
+  /// (retire-epoch tag, deleter); writer-mutex-serialized access only.
+  std::vector<std::pair<uint64_t, std::function<void()>>> limbo_;
+};
+
+}  // namespace olc
+}  // namespace vbtree
+
+#endif  // VBTREE_COMMON_OLC_H_

@@ -45,8 +45,8 @@ Status EdgeServer::InstallSnapshot(Slice snapshot) {
   VBT_ASSIGN_OR_RETURN(std::string table, r.ReadString());
   VBT_ASSIGN_OR_RETURN(Schema schema, Schema::Deserialize(&r));
 
-  TableReplica replica;
-  replica.schema = schema;
+  auto replica = std::make_shared<TableReplica>();
+  replica->schema = schema;
   VBT_ASSIGN_OR_RETURN(uint64_t n, r.ReadCount());
   for (uint64_t i = 0; i < n; ++i) {
     Rid rid;
@@ -54,13 +54,12 @@ Status EdgeServer::InstallSnapshot(Slice snapshot) {
     rid.page_id = static_cast<int32_t>(page);
     VBT_ASSIGN_OR_RETURN(rid.slot, r.ReadU16());
     VBT_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(&r, schema));
-    VBT_RETURN_NOT_OK(replica.store.Put(rid, std::move(t)));
+    VBT_RETURN_NOT_OK(replica->store.Put(rid, std::move(t)));
   }
   // Edge replicas have no signer: updates are rejected locally and must be
-  // routed to the central server (§3.4).
-  VBT_ASSIGN_OR_RETURN(replica.tree, VBTree::Deserialize(&r, nullptr));
-  // The tree carries its replica version end-to-end.
-  replica.version = replica.tree->version();
+  // routed to the central server (§3.4). The tree carries its replica
+  // version end-to-end.
+  VBT_ASSIGN_OR_RETURN(replica->tree, VBTree::Deserialize(&r, nullptr));
   {
     std::unique_lock lock(mu_);
     // Map gating: once a PartitionMap is installed for the base table,
@@ -76,6 +75,9 @@ Status EdgeServer::InstallSnapshot(Slice snapshot) {
           "' is not in the installed partition map (epoch " +
           std::to_string(m->second.map.epoch) + ")");
     }
+    // Swap, don't mutate: in-flight batches pinned the old replica and
+    // finish against its (still consistent) state; the old shared_ptr
+    // dies with the last of them.
     tables_[table] = std::move(replica);
   }
   // Version bump: cached proofs were built from the replaced tree state
@@ -135,58 +137,73 @@ uint64_t EdgeServer::MapEpoch(const std::string& table) const {
 }
 
 Status EdgeServer::ApplyUpdateBatch(Slice batch_bytes) {
-  std::unique_lock lock(mu_);
   ByteReader r(batch_bytes);
   auto schema_for = [this](const std::string& table) -> Result<Schema> {
+    std::shared_lock lock(mu_);
     auto it = tables_.find(table);
     if (it == tables_.end()) return Status::NotFound("no replica of " + table);
-    return it->second.schema;
+    return it->second->schema;
   };
   VBT_ASSIGN_OR_RETURN(UpdateBatch batch,
                        UpdateBatch::Deserialize(&r, schema_for));
-  auto it = tables_.find(batch.table);
-  if (it == tables_.end()) {
-    return Status::NotFound("no replica of " + batch.table);
+  std::shared_ptr<TableReplica> replica;
+  {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(batch.table);
+    if (it == tables_.end()) {
+      return Status::NotFound("no replica of " + batch.table);
+    }
+    replica = it->second;
   }
-  TableReplica& replica = it->second;
-  if (replica.version != batch.from_version) {
+  // Replay runs OUTSIDE the directory lock: queries keep traversing
+  // latch-free while ops commit one at a time (the tree's OLC protocol
+  // restarts any reader a commit overlapped). replay_mu only serializes
+  // replayers against each other.
+  std::lock_guard replay(replica->replay_mu);
+  if (replica->tree->version() != batch.from_version) {
     return Status::InvalidArgument(
-        "delta version gap: replica at " + std::to_string(replica.version) +
-        ", batch starts at " + std::to_string(batch.from_version) +
-        " (request a full snapshot)");
+        "delta version gap: replica at " +
+        std::to_string(replica->tree->version()) + ", batch starts at " +
+        std::to_string(batch.from_version) + " (request a full snapshot)");
   }
   // Replay mutates the tree from the first op on: flush the VO cache
   // before touching anything, so even a mid-replay failure cannot leave
-  // proofs of the pre-delta state behind.
+  // proofs of the pre-delta state behind. (Entries are version-keyed, so
+  // a concurrent batch racing this flush still cannot serve a stale
+  // proof — the flush is for telemetry and memory, the version key is
+  // the correctness mechanism.)
   VOCacheFlush(batch.table);
   for (const UpdateOp& op : batch.ops) {
     std::deque<Signature> feed(op.resigned.begin(), op.resigned.end());
     if (op.kind == UpdateOp::Kind::kInsert) {
-      VBT_RETURN_NOT_OK(replica.store.Put(op.rid, op.tuple));
+      // Store before tree: the tuple must be fetchable by the time the
+      // tree publishes the leaf entry pointing at it.
+      VBT_RETURN_NOT_OK(replica->store.Put(op.rid, op.tuple));
       VBT_RETURN_NOT_OK(
-          replica.tree->ReplayInsert(op.tuple, op.rid, op.material, &feed));
+          replica->tree->ReplayInsert(op.tuple, op.rid, op.material, &feed));
     } else {
-      VBT_RETURN_NOT_OK(replica.tree->ReplayDeleteRange(op.lo, op.hi, &feed));
-      replica.store.RemoveKeyRange(op.lo, op.hi);
+      // Tree before store: readers can only reach the doomed tuples
+      // through envelopes the delete's commit invalidates.
+      VBT_RETURN_NOT_OK(replica->tree->ReplayDeleteRange(op.lo, op.hi, &feed));
+      replica->store.RemoveKeyRange(op.lo, op.hi);
     }
     if (!feed.empty()) {
       return Status::Corruption("delta replay diverged: unused signatures");
     }
   }
-  if (replica.tree->version() != batch.to_version) {
+  if (replica->tree->version() != batch.to_version) {
     return Status::Corruption("delta replay diverged: replica version " +
-                              std::to_string(replica.tree->version()) +
+                              std::to_string(replica->tree->version()) +
                               " != batch to_version " +
                               std::to_string(batch.to_version));
   }
-  replica.version = batch.to_version;
   return Status::OK();
 }
 
 uint64_t EdgeServer::TableVersion(const std::string& table) const {
   std::shared_lock lock(mu_);
   auto it = tables_.find(table);
-  return it == tables_.end() ? 0 : it->second.version;
+  return it == tables_.end() ? 0 : it->second->tree->version();
 }
 
 std::shared_ptr<const EdgeServer::CachedQuery> EdgeServer::MakeCachedQuery(
@@ -305,49 +322,58 @@ EdgeServer::VOCacheStats EdgeServer::vo_cache_stats(
 }
 
 Result<QueryResponse> EdgeServer::HandleQuery(const SelectQuery& query) const {
-  std::shared_lock lock(mu_);
   std::string resolved = query.table;
-  auto it = tables_.find(query.table);
-  if (it == tables_.end()) {
-    // Route through the table's partition map: a base-table query whose
-    // range lies within one shard executes against that shard replica; a
-    // spanning range must be scattered by the caller (it needs one VO
-    // per shard anyway).
-    auto m = maps_.find(query.table);
-    if (m == maps_.end()) {
-      return Status::NotFound("edge server has no replica of " + query.table);
-    }
-    std::vector<size_t> owners =
-        m->second.map.ShardIndicesForRange(query.range);
-    if (owners.empty()) {
-      return Status::InvalidArgument("empty key range");
-    }
-    if (owners.size() > 1) {
-      return Status::InvalidArgument(
-          "range spans " + std::to_string(owners.size()) + " shards of '" +
-          query.table + "'; scatter one query per shard");
-    }
-    resolved = m->second.map.shard_name(owners[0]);
-    it = tables_.find(resolved);
+  std::shared_ptr<TableReplica> replica;
+  {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(query.table);
     if (it == tables_.end()) {
-      return Status::NotFound("shard replica not installed: " + resolved);
+      // Route through the table's partition map: a base-table query whose
+      // range lies within one shard executes against that shard replica; a
+      // spanning range must be scattered by the caller (it needs one VO
+      // per shard anyway).
+      auto m = maps_.find(query.table);
+      if (m == maps_.end()) {
+        return Status::NotFound("edge server has no replica of " +
+                                query.table);
+      }
+      std::vector<size_t> owners =
+          m->second.map.ShardIndicesForRange(query.range);
+      if (owners.empty()) {
+        return Status::InvalidArgument("empty key range");
+      }
+      if (owners.size() > 1) {
+        return Status::InvalidArgument(
+            "range spans " + std::to_string(owners.size()) + " shards of '" +
+            query.table + "'; scatter one query per shard");
+      }
+      resolved = m->second.map.shard_name(owners[0]);
+      it = tables_.find(resolved);
+      if (it == tables_.end()) {
+        return Status::NotFound("shard replica not installed: " + resolved);
+      }
     }
+    replica = it->second;
   }
-  const TableReplica& replica = it->second;
-
+  // Execution runs on the pinned replica outside the directory lock.
   SelectQuery norm = query;
   norm.table = resolved;
   norm.NormalizeProjection();
   const std::string cache_key = VOCacheKey(norm);
+  const uint64_t v0 = replica->tree->version();
   std::shared_ptr<const CachedQuery> cached =
-      VOCacheLookup(resolved, cache_key, replica.version);
+      VOCacheLookup(resolved, cache_key, v0);
+  uint64_t served_version = v0;
   if (cached == nullptr) {
-    VBT_ASSIGN_OR_RETURN(QueryOutput out, replica.tree->ExecuteSelect(
-                                              norm, replica.store.Fetcher()));
+    VBT_ASSIGN_OR_RETURN(QueryOutput out, replica->tree->ExecuteSelect(
+                                              norm, replica->store.Fetcher()));
+    // The validated read labels the answer with its exact tree version
+    // (== v0 unless replay advanced the tree mid-flight).
+    served_version = out.read_version;
     cached = MakeCachedQuery(std::move(out));
-    VOCacheInsert(resolved, cache_key, replica.version, cached);
+    VOCacheInsert(resolved, cache_key, served_version, cached);
   }
-  return ResponseFromCached(*cached, replica.version);
+  return ResponseFromCached(*cached, served_version);
 }
 
 void EdgeServer::ApplyResponseTamper(QueryResponse* resp) const {
@@ -374,27 +400,31 @@ void EdgeServer::ApplyResponseTamper(QueryResponse* resp) const {
   }
 }
 
-Result<QueryBatchResponse> EdgeServer::ExecuteBatchLocked(
+Result<QueryBatchResponse> EdgeServer::ExecuteBatchOnReplica(
     const std::string& table, const TableReplica& replica,
-    std::span<const SelectQuery> queries) const {
+    std::span<const SelectQuery> queries, bool bypass_vo_cache) const {
   const auto start = std::chrono::steady_clock::now();
 
-  // VO-cache pass: hot ranges skip BuildVONode entirely. The shared latch
-  // is held across the whole batch, so the replica version cannot move
-  // between the lookup and the insert; the cache mutex is taken once for
-  // all lookups and once for all inserts.
+  // VO-cache pass: hot ranges skip BuildVONode entirely. Execution is
+  // latch-free, so the replica version CAN move between the lookup and
+  // the miss execution; hits taken at v0 are kept only if the misses
+  // also answered at v0 — otherwise the whole batch re-executes, so the
+  // coalesced response always reflects ONE tree version.
   const size_t n = queries.size();
+  const uint64_t v0 = replica.tree->version();
   std::vector<std::string> cache_keys(n);
-  for (size_t i = 0; i < n; ++i) {
-    SelectQuery norm = queries[i];
-    norm.NormalizeProjection();
-    cache_keys[i] = VOCacheKey(norm);
-  }
-  std::vector<std::shared_ptr<const CachedQuery>> cached;
-  VOCacheLookupBatch(table, cache_keys, replica.version, &cached);
+  std::vector<std::shared_ptr<const CachedQuery>> cached(n, nullptr);
+  uint64_t cache_hits = 0;
   std::vector<SelectQuery> miss_queries;
   std::vector<size_t> miss_index;
-  uint64_t cache_hits = 0;
+  if (!bypass_vo_cache) {
+    for (size_t i = 0; i < n; ++i) {
+      SelectQuery norm = queries[i];
+      norm.NormalizeProjection();
+      cache_keys[i] = VOCacheKey(norm);
+    }
+    VOCacheLookupBatch(table, cache_keys, v0, &cached);
+  }
   for (size_t i = 0; i < n; ++i) {
     if (cached[i] != nullptr) {
       cache_hits++;
@@ -406,11 +436,35 @@ Result<QueryBatchResponse> EdgeServer::ExecuteBatchLocked(
 
   VBBatchStats tree_stats;
   std::vector<QueryOutput> miss_outs;
+  uint64_t label = v0;
   if (!miss_queries.empty()) {
     VBT_ASSIGN_OR_RETURN(
         miss_outs,
         replica.tree->ExecuteSelectBatch(miss_queries, replica.store.Fetcher(),
                                          &tree_stats));
+    label = tree_stats.read_version;
+    if (cache_hits > 0 && label != v0) {
+      // Concurrent replay moved the tree between the cache lookup (v0)
+      // and the miss execution (label): the mixed answer would span two
+      // versions. Drop the hits and re-execute the full batch at one
+      // label — rare (requires a mid-batch commit), and the re-run's
+      // work is counted in the stats like any other execution.
+      cached.assign(n, nullptr);
+      cache_hits = 0;
+      miss_queries.assign(queries.begin(), queries.end());
+      miss_index.resize(n);
+      for (size_t i = 0; i < n; ++i) miss_index[i] = i;
+      VBBatchStats rerun_stats;
+      VBT_ASSIGN_OR_RETURN(
+          miss_outs, replica.tree->ExecuteSelectBatch(
+                         miss_queries, replica.store.Fetcher(), &rerun_stats));
+      tree_stats.nodes_visited += rerun_stats.nodes_visited;
+      tree_stats.tuple_fetches += rerun_stats.tuple_fetches;
+      tree_stats.shared_fetch_hits += rerun_stats.shared_fetch_hits;
+      tree_stats.olc_restarts += rerun_stats.olc_restarts;
+      tree_stats.latch_wait_us += rerun_stats.latch_wait_us;
+      label = rerun_stats.read_version;
+    }
   }
   std::vector<std::pair<std::string, std::shared_ptr<const CachedQuery>>>
       inserts;
@@ -421,13 +475,15 @@ Result<QueryBatchResponse> EdgeServer::ExecuteBatchLocked(
     if (miss_outs[m].status.ok()) {
       auto owned = MakeCachedQuery(std::move(miss_outs[m]));
       cached[miss_index[m]] = owned;
-      inserts.emplace_back(cache_keys[miss_index[m]], std::move(owned));
+      if (!bypass_vo_cache) {
+        inserts.emplace_back(cache_keys[miss_index[m]], owned);
+      }
     }
   }
-  VOCacheInsertBatch(table, replica.version, std::move(inserts));
+  VOCacheInsertBatch(table, label, std::move(inserts));
 
   QueryBatchResponse resp;
-  resp.replica_version = replica.version;
+  resp.replica_version = label;
   resp.responses.reserve(n);
   size_t miss_pos = 0;
   for (size_t i = 0; i < n; ++i) {
@@ -435,13 +491,13 @@ Result<QueryBatchResponse> EdgeServer::ExecuteBatchLocked(
         miss_pos < miss_index.size() && miss_index[miss_pos] == i;
     QueryResponse r;
     if (cached[i] != nullptr) {
-      r = ResponseFromCached(*cached[i], replica.version);
+      r = ResponseFromCached(*cached[i], label);
       resp.stats.total_result_bytes += r.result_bytes;
       resp.stats.total_vo_bytes += r.vo_bytes;
     } else {
       // Successful misses were published to cached[] above, so a still-null
       // slot is a failed query: carry its status, ship no rows/VO.
-      r.replica_version = replica.version;
+      r.replica_version = label;
       r.status = miss_outs[miss_pos].status;
     }
     if (is_miss) miss_pos++;
@@ -451,6 +507,8 @@ Result<QueryBatchResponse> EdgeServer::ExecuteBatchLocked(
   resp.stats.nodes_visited = tree_stats.nodes_visited;
   resp.stats.tuple_fetches = tree_stats.tuple_fetches;
   resp.stats.shared_fetch_hits = tree_stats.shared_fetch_hits;
+  resp.stats.olc_restarts = tree_stats.olc_restarts;
+  resp.stats.latch_wait_us = tree_stats.latch_wait_us;
   resp.stats.exec_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
@@ -459,7 +517,7 @@ Result<QueryBatchResponse> EdgeServer::ExecuteBatchLocked(
 }
 
 Result<QueryBatchResponse> EdgeServer::HandleQueryBatch(
-    const QueryBatch& batch) const {
+    const QueryBatch& batch, bool bypass_vo_cache) const {
   // The per-query table field is redundant inside a batch (the tree is
   // selected once below, and ExecuteSelectBatch never reads it), so a
   // mismatch check suffices — no per-query copies on this hot path.
@@ -471,16 +529,21 @@ Result<QueryBatchResponse> EdgeServer::HandleQueryBatch(
     }
   }
 
-  std::shared_lock lock(mu_);
-  auto it = tables_.find(batch.table);
-  if (it == tables_.end()) {
-    return Status::NotFound("edge server has no replica of " + batch.table);
+  std::shared_ptr<TableReplica> replica;
+  {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(batch.table);
+    if (it == tables_.end()) {
+      return Status::NotFound("edge server has no replica of " + batch.table);
+    }
+    replica = it->second;
   }
-  return ExecuteBatchLocked(batch.table, it->second, batch.queries);
+  return ExecuteBatchOnReplica(batch.table, *replica, batch.queries,
+                               bypass_vo_cache);
 }
 
 Result<ShardedQueryBatchResponse> EdgeServer::HandleQueryBatchSharded(
-    const QueryBatch& batch) const {
+    const QueryBatch& batch, bool bypass_vo_cache) const {
   for (const SelectQuery& q : batch.queries) {
     if (!q.table.empty() && q.table != batch.table) {
       return Status::InvalidArgument("batch over '" + batch.table +
@@ -489,28 +552,40 @@ Result<ShardedQueryBatchResponse> EdgeServer::HandleQueryBatchSharded(
     }
   }
 
-  // ONE shared latch acquisition for the whole scatter: every shard
-  // group answers from the same consistent edge state (per-shard replica
-  // versions still travel in each group's response).
-  std::shared_lock lock(mu_);
-  auto m = maps_.find(batch.table);
-  if (m == maps_.end()) {
-    return Status::NotFound("edge server has no partition map for " +
-                            batch.table);
+  // ONE brief directory-lock acquisition pins the map and every planned
+  // shard replica; the groups then execute latch-free. K concurrent
+  // batches walk the shard trees simultaneously — the old code held one
+  // shared latch across all groups, serializing against every install.
+  std::shared_ptr<const std::vector<uint8_t>> map_bytes;
+  std::vector<ShardScatter> plan;
+  std::vector<std::pair<std::string, std::shared_ptr<TableReplica>>> pinned;
+  {
+    std::shared_lock lock(mu_);
+    auto m = maps_.find(batch.table);
+    if (m == maps_.end()) {
+      return Status::NotFound("edge server has no partition map for " +
+                              batch.table);
+    }
+    const InstalledMap& installed = m->second;
+    map_bytes = installed.bytes;
+    plan = BuildScatterPlan(installed.map, batch.queries);
+    pinned.reserve(plan.size());
+    for (const ShardScatter& group : plan) {
+      const std::string shard_name =
+          installed.map.shard_name(group.shard_index);
+      auto it = tables_.find(shard_name);
+      if (it == tables_.end()) {
+        return Status::NotFound("shard replica not installed: " + shard_name);
+      }
+      pinned.emplace_back(shard_name, it->second);
+    }
   }
-  const InstalledMap& installed = m->second;
-  std::vector<ShardScatter> plan =
-      BuildScatterPlan(installed.map, batch.queries);
 
   ShardedQueryBatchResponse out;
-  out.map_bytes = installed.bytes;
+  out.map_bytes = std::move(map_bytes);
   out.groups.reserve(plan.size());
-  for (const ShardScatter& group : plan) {
-    const std::string shard_name = installed.map.shard_name(group.shard_index);
-    auto it = tables_.find(shard_name);
-    if (it == tables_.end()) {
-      return Status::NotFound("shard replica not installed: " + shard_name);
-    }
+  for (size_t gi = 0; gi < plan.size(); ++gi) {
+    const ShardScatter& group = plan[gi];
     std::vector<SelectQuery> slice_queries;
     slice_queries.reserve(group.slices.size());
     for (const ShardSlice& slice : group.slices) {
@@ -518,7 +593,8 @@ Result<ShardedQueryBatchResponse> EdgeServer::HandleQueryBatchSharded(
     }
     VBT_ASSIGN_OR_RETURN(
         QueryBatchResponse gr,
-        ExecuteBatchLocked(shard_name, it->second, slice_queries));
+        ExecuteBatchOnReplica(pinned[gi].first, *pinned[gi].second,
+                              slice_queries, bypass_vo_cache));
     out.stats.Accumulate(gr.stats);
     out.groups.push_back(ShardBatchGroup{group.shard_id, std::move(gr)});
   }
@@ -576,31 +652,35 @@ Result<std::vector<uint8_t>> EdgeServer::HandleQueryBytes(
 
 Status EdgeServer::TamperValueByKey(const std::string& table, int64_t key,
                                     size_t col, Value v) {
-  std::unique_lock lock(mu_);
+  std::shared_ptr<TableReplica> replica;
   std::string resolved = table;
-  auto it = tables_.find(table);
-  if (it == tables_.end()) {
-    // Route through the map, like queries: the hacker corrupts whichever
-    // shard replica owns the key.
-    auto m = maps_.find(table);
-    if (m != maps_.end()) {
-      resolved = m->second.map.ShardName(
-          table, m->second.map.ShardForKey(key).shard_id);
-      it = tables_.find(resolved);
+  {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      // Route through the map, like queries: the hacker corrupts whichever
+      // shard replica owns the key.
+      auto m = maps_.find(table);
+      if (m != maps_.end()) {
+        resolved = m->second.map.ShardName(
+            table, m->second.map.ShardForKey(key).shard_id);
+        it = tables_.find(resolved);
+      }
     }
+    if (it == tables_.end()) return Status::NotFound("no replica of " + table);
+    replica = it->second;
   }
-  if (it == tables_.end()) return Status::NotFound("no replica of " + table);
   // The hook models store corruption on a hacked edge: drop any cached
   // (honest, pre-tamper) outputs so subsequent VOs are rebuilt from the
   // corrupted store — which is what the client-side detection tests prove.
   VOCacheFlush(resolved);
-  return it->second.store.TamperByKey(key, col, std::move(v));
+  return replica->store.TamperByKey(key, col, std::move(v));
 }
 
 const VBTree* EdgeServer::tree(const std::string& table) const {
   std::shared_lock lock(mu_);
   auto it = tables_.find(table);
-  return it == tables_.end() ? nullptr : it->second.tree.get();
+  return it == tables_.end() ? nullptr : it->second->tree.get();
 }
 
 void SerializeQueryResponse(const QueryResponse& resp, ByteWriter* w) {
@@ -676,6 +756,8 @@ void SerializeQueryBatchResponse(const QueryBatchResponse& resp, ByteWriter* w,
     w->PutVarint(vo_wire_bytes);
     w->PutVarint(sig_pool_entries);
     w->PutVarint(resp.stats.vo_cache_hits);
+    w->PutVarint(resp.stats.olc_restarts);
+    w->PutVarint(resp.stats.latch_wait_us);
   }
   if (wire_stats != nullptr) {
     *wire_stats = resp.stats;
@@ -771,6 +853,8 @@ Result<QueryBatchResponse> DeserializeQueryBatchResponse(
     (void)claimed_pool_entries;
     resp.stats.sig_pool_entries = pool.size();
     VBT_ASSIGN_OR_RETURN(resp.stats.vo_cache_hits, r->ReadVarint());
+    VBT_ASSIGN_OR_RETURN(resp.stats.olc_restarts, r->ReadVarint());
+    VBT_ASSIGN_OR_RETURN(resp.stats.latch_wait_us, r->ReadVarint());
     // Hand the pool to the client so verification can recover each
     // distinct signature once (the VOs above carry its indices).
     resp.sig_pool = std::make_shared<const SignaturePool>(std::move(pool));

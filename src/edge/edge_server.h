@@ -79,6 +79,13 @@ struct BatchExecStats {
   /// Queries in this batch answered from the edge's VO cache (skipping
   /// BuildVONode entirely).
   uint64_t vo_cache_hits = 0;
+  /// Optimistic-read restarts the batch's latch-free tree traversals
+  /// needed (0 on a quiesced replica).
+  uint64_t olc_restarts = 0;
+  /// Microseconds spent yielding between restarts or blocking on the
+  /// tree's pessimistic fallback latch — the residual contention the
+  /// latch-free read path leaves (0 on a quiesced replica).
+  uint64_t latch_wait_us = 0;
 
   /// Folds another group's stats in (sharded responses aggregate their
   /// per-shard groups; queue_wait is batch-level, so the max wins).
@@ -94,6 +101,8 @@ struct BatchExecStats {
     vo_wire_bytes += o.vo_wire_bytes;
     sig_pool_entries += o.sig_pool_entries;
     vo_cache_hits += o.vo_cache_hits;
+    olc_restarts += o.olc_restarts;
+    latch_wait_us += o.latch_wait_us;
   }
 };
 
@@ -125,9 +134,10 @@ struct ShardBatchGroup {
 /// The edge's answer to a batch over a sharded table: the signed map the
 /// edge scattered under (the client re-verifies it — signature, epoch
 /// floor — before trusting the layout), plus one group per planned
-/// shard, ascending by shard index. Every group executes under the same
-/// single latch acquisition, so the whole scatter reads one consistent
-/// edge state.
+/// shard, ascending by shard index. The scatter resolves every shard
+/// replica under one brief table-map lock, then each group executes
+/// latch-free against its pinned replica — each group's answers carry
+/// the exact tree version its validated reads reflect.
 struct ShardedQueryBatchResponse {
   std::shared_ptr<const std::vector<uint8_t>> map_bytes;
   std::vector<ShardBatchGroup> groups;
@@ -153,9 +163,17 @@ struct ShardedBatchDecoded {
 /// verification object for every answer. It cannot sign anything — all
 /// signatures in its replicas came from the central server.
 ///
-/// Thread-safe: queries run under a shared latch; snapshot/map
-/// installation (update propagation) takes it exclusively, so in-flight
-/// queries finish against the old replica before it is swapped out.
+/// Thread-safe, latch-free on the query path: `mu_` guards only the
+/// table/map directory and is held for microseconds — to resolve names
+/// to shared_ptr replicas (queries, shared) or to swap a replica in
+/// (snapshot install, exclusive). Query execution itself runs OUTSIDE
+/// `mu_` against the pinned replica: the VB-tree's optimistic lock
+/// coupling (vb_tree.h) lets any number of batches traverse concurrently
+/// with delta replay, each answer validated against — and labeled with —
+/// one exact tree version. Delta replay serializes per replica on its
+/// own `replay_mu` and never blocks readers; a replica swapped out by a
+/// snapshot install stays alive (shared_ptr) until its in-flight batches
+/// finish against the old consistent state.
 class EdgeServer {
  public:
   explicit EdgeServer(std::string name) : name_(std::move(name)) {}
@@ -191,8 +209,10 @@ class EdgeServer {
   /// central server's signatures spliced in. Version-gated: fails with
   /// kInvalidArgument unless the batch starts exactly at the replica's
   /// version (the propagation hub then catches the replica up with a
-  /// full snapshot). Thread-safe: replay takes the exclusive latch, so
-  /// in-flight queries finish against the old state first.
+  /// full snapshot). Thread-safe and non-blocking for readers: replay
+  /// serializes on the replica's own replay_mu while queries keep
+  /// traversing latch-free — the tree's OLC protocol guarantees every
+  /// concurrent answer reflects exactly one pre- or post-op version.
   Status ApplyUpdateBatch(Slice batch);
 
   /// Current replica version of shard `table` (number of ops applied
@@ -214,17 +234,20 @@ class EdgeServer {
   Result<std::vector<uint8_t>> HandleQueryBytes(Slice request) const;
 
   /// Executes a QueryBatch against one directly-addressed replica with
-  /// shared traversals (one latch acquisition, batch-wide tuple memo)
-  /// and builds the coalesced response.
-  Result<QueryBatchResponse> HandleQueryBatch(const QueryBatch& batch) const;
+  /// shared traversals (latch-free, batch-wide tuple memo) and builds
+  /// the coalesced response. `bypass_vo_cache` skips the VO cache
+  /// (bench hook: measure tree execution, not response memoization).
+  Result<QueryBatchResponse> HandleQueryBatch(
+      const QueryBatch& batch, bool bypass_vo_cache = false) const;
 
   /// Scatter-gather execution of a batch naming a base table with an
   /// installed map: the batch is partitioned per-shard by the
-  /// deterministic scatter plan and every shard group executes with the
-  /// usual shared traversals — all under ONE latch acquisition, so the
-  /// groups answer from a single consistent edge state.
+  /// deterministic scatter plan; one brief directory-lock acquisition
+  /// pins every planned shard replica, then all groups execute
+  /// latch-free with the usual shared traversals (each group gets its
+  /// own batch-wide tuple memo).
   Result<ShardedQueryBatchResponse> HandleQueryBatchSharded(
-      const QueryBatch& batch) const;
+      const QueryBatch& batch, bool bypass_vo_cache = false) const;
 
   /// Full wire path for batches, for callers that bypass a QueryService
   /// (direct dispatch): the response's queue_wait_us is 0 by definition.
@@ -268,7 +291,12 @@ class EdgeServer {
     Schema schema;
     ReplicaStore store;
     std::unique_ptr<VBTree> tree;
-    uint64_t version = 0;
+    /// Serializes delta replay against this replica (install writers);
+    /// never taken by the query path — readers run latch-free against
+    /// the tree and the striped store. The replica version lives in the
+    /// tree itself (tree->version()), so there is no separate counter a
+    /// replayer and a reader could see out of sync.
+    std::mutex replay_mu;
   };
 
   struct InstalledMap {
@@ -302,12 +330,17 @@ class EdgeServer {
 
   void ApplyResponseTamper(QueryResponse* resp) const;
 
-  /// Body of one coalesced batch against `replica`, under an
-  /// already-held shared latch. `table` is the replica's (shard) name —
-  /// the VO-cache key space.
-  Result<QueryBatchResponse> ExecuteBatchLocked(
+  /// Body of one coalesced batch against a pinned `replica`; runs
+  /// entirely outside mu_ (latch-free tree traversals). `table` is the
+  /// replica's (shard) name — the VO-cache key space. VO-cache hits are
+  /// taken at the version observed on entry and discarded if concurrent
+  /// replay moved the tree before the misses executed, so the coalesced
+  /// response always carries ONE consistent replica version.
+  /// `bypass_vo_cache` skips the cache entirely (bench hook: measures
+  /// tree work, not memoization).
+  Result<QueryBatchResponse> ExecuteBatchOnReplica(
       const std::string& table, const TableReplica& replica,
-      std::span<const SelectQuery> queries) const;
+      std::span<const SelectQuery> queries, bool bypass_vo_cache) const;
 
   /// Wraps a successful execution output as a cache entry, computing the
   /// serialized sizes once.
@@ -337,9 +370,14 @@ class EdgeServer {
   void VOCacheFlush(const std::string& table) const;
 
   std::string name_;
+  /// Directory lock only (tables_/maps_ lookups and swaps) — held for
+  /// microseconds, never across query execution or delta replay.
   mutable std::shared_mutex mu_;
   /// Shard replicas, keyed by distribution name ("t" or "t#3").
-  std::map<std::string, TableReplica> tables_;
+  /// shared_ptr so the query path can pin a replica and drop mu_ before
+  /// executing; a snapshot install swaps the map entry and the old
+  /// replica dies when its last in-flight batch completes.
+  std::map<std::string, std::shared_ptr<TableReplica>> tables_;
   /// Installed partition maps, keyed by base table name.
   std::map<std::string, InstalledMap> maps_;
   /// Guarded by its own mutex (not mu_): lookups/inserts happen under the

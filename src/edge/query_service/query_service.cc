@@ -54,6 +54,8 @@ void QueryService::Account(uint64_t queue_wait_us, uint64_t exec_us,
   if (batch_stats != nullptr) {
     stats_.vo_wire_bytes_total += batch_stats->vo_wire_bytes;
     stats_.vo_cache_hits += batch_stats->vo_cache_hits;
+    stats_.olc_restarts += batch_stats->olc_restarts;
+    stats_.latch_wait_us_total += batch_stats->latch_wait_us;
   }
 }
 

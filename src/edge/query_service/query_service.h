@@ -33,16 +33,21 @@ struct QueryServiceOptions {
 /// client traffic" role of Fig. 2): client requests enter a bounded
 /// submission queue and are executed concurrently by a fixed worker pool.
 ///
-/// Concurrency/latching order: workers only ever take the EdgeServer's
-/// shared latch (then the VB-tree's shared latch inside) — the same order
-/// the DistributionHub's propagator uses for exclusive snapshot installs
-/// and delta replay, so replica swaps serialize cleanly against in-flight
-/// queries and no lock cycle exists between the two subsystems.
+/// Concurrency: the query path is latch-free. A worker briefly takes the
+/// EdgeServer's directory lock (shared) only to pin the target replica,
+/// then traverses the VB-tree optimistically (vb_tree.h §OLC) — K
+/// workers walk the same tree concurrently, restarting the rare read a
+/// writer overlapped instead of queuing behind a tree latch. The
+/// DistributionHub's propagator takes the same directory lock
+/// exclusively only for the pointer swap of a snapshot install; delta
+/// replay holds no directory lock at all (per-replica replay_mu). There
+/// is no lock ordering to maintain between the subsystems because no
+/// path holds two of these locks at once.
 ///
 /// Every submission is stamped on entry; per-request queue-wait and
 /// execution time feed the service-level stats (and, for batches, the
-/// response's BatchExecStats), giving the closed-loop bench its
-/// telemetry.
+/// response's BatchExecStats) — including OLC restart and latch-wait
+/// telemetry — giving the closed-loop bench its contention picture.
 class QueryService {
  public:
   struct Stats {
@@ -62,6 +67,12 @@ class QueryService {
     /// Batched queries answered from the edge's VO cache.
     uint64_t vo_cache_hits = 0;
     uint64_t result_bytes_total = 0;
+    /// Optimistic-read restarts across all batch executions (0 when no
+    /// writer ever overlapped a traversal).
+    uint64_t olc_restarts = 0;
+    /// Microseconds spent yielding between restarts or blocking on the
+    /// tree's pessimistic fallback latch, summed over batches.
+    uint64_t latch_wait_us_total = 0;
   };
 
   explicit QueryService(EdgeServer* edge, QueryServiceOptions options = {});

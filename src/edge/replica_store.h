@@ -1,7 +1,10 @@
 #ifndef VBTREE_EDGE_REPLICA_STORE_H_
 #define VBTREE_EDGE_REPLICA_STORE_H_
 
+#include <array>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "catalog/tuple.h"
@@ -15,34 +18,68 @@ namespace vbtree {
 /// leaf entries. Being *unsecured* (§3.1), it exposes tamper hooks that
 /// tests and examples use to play the hacked-edge-server role.
 ///
-/// The key index is an ordered map so range deletes (delta replay of
-/// DeleteRange ops) cost O(log n + k) instead of scanning every key the
-/// replica holds — under per-shard delta streams the same op volume
-/// replays against many small replicas, and the full-scan erase was the
-/// dominant replay cost.
+/// Thread-safe and striped: with latch-free VB-tree reads, query workers
+/// fetch tuples while delta replay (the install writer) concurrently
+/// Puts/Removes. The Rid index is split over kStripes shared-mutexed
+/// shards so reader traffic doesn't serialize on one lock; the ordered
+/// key index (range deletes seek in O(log n + k) instead of scanning)
+/// has its own mutex, touched only by writers and tamper hooks.
+///
+/// Consistency with the tree is by publication order, not by locking:
+/// replay Puts a tuple *before* the tree publishes the leaf entry that
+/// points at it, and removes tuples only *after* the tree's delete
+/// committed — so a tree traversal that validates its read set never
+/// dereferences a Rid this store lacks (a NotFound under an
+/// *invalidated* read is treated as interference and retried, never
+/// reported).
 class ReplicaStore {
  public:
   Status Put(const Rid& rid, Tuple tuple) {
     int64_t key = tuple.key();
-    by_rid_[Pack(rid)] = std::move(tuple);
+    {
+      Stripe& s = StripeFor(rid);
+      std::unique_lock lock(s.mu);
+      s.by_rid[Pack(rid)] = std::move(tuple);
+    }
+    std::unique_lock lock(key_mu_);
     rid_by_key_[key] = rid;
     return Status::OK();
   }
 
   Result<Tuple> Get(const Rid& rid) const {
-    auto it = by_rid_.find(Pack(rid));
-    if (it == by_rid_.end()) return Status::NotFound("no replica tuple at rid");
+    const Stripe& s = StripeFor(rid);
+    std::shared_lock lock(s.mu);
+    auto it = s.by_rid.find(Pack(rid));
+    if (it == s.by_rid.end()) return Status::NotFound("no replica tuple at rid");
     return it->second;
   }
 
-  size_t size() const { return by_rid_.size(); }
+  size_t size() const {
+    size_t n = 0;
+    for (const Stripe& s : stripes_) {
+      std::shared_lock lock(s.mu);
+      n += s.by_rid.size();
+    }
+    return n;
+  }
 
   /// Tampers with a stored attribute value — the "hacker modified the data
   /// at the edge" scenario the VO must expose.
   Status TamperByKey(int64_t key, size_t col, Value v) {
-    auto it = rid_by_key_.find(key);
-    if (it == rid_by_key_.end()) return Status::NotFound("no tuple with key");
-    Tuple& t = by_rid_[Pack(it->second)];
+    Rid rid;
+    {
+      std::shared_lock lock(key_mu_);
+      auto it = rid_by_key_.find(key);
+      if (it == rid_by_key_.end()) {
+        return Status::NotFound("no tuple with key");
+      }
+      rid = it->second;
+    }
+    Stripe& s = StripeFor(rid);
+    std::unique_lock lock(s.mu);
+    auto it = s.by_rid.find(Pack(rid));
+    if (it == s.by_rid.end()) return Status::NotFound("no tuple with key");
+    Tuple& t = it->second;
     if (col >= t.num_values()) {
       return Status::InvalidArgument("column out of range");
     }
@@ -55,9 +92,14 @@ class ReplicaStore {
   /// key index seeks to lo and walks only the doomed run.
   size_t RemoveKeyRange(int64_t lo, int64_t hi) {
     size_t removed = 0;
+    std::unique_lock lock(key_mu_);
     auto it = rid_by_key_.lower_bound(lo);
     while (it != rid_by_key_.end() && it->first <= hi) {
-      by_rid_.erase(Pack(it->second));
+      Stripe& s = StripeFor(it->second);
+      {
+        std::unique_lock stripe_lock(s.mu);
+        s.by_rid.erase(Pack(it->second));
+      }
       it = rid_by_key_.erase(it);
       removed++;
     }
@@ -70,13 +112,28 @@ class ReplicaStore {
   }
 
  private:
+  static constexpr size_t kStripes = 16;
+
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, Tuple> by_rid;
+  };
+
   static uint64_t Pack(const Rid& rid) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(rid.page_id)) << 16) |
            rid.slot;
   }
 
-  std::unordered_map<uint64_t, Tuple> by_rid_;
-  /// Ordered: RemoveKeyRange seeks instead of scanning.
+  Stripe& StripeFor(const Rid& rid) const {
+    // Fibonacci-hash the packed rid so sequentially allocated rids spread
+    // across stripes; >> 60 yields exactly [0, 16).
+    return stripes_[(Pack(rid) * 0x9E3779B97F4A7C15ull) >> 60];
+  }
+
+  mutable std::array<Stripe, kStripes> stripes_;
+  /// Ordered: RemoveKeyRange seeks instead of scanning. Writer + tamper
+  /// traffic only — the query hot path never touches it.
+  mutable std::shared_mutex key_mu_;
   std::map<int64_t, Rid> rid_by_key_;
 };
 

@@ -1,7 +1,10 @@
 #include "vbtree/vb_tree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <thread>
+#include <unordered_map>
 
 #include "common/logging.h"
 
@@ -9,6 +12,23 @@ namespace vbtree {
 
 namespace {
 constexpr uint32_t kTreeMagic = 0x31544256;  // "VBT1"
+
+/// Optimistic attempts before a reader escalates to the pessimistic
+/// fallback (a brief shared acquisition of writer_mu_, which blocks
+/// writers out and makes the next attempt validate by construction).
+constexpr int kMaxOptimisticAttempts = 8;
+/// From this attempt on, yield between restarts so the reader stops
+/// spinning against an in-flight writer on oversubscribed cores.
+constexpr int kYieldAfterAttempts = 2;
+/// Batch label-convergence passes before the whole batch falls back.
+constexpr int kMaxLabelPasses = 3;
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
 }  // namespace
 
 struct VBTree::LeafEntry {
@@ -24,9 +44,12 @@ struct VBTree::LeafEntry {
   std::vector<Signature> attr_sigs;
 };
 
-struct VBTree::Node {
-  bool is_leaf;
-  uint64_t id = 0;
+/// Immutable-once-published node payload. Writers never mutate a
+/// published snapshot: they clone, edit the clone, and publish it with a
+/// version-word bump (see common/olc.h) — so a latch-free reader holding
+/// any snapshot pointer sees internally consistent, merely possibly
+/// outdated, data and relies on word validation to reject it.
+struct VBTree::NodeContent {
   /// Unsigned node digest D_N (formula (3)).
   Digest digest;
   /// Cached exponent product: D_N = G^exponent mod 2^k. Maintained by the
@@ -34,27 +57,31 @@ struct VBTree::Node {
   /// serialized (cheaply rebuilt on deserialization).
   Uint128 exponent{1};
   /// s(D_N); conceptually stored with the child pointer in the parent
-  /// (Fig. 3c) — kept on the node itself, which is equivalent and avoids
-  /// duplication. The root's signature doubles as the tree metadata
-  /// signature.
+  /// (Fig. 3c) — kept with the node itself, which is equivalent and
+  /// avoids duplication. The root's signature doubles as the tree
+  /// metadata signature.
   Signature sig;
+  /// Routing generation: bumped only when the snapshot's key/child layout
+  /// changes (split, merge, entry add/remove) — NOT when an insert
+  /// elsewhere merely ripples a new digest/signature through this node.
+  /// Pure routing reads (the descent above the envelope top) validate
+  /// against this instead of the node word, so churn outside a query's
+  /// envelope cannot invalidate the query (see DESIGN.md §8.2).
+  uint64_t struct_version = 0;
 
-  explicit Node(bool leaf) : is_leaf(leaf) {}
-  virtual ~Node() = default;
+  virtual ~NodeContent() = default;
 };
 
-struct VBTree::Leaf : VBTree::Node {
-  Leaf() : Node(true) {}
+struct VBTree::Leaf : VBTree::NodeContent {
   std::vector<LeafEntry> entries;
-  Leaf* next = nullptr;
-  Leaf* prev = nullptr;
 };
 
-struct VBTree::Internal : VBTree::Node {
-  Internal() : Node(false) {}
+struct VBTree::Internal : VBTree::NodeContent {
   /// children.size() == keys.size() + 1; child i spans [keys[i-1], keys[i]).
   std::vector<int64_t> keys;
-  std::vector<std::unique_ptr<Node>> children;
+  /// Raw shell pointers: shells are owned by the tree as a whole and
+  /// reclaimed epoch-based when unlinked.
+  std::vector<Node*> children;
 
   size_t ChildIndex(int64_t key) const {
     return static_cast<size_t>(
@@ -70,6 +97,261 @@ struct VBTree::Internal : VBTree::Node {
   }
 };
 
+/// Versioned node shell: identity (id, leafness) is fixed for the shell's
+/// lifetime; `word` is the OLC version word; `content` points at the
+/// current published snapshot. The shell owns its current snapshot.
+struct VBTree::Node {
+  const uint64_t id;
+  const bool is_leaf;
+  std::atomic<uint64_t> word;
+  std::atomic<NodeContent*> content;
+
+  Node(uint64_t id_in, bool leaf, NodeContent* c)
+      : id(id_in), is_leaf(leaf), word(olc::kInitialWord), content(c) {}
+  ~Node() { delete content.load(std::memory_order_relaxed); }
+};
+
+/// One optimistic traversal's read set: every (node, word) observed. The
+/// attempt is trustworthy only if Validate() passes afterwards — every
+/// recorded word unchanged, no locked node encountered, and the root
+/// pointer still the one the attempt started from (a root swap can
+/// demote the old root without touching its word).
+struct VBTree::ReadGuard {
+  struct Rec {
+    const Node* node;
+    uint64_t word;
+  };
+  /// Routing-only dependency: the answer used this snapshot's keys and
+  /// child pointers but nothing else, so it stays valid across
+  /// digest-only republications of the node.
+  struct StructRec {
+    const Node* node;
+    uint64_t struct_version;
+  };
+  std::vector<Rec> seen;
+  std::vector<StructRec> routing;
+  const std::atomic<Node*>* root_src = nullptr;
+  Node* root_seen = nullptr;
+  bool failed = false;
+
+  const NodeContent* Read(const Node* n) {
+    uint64_t w = n->word.load(std::memory_order_acquire);
+    if (olc::IsLocked(w)) {
+      failed = true;
+      return nullptr;
+    }
+    const NodeContent* c = n->content.load(std::memory_order_acquire);
+    seen.push_back({n, w});
+    return c;
+  }
+
+  /// Read for routing decisions only. Published snapshots are immutable,
+  /// so this never needs to abort on a locked word — it records the
+  /// snapshot's routing generation and Validate() rejects the attempt iff
+  /// the node's key/child layout was republished since. A writer that
+  /// merely pushed a fresh digest through the node (an insert in a
+  /// sibling subtree) leaves the routing generation — and this read —
+  /// intact. Every node above the envelope top also has its parent in
+  /// `routing` (or is covered by the root re-check), so an unlink is
+  /// always caught at the parent whose children changed.
+  const NodeContent* ReadRouting(const Node* n) {
+    const NodeContent* c = n->content.load(std::memory_order_acquire);
+    routing.push_back({n, c->struct_version});
+    return c;
+  }
+
+  bool Validate() const {
+    if (failed) return false;
+    if (root_src != nullptr &&
+        root_src->load(std::memory_order_acquire) != root_seen) {
+      return false;
+    }
+    for (const Rec& r : seen) {
+      if (r.node->word.load(std::memory_order_acquire) != r.word) return false;
+    }
+    for (const StructRec& r : routing) {
+      const NodeContent* c = r.node->content.load(std::memory_order_acquire);
+      if (c->struct_version != r.struct_version) return false;
+    }
+    return true;
+  }
+};
+
+/// Book-keeping for one write operation (insert, delete, replay, resign,
+/// bulk load), which runs under exclusive writer_mu_. Mutations accumulate
+/// as unpublished clones and become visible atomically at CommitWrite.
+struct VBTree::WriteCtx {
+  /// Shell -> unpublished clone this op is editing (for created shells
+  /// the "clone" is the shell's own initial content).
+  std::unordered_map<Node*, NodeContent*> dirty;
+  /// Every shell whose word this op locked (includes created shells,
+  /// which are born locked).
+  std::vector<Node*> locked;
+  /// Shells born in this op (deleted outright on abort).
+  std::vector<Node*> created;
+  /// Shells unlinked by this op: left locked forever and retired.
+  std::vector<Node*> removed;
+  Node* new_root = nullptr;
+
+  bool IsCreated(const Node* n) const {
+    return std::find(created.begin(), created.end(), n) != created.end();
+  }
+  bool IsRemoved(const Node* n) const {
+    return std::find(removed.begin(), removed.end(), n) != removed.end();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Writer machinery.
+// ---------------------------------------------------------------------------
+
+void VBTree::BeginWrite() {
+  VBT_CHECK(wctx_ == nullptr);
+  wctx_ = std::make_unique<WriteCtx>();
+}
+
+void VBTree::LockWord(Node* n) {
+  uint64_t w = n->word.load(std::memory_order_relaxed);
+  VBT_CHECK(!olc::IsLocked(w));
+  n->word.store(w | olc::kLockedBit, std::memory_order_release);
+  wctx_->locked.push_back(n);
+}
+
+const VBTree::NodeContent* VBTree::WriterRead(const Node* n) const {
+  if (wctx_ != nullptr) {
+    auto it = wctx_->dirty.find(const_cast<Node*>(n));
+    if (it != wctx_->dirty.end()) return it->second;
+  }
+  return n->content.load(std::memory_order_relaxed);
+}
+
+const VBTree::NodeContent* VBTree::ColdRead(const Node* n) {
+  return n->content.load(std::memory_order_acquire);
+}
+
+VBTree::Leaf* VBTree::MutableLeaf(Node* n) {
+  auto it = wctx_->dirty.find(n);
+  if (it != wctx_->dirty.end()) return static_cast<Leaf*>(it->second);
+  LockWord(n);
+  Leaf* clone =
+      new Leaf(*static_cast<const Leaf*>(n->content.load(std::memory_order_relaxed)));
+  wctx_->dirty.emplace(n, clone);
+  return clone;
+}
+
+VBTree::Internal* VBTree::MutableInternal(Node* n) {
+  auto it = wctx_->dirty.find(n);
+  if (it != wctx_->dirty.end()) return static_cast<Internal*>(it->second);
+  LockWord(n);
+  Internal* clone = new Internal(
+      *static_cast<const Internal*>(n->content.load(std::memory_order_relaxed)));
+  wctx_->dirty.emplace(n, clone);
+  return clone;
+}
+
+VBTree::Node* VBTree::NewLeafNode() {
+  Leaf* c = new Leaf();
+  Node* n = new Node(NextNodeId(), /*leaf=*/true, c);
+  n->word.store(olc::kInitialWord | olc::kLockedBit, std::memory_order_relaxed);
+  wctx_->dirty.emplace(n, c);
+  wctx_->locked.push_back(n);
+  wctx_->created.push_back(n);
+  return n;
+}
+
+VBTree::Node* VBTree::NewInternalNode() {
+  Internal* c = new Internal();
+  Node* n = new Node(NextNodeId(), /*leaf=*/false, c);
+  n->word.store(olc::kInitialWord | olc::kLockedBit, std::memory_order_relaxed);
+  wctx_->dirty.emplace(n, c);
+  wctx_->locked.push_back(n);
+  wctx_->created.push_back(n);
+  return n;
+}
+
+void VBTree::RemoveNode(Node* n) {
+  if (!olc::IsLocked(n->word.load(std::memory_order_relaxed))) LockWord(n);
+  wctx_->removed.push_back(n);
+}
+
+void VBTree::CommitWrite(bool bump_version) {
+  WriteCtx& ctx = *wctx_;
+  // 1. Publish dirty snapshots (nodes stay locked, so no reader trusts
+  //    them yet); retire the replaced ones. Removed nodes publish
+  //    nothing — their pending clones just die.
+  for (auto& [n, clone] : ctx.dirty) {
+    NodeContent* old = n->content.load(std::memory_order_relaxed);
+    if (ctx.IsRemoved(n)) {
+      if (clone != old) delete clone;
+      continue;
+    }
+    if (clone != old) {
+      // Classify the republication before it becomes visible: only a
+      // routing change (key/child layout) advances the structural
+      // generation. Internal nodes are republished on EVERY insert below
+      // them (the digest ripples to the root), and keeping the routing
+      // generation stable across those is what lets concurrent readers
+      // with untouched envelopes validate instead of restarting.
+      bool routing_changed = true;
+      if (!n->is_leaf) {
+        const auto* oi = static_cast<const Internal*>(old);
+        const auto* ci = static_cast<const Internal*>(clone);
+        routing_changed = oi->keys != ci->keys || oi->children != ci->children;
+      }
+      if (routing_changed) clone->struct_version = old->struct_version + 1;
+      n->content.store(clone, std::memory_order_release);
+      reclaimer_.Retire([old] { delete old; });
+    }
+  }
+  // 2. Swap the root if this op grew/shrank the tree.
+  if (ctx.new_root != nullptr) {
+    root_.store(ctx.new_root, std::memory_order_release);
+  }
+  // 3. Bump the tree version BEFORE releasing any word: a reader that
+  //    validates its read set loads the version first, so this order
+  //    guarantees the label is at least as new as any state the reader
+  //    could have observed (labels are exact — see DESIGN.md §8).
+  if (bump_version) {
+    version_.store(version_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+  // 4. Release every word with a version bump. Removed shells stay
+  //    locked forever so stragglers abort instantly.
+  for (Node* n : ctx.locked) {
+    if (ctx.IsRemoved(n)) continue;
+    uint64_t w = n->word.load(std::memory_order_relaxed);
+    n->word.store(olc::BumpedUnlocked(w), std::memory_order_release);
+  }
+  // 5. Retire unlinked shells (their destructors free the snapshots they
+  //    still own).
+  for (Node* n : ctx.removed) {
+    reclaimer_.Retire([n] { delete n; });
+  }
+  wctx_.reset();
+  reclaimer_.Collect();
+}
+
+void VBTree::AbortWrite() {
+  WriteCtx& ctx = *wctx_;
+  // Nothing was published: drop the clones, restore the original words
+  // (no bump — the tree is bit-identical to before the op), delete
+  // stillborn shells. Removal marks simply evaporate.
+  for (auto& [n, clone] : ctx.dirty) {
+    if (clone != n->content.load(std::memory_order_relaxed)) delete clone;
+  }
+  for (Node* n : ctx.locked) {
+    if (ctx.IsCreated(n)) continue;
+    uint64_t w = n->word.load(std::memory_order_relaxed);
+    n->word.store(w & ~olc::kLockedBit, std::memory_order_release);
+  }
+  for (Node* n : ctx.created) delete n;
+  wctx_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Construction / destruction.
+// ---------------------------------------------------------------------------
+
 VBTree::VBTree(DigestSchema digest_schema, VBTreeOptions opts, Signer* signer,
                LockManager* lock_manager)
     : ds_(std::move(digest_schema)),
@@ -77,30 +359,45 @@ VBTree::VBTree(DigestSchema digest_schema, VBTreeOptions opts, Signer* signer,
       signer_(signer),
       lock_manager_(lock_manager) {
   VBT_CHECK(opts_.config.max_internal >= 2 && opts_.config.max_leaf >= 1);
-  auto leaf = std::make_unique<Leaf>();
-  leaf->id = NextNodeId();
-  leaf->digest = ds_.ghash().Identity();
-  root_ = std::move(leaf);
+  key_version_.store(opts_.key_version, std::memory_order_relaxed);
+  Leaf* c = new Leaf();
+  c->digest = ds_.ghash().Identity();
   if (signer_ != nullptr) {
-    auto sig = signer_->Sign(root_->digest);
-    if (sig.ok()) root_->sig = sig.MoveValueUnsafe();
+    auto sig = signer_->Sign(c->digest);
+    if (sig.ok()) c->sig = sig.MoveValueUnsafe();
   }
+  root_.store(new Node(NextNodeId(), /*leaf=*/true, c),
+              std::memory_order_relaxed);
 }
 
-VBTree::~VBTree() = default;
+VBTree::~VBTree() {
+  reclaimer_.DrainAll();
+  DeleteSubtree(root_.load(std::memory_order_relaxed));
+}
+
+void VBTree::DeleteSubtree(Node* node) {
+  if (node == nullptr) return;
+  NodeContent* c = node->content.load(std::memory_order_relaxed);
+  if (!node->is_leaf) {
+    for (Node* child : static_cast<Internal*>(c)->children) {
+      DeleteSubtree(child);
+    }
+  }
+  delete node;  // shell destructor frees its current snapshot
+}
 
 // ---------------------------------------------------------------------------
 // Digest maintenance (central server).
 // ---------------------------------------------------------------------------
 
-Status VBTree::ResignNode(Node* node) {
+Status VBTree::ResignNode(NodeContent* content) {
   if (replay_feed_ != nullptr) {
     // Delta replay: splice in the signature the central server produced
     // for this (structurally identical) re-signing step.
     if (replay_feed_->empty()) {
       return Status::Corruption("update-delta signature feed exhausted");
     }
-    node->sig = std::move(replay_feed_->front());
+    content->sig = std::move(replay_feed_->front());
     replay_feed_->pop_front();
     return Status::OK();
   }
@@ -109,8 +406,8 @@ Status VBTree::ResignNode(Node* node) {
         "tree replica has no signing key (updates must go to the central "
         "server, §3.4)");
   }
-  VBT_ASSIGN_OR_RETURN(node->sig, signer_->Sign(node->digest));
-  if (signature_log_ != nullptr) signature_log_->push_back(node->sig);
+  VBT_ASSIGN_OR_RETURN(content->sig, signer_->Sign(content->digest));
+  if (signature_log_ != nullptr) signature_log_->push_back(content->sig);
   return Status::OK();
 }
 
@@ -129,7 +426,7 @@ Status VBTree::RecomputeLeafDigest(Leaf* leaf) {
 Status VBTree::RecomputeInternalDigest(Internal* in) {
   std::vector<Digest> ds;
   ds.reserve(in->children.size());
-  for (const auto& c : in->children) ds.push_back(c->digest);
+  for (const Node* c : in->children) ds.push_back(WriterRead(c)->digest);
   in->exponent = ds_.ghash().ExponentProduct(ds);
   in->digest =
       opts_.update_strategy == DigestUpdateStrategy::kRecomputeChained
@@ -165,8 +462,8 @@ Result<VBTree::LeafEntry> VBTree::MakeLeafEntry(const Tuple& tuple,
 // ---------------------------------------------------------------------------
 
 Status VBTree::BulkLoad(std::span<const std::pair<Tuple, Rid>> rows) {
-  std::unique_lock latch(latch_);
-  if (size_ != 0) {
+  std::unique_lock latch(writer_mu_);
+  if (size_.load(std::memory_order_relaxed) != 0) {
     return Status::InvalidArgument("BulkLoad requires an empty tree");
   }
   for (size_t i = 1; i < rows.size(); ++i) {
@@ -176,63 +473,72 @@ Status VBTree::BulkLoad(std::span<const std::pair<Tuple, Rid>> rows) {
     }
   }
 
+  BeginWrite();
+  auto fail = [&](Status s) {
+    AbortWrite();
+    return s;
+  };
+
   // Build packed leaves.
-  std::vector<std::unique_ptr<Node>> level;
+  std::vector<Node*> level;
   const size_t per_leaf = static_cast<size_t>(opts_.config.max_leaf);
-  Leaf* prev = nullptr;
   for (size_t i = 0; i < rows.size();) {
-    auto leaf = std::make_unique<Leaf>();
-    leaf->id = NextNodeId();
+    Node* leaf_node = NewLeafNode();
+    Leaf* leaf = MutableLeaf(leaf_node);
     size_t n = std::min(per_leaf, rows.size() - i);
     leaf->entries.reserve(n);
     for (size_t j = 0; j < n; ++j, ++i) {
-      VBT_ASSIGN_OR_RETURN(LeafEntry e,
-                           MakeLeafEntry(rows[i].first, rows[i].second));
-      leaf->entries.push_back(std::move(e));
+      auto e_or = MakeLeafEntry(rows[i].first, rows[i].second);
+      if (!e_or.ok()) return fail(e_or.status());
+      leaf->entries.push_back(e_or.MoveValueUnsafe());
     }
-    VBT_RETURN_NOT_OK(RecomputeLeafDigest(leaf.get()));
-    leaf->prev = prev;
-    if (prev != nullptr) prev->next = leaf.get();
-    prev = leaf.get();
-    level.push_back(std::move(leaf));
+    Status s = RecomputeLeafDigest(leaf);
+    if (!s.ok()) return fail(s);
+    level.push_back(leaf_node);
   }
   if (level.empty()) {
-    auto leaf = std::make_unique<Leaf>();
-    leaf->id = NextNodeId();
+    Node* leaf_node = NewLeafNode();
+    Leaf* leaf = MutableLeaf(leaf_node);
     leaf->digest = ds_.ghash().Identity();
-    VBT_RETURN_NOT_OK(ResignNode(leaf.get()));
-    level.push_back(std::move(leaf));
+    Status s = ResignNode(leaf);
+    if (!s.ok()) return fail(s);
+    level.push_back(leaf_node);
   }
 
   // Build packed internal levels bottom-up.
   const size_t per_node = static_cast<size_t>(opts_.config.max_internal);
   while (level.size() > 1) {
-    std::vector<std::unique_ptr<Node>> upper;
+    std::vector<Node*> upper;
     for (size_t i = 0; i < level.size();) {
-      auto in = std::make_unique<Internal>();
-      in->id = NextNodeId();
+      Node* in_node = NewInternalNode();
+      Internal* in = MutableInternal(in_node);
       size_t n = std::min(per_node, level.size() - i);
       // Avoid leaving a trailing group of one child.
       if (level.size() - i - n == 1) n--;
       for (size_t j = 0; j < n; ++j, ++i) {
         if (j > 0) {
           // Separator = smallest key in subtree of child j.
-          const Node* c = level[i].get();
+          const Node* c = level[i];
           while (!c->is_leaf) {
-            c = static_cast<const Internal*>(c)->children[0].get();
+            c = static_cast<const Internal*>(WriterRead(c))->children[0];
           }
-          in->keys.push_back(static_cast<const Leaf*>(c)->entries[0].key);
+          in->keys.push_back(
+              static_cast<const Leaf*>(WriterRead(c))->entries[0].key);
         }
-        in->children.push_back(std::move(level[i]));
+        in->children.push_back(level[i]);
       }
-      VBT_RETURN_NOT_OK(RecomputeInternalDigest(in.get()));
-      upper.push_back(std::move(in));
+      Status s = RecomputeInternalDigest(in);
+      if (!s.ok()) return fail(s);
+      upper.push_back(in_node);
     }
     level = std::move(upper);
   }
 
-  root_ = std::move(level[0]);
-  size_ = rows.size();
+  RemoveNode(root_.load(std::memory_order_relaxed));  // the ctor's empty leaf
+  wctx_->new_root = level[0];
+  size_.store(rows.size(), std::memory_order_relaxed);
+  // No version bump: bulk load defines version 0, exactly as before.
+  CommitWrite(/*bump_version=*/false);
   return Status::OK();
 }
 
@@ -243,7 +549,7 @@ Status VBTree::BulkLoad(std::span<const std::pair<Tuple, Rid>> rows) {
 Result<VBTree::InsertOutcome> VBTree::InsertRec(Node* node, LeafEntry entry,
                                                 const Digest& tuple_digest) {
   if (node->is_leaf) {
-    auto* leaf = static_cast<Leaf*>(node);
+    Leaf* leaf = MutableLeaf(node);
     auto it = std::lower_bound(
         leaf->entries.begin(), leaf->entries.end(), entry.key,
         [](const LeafEntry& e, int64_t k) { return e.key < k; });
@@ -266,30 +572,26 @@ Result<VBTree::InsertOutcome> VBTree::InsertRec(Node* node, LeafEntry entry,
       return InsertOutcome{};
     }
     // Split; both halves need full recomputation.
-    auto right = std::make_unique<Leaf>();
-    right->id = NextNodeId();
+    Node* right_node = NewLeafNode();
+    Leaf* right = MutableLeaf(right_node);
     size_t mid = leaf->entries.size() / 2;
     right->entries.assign(std::make_move_iterator(leaf->entries.begin() + mid),
                           std::make_move_iterator(leaf->entries.end()));
     leaf->entries.resize(mid);
-    right->next = leaf->next;
-    right->prev = leaf;
-    if (leaf->next != nullptr) leaf->next->prev = right.get();
-    leaf->next = right.get();
     VBT_RETURN_NOT_OK(RecomputeLeafDigest(leaf));
-    VBT_RETURN_NOT_OK(RecomputeLeafDigest(right.get()));
+    VBT_RETURN_NOT_OK(RecomputeLeafDigest(right));
     InsertOutcome out;
     out.recomputed = true;
-    out.split = SplitResult{right->entries.front().key, std::move(right)};
+    out.split = SplitResult{right->entries.front().key, right_node};
     return out;
   }
 
-  auto* in = static_cast<Internal*>(node);
-  size_t ci = in->ChildIndex(entry.key);
-  const Digest old_child_digest = in->children[ci]->digest;
-  VBT_ASSIGN_OR_RETURN(
-      InsertOutcome child_out,
-      InsertRec(in->children[ci].get(), std::move(entry), tuple_digest));
+  const auto* in_read = static_cast<const Internal*>(WriterRead(node));
+  size_t ci = in_read->ChildIndex(entry.key);
+  Node* child = in_read->children[ci];
+  const Digest old_child_digest = WriterRead(child)->digest;
+  VBT_ASSIGN_OR_RETURN(InsertOutcome child_out,
+                       InsertRec(child, std::move(entry), tuple_digest));
 
   // The child's digest changed, so this node's digest — defined as
   // g(D_c1, ..., D_cp) over *child digests* — must be updated and
@@ -303,26 +605,26 @@ Result<VBTree::InsertOutcome> VBTree::InsertRec(Node* node, LeafEntry entry,
   // the nested definition, the recompute strategies redo an O(fan-out)
   // combination; kIncremental restores O(1) per node by patching the
   // exponent product with a modular inverse.
+  Internal* in = MutableInternal(node);
   if (child_out.split.has_value()) {
     in->keys.insert(in->keys.begin() + ci, child_out.split->separator);
-    in->children.insert(in->children.begin() + ci + 1,
-                        std::move(child_out.split->right));
+    in->children.insert(in->children.begin() + ci + 1, child_out.split->right);
     if (in->children.size() > static_cast<size_t>(opts_.config.max_internal)) {
-      auto right = std::make_unique<Internal>();
-      right->id = NextNodeId();
+      Node* right_node = NewInternalNode();
+      Internal* right = MutableInternal(right_node);
       size_t mid = in->keys.size() / 2;
       int64_t up = in->keys[mid];
       right->keys.assign(in->keys.begin() + mid + 1, in->keys.end());
       for (size_t i = mid + 1; i < in->children.size(); ++i) {
-        right->children.push_back(std::move(in->children[i]));
+        right->children.push_back(in->children[i]);
       }
       in->keys.resize(mid);
       in->children.resize(mid + 1);
       VBT_RETURN_NOT_OK(RecomputeInternalDigest(in));
-      VBT_RETURN_NOT_OK(RecomputeInternalDigest(right.get()));
+      VBT_RETURN_NOT_OK(RecomputeInternalDigest(right));
       InsertOutcome out;
       out.recomputed = true;
-      out.split = SplitResult{up, std::move(right)};
+      out.split = SplitResult{up, right_node};
       return out;
     }
     // Child set changed (new sibling): full recombination.
@@ -333,8 +635,8 @@ Result<VBTree::InsertOutcome> VBTree::InsertRec(Node* node, LeafEntry entry,
   }
 
   if (opts_.update_strategy == DigestUpdateStrategy::kIncremental) {
-    in->exponent = ds_.ghash().UpdateExponent(
-        in->exponent, old_child_digest, in->children[ci]->digest);
+    in->exponent = ds_.ghash().UpdateExponent(in->exponent, old_child_digest,
+                                              WriterRead(child)->digest);
     in->digest = ds_.ghash().FromExponent(in->exponent);
     VBT_RETURN_NOT_OK(ResignNode(in));
   } else {
@@ -347,20 +649,29 @@ Result<VBTree::InsertOutcome> VBTree::InsertRec(Node* node, LeafEntry entry,
 
 Status VBTree::InsertEntry(LeafEntry entry) {
   Digest tuple_digest = entry.tuple_digest;
-  std::unique_lock latch(latch_);
-  VBT_ASSIGN_OR_RETURN(InsertOutcome out,
-                       InsertRec(root_.get(), std::move(entry), tuple_digest));
-  if (out.split.has_value()) {
-    auto new_root = std::make_unique<Internal>();
-    new_root->id = NextNodeId();
-    new_root->keys.push_back(out.split->separator);
-    new_root->children.push_back(std::move(root_));
-    new_root->children.push_back(std::move(out.split->right));
-    VBT_RETURN_NOT_OK(RecomputeInternalDigest(new_root.get()));
-    root_ = std::move(new_root);
+  std::unique_lock latch(writer_mu_);
+  BeginWrite();
+  auto out_or = InsertRec(root_.load(std::memory_order_relaxed),
+                          std::move(entry), tuple_digest);
+  if (!out_or.ok()) {
+    AbortWrite();
+    return out_or.status();
   }
-  size_++;
-  version_++;
+  if (out_or->split.has_value()) {
+    Node* new_root_node = NewInternalNode();
+    Internal* new_root = MutableInternal(new_root_node);
+    new_root->keys.push_back(out_or->split->separator);
+    new_root->children.push_back(root_.load(std::memory_order_relaxed));
+    new_root->children.push_back(out_or->split->right);
+    Status s = RecomputeInternalDigest(new_root);
+    if (!s.ok()) {
+      AbortWrite();
+      return s;
+    }
+    wctx_->new_root = new_root_node;
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+  CommitWrite(/*bump_version=*/true);
   return Status::OK();
 }
 
@@ -369,15 +680,15 @@ Status VBTree::Insert(const Tuple& tuple, const Rid& rid, txn_id_t txn) {
     return Status::InvalidArgument(
         "edge replicas cannot process updates; route to the central server");
   }
-  // Digest + signature computation happens outside the latch.
+  // Digest + signature computation happens outside the writer lock.
   VBT_ASSIGN_OR_RETURN(LeafEntry entry, MakeLeafEntry(tuple, rid));
 
   if (lock_manager_ != nullptr && txn != 0) {
     // X-lock the root-to-leaf path digests (§3.4 Insert).
     std::vector<lock_id_t> ids;
     {
-      std::shared_lock latch(latch_);
-      CollectPathIds(root_.get(), tuple.key(), &ids);
+      std::shared_lock latch(writer_mu_);
+      CollectPathIds(root_.load(std::memory_order_acquire), tuple.key(), &ids);
     }
     for (lock_id_t id : ids) {
       VBT_RETURN_NOT_OK(lock_manager_->Acquire(txn, id, LockMode::kExclusive));
@@ -432,7 +743,14 @@ Status VBTree::ReplayDeleteRange(int64_t lo, int64_t hi,
 Result<bool> VBTree::DeleteRec(Node* node, int64_t lo, int64_t hi,
                                size_t* removed) {
   if (node->is_leaf) {
-    auto* leaf = static_cast<Leaf*>(node);
+    // Peek before cloning: untouched leaves stay clean (no spurious
+    // version bumps for readers to trip over).
+    const auto* cur = static_cast<const Leaf*>(WriterRead(node));
+    bool any = std::any_of(
+        cur->entries.begin(), cur->entries.end(),
+        [&](const LeafEntry& e) { return e.key >= lo && e.key <= hi; });
+    if (!any) return false;
+    Leaf* leaf = MutableLeaf(node);
     size_t before = leaf->entries.size();
     leaf->entries.erase(
         std::remove_if(leaf->entries.begin(), leaf->entries.end(),
@@ -440,54 +758,50 @@ Result<bool> VBTree::DeleteRec(Node* node, int64_t lo, int64_t hi,
                          return e.key >= lo && e.key <= hi;
                        }),
         leaf->entries.end());
-    size_t n = before - leaf->entries.size();
-    *removed += n;
-    if (n == 0) return false;
+    *removed += before - leaf->entries.size();
     if (!leaf->entries.empty()) {
       VBT_RETURN_NOT_OK(RecomputeLeafDigest(leaf));
     }
     return true;
   }
 
-  auto* in = static_cast<Internal*>(node);
+  const auto* in_read = static_cast<const Internal*>(WriterRead(node));
   bool changed = false;
-  for (size_t i = 0; i < in->children.size();) {
+  for (size_t i = 0; i < in_read->children.size();) {
     std::optional<int64_t> span_lo, span_hi;
-    in->ChildSpan(i, &span_lo, &span_hi);
+    in_read->ChildSpan(i, &span_lo, &span_hi);
     bool overlap = (!span_lo.has_value() || *span_lo <= hi) &&
                    (!span_hi.has_value() || *span_hi > lo);
     if (!overlap) {
       i++;
       continue;
     }
-    VBT_ASSIGN_OR_RETURN(bool child_changed,
-                         DeleteRec(in->children[i].get(), lo, hi, removed));
+    Node* child = in_read->children[i];
+    VBT_ASSIGN_OR_RETURN(bool child_changed, DeleteRec(child, lo, hi, removed));
     changed = changed || child_changed;
 
     // Merge-on-empty policy (§4.4, citing Johnson & Shasha): free a child
     // only once it holds nothing.
-    Node* child = in->children[i].get();
+    const NodeContent* cc = WriterRead(child);
     bool child_empty =
         child->is_leaf
-            ? static_cast<Leaf*>(child)->entries.empty()
-            : static_cast<Internal*>(child)->children.empty();
+            ? static_cast<const Leaf*>(cc)->entries.empty()
+            : static_cast<const Internal*>(cc)->children.empty();
     if (child_empty) {
-      if (child->is_leaf) {
-        auto* l = static_cast<Leaf*>(child);
-        if (l->prev != nullptr) l->prev->next = l->next;
-        if (l->next != nullptr) l->next->prev = l->prev;
-      }
+      Internal* in = MutableInternal(node);
+      in_read = in;  // keep iterating over the clone
       in->children.erase(in->children.begin() + i);
       if (!in->keys.empty()) {
         in->keys.erase(in->keys.begin() + (i == 0 ? 0 : i - 1));
       }
+      RemoveNode(child);
       changed = true;
       continue;  // re-examine index i (next child shifted down)
     }
     i++;
   }
-  if (changed && !in->children.empty()) {
-    VBT_RETURN_NOT_OK(RecomputeInternalDigest(in));
+  if (changed && !in_read->children.empty()) {
+    VBT_RETURN_NOT_OK(RecomputeInternalDigest(MutableInternal(node)));
   }
   return changed;
 }
@@ -504,8 +818,8 @@ Result<size_t> VBTree::DeleteRange(int64_t lo, int64_t hi, txn_id_t txn) {
     // Delete: lock, remove, then recompute up to the root).
     std::vector<lock_id_t> ids;
     {
-      std::shared_lock latch(latch_);
-      CollectRangePathIds(root_.get(), lo, hi, &ids);
+      std::shared_lock latch(writer_mu_);
+      CollectRangePathIds(root_.load(std::memory_order_acquire), lo, hi, &ids);
     }
     for (lock_id_t id : ids) {
       VBT_RETURN_NOT_OK(lock_manager_->Acquire(txn, id, LockMode::kExclusive));
@@ -516,54 +830,86 @@ Result<size_t> VBTree::DeleteRange(int64_t lo, int64_t hi, txn_id_t txn) {
 
 Result<size_t> VBTree::DeleteRangeLocked(int64_t lo, int64_t hi) {
   if (lo > hi) return static_cast<size_t>(0);
-  std::unique_lock latch(latch_);
+  std::unique_lock latch(writer_mu_);
+  BeginWrite();
+  auto fail = [&](Status s) {
+    AbortWrite();
+    return s;
+  };
   size_t removed = 0;
-  VBT_RETURN_NOT_OK(DeleteRec(root_.get(), lo, hi, &removed).status());
-  size_ -= removed;
+  {
+    Status s =
+        DeleteRec(root_.load(std::memory_order_relaxed), lo, hi, &removed)
+            .status();
+    if (!s.ok()) return fail(s);
+  }
 
   // Collapse trivial roots.
-  while (!root_->is_leaf) {
-    auto* in = static_cast<Internal*>(root_.get());
+  Node* root = root_.load(std::memory_order_relaxed);
+  while (!root->is_leaf) {
+    const auto* in = static_cast<const Internal*>(WriterRead(root));
     if (in->children.empty()) {
-      auto leaf = std::make_unique<Leaf>();
-      leaf->id = NextNodeId();
+      Node* leaf_node = NewLeafNode();
+      Leaf* leaf = MutableLeaf(leaf_node);
       leaf->digest = ds_.ghash().Identity();
-      VBT_RETURN_NOT_OK(ResignNode(leaf.get()));
-      root_ = std::move(leaf);
+      Status s = ResignNode(leaf);
+      if (!s.ok()) return fail(s);
+      RemoveNode(root);
+      root = leaf_node;
       break;
     }
     if (in->children.size() > 1) break;
-    root_ = std::move(in->children[0]);
+    Node* child = in->children[0];
+    RemoveNode(root);
+    root = child;
   }
-  if (removed > 0 && root_->is_leaf &&
-      static_cast<Leaf*>(root_.get())->entries.empty()) {
-    root_->digest = ds_.ghash().Identity();
-    VBT_RETURN_NOT_OK(ResignNode(root_.get()));
+  if (removed > 0 && root->is_leaf) {
+    if (static_cast<const Leaf*>(WriterRead(root))->entries.empty()) {
+      Leaf* leaf = MutableLeaf(root);
+      leaf->digest = ds_.ghash().Identity();
+      Status s = ResignNode(leaf);
+      if (!s.ok()) return fail(s);
+    }
   }
-  version_++;
+  if (root != root_.load(std::memory_order_relaxed)) wctx_->new_root = root;
+  size_.fetch_sub(removed, std::memory_order_relaxed);
+  CommitWrite(/*bump_version=*/true);
   return removed;
 }
 
 // ---------------------------------------------------------------------------
-// Query + VO construction (§3.3).
+// Query + VO construction (§3.3) — latch-free with optimistic validation.
 // ---------------------------------------------------------------------------
 
-const VBTree::Node* VBTree::FindEnvelopeTop(const KeyRange& range,
-                                            Signature* top_sig,
-                                            int* depth_of_top) const {
-  const Node* node = root_.get();
-  *top_sig = node->sig;
-  int depth = 0;
+const VBTree::Node* VBTree::FindEnvelopeTop(const KeyRange& range, ReadGuard* g,
+                                            Signature* top_sig) const {
+  const Node* node = (g != nullptr)
+                         ? g->root_seen
+                         : root_.load(std::memory_order_acquire);
+  // Descend on routing-only reads: the nodes above the envelope top
+  // contribute nothing to the answer but child choice, so they must not
+  // tie the attempt to their version words — every insert anywhere in
+  // the tree republishes the root (and its path) with a fresh digest,
+  // and word-validating the descent would make ANY churn invalidate ALL
+  // concurrent reads. Only a key/child layout change (validated through
+  // the snapshot's routing generation) can re-route this query.
+  const NodeContent* c = (g != nullptr) ? g->ReadRouting(node) : ColdRead(node);
   while (!node->is_leaf) {
-    const auto* in = static_cast<const Internal*>(node);
+    const auto* in = static_cast<const Internal*>(c);
     size_t ci_lo = in->ChildIndex(range.lo);
     size_t ci_hi = in->ChildIndex(range.hi);
     if (ci_lo != ci_hi) break;  // paths diverge: this is the LCA
-    node = in->children[ci_lo].get();
-    *top_sig = node->sig;
-    depth++;
+    node = in->children[ci_lo];
+    c = (g != nullptr) ? g->ReadRouting(node) : ColdRead(node);
   }
-  *depth_of_top = depth;
+  // The top itself joins the exact read set: its signature is the VO's
+  // signed anchor and BuildVONode re-reads it, so both reads must come
+  // from the same word era for the anchor to match the body.
+  if (g != nullptr) {
+    c = g->Read(node);
+    if (c == nullptr) return nullptr;
+  }
+  *top_sig = c->sig;
   return node;
 }
 
@@ -571,13 +917,13 @@ void VBTree::CollectEnvelopeIds(const Node* node, const KeyRange& range,
                                 std::vector<lock_id_t>* ids) const {
   ids->push_back(node->id);
   if (node->is_leaf) return;
-  const auto* in = static_cast<const Internal*>(node);
+  const auto* in = static_cast<const Internal*>(ColdRead(node));
   for (size_t i = 0; i < in->children.size(); ++i) {
     std::optional<int64_t> span_lo, span_hi;
     in->ChildSpan(i, &span_lo, &span_hi);
     bool overlap = (!span_lo.has_value() || *span_lo <= range.hi) &&
                    (!span_hi.has_value() || *span_hi > range.lo);
-    if (overlap) CollectEnvelopeIds(in->children[i].get(), range, ids);
+    if (overlap) CollectEnvelopeIds(in->children[i], range, ids);
   }
 }
 
@@ -585,8 +931,8 @@ void VBTree::CollectPathIds(const Node* node, int64_t key,
                             std::vector<lock_id_t>* ids) const {
   ids->push_back(node->id);
   if (node->is_leaf) return;
-  const auto* in = static_cast<const Internal*>(node);
-  CollectPathIds(in->children[in->ChildIndex(key)].get(), key, ids);
+  const auto* in = static_cast<const Internal*>(ColdRead(node));
+  CollectPathIds(in->children[in->ChildIndex(key)], key, ids);
 }
 
 void VBTree::CollectRangePathIds(const Node* node, int64_t lo, int64_t hi,
@@ -596,24 +942,31 @@ void VBTree::CollectRangePathIds(const Node* node, int64_t lo, int64_t hi,
   // down to its top.
   ids->push_back(node->id);
   if (node->is_leaf) return;
-  const auto* in = static_cast<const Internal*>(node);
+  const auto* in = static_cast<const Internal*>(ColdRead(node));
   for (size_t i = 0; i < in->children.size(); ++i) {
     std::optional<int64_t> span_lo, span_hi;
     in->ChildSpan(i, &span_lo, &span_hi);
     bool overlap = (!span_lo.has_value() || *span_lo <= hi) &&
                    (!span_hi.has_value() || *span_hi > lo);
-    if (overlap) CollectRangePathIds(in->children[i].get(), lo, hi, ids);
+    if (overlap) CollectRangePathIds(in->children[i], lo, hi, ids);
   }
 }
 
-Status VBTree::BuildVONode(const Node* node, const SelectQuery& q,
+Status VBTree::BuildVONode(const Node* node, int depth, const SelectQuery& q,
                            const std::vector<size_t>& filtered_cols,
-                           const TupleFetcher& fetch, QueryOutput* out,
-                           VONode* vo_node) const {
+                           const TupleFetcher& fetch, ReadGuard* g,
+                           QueryOutput* out, VONode* vo_node) const {
+  const NodeContent* c = g->Read(node);
+  if (c == nullptr) return Status::OK();  // locked node: attempt restarts
   out->stats.nodes_visited++;
   if (node->is_leaf) {
     vo_node->is_leaf = true;
-    const auto* leaf = static_cast<const Leaf*>(node);
+    if (out->stats.subtree_height == 0) {
+      // Leaf depth relative to the envelope top, +1 — identical to the
+      // old tree_height − depth_of_top on a consistent snapshot.
+      out->stats.subtree_height = depth + 1;
+    }
+    const auto* leaf = static_cast<const Leaf*>(c);
     for (const LeafEntry& e : leaf->entries) {
       if (!q.range.Contains(e.key)) {
         // Boundary tuple outside the selection: its signed digest joins
@@ -621,6 +974,9 @@ Status VBTree::BuildVONode(const Node* node, const SelectQuery& q,
         vo_node->filtered_tuple_sigs.push_back(e.tuple_sig);
         continue;
       }
+      // A fetch failure is only trusted (reported as tampering) if the
+      // read set validates afterwards; otherwise the attempt restarts —
+      // a concurrent writer may simply have won the race to the store.
       VBT_ASSIGN_OR_RETURN(Tuple t, fetch(e.rid));
       if (!q.MatchesConditions(t)) {
         // Non-key predicate gap inside the range (§3.3 Selection on
@@ -634,10 +990,10 @@ Status VBTree::BuildVONode(const Node* node, const SelectQuery& q,
         row.values = t.values();
       } else {
         row.values.reserve(q.projection.size());
-        for (size_t c : q.projection) row.values.push_back(t.value(c));
+        for (size_t col : q.projection) row.values.push_back(t.value(col));
         // D_P: signed digests of the projected-away attributes (Fig. 7).
-        for (size_t c : filtered_cols) {
-          out->vo.projected_attr_sigs.push_back(e.attr_sigs[c]);
+        for (size_t col : filtered_cols) {
+          out->vo.projected_attr_sigs.push_back(e.attr_sigs[col]);
         }
       }
       out->rows.push_back(std::move(row));
@@ -647,7 +1003,7 @@ Status VBTree::BuildVONode(const Node* node, const SelectQuery& q,
   }
 
   vo_node->is_leaf = false;
-  const auto* in = static_cast<const Internal*>(node);
+  const auto* in = static_cast<const Internal*>(c);
   vo_node->items.reserve(in->children.size());
   for (size_t i = 0; i < in->children.size(); ++i) {
     std::optional<int64_t> span_lo, span_hi;
@@ -657,11 +1013,17 @@ Status VBTree::BuildVONode(const Node* node, const SelectQuery& q,
     VONode::Item item;
     if (overlap) {
       item.covered = std::make_unique<VONode>();
-      VBT_RETURN_NOT_OK(BuildVONode(in->children[i].get(), q, filtered_cols,
-                                    fetch, out, item.covered.get()));
+      VBT_RETURN_NOT_OK(BuildVONode(in->children[i], depth + 1, q,
+                                    filtered_cols, fetch, g, out,
+                                    item.covered.get()));
+      if (g->failed) return Status::OK();
     } else {
       // Branch not overlapping the result: one signed digest suffices.
-      item.opaque = in->children[i]->sig;
+      // Reading the child snapshot records its word too — the signature
+      // becomes part of the validated read set.
+      const NodeContent* cc = g->Read(in->children[i]);
+      if (cc == nullptr) return Status::OK();
+      item.opaque = cc->sig;
     }
     vo_node->items.push_back(std::move(item));
   }
@@ -688,22 +1050,81 @@ Status VBTree::ValidateSelect(const SelectQuery& q) const {
   return Status::OK();
 }
 
-Status VBTree::ExecuteSelectLocked(const SelectQuery& q,
-                                   const TupleFetcher& fetch, int tree_height,
-                                   QueryOutput* out) const {
-  out->vo.key_version = opts_.key_version;
+Status VBTree::ExecuteSelectAttempt(const SelectQuery& q,
+                                    const TupleFetcher& fetch, ReadGuard* g,
+                                    QueryOutput* out) const {
+  out->vo.key_version = key_version_.load(std::memory_order_acquire);
   std::vector<size_t> filtered_cols =
       q.FilteredColumns(ds_.schema().num_columns());
   out->vo.num_filtered_cols = static_cast<uint32_t>(filtered_cols.size());
 
-  int depth_of_top = 0;
-  const Node* top = FindEnvelopeTop(q.range, &out->vo.signed_top,
-                                    &depth_of_top);
-  out->stats.subtree_height = tree_height - depth_of_top;
+  const Node* top = FindEnvelopeTop(q.range, g, &out->vo.signed_top);
+  if (top == nullptr) return Status::OK();  // aborted on a locked node
 
   out->vo.skeleton = std::make_unique<VONode>();
-  return BuildVONode(top, q, filtered_cols, fetch, out,
+  return BuildVONode(top, /*depth=*/0, q, filtered_cols, fetch, g, out,
                      out->vo.skeleton.get());
+}
+
+bool VBTree::ConsumeInjectedRestart() const {
+  int64_t cur = inject_restarts_.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    if (inject_restarts_.compare_exchange_weak(cur, cur - 1,
+                                               std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status VBTree::RunSelectWithRestarts(
+    const SelectQuery& q, const TupleFetcher& fetch, bool under_fallback,
+    QueryOutput* out, ReadGuard* keep, uint64_t* restarts,
+    uint64_t* latch_wait_us, const std::function<void()>& attempt_begin,
+    const std::function<void()>& attempt_commit) const {
+  for (int attempt = 0; attempt < kMaxOptimisticAttempts; ++attempt) {
+    if (!under_fallback && attempt >= kYieldAfterAttempts) {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::this_thread::yield();
+      *latch_wait_us += ElapsedUs(t0);
+    }
+    if (attempt_begin) attempt_begin();
+    ReadGuard g;
+    g.root_src = &root_;
+    g.root_seen = root_.load(std::memory_order_acquire);
+    QueryOutput tmp;
+    Status s = ExecuteSelectAttempt(q, fetch, &g, &tmp);
+    if (!under_fallback && ConsumeInjectedRestart()) {
+      ++*restarts;
+      continue;
+    }
+    // Label BEFORE validating: if the words (and root pointer) are still
+    // unchanged after this load, the answer is exactly the tree state at
+    // `label` (writers bump the tree version before unlocking any word).
+    const uint64_t label = version_.load(std::memory_order_acquire);
+    if (!g.Validate()) {
+      if (under_fallback) {
+        // Impossible: we hold writer_mu_ shared, writers need exclusive.
+        return Status::Corruption("OLC validation failed under fallback");
+      }
+      ++*restarts;
+      continue;
+    }
+    tmp.read_version = label;
+    if (s.ok() && attempt_commit) attempt_commit();
+    *out = std::move(tmp);
+    if (keep != nullptr) *keep = std::move(g);
+    return s;
+  }
+  // Pessimistic fallback: a shared hold of the writer mutex blocks
+  // writers (they need it exclusive) while still admitting other
+  // readers, so the next attempt validates by construction.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_lock fallback(writer_mu_);
+  *latch_wait_us += ElapsedUs(t0);
+  return RunSelectWithRestarts(q, fetch, /*under_fallback=*/true, out, keep,
+                               restarts, latch_wait_us, attempt_begin,
+                               attempt_commit);
 }
 
 Result<QueryOutput> VBTree::ExecuteSelect(const SelectQuery& query,
@@ -718,10 +1139,9 @@ Result<QueryOutput> VBTree::ExecuteSelect(const SelectQuery& query,
     // deletes on overlapping subtrees serialize with this query.
     std::vector<lock_id_t> ids;
     {
-      std::shared_lock latch(latch_);
+      std::shared_lock latch(writer_mu_);
       Signature unused_sig;
-      int unused_depth = 0;
-      const Node* top = FindEnvelopeTop(q.range, &unused_sig, &unused_depth);
+      const Node* top = FindEnvelopeTop(q.range, /*g=*/nullptr, &unused_sig);
       CollectEnvelopeIds(top, q.range, &ids);
     }
     for (lock_id_t id : ids) {
@@ -729,9 +1149,15 @@ Result<QueryOutput> VBTree::ExecuteSelect(const SelectQuery& query,
     }
   }
 
-  std::shared_lock latch(latch_);
+  olc::EpochReclaimer::Pin pin(&reclaimer_);
   QueryOutput out;
-  VBT_RETURN_NOT_OK(ExecuteSelectLocked(q, fetch, height(), &out));
+  uint64_t restarts = 0;
+  uint64_t latch_wait = 0;
+  Status s = RunSelectWithRestarts(q, fetch, /*under_fallback=*/false, &out,
+                                   /*keep=*/nullptr, &restarts, &latch_wait,
+                                   {}, {});
+  out.stats.olc_restarts = restarts;
+  VBT_RETURN_NOT_OK(s);
   return out;
 }
 
@@ -750,51 +1176,104 @@ Result<std::vector<QueryOutput>> VBTree::ExecuteSelectBatch(
   // Batch-scoped tuple memo: queries with overlapping envelopes share each
   // replica-store read (and tuple deserialization) instead of re-fetching
   // per query. Rids are dense and few per batch; an ordered map keeps this
-  // dependency-free.
+  // dependency-free. Fetches land in a per-attempt staging area first and
+  // merge into the committed memo only when the attempt's read set
+  // validates — a restarted (torn) read can never leak a tuple to its
+  // batch siblings.
   std::map<std::pair<int32_t, uint16_t>, Tuple> memo;
+  std::map<std::pair<int32_t, uint16_t>, Tuple> staging;
   size_t fetches = 0;
   size_t hits = 0;
   TupleFetcher shared_fetch = [&](const Rid& rid) -> Result<Tuple> {
     auto key = std::make_pair(rid.page_id, rid.slot);
-    auto it = memo.find(key);
-    if (it != memo.end()) {
+    if (auto it = memo.find(key); it != memo.end()) {
       hits++;
       return it->second;
     }
+    if (auto it = staging.find(key); it != staging.end()) return it->second;
     auto tuple_or = fetch(rid);
     if (!tuple_or.ok()) return tuple_or;
     fetches++;
-    return memo.emplace(key, tuple_or.MoveValueUnsafe()).first->second;
+    return staging.emplace(key, tuple_or.MoveValueUnsafe()).first->second;
+  };
+  std::function<void()> begin_attempt = [&] { staging.clear(); };
+  std::function<void()> commit_attempt = [&] {
+    memo.merge(staging);
+    staging.clear();
   };
 
-  // ONE shared-latch acquisition for the whole batch: every answer reads
-  // the same tree state, so the coalesced response carries one replica
-  // version. Snapshot installs / delta replay (exclusive latch) serialize
-  // against the batch as a unit.
-  std::shared_lock latch(latch_);
-  const int tree_height = height();  // latch already held
-  std::vector<QueryOutput> outs;
-  outs.reserve(qs.size());
-  for (size_t i = 0; i < qs.size(); ++i) {
+  olc::EpochReclaimer::Pin pin(&reclaimer_);
+  uint64_t restarts = 0;
+  uint64_t latch_wait = 0;
+  const size_t n = qs.size();
+  std::vector<QueryOutput> outs(n);
+  std::vector<ReadGuard> guards(n);
+
+  auto run_one = [&](size_t i, bool under_fallback) {
     QueryOutput out;
-    out.status = validation[i];
-    if (out.status.ok()) {
-      out.status =
-          ExecuteSelectLocked(qs[i], shared_fetch, tree_height, &out);
-      if (!out.status.ok()) {
-        // Partial VO state from a failed execution must not leak.
-        out.rows.clear();
-        out.vo = VerificationObject{};
-      }
+    Status s = RunSelectWithRestarts(qs[i], shared_fetch, under_fallback, &out,
+                                     &guards[i], &restarts, &latch_wait,
+                                     begin_attempt, commit_attempt);
+    out.status = s;
+    if (!s.ok()) {
+      // Partial VO state from a failed execution must not leak.
+      out.rows.clear();
+      out.vo = VerificationObject{};
     }
-    if (batch_stats != nullptr) {
-      batch_stats->nodes_visited += out.stats.nodes_visited;
+    outs[i] = std::move(out);
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!validation[i].ok()) {
+      outs[i].status = validation[i];
+      continue;
     }
-    outs.push_back(std::move(out));
+    run_one(i, /*under_fallback=*/false);
   }
+
+  // Converge the whole batch on ONE version label, replacing the old
+  // batch-wide latch hold: queries whose read sets a writer has since
+  // touched re-execute; everything still valid at `v_now` is relabeled
+  // for free (an untouched envelope answers identically at the newer
+  // version). After kMaxLabelPasses the stragglers finish under a brief
+  // shared writer_mu_ hold, which bounds the loop.
+  uint64_t v_now = 0;
+  for (int pass = 0;; ++pass) {
+    v_now = version_.load(std::memory_order_acquire);
+    std::vector<size_t> stale;
+    for (size_t i = 0; i < n; ++i) {
+      if (!validation[i].ok()) continue;
+      if (!guards[i].Validate()) stale.push_back(i);
+    }
+    if (stale.empty()) break;
+    // A label-pass re-execution is a restart in all but name: the slot's
+    // answer was discarded because a writer touched its read set. Count
+    // it, so olc_restarts_per_query reflects re-executed work and not
+    // just intra-attempt validation failures.
+    restarts += stale.size();
+    if (pass >= kMaxLabelPasses) {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::shared_lock fb(writer_mu_);
+      latch_wait += ElapsedUs(t0);
+      v_now = version_.load(std::memory_order_acquire);
+      for (size_t i : stale) run_one(i, /*under_fallback=*/true);
+      break;
+    }
+    for (size_t i : stale) run_one(i, /*under_fallback=*/false);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (validation[i].ok()) outs[i].read_version = v_now;
+  }
+
   if (batch_stats != nullptr) {
+    for (const QueryOutput& o : outs) {
+      batch_stats->nodes_visited += o.stats.nodes_visited;
+    }
     batch_stats->tuple_fetches += fetches;
     batch_stats->shared_fetch_hits += hits;
+    batch_stats->olc_restarts += restarts;
+    batch_stats->latch_wait_us += latch_wait;
+    batch_stats->read_version = v_now;
   }
   return outs;
 }
@@ -805,7 +1284,7 @@ Result<std::vector<QueryOutput>> VBTree::ExecuteSelectBatch(
 
 Status VBTree::ResignRec(Node* node, const TupleFetcher& fetch) {
   if (node->is_leaf) {
-    auto* leaf = static_cast<Leaf*>(node);
+    Leaf* leaf = MutableLeaf(node);
     for (LeafEntry& e : leaf->entries) {
       VBT_ASSIGN_OR_RETURN(Tuple t, fetch(e.rid));
       if (t.key() != e.key) {
@@ -823,9 +1302,9 @@ Status VBTree::ResignRec(Node* node, const TupleFetcher& fetch) {
     }
     return RecomputeLeafDigest(leaf);
   }
-  auto* in = static_cast<Internal*>(node);
-  for (auto& c : in->children) {
-    VBT_RETURN_NOT_OK(ResignRec(c.get(), fetch));
+  Internal* in = MutableInternal(node);
+  for (Node* c : in->children) {
+    VBT_RETURN_NOT_OK(ResignRec(c, fetch));
   }
   return RecomputeInternalDigest(in);
 }
@@ -835,13 +1314,25 @@ Status VBTree::ResignAll(Signer* new_signer, uint32_t new_key_version,
   if (new_signer == nullptr) {
     return Status::InvalidArgument("ResignAll requires a signer");
   }
-  std::unique_lock latch(latch_);
+  std::unique_lock latch(writer_mu_);
+  Signer* old_signer = signer_;
+  const uint32_t old_key_version = opts_.key_version;
   signer_ = new_signer;
   opts_.key_version = new_key_version;
-  // Re-signing invalidates every replica: bump the version so the
-  // propagation layer re-distributes (deltas cannot express a re-sign).
-  version_++;
-  return ResignRec(root_.get(), fetch);
+  BeginWrite();
+  Status s = ResignRec(root_.load(std::memory_order_relaxed), fetch);
+  if (!s.ok()) {
+    AbortWrite();
+    signer_ = old_signer;
+    opts_.key_version = old_key_version;
+    return s;
+  }
+  // Publish the new key version together with the re-signed tree; the
+  // version bump invalidates every replica so the propagation layer
+  // re-distributes (deltas cannot express a re-sign).
+  key_version_.store(new_key_version, std::memory_order_release);
+  CommitWrite(/*bump_version=*/true);
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -849,47 +1340,38 @@ Status VBTree::ResignAll(Signer* new_signer, uint32_t new_key_version,
 // ---------------------------------------------------------------------------
 
 Digest VBTree::root_digest() const {
-  std::shared_lock latch(latch_);
-  return root_->digest;
-}
-
-uint64_t VBTree::version() const {
-  std::shared_lock latch(latch_);
-  return version_;
+  std::shared_lock latch(writer_mu_);
+  return ColdRead(root_.load(std::memory_order_acquire))->digest;
 }
 
 Signature VBTree::root_signature() const {
-  std::shared_lock latch(latch_);
-  return root_->sig;
-}
-
-size_t VBTree::size() const {
-  std::shared_lock latch(latch_);
-  return size_;
+  std::shared_lock latch(writer_mu_);
+  return ColdRead(root_.load(std::memory_order_acquire))->sig;
 }
 
 int VBTree::height() const {
-  // Callers hold at least a shared latch or tolerate a racy read.
+  std::shared_lock latch(writer_mu_);
   int h = 1;
-  const Node* n = root_.get();
+  const Node* n = root_.load(std::memory_order_acquire);
   while (!n->is_leaf) {
     h++;
-    n = static_cast<const Internal*>(n)->children[0].get();
+    n = static_cast<const Internal*>(ColdRead(n))->children[0];
   }
   return h;
 }
 
 uint64_t VBTree::node_count() const {
-  std::shared_lock latch(latch_);
+  std::shared_lock latch(writer_mu_);
   uint64_t count = 0;
-  std::vector<const Node*> stack{root_.get()};
+  std::vector<const Node*> stack{root_.load(std::memory_order_acquire)};
   while (!stack.empty()) {
     const Node* n = stack.back();
     stack.pop_back();
     count++;
     if (!n->is_leaf) {
-      for (const auto& c : static_cast<const Internal*>(n)->children) {
-        stack.push_back(c.get());
+      for (const Node* c :
+           static_cast<const Internal*>(ColdRead(n))->children) {
+        stack.push_back(c);
       }
     }
   }
@@ -897,55 +1379,57 @@ uint64_t VBTree::node_count() const {
 }
 
 Status VBTree::CheckDigestRec(const Node* node) const {
+  const NodeContent* content = ColdRead(node);
   if (node->is_leaf) {
-    const auto* leaf = static_cast<const Leaf*>(node);
+    const auto* leaf = static_cast<const Leaf*>(content);
     std::vector<Digest> ds;
     for (const LeafEntry& e : leaf->entries) ds.push_back(e.tuple_digest);
     Digest expect = ds_.ghash().Combine(ds);
-    if (!(expect == node->digest)) {
+    if (!(expect == content->digest)) {
       return Status::Corruption("leaf digest mismatch");
     }
     return Status::OK();
   }
-  const auto* in = static_cast<const Internal*>(node);
+  const auto* in = static_cast<const Internal*>(content);
   std::vector<Digest> ds;
-  for (const auto& c : in->children) {
-    VBT_RETURN_NOT_OK(CheckDigestRec(c.get()));
-    ds.push_back(c->digest);
+  for (const Node* c : in->children) {
+    VBT_RETURN_NOT_OK(CheckDigestRec(c));
+    ds.push_back(ColdRead(c)->digest);
   }
   Digest expect = ds_.ghash().Combine(ds);
-  if (!(expect == node->digest)) {
+  if (!(expect == content->digest)) {
     return Status::Corruption("internal digest mismatch");
   }
   return Status::OK();
 }
 
 Status VBTree::CheckDigestConsistency() const {
-  std::shared_lock latch(latch_);
-  return CheckDigestRec(root_.get());
+  std::shared_lock latch(writer_mu_);
+  return CheckDigestRec(root_.load(std::memory_order_acquire));
 }
 
 Result<size_t> VBTree::AuditSignatures(Recoverer* recoverer) const {
   if (recoverer == nullptr) {
     return Status::InvalidArgument("audit requires the public key");
   }
-  std::shared_lock latch(latch_);
+  std::shared_lock latch(writer_mu_);
   // First make sure the digest hierarchy itself is consistent.
-  VBT_RETURN_NOT_OK(CheckDigestRec(root_.get()));
+  VBT_RETURN_NOT_OK(CheckDigestRec(root_.load(std::memory_order_acquire)));
   // Then check every stored signature against its digest.
   size_t audited = 0;
-  std::vector<const Node*> stack{root_.get()};
+  std::vector<const Node*> stack{root_.load(std::memory_order_acquire)};
   while (!stack.empty()) {
     const Node* n = stack.back();
     stack.pop_back();
-    VBT_ASSIGN_OR_RETURN(Digest d, recoverer->Recover(n->sig));
-    if (!(d == n->digest)) {
+    const NodeContent* content = ColdRead(n);
+    VBT_ASSIGN_OR_RETURN(Digest d, recoverer->Recover(content->sig));
+    if (!(d == content->digest)) {
       return Status::VerificationFailure(
           "node " + std::to_string(n->id) + " signature does not match");
     }
     audited++;
     if (n->is_leaf) {
-      const auto* leaf = static_cast<const Leaf*>(n);
+      const auto* leaf = static_cast<const Leaf*>(content);
       for (const LeafEntry& e : leaf->entries) {
         VBT_ASSIGN_OR_RETURN(Digest td, recoverer->Recover(e.tuple_sig));
         if (!(td == e.tuple_digest)) {
@@ -955,8 +1439,9 @@ Result<size_t> VBTree::AuditSignatures(Recoverer* recoverer) const {
         audited++;
       }
     } else {
-      for (const auto& c : static_cast<const Internal*>(n)->children) {
-        stack.push_back(c.get());
+      for (const Node* c :
+           static_cast<const Internal*>(content)->children) {
+        stack.push_back(c);
       }
     }
   }
@@ -971,8 +1456,9 @@ Status VBTree::CheckStructureRec(const Node* node, std::optional<int64_t> lo,
     if (hi.has_value() && k >= *hi) return false;
     return true;
   };
+  const NodeContent* content = ColdRead(node);
   if (node->is_leaf) {
-    const auto* leaf = static_cast<const Leaf*>(node);
+    const auto* leaf = static_cast<const Leaf*>(content);
     if (*leaf_depth == -1) {
       *leaf_depth = depth;
     } else if (*leaf_depth != depth) {
@@ -988,7 +1474,7 @@ Status VBTree::CheckStructureRec(const Node* node, std::optional<int64_t> lo,
     }
     return Status::OK();
   }
-  const auto* in = static_cast<const Internal*>(node);
+  const auto* in = static_cast<const Internal*>(content);
   if (in->children.size() != in->keys.size() + 1) {
     return Status::Corruption("internal child/key count mismatch");
   }
@@ -1004,45 +1490,64 @@ Status VBTree::CheckStructureRec(const Node* node, std::optional<int64_t> lo,
     std::optional<int64_t> clo = (i == 0) ? lo : std::optional(in->keys[i - 1]);
     std::optional<int64_t> chi =
         (i == in->keys.size()) ? hi : std::optional(in->keys[i]);
-    VBT_RETURN_NOT_OK(CheckStructureRec(in->children[i].get(), clo, chi,
-                                        depth + 1, leaf_depth));
+    VBT_RETURN_NOT_OK(
+        CheckStructureRec(in->children[i], clo, chi, depth + 1, leaf_depth));
   }
   return Status::OK();
 }
 
 Status VBTree::CheckStructure() const {
-  std::shared_lock latch(latch_);
+  std::shared_lock latch(writer_mu_);
   int leaf_depth = -1;
-  return CheckStructureRec(root_.get(), std::nullopt, std::nullopt, 0,
-                           &leaf_depth);
+  return CheckStructureRec(root_.load(std::memory_order_acquire), std::nullopt,
+                           std::nullopt, 0, &leaf_depth);
 }
 
 std::vector<int64_t> VBTree::AllKeys() const {
-  std::shared_lock latch(latch_);
+  std::shared_lock latch(writer_mu_);
   std::vector<int64_t> keys;
-  const Node* n = root_.get();
-  while (!n->is_leaf) n = static_cast<const Internal*>(n)->children[0].get();
-  for (const Leaf* leaf = static_cast<const Leaf*>(n); leaf != nullptr;
-       leaf = leaf->next) {
-    for (const LeafEntry& e : leaf->entries) keys.push_back(e.key);
+  // Depth-first with children pushed in reverse: leaves visited
+  // left-to-right, so keys come out in order (no leaf chain needed).
+  std::vector<const Node*> stack{root_.load(std::memory_order_acquire)};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    const NodeContent* content = ColdRead(n);
+    if (n->is_leaf) {
+      for (const LeafEntry& e : static_cast<const Leaf*>(content)->entries) {
+        keys.push_back(e.key);
+      }
+      continue;
+    }
+    const auto& children = static_cast<const Internal*>(content)->children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
   }
   return keys;
 }
 
 std::vector<int64_t> VBTree::KeysInRange(int64_t lo, int64_t hi) const {
-  std::shared_lock latch(latch_);
+  std::shared_lock latch(writer_mu_);
   std::vector<int64_t> keys;
-  const Node* n = root_.get();
-  while (!n->is_leaf) {
-    const auto* in = static_cast<const Internal*>(n);
-    n = in->children[in->ChildIndex(lo)].get();
-  }
-  for (const Leaf* leaf = static_cast<const Leaf*>(n); leaf != nullptr;
-       leaf = leaf->next) {
-    for (const LeafEntry& e : leaf->entries) {
-      if (e.key < lo) continue;
-      if (e.key > hi) return keys;
-      keys.push_back(e.key);
+  std::vector<const Node*> stack{root_.load(std::memory_order_acquire)};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    const NodeContent* content = ColdRead(n);
+    if (n->is_leaf) {
+      for (const LeafEntry& e : static_cast<const Leaf*>(content)->entries) {
+        if (e.key >= lo && e.key <= hi) keys.push_back(e.key);
+      }
+      continue;
+    }
+    const auto* in = static_cast<const Internal*>(content);
+    for (size_t i = in->children.size(); i-- > 0;) {
+      std::optional<int64_t> span_lo, span_hi;
+      in->ChildSpan(i, &span_lo, &span_hi);
+      bool overlap = (!span_lo.has_value() || *span_lo <= hi) &&
+                     (!span_hi.has_value() || *span_hi > lo);
+      if (overlap) stack.push_back(in->children[i]);
     }
   }
   return keys;
@@ -1053,12 +1558,13 @@ std::vector<int64_t> VBTree::KeysInRange(int64_t lo, int64_t hi) const {
 // ---------------------------------------------------------------------------
 
 void VBTree::SerializeNode(const Node* node, ByteWriter* w) const {
+  const NodeContent* content = ColdRead(node);
   w->PutU8(node->is_leaf ? 1 : 0);
   w->PutVarint(node->id);
-  w->PutBytes(node->digest.AsSlice());
-  w->PutLengthPrefixed(Slice(node->sig.data(), node->sig.size()));
+  w->PutBytes(content->digest.AsSlice());
+  w->PutLengthPrefixed(Slice(content->sig.data(), content->sig.size()));
   if (node->is_leaf) {
-    const auto* leaf = static_cast<const Leaf*>(node);
+    const auto* leaf = static_cast<const Leaf*>(content);
     w->PutVarint(leaf->entries.size());
     for (const LeafEntry& e : leaf->entries) {
       w->PutI64(e.key);
@@ -1072,15 +1578,15 @@ void VBTree::SerializeNode(const Node* node, ByteWriter* w) const {
       }
     }
   } else {
-    const auto* in = static_cast<const Internal*>(node);
+    const auto* in = static_cast<const Internal*>(content);
     w->PutVarint(in->children.size());
     for (int64_t k : in->keys) w->PutI64(k);
-    for (const auto& c : in->children) SerializeNode(c.get(), w);
+    for (const Node* c : in->children) SerializeNode(c, w);
   }
 }
 
 void VBTree::SerializeTo(ByteWriter* w) const {
-  std::shared_lock latch(latch_);
+  std::shared_lock latch(writer_mu_);
   w->PutU32(kTreeMagic);
   w->PutString(ds_.db_name());
   w->PutString(ds_.table_name());
@@ -1091,14 +1597,14 @@ void VBTree::SerializeTo(ByteWriter* w) const {
   w->PutU32(opts_.key_version);
   w->PutU32(static_cast<uint32_t>(opts_.config.max_internal));
   w->PutU32(static_cast<uint32_t>(opts_.config.max_leaf));
-  w->PutVarint(size_);
-  w->PutVarint(version_);
-  SerializeNode(root_.get(), w);
+  w->PutVarint(size_.load(std::memory_order_relaxed));
+  w->PutVarint(version_.load(std::memory_order_relaxed));
+  SerializeNode(root_.load(std::memory_order_acquire), w);
 }
 
-Result<std::unique_ptr<VBTree::Node>> VBTree::DeserializeNode(
-    ByteReader* r, const Schema& schema, int depth, std::vector<Leaf*>* leaves,
-    uint64_t* max_id) {
+Result<VBTree::Node*> VBTree::DeserializeNode(ByteReader* r,
+                                              const Schema& schema, int depth,
+                                              uint64_t* max_id) {
   if (depth > 64) return Status::Corruption("tree too deep");
   VBT_ASSIGN_OR_RETURN(uint8_t is_leaf, r->ReadU8());
   VBT_ASSIGN_OR_RETURN(uint64_t id, r->ReadVarint());
@@ -1111,7 +1617,6 @@ Result<std::unique_ptr<VBTree::Node>> VBTree::DeserializeNode(
 
   if (is_leaf != 0) {
     auto leaf = std::make_unique<Leaf>();
-    leaf->id = id;
     leaf->digest = digest;
     leaf->sig = std::move(sig);
     VBT_ASSIGN_OR_RETURN(uint64_t n, r->ReadCount());
@@ -1137,12 +1642,10 @@ Result<std::unique_ptr<VBTree::Node>> VBTree::DeserializeNode(
       }
       leaf->entries.push_back(std::move(e));
     }
-    leaves->push_back(leaf.get());
-    return std::unique_ptr<Node>(std::move(leaf));
+    return new Node(id, /*leaf=*/true, leaf.release());
   }
 
   auto in = std::make_unique<Internal>();
-  in->id = id;
   in->digest = digest;
   in->sig = std::move(sig);
   VBT_ASSIGN_OR_RETURN(uint64_t nc, r->ReadCount());
@@ -1154,12 +1657,15 @@ Result<std::unique_ptr<VBTree::Node>> VBTree::DeserializeNode(
   }
   in->children.reserve(nc);
   for (uint64_t i = 0; i < nc; ++i) {
-    VBT_ASSIGN_OR_RETURN(
-        std::unique_ptr<Node> child,
-        DeserializeNode(r, schema, depth + 1, leaves, max_id));
-    in->children.push_back(std::move(child));
+    auto child_or = DeserializeNode(r, schema, depth + 1, max_id);
+    if (!child_or.ok()) {
+      // Raw shell pointers: free the partially built subtree explicitly.
+      for (Node* ch : in->children) DeleteSubtree(ch);
+      return child_or.status();
+    }
+    in->children.push_back(child_or.ValueOrDie());
   }
-  return std::unique_ptr<Node>(std::move(in));
+  return new Node(id, /*leaf=*/false, in.release());
 }
 
 Result<std::unique_ptr<VBTree>> VBTree::Deserialize(ByteReader* r,
@@ -1204,37 +1710,36 @@ Result<std::unique_ptr<VBTree>> VBTree::Deserialize(ByteReader* r,
   auto tree = std::unique_ptr<VBTree>(
       new VBTree(std::move(ds), opts, signer, lock_manager));
 
-  std::vector<Leaf*> leaves;
   uint64_t max_id = 0;
-  VBT_ASSIGN_OR_RETURN(tree->root_,
-                       DeserializeNode(r, schema, 0, &leaves, &max_id));
-  // Rebuild the leaf chain (serialization is pre-order, leaves in order).
-  for (size_t i = 0; i < leaves.size(); ++i) {
-    leaves[i]->prev = (i == 0) ? nullptr : leaves[i - 1];
-    leaves[i]->next = (i + 1 == leaves.size()) ? nullptr : leaves[i + 1];
-  }
-  tree->size_ = size;
-  tree->version_ = version;
+  VBT_ASSIGN_OR_RETURN(Node* new_root,
+                       DeserializeNode(r, schema, 0, &max_id));
+  // Replace the constructor's placeholder root. Single-threaded: the tree
+  // has not been published to any reader yet.
+  DeleteSubtree(tree->root_.load(std::memory_order_relaxed));
+  tree->root_.store(new_root, std::memory_order_relaxed);
+  tree->size_.store(size, std::memory_order_relaxed);
+  tree->version_.store(version, std::memory_order_relaxed);
   tree->next_node_id_ = max_id + 1;
-  tree->InitExponents(tree->root_.get());
+  tree->InitExponents(new_root);
   return tree;
 }
 
 void VBTree::InitExponents(Node* node) {
+  NodeContent* content = node->content.load(std::memory_order_relaxed);
   if (node->is_leaf) {
-    auto* leaf = static_cast<Leaf*>(node);
+    auto* leaf = static_cast<Leaf*>(content);
     std::vector<Digest> ds;
     ds.reserve(leaf->entries.size());
     for (const LeafEntry& e : leaf->entries) ds.push_back(e.tuple_digest);
     leaf->exponent = ds_.ghash().ExponentProduct(ds);
     return;
   }
-  auto* in = static_cast<Internal*>(node);
+  auto* in = static_cast<Internal*>(content);
   std::vector<Digest> ds;
   ds.reserve(in->children.size());
-  for (auto& c : in->children) {
-    InitExponents(c.get());
-    ds.push_back(c->digest);
+  for (Node* c : in->children) {
+    InitExponents(c);
+    ds.push_back(c->content.load(std::memory_order_relaxed)->digest);
   }
   in->exponent = ds_.ghash().ExponentProduct(ds);
 }

@@ -1,9 +1,11 @@
 #ifndef VBTREE_VBTREE_VB_TREE_H_
 #define VBTREE_VBTREE_VB_TREE_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -12,6 +14,7 @@
 
 #include "btree/bplus_tree.h"
 #include "catalog/tuple.h"
+#include "common/olc.h"
 #include "common/result.h"
 #include "common/serde.h"
 #include "crypto/signer.h"
@@ -58,6 +61,8 @@ struct VBQueryStats {
   int subtree_height = 0;
   /// Nodes of the enveloping subtree the edge server touched.
   size_t nodes_visited = 0;
+  /// Optimistic-read restarts this query needed (0 on a quiesced tree).
+  uint64_t olc_restarts = 0;
 };
 
 /// Cross-query statistics for one batched execution (ExecuteSelectBatch):
@@ -66,11 +71,21 @@ struct VBQueryStats {
 struct VBBatchStats {
   /// Total VO-skeleton nodes visited across the batch.
   size_t nodes_visited = 0;
-  /// Tuple fetches that reached the replica store.
+  /// Tuple fetches that reached the replica store (including fetches of
+  /// attempts later discarded by an optimistic restart).
   size_t tuple_fetches = 0;
   /// Tuple fetches served from the batch-scoped memo (overlapping query
   /// envelopes share each tuple read + deserialization).
   size_t shared_fetch_hits = 0;
+  /// Optimistic-read restarts across the batch (version bumps / locked
+  /// nodes observed mid-traversal, plus test-injected restarts).
+  uint64_t olc_restarts = 0;
+  /// Microseconds spent yielding between restarts or blocking on the
+  /// pessimistic fallback latch — the contention the latch-free path is
+  /// designed to avoid (0 on a quiesced tree).
+  uint64_t latch_wait_us = 0;
+  /// The single tree version every answer in the batch reflects.
+  uint64_t read_version = 0;
 };
 
 /// A query answer as produced by an edge server: result rows plus the VO.
@@ -83,6 +98,9 @@ struct QueryOutput {
   std::vector<ResultRow> rows;
   VerificationObject vo;
   VBQueryStats stats;
+  /// Tree version this answer's validated read reflects (the replica
+  /// version an edge stamps on the response).
+  uint64_t read_version = 0;
 
   /// Exact serialized size of the result rows (excludes the VO).
   size_t ResultBytes() const {
@@ -103,13 +121,23 @@ struct QueryOutput {
 /// applies updates; *edge servers* hold deserialized replicas (Signer
 /// absent) and answer queries by building verification objects.
 ///
-/// Concurrency: structural reads/writes are protected by an internal
-/// shared_mutex; on top of that, when a LockManager and a txn id are
-/// supplied, operations follow §3.4's digest-locking protocol (queries
-/// S-lock their enveloping subtree, inserts X-lock the root-to-leaf path,
-/// deletes X-lock the affected subtree), with locks held until the caller
-/// releases the transaction — so conflicting operations serialize and
-/// disjoint ones proceed concurrently.
+/// Concurrency (optimistic lock coupling): every node carries an atomic
+/// version word (lock bit + counter) and an immutable content snapshot.
+/// Readers traverse latch-free, recording the word of every node they
+/// read, and validate the whole set after the traversal — a bump or lock
+/// bit means a writer overlapped and the read restarts from the root
+/// (escalating to a brief shared acquisition of the writer mutex after
+/// repeated restarts). Writers — serialized by an internal exclusive
+/// mutex — clone-on-write the nodes they touch, publish new snapshots,
+/// and release each touched word with a version bump; replaced snapshots
+/// are reclaimed epoch-based so in-flight readers never dereference
+/// freed memory. A validated read therefore saw one consistent signed
+/// tree state and is labeled with its exact version. On top of that,
+/// when a LockManager and a txn id are supplied, operations follow
+/// §3.4's digest-locking protocol (queries S-lock their enveloping
+/// subtree, inserts X-lock the root-to-leaf path, deletes X-lock the
+/// affected subtree), with locks held until the caller releases the
+/// transaction.
 class VBTree {
  public:
   /// Fetches the tuple behind a leaf-entry Rid; supplied by the edge
@@ -141,42 +169,64 @@ class VBTree {
 
   /// Edge-server query execution (§3.3): selection on the key range,
   /// conjunctive non-key conditions (gaps), and projection. Returns the
-  /// result rows in key order plus the verification object.
+  /// result rows in key order plus the verification object. Latch-free:
+  /// the traversal is optimistic and restarts on writer interference.
   Result<QueryOutput> ExecuteSelect(const SelectQuery& query,
                                     const TupleFetcher& fetch,
                                     txn_id_t txn = 0) const;
 
-  /// Batched edge-server execution: answers every query under ONE shared
-  /// latch acquisition — the whole batch reads a single consistent tree
-  /// state (one replica version) — and shares work across queries: tuple
-  /// fetches are memoized batch-wide, so overlapping envelopes read each
-  /// tuple from the replica store once. Outputs are positional (outs[i]
-  /// answers queries[i], with its own VO). Per-query validation or
-  /// execution failures are carried in outs[i].status instead of failing
-  /// the batch — one bad predicate no longer poisons N−1 good answers;
-  /// the outer Result is reserved for tree-level errors. Does not take
-  /// §3.4 digest locks: edge replicas run without a LockManager; the
-  /// latch alone serializes against snapshot installs and delta replay.
+  /// Batched edge-server execution: every query traverses latch-free and
+  /// the batch converges on ONE validated tree version (stragglers whose
+  /// read sets a writer touched re-execute; after bounded passes the
+  /// batch finishes under a brief shared acquisition of the writer
+  /// mutex) — so the coalesced response still carries a single replica
+  /// version, exactly as under the old batch-wide latch. Work is shared
+  /// across queries: tuple fetches are memoized batch-wide (entries
+  /// commit to the memo only from validated attempts, so a restarted
+  /// read can never leak a stale tuple to its siblings). Outputs are
+  /// positional (outs[i] answers queries[i], with its own VO). Per-query
+  /// validation or execution failures are carried in outs[i].status
+  /// instead of failing the batch — one bad predicate no longer poisons
+  /// N−1 good answers; the outer Result is reserved for tree-level
+  /// errors. Does not take §3.4 digest locks: edge replicas run without
+  /// a LockManager.
   Result<std::vector<QueryOutput>> ExecuteSelectBatch(
       std::span<const SelectQuery> queries, const TupleFetcher& fetch,
       VBBatchStats* batch_stats = nullptr) const;
 
   Digest root_digest() const;
   Signature root_signature() const;
-  uint32_t key_version() const { return opts_.key_version; }
+  uint32_t key_version() const {
+    // Atomic shadow of opts_.key_version: the latch-free query path stamps
+    // it into every VO while ResignAll (exclusive writer) may be rotating.
+    return key_version_.load(std::memory_order_acquire);
+  }
 
   /// Monotone replica version: the number of mutations (inserts, range
   /// deletes, re-signs) applied since bulk load. Carried through
   /// serialization, so an edge replica reports exactly the central
   /// version its tree reflects; clients compare versions across edges to
   /// detect stale replicas (§3.4 delayed update propagation).
-  uint64_t version() const;
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
   const DigestSchema& digest_schema() const { return ds_; }
   const VBTreeOptions& options() const { return opts_; }
 
-  size_t size() const;
+  size_t size() const {
+    return static_cast<size_t>(size_.load(std::memory_order_acquire));
+  }
   int height() const;
   uint64_t node_count() const;
+
+  /// Test hook for the OLC stress suite: the next `n` optimistic read
+  /// attempts are forcibly failed (counted as restarts) before
+  /// validation, as if a writer had interfered — proving the restart
+  /// path re-executes to the same verified answers and that every
+  /// restart is accounted.
+  void InjectRestartsForTest(int64_t n) {
+    inject_restarts_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// Recomputes every digest bottom-up and compares with the stored ones;
   /// kCorruption on any mismatch. Test/diagnostic hook.
@@ -263,21 +313,51 @@ class VBTree {
 
  private:
   struct LeafEntry;
-  struct Node;
-  struct Leaf;
-  struct Internal;
+  struct NodeContent;
+  struct Leaf;      // leaf content snapshot
+  struct Internal;  // internal content snapshot
+  struct Node;      // versioned shell: word + content pointer
+  struct ReadGuard;
+  struct WriteCtx;
 
   struct SplitResult {
     int64_t separator;
-    std::unique_ptr<Node> right;
+    Node* right = nullptr;
   };
   struct InsertOutcome {
     bool recomputed = false;  // digests below changed non-incrementally
     std::optional<SplitResult> split;
   };
 
-  // --- digest helpers (central server side) ---
-  Status ResignNode(Node* node);
+  // --- writer machinery (exclusive writer_mu_ held) ---
+  void BeginWrite();
+  /// Publishes every dirty snapshot, swaps the root if requested, bumps
+  /// the tree version *before* releasing the per-node words (readers
+  /// label answers by loading the version before validating, so the
+  /// bump-then-unlock order makes labels exact), and retires replaced
+  /// snapshots / unlinked shells through the epoch reclaimer.
+  void CommitWrite(bool bump_version);
+  /// Drops every dirty clone unpublished and releases the words without
+  /// a bump: a failed write op leaves the tree exactly as it was.
+  void AbortWrite();
+  Leaf* MutableLeaf(Node* n);
+  Internal* MutableInternal(Node* n);
+  Node* NewLeafNode();
+  Node* NewInternalNode();
+  /// Marks a node unlinked: it stays locked forever (stray readers abort
+  /// immediately) and shell + snapshot are retired at commit.
+  void RemoveNode(Node* n);
+  /// Writer-side read: the dirty clone if this op already touched the
+  /// node, the published snapshot otherwise.
+  const NodeContent* WriterRead(const Node* n) const;
+  void LockWord(Node* n);
+
+  /// Published-snapshot read for cold paths (serialization, audits,
+  /// introspection) that run under at least a shared writer_mu_.
+  static const NodeContent* ColdRead(const Node* n);
+
+  // --- digest helpers (central server side; operate on dirty clones) ---
+  Status ResignNode(NodeContent* content);
   Status RecomputeLeafDigest(Leaf* leaf);
   Status RecomputeInternalDigest(Internal* in);
 
@@ -288,27 +368,48 @@ class VBTree {
                                   const Digest& tuple_digest);
   Result<bool> DeleteRec(Node* node, int64_t lo, int64_t hi, size_t* removed);
 
-  /// Shared body of Insert and ReplayInsert (latch + recursion + root
-  /// split + size accounting).
+  /// Shared body of Insert and ReplayInsert (writer lock + recursion +
+  /// root split + size accounting).
   Status InsertEntry(LeafEntry entry);
   /// Shared body of DeleteRange and ReplayDeleteRange.
   Result<size_t> DeleteRangeLocked(int64_t lo, int64_t hi);
 
-  // --- query helpers ---
+  // --- query helpers (latch-free; record into the ReadGuard) ---
   /// Static validation shared by ExecuteSelect and ExecuteSelectBatch;
   /// `q` must already be projection-normalized.
   Status ValidateSelect(const SelectQuery& q) const;
-  /// Body of one select under an already-held shared latch.
-  Status ExecuteSelectLocked(const SelectQuery& q, const TupleFetcher& fetch,
-                             int tree_height, QueryOutput* out) const;
-  const Node* FindEnvelopeTop(const KeyRange& range, Signature* top_sig,
-                              int* depth_of_top) const;
+  /// One optimistic traversal attempt. A null return from the guard's
+  /// Read (locked node observed) aborts the attempt silently — the
+  /// caller restarts; a non-OK status is only trusted if the guard
+  /// validates afterwards.
+  Status ExecuteSelectAttempt(const SelectQuery& q, const TupleFetcher& fetch,
+                              ReadGuard* g, QueryOutput* out) const;
+  /// Restart loop around ExecuteSelectAttempt: re-reads the root each
+  /// attempt, validates root pointer + read set against the loaded
+  /// version label, yields between repeated restarts, and escalates to
+  /// a shared writer_mu_ acquisition after kMaxOptimisticAttempts.
+  /// `attempt_begin` / `attempt_commit` bracket the batch fetch-memo
+  /// staging; `keep` (optional) receives the validated read set.
+  Status RunSelectWithRestarts(const SelectQuery& q, const TupleFetcher& fetch,
+                               bool under_fallback, QueryOutput* out,
+                               ReadGuard* keep, uint64_t* restarts,
+                               uint64_t* latch_wait_us,
+                               const std::function<void()>& attempt_begin,
+                               const std::function<void()>& attempt_commit)
+      const;
+  bool ConsumeInjectedRestart() const;
+  /// Descends to the LCA of the range's two path ends. `g` may be null
+  /// for cold callers holding writer_mu_.
+  const Node* FindEnvelopeTop(const KeyRange& range, ReadGuard* g,
+                              Signature* top_sig) const;
+  Status BuildVONode(const Node* node, int depth, const SelectQuery& q,
+                     const std::vector<size_t>& filtered_cols,
+                     const TupleFetcher& fetch, ReadGuard* g, QueryOutput* out,
+                     VONode* vo_node) const;
+
+  // --- cold traversals (shared writer_mu_ held by caller) ---
   void CollectEnvelopeIds(const Node* node, const KeyRange& range,
                           std::vector<lock_id_t>* ids) const;
-  Status BuildVONode(const Node* node, const SelectQuery& q,
-                     const std::vector<size_t>& filtered_cols,
-                     const TupleFetcher& fetch, QueryOutput* out,
-                     VONode* vo_node) const;
   void CollectPathIds(const Node* node, int64_t key,
                       std::vector<lock_id_t>* ids) const;
   void CollectRangePathIds(const Node* node, int64_t lo, int64_t hi,
@@ -320,24 +421,37 @@ class VBTree {
                            std::optional<int64_t> hi, int depth,
                            int* leaf_depth) const;
   void SerializeNode(const Node* node, ByteWriter* w) const;
-  static Result<std::unique_ptr<Node>> DeserializeNode(
-      ByteReader* r, const Schema& schema, int depth,
-      std::vector<Leaf*>* leaves, uint64_t* max_id);
+  static Result<Node*> DeserializeNode(ByteReader* r, const Schema& schema,
+                                       int depth, uint64_t* max_id);
 
   uint64_t NextNodeId() { return next_node_id_++; }
 
-  /// Rebuilds the cached exponent products after deserialization.
+  /// Rebuilds the cached exponent products after deserialization
+  /// (pre-publication: the snapshots are not yet visible to readers).
   void InitExponents(Node* node);
+  static void DeleteSubtree(Node* node);
 
   DigestSchema ds_;
   VBTreeOptions opts_;
   Signer* signer_;            // null on edge replicas
   LockManager* lock_manager_; // optional
-  mutable std::shared_mutex latch_;
-  std::unique_ptr<Node> root_;
-  size_t size_ = 0;
-  uint64_t version_ = 0;
-  uint64_t next_node_id_ = 1;
+  /// Writers (inserts, deletes, replay, resign, bulk load) serialize
+  /// here exclusively; pessimistic fallback reads and cold
+  /// serialization/introspection paths take it shared. The optimistic
+  /// hot read path never touches it.
+  mutable std::shared_mutex writer_mu_;
+  /// Shadows opts_.key_version for latch-free readers (see key_version()).
+  std::atomic<uint32_t> key_version_{1};
+  std::atomic<Node*> root_{nullptr};
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> version_{0};
+  uint64_t next_node_id_ = 1;  // writer-only
+  /// Retired shells/snapshots wait here until no reader can hold them.
+  mutable olc::EpochReclaimer reclaimer_;
+  /// Pending test-injected forced restarts (see InjectRestartsForTest).
+  mutable std::atomic<int64_t> inject_restarts_{0};
+  /// Live only during one write op (under exclusive writer_mu_).
+  std::unique_ptr<WriteCtx> wctx_;
   /// Central side: copies of signatures produced by ResignNode, in order.
   std::vector<Signature>* signature_log_ = nullptr;
   /// Edge side: feed of signatures consumed during replay.

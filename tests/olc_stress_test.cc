@@ -1,0 +1,412 @@
+// OLC stress suite: latch-free readers racing structural writers on the
+// VB-tree, with every answer authenticated. The linearizability check is
+// exact, not statistical — the churn writer inserts *consecutive* keys,
+// and every tree mutation bumps the version by exactly one, so an answer
+// labeled with read_version L must contain precisely the base keys plus
+// the first L churn keys. Any torn read (a key missing, duplicated, or
+// from a mix of two tree states) fails the key-set comparison or the
+// client-side verification.
+//
+// Runs under the regular build and all three sanitizer builds; the TSan
+// CI job (`ci.sh --sanitize=thread`) leans on this file to surface data
+// races the version-validation protocol might otherwise hide.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "edge/client.h"
+#include "edge/replica_store.h"
+#include "tests/testutil.h"
+
+namespace vbtree {
+namespace {
+
+using testutil::MakeTuple;
+using testutil::MakeWideSchema;
+
+/// Synthetic Rid for key-addressed stress tuples (no TableHeap: the
+/// striped ReplicaStore is the thread-safe fetch target the edge layer
+/// actually uses under concurrency).
+Rid RidFor(int64_t key) {
+  return Rid{static_cast<int32_t>(key >> 16),
+             static_cast<uint16_t>(key & 0xFFFF)};
+}
+
+/// Central-in-miniature over a ReplicaStore: signer-owning VB-tree whose
+/// leaf Rids resolve through the striped store, so readers can fetch
+/// while a writer concurrently Puts (publication order: store first,
+/// then tree — same discipline as edge delta replay).
+struct StressDb {
+  Schema schema = MakeWideSchema(4);
+  SimSigner signer{/*key_seed=*/7};
+  SimRecoverer recoverer{signer.key_material()};
+  ReplicaStore store;
+  std::unique_ptr<VBTree> tree;
+  size_t base = 0;
+
+  explicit StressDb(size_t n, int fanout = 8) : base(n) {
+    VBTreeOptions opts;
+    opts.config.max_internal = fanout;
+    opts.config.max_leaf = fanout;
+    DigestSchema ds("stressdb", "t", schema, opts.hash_algo,
+                    opts.modulus_bits);
+    tree = std::make_unique<VBTree>(std::move(ds), opts, &signer);
+    Rng rng(42);
+    std::vector<std::pair<Tuple, Rid>> pairs;
+    pairs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Tuple t = MakeTuple(schema, static_cast<int64_t>(i), &rng);
+      Rid rid = RidFor(static_cast<int64_t>(i));
+      EXPECT_TRUE(store.Put(rid, t).ok());
+      pairs.emplace_back(std::move(t), rid);
+    }
+    EXPECT_TRUE(tree->BulkLoad(pairs).ok());
+  }
+
+  Verifier MakeVerifier() {
+    return Verifier(DigestSchema("stressdb", "t", schema,
+                                 tree->options().hash_algo,
+                                 tree->options().modulus_bits),
+                    &recoverer);
+  }
+
+  SelectQuery RangeQuery(int64_t lo, int64_t hi) const {
+    SelectQuery q;
+    q.table = "t";
+    q.range = KeyRange{lo, hi};
+    return q;
+  }
+
+  /// Inserts churn key base+seq (store first, then tree).
+  Status InsertChurn(int64_t seq, Rng* rng) {
+    int64_t key = static_cast<int64_t>(base) + seq;
+    Tuple t = MakeTuple(schema, key, rng);
+    Status put = store.Put(RidFor(key), t);
+    if (!put.ok()) return put;
+    return tree->Insert(t, RidFor(key));
+  }
+};
+
+/// The exact-answer assertion: an answer labeled L over the full domain
+/// must be keys 0 .. base+L-1, contiguous, and must authenticate.
+void ExpectExactAtLabel(StressDb* db, const SelectQuery& q,
+                        const QueryOutput& out, int64_t churn_total) {
+  const uint64_t label = out.read_version;
+  ASSERT_LE(label, static_cast<uint64_t>(churn_total))
+      << "label exceeds the number of mutations ever applied";
+  const int64_t expect_n =
+      static_cast<int64_t>(db->base) + static_cast<int64_t>(label);
+  ASSERT_EQ(out.rows.size(), static_cast<size_t>(expect_n))
+      << "row count does not match the labeled version " << label;
+  for (int64_t i = 0; i < expect_n; ++i) {
+    ASSERT_EQ(out.rows[static_cast<size_t>(i)].key, i)
+        << "non-contiguous key set at labeled version " << label;
+  }
+  Verifier v = db->MakeVerifier();
+  ASSERT_TRUE(v.VerifySelect(q, out.rows, out.vo).ok())
+      << "answer at labeled version " << label << " failed authentication";
+}
+
+// ---------------------------------------------------------------------------
+// Readers race a splitting writer; every answer is exact for its label.
+// ---------------------------------------------------------------------------
+
+TEST(OLCStressTest, ReadersRaceInsertsExactAtLabel) {
+  constexpr size_t kBase = 256;
+  constexpr int64_t kChurn = 200;
+  constexpr int kReaders = 3;
+  StressDb db(kBase);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> writer_ok{true};
+  std::thread writer([&] {
+    Rng rng(7001);
+    for (int64_t seq = 0; seq < kChurn; ++seq) {
+      if (!db.InsertChurn(seq, &rng).ok()) {
+        writer_ok = false;
+        break;
+      }
+    }
+    done = true;
+  });
+
+  std::atomic<uint64_t> total_restarts{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      SelectQuery q = db.RangeQuery(0, static_cast<int64_t>(kBase) + kChurn);
+      uint64_t restarts = 0;
+      int laps_after_done = 0;
+      while (laps_after_done < 2) {
+        if (done.load(std::memory_order_acquire)) laps_after_done++;
+        auto out = db.tree->ExecuteSelect(q, db.store.Fetcher());
+        ASSERT_TRUE(out.ok()) << out.status().ToString();
+        restarts += out->stats.olc_restarts;
+        ExpectExactAtLabel(&db, q, *out, kChurn);
+      }
+      total_restarts.fetch_add(restarts, std::memory_order_relaxed);
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_TRUE(writer_ok.load());
+  EXPECT_EQ(db.tree->version(), static_cast<uint64_t>(kChurn));
+  EXPECT_TRUE(db.tree->CheckStructure().ok());
+  EXPECT_TRUE(db.tree->CheckDigestConsistency().ok());
+  // A final quiesced read restarts zero times and sees everything.
+  SelectQuery q = db.RangeQuery(0, static_cast<int64_t>(kBase) + kChurn);
+  auto out = db.tree->ExecuteSelect(q, db.store.Fetcher());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.olc_restarts, 0u);
+  ExpectExactAtLabel(&db, q, *out, kChurn);
+}
+
+// ---------------------------------------------------------------------------
+// Batches converge on ONE label while the writer splits under them.
+// ---------------------------------------------------------------------------
+
+TEST(OLCStressTest, BatchConvergesOnOneLabelUnderChurn) {
+  constexpr size_t kBase = 256;
+  constexpr int64_t kChurn = 150;
+  StressDb db(kBase);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    Rng rng(7002);
+    for (int64_t seq = 0; seq < kChurn; ++seq) {
+      ASSERT_TRUE(db.InsertChurn(seq, &rng).ok());
+    }
+    done = true;
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      const int64_t hi = static_cast<int64_t>(kBase) + kChurn;
+      // Overlapping windows: the full domain plus three staggered
+      // sub-ranges, so the batch exercises the shared fetch memo while
+      // converging.
+      std::vector<SelectQuery> queries = {
+          db.RangeQuery(0, hi), db.RangeQuery(0, hi / 2),
+          db.RangeQuery(hi / 4, 3 * hi / 4), db.RangeQuery(hi / 2, hi)};
+      Verifier v = db.MakeVerifier();
+      int laps_after_done = 0;
+      while (laps_after_done < 2) {
+        if (done.load(std::memory_order_acquire)) laps_after_done++;
+        VBBatchStats bs;
+        auto outs = db.tree->ExecuteSelectBatch(queries, db.store.Fetcher(),
+                                                &bs);
+        ASSERT_TRUE(outs.ok()) << outs.status().ToString();
+        ASSERT_EQ(outs->size(), queries.size());
+        // Single-label convergence: every slot carries the batch label.
+        for (const QueryOutput& out : *outs) {
+          ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+          ASSERT_EQ(out.read_version, bs.read_version);
+        }
+        // Slot 0 covers the full domain: exact contiguity at the label.
+        ExpectExactAtLabel(&db, queries[0], (*outs)[0], kChurn);
+        // Every slot's answer is the label-consistent slice of slot 0's.
+        for (size_t i = 1; i < queries.size(); ++i) {
+          const KeyRange& kr = queries[i].range;
+          size_t expect = 0;
+          for (const ResultRow& row : (*outs)[0].rows) {
+            if (row.key >= kr.lo && row.key <= kr.hi) expect++;
+          }
+          ASSERT_EQ((*outs)[i].rows.size(), expect);
+          ASSERT_TRUE(
+              v.VerifySelect(queries[i], (*outs)[i].rows, (*outs)[i].vo).ok());
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_TRUE(db.tree->CheckDigestConsistency().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Splits AND merges: a scratch region churns (insert + range-delete)
+// while readers pin an invariant answer on the base region.
+// ---------------------------------------------------------------------------
+
+TEST(OLCStressTest, ReadersStableUnderSplitsAndMerges) {
+  constexpr size_t kBase = 256;
+  StressDb db(kBase);
+  const int64_t scratch_lo = static_cast<int64_t>(kBase);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    Rng rng(7003);
+    // Each round grows a scratch run past several leaf splits, then
+    // range-deletes it (node merges / frees), repeatedly reshaping the
+    // right spine readers traverse.
+    for (int round = 0; round < 12; ++round) {
+      for (int64_t i = 0; i < 40; ++i) {
+        int64_t key = scratch_lo + i;
+        Tuple t = MakeTuple(db.schema, key, &rng);
+        ASSERT_TRUE(db.store.Put(RidFor(key), t).ok());
+        ASSERT_TRUE(db.tree->Insert(t, RidFor(key)).ok());
+      }
+      auto removed = db.tree->DeleteRange(scratch_lo, scratch_lo + 40);
+      ASSERT_TRUE(removed.ok());
+      ASSERT_EQ(*removed, 40u);
+      db.store.RemoveKeyRange(scratch_lo, scratch_lo + 40);
+    }
+    done = true;
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      // The base region never changes: every validated read must return
+      // exactly the full base key set no matter how the scratch churn
+      // reshapes the tree around it.
+      SelectQuery q = db.RangeQuery(0, static_cast<int64_t>(kBase) - 1);
+      Verifier v = db.MakeVerifier();
+      int laps_after_done = 0;
+      while (laps_after_done < 2) {
+        if (done.load(std::memory_order_acquire)) laps_after_done++;
+        auto out = db.tree->ExecuteSelect(q, db.store.Fetcher());
+        ASSERT_TRUE(out.ok()) << out.status().ToString();
+        ASSERT_EQ(out->rows.size(), kBase);
+        for (size_t i = 0; i < kBase; ++i) {
+          ASSERT_EQ(out->rows[i].key, static_cast<int64_t>(i));
+        }
+        ASSERT_TRUE(v.VerifySelect(q, out->rows, out->vo).ok());
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(db.tree->size(), kBase);
+  EXPECT_TRUE(db.tree->CheckStructure().ok());
+  EXPECT_TRUE(db.tree->CheckDigestConsistency().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Forced-restart injection: every injected restart is counted exactly
+// once, and the re-executed reads still authenticate.
+// ---------------------------------------------------------------------------
+
+TEST(OLCStressTest, InjectedRestartsAreCountedSingle) {
+  StressDb db(200);
+  Verifier v = db.MakeVerifier();
+  SelectQuery q = db.RangeQuery(0, 500);
+
+  // Quiesced tree: restarts can only come from injection.
+  constexpr int kQueries = 20;
+  db.tree->InjectRestartsForTest(kQueries);
+  uint64_t counted = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    auto out = db.tree->ExecuteSelect(q, db.store.Fetcher());
+    ASSERT_TRUE(out.ok());
+    counted += out->stats.olc_restarts;
+    ExpectExactAtLabel(&db, q, *out, /*churn_total=*/0);
+    ASSERT_TRUE(v.VerifySelect(q, out->rows, out->vo).ok());
+  }
+  // One injection per query (the pool drains one per attempt), each
+  // surfaced as exactly one counted restart.
+  EXPECT_EQ(counted, static_cast<uint64_t>(kQueries));
+
+  // Pool exhausted: the next read is restart-free.
+  auto out = db.tree->ExecuteSelect(q, db.store.Fetcher());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.olc_restarts, 0u);
+}
+
+TEST(OLCStressTest, InjectedRestartsAreCountedBatch) {
+  StressDb db(200);
+  Verifier v = db.MakeVerifier();
+  std::vector<SelectQuery> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(db.RangeQuery(10 * i, 10 * i + 60));
+  }
+
+  constexpr int64_t kInjected = 5;
+  db.tree->InjectRestartsForTest(kInjected);
+  VBBatchStats bs;
+  auto outs = db.tree->ExecuteSelectBatch(queries, db.store.Fetcher(), &bs);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(bs.olc_restarts, static_cast<uint64_t>(kInjected));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE((*outs)[i].status.ok());
+    EXPECT_EQ((*outs)[i].read_version, bs.read_version);
+    ASSERT_TRUE(
+        v.VerifySelect(queries[i], (*outs)[i].rows, (*outs)[i].vo).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge level: snapshot installs and delta replay race authenticated
+// client queries against the EdgeServer.
+// ---------------------------------------------------------------------------
+
+TEST(OLCStressTest, SnapshotInstallRacesVerifiedQueries) {
+  CentralServer::Options opts;
+  opts.tree_opts.config.max_internal = 8;
+  opts.tree_opts.config.max_leaf = 8;
+  auto central_or = CentralServer::Create(opts);
+  ASSERT_TRUE(central_or.ok());
+  std::unique_ptr<CentralServer> central = central_or.MoveValueUnsafe();
+
+  Schema schema = MakeWideSchema(6);
+  ASSERT_TRUE(central->CreateTable("items", schema).ok());
+  Rng rng(42);
+  ASSERT_TRUE(
+      central->LoadTable("items", testutil::MakeRows(schema, 400, &rng)).ok());
+
+  EdgeServer edge("edge-1");
+  ASSERT_TRUE(testutil::Publish(central.get(), "items", &edge).ok());
+
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    Rng crng(9001);
+    for (int i = 0; i < 30; ++i) {
+      Tuple t = MakeTuple(schema, 400 + i, &crng);
+      ASSERT_TRUE(central->InsertTuple("items", t).ok());
+      // Alternate the two install paths racing the readers: full
+      // snapshot swap (replica pointer replaced under the directory
+      // lock) and in-place delta replay (latch-free against the live
+      // tree).
+      if (i % 2 == 0) {
+        ASSERT_TRUE(testutil::Publish(central.get(), "items", &edge).ok());
+      } else {
+        ASSERT_TRUE(testutil::PublishDelta(central.get(), "items", &edge).ok());
+      }
+    }
+    done = true;
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      Client client(central->db_name(), central->key_directory());
+      client.RegisterTable("items", schema);
+      SelectQuery q;
+      q.table = "items";
+      q.range = KeyRange{0, 1000};
+      uint64_t last_version = 0;
+      int laps_after_done = 0;
+      while (laps_after_done < 2) {
+        if (done.load(std::memory_order_acquire)) laps_after_done++;
+        auto res = client.Query(&edge, q, /*now=*/10);
+        ASSERT_TRUE(res.ok()) << res.status().ToString();
+        ASSERT_TRUE(res->verification.ok()) << res->verification.ToString();
+        // The replica only moves forward under the install churn, and
+        // every answer reflects at least the 400 loaded rows.
+        ASSERT_GE(res->replica_version, last_version);
+        last_version = res->replica_version;
+        ASSERT_GE(res->rows.size(), 400u);
+        ASSERT_EQ(res->rows.size(), 400u + res->replica_version);
+      }
+    });
+  }
+  churn.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(edge.TableVersion("items"), 30u);
+}
+
+}  // namespace
+}  // namespace vbtree
