@@ -62,7 +62,11 @@ inline uint64_t BumpedUnlocked(uint64_t locked_word) {
 /// pointer that the writer is already entitled to free.
 class EpochReclaimer {
  public:
-  static constexpr size_t kSlots = 64;
+  /// Hard ceiling on concurrent pins (≈ concurrent reads per tree). A
+  /// pin beyond this spins (yield loop) until a slot frees — safe but
+  /// slow, and visible in slot_waits(). Worker pools driving one tree
+  /// (QueryServiceOptions::num_workers) should stay well below this.
+  static constexpr size_t kSlots = 256;
 
   EpochReclaimer() = default;
   ~EpochReclaimer() { DrainAll(); }
@@ -108,6 +112,7 @@ class EpochReclaimer {
   void Retire(std::function<void()> deleter) {
     limbo_.emplace_back(global_.load(std::memory_order_relaxed),
                         std::move(deleter));
+    limbo_count_.store(limbo_.size(), std::memory_order_relaxed);
   }
 
   /// Writer side: advance the epoch if every pinned reader has caught
@@ -138,15 +143,28 @@ class EpochReclaimer {
       }
     }
     limbo_.resize(kept);
+    limbo_count_.store(kept, std::memory_order_relaxed);
   }
 
   /// Destructor path: no readers can remain; run everything.
   void DrainAll() {
     for (auto& [tag, fn] : limbo_) fn();
     limbo_.clear();
+    limbo_count_.store(0, std::memory_order_relaxed);
   }
 
-  size_t limbo_size() const { return limbo_.size(); }
+  /// Retired-but-not-yet-freed entries. Mirrored through an atomic so
+  /// telemetry can sample it without the writer mutex; growth while a
+  /// long reader pin is held is bounded by the write rate during the pin.
+  size_t limbo_size() const {
+    return limbo_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Full unsuccessful slot scans across all pins — nonzero means more
+  /// than kSlots readers raced for pins and some spun waiting.
+  uint64_t slot_waits() const {
+    return slot_waits_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct alignas(64) Slot {
@@ -167,6 +185,10 @@ class EpochReclaimer {
           return &s;
         }
       }
+      // All kSlots pins are in flight (> kSlots concurrent reads on one
+      // tree): yield until one frees. Counted so oversubscription shows
+      // up in diagnostics instead of as silent spinning.
+      slot_waits_.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::yield();
     }
   }
@@ -177,6 +199,9 @@ class EpochReclaimer {
   Slot slots_[kSlots];
   /// (retire-epoch tag, deleter); writer-mutex-serialized access only.
   std::vector<std::pair<uint64_t, std::function<void()>>> limbo_;
+  /// Lock-free mirror of limbo_.size() for cross-thread sampling.
+  std::atomic<size_t> limbo_count_{0};
+  std::atomic<uint64_t> slot_waits_{0};
 };
 
 }  // namespace olc

@@ -12,7 +12,11 @@
 namespace vbtree {
 
 struct QueryServiceOptions {
-  /// Worker threads executing queries against the edge replica.
+  /// Worker threads executing queries against the edge replica. Each
+  /// in-flight execution pins one epoch slot on the tree it reads
+  /// (olc::EpochReclaimer::kSlots per tree); pools sized past that
+  /// ceiling still run correctly but excess readers spin-yield waiting
+  /// for a pin slot (observable via EpochReclaimer::slot_waits()).
   size_t num_workers = 4;
   /// Bounded submission queue: at most this many requests waiting (in
   /// addition to the ones being executed).

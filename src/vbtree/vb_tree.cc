@@ -1202,6 +1202,14 @@ Result<std::vector<QueryOutput>> VBTree::ExecuteSelectBatch(
     staging.clear();
   };
 
+  // ONE epoch pin spans the whole batch — including every
+  // label-convergence pass and the pessimistic fallback — because the
+  // guards' Validate() calls below dereference node shells recorded
+  // during earlier passes, and unpinning would let the reclaimer free a
+  // shell a guard still points at. The cost is that snapshots retired
+  // while the batch runs sit in the reclaimer's limbo list until the
+  // batch unpins; that growth is bounded by the write rate over one
+  // batch's latency and is observable via reclaimer_.limbo_size().
   olc::EpochReclaimer::Pin pin(&reclaimer_);
   uint64_t restarts = 0;
   uint64_t latch_wait = 0;
@@ -1239,6 +1247,7 @@ Result<std::vector<QueryOutput>> VBTree::ExecuteSelectBatch(
   // shared writer_mu_ hold, which bounds the loop.
   uint64_t v_now = 0;
   for (int pass = 0;; ++pass) {
+    if (batch_label_hook_) batch_label_hook_(pass, /*pre_fallback_lock=*/false);
     v_now = version_.load(std::memory_order_acquire);
     std::vector<size_t> stale;
     for (size_t i = 0; i < n; ++i) {
@@ -1246,19 +1255,35 @@ Result<std::vector<QueryOutput>> VBTree::ExecuteSelectBatch(
       if (!guards[i].Validate()) stale.push_back(i);
     }
     if (stale.empty()) break;
+    if (pass >= kMaxLabelPasses) {
+      if (batch_label_hook_) {
+        batch_label_hook_(pass, /*pre_fallback_lock=*/true);
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      std::shared_lock fb(writer_mu_);
+      latch_wait += ElapsedUs(t0);
+      // The scan above raced with writers: one committing between that
+      // scan and this lock acquisition can invalidate a slot the scan
+      // proved valid, and the batch is about to be labeled with the
+      // v_now reloaded here. Writers need writer_mu_ exclusive, so
+      // re-validating every guard under this shared hold is
+      // authoritative — a slot that passes now provably answers at
+      // v_now; everything else re-executes under the fallback.
+      v_now = version_.load(std::memory_order_acquire);
+      stale.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if (!validation[i].ok()) continue;
+        if (!guards[i].Validate()) stale.push_back(i);
+      }
+      restarts += stale.size();
+      for (size_t i : stale) run_one(i, /*under_fallback=*/true);
+      break;
+    }
     // A label-pass re-execution is a restart in all but name: the slot's
     // answer was discarded because a writer touched its read set. Count
     // it, so olc_restarts_per_query reflects re-executed work and not
     // just intra-attempt validation failures.
     restarts += stale.size();
-    if (pass >= kMaxLabelPasses) {
-      const auto t0 = std::chrono::steady_clock::now();
-      std::shared_lock fb(writer_mu_);
-      latch_wait += ElapsedUs(t0);
-      v_now = version_.load(std::memory_order_acquire);
-      for (size_t i : stale) run_one(i, /*under_fallback=*/true);
-      break;
-    }
     for (size_t i : stale) run_one(i, /*under_fallback=*/false);
   }
   for (size_t i = 0; i < n; ++i) {

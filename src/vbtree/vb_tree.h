@@ -228,6 +228,18 @@ class VBTree {
     inject_restarts_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Test hook for the batch label-convergence loop: called at the top
+  /// of every convergence pass with (pass, /*pre_fallback_lock=*/false),
+  /// and again with (pass, true) inside the final pass after the
+  /// lock-free stale scan but BEFORE the fallback writer_mu_ hold is
+  /// acquired. The second point is exactly the window where a writer
+  /// commit used to slip a slot past re-validation; a hook that mutates
+  /// the tree there deterministically reproduces that interleaving. Not
+  /// thread-safe against concurrent batches — install before use.
+  void SetBatchLabelHookForTest(std::function<void(int, bool)> hook) {
+    batch_label_hook_ = std::move(hook);
+  }
+
   /// Recomputes every digest bottom-up and compares with the stored ones;
   /// kCorruption on any mismatch. Test/diagnostic hook.
   Status CheckDigestConsistency() const;
@@ -450,6 +462,8 @@ class VBTree {
   mutable olc::EpochReclaimer reclaimer_;
   /// Pending test-injected forced restarts (see InjectRestartsForTest).
   mutable std::atomic<int64_t> inject_restarts_{0};
+  /// Test-only interleaving hook (see SetBatchLabelHookForTest).
+  std::function<void(int, bool)> batch_label_hook_;
   /// Live only during one write op (under exclusive writer_mu_).
   std::unique_ptr<WriteCtx> wctx_;
   /// Central side: copies of signatures produced by ResignNode, in order.

@@ -339,6 +339,85 @@ TEST(OLCStressTest, InjectedRestartsAreCountedBatch) {
 }
 
 // ---------------------------------------------------------------------------
+// Label-convergence fallback regression: a writer that commits BETWEEN
+// the lock-free stale scan and the fallback writer_mu_ acquisition must
+// not leave a slot labeled at the new version with pre-commit rows. The
+// batch hook reproduces that interleaving deterministically: churn on
+// the right half of the domain forces the batch through every
+// convergence pass into the fallback, and at the pre-lock window a
+// delete hits the so-far-untouched LEFT slot — exactly the slot the old
+// code would have relabeled without re-validation.
+// ---------------------------------------------------------------------------
+
+TEST(OLCStressTest, FallbackRevalidatesSlotsInvalidatedBeforeLock) {
+  constexpr size_t kBase = 128;
+  StressDb db(kBase);
+  Rng rng(7004);
+
+  // Slot 0: left half, untouched by the churn inserts. Slot 1: right
+  // half plus the churn region, invalidated by every insert.
+  std::vector<SelectQuery> queries = {
+      db.RangeQuery(0, 63), db.RangeQuery(64, 2000)};
+
+  int64_t churn_seq = 0;
+  int pre_lock_calls = 0;
+  db.tree->SetBatchLabelHookForTest([&](int pass, bool pre_fallback_lock) {
+    if (!pre_fallback_lock) {
+      // Keep the right slot stale on every pass so the batch is driven
+      // all the way into the pessimistic fallback.
+      ASSERT_TRUE(db.InsertChurn(churn_seq++, &rng).ok());
+      return;
+    }
+    // The race window: the stale scan for `pass` has completed, the
+    // fallback lock is not yet held. Invalidate the LEFT slot, which
+    // that scan just proved valid.
+    pre_lock_calls++;
+    auto removed = db.tree->DeleteRange(10, 10);
+    ASSERT_TRUE(removed.ok());
+    ASSERT_EQ(*removed, 1u);
+    db.store.RemoveKeyRange(10, 10);
+  });
+
+  VBBatchStats bs;
+  auto outs = db.tree->ExecuteSelectBatch(queries, db.store.Fetcher(), &bs);
+  db.tree->SetBatchLabelHookForTest(nullptr);
+  ASSERT_TRUE(outs.ok()) << outs.status().ToString();
+  ASSERT_EQ(pre_lock_calls, 1) << "batch never reached the fallback window";
+
+  // Every mutation happened inside the batch, so the single batch label
+  // must be the final tree version — churn inserts plus the delete.
+  const uint64_t v_final = db.tree->version();
+  EXPECT_EQ(static_cast<int64_t>(v_final), churn_seq + 1);
+  EXPECT_EQ(bs.read_version, v_final);
+
+  Verifier v = db.MakeVerifier();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE((*outs)[i].status.ok());
+    EXPECT_EQ((*outs)[i].read_version, v_final);
+    ASSERT_TRUE(
+        v.VerifySelect(queries[i], (*outs)[i].rows, (*outs)[i].vo).ok());
+  }
+
+  // The left slot claims version v_final, which includes the delete of
+  // key 10 — its rows must reflect that, not the pre-delete leaf.
+  const std::vector<ResultRow>& left = (*outs)[0].rows;
+  ASSERT_EQ(left.size(), 63u);
+  for (const ResultRow& row : left) {
+    ASSERT_NE(row.key, 10) << "slot labeled " << v_final
+                           << " still contains the deleted key";
+  }
+  // The right slot saw every churn insert: keys 64..127 plus the run of
+  // churn keys starting at kBase.
+  const std::vector<ResultRow>& right = (*outs)[1].rows;
+  ASSERT_EQ(right.size(), 64u + static_cast<size_t>(churn_seq));
+  for (size_t i = 0; i < right.size(); ++i) {
+    ASSERT_EQ(right[i].key, 64 + static_cast<int64_t>(i));
+  }
+  EXPECT_TRUE(db.tree->CheckStructure().ok());
+  EXPECT_TRUE(db.tree->CheckDigestConsistency().ok());
+}
+
+// ---------------------------------------------------------------------------
 // Edge level: snapshot installs and delta replay race authenticated
 // client queries against the EdgeServer.
 // ---------------------------------------------------------------------------
