@@ -31,8 +31,10 @@
 #include "edge/client.h"
 #include "edge/edge_server.h"
 #include "edge/propagation/distribution_hub.h"
+#include "edge/query_service/lazy_auditor.h"
 #include "edge/query_service/query_service.h"
 #include "query/query_serde.h"
+#include "query/trust.h"
 
 using namespace vbtree;
 using vbtree::bench::MeasuredTuples;
@@ -72,6 +74,16 @@ struct Config {
   /// edge VO cache are built for. The default models a hot-range edge
   /// (CDN-style popularity skew).
   double zipf = 0.99;
+  /// --trust-mode certified|lazy|sampled: certified verifies every
+  /// answer synchronously (the default contract); lazy delivers
+  /// provisionally and audits on a per-client background auditor thread
+  /// (latency-vs-exposure curve: batch_p50 drops by the synchronous
+  /// verify cost, audit_lag_* quantifies the detection window); sampled
+  /// audits only --audit-fraction of the deferred tickets.
+  TrustMode trust_mode = TrustMode::kCertified;
+  double audit_fraction = 1.0;
+  uint64_t audit_seed = 0x5eed;
+  size_t audit_queue = 256;
   bool json = false;
 };
 
@@ -121,6 +133,20 @@ struct RunResult {
   /// partition maps, and sub-queries executed per shard id.
   uint64_t map_verify_us_total = 0;
   std::map<uint32_t, uint64_t> shard_queries;
+  /// Lazy-trust telemetry (zero under --trust-mode certified). The
+  /// auditor's crypto counters are ALSO folded into recover_calls /
+  /// digest_cache_* above: whole-system Cost_s is schedule-invariant,
+  /// which the CI lazy gate checks against the certified artifact.
+  uint64_t deferred_queries = 0;
+  uint64_t audit_enqueued_queries = 0;
+  uint64_t audit_sampled_out_queries = 0;
+  uint64_t audited_queries = 0;
+  uint64_t alarms = 0;
+  uint64_t audit_backlog_at_exit = 0;
+  uint64_t audit_us_total = 0;
+  double audit_coverage = 0;
+  double audit_lag_p50_us = 0;
+  double audit_lag_p99_us = 0;
 };
 
 double Percentile(std::vector<uint64_t>* v, double p) {
@@ -177,6 +203,10 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
     uint64_t top_memo_hits = 0;
     uint64_t map_verify_us = 0;
     std::map<uint32_t, uint64_t> shard_queries;
+    uint64_t deferred_queries = 0;
+    LazyAuditor::Stats audit;
+    uint64_t audit_backlog = 0;
+    std::vector<uint64_t> audit_lag_samples_us;
   };
   std::vector<ClientTally> tallies(cfg.clients);
   std::vector<std::thread> client_threads;
@@ -188,6 +218,22 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
       ClientTally& tally = tallies[c];
       Client client("edgedb", central->key_directory());
       client.set_verify_fast_path(cfg.verify_cache);
+      // Lazy trust: one background auditor per client thread, sharing
+      // the client's recovered-digest cache so deferred recoveries warm
+      // the same entries the issuing path would have.
+      std::unique_ptr<LazyAuditor> auditor;
+      if (cfg.trust_mode != TrustMode::kCertified) {
+        LazyAuditor::Options aopts;
+        aopts.queue_capacity = cfg.audit_queue;
+        aopts.sample_fraction = cfg.audit_fraction;
+        aopts.sample_seed = cfg.audit_seed + c;
+        auditor = std::make_unique<LazyAuditor>(
+            "edgedb", central->key_directory(), aopts);
+        auto cache = std::make_shared<RecoveredDigestCache>();
+        client.set_digest_cache(cache);
+        auditor->set_digest_cache(std::move(cache));
+        client.set_auditor(auditor.get());
+      }
       if (cfg.shards > 1) {
         client.RegisterShardedTable("events", schema);
       } else {
@@ -202,6 +248,7 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
       while (!stop.load(std::memory_order_relaxed)) {
         QueryBatch batch;
         batch.table = "events";
+        batch.trust_mode = cfg.trust_mode;
         batch.queries.reserve(cfg.batch);
         for (size_t i = 0; i < cfg.batch; ++i) {
           SelectQuery q;
@@ -227,6 +274,7 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
           tally.verify_us += out->verify_us;
           tally.top_memo_hits += out->top_memo_hits;
           tally.map_verify_us += out->map_verify_us;
+          tally.deferred_queries += out->deferred_queries;
           for (const auto& [shard_id, count] : out->shard_query_counts) {
             tally.shard_queries[shard_id] += count;
           }
@@ -272,6 +320,16 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
           }
         }
       }
+      if (auditor != nullptr) {
+        // The run is over: drain the deferred backlog so coverage and lag
+        // are complete, then record what (if anything) was left — the CI
+        // gate requires backlog 0 and coverage 1.0 at exit.
+        auditor->Drain();
+        tally.audit_backlog = auditor->backlog();
+        auditor->Shutdown();
+        tally.audit = auditor->stats();
+        tally.audit_lag_samples_us = auditor->TakeLagSamplesUs();
+      }
     });
   }
 
@@ -283,6 +341,7 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
   run.seconds = wall.ElapsedMs() / 1000.0;
 
   std::vector<uint64_t> latencies;
+  std::vector<uint64_t> audit_lags;
   for (ClientTally& t : tallies) {
     run.batches += t.batches;
     run.queries += t.queries;
@@ -302,7 +361,29 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
     }
     latencies.insert(latencies.end(), t.latencies_us.begin(),
                      t.latencies_us.end());
+    // Lazy-trust fold: the auditor performed the crypto the synchronous
+    // path skipped, so its counters join the same whole-system tallies.
+    run.deferred_queries += t.deferred_queries;
+    run.audit_enqueued_queries += t.audit.queries_enqueued;
+    run.audit_sampled_out_queries += t.audit.queries_sampled_out;
+    run.audited_queries += t.audit.queries_audited;
+    run.alarms += t.audit.alarms;
+    run.audit_backlog_at_exit += t.audit_backlog;
+    run.audit_us_total += t.audit.audit_us_total;
+    run.recover_calls += t.audit.crypto.recovers.load();
+    run.digest_cache_hits += t.audit.crypto.digest_cache_hits.load();
+    run.digest_cache_misses += t.audit.crypto.digest_cache_misses.load();
+    run.digest_cache_evictions += t.audit.crypto.digest_cache_evictions.load();
+    run.top_memo_hits += t.audit.top_memo_hits;
+    audit_lags.insert(audit_lags.end(), t.audit_lag_samples_us.begin(),
+                      t.audit_lag_samples_us.end());
   }
+  if (run.audit_enqueued_queries > 0) {
+    run.audit_coverage = static_cast<double>(run.audited_queries) /
+                         static_cast<double>(run.audit_enqueued_queries);
+  }
+  run.audit_lag_p50_us = Percentile(&audit_lags, 0.50);
+  run.audit_lag_p99_us = Percentile(&audit_lags, 0.99);
   run.updates_applied = updates.load();
   run.qps = static_cast<double>(run.queries) / run.seconds;
   run.batch_p50_us = Percentile(&latencies, 0.50);
@@ -400,6 +481,8 @@ void PrintJson(const Config& cfg, size_t n_tuples,
   std::printf("  \"verify_sample\": %zu,\n", cfg.verify_sample);
   std::printf("  \"verify_cache\": %s,\n", cfg.verify_cache ? "true" : "false");
   std::printf("  \"zipf\": %.2f,\n", cfg.zipf);
+  std::printf("  \"trust_mode\": \"%s\",\n", TrustModeName(cfg.trust_mode));
+  std::printf("  \"audit_fraction\": %.3f,\n", cfg.audit_fraction);
   std::printf("  \"transport_bytes\": %llu,\n",
               static_cast<unsigned long long>(net_bytes));
   std::printf("  \"runs\": [\n");
@@ -427,7 +510,17 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                 "\"digest_cache_evictions\": %llu, "
                 "\"digest_cache_hit_rate\": %.3f, "
                 "\"top_memo_hits\": %llu, "
-                "\"map_verify_us\": %llu}%s\n",
+                "\"map_verify_us\": %llu, "
+                "\"deferred_queries\": %llu, "
+                "\"audit_enqueued_queries\": %llu, "
+                "\"audit_sampled_out_queries\": %llu, "
+                "\"audited_queries\": %llu, "
+                "\"audit_coverage\": %.3f, "
+                "\"audit_lag_p50_us\": %.0f, "
+                "\"audit_lag_p99_us\": %.0f, "
+                "\"audit_us_per_query\": %.1f, "
+                "\"alarms\": %llu, "
+                "\"audit_backlog_at_exit\": %llu}%s\n",
                 r.workers, r.seconds, r.qps,
                 static_cast<unsigned long long>(r.batches),
                 static_cast<unsigned long long>(r.queries),
@@ -460,6 +553,17 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                     : 0.0,
                 static_cast<unsigned long long>(r.top_memo_hits),
                 static_cast<unsigned long long>(r.map_verify_us_total),
+                static_cast<unsigned long long>(r.deferred_queries),
+                static_cast<unsigned long long>(r.audit_enqueued_queries),
+                static_cast<unsigned long long>(r.audit_sampled_out_queries),
+                static_cast<unsigned long long>(r.audited_queries),
+                r.audit_coverage, r.audit_lag_p50_us, r.audit_lag_p99_us,
+                r.audited_queries > 0
+                    ? static_cast<double>(r.audit_us_total) /
+                          static_cast<double>(r.audited_queries)
+                    : 0.0,
+                static_cast<unsigned long long>(r.alarms),
+                static_cast<unsigned long long>(r.audit_backlog_at_exit),
                 i + 1 < runs.size() ? "," : "");
   }
   std::printf("  ],\n");
@@ -518,6 +622,27 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                   ? static_cast<double>(last->map_verify_us_total) /
                         static_cast<double>(last->verified_queries)
                   : 0.0);
+  // Lazy-trust headline (last run): the latency-vs-exposure tradeoff in
+  // four numbers. batch_p50_us_last is the delivered latency (compare
+  // against the certified artifact's same field), audit_lag_p99_us is
+  // the exposure window's tail, audit_coverage and alarms are the
+  // soundness checks the CI lazy gate enforces.
+  std::printf("  \"batch_p50_us_last\": %.0f,\n",
+              last != nullptr ? last->batch_p50_us : 0.0);
+  std::printf("  \"audit_coverage\": %.3f,\n",
+              last != nullptr ? last->audit_coverage : 0.0);
+  std::printf("  \"audit_lag_p50_us\": %.0f,\n",
+              last != nullptr ? last->audit_lag_p50_us : 0.0);
+  std::printf("  \"audit_lag_p99_us\": %.0f,\n",
+              last != nullptr ? last->audit_lag_p99_us : 0.0);
+  std::printf("  \"alarms\": %llu,\n",
+              last != nullptr
+                  ? static_cast<unsigned long long>(last->alarms)
+                  : 0ull);
+  std::printf("  \"audit_backlog_at_exit\": %llu,\n",
+              last != nullptr
+                  ? static_cast<unsigned long long>(last->audit_backlog_at_exit)
+                  : 0ull);
   std::printf("  \"per_shard_qps\": {");
   if (last != nullptr) {
     bool first = true;
@@ -560,6 +685,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--verify-sample") {
       cfg.verify_sample = static_cast<size_t>(std::atol(next()));
       if (cfg.verify_sample == 0) cfg.verify_sample = 1;
+    } else if (arg == "--trust-mode") {
+      if (!ParseTrustMode(next(), &cfg.trust_mode)) {
+        std::fprintf(stderr,
+                     "--trust-mode: expected certified|lazy|sampled\n");
+        return 2;
+      }
+    } else if (arg == "--audit-fraction") {
+      cfg.audit_fraction = std::atof(next());
+      if (cfg.audit_fraction < 0) cfg.audit_fraction = 0;
+      if (cfg.audit_fraction > 1) cfg.audit_fraction = 1;
+    } else if (arg == "--audit-seed") {
+      cfg.audit_seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--audit-queue") {
+      cfg.audit_queue = static_cast<size_t>(std::atol(next()));
+      if (cfg.audit_queue == 0) cfg.audit_queue = 1;
     } else if (arg == "--no-verify-cache") {
       cfg.verify_cache = false;
     } else if (arg == "--stall-us") {
@@ -589,6 +729,8 @@ int main(int argc, char** argv) {
                    "usage: edge_throughput [--json] [--edges K] [--clients M]"
                    " [--workers 1,8] [--batch B] [--seconds S] [--range N]"
                    " [--shards N] [--verify-sample N] [--no-verify-cache]"
+                   " [--trust-mode certified|lazy|sampled]"
+                   " [--audit-fraction F] [--audit-seed S] [--audit-queue CAP]"
                    " [--stall-us U] [--queue CAP] [--churn-interval-us U]"
                    " [--zipf THETA]\n");
       return 2;
@@ -691,6 +833,15 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.digest_cache_hits +
                                           r.digest_cache_misses),
           static_cast<unsigned long long>(r.top_memo_hits));
+      if (cfg.trust_mode != TrustMode::kCertified) {
+        std::printf(
+            "          audit: coverage=%.3f lag(p50/p99)=%.0f/%.0fus "
+            "alarms=%llu backlog=%llu deferred=%llu\n",
+            r.audit_coverage, r.audit_lag_p50_us, r.audit_lag_p99_us,
+            static_cast<unsigned long long>(r.alarms),
+            static_cast<unsigned long long>(r.audit_backlog_at_exit),
+            static_cast<unsigned long long>(r.deferred_queries));
+      }
     }
   }
   hub.Stop();

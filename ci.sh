@@ -7,6 +7,11 @@
 #                             subset (build-tsan/) — the OLC race job
 #   ./ci.sh --bench-smoke     regular build, then a short edge_throughput
 #                             run emitting BENCH_edge_throughput.json
+#                             (+ the shards=4 and --trust-mode=lazy
+#                             variants, each with their own gates)
+#   ./ci.sh --docs-check      no build: verify every local markdown link
+#                             and #section-anchor in README.md, DESIGN.md
+#                             and docs/ resolves (anchor-drift gate)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,10 +20,67 @@ case "${1:-}" in
   --sanitize|--sanitize=address) MODE="sanitize" ;;
   --sanitize=thread) MODE="tsan" ;;
   --bench-smoke) MODE="bench-smoke" ;;
+  --docs-check) MODE="docs-check" ;;
   "") ;;
-  *) echo "usage: ci.sh [--sanitize[=address|thread]|--bench-smoke]" >&2
+  *) echo "usage: ci.sh [--sanitize[=address|thread]|--bench-smoke|--docs-check]" >&2
      exit 2 ;;
 esac
+
+if [[ "$MODE" == "docs-check" ]]; then
+  # Docs drift gate: every relative markdown link from the indexed docs
+  # must point at an existing file, and every #fragment must match a
+  # heading in the target (GitHub slug rules). Catches the classic
+  # failure mode of this repo's docs split: DESIGN.md renumbers a
+  # section and docs/TRUST_MODEL.md keeps citing the old anchor.
+  python3 - <<'PY'
+import os, re, sys
+
+DOCS = ["README.md", "DESIGN.md"] + sorted(
+    os.path.join("docs", f) for f in os.listdir("docs") if f.endswith(".md"))
+
+def slugify(heading):
+    # GitHub anchor rules: lowercase, drop punctuation, spaces -> dashes.
+    s = heading.strip().lower()
+    s = re.sub(r"[^\w\- ]", "", s, flags=re.UNICODE)
+    return s.replace(" ", "-")
+
+def anchors(path):
+    out = set()
+    counts = {}
+    for line in open(path, encoding="utf-8"):
+        m = re.match(r"^(#{1,6})\s+(.*)$", line)
+        if not m:
+            continue
+        slug = slugify(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        out.add(slug if n == 0 else "%s-%d" % (slug, n))
+    return out
+
+errors = []
+link_re = re.compile(r"\]\(([^)\s]+)\)")
+for doc in DOCS:
+    base = os.path.dirname(doc)
+    for ln, line in enumerate(open(doc, encoding="utf-8"), 1):
+        for target in link_re.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path, _, frag = target.partition("#")
+            full = os.path.normpath(os.path.join(base, path)) if path else doc
+            if not os.path.exists(full):
+                errors.append("%s:%d: broken link %s" % (doc, ln, target))
+                continue
+            if frag and full.endswith(".md") and frag not in anchors(full):
+                errors.append("%s:%d: dead anchor %s (no such heading in %s)"
+                              % (doc, ln, target, full))
+for e in errors:
+    print("FAIL:", e)
+if errors:
+    sys.exit(1)
+print("docs-check: %d files, all links and anchors resolve" % len(DOCS))
+PY
+  exit 0
+fi
 
 if [[ "$MODE" == "sanitize" ]]; then
   BUILD_DIR=build-asan
@@ -235,6 +297,100 @@ for r in shard.get("runs", []):
 print("shards=4 batch fetch memo live in every run: OK")
 PY
   echo "wrote BENCH_edge_throughput_shards4.json"
+  # Lazy-trust smoke: the latency-vs-exposure pair. The saturated
+  # closed loop above cannot show the tier's latency win on a 1-vCPU
+  # host: at CPU saturation a closed loop obeys p50 ~= clients/qps
+  # (Little's law) no matter where verification runs, and deferral
+  # conserves total crypto work — so full-load lazy p50 equals
+  # certified p50 to within noise. The tier's actual promise is lower
+  # *delivery* latency at fixed load when idle cycles can absorb the
+  # deferred audit, so the gate measures exactly that: a light-load
+  # pair (--clients 2 --stall-us 2000, stall-dominated cycle with CPU
+  # headroom), certified control immediately followed by lazy in one
+  # session — same host state, same configuration, only the trust
+  # mode differs. Both JSONs are committed as the curve's reference
+  # points. Gates:
+  #  * audit_coverage == 1.0 by INTEGER comparison (audited ==
+  #    enqueued, > 0) — every deferred ticket must actually be audited;
+  #  * alarms == 0 and audit_backlog_at_exit == 0 — honest run, queue
+  #    drained;
+  #  * batch_p50_us at workers=8 strictly below the control's — the
+  #    whole point of the tier is taking the synchronous verify cost
+  #    off the delivery path (measured margin on a rested host: ~14%);
+  #  * recover_calls_per_query within ±20% of the control —
+  #    deferral changes the crypto SCHEDULE, never the crypto WORK.
+  #    The band is wider than the main artifact's ±10% because the
+  #    lazy run's faster cycle completes more batches in the fixed
+  #    window, so warm-up recoveries amortize over more queries
+  #    (~10% drift from pace alone); the failure modes this gate
+  #    defends against — skipped or duplicated verification — move
+  #    the count by ~100%, far outside either band.
+  VBT_BENCH_TUPLES="${VBT_BENCH_TUPLES:-2000}" \
+    "./$BUILD_DIR/bench/edge_throughput" --json --seconds 1.5 \
+    --clients 2 --stall-us 2000 > BENCH_edge_throughput_lazy_control.json
+  VBT_BENCH_TUPLES="${VBT_BENCH_TUPLES:-2000}" \
+    "./$BUILD_DIR/bench/edge_throughput" --json --seconds 1.5 \
+    --clients 2 --stall-us 2000 \
+    --trust-mode lazy > BENCH_edge_throughput_lazy.json
+  python3 -m json.tool BENCH_edge_throughput_lazy_control.json > /dev/null
+  python3 -m json.tool BENCH_edge_throughput_lazy.json > /dev/null
+  python3 - <<'PY'
+import json, sys
+cert = json.load(open("BENCH_edge_throughput_lazy_control.json"))
+lazy = json.load(open("BENCH_edge_throughput_lazy.json"))
+
+if cert.get("trust_mode") != "certified":
+    sys.exit("FAIL: lazy-control artifact did not record trust_mode=certified")
+if lazy.get("trust_mode") != "lazy":
+    sys.exit("FAIL: lazy artifact did not record trust_mode=lazy")
+
+enq = sum(int(r.get("audit_enqueued_queries", 0)) for r in lazy["runs"])
+aud = sum(int(r.get("audited_queries", 0)) for r in lazy["runs"])
+if enq == 0 or aud != enq:
+    sys.exit("FAIL: audit_coverage %d/%d (every deferred ticket must be "
+             "audited)" % (aud, enq))
+print("audit_coverage=%d/%d: OK" % (aud, enq))
+
+alarms = sum(int(r.get("alarms", 0)) for r in lazy["runs"])
+if alarms:
+    sys.exit("FAIL: %d tamper alarms in an honest lazy run" % alarms)
+backlog = sum(int(r.get("audit_backlog_at_exit", 0)) for r in lazy["runs"])
+if backlog:
+    sys.exit("FAIL: %d tickets left in the audit queue at exit" % backlog)
+print("alarms=0, audit backlog drained: OK")
+
+def run_at(doc, w):
+    for r in doc.get("runs", []):
+        if int(r.get("workers", -1)) == w:
+            return r
+    return None
+
+c8, l8 = run_at(cert, 8), run_at(lazy, 8)
+if c8 is None or l8 is None:
+    sys.exit("FAIL: missing workers=8 run in lazy control or lazy artifact")
+cp50, lp50 = float(c8["batch_p50_us"]), float(l8["batch_p50_us"])
+if lp50 >= cp50:
+    sys.exit("FAIL: lazy batch_p50_us %.0f >= certified control %.0f — "
+             "deferral is not taking verification off the delivery path"
+             % (lp50, cp50))
+print("batch_p50_us lazy %.0f < certified control %.0f (-%.1f%%), audit_lag "
+      "p50/p99=%.0f/%.0fus: OK"
+      % (lp50, cp50, 100.0 * (1.0 - lp50 / cp50),
+         float(lazy.get("audit_lag_p50_us", 0)),
+         float(lazy.get("audit_lag_p99_us", 0))))
+
+crc = float(cert.get("recover_calls_per_query", 0))
+lrc = float(lazy.get("recover_calls_per_query", 0))
+if crc <= 0 or lrc <= 0:
+    sys.exit("FAIL: recover_calls_per_query missing/zero (cert %.2f lazy %.2f)"
+             % (crc, lrc))
+if not (0.80 * crc <= lrc <= 1.20 * crc):
+    sys.exit("FAIL: lazy recover_calls_per_query %.2f outside ±20%% of "
+             "control %.2f — deferral must not change the crypto work"
+             % (lrc, crc))
+print("recover_calls_per_query lazy %.2f vs control %.2f: OK" % (lrc, crc))
+PY
+  echo "wrote BENCH_edge_throughput_lazy.json (+ _lazy_control.json)"
   # Crypto fast-path microbench: Recover-vs-cache throughput on this
   # host. Uploaded as a CI artifact (not committed, not gated — the
   # ratios are host-dependent).
@@ -253,13 +409,15 @@ if [[ "$MODE" == "sanitize" ]]; then
 fi
 if [[ "$MODE" == "tsan" ]]; then
   # The TSan job runs the concurrency-heavy subset: the worker-pool
-  # service suite, the scatter-gather equivalence suite, and the OLC
-  # stress suite (readers racing splits, forced restarts, snapshot
-  # installs). The full suite under TSan is prohibitively slow on the
-  # single-CPU CI runner and adds no interleavings these don't hit.
+  # service suite, the scatter-gather equivalence suite, the OLC stress
+  # suite (readers racing splits, forced restarts, snapshot installs),
+  # and the lazy-trust suite (client threads racing the background
+  # auditor over the shared digest cache and bounded ticket queue). The
+  # full suite under TSan is prohibitively slow on the single-CPU CI
+  # runner and adds no interleavings these don't hit.
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
   ctest --output-on-failure -j "$(nproc)" \
-        -R "query_service|shard_equivalence|olc_stress"
+        -R "query_service|shard_equivalence|olc_stress|lazy_trust"
 else
   ctest --output-on-failure -j "$(nproc)"
 fi

@@ -3,17 +3,12 @@
 #include <algorithm>
 #include <chrono>
 
+#include "edge/query_service/lazy_auditor.h"
 #include "query/query_serde.h"
 
 namespace vbtree {
 
 namespace {
-/// Replica-version epochs kept per shard in the signed-top memo.
-constexpr size_t kTopMemoEpochs = 2;
-/// Entries per epoch; beyond this, inserts are dropped (a scan-heavy
-/// workload should not let the memo grow without bound).
-constexpr size_t kTopMemoMaxEntries = 4096;
-
 uint64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -21,55 +16,6 @@ uint64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
           .count());
 }
 }  // namespace
-
-const Digest* Client::LookupTopMemo(const std::string& table,
-                                    uint64_t replica_version,
-                                    uint32_t key_version,
-                                    const Signature& sig) const {
-  auto t = top_memo_.find(table);
-  if (t == top_memo_.end()) return nullptr;
-  for (const TopMemoEpoch& epoch : t->second) {
-    if (epoch.replica_version != replica_version) continue;
-    auto e = epoch.tops.find(sig);
-    if (e != epoch.tops.end() && e->second.key_version == key_version) {
-      return &e->second.digest;
-    }
-    return nullptr;
-  }
-  return nullptr;
-}
-
-void Client::InsertTopMemo(const std::string& table, uint64_t replica_version,
-                           uint32_t key_version, const Signature& sig,
-                           const Digest& digest) {
-  std::vector<TopMemoEpoch>& epochs = top_memo_[table];
-  TopMemoEpoch* target = nullptr;
-  for (TopMemoEpoch& epoch : epochs) {
-    if (epoch.replica_version == replica_version) {
-      target = &epoch;
-      break;
-    }
-  }
-  if (target == nullptr) {
-    // Keep the kTopMemoEpochs numerically *highest* versions (not the
-    // most recently seen): a batch from a lagging edge must not evict
-    // the freshest epoch — surviving exactly that alternation is why
-    // more than one epoch is kept.
-    if (epochs.size() >= kTopMemoEpochs &&
-        replica_version < epochs.back().replica_version) {
-      return;
-    }
-    auto pos = epochs.begin();
-    while (pos != epochs.end() && pos->replica_version > replica_version) {
-      ++pos;
-    }
-    pos = epochs.insert(pos, TopMemoEpoch{replica_version, {}});
-    if (epochs.size() > kTopMemoEpochs) epochs.resize(kTopMemoEpochs);
-    target = &*pos;
-  }
-  if (target->tops.size() >= kTopMemoMaxEntries) return;
-  target->tops[sig] = TopEntry{key_version, digest};
-}
 
 void Client::RegisterTable(const std::string& table, Schema schema,
                            HashAlgorithm algo, int modulus_bits) {
@@ -224,6 +170,7 @@ void Client::MergeVerifiedPart(Verified* merged, Verified part,
   merged->replica_version =
       std::min(merged->replica_version, part.replica_version);
   merged->stale_replica = merged->stale_replica || part.stale_replica;
+  merged->pending_audit = merged->pending_audit || part.pending_audit;
   merged->shards_touched += part.shards_touched;
   merged->request_bytes += part.request_bytes;
   merged->result_bytes += part.result_bytes;
@@ -347,8 +294,8 @@ Client::GroupOutcome Client::VerifyBatchGroup(
       // Batches at one watermark pay each distinct signed-top recovery
       // once: byte-identical tops already recovered at this (shard,
       // replica_version, key_version) come from the memo.
-      job.known_top = LookupTopMemo(schema_table, resp.replica_version, kv,
-                                    qr.vo.signed_top);
+      job.known_top = top_memo_.Lookup(schema_table, resp.replica_version, kv,
+                                       qr.vo.signed_top);
       if (job.known_top != nullptr) out.top_memo_hits++;
     }
     jobs.push_back(job);
@@ -403,10 +350,10 @@ Client::GroupOutcome Client::VerifyBatchGroup(
       v.counters = outcomes[j].counters;
       out.crypto.Add(outcomes[j].counters);
       if (fast_path && v.verification.ok() && outcomes[j].top_recovered) {
-        InsertTopMemo(schema_table, resp.replica_version,
-                      resp.responses[job_index[j]].vo.key_version,
-                      resp.responses[job_index[j]].vo.signed_top,
-                      outcomes[j].top_digest);
+        top_memo_.Insert(schema_table, resp.replica_version,
+                         resp.responses[job_index[j]].vo.key_version,
+                         resp.responses[job_index[j]].vo.signed_top,
+                         outcomes[j].top_digest);
       }
     }
   }
@@ -434,6 +381,58 @@ Client::GroupOutcome Client::VerifyBatchGroup(
   return out;
 }
 
+Client::GroupOutcome Client::DeferBatchGroup(
+    const std::string& schema_table, const TableMeta& meta,
+    std::span<const SelectQuery> queries, QueryBatchResponse& resp,
+    uint64_t now, TrustMode mode) {
+  GroupOutcome out;
+  out.results.resize(resp.responses.size());
+
+  // Freshness under lazy trust: the replica version is an *unaudited*
+  // claim until the ticket clears, so the staleness baseline is the
+  // auditor's audited watermark, and this answer must not move any
+  // watermark — a lying edge could otherwise poison the monotonic-read
+  // signal through answers whose audit later fails.
+  const bool stale =
+      resp.replica_version < auditor_->audited_watermark(schema_table);
+  out.stale_replica = stale;
+
+  for (size_t i = 0; i < resp.responses.size(); ++i) {
+    const QueryResponse& qr = resp.responses[i];
+    Verified& v = out.results[i];
+    v.replica_version = resp.replica_version;
+    v.result_bytes = qr.result_bytes;
+    v.vo_bytes = qr.vo_bytes;
+    if (!qr.status.ok()) {
+      // Edge-reported failure: surfaced unauthenticated exactly as in
+      // certified mode; there is nothing to audit.
+      v.verification = qr.status;
+      continue;
+    }
+    v.vo_digests = qr.vo.DigestCount();
+    // The caller gets a copy; the ticket keeps the delivered originals
+    // so the audit checks precisely what the application consumed.
+    v.rows = qr.rows;
+    v.pending_audit = true;
+    v.stale_replica = stale;
+    out.deferred++;
+  }
+
+  AuditTicket ticket;
+  ticket.schema_table = schema_table;
+  ticket.schema = meta.schema;
+  ticket.algo = meta.algo;
+  ticket.modulus_bits = meta.modulus_bits;
+  ticket.queries.assign(queries.begin(), queries.end());
+  ticket.resp = std::move(resp);
+  ticket.now = now;
+  ticket.issued_at = std::chrono::steady_clock::now();
+  // Blocks when the auditor's bounded queue is full: backpressure rides
+  // the issuing path, the one place a slow auditor can slow anything.
+  auditor_->Submit(std::move(ticket), mode);
+  return out;
+}
+
 Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
                                                    const QueryBatch& batch,
                                                    uint64_t now,
@@ -447,6 +446,11 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
   const TableMeta& meta = meta_it->second;
   if (batch.queries.empty()) {
     return Status::InvalidArgument("empty query batch");
+  }
+  const TrustMode mode = batch.trust_mode;
+  if (mode != TrustMode::kCertified && auditor_ == nullptr) {
+    return Status::InvalidArgument(
+        "lazy trust mode requires an attached auditor (Client::set_auditor)");
   }
 
   // Normalize locally: the response rows are encoded against the
@@ -507,11 +511,15 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
     out.stats = resp.stats;
     const auto verify_start = std::chrono::steady_clock::now();
     GroupOutcome group =
-        VerifyBatchGroup(batch.table, meta, b.queries, resp, now, verifier);
+        mode == TrustMode::kCertified
+            ? VerifyBatchGroup(batch.table, meta, b.queries, resp, now,
+                               verifier)
+            : DeferBatchGroup(batch.table, meta, b.queries, resp, now, mode);
     out.verify_us = MicrosSince(verify_start);
     out.results = std::move(group.results);
     out.crypto = group.crypto;
     out.top_memo_hits = group.top_memo_hits;
+    out.deferred_queries = group.deferred;
     out.stale_replica = group.stale_replica;
     return out;
   }
@@ -569,12 +577,18 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
     }
     QueryBatchResponse& resp = decoded.groups[g].resp;
     out.stats.Accumulate(resp.stats);
+    // Captured before DeferBatchGroup moves the response into its ticket.
+    const uint64_t group_version = resp.replica_version;
     GroupOutcome gv =
-        VerifyBatchGroup(shard, meta, slice_queries, resp, now, verifier);
+        mode == TrustMode::kCertified
+            ? VerifyBatchGroup(shard, meta, slice_queries, resp, now,
+                               verifier)
+            : DeferBatchGroup(shard, meta, slice_queries, resp, now, mode);
     out.crypto.Add(gv.crypto);
     out.top_memo_hits += gv.top_memo_hits;
+    out.deferred_queries += gv.deferred;
     out.stale_replica = out.stale_replica || gv.stale_replica;
-    out.replica_version = std::min(out.replica_version, resp.replica_version);
+    out.replica_version = std::min(out.replica_version, group_version);
     out.shard_query_counts.emplace_back(planned.shard_id,
                                         planned.slices.size());
     // Stitch: groups ascend by shard index, so per-query parts land in

@@ -16,9 +16,13 @@
 #include "edge/propagation/transport.h"
 #include "edge/query_service/batch_verifier.h"
 #include "edge/query_service/query_service.h"
+#include "edge/query_service/signed_top_memo.h"
+#include "query/trust.h"
 #include "vbtree/verifier.h"
 
 namespace vbtree {
+
+class LazyAuditor;
 
 /// A trusted DB client (Fig. 2): sends queries to an edge server over the
 /// (simulated) network, then authenticates each answer against its VO
@@ -67,6 +71,12 @@ class Client {
   /// turn it off to measure the plain Recover-per-reference path.
   void set_verify_fast_path(bool enabled) { verify_fast_path_ = enabled; }
 
+  /// Attaches the background auditor that lazy trust modes defer
+  /// verification to (required before issuing a TrustMode::kLazy or
+  /// kSampled batch; not owned). Many Clients may share one auditor —
+  /// its submission side is thread-safe even though the Client is not.
+  void set_auditor(LazyAuditor* auditor) { auditor_ = auditor; }
+
   /// Registers table metadata (obtained from the central server's catalog
   /// over an authenticated channel); required before querying the table.
   void RegisterTable(const std::string& table, Schema schema,
@@ -93,7 +103,14 @@ class Client {
     uint64_t replica_version = 0;
     /// True when this answer came from a replica older than one this
     /// client already read for the same shard (monotonic-read check).
+    /// Under lazy trust modes the comparison baseline is the auditor's
+    /// *audited* watermark — provisional answers never define freshness.
     bool stale_replica = false;
+    /// Lazy trust modes: the answer was delivered provisionally —
+    /// `verification` is OK but authentication is deferred to the
+    /// auditor, which alarms if the deferred check fails. Always false
+    /// under kCertified.
+    bool pending_audit = false;
     /// Partition-map epoch the answer verified under (0: unsharded).
     uint64_t map_epoch = 0;
     /// Shards this query's range touched (1 for unsharded tables).
@@ -149,6 +166,9 @@ class Client {
     /// Signed-top recoveries skipped via the (shard, replica_version)
     /// memo.
     uint64_t top_memo_hits = 0;
+    /// Queries delivered provisionally with a deferred-verification
+    /// ticket (0 under kCertified).
+    uint64_t deferred_queries = 0;
   };
 
   /// Ships a QueryBatch through `service`'s submission queue (full wire
@@ -160,6 +180,15 @@ class Client {
   /// stitching per-query results back together. Monotonic-read semantics
   /// match Query(): per-shard watermarks only advance on responses that
   /// authenticated.
+  ///
+  /// `batch.trust_mode` selects the authentication schedule: kCertified
+  /// verifies synchronously (above); kLazy/kSampled return immediately
+  /// with `pending_audit` results and hand a deferred-verification
+  /// ticket — rows, VOs, signature-pool ref, replica version — to the
+  /// attached LazyAuditor (set_auditor), whose queue backpressures this
+  /// call when full. Map authentication and scatter-plan validation stay
+  /// synchronous in every mode (they gate response *shape*, not row
+  /// authenticity).
   Result<VerifiedBatch> QueryBatched(QueryService* service,
                                      const QueryBatch& batch, uint64_t now,
                                      BatchVerifier* verifier = nullptr,
@@ -181,19 +210,6 @@ class Client {
     channel_id_t down = kInvalidChannel;
   };
 
-  /// One memoized signed-top recovery: the digest `sig` decrypts to
-  /// under key version `key_version` (recovery is a pure function of the
-  /// bytes given the key, so replaying it is sound; see DESIGN.md §6).
-  struct TopEntry {
-    uint32_t key_version = 0;
-    Digest digest;
-  };
-  /// Signed-top recoveries observed at one (shard's) replica version.
-  struct TopMemoEpoch {
-    uint64_t replica_version = 0;
-    std::unordered_map<Signature, TopEntry, SignatureHash> tops;
-  };
-
   /// A partition map this client has authenticated, kept with its exact
   /// bytes so re-presenting the identical map skips the signature work.
   struct VerifiedMap {
@@ -207,18 +223,10 @@ class Client {
     std::vector<Verified> results;  ///< positional with the group queries
     CryptoCounters crypto;
     uint64_t top_memo_hits = 0;
+    uint64_t deferred = 0;  ///< queries handed to the auditor
     bool stale_replica = false;
     bool any_verified = false;
   };
-
-  /// Memo probe/update for the signed-top fast path (newest-first epoch
-  /// list per shard, bounded).
-  const Digest* LookupTopMemo(const std::string& table,
-                              uint64_t replica_version, uint32_t key_version,
-                              const Signature& sig) const;
-  void InsertTopMemo(const std::string& table, uint64_t replica_version,
-                     uint32_t key_version, const Signature& sig,
-                     const Digest& digest);
 
   EdgeChannels* ResolveChannels(EdgeServer* edge, Transport* net);
 
@@ -256,6 +264,18 @@ class Client {
                                 QueryBatchResponse& resp, uint64_t now,
                                 BatchVerifier* verifier);
 
+  /// Lazy-trust counterpart of VerifyBatchGroup: delivers the group's
+  /// rows provisionally (`pending_audit`), flags staleness against the
+  /// auditor's *audited* watermark, and moves the response — rows, VOs,
+  /// signature-pool ref — into an AuditTicket submitted to `auditor_`
+  /// (blocking when its bounded queue is full). Never touches
+  /// `freshness_`: only audited answers define lazy-mode freshness.
+  GroupOutcome DeferBatchGroup(const std::string& schema_table,
+                               const TableMeta& meta,
+                               std::span<const SelectQuery> queries,
+                               QueryBatchResponse& resp, uint64_t now,
+                               TrustMode mode);
+
   std::string db_name_;
   KeyDirectory* keys_;
   std::map<std::string, TableMeta> tables_;
@@ -269,9 +289,11 @@ class Client {
   std::shared_ptr<RecoveredDigestCache> digest_cache_;
   bool verify_fast_path_ = true;
   /// Per-shard signed-top memo: batches at one watermark pay the top
-  /// recovery once. Keeps the 2 newest replica versions so propagation
-  /// races don't thrash it.
-  std::map<std::string, std::vector<TopMemoEpoch>> top_memo_;
+  /// recovery once (shared implementation with the LazyAuditor's
+  /// cross-ticket memo).
+  SignedTopMemo top_memo_;
+  /// Deferred-verification sink for lazy trust modes (not owned).
+  LazyAuditor* auditor_ = nullptr;
 };
 
 }  // namespace vbtree

@@ -37,7 +37,8 @@ void QueryService::ApplyStall() const {
 void QueryService::Account(uint64_t queue_wait_us, uint64_t exec_us,
                            size_t queries, bool is_batch, uint64_t vo_bytes,
                            uint64_t result_bytes, bool error,
-                           const BatchExecStats* batch_stats) {
+                           const BatchExecStats* batch_stats,
+                           uint64_t lazy_queries) {
   std::lock_guard lock(stats_mu_);
   if (is_batch) {
     stats_.batches++;
@@ -45,6 +46,7 @@ void QueryService::Account(uint64_t queue_wait_us, uint64_t exec_us,
   } else {
     stats_.queries += queries;
   }
+  stats_.lazy_queries += lazy_queries;
   if (error) stats_.errors++;
   stats_.queue_wait_us_total += queue_wait_us;
   stats_.queue_wait_us_max = std::max(stats_.queue_wait_us_max, queue_wait_us);
@@ -102,7 +104,8 @@ std::future<Result<QueryBatchResponse>> QueryService::SubmitBatch(
       result_bytes = resp->stats.total_result_bytes;
     }
     Account(wait_us, exec_us, b.queries.size(), /*is_batch=*/true, vo_bytes,
-            result_bytes, !resp.ok(), resp.ok() ? &resp->stats : nullptr);
+            result_bytes, !resp.ok(), resp.ok() ? &resp->stats : nullptr,
+            b.trust_mode != TrustMode::kCertified ? b.queries.size() : 0);
     promise->set_value(std::move(resp));
   });
   if (!submitted.ok()) {
@@ -140,7 +143,10 @@ std::future<Result<std::vector<uint8_t>>> QueryService::SubmitBatchBytes(
       // of the exec metric, as before the ExecuteBatchToWire refactor.
       Account(wait_us, wire_stats.exec_us, batch.queries.size(),
               /*is_batch=*/true, wire_stats.total_vo_bytes,
-              wire_stats.total_result_bytes, /*error=*/false, &wire_stats);
+              wire_stats.total_result_bytes, /*error=*/false, &wire_stats,
+              batch.trust_mode != TrustMode::kCertified
+                  ? batch.queries.size()
+                  : 0);
       return out;
     };
     Result<std::vector<uint8_t>> out = run();

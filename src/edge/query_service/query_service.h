@@ -58,6 +58,10 @@ class QueryService {
     uint64_t queries = 0;        ///< single queries completed
     uint64_t batches = 0;        ///< batches completed
     uint64_t batched_queries = 0;///< queries inside those batches
+    /// Batched queries whose request carried a non-certified TrustMode
+    /// (the client will answer first and audit asynchronously).
+    /// Execution is identical — this only sizes the lazy traffic share.
+    uint64_t lazy_queries = 0;
     uint64_t rejected = 0;       ///< submissions shed by backpressure
     uint64_t errors = 0;         ///< executions returning non-OK
     uint64_t queue_wait_us_total = 0;
@@ -121,7 +125,8 @@ class QueryService {
   /// telemetry.
   void Account(uint64_t queue_wait_us, uint64_t exec_us, size_t queries,
                bool is_batch, uint64_t vo_bytes, uint64_t result_bytes,
-               bool error, const BatchExecStats* batch_stats = nullptr);
+               bool error, const BatchExecStats* batch_stats = nullptr,
+               uint64_t lazy_queries = 0);
 
   EdgeServer* edge_;
   QueryServiceOptions options_;

@@ -1,0 +1,99 @@
+#ifndef VBTREE_EDGE_QUERY_SERVICE_SIGNED_TOP_MEMO_H_
+#define VBTREE_EDGE_QUERY_SERVICE_SIGNED_TOP_MEMO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/recovered_digest_cache.h"
+
+namespace vbtree {
+
+/// Memo of signed-top recoveries per (shard, replica_version, key_version):
+/// every VO of a batch answered at one watermark carries the same signed
+/// root, so the root's Cost_s is paid once and replayed from here —
+/// recovery is a pure function of the signature bytes given the key, so
+/// replaying it is sound (DESIGN.md §6.3). Keeps the newest replica
+/// versions per shard so propagation races (a lagging edge alternating
+/// with a fresh one) don't thrash it.
+///
+/// Extracted from Client so the lazy-trust auditor reuses the same fast
+/// path across *deferred* batches: tickets audited minutes apart but taken
+/// at one watermark still share one top recovery. Not internally
+/// synchronized — one memo per thread (the Client's, the auditor's).
+class SignedTopMemo {
+ public:
+  /// Replica-version epochs kept per shard.
+  static constexpr size_t kEpochs = 2;
+  /// Entries per epoch; beyond this, inserts are dropped (a scan-heavy
+  /// workload should not let the memo grow without bound).
+  static constexpr size_t kMaxEntries = 4096;
+
+  const Digest* Lookup(const std::string& table, uint64_t replica_version,
+                       uint32_t key_version, const Signature& sig) const {
+    auto t = epochs_.find(table);
+    if (t == epochs_.end()) return nullptr;
+    for (const Epoch& epoch : t->second) {
+      if (epoch.replica_version != replica_version) continue;
+      auto e = epoch.tops.find(sig);
+      if (e != epoch.tops.end() && e->second.key_version == key_version) {
+        return &e->second.digest;
+      }
+      return nullptr;
+    }
+    return nullptr;
+  }
+
+  void Insert(const std::string& table, uint64_t replica_version,
+              uint32_t key_version, const Signature& sig,
+              const Digest& digest) {
+    std::vector<Epoch>& epochs = epochs_[table];
+    Epoch* target = nullptr;
+    for (Epoch& epoch : epochs) {
+      if (epoch.replica_version == replica_version) {
+        target = &epoch;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      // Keep the kEpochs numerically *highest* versions (not the most
+      // recently seen): a batch from a lagging edge must not evict the
+      // freshest epoch — surviving exactly that alternation is why more
+      // than one epoch is kept.
+      if (epochs.size() >= kEpochs &&
+          replica_version < epochs.back().replica_version) {
+        return;
+      }
+      auto pos = epochs.begin();
+      while (pos != epochs.end() && pos->replica_version > replica_version) {
+        ++pos;
+      }
+      pos = epochs.insert(pos, Epoch{replica_version, {}});
+      if (epochs.size() > kEpochs) epochs.resize(kEpochs);
+      target = &*pos;
+    }
+    if (target->tops.size() >= kMaxEntries) return;
+    target->tops[sig] = Entry{key_version, digest};
+  }
+
+ private:
+  /// One memoized recovery: the digest `sig` decrypts to under
+  /// `key_version`.
+  struct Entry {
+    uint32_t key_version = 0;
+    Digest digest;
+  };
+  /// Recoveries observed at one (shard's) replica version.
+  struct Epoch {
+    uint64_t replica_version = 0;
+    std::unordered_map<Signature, Entry, SignatureHash> tops;
+  };
+
+  std::map<std::string, std::vector<Epoch>> epochs_;
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_EDGE_QUERY_SERVICE_SIGNED_TOP_MEMO_H_

@@ -10,6 +10,7 @@
 #include "catalog/tuple.h"
 #include "catalog/value.h"
 #include "common/serde.h"
+#include "query/trust.h"
 
 namespace vbtree {
 
@@ -106,13 +107,17 @@ struct SelectQuery {
 
 /// N select-project predicates over ONE table (or materialized join
 /// view), shipped to an edge server as a unit: the edge answers the whole
-/// batch with shared tree traversals under a single latch acquisition and
-/// one coalesced response carrying a VO per query.
+/// batch with latch-free shared traversals converging on one validated
+/// tree version, and one coalesced response carrying a VO per query.
 struct QueryBatch {
   std::string table;
   /// Each entry's `table` field may be empty — the batch table applies.
   /// A non-empty entry table must match `table`.
   std::vector<SelectQuery> queries;
+  /// How the client schedules authentication for this batch (trust.h).
+  /// Rides the request wire so the edge's QueryService can account lazy
+  /// traffic; execution and the response are identical in every mode.
+  TrustMode trust_mode = TrustMode::kCertified;
 };
 
 /// One result row: the values of the projected columns, in projection

@@ -82,6 +82,10 @@ void SerializeQueryBatch(const QueryBatch& batch, ByteWriter* w) {
   for (const SelectQuery& q : batch.queries) {
     SerializeSelectQuerySansTable(q, w);
   }
+  // Trailing trust-mode byte. Read-if-present on the other end, so
+  // pre-trust-mode request encodings (exactly the queries, nothing after)
+  // still parse as kCertified.
+  w->PutU8(static_cast<uint8_t>(batch.trust_mode));
 }
 
 Result<QueryBatch> DeserializeQueryBatch(ByteReader* r) {
@@ -93,6 +97,13 @@ Result<QueryBatch> DeserializeQueryBatch(ByteReader* r) {
     VBT_ASSIGN_OR_RETURN(SelectQuery q, DeserializeSelectQuery(r));
     q.table = batch.table;
     batch.queries.push_back(std::move(q));
+  }
+  if (r->remaining() > 0) {
+    VBT_ASSIGN_OR_RETURN(uint8_t m, r->ReadU8());
+    if (m > static_cast<uint8_t>(TrustMode::kSampled)) {
+      return Status::Corruption("bad TrustMode on the wire");
+    }
+    batch.trust_mode = static_cast<TrustMode>(m);
   }
   return batch;
 }
