@@ -85,6 +85,57 @@ struct Config {
   uint64_t audit_seed = 0x5eed;
   size_t audit_queue = 256;
   bool json = false;
+  /// --write-mix: DML-heavy mode. Writer threads drive inserts through
+  /// the central server's per-shard signing pipelines (keys Zipf-skewed
+  /// across fixed key buckets, so --shards N spreads signing across N
+  /// parallel domains and --zipf concentrates it); reports insert qps,
+  /// signer queue depth, sign_calls_per_insert, auto-split activity and
+  /// per-shard qps skew, then authenticates a read-back pass (split
+  /// children verify via the lineage + binding path — 0 failures is the
+  /// end-to-end gate).
+  bool write_mix = false;
+  size_t writers = 4;
+  bool auto_split = false;
+  size_t max_shards = 16;
+};
+
+/// Write-mix key layout: the key domain is kBuckets fixed-width buckets;
+/// bucket b holds its seed rows densely at [b*kBucketSpan, ...) and its
+/// churn inserts uniform-randomly in [b*kBucketSpan + kWriteOffset,
+/// (b+1)*kBucketSpan). Uniform draws over a 2^39 span make duplicate-key
+/// collisions negligible *and* keep a hot bucket's traffic spreadable:
+/// an auto-split at the median of its recent insert keys really does
+/// halve its ongoing write rate (an append-only hot key could not be
+/// rebalanced by any split point).
+constexpr size_t kBuckets = 64;
+constexpr int64_t kBucketSpan = int64_t{1} << 40;
+constexpr int64_t kWriteOffset = int64_t{1} << 20;
+
+struct WriteMixResult {
+  double write_seconds = 0;
+  uint64_t inserts_attempted = 0;
+  uint64_t inserts_applied = 0;
+  uint64_t insert_failures = 0;
+  double insert_qps = 0;
+  uint64_t sign_calls = 0;  ///< delta across the write phase
+  double sign_calls_per_insert = 0;
+  size_t signer_queue_depth_p99 = 0;   ///< max across shards
+  size_t signer_queue_depth_peak = 0;  ///< max across shards
+  uint64_t splits_triggered = 0;
+  size_t shards_before = 0;
+  size_t shards_after = 0;
+  /// Per-shard write-qps skew (max/mean of per-shard ops deltas) in the
+  /// first and last quarter of the write phase: under --auto-split the
+  /// late skew shows whether splitting spread the hot shard's traffic.
+  double qps_skew_early = 0;
+  double qps_skew_late = 0;
+  std::vector<std::pair<std::string, double>> per_shard_qps;  ///< late window
+  size_t lineage_shards = 0;
+  uint64_t map_epoch = 0;
+  bool sync_ok = false;
+  uint64_t verified_queries = 0;
+  uint64_t verify_failures = 0;
+  uint64_t rows_read = 0;
 };
 
 struct RunResult {
@@ -465,6 +516,243 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
   return run;
 }
 
+WriteMixResult RunWriteMix(CentralServer* central, DistributionHub* hub,
+                           std::vector<std::unique_ptr<EdgeServer>>* edges,
+                           InProcessTransport* net, const Config& cfg,
+                           size_t n_tuples) {
+  WriteMixResult out;
+  uint64_t sign0 = 0;
+  {
+    auto stats = central->TableDomainStats("events");
+    if (stats.ok()) {
+      out.shards_before = stats->size();
+      for (const auto& d : *stats) sign0 += d.sign_calls;
+    }
+  }
+  const uint64_t splits0 = central->splits_triggered();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> attempted{0}, applied{0}, failures{0};
+  std::vector<std::thread> writer_threads;
+  writer_threads.reserve(cfg.writers);
+  for (size_t w = 0; w < cfg.writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      Rng rng(5150 + w);
+      ZipfGenerator zipf(kBuckets, cfg.zipf > 0 ? cfg.zipf : 0.99, 31337 + w);
+      Schema schema = PaperSchema();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t bucket = cfg.zipf > 0
+                                  ? (zipf.Next() - 1) % kBuckets
+                                  : static_cast<size_t>(rng.Uniform(kBuckets));
+        const int64_t key =
+            static_cast<int64_t>(bucket) * kBucketSpan + kWriteOffset +
+            static_cast<int64_t>(rng.Uniform(uint64_t{1} << 39));
+        Tuple t = PaperTuple(schema, key, &rng);
+        attempted.fetch_add(1, std::memory_order_relaxed);
+        if (central->InsertTuple("events", t).ok()) {
+          applied.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Almost surely a random-key collision (AlreadyExists); counted
+          // so a systematic failure cannot hide in the noise.
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Four ops_applied snapshots bracket an early and a late window; a
+  // shard missing from the earlier snapshot was created mid-window, and
+  // its domain counter started at 0 then — so baseline 0 is exact.
+  auto snapshot = [&] {
+    std::map<std::string, uint64_t> s;
+    auto stats = central->TableDomainStats("events");
+    if (stats.ok()) {
+      for (const auto& d : *stats) s[d.dist_name] = d.ops_applied;
+    }
+    return s;
+  };
+  auto skew = [](const std::map<std::string, uint64_t>& a,
+                 const std::map<std::string, uint64_t>& b) {
+    double total = 0, peak = 0;
+    for (const auto& [name, ops] : b) {
+      auto it = a.find(name);
+      const double delta =
+          static_cast<double>(ops - (it != a.end() ? it->second : 0));
+      total += delta;
+      peak = std::max(peak, delta);
+    }
+    if (b.empty() || total <= 0) return 0.0;
+    return peak / (total / static_cast<double>(b.size()));
+  };
+
+  Timer wall;
+  const auto quarter = std::chrono::duration<double>(cfg.seconds / 4);
+  auto s0 = snapshot();
+  std::this_thread::sleep_for(quarter);
+  auto s1 = snapshot();
+  std::this_thread::sleep_for(quarter + quarter);
+  auto s2 = snapshot();
+  std::this_thread::sleep_for(quarter);
+  auto s3 = snapshot();
+  stop.store(true);
+  for (auto& t : writer_threads) t.join();
+  out.write_seconds = wall.ElapsedMs() / 1000.0;
+
+  out.inserts_attempted = attempted.load();
+  out.inserts_applied = applied.load();
+  out.insert_failures = failures.load();
+  out.insert_qps =
+      static_cast<double>(out.inserts_applied) / out.write_seconds;
+  out.qps_skew_early = skew(s0, s1);
+  out.qps_skew_late = skew(s2, s3);
+  const double late_seconds = cfg.seconds / 4;
+  for (const auto& [name, ops] : s3) {
+    auto it = s2.find(name);
+    const double delta =
+        static_cast<double>(ops - (it != s2.end() ? it->second : 0));
+    out.per_shard_qps.emplace_back(name, delta / late_seconds);
+  }
+
+  uint64_t sign1 = 0;
+  {
+    auto stats = central->TableDomainStats("events");
+    if (stats.ok()) {
+      out.shards_after = stats->size();
+      for (const auto& d : *stats) {
+        sign1 += d.sign_calls;
+        out.signer_queue_depth_p99 =
+            std::max(out.signer_queue_depth_p99, d.queue_depth_p99);
+        out.signer_queue_depth_peak =
+            std::max(out.signer_queue_depth_peak, d.queue_depth_peak);
+      }
+    }
+  }
+  out.sign_calls = sign1 - sign0;
+  if (out.inserts_applied > 0) {
+    out.sign_calls_per_insert = static_cast<double>(out.sign_calls) /
+                                static_cast<double>(out.inserts_applied);
+  }
+  out.splits_triggered = central->splits_triggered() - splits0;
+  {
+    auto map = central->TablePartitionMap("events");
+    if (map.ok()) {
+      out.map_epoch = map->epoch;
+      for (const auto& s : map->shards) {
+        if (!s.lineage.empty()) out.lineage_shards++;
+      }
+    }
+  }
+
+  // Read-back: ship everything (including split children — the hub
+  // re-enumerates shards every round) to the edges, then authenticate
+  // batched reads across the whole table. Seed rows of a split shard now
+  // live in lineage children, so these verify through the ancestor
+  // digest domain + shard binding signature; any forged or misrouted
+  // byte surfaces here as a verify failure.
+  out.sync_ok = hub->SyncAll(100000).ok();
+  if (out.sync_ok) {
+    QueryServiceOptions sopts;
+    sopts.num_workers = 4;
+    sopts.queue_capacity = cfg.queue_capacity;
+    sopts.overflow = OverflowPolicy::kBlock;
+    sopts.modeled_io_stall_us = 0;
+    QueryService service((*edges)[0].get(), sopts);
+    Client client("edgedb", central->key_directory());
+    Schema schema = PaperSchema();
+    client.RegisterShardedTable("events", schema);
+    Rng rng(777);
+    const size_t rows_per_bucket = std::max<size_t>(1, n_tuples / kBuckets);
+    for (int iter = 0; iter < 32; ++iter) {
+      QueryBatch batch;
+      batch.table = "events";
+      batch.queries.reserve(cfg.batch);
+      for (size_t i = 0; i < cfg.batch; ++i) {
+        const int64_t base =
+            static_cast<int64_t>(rng.Uniform(kBuckets)) * kBucketSpan;
+        // Alternate dense seed-row ranges and sparse churn-key ranges so
+        // both the inherited and the freshly signed regions are checked.
+        const int64_t lo =
+            (i % 2 == 0)
+                ? base + static_cast<int64_t>(rng.Uniform(rows_per_bucket))
+                : base + kWriteOffset +
+                      static_cast<int64_t>(rng.Uniform(uint64_t{1} << 39));
+        SelectQuery q;
+        q.range = KeyRange{lo, lo + cfg.range_span};
+        batch.queries.push_back(std::move(q));
+      }
+      client.BeginPinnedRead();
+      auto res = client.QueryBatched(&service, batch, /*now=*/10,
+                                     /*verifier=*/nullptr, net);
+      client.EndPinnedRead();
+      if (!res.ok()) {
+        out.verify_failures++;
+        continue;
+      }
+      out.map_epoch = res->map_epoch;
+      for (const auto& v : res->results) {
+        out.verified_queries++;
+        out.rows_read += v.rows.size();
+        if (!v.verification.ok()) out.verify_failures++;
+      }
+    }
+  }
+  return out;
+}
+
+void PrintWriteMixJson(const Config& cfg, size_t n_tuples,
+                       const WriteMixResult& r, uint64_t net_bytes) {
+  std::printf("{\n");
+  std::printf("  \"bench\": \"edge_throughput\",\n");
+  std::printf("  \"mode\": \"write_mix\",\n");
+  std::printf("  \"tuples\": %zu,\n", n_tuples);
+  std::printf("  \"shards\": %zu,\n", cfg.shards);
+  std::printf("  \"writers\": %zu,\n", cfg.writers);
+  std::printf("  \"zipf\": %.2f,\n", cfg.zipf);
+  std::printf("  \"auto_split\": %s,\n", cfg.auto_split ? "true" : "false");
+  std::printf("  \"max_shards\": %zu,\n", cfg.max_shards);
+  std::printf("  \"seconds\": %.3f,\n", r.write_seconds);
+  std::printf("  \"inserts_attempted\": %llu,\n",
+              static_cast<unsigned long long>(r.inserts_attempted));
+  std::printf("  \"inserts_applied\": %llu,\n",
+              static_cast<unsigned long long>(r.inserts_applied));
+  std::printf("  \"insert_failures\": %llu,\n",
+              static_cast<unsigned long long>(r.insert_failures));
+  std::printf("  \"insert_qps\": %.1f,\n", r.insert_qps);
+  std::printf("  \"sign_calls\": %llu,\n",
+              static_cast<unsigned long long>(r.sign_calls));
+  std::printf("  \"sign_calls_per_insert\": %.3f,\n",
+              r.sign_calls_per_insert);
+  std::printf("  \"signer_queue_depth_p99\": %zu,\n",
+              r.signer_queue_depth_p99);
+  std::printf("  \"signer_queue_depth_peak\": %zu,\n",
+              r.signer_queue_depth_peak);
+  std::printf("  \"splits_triggered\": %llu,\n",
+              static_cast<unsigned long long>(r.splits_triggered));
+  std::printf("  \"shards_before\": %zu,\n", r.shards_before);
+  std::printf("  \"shards_after\": %zu,\n", r.shards_after);
+  std::printf("  \"lineage_shards\": %zu,\n", r.lineage_shards);
+  std::printf("  \"map_epoch\": %llu,\n",
+              static_cast<unsigned long long>(r.map_epoch));
+  std::printf("  \"qps_skew_early\": %.2f,\n", r.qps_skew_early);
+  std::printf("  \"qps_skew_late\": %.2f,\n", r.qps_skew_late);
+  std::printf("  \"per_shard_write_qps\": {");
+  for (size_t i = 0; i < r.per_shard_qps.size(); ++i) {
+    std::printf("%s\"%s\": %.1f", i == 0 ? "" : ", ",
+                r.per_shard_qps[i].first.c_str(), r.per_shard_qps[i].second);
+  }
+  std::printf("},\n");
+  std::printf("  \"sync_ok\": %s,\n", r.sync_ok ? "true" : "false");
+  std::printf("  \"verified_queries\": %llu,\n",
+              static_cast<unsigned long long>(r.verified_queries));
+  std::printf("  \"verify_failures\": %llu,\n",
+              static_cast<unsigned long long>(r.verify_failures));
+  std::printf("  \"rows_read\": %llu,\n",
+              static_cast<unsigned long long>(r.rows_read));
+  std::printf("  \"transport_bytes\": %llu\n",
+              static_cast<unsigned long long>(net_bytes));
+  std::printf("}\n");
+}
+
 void PrintJson(const Config& cfg, size_t n_tuples,
                const std::vector<RunResult>& runs, uint64_t net_bytes) {
   std::printf("{\n");
@@ -702,6 +990,16 @@ int main(int argc, char** argv) {
       if (cfg.audit_queue == 0) cfg.audit_queue = 1;
     } else if (arg == "--no-verify-cache") {
       cfg.verify_cache = false;
+    } else if (arg == "--write-mix") {
+      cfg.write_mix = true;
+    } else if (arg == "--writers") {
+      cfg.writers = static_cast<size_t>(std::atol(next()));
+      if (cfg.writers == 0) cfg.writers = 1;
+    } else if (arg == "--auto-split") {
+      cfg.auto_split = true;
+    } else if (arg == "--max-shards") {
+      cfg.max_shards = static_cast<size_t>(std::atol(next()));
+      if (cfg.max_shards == 0) cfg.max_shards = 1;
     } else if (arg == "--stall-us") {
       cfg.stall_us = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--queue") {
@@ -732,7 +1030,8 @@ int main(int argc, char** argv) {
                    " [--trust-mode certified|lazy|sampled]"
                    " [--audit-fraction F] [--audit-seed S] [--audit-queue CAP]"
                    " [--stall-us U] [--queue CAP] [--churn-interval-us U]"
-                   " [--zipf THETA]\n");
+                   " [--zipf THETA] [--write-mix] [--writers N]"
+                   " [--auto-split] [--max-shards N]\n");
       return 2;
     }
   }
@@ -746,6 +1045,22 @@ int main(int argc, char** argv) {
 
   CentralServer::Options copts;
   copts.db_name = "edgedb";
+  if (cfg.write_mix && cfg.auto_split) {
+    // Bench-tuned policy: windows sized so the hot shard clears the
+    // absolute floor within a couple of windows even when the
+    // burst-credit host throttles insert throughput several-fold
+    // (~1.8k hot-shard qps rested -> ~180 ops per 100ms window vs the
+    // floor of 32), while the 1.5x skew bar — not the floor — decides
+    // *which* shard splits. Reacts within the run's first quarter so
+    // the late-window skew reflects the post-split layout.
+    copts.auto_split = true;
+    copts.auto_split_interval_ms = 100;
+    copts.auto_split_min_ops = 32;
+    copts.auto_split_skew = 1.5;
+    copts.auto_split_min_rows = 64;
+    copts.auto_split_max_shards = cfg.max_shards;
+    copts.auto_split_cooldown_ms = 150;
+  }
   auto central_or = CentralServer::Create(copts);
   if (!central_or.ok()) {
     std::fprintf(stderr, "central create: %s\n",
@@ -754,14 +1069,39 @@ int main(int argc, char** argv) {
   }
   CentralServer& central = **central_or;
   Schema schema = PaperSchema();
-  // Even key-range splits over the loaded domain; churn keys (> n_tuples)
-  // land in the last shard, exercising one hot per-shard delta stream.
-  if (!central.CreateTable("events", schema,
-                           EvenSplitPoints(n_tuples, cfg.shards))
-           .ok()) {
-    return 1;
-  }
-  {
+  if (cfg.write_mix) {
+    // Bucketed key layout (see kBuckets): initial shards on bucket
+    // boundaries, seed rows dense at each bucket's base.
+    std::vector<int64_t> splits;
+    for (size_t s = 1; s < cfg.shards; ++s) {
+      splits.push_back(static_cast<int64_t>(kBuckets * s / cfg.shards) *
+                       kBucketSpan);
+    }
+    if (!central.CreateTable("events", schema, splits).ok()) return 1;
+    Rng rng(42);
+    std::vector<Tuple> rows;
+    rows.reserve(n_tuples);
+    const size_t per_bucket = n_tuples / kBuckets;
+    const size_t extra = n_tuples % kBuckets;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      const size_t count = per_bucket + (b < extra ? 1 : 0);
+      for (size_t j = 0; j < count; ++j) {
+        rows.push_back(PaperTuple(
+            schema,
+            static_cast<int64_t>(b) * kBucketSpan + static_cast<int64_t>(j),
+            &rng));
+      }
+    }
+    if (!central.LoadTable("events", rows).ok()) return 1;
+  } else {
+    // Even key-range splits over the loaded domain; churn keys
+    // (> n_tuples) land in the last shard, exercising one hot per-shard
+    // delta stream.
+    if (!central.CreateTable("events", schema,
+                             EvenSplitPoints(n_tuples, cfg.shards))
+             .ok()) {
+      return 1;
+    }
     Rng rng(42);
     std::vector<Tuple> rows;
     rows.reserve(n_tuples);
@@ -786,6 +1126,34 @@ int main(int argc, char** argv) {
   if (!hub.SyncAll().ok()) {
     std::fprintf(stderr, "initial distribution failed\n");
     return 1;
+  }
+
+  if (cfg.write_mix) {
+    WriteMixResult r = RunWriteMix(&central, &hub, &edges, &net, cfg,
+                                   n_tuples);
+    hub.Stop();
+    if (cfg.json) {
+      PrintWriteMixJson(cfg, n_tuples, r, net.total_bytes());
+    } else {
+      std::printf(
+          "write-mix: writers=%zu shards %zu->%zu  insert_qps=%.1f  "
+          "sign/insert=%.3f  queue_p99=%zu peak=%zu  splits=%llu  "
+          "skew early=%.2f late=%.2f  verify=%llu queries %llu failures  "
+          "rows=%llu\n",
+          cfg.writers, r.shards_before, r.shards_after, r.insert_qps,
+          r.sign_calls_per_insert, r.signer_queue_depth_p99,
+          r.signer_queue_depth_peak,
+          static_cast<unsigned long long>(r.splits_triggered),
+          r.qps_skew_early, r.qps_skew_late,
+          static_cast<unsigned long long>(r.verified_queries),
+          static_cast<unsigned long long>(r.verify_failures),
+          static_cast<unsigned long long>(r.rows_read));
+    }
+    // The read-back pass is the end-to-end gate: every answer (lineage
+    // shards included) must authenticate after the write storm.
+    return (!r.sync_ok || r.verified_queries == 0 || r.verify_failures > 0)
+               ? 1
+               : 0;
   }
 
   if (!cfg.json) {

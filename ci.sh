@@ -391,6 +391,112 @@ if not (0.80 * crc <= lrc <= 1.20 * crc):
 print("recover_calls_per_query lazy %.2f vs control %.2f: OK" % (lrc, crc))
 PY
   echo "wrote BENCH_edge_throughput_lazy.json (+ _lazy_control.json)"
+  # Write-mix smoke: the per-shard signing pipeline under a Zipf insert
+  # storm, as TWO runs because the gated counters need different
+  # layouts to be trustworthy:
+  #  1. Fixed layout (no auto-split) -> _writemix_fixed.json. With the
+  #     shard set pinned, sign_calls_per_insert is exact (three
+  #     back-to-back runs: 24.012/24.013/24.012 while wall-clock qps
+  #     swung 13%), so it gets the tight ±10% band — a batching
+  #     regression or a naive O(rows) split resign sneaking back into
+  #     any DML path moves it far outside. Under auto-split the same
+  #     counter is schedule-shaped (WHEN splits land decides how many
+  #     inserts pay the taller pre-split trees; rested runs spanned
+  #     7.2–14.9) and therefore ungateable.
+  #  2. Auto-split armed -> _writemix.json, the rebalance-loop gates:
+  #     * splits_triggered >= 1 — under zipf 0.99 the contention
+  #       policy must actually fire; a silent policy-thread death
+  #       shows up here;
+  #     * qps_skew_late <= 2.0 OR < qps_skew_early — the ROADMAP
+  #       convergence target (hot shard within ~2x of the mean after
+  #       rebalance) with an escape hatch for partially-converged
+  #       short runs: max/mean gets STRICTER as splits multiply the
+  #       shard count (mean falls), so a run where the policy is
+  #       mid-flight can sit just above 2.0 while clearly improving.
+  #       A policy that fires but makes skew worse fails both arms;
+  #     * verify_failures == 0 with verified_queries > 0 — the
+  #       post-storm read-back authenticates lineage shards end to end
+  #       (binding signatures included), so a split that breaks
+  #       verification cannot pass the smoke;
+  #     * sync_ok — the hub converged on the post-split layout
+  #       (auto-split children are discovered mid-run).
+  # The strictly deterministic o(rows) split-cost bound is
+  # counter-gated in split_pipeline_test, independent of any timing.
+  WM_BASELINE="$(mktemp)"
+  git show HEAD:BENCH_edge_throughput_writemix_fixed.json > "$WM_BASELINE" \
+    2>/dev/null \
+    || cp BENCH_edge_throughput_writemix_fixed.json "$WM_BASELINE" \
+         2>/dev/null \
+    || echo '{}' > "$WM_BASELINE"
+  VBT_BENCH_TUPLES="${VBT_BENCH_TUPLES:-2000}" \
+    "./$BUILD_DIR/bench/edge_throughput" --json --write-mix --seconds 1.5 \
+    --shards 4 --writers 4 \
+    > BENCH_edge_throughput_writemix_fixed.json
+  VBT_BENCH_TUPLES="${VBT_BENCH_TUPLES:-2000}" \
+    "./$BUILD_DIR/bench/edge_throughput" --json --write-mix --seconds 1.5 \
+    --shards 4 --writers 4 --auto-split \
+    > BENCH_edge_throughput_writemix.json
+  python3 -m json.tool BENCH_edge_throughput_writemix_fixed.json > /dev/null
+  python3 -m json.tool BENCH_edge_throughput_writemix.json > /dev/null
+  python3 - "$WM_BASELINE" <<'PY'
+import json, sys
+fixed = json.load(open("BENCH_edge_throughput_writemix_fixed.json"))
+auto = json.load(open("BENCH_edge_throughput_writemix.json"))
+base = json.load(open(sys.argv[1]))
+
+for name, run in (("fixed", fixed), ("auto", auto)):
+    if run.get("mode") != "write_mix":
+        sys.exit("FAIL: %s write-mix artifact did not record mode=write_mix"
+                 % name)
+    if not run.get("sync_ok"):
+        sys.exit("FAIL: hub did not converge after the %s write storm" % name)
+    vq = int(run.get("verified_queries", 0))
+    vf = int(run.get("verify_failures", 0))
+    if vq <= 0:
+        sys.exit("FAIL: %s write-mix read-back verified 0 queries" % name)
+    if vf:
+        sys.exit("FAIL: %d verification failures reading back the %s "
+                 "write-mix layout" % (vf, name))
+
+if int(fixed.get("splits_triggered", -1)) != 0:
+    sys.exit("FAIL: fixed-layout run split anyway (splits_triggered=%s) — "
+             "the spi gate needs a pinned shard set"
+             % fixed.get("splits_triggered"))
+spi = float(fixed.get("sign_calls_per_insert", 0))
+if spi <= 0:
+    sys.exit("FAIL: sign_calls_per_insert is %r (signer counters dead?)" % spi)
+bspi = base.get("sign_calls_per_insert")
+if bspi is None or float(bspi) <= 0:
+    print("sign_calls_per_insert=%.3f (no baseline; presence check only)" % spi)
+elif not (0.90 * float(bspi) <= spi <= 1.10 * float(bspi)):
+    sys.exit("FAIL: sign_calls_per_insert %.3f outside ±10%% of baseline "
+             "%.3f — signing work per DML moved" % (spi, float(bspi)))
+else:
+    print("sign_calls_per_insert=%.3f vs baseline %.3f: OK"
+          % (spi, float(bspi)))
+
+splits = int(auto.get("splits_triggered", 0))
+if splits < 1:
+    sys.exit("FAIL: splits_triggered=%d — auto-split never fired under "
+             "zipf %.2f" % (splits, float(auto.get("zipf", 0))))
+skew_early = float(auto.get("qps_skew_early", 0))
+skew_late = float(auto.get("qps_skew_late", 99))
+if skew_late > 2.0 and skew_late >= skew_early:
+    sys.exit("FAIL: qps_skew_late=%.2f (early %.2f) — auto-split fired %d "
+             "times but the late-window hot shard is still >2x the mean AND "
+             "no better than the early window" %
+             (skew_late, skew_early, splits))
+print("splits_triggered=%d (shards %d -> %d, lineage=%d, "
+      "skew %.2f -> %.2f): OK"
+      % (splits, int(auto.get("shards_before", 0)),
+         int(auto.get("shards_after", 0)), int(auto.get("lineage_shards", 0)),
+         float(auto.get("qps_skew_early", 0)), skew_late))
+print("write-mix read-back: %d+%d queries authenticated, 0 failures"
+      % (int(fixed.get("verified_queries", 0)),
+         int(auto.get("verified_queries", 0))))
+PY
+  rm -f "$WM_BASELINE"
+  echo "wrote BENCH_edge_throughput_writemix.json (+ _writemix_fixed.json)"
   # Crypto fast-path microbench: Recover-vs-cache throughput on this
   # host. Uploaded as a CI artifact (not committed, not gated — the
   # ratios are host-dependent).
@@ -409,15 +515,19 @@ if [[ "$MODE" == "sanitize" ]]; then
 fi
 if [[ "$MODE" == "tsan" ]]; then
   # The TSan job runs the concurrency-heavy subset: the worker-pool
-  # service suite, the scatter-gather equivalence suite, the OLC stress
-  # suite (readers racing splits, forced restarts, snapshot installs),
-  # and the lazy-trust suite (client threads racing the background
-  # auditor over the shared digest cache and bounded ticket queue). The
-  # full suite under TSan is prohibitively slow on the single-CPU CI
-  # runner and adds no interleavings these don't hit.
+  # service suite, the scatter-gather equivalence suite (now including
+  # the DML-pipeline storm tests: pipelined-vs-serial equivalence,
+  # cross-shard deletes racing inserts, splits mid-write-storm), the
+  # OLC stress suite (readers racing splits, forced restarts, snapshot
+  # installs), the lazy-trust suite (client threads racing the
+  # background auditor over the shared digest cache and bounded ticket
+  # queue), and the split-pipeline suite (auto-split policy thread
+  # racing writer threads). The full suite under TSan is prohibitively
+  # slow on the single-CPU CI runner and adds no interleavings these
+  # don't hit.
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
   ctest --output-on-failure -j "$(nproc)" \
-        -R "query_service|shard_equivalence|olc_stress|lazy_trust"
+        -R "query_service|shard_equivalence|olc_stress|lazy_trust|split_pipeline"
 else
   ctest --output-on-failure -j "$(nproc)"
 fi

@@ -1,7 +1,9 @@
 #include "edge/central_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <unordered_map>
 
 #include "query/executor.h"
 
@@ -11,6 +13,18 @@ namespace {
 constexpr uint32_t kSnapshotMagic = 0x50414E53;  // "SNAP"
 constexpr int64_t kMinKey = std::numeric_limits<int64_t>::min();
 constexpr int64_t kMaxKey = std::numeric_limits<int64_t>::max();
+
+/// Brief backoff for writers racing a shard split: the parent domain is
+/// sealed for the (short) window between seal and layout swap, during
+/// which re-resolving still yields the retiring shard.
+void SplitRetryBackoff(int attempt) {
+  if (attempt < 16) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        std::min(1000, 10 * (attempt - 15))));
+  }
+}
 }  // namespace
 
 Result<std::unique_ptr<CentralServer>> CentralServer::Create(Options options) {
@@ -29,7 +43,28 @@ Result<std::unique_ptr<CentralServer>> CentralServer::Create(Options options) {
   server->key_valid_from_ = 0;
   server->key_directory_.Publish(
       KeyVersionInfo{1, 0, options.key_validity}, std::move(recoverer));
+  if (options.auto_split) {
+    server->policy_thread_ = std::thread([s = server.get()] { s->PolicyLoop(); });
+  }
   return server;
+}
+
+CentralServer::~CentralServer() {
+  {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    stopping_ = true;
+    policy_cv_.notify_all();
+  }
+  if (policy_thread_.joinable()) policy_thread_.join();
+  // Seal every write domain (drain + join workers) while the shards they
+  // mutate are still alive.
+  std::shared_lock maps(maps_mu_);
+  for (auto& [name, state] : tables_) {
+    std::shared_lock layout(state->layout_mu);
+    for (auto& shard : state->shards) {
+      if (shard->domain != nullptr) shard->domain->Seal();
+    }
+  }
 }
 
 Status CentralServer::MakeSigner(uint64_t seed,
@@ -94,15 +129,27 @@ std::shared_ptr<CentralServer::ShardState> CentralServer::ShardForKey(
   return nullptr;  // unreachable for a well-formed layout
 }
 
-Result<std::shared_ptr<CentralServer::ShardState>> CentralServer::MakeShard(
-    const std::string& table, const Schema& schema, uint32_t shard_id,
-    int64_t lo, int64_t hi) {
+Result<std::shared_ptr<CentralServer::ShardState>>
+CentralServer::MakeShardShell(const std::string& table, const Schema& schema,
+                              uint32_t shard_id, int64_t lo, int64_t hi) {
   auto shard = std::make_shared<ShardState>(options_.update_log_window);
   shard->shard_id = shard_id;
   shard->lo = lo;
   shard->hi = hi;
   shard->dist_name = PartitionMap::ShardName(table, shard_id);
   VBT_ASSIGN_OR_RETURN(shard->heap, TableHeap::Create(pool_.get(), schema));
+  shard->domain = std::make_unique<ShardWriteDomain>(
+      shard->dist_name,
+      ShardWriteDomain::Options{options_.domain_queue_capacity,
+                                options_.domain_recent_keys});
+  return shard;
+}
+
+Result<std::shared_ptr<CentralServer::ShardState>> CentralServer::MakeShard(
+    const std::string& table, const Schema& schema, uint32_t shard_id,
+    int64_t lo, int64_t hi) {
+  VBT_ASSIGN_OR_RETURN(auto shard,
+                       MakeShardShell(table, schema, shard_id, lo, hi));
   VBTreeOptions opts = options_.tree_opts;
   opts.key_version = key_version_;
   // The digest schema is qualified by the shard's distribution name:
@@ -119,8 +166,17 @@ Status CentralServer::SignMap(TableState* table) {
   table->map.key_version = key_version_;
   table->map.shards.clear();
   for (const auto& shard : table->shards) {
-    table->map.shards.push_back(
-        ShardEntry{shard->shard_id, shard->lo, shard->hi});
+    ShardEntry entry;
+    entry.shard_id = shard->shard_id;
+    entry.lo = shard->lo;
+    entry.hi = shard->hi;
+    // Split children keep their parent's digest domain until the next
+    // key rotation re-homes them (DESIGN.md §10); the signed map tells
+    // clients which domain to verify under and that a binding anchor is
+    // expected.
+    const std::string& ds_name = shard->tree->digest_schema().table_name();
+    if (ds_name != shard->dist_name) entry.lineage = ds_name;
+    table->map.shards.push_back(std::move(entry));
   }
   VBT_RETURN_NOT_OK(table->map.CheckWellFormed());
   Digest content = table->map.ContentDigest(options_.tree_opts.hash_algo);
@@ -198,57 +254,150 @@ Status CentralServer::LoadTable(const std::string& name,
   // contiguous run to its owning shard.
   size_t r = 0;
   for (const auto& shard : state->shards) {
+    // Quiesce the shard's write pipeline: BulkLoad must observe the tree
+    // at a clean op boundary (queued ops run after, and restart the log
+    // lineage if they find versions they never logged).
+    shard->domain->Pause();
     std::vector<std::pair<Tuple, Rid>> pairs;
-    std::unique_lock lock(shard->mu);
-    while (r < rows.size() && rows[r].key() <= shard->hi) {
-      VBT_ASSIGN_OR_RETURN(Rid rid, shard->heap->Insert(rows[r]));
-      pairs.emplace_back(std::move(rows[r]), rid);
-      ++r;
+    {
+      std::unique_lock lock(shard->mu);
+      while (r < rows.size() && rows[r].key() <= shard->hi) {
+        Result<Rid> rid = shard->heap->Insert(rows[r]);
+        if (!rid.ok()) {
+          shard->domain->Resume();
+          return rid.status();
+        }
+        pairs.emplace_back(std::move(rows[r]), *rid);
+        ++r;
+      }
+      if (!pairs.empty()) {
+        Status loaded = shard->tree->BulkLoad(pairs);
+        if (!loaded.ok()) {
+          shard->domain->Resume();
+          return loaded;
+        }
+        shard->log.Reset(shard->tree->version());
+      }
     }
-    if (!pairs.empty()) {
-      VBT_RETURN_NOT_OK(shard->tree->BulkLoad(pairs));
-      shard->log.Reset(shard->tree->version());
-    }
+    shard->domain->Resume();
   }
   return Status::OK();
 }
 
+Status CentralServer::ApplyInsert(ShardState* shard, const Tuple& tuple,
+                                  txn_id_t txn) {
+  std::unique_lock lock(shard->mu);
+  VBT_ASSIGN_OR_RETURN(Rid rid, shard->heap->Insert(tuple));
+
+  // Record the op for delta propagation: entry signature material plus
+  // the node signatures the insert produces (deterministic signers give
+  // the same bytes the tree stores).
+  UpdateOp op;
+  op.kind = UpdateOp::Kind::kInsert;
+  op.tuple = tuple;
+  op.rid = rid;
+  VBT_ASSIGN_OR_RETURN(op.material, shard->tree->MakeEntryMaterial(tuple));
+  shard->tree->set_signature_log(&op.resigned);
+  Status insert_status = shard->tree->Insert(tuple, rid, txn);
+  shard->tree->set_signature_log(nullptr);
+  VBT_RETURN_NOT_OK(insert_status);
+  if (shard->log.head_version() + 1 != shard->tree->version()) {
+    // The tree was mutated out-of-band (direct tree() access by tests
+    // or benches, or a bulk load that reset the lineage): those versions
+    // were never logged, so restart the lineage — stale subscribers
+    // catch up by snapshot.
+    shard->log.Reset(shard->tree->version() - 1);
+  }
+  shard->log.Append(std::move(op));
+  shard->domain->RecordInsertKey(tuple.key());
+  return Status::OK();
+}
+
+Result<std::future<Status>> CentralServer::InsertTupleAsync(
+    const std::string& name, const Tuple& tuple, txn_id_t txn) {
+  for (int attempt = 0;; ++attempt) {
+    bool in_view = false;
+    {
+      // maps_mu_ is held shared across the view-membership check AND the
+      // enqueue (see header): CreateJoinView registers view_refs_ under
+      // the exclusive lock before draining, so a fast-path op it cannot
+      // see is impossible.
+      std::shared_lock maps(maps_mu_);
+      auto it = tables_.find(name);
+      if (it == tables_.end()) {
+        return Status::NotFound("no table named " + name);
+      }
+      in_view = view_refs_.count(name) != 0;
+      if (!in_view) {
+        TableState* state = it->second.get();
+        std::shared_ptr<ShardState> shard = ShardForKey(*state, tuple.key());
+        if (shard == nullptr) {
+          return Status::Internal("no shard owns key " +
+                                  std::to_string(tuple.key()));
+        }
+        auto queued = shard->domain->Enqueue([this, shard, tuple, txn] {
+          return ApplyInsert(shard.get(), tuple, txn);
+        });
+        if (queued.ok()) return queued;
+        // Sealed: the shard is being split away; re-resolve against the
+        // post-split layout.
+      }
+    }
+    if (in_view) {
+      // View-referenced table: maintenance is cross-table, so the op
+      // runs on the serialized path and the future is already resolved.
+      std::promise<Status> done;
+      done.set_value(InsertTupleSerial(name, tuple, txn));
+      return done.get_future();
+    }
+    SplitRetryBackoff(attempt);
+  }
+}
+
 Status CentralServer::InsertTuple(const std::string& name, const Tuple& tuple,
                                   txn_id_t txn) {
-  std::lock_guard<std::mutex> dml(dml_mu_);
-  VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
-  std::shared_ptr<ShardState> shard = ShardForKey(*state, tuple.key());
-  if (shard == nullptr) {
-    return Status::Internal("no shard owns key " +
-                            std::to_string(tuple.key()));
-  }
-  {
-    std::unique_lock lock(shard->mu);
-    VBT_ASSIGN_OR_RETURN(Rid rid, shard->heap->Insert(tuple));
+  VBT_ASSIGN_OR_RETURN(std::future<Status> done,
+                       InsertTupleAsync(name, tuple, txn));
+  return done.get();
+}
 
-    // Record the op for delta propagation: entry signature material plus
-    // the node signatures the insert produces (deterministic signers give
-    // the same bytes the tree stores).
-    UpdateOp op;
-    op.kind = UpdateOp::Kind::kInsert;
-    op.tuple = tuple;
-    op.rid = rid;
-    VBT_ASSIGN_OR_RETURN(op.material, shard->tree->MakeEntryMaterial(tuple));
-    shard->tree->set_signature_log(&op.resigned);
-    Status insert_status = shard->tree->Insert(tuple, rid, txn);
-    shard->tree->set_signature_log(nullptr);
-    VBT_RETURN_NOT_OK(insert_status);
-    if (shard->log.head_version() + 1 != shard->tree->version()) {
-      // The tree was mutated out-of-band (direct tree() access by tests
-      // or benches): those versions were never logged, so restart the
-      // lineage — stale subscribers catch up by snapshot.
-      shard->log.Reset(shard->tree->version() - 1);
+Status CentralServer::InsertTupleSerial(const std::string& name,
+                                        const Tuple& tuple, txn_id_t txn) {
+  std::lock_guard<std::mutex> views(views_mu_);
+  for (int attempt = 0;; ++attempt) {
+    std::future<Status> done;
+    {
+      std::shared_lock maps(maps_mu_);
+      auto it = tables_.find(name);
+      if (it == tables_.end()) {
+        return Status::NotFound("no table named " + name);
+      }
+      std::shared_ptr<ShardState> shard =
+          ShardForKey(*it->second, tuple.key());
+      if (shard == nullptr) {
+        return Status::Internal("no shard owns key " +
+                                std::to_string(tuple.key()));
+      }
+      auto queued = shard->domain->Enqueue([this, shard, tuple, txn] {
+        return ApplyInsert(shard.get(), tuple, txn);
+      });
+      if (queued.ok()) done = std::move(*queued);
     }
-    shard->log.Append(std::move(op));
+    if (!done.valid()) {
+      SplitRetryBackoff(attempt);
+      continue;
+    }
+    // Safe to wait while holding views_mu_: domain ops never take it.
+    VBT_RETURN_NOT_OK(done.get());
+    break;
   }
+  return MaintainViewsOnInsert(name, tuple);
+}
 
-  // Incremental maintenance of join views referencing this table. DDL is
-  // excluded by dml_mu_, so iterating the view map here is safe.
+Status CentralServer::MaintainViewsOnInsert(const std::string& name,
+                                            const Tuple& tuple) {
+  // Iterating views_ is safe while holding views_mu_: CreateJoinView is
+  // the only writer of the map and takes views_mu_ too.
   for (auto& [view_name, vs] : views_) {
     const JoinSpec& spec = vs->view->spec();
     if (spec.left_table == name) {
@@ -275,46 +424,133 @@ Status CentralServer::InsertTuple(const std::string& name, const Tuple& tuple,
   return Status::OK();
 }
 
+Status CentralServer::ApplyDelete(ShardState* shard, int64_t lo, int64_t hi,
+                                  txn_id_t txn, size_t* removed) {
+  std::unique_lock lock(shard->mu);
+  UpdateOp op;
+  op.kind = UpdateOp::Kind::kDeleteRange;
+  op.lo = lo;
+  op.hi = hi;
+  shard->tree->set_signature_log(&op.resigned);
+  auto removed_or = shard->tree->DeleteRange(lo, hi, txn);
+  shard->tree->set_signature_log(nullptr);
+  VBT_ASSIGN_OR_RETURN(*removed, std::move(removed_or));
+  if (shard->log.head_version() + 1 != shard->tree->version()) {
+    shard->log.Reset(shard->tree->version() - 1);
+  }
+  shard->log.Append(std::move(op));
+  return Status::OK();
+}
+
 Result<size_t> CentralServer::DeleteRange(const std::string& name, int64_t lo,
                                           int64_t hi, txn_id_t txn) {
   if (lo > hi) return static_cast<size_t>(0);
-  std::lock_guard<std::mutex> dml(dml_mu_);
-  VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
-
-  // Snapshot the overlapping shards under the layout latch, then apply
-  // the clamped delete to each shard's independent version stream.
-  std::vector<std::shared_ptr<ShardState>> touched;
-  {
-    std::shared_lock layout(state->layout_mu);
-    for (const auto& shard : state->shards) {
-      if (shard->lo <= hi && shard->hi >= lo) touched.push_back(shard);
+  size_t total_removed = 0;
+  for (int attempt = 0;; ++attempt) {
+    // One clamped op per overlapping domain, then wait on all of them:
+    // each shard's log records the delete at that shard's own sequence
+    // point (the cross-shard fence; see the class comment).
+    std::vector<std::future<Status>> waits;
+    std::vector<std::shared_ptr<size_t>> counts;
+    bool sealed = false;
+    bool in_view = false;
+    {
+      std::shared_lock maps(maps_mu_);
+      auto it = tables_.find(name);
+      if (it == tables_.end()) {
+        return Status::NotFound("no table named " + name);
+      }
+      TableState* state = it->second.get();
+      if (view_refs_.count(name) != 0) {
+        in_view = true;
+      } else {
+        std::shared_lock layout(state->layout_mu);
+        for (const auto& shard : state->shards) {
+          if (shard->lo > hi || shard->hi < lo) continue;
+          const int64_t clamped_lo = std::max(lo, shard->lo);
+          const int64_t clamped_hi = std::min(hi, shard->hi);
+          auto count = std::make_shared<size_t>(0);
+          auto queued = shard->domain->Enqueue(
+              [this, shard, clamped_lo, clamped_hi, txn, count] {
+                return ApplyDelete(shard.get(), clamped_lo, clamped_hi, txn,
+                                   count.get());
+              });
+          if (!queued.ok()) {
+            // Mid-split: finish what was queued (clamped deletes are
+            // idempotent — a retry removes nothing twice), then retry
+            // against the post-split layout.
+            sealed = true;
+            break;
+          }
+          waits.push_back(std::move(*queued));
+          counts.push_back(std::move(count));
+        }
+      }
     }
+    if (in_view) {
+      std::lock_guard<std::mutex> views(views_mu_);
+      VBT_ASSIGN_OR_RETURN(TableState * state, GetTableState(name));
+      VBT_ASSIGN_OR_RETURN(size_t removed,
+                           DeleteRangeSerial(state, name, lo, hi, txn));
+      return total_removed + removed;
+    }
+    Status first_error = Status::OK();
+    for (auto& w : waits) {
+      Status s = w.get();
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
+    for (const auto& c : counts) total_removed += *c;
+    VBT_RETURN_NOT_OK(first_error);
+    if (!sealed) return total_removed;
+    SplitRetryBackoff(attempt);
   }
+}
 
-  size_t removed = 0;
-  std::vector<int64_t> doomed;
-  for (const auto& shard : touched) {
-    const int64_t clamped_lo = std::max(lo, shard->lo);
-    const int64_t clamped_hi = std::min(hi, shard->hi);
-    std::vector<int64_t> keys =
-        shard->tree->KeysInRange(clamped_lo, clamped_hi);
-    doomed.insert(doomed.end(), keys.begin(), keys.end());
-
-    std::unique_lock lock(shard->mu);
-    UpdateOp op;
-    op.kind = UpdateOp::Kind::kDeleteRange;
-    op.lo = clamped_lo;
-    op.hi = clamped_hi;
-    shard->tree->set_signature_log(&op.resigned);
-    auto removed_or = shard->tree->DeleteRange(clamped_lo, clamped_hi, txn);
-    shard->tree->set_signature_log(nullptr);
-    size_t shard_removed = 0;
-    VBT_ASSIGN_OR_RETURN(shard_removed, std::move(removed_or));
-    removed += shard_removed;
-    if (shard->log.head_version() + 1 != shard->tree->version()) {
-      shard->log.Reset(shard->tree->version() - 1);
+Result<size_t> CentralServer::DeleteRangeSerial(TableState* state,
+                                                const std::string& name,
+                                                int64_t lo, int64_t hi,
+                                                txn_id_t txn) {
+  // Caller holds views_mu_: all DML on this table is serialized, so the
+  // doomed-key set collected before the deletes is exact.
+  size_t total_removed = 0;
+  std::set<int64_t> doomed;
+  for (int attempt = 0;; ++attempt) {
+    std::vector<std::future<Status>> waits;
+    std::vector<std::shared_ptr<size_t>> counts;
+    bool sealed = false;
+    {
+      std::shared_lock layout(state->layout_mu);
+      for (const auto& shard : state->shards) {
+        if (shard->lo > hi || shard->hi < lo) continue;
+        const int64_t clamped_lo = std::max(lo, shard->lo);
+        const int64_t clamped_hi = std::min(hi, shard->hi);
+        for (int64_t key :
+             shard->tree->KeysInRange(clamped_lo, clamped_hi)) {
+          doomed.insert(key);
+        }
+        auto count = std::make_shared<size_t>(0);
+        auto queued = shard->domain->Enqueue(
+            [this, shard, clamped_lo, clamped_hi, txn, count] {
+              return ApplyDelete(shard.get(), clamped_lo, clamped_hi, txn,
+                                 count.get());
+            });
+        if (!queued.ok()) {
+          sealed = true;
+          break;
+        }
+        waits.push_back(std::move(*queued));
+        counts.push_back(std::move(count));
+      }
     }
-    shard->log.Append(std::move(op));
+    Status first_error = Status::OK();
+    for (auto& w : waits) {
+      Status s = w.get();
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
+    for (const auto& c : counts) total_removed += *c;
+    VBT_RETURN_NOT_OK(first_error);
+    if (!sealed) break;
+    SplitRetryBackoff(attempt);
   }
 
   for (auto& [view_name, vs] : views_) {
@@ -330,7 +566,7 @@ Result<size_t> CentralServer::DeleteRange(const std::string& name, int64_t lo,
     }
   }
   // Heap rows become unreachable; a compaction pass could reclaim them.
-  return removed;
+  return total_removed;
 }
 
 Status CentralServer::SplitShard(const std::string& name, int64_t split_key) {
@@ -343,42 +579,62 @@ Status CentralServer::SplitShard(const std::string& name, int64_t split_key) {
         "split key must fall strictly inside an existing shard range");
   }
 
-  // Live rows of the parent: heap rows still indexed by the tree (the
-  // heap may hold tombstoned leftovers from range deletes).
-  std::vector<Tuple> rows;
+  // 1. Seal the parent's write pipeline: queued ops drain into its log,
+  // then the worker exits. Writers racing the seal get kResourceExhausted from
+  // Enqueue and retry against the post-split layout installed below.
+  parent->domain->Seal();
+
+  // Fresh ids for both halves: pre-split signatures can never alias a
+  // current shard. Shells only — the trees come from CloneRange.
+  VBT_ASSIGN_OR_RETURN(auto left,
+                       MakeShardShell(name, state->schema,
+                                      state->next_shard_id++, parent->lo,
+                                      split_key - 1));
+  VBT_ASSIGN_OR_RETURN(auto right,
+                       MakeShardShell(name, state->schema,
+                                      state->next_shard_id++, split_key,
+                                      parent->hi));
+
+  // 2. Copy the parent's live rows (heap rows still indexed by the tree;
+  // the heap may hold tombstoned leftovers from range deletes) into the
+  // children's heaps, recording the Rid remap the tree surgery needs.
+  // Digest preimages never mention Rids, so remapping is signature-free.
   {
-    std::shared_lock lock(parent->mu);
+    std::shared_lock lock(parent->mu);  // exports may still be reading
+    std::unordered_map<uint64_t, Rid> remap;
+    auto pack = [](const Rid& r) {
+      return (static_cast<uint64_t>(static_cast<uint32_t>(r.page_id)) << 16) |
+             r.slot;
+    };
     for (TableHeap::Iterator it = parent->heap->Begin(); it.Valid();
          it.Next()) {
       VBT_ASSIGN_OR_RETURN(Tuple t, it.Get());
-      if (!parent->tree->KeysInRange(t.key(), t.key()).empty()) {
-        rows.push_back(std::move(t));
-      }
-    }
-  }
-  std::sort(rows.begin(), rows.end(),
-            [](const Tuple& a, const Tuple& b) { return a.key() < b.key(); });
-
-  // Fresh ids for both halves: pre-split signatures can never alias a
-  // current shard.
-  VBT_ASSIGN_OR_RETURN(auto left, MakeShard(name, state->schema,
-                                            state->next_shard_id++,
-                                            parent->lo, split_key - 1));
-  VBT_ASSIGN_OR_RETURN(auto right, MakeShard(name, state->schema,
-                                             state->next_shard_id++,
-                                             split_key, parent->hi));
-  for (ShardState* half : {left.get(), right.get()}) {
-    std::vector<std::pair<Tuple, Rid>> pairs;
-    for (const Tuple& t : rows) {
-      if (t.key() < half->lo || t.key() > half->hi) continue;
+      if (parent->tree->KeysInRange(t.key(), t.key()).empty()) continue;
+      ShardState* half = t.key() < split_key ? left.get() : right.get();
       VBT_ASSIGN_OR_RETURN(Rid rid, half->heap->Insert(t));
-      pairs.emplace_back(t, rid);
+      remap[pack(it.rid())] = rid;
     }
-    if (!pairs.empty()) {
-      VBT_RETURN_NOT_OK(half->tree->BulkLoad(pairs));
-    }
-    half->log.Reset(half->tree->version());
+    auto remap_fn = [&remap, &pack](const Rid& r) {
+      auto found = remap.find(pack(r));
+      return found == remap.end() ? r : found->second;
+    };
+
+    // 3. O(boundary) tree surgery: each child deep-copies the parent's
+    // already-signed nodes, trims to its range, and re-signs only the
+    // O(height) trim boundary plus its root binding. The per-row and
+    // interior signatures transfer verbatim because the children stay in
+    // the parent's digest domain (lineage; see SignMap).
+    VBT_ASSIGN_OR_RETURN(
+        left->tree,
+        parent->tree->CloneRange(left->dist_name, left->lo, left->hi,
+                                 remap_fn));
+    VBT_ASSIGN_OR_RETURN(
+        right->tree,
+        parent->tree->CloneRange(right->dist_name, right->lo, right->hi,
+                                 remap_fn));
   }
+  left->log.Reset(left->tree->version());
+  right->log.Reset(right->tree->version());
 
   std::unique_lock layout(state->layout_mu);
   auto pos = std::find(state->shards.begin(), state->shards.end(), parent);
@@ -443,6 +699,28 @@ Status CentralServer::CreateJoinView(const JoinSpec& spec) {
   VBT_ASSIGN_OR_RETURN(const TableState* right,
                        GetTableState(spec.right_table));
 
+  // Re-route the base tables' DML to the serialized path BEFORE
+  // materializing: registration happens under the exclusive maps lock,
+  // and the fast path holds it shared across its membership check and
+  // enqueue, so every fast-path op is either already queued (the drain
+  // below flushes it into the materialization scan) or will see the
+  // registration and serialize behind views_mu_.
+  {
+    std::unique_lock maps(maps_mu_);
+    view_refs_.insert(spec.left_table);
+    view_refs_.insert(spec.right_table);
+  }
+  auto unregister = [&] {
+    std::unique_lock maps(maps_mu_);
+    view_refs_.erase(view_refs_.find(spec.left_table));
+    view_refs_.erase(view_refs_.find(spec.right_table));
+  };
+  std::lock_guard<std::mutex> views(views_mu_);
+  for (const TableState* base : {left, right}) {
+    std::shared_lock layout(base->layout_mu);
+    for (const auto& shard : base->shards) shard->domain->Drain();
+  }
+
   auto collect_rows =
       [](const TableState* table) -> Result<std::vector<Tuple>> {
     std::vector<Tuple> rows;
@@ -457,27 +735,32 @@ Status CentralServer::CreateJoinView(const JoinSpec& spec) {
     }
     return rows;
   };
-  VBT_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows, collect_rows(left));
-  VBT_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows, collect_rows(right));
+  auto materialize = [&]() -> Status {
+    VBT_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows, collect_rows(left));
+    VBT_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows, collect_rows(right));
 
-  VBTreeOptions opts = options_.tree_opts;
-  opts.key_version = key_version_;
-  VBT_ASSIGN_OR_RETURN(
-      std::unique_ptr<JoinView> view,
-      JoinView::Materialize(spec, options_.db_name, left->schema,
-                            right->schema, left_rows, right_rows,
-                            pool_.get(), current_signer_, opts));
-  VBT_RETURN_NOT_OK(
-      catalog_.CreateTable(spec.view_name, view->schema(), /*is_view=*/true)
-          .status());
-  auto vs = std::make_unique<ViewState>();
-  vs->view = std::move(view);
-  {
-    std::unique_lock maps(maps_mu_);
-    views_[spec.view_name] = std::move(vs);
-    view_order_.push_back(spec.view_name);
-  }
-  return Status::OK();
+    VBTreeOptions opts = options_.tree_opts;
+    opts.key_version = key_version_;
+    VBT_ASSIGN_OR_RETURN(
+        std::unique_ptr<JoinView> view,
+        JoinView::Materialize(spec, options_.db_name, left->schema,
+                              right->schema, left_rows, right_rows,
+                              pool_.get(), current_signer_, opts));
+    VBT_RETURN_NOT_OK(
+        catalog_.CreateTable(spec.view_name, view->schema(), /*is_view=*/true)
+            .status());
+    auto vs = std::make_unique<ViewState>();
+    vs->view = std::move(view);
+    {
+      std::unique_lock maps(maps_mu_);
+      views_[spec.view_name] = std::move(vs);
+      view_order_.push_back(spec.view_name);
+    }
+    return Status::OK();
+  };
+  Status created = materialize();
+  if (!created.ok()) unregister();
+  return created;
 }
 
 Result<const JoinView*> CentralServer::GetJoinView(
@@ -612,15 +895,40 @@ std::vector<CentralServer::MapInfo> CentralServer::PartitionMaps() const {
 
 Status CentralServer::RotateKey(uint64_t now) {
   std::lock_guard<std::mutex> dml(dml_mu_);
+  // Quiesce every write domain: rotation is the one global sequence
+  // point (every shard re-signs under the new key). Queued ops are
+  // retained and apply after Resume, under the new key — they are
+  // simply later ops in each shard's stream.
+  std::vector<std::shared_ptr<ShardState>> all_shards;
+  {
+    std::shared_lock maps(maps_mu_);
+    for (auto& [name, state] : tables_) {
+      std::shared_lock layout(state->layout_mu);
+      for (auto& shard : state->shards) all_shards.push_back(shard);
+    }
+  }
+  for (auto& shard : all_shards) shard->domain->Pause();
+  auto resume_all = [&] {
+    for (auto& shard : all_shards) shard->domain->Resume();
+  };
+
   // Old private key retires: results signed with it remain verifiable only
   // within its (now truncated) validity window, so edge servers cannot
   // masquerade stale data as current (§3.4).
-  VBT_RETURN_NOT_OK(key_directory_.Expire(key_version_, now));
+  Status expired = key_directory_.Expire(key_version_, now);
+  if (!expired.ok()) {
+    resume_all();
+    return expired;
+  }
 
   std::unique_ptr<Signer> signer;
   std::shared_ptr<Recoverer> recoverer;
-  VBT_RETURN_NOT_OK(
-      MakeSigner(options_.key_seed + key_version_ + 1, &signer, &recoverer));
+  Status made =
+      MakeSigner(options_.key_seed + key_version_ + 1, &signer, &recoverer);
+  if (!made.ok()) {
+    resume_all();
+    return made;
+  }
   current_signer_ = signer.get();
   signers_.push_back(std::move(signer));
   key_version_++;
@@ -629,29 +937,43 @@ Status CentralServer::RotateKey(uint64_t now) {
       KeyVersionInfo{key_version_, now, now + options_.key_validity},
       std::move(recoverer));
 
-  for (auto& [name, state] : tables_) {
-    std::unique_lock layout(state->layout_mu);
-    for (auto& shard : state->shards) {
-      std::unique_lock lock(shard->mu);
-      VBT_RETURN_NOT_OK(shard->tree->ResignAll(
-          current_signer_, key_version_,
-          Executor::FetcherFor(shard->heap.get())));
-      // A re-sign cannot ship as a delta: restart the log lineage so every
-      // subscriber catches up with a fresh snapshot.
-      shard->log.Reset(shard->tree->version());
+  auto rotate_all = [&]() -> Status {
+    for (auto& [name, state] : tables_) {
+      std::unique_lock layout(state->layout_mu);
+      for (auto& shard : state->shards) {
+        std::unique_lock lock(shard->mu);
+        // The O(rows) re-sign a rotation must pay anyway is the moment a
+        // lineage shard (split child still in its parent's digest
+        // domain) is re-homed under its own name: the rebind drops the
+        // root binding and retires the lineage (DESIGN.md §10).
+        const std::string* rebind =
+            shard->tree->digest_schema().table_name() != shard->dist_name
+                ? &shard->dist_name
+                : nullptr;
+        VBT_RETURN_NOT_OK(shard->tree->ResignAll(
+            current_signer_, key_version_,
+            Executor::FetcherFor(shard->heap.get()), rebind));
+        // A re-sign cannot ship as a delta: restart the log lineage so
+        // every subscriber catches up with a fresh snapshot.
+        shard->log.Reset(shard->tree->version());
+      }
+      // The map signature must also move to the new key (and lineage
+      // entries clear); bump the epoch so the hub re-ships it (and
+      // clients advance their epoch floors).
+      state->map.epoch++;
+      VBT_RETURN_NOT_OK(SignMap(state.get()));
     }
-    // The map signature must also move to the new key; bump the epoch so
-    // the hub re-ships it (and clients advance their epoch floors).
-    state->map.epoch++;
-    VBT_RETURN_NOT_OK(SignMap(state.get()));
-  }
-  for (auto& [name, vs] : views_) {
-    std::unique_lock vlock(vs->mu);
-    VBT_RETURN_NOT_OK(vs->view->tree()->ResignAll(
-        current_signer_, key_version_,
-        Executor::FetcherFor(vs->view->heap())));
-  }
-  return Status::OK();
+    for (auto& [name, vs] : views_) {
+      std::unique_lock vlock(vs->mu);
+      VBT_RETURN_NOT_OK(vs->view->tree()->ResignAll(
+          current_signer_, key_version_,
+          Executor::FetcherFor(vs->view->heap())));
+    }
+    return Status::OK();
+  };
+  Status rotated = rotate_all();
+  resume_all();
+  return rotated;
 }
 
 Result<CentralServer::SnapshotShape> CentralServer::SnapshotShapeOf(
@@ -673,6 +995,135 @@ VBTree* CentralServer::tree(const std::string& name) {
 TableHeap* CentralServer::heap(const std::string& name) {
   auto shard = ResolveShard(name);
   return shard.ok() ? (*shard)->heap.get() : nullptr;
+}
+
+Result<std::vector<CentralServer::DomainStats>>
+CentralServer::TableDomainStats(const std::string& name) const {
+  VBT_ASSIGN_OR_RETURN(const TableState* state, GetTableState(name));
+  std::vector<std::shared_ptr<ShardState>> shards;
+  {
+    std::shared_lock layout(state->layout_mu);
+    shards = state->shards;
+  }
+  std::vector<DomainStats> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) {
+    ShardWriteDomain::Stats ds = shard->domain->stats();
+    DomainStats s;
+    s.dist_name = shard->dist_name;
+    s.lo = shard->lo;
+    s.hi = shard->hi;
+    s.ops_enqueued = ds.ops_enqueued;
+    s.ops_applied = ds.ops_applied;
+    s.queue_depth = ds.queue_depth;
+    s.queue_depth_peak = ds.queue_depth_peak;
+    s.queue_depth_p99 = ds.queue_depth_p99;
+    s.sign_calls = shard->tree->sign_calls();
+    s.tree_version = shard->tree->version();
+    s.rows = shard->tree->size();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void CentralServer::PolicyLoop() {
+  // Per-shard ops_applied at the start of the current window, and the
+  // last split time per table (cooldown) — policy-thread-private.
+  std::map<std::string, uint64_t> ops_baseline;
+  std::map<std::string, std::chrono::steady_clock::time_point> last_split;
+  std::unique_lock lock(policy_mu_);
+  while (!stopping_) {
+    policy_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.auto_split_interval_ms));
+    if (stopping_) break;
+    lock.unlock();
+    RunSplitPolicyOnce(&ops_baseline, &last_split);
+    lock.lock();
+  }
+}
+
+void CentralServer::RunSplitPolicyOnce(
+    std::map<std::string, uint64_t>* ops_baseline,
+    std::map<std::string, std::chrono::steady_clock::time_point>* last_split) {
+  const auto now = std::chrono::steady_clock::now();
+  for (const std::string& table : TableNames()) {
+    auto state_or = GetTableState(table);
+    if (!state_or.ok()) continue;
+    const TableState* state = *state_or;
+    std::vector<std::shared_ptr<ShardState>> shards;
+    {
+      std::shared_lock layout(state->layout_mu);
+      shards = state->shards;
+    }
+
+    // Window traffic per shard: ops_applied delta since the last pass.
+    // Baselines advance even for tables skipped below, so a table coming
+    // off cooldown is judged on fresh traffic, not the backlog.
+    std::vector<uint64_t> window(shards.size(), 0);
+    uint64_t total = 0;
+    for (size_t i = 0; i < shards.size(); ++i) {
+      const uint64_t applied = shards[i]->domain->ops_applied();
+      uint64_t& base = (*ops_baseline)[shards[i]->dist_name];
+      window[i] = applied - base;
+      base = applied;
+      total += window[i];
+    }
+
+    if (shards.size() >= options_.auto_split_max_shards) continue;
+    auto cooled = last_split->find(table);
+    if (cooled != last_split->end() &&
+        now - cooled->second <
+            std::chrono::milliseconds(options_.auto_split_cooldown_ms)) {
+      continue;
+    }
+
+    // Hot = clears the absolute traffic floor AND (when there are
+    // siblings to compare against) exceeds skew x the table mean. A
+    // sole shard with real traffic is always hot: splitting it is what
+    // bootstraps parallel signing.
+    const double mean =
+        shards.empty() ? 0.0 : static_cast<double>(total) / shards.size();
+    size_t hot = shards.size();
+    uint64_t hot_ops = 0;
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (window[i] < options_.auto_split_min_ops) continue;
+      if (shards.size() > 1 &&
+          static_cast<double>(window[i]) <= options_.auto_split_skew * mean) {
+        continue;
+      }
+      if (shards[i]->tree->size() < options_.auto_split_min_rows) continue;
+      if (window[i] > hot_ops) {
+        hot = i;
+        hot_ops = window[i];
+      }
+    }
+    if (hot == shards.size()) continue;
+    const auto& shard = shards[hot];
+
+    // Split where the traffic is: the median of the shard's recent
+    // insert keys bisects the hot range even when the stored-key median
+    // sits elsewhere. Fall back to the stored-key median for read-mostly
+    // shards that went hot without fresh inserts.
+    std::vector<int64_t> keys = shard->domain->RecentInsertKeys();
+    std::erase_if(keys, [&](int64_t k) {
+      return k <= shard->lo || k > shard->hi;
+    });
+    if (keys.empty()) {
+      keys = shard->tree->KeysInRange(shard->lo, shard->hi);
+      std::erase_if(keys, [&](int64_t k) { return k <= shard->lo; });
+    }
+    if (keys.empty()) continue;
+    std::nth_element(keys.begin(), keys.begin() + keys.size() / 2, keys.end());
+    const int64_t split_key = keys[keys.size() / 2];
+    if (split_key <= shard->lo || split_key > shard->hi) continue;
+
+    // One split per table per pass; convergence is iterative (the next
+    // window re-measures the halves).
+    if (SplitShard(table, split_key).ok()) {
+      splits_triggered_.fetch_add(1, std::memory_order_relaxed);
+      (*last_split)[table] = now;
+    }
+  }
 }
 
 }  // namespace vbtree

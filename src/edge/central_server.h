@@ -1,11 +1,17 @@
 #ifndef VBTREE_EDGE_CENTRAL_SERVER_H_
 #define VBTREE_EDGE_CENTRAL_SERVER_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -14,6 +20,7 @@
 #include "crypto/sim_signer.h"
 #include "edge/partition_map.h"
 #include "edge/propagation/update_log.h"
+#include "edge/shard_write_domain.h"
 #include "query/join_view.h"
 #include "storage/table_heap.h"
 #include "txn/lock_manager.h"
@@ -45,11 +52,30 @@ namespace vbtree {
 /// DeltaSince, VersionOf, TruncateLog (all keyed by shard distribution
 /// name), ShardNames, and PartitionMaps.
 ///
-/// Concurrency: DML (InsertTuple / DeleteRange / SplitShard / RotateKey /
-/// DDL) is serialized by an internal mutex, mirroring the paper's single
-/// trusted writer; the export/delta read surface takes per-shard shared
-/// latches and may be called concurrently with DML from the propagator
-/// thread.
+/// Concurrency (DESIGN.md §10): every shard owns a ShardWriteDomain —
+/// a bounded DML queue drained by one dedicated signer worker that owns
+/// all mutation of that shard's heap, tree and update log. InsertTuple /
+/// DeleteRange resolve the owning shard(s) and enqueue; signing (the
+/// dominant insert cost) proceeds in parallel across shards while each
+/// shard's op stream — and therefore its UpdateLog — stays strictly
+/// ordered. The paper's "single trusted writer" becomes one trusted
+/// writer *per shard*; dml_mu_ shrinks to a catalog/layout lock held
+/// only by DDL, bulk loads, splits and key rotation.
+///
+/// Cross-shard ordering: a DeleteRange spanning shards fences by
+/// enqueueing one clamped op per overlapping domain and waiting on all
+/// of them — each shard's log records it at that shard's own sequence
+/// point (there is no global DML order, matching the per-shard version
+/// streams the propagation layer already exposes). SplitShard seals
+/// only the parent's domain (writers racing the seal retry against the
+/// post-split layout); RotateKey quiesces all domains (it is the one
+/// global sequence point). Tables referenced by a materialized join
+/// view serialize their DML through the view-maintenance lock — view
+/// maintenance is inherently cross-table — so only view-free tables pay
+/// nothing for it.
+///
+/// The export/delta read surface takes per-shard shared latches and may
+/// be called concurrently with DML from the propagator thread.
 class CentralServer {
  public:
   struct Options {
@@ -68,9 +94,39 @@ class CentralServer {
     /// Ops retained per shard for delta propagation; subscribers further
     /// behind than this are caught up with a snapshot.
     size_t update_log_window = 1 << 16;
+
+    /// Per-shard write-domain queue bound (Enqueue backpressures there).
+    size_t domain_queue_capacity = 1024;
+    /// Recent-insert-key window each domain retains for the auto-split
+    /// policy's split-point heuristic.
+    size_t domain_recent_keys = 256;
+
+    // --- contention-driven auto-split (policy thread) ---
+    /// When set, a background policy thread watches per-shard traffic
+    /// (domain ops per window) and splits hot shards at the median of
+    /// their recent insert keys — "split where the traffic is" — bumping
+    /// the table's map epoch each time.
+    bool auto_split = false;
+    /// Policy evaluation cadence.
+    uint64_t auto_split_interval_ms = 25;
+    /// A shard is split-eligible only with at least this many domain ops
+    /// in the last window (absolute traffic floor)...
+    uint64_t auto_split_min_ops = 512;
+    /// ...and, when the table has siblings to compare against, only when
+    /// its window traffic exceeds `auto_split_skew` x the table mean
+    /// (a sole shard with traffic is always considered hot).
+    double auto_split_skew = 2.0;
+    /// Never split shards holding fewer rows than this.
+    size_t auto_split_min_rows = 256;
+    /// Stop splitting a table at this many shards.
+    size_t auto_split_max_shards = 16;
+    /// Minimum time between two splits of the same table (lets traffic
+    /// re-distribute before re-evaluating).
+    uint64_t auto_split_cooldown_ms = 100;
   };
 
   static Result<std::unique_ptr<CentralServer>> Create(Options options);
+  ~CentralServer();  ///< Stops the policy thread and seals every domain.
 
   const std::string& db_name() const { return options_.db_name; }
   const Catalog& catalog() const { return catalog_; }
@@ -101,22 +157,66 @@ class CentralServer {
   }
 
   // --- updates (§3.4; only the central server can sign) ---
+  /// Routes the row to its owning shard's write domain and waits for the
+  /// domain worker to apply (heap insert, signed tree insert, log
+  /// append). Concurrent callers hitting different shards sign in
+  /// parallel; callers hitting one shard serialize in enqueue order.
   Status InsertTuple(const std::string& name, const Tuple& tuple,
                      txn_id_t txn = 0);
+  /// Pipelined variant: returns as soon as the op is queued; the future
+  /// resolves with the apply status. Per-shard order is the caller's
+  /// enqueue order. (Tables referenced by a join view fall back to the
+  /// serialized path and return an already-resolved future.)
+  Result<std::future<Status>> InsertTupleAsync(const std::string& name,
+                                               const Tuple& tuple,
+                                               txn_id_t txn = 0);
   Result<size_t> DeleteRange(const std::string& name, int64_t lo, int64_t hi,
                              txn_id_t txn = 0);
 
   /// Splits the shard of `name` owning `split_key` into two shards with
-  /// fresh ids: [lo, split_key-1] and [split_key, hi]. Rebuilds and
-  /// re-signs both halves from the parent's rows, bumps the map epoch
-  /// and re-signs the map; the parent shard's id never reappears, so its
-  /// signatures cannot verify as any current shard. The parent's update
-  /// log lineage ends here — subscribers pick the new shards up by
-  /// snapshot under the new map epoch.
+  /// fresh ids: [lo, split_key-1] and [split_key, hi]. Incremental
+  /// (DESIGN.md §10): the parent's domain is sealed and drained, live
+  /// rows are copied to the children's heaps, and each child tree is
+  /// built by VBTree::CloneRange — reusing the parent's already-signed
+  /// subtrees, so only the O(height) trim boundary plus the root binding
+  /// is re-signed, not O(rows). The children stay in the parent's digest
+  /// domain (their map entries carry `lineage`; their VOs anchor at the
+  /// signed shard binding), until the next key rotation re-homes them.
+  /// Bumps the map epoch and re-signs the map; the parent shard's id
+  /// never reappears, so its signatures cannot verify as any current
+  /// shard. The parent's update log lineage ends here — subscribers pick
+  /// the new shards up by snapshot under the new map epoch.
   Status SplitShard(const std::string& name, int64_t split_key);
 
   /// Shards of `name`, ascending by range (introspection for tests).
   Result<size_t> ShardCount(const std::string& name) const;
+
+  /// Per-shard write-pipeline telemetry (TELEMETRY.md): the bench and
+  /// vbtree_cli stats surface, and what the auto-split policy consumes.
+  struct DomainStats {
+    std::string dist_name;
+    int64_t lo = 0;
+    int64_t hi = 0;
+    uint64_t ops_enqueued = 0;
+    uint64_t ops_applied = 0;
+    size_t queue_depth = 0;
+    size_t queue_depth_peak = 0;
+    size_t queue_depth_p99 = 0;
+    /// Signer invocations this shard's tree has made (deterministic for
+    /// a given op stream — the o(rows) incremental-split gate and the
+    /// sign_calls_per_insert bench counter read this).
+    uint64_t sign_calls = 0;
+    uint64_t tree_version = 0;
+    size_t rows = 0;
+  };
+  /// Stats for every shard of `name`, ascending by range.
+  Result<std::vector<DomainStats>> TableDomainStats(
+      const std::string& name) const;
+
+  /// Auto-splits performed by the policy thread since startup.
+  uint64_t splits_triggered() const {
+    return splits_triggered_.load(std::memory_order_relaxed);
+  }
 
   /// Copy of the table's current signed PartitionMap.
   Result<PartitionMap> TablePartitionMap(const std::string& name) const;
@@ -220,6 +320,10 @@ class CentralServer {
     UpdateLog log;
     /// Guards heap + log against concurrent export (tree self-latches).
     mutable std::shared_mutex mu;
+    /// The shard's write pipeline: all DML for this shard funnels
+    /// through here (one signer worker, FIFO). Sealed when the shard is
+    /// retired by a split.
+    std::unique_ptr<ShardWriteDomain> domain;
 
     explicit ShardState(size_t log_window) : log(log_window) {}
   };
@@ -255,11 +359,39 @@ class CentralServer {
   std::shared_ptr<ShardState> ShardForKey(const TableState& table,
                                           int64_t key) const;
 
+  /// Shard scaffolding (heap, names, write domain) without a tree —
+  /// split children receive CloneRange output instead.
+  Result<std::shared_ptr<ShardState>> MakeShardShell(const std::string& table,
+                                                     const Schema& schema,
+                                                     uint32_t shard_id,
+                                                     int64_t lo, int64_t hi);
   /// Builds an empty signed shard tree for [lo, hi].
   Result<std::shared_ptr<ShardState>> MakeShard(const std::string& table,
                                                 const Schema& schema,
                                                 uint32_t shard_id, int64_t lo,
                                                 int64_t hi);
+
+  /// Op bodies, run on the owning shard's domain worker. Self-contained:
+  /// they take only the shard's own latches.
+  Status ApplyInsert(ShardState* shard, const Tuple& tuple, txn_id_t txn);
+  Status ApplyDelete(ShardState* shard, int64_t lo, int64_t hi, txn_id_t txn,
+                     size_t* removed);
+
+  /// Serialized DML for tables referenced by a join view (maintenance is
+  /// cross-table; views_mu_ restores the pre-pipeline total order).
+  Status InsertTupleSerial(const std::string& name, const Tuple& tuple,
+                           txn_id_t txn);
+  Result<size_t> DeleteRangeSerial(TableState* state, const std::string& name,
+                                   int64_t lo, int64_t hi, txn_id_t txn);
+  /// Join-view maintenance for one inserted row (caller holds views_mu_).
+  Status MaintainViewsOnInsert(const std::string& name, const Tuple& tuple);
+
+  /// Contention-driven auto-split policy thread.
+  void PolicyLoop();
+  void RunSplitPolicyOnce(
+      std::map<std::string, uint64_t>* ops_baseline,
+      std::map<std::string, std::chrono::steady_clock::time_point>*
+          last_split);
   /// Recomputes, signs and re-serializes `table`'s map from its current
   /// shard layout (layout latch must be held exclusively by the caller,
   /// or the table not yet published).
@@ -288,14 +420,34 @@ class CentralServer {
   std::unique_ptr<InMemoryDiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
 
-  /// Serializes all DML/DDL (single trusted writer, as in the paper).
+  /// Catalog/layout lock: DDL, bulk loads, splits and key rotation only.
+  /// The per-row write path never takes it — rows flow through the
+  /// owning shard's ShardWriteDomain instead (DESIGN.md §10).
   std::mutex dml_mu_;
-  /// Guards the table/view maps themselves (DDL vs lookups).
+  /// Guards the table/view maps themselves (DDL vs lookups). Also held
+  /// shared across the view-membership check *and* the domain enqueue on
+  /// the fast DML path, so CreateJoinView (which registers view_refs_
+  /// under the exclusive lock, then drains the base tables' domains)
+  /// can never miss an in-flight fast-path op.
   mutable std::shared_mutex maps_mu_;
   std::map<std::string, std::unique_ptr<TableState>> tables_;
   std::map<std::string, std::unique_ptr<ViewState>> views_;
   std::vector<std::string> table_order_;
   std::vector<std::string> view_order_;
+  /// Tables referenced by at least one materialized join view (guarded
+  /// by maps_mu_): their DML takes the serialized views_mu_ path.
+  std::multiset<std::string> view_refs_;
+  /// Serializes DML on view-referenced tables and all view maintenance.
+  /// Ops queued on domain workers NEVER take this lock (deadlock-freedom
+  /// rule: a caller may hold it while waiting on a domain future).
+  std::mutex views_mu_;
+
+  // --- auto-split policy thread ---
+  std::thread policy_thread_;
+  std::mutex policy_mu_;
+  std::condition_variable policy_cv_;
+  bool stopping_ = false;
+  std::atomic<uint64_t> splits_triggered_{0};
 };
 
 }  // namespace vbtree

@@ -29,6 +29,16 @@ void Client::RegisterShardedTable(const std::string& table, Schema schema,
                              /*sharded=*/true};
 }
 
+void Client::BeginPinnedRead() {
+  pinned_read_ = true;
+  pinned_epochs_.clear();
+}
+
+void Client::EndPinnedRead() {
+  pinned_read_ = false;
+  pinned_epochs_.clear();
+}
+
 Client::EdgeChannels* Client::ResolveChannels(EdgeServer* edge,
                                               Transport* net) {
   if (net == nullptr) return nullptr;
@@ -52,6 +62,16 @@ Result<const PartitionMap*> Client::VerifyMapBytes(const std::string& table,
     // signature check would recompute the same digest over the same
     // bytes, so skipping it is sound (and keeps the per-query map cost
     // an allocation-free compare on the steady state).
+    if (pinned_read_) {
+      auto [pin, inserted] =
+          pinned_epochs_.try_emplace(table, cached->second.epoch);
+      if (!inserted && pin->second != cached->second.epoch) {
+        return Status::VerificationFailure(
+            "pinned read: partition map of '" + table + "' moved from epoch " +
+            std::to_string(pin->second) + " to " +
+            std::to_string(cached->second.epoch) + " mid-read");
+      }
+    }
     return &cached->second.map;
   }
   ByteReader r{bytes};
@@ -68,12 +88,25 @@ Result<const PartitionMap*> Client::VerifyMapBytes(const std::string& table,
         " below this client's floor " + std::to_string(floor) +
         " (pre-split layout replayed?)");
   }
+  if (pinned_read_) {
+    // Mix rejection happens before the signature work (the epoch is
+    // enough to decide), but a *new* pin records only after the map
+    // authenticates below — a forged map must not seed the pin set.
+    auto pin = pinned_epochs_.find(table);
+    if (pin != pinned_epochs_.end() && pin->second != map.epoch) {
+      return Status::VerificationFailure(
+          "pinned read: partition map of '" + table + "' moved from epoch " +
+          std::to_string(pin->second) + " to " + std::to_string(map.epoch) +
+          " mid-read");
+    }
+  }
   // Key freshness applies to the map exactly as to tree digests: a map
   // signed under an expired key version is rejected here.
   VBT_ASSIGN_OR_RETURN(std::shared_ptr<Recoverer> rec,
                        keys_->RecovererFor(map.key_version, now));
   VBT_RETURN_NOT_OK(map.Verify(rec.get(), meta.algo));
   floor = std::max(floor, map.epoch);
+  if (pinned_read_) pinned_epochs_.try_emplace(table, map.epoch);
   VerifiedMap& slot = maps_[table];
   slot.epoch = map.epoch;
   slot.bytes.assign(bytes.data(), bytes.data() + bytes.size());
@@ -85,7 +118,8 @@ Result<Client::Verified> Client::QueryOne(EdgeServer* edge,
                                           const SelectQuery& wire_query,
                                           const std::string& schema_table,
                                           const TableMeta& meta, uint64_t now,
-                                          Transport* net) {
+                                          Transport* net,
+                                          const ShardEntry* shard) {
   EdgeChannels* channels = ResolveChannels(edge, net);
 
   // --- request over the wire ---
@@ -121,9 +155,21 @@ Result<Client::Verified> Client::QueryOne(EdgeServer* edge,
   CountingRecoverer recoverer(base.get(), &out.counters);
 
   // --- authenticate under the (shard-qualified) digest schema ---
-  DigestSchema ds(db_name_, schema_table, meta.schema, meta.algo,
+  // A lineage shard (split child still in its ancestor's digest domain,
+  // per the client-verified map entry) verifies its per-row and interior
+  // signatures under the ancestor's name, and its VO anchors at the
+  // binding signature tying that root to *this* shard's signed range —
+  // a sibling tree from the same domain can never stand in for it.
+  const bool lineage = shard != nullptr && !shard->lineage.empty();
+  const std::string& digest_table = lineage ? shard->lineage : schema_table;
+  DigestSchema ds(db_name_, digest_table, meta.schema, meta.algo,
                   meta.modulus_bits);
   Verifier verifier(std::move(ds), &recoverer);
+  Verifier::TopBinding binding;
+  if (lineage) {
+    binding = Verifier::TopBinding{schema_table, shard->lo, shard->hi};
+    verifier.set_top_binding(&binding);
+  }
   verifier.set_counters(&out.counters);
   if (verify_fast_path_ && digest_cache_ != nullptr) {
     verifier.set_digest_cache(digest_cache_.get(), resp.vo.key_version);
@@ -228,7 +274,7 @@ Result<Client::Verified> Client::Query(EdgeServer* edge,
       sub.range.lo = std::max(q.range.lo, map.shards[idx].lo);
       sub.range.hi = std::min(q.range.hi, map.shards[idx].hi);
     }
-    auto part = QueryOne(edge, sub, shard, meta, now, net);
+    auto part = QueryOne(edge, sub, shard, meta, now, net, &map.shards[idx]);
     if (!part.ok()) {
       // A shard the signed map dictates is unanswerable: completeness
       // cannot be established, which is an authentication failure (an
@@ -248,7 +294,8 @@ Result<Client::Verified> Client::Query(EdgeServer* edge,
 }
 
 Client::GroupOutcome Client::VerifyBatchGroup(
-    const std::string& schema_table, const TableMeta& meta,
+    const std::string& schema_table, const std::string& digest_table,
+    const Verifier::TopBinding* binding, const TableMeta& meta,
     std::span<const SelectQuery> queries, QueryBatchResponse& resp,
     uint64_t now, BatchVerifier* verifier) {
   GroupOutcome out;
@@ -258,7 +305,7 @@ Client::GroupOutcome Client::VerifyBatchGroup(
   // All VOs of a group normally carry one key version (single tree
   // state); resolve per distinct version anyway so a malformed response
   // cannot alias a stale key onto a fresh one.
-  DigestSchema ds(db_name_, schema_table, meta.schema, meta.algo,
+  DigestSchema ds(db_name_, digest_table, meta.schema, meta.algo,
                   meta.modulus_bits);
   std::map<uint32_t, Result<std::shared_ptr<Recoverer>>> recoverers;
   std::vector<BatchVerifier::Job> jobs;
@@ -289,7 +336,7 @@ Client::GroupOutcome Client::VerifyBatchGroup(
       v.verification = rec_it->second.status();
       continue;
     }
-    BatchVerifier::Job job{&queries[i], &qr.rows, &qr.vo, nullptr};
+    BatchVerifier::Job job{&queries[i], &qr.rows, &qr.vo, nullptr, binding};
     if (fast_path) {
       // Batches at one watermark pay each distinct signed-top recovery
       // once: byte-identical tops already recovered at this (shard,
@@ -382,7 +429,8 @@ Client::GroupOutcome Client::VerifyBatchGroup(
 }
 
 Client::GroupOutcome Client::DeferBatchGroup(
-    const std::string& schema_table, const TableMeta& meta,
+    const std::string& schema_table, const std::string& digest_table,
+    const Verifier::TopBinding* binding, const TableMeta& meta,
     std::span<const SelectQuery> queries, QueryBatchResponse& resp,
     uint64_t now, TrustMode mode) {
   GroupOutcome out;
@@ -420,6 +468,12 @@ Client::GroupOutcome Client::DeferBatchGroup(
 
   AuditTicket ticket;
   ticket.schema_table = schema_table;
+  if (digest_table != schema_table) ticket.digest_table = digest_table;
+  if (binding != nullptr) {
+    ticket.has_binding = true;
+    ticket.bind_lo = binding->lo;
+    ticket.bind_hi = binding->hi;
+  }
   ticket.schema = meta.schema;
   ticket.algo = meta.algo;
   ticket.modulus_bits = meta.modulus_bits;
@@ -512,9 +566,10 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
     const auto verify_start = std::chrono::steady_clock::now();
     GroupOutcome group =
         mode == TrustMode::kCertified
-            ? VerifyBatchGroup(batch.table, meta, b.queries, resp, now,
-                               verifier)
-            : DeferBatchGroup(batch.table, meta, b.queries, resp, now, mode);
+            ? VerifyBatchGroup(batch.table, batch.table, nullptr, meta,
+                               b.queries, resp, now, verifier)
+            : DeferBatchGroup(batch.table, batch.table, nullptr, meta,
+                              b.queries, resp, now, mode);
     out.verify_us = MicrosSince(verify_start);
     out.results = std::move(group.results);
     out.crypto = group.crypto;
@@ -579,11 +634,17 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
     out.stats.Accumulate(resp.stats);
     // Captured before DeferBatchGroup moves the response into its ticket.
     const uint64_t group_version = resp.replica_version;
+    const ShardEntry& entry = map.shards[planned.shard_index];
+    const bool lineage = !entry.lineage.empty();
+    const std::string& digest_table = lineage ? entry.lineage : shard;
+    Verifier::TopBinding binding;
+    if (lineage) binding = Verifier::TopBinding{shard, entry.lo, entry.hi};
     GroupOutcome gv =
         mode == TrustMode::kCertified
-            ? VerifyBatchGroup(shard, meta, slice_queries, resp, now,
-                               verifier)
-            : DeferBatchGroup(shard, meta, slice_queries, resp, now, mode);
+            ? VerifyBatchGroup(shard, digest_table, lineage ? &binding : nullptr,
+                               meta, slice_queries, resp, now, verifier)
+            : DeferBatchGroup(shard, digest_table, lineage ? &binding : nullptr,
+                              meta, slice_queries, resp, now, mode);
     out.crypto.Add(gv.crypto);
     out.top_memo_hits += gv.top_memo_hits;
     out.deferred_queries += gv.deferred;

@@ -93,6 +93,20 @@ class Client {
                             HashAlgorithm algo = HashAlgorithm::kSha256,
                             int modulus_bits = 128);
 
+  /// Multi-statement read consistency across partition-map generations.
+  /// Between Begin/EndPinnedRead, the first map epoch this client
+  /// authenticates for each table is pinned; a map for the same table at
+  /// any *other* epoch — older or newer — then fails verification
+  /// instead of silently mixing shard layouts mid-read. Without the pin,
+  /// a concurrent shard split could serve statement 1 under the pre-split
+  /// layout and statement 2 under the post-split one: each answer
+  /// authenticates individually, but the pair is not a consistent cut.
+  /// On rejection the caller ends the pinned read and retries against
+  /// the new generation. Begin clears any previous pin set; nesting is
+  /// not supported (Begin while pinned just resets the pin set).
+  void BeginPinnedRead();
+  void EndPinnedRead();
+
   /// Outcome of one authenticated query.
   struct Verified {
     std::vector<ResultRow> rows;
@@ -241,12 +255,17 @@ class Client {
                                              Slice bytes, uint64_t now);
 
   /// One wire query against `edge`, authenticated under `schema_table`
-  /// (the shard-qualified digest schema and watermark key; equals
-  /// wire_query.table for unsharded tables).
+  /// (the shard-qualified watermark key; equals wire_query.table for
+  /// unsharded tables). `shard` — the client-verified map entry, when
+  /// sharded — selects the digest schema: a lineage shard (split child
+  /// still in its ancestor's digest domain) verifies under
+  /// `shard->lineage` with the VO anchored at the shard binding
+  /// signature for `schema_table`'s signed range.
   Result<Verified> QueryOne(EdgeServer* edge, const SelectQuery& wire_query,
                             const std::string& schema_table,
                             const TableMeta& meta, uint64_t now,
-                            Transport* net);
+                            Transport* net,
+                            const ShardEntry* shard = nullptr);
 
   /// Folds one shard's verified part into a scattered query's merged
   /// outcome (rows append in shard order, cross-shard boundary check,
@@ -255,10 +274,15 @@ class Client {
                                 bool first_part);
 
   /// Verifies the per-query VOs of one coalesced response against
-  /// `queries` under `schema_table`'s digest schema; updates the
-  /// schema_table watermark. The extracted core shared by the unsharded
-  /// batch path and every shard group of a scattered batch.
+  /// `queries` under `digest_table`'s digest schema (== schema_table
+  /// except for lineage shards); updates the schema_table watermark.
+  /// `binding`, when non-null, anchors every VO at the shard binding
+  /// signature (lineage shards; must outlive the call). The extracted
+  /// core shared by the unsharded batch path and every shard group of a
+  /// scattered batch.
   GroupOutcome VerifyBatchGroup(const std::string& schema_table,
+                                const std::string& digest_table,
+                                const Verifier::TopBinding* binding,
                                 const TableMeta& meta,
                                 std::span<const SelectQuery> queries,
                                 QueryBatchResponse& resp, uint64_t now,
@@ -271,6 +295,8 @@ class Client {
   /// (blocking when its bounded queue is full). Never touches
   /// `freshness_`: only audited answers define lazy-mode freshness.
   GroupOutcome DeferBatchGroup(const std::string& schema_table,
+                               const std::string& digest_table,
+                               const Verifier::TopBinding* binding,
                                const TableMeta& meta,
                                std::span<const SelectQuery> queries,
                                QueryBatchResponse& resp, uint64_t now,
@@ -286,6 +312,11 @@ class Client {
   /// one this client has accepted can never verify again.
   std::map<std::string, VerifiedMap> maps_;
   std::map<std::string, uint64_t> map_floor_;
+  /// BeginPinnedRead state: per-table epoch pinned at first map
+  /// authentication inside the pinned read. Pins record only after the
+  /// map verified — a forged map cannot poison the pin set.
+  bool pinned_read_ = false;
+  std::map<std::string, uint64_t> pinned_epochs_;
   std::shared_ptr<RecoveredDigestCache> digest_cache_;
   bool verify_fast_path_ = true;
   /// Per-shard signed-top memo: batches at one watermark pay the top

@@ -102,6 +102,10 @@ Digest PartitionMap::ContentDigest(HashAlgorithm algo) const {
     w.PutU32(s.shard_id);
     w.PutI64(s.lo);
     w.PutI64(s.hi);
+    // Length-prefixed, so an empty lineage is still an unambiguous byte
+    // in the preimage — "no lineage" and "lineage ''" cannot collide
+    // with a crafted neighboring field.
+    w.PutString(s.lineage);
   }
   return HashToDigest(algo, Slice(w.buffer()));
 }
@@ -136,6 +140,7 @@ void PartitionMap::Serialize(ByteWriter* w) const {
     w->PutU32(s.shard_id);
     w->PutI64(s.lo);
     w->PutI64(s.hi);
+    w->PutString(s.lineage);
   }
   w->PutLengthPrefixed(Slice(sig.data(), sig.size()));
 }
@@ -155,6 +160,7 @@ Result<PartitionMap> PartitionMap::Deserialize(ByteReader* r) {
     VBT_ASSIGN_OR_RETURN(s.shard_id, r->ReadU32());
     VBT_ASSIGN_OR_RETURN(s.lo, r->ReadI64());
     VBT_ASSIGN_OR_RETURN(s.hi, r->ReadI64());
+    VBT_ASSIGN_OR_RETURN(s.lineage, r->ReadString());
     map.shards.push_back(s);
   }
   VBT_ASSIGN_OR_RETURN(Slice sig_bytes, r->ReadLengthPrefixed());

@@ -26,6 +26,16 @@ struct ShardEntry {
   /// query can never fall "between" shards.
   int64_t lo = 0;
   int64_t hi = 0;
+  /// Lineage (DESIGN.md §10): the digest-schema table name of the split
+  /// ancestor whose per-row signatures this shard still carries. Empty
+  /// for shards signed under their own distribution name. When set, the
+  /// shard's VOs anchor at a root *binding* signature over
+  /// (shard name, lo, hi, root digest) instead of a raw root signature —
+  /// the binding is what stops a sibling shard (same lineage, same key)
+  /// from being substituted. Part of the signed content digest: a
+  /// malicious edge cannot strip or alter it without breaking the map
+  /// signature.
+  std::string lineage;
 };
 
 /// The signed, epoch-versioned shard layout of one table (the

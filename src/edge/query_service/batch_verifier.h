@@ -64,6 +64,11 @@ class BatchVerifier {
     /// client's per-(table, replica_version) memo); skips that one
     /// recovery, never the digest comparison. May be null.
     const Digest* known_top = nullptr;
+    /// Lineage-shard root anchoring (Verifier::set_top_binding): non-null
+    /// when the shard's digest domain is shared with split siblings and
+    /// the VO anchors at the signed shard binding. Caller-owned; must
+    /// stay alive for the duration of VerifyAll.
+    const Verifier::TopBinding* binding = nullptr;
   };
 
   struct Outcome {

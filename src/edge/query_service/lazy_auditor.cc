@@ -156,8 +156,12 @@ void LazyAuditor::AuditOne(AuditTicket ticket) {
   // The deferred check is the certified check, verbatim: same
   // DigestSchema, same BatchVerifier, same once-per-pool recovery, same
   // signed-top memo — only the schedule moved (DESIGN.md §9).
-  DigestSchema ds(db_name_, ticket.schema_table, ticket.schema, ticket.algo,
-                  ticket.modulus_bits);
+  DigestSchema ds(db_name_,
+                  ticket.digest_table.empty() ? ticket.schema_table
+                                              : ticket.digest_table,
+                  ticket.schema, ticket.algo, ticket.modulus_bits);
+  Verifier::TopBinding binding{ticket.schema_table, ticket.bind_lo,
+                               ticket.bind_hi};
   QueryBatchResponse& resp = ticket.resp;
 
   std::vector<Alarm> new_alarms;
@@ -199,6 +203,7 @@ void LazyAuditor::AuditOne(AuditTicket ticket) {
       continue;
     }
     BatchVerifier::Job job{&ticket.queries[i], &qr.rows, &qr.vo, nullptr};
+    if (ticket.has_binding) job.binding = &binding;
     job.known_top = top_memo_.Lookup(ticket.schema_table,
                                      resp.replica_version, kv,
                                      qr.vo.signed_top);

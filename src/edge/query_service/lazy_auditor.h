@@ -35,6 +35,15 @@ struct AuditTicket {
   /// Digest-schema domain and audited-watermark key (shard-qualified for
   /// sharded tables; equals the client-facing table otherwise).
   std::string schema_table;
+  /// Lineage shards (DESIGN.md §10): the digest-schema table name when it
+  /// differs from schema_table — the shard inherited its split parent's
+  /// digest domain. Empty = use schema_table.
+  std::string digest_table;
+  /// When true, VOs anchor at the shard binding signature: verify with
+  /// Verifier::TopBinding{schema_table, bind_lo, bind_hi}.
+  bool has_binding = false;
+  int64_t bind_lo = 0;
+  int64_t bind_hi = 0;
   Schema schema;
   HashAlgorithm algo = HashAlgorithm::kSha256;
   int modulus_bits = 128;

@@ -37,4 +37,22 @@ Digest DigestSchema::TupleDigest(const Tuple& t) const {
   return ghash_.Combine(attrs);
 }
 
+Digest ShardBindingDigest(HashAlgorithm algo, const std::string& db_name,
+                          const std::string& verify_name, int64_t lo,
+                          int64_t hi, const Digest& root_digest) {
+  // Length-prefixed fields, same anti-collision discipline as
+  // AttributeDigest. Deliberately NOT versioned: an old root digest under
+  // a valid binding is mere staleness, which replica-version watermarks
+  // already police; putting the tree version in the preimage would force
+  // a re-sign on version bumps that leave the root digest unchanged
+  // (no-op deletes).
+  ByteWriter w(64);
+  w.PutString(db_name);
+  w.PutString(verify_name);
+  w.PutI64(lo);
+  w.PutI64(hi);
+  w.PutBytes(root_digest.AsSlice());
+  return HashToDigest(algo, Slice(w.buffer()));
+}
+
 }  // namespace vbtree

@@ -75,6 +75,22 @@ class DigestSchema {
   CryptoCounters* counters_ = nullptr;
 };
 
+/// Binding digest for a shard's root anchor when the shard shares its
+/// digest-schema name with split siblings (lineage shards, DESIGN.md §10).
+/// Incremental SplitShard hands both children the parent's digest-schema
+/// name so every per-tuple and per-node signature transfers without
+/// re-signing — which also means a node signature alone no longer proves
+/// WHICH sibling's tree it came from. The central server therefore signs,
+/// per shard, h(db | verify_name | lo | hi | root_digest), where
+/// verify_name is the shard's own (unique) distribution name and [lo, hi]
+/// its key range from the signed PartitionMap. Clients anchor lineage-
+/// shard VOs at this binding instead of a raw node signature: a sibling's
+/// tree (same digest domain, different range/name) can no longer stand in
+/// for an overlapping shard or prove its ranges empty.
+Digest ShardBindingDigest(HashAlgorithm algo, const std::string& db_name,
+                          const std::string& verify_name, int64_t lo,
+                          int64_t hi, const Digest& root_digest);
+
 }  // namespace vbtree
 
 #endif  // VBTREE_VBTREE_DIGEST_SCHEMA_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <thread>
 #include <unordered_map>
@@ -68,6 +69,12 @@ struct VBTree::NodeContent {
   /// against this instead of the node word, so churn outside a query's
   /// envelope cannot invalidate the query (see DESIGN.md §8.2).
   uint64_t struct_version = 0;
+  /// Shard binding signature — meaningful only on the root snapshot of a
+  /// tree with a placement (lineage shards): s(ShardBindingDigest(db,
+  /// verify_name, lo, hi, digest)). Riding the root snapshot keeps it
+  /// atomic with the digest it covers under latch-free reads; on every
+  /// other node it stays empty.
+  Signature binding;
 
   virtual ~NodeContent() = default;
 };
@@ -363,7 +370,7 @@ VBTree::VBTree(DigestSchema digest_schema, VBTreeOptions opts, Signer* signer,
   Leaf* c = new Leaf();
   c->digest = ds_.ghash().Identity();
   if (signer_ != nullptr) {
-    auto sig = signer_->Sign(c->digest);
+    auto sig = SignCounted(c->digest);
     if (sig.ok()) c->sig = sig.MoveValueUnsafe();
   }
   root_.store(new Node(NextNodeId(), /*leaf=*/true, c),
@@ -373,6 +380,7 @@ VBTree::VBTree(DigestSchema digest_schema, VBTreeOptions opts, Signer* signer,
 VBTree::~VBTree() {
   reclaimer_.DrainAll();
   DeleteSubtree(root_.load(std::memory_order_relaxed));
+  delete placement_.load(std::memory_order_relaxed);
 }
 
 void VBTree::DeleteSubtree(Node* node) {
@@ -390,6 +398,11 @@ void VBTree::DeleteSubtree(Node* node) {
 // Digest maintenance (central server).
 // ---------------------------------------------------------------------------
 
+Result<Signature> VBTree::SignCounted(const Digest& d) {
+  sign_calls_.fetch_add(1, std::memory_order_relaxed);
+  return signer_->Sign(d);
+}
+
 Status VBTree::ResignNode(NodeContent* content) {
   if (replay_feed_ != nullptr) {
     // Delta replay: splice in the signature the central server produced
@@ -406,8 +419,49 @@ Status VBTree::ResignNode(NodeContent* content) {
         "tree replica has no signing key (updates must go to the central "
         "server, §3.4)");
   }
-  VBT_ASSIGN_OR_RETURN(content->sig, signer_->Sign(content->digest));
+  VBT_ASSIGN_OR_RETURN(content->sig, SignCounted(content->digest));
   if (signature_log_ != nullptr) signature_log_->push_back(content->sig);
+  return Status::OK();
+}
+
+Status VBTree::RefreshBindingForCommit() {
+  const ShardPlacement* p = placement_.load(std::memory_order_relaxed);
+  if (p == nullptr) return Status::OK();
+  Node* root = wctx_->new_root != nullptr
+                   ? wctx_->new_root
+                   : root_.load(std::memory_order_relaxed);
+  NodeContent* c;
+  auto it = wctx_->dirty.find(root);
+  if (it != wctx_->dirty.end()) {
+    c = it->second;
+  } else if (wctx_->new_root != nullptr) {
+    // Root collapse promoted an untouched child (all deleted keys lived
+    // in removed siblings): its digest IS the new root digest, so it must
+    // carry the binding. Cloning it republishes with the routing
+    // generation intact. This branch is deterministic — edge replay takes
+    // it in exactly the same structural state.
+    c = root->is_leaf ? static_cast<NodeContent*>(MutableLeaf(root))
+                      : static_cast<NodeContent*>(MutableInternal(root));
+  } else {
+    return Status::OK();  // root digest unchanged; old binding still valid
+  }
+  Digest bd = ShardBindingDigest(opts_.hash_algo, ds_.db_name(),
+                                 p->verify_name, p->lo, p->hi, c->digest);
+  if (replay_feed_ != nullptr) {
+    if (replay_feed_->empty()) {
+      return Status::Corruption("update-delta signature feed exhausted");
+    }
+    c->binding = std::move(replay_feed_->front());
+    replay_feed_->pop_front();
+    return Status::OK();
+  }
+  if (signer_ == nullptr) {
+    return Status::InvalidArgument(
+        "tree replica has no signing key (updates must go to the central "
+        "server, §3.4)");
+  }
+  VBT_ASSIGN_OR_RETURN(c->binding, SignCounted(bd));
+  if (signature_log_ != nullptr) signature_log_->push_back(c->binding);
   return Status::OK();
 }
 
@@ -449,11 +503,11 @@ Result<VBTree::LeafEntry> VBTree::MakeLeafEntry(const Tuple& tuple,
   std::vector<Digest> attrs = ds_.AttributeDigests(tuple);
   e.attr_sigs.reserve(attrs.size());
   for (const Digest& a : attrs) {
-    VBT_ASSIGN_OR_RETURN(Signature s, signer_->Sign(a));
+    VBT_ASSIGN_OR_RETURN(Signature s, SignCounted(a));
     e.attr_sigs.push_back(std::move(s));
   }
   e.tuple_digest = ds_.CombineDigests(attrs);
-  VBT_ASSIGN_OR_RETURN(e.tuple_sig, signer_->Sign(e.tuple_digest));
+  VBT_ASSIGN_OR_RETURN(e.tuple_sig, SignCounted(e.tuple_digest));
   return e;
 }
 
@@ -537,6 +591,10 @@ Status VBTree::BulkLoad(std::span<const std::pair<Tuple, Rid>> rows) {
   RemoveNode(root_.load(std::memory_order_relaxed));  // the ctor's empty leaf
   wctx_->new_root = level[0];
   size_.store(rows.size(), std::memory_order_relaxed);
+  {
+    Status s = RefreshBindingForCommit();
+    if (!s.ok()) return fail(s);
+  }
   // No version bump: bulk load defines version 0, exactly as before.
   CommitWrite(/*bump_version=*/false);
   return Status::OK();
@@ -669,6 +727,13 @@ Status VBTree::InsertEntry(LeafEntry entry) {
       return s;
     }
     wctx_->new_root = new_root_node;
+  }
+  {
+    Status s = RefreshBindingForCommit();
+    if (!s.ok()) {
+      AbortWrite();
+      return s;
+    }
   }
   size_.fetch_add(1, std::memory_order_relaxed);
   CommitWrite(/*bump_version=*/true);
@@ -872,6 +937,10 @@ Result<size_t> VBTree::DeleteRangeLocked(int64_t lo, int64_t hi) {
     }
   }
   if (root != root_.load(std::memory_order_relaxed)) wctx_->new_root = root;
+  {
+    Status s = RefreshBindingForCommit();
+    if (!s.ok()) return fail(s);
+  }
   size_.fetch_sub(removed, std::memory_order_relaxed);
   CommitWrite(/*bump_version=*/true);
   return removed;
@@ -886,6 +955,26 @@ const VBTree::Node* VBTree::FindEnvelopeTop(const KeyRange& range, ReadGuard* g,
   const Node* node = (g != nullptr)
                          ? g->root_seen
                          : root_.load(std::memory_order_acquire);
+  if (placement_.load(std::memory_order_acquire) != nullptr) {
+    // Lineage shard: the only signature that proves THIS shard's identity
+    // (name + range) is the root's binding, so every VO anchors at the
+    // root — the descent-to-LCA shortcut would anchor at a node signature
+    // a sibling's tree could replay. The root joins the exact read set
+    // (its binding and digest must come from one word era), which does
+    // cost lineage shards the envelope-top read independence: any
+    // concurrent commit restarts in-flight reads here. That is the
+    // deliberate price of O(height) splits; RotateKey's re-sign clears
+    // the lineage and restores envelope-top anchoring (DESIGN.md §10).
+    const NodeContent* c;
+    if (g != nullptr) {
+      c = g->Read(node);
+      if (c == nullptr) return nullptr;
+    } else {
+      c = ColdRead(node);
+    }
+    *top_sig = c->binding;
+    return node;
+  }
   // Descend on routing-only reads: the nodes above the envelope top
   // contribute nothing to the answer but child choice, so they must not
   // tie the attempt to their version words — every insert anywhere in
@@ -1319,11 +1408,11 @@ Status VBTree::ResignRec(Node* node, const TupleFetcher& fetch) {
       e.attr_sigs.clear();
       e.attr_sigs.reserve(attrs.size());
       for (const Digest& a : attrs) {
-        VBT_ASSIGN_OR_RETURN(Signature s, signer_->Sign(a));
+        VBT_ASSIGN_OR_RETURN(Signature s, SignCounted(a));
         e.attr_sigs.push_back(std::move(s));
       }
       e.tuple_digest = ds_.CombineDigests(attrs);
-      VBT_ASSIGN_OR_RETURN(e.tuple_sig, signer_->Sign(e.tuple_digest));
+      VBT_ASSIGN_OR_RETURN(e.tuple_sig, SignCounted(e.tuple_digest));
     }
     return RecomputeLeafDigest(leaf);
   }
@@ -1335,22 +1424,44 @@ Status VBTree::ResignRec(Node* node, const TupleFetcher& fetch) {
 }
 
 Status VBTree::ResignAll(Signer* new_signer, uint32_t new_key_version,
-                         const TupleFetcher& fetch) {
+                         const TupleFetcher& fetch,
+                         const std::string* rebind_table_name) {
   if (new_signer == nullptr) {
     return Status::InvalidArgument("ResignAll requires a signer");
   }
   std::unique_lock latch(writer_mu_);
   Signer* old_signer = signer_;
   const uint32_t old_key_version = opts_.key_version;
+  DigestSchema old_ds = ds_;
   signer_ = new_signer;
   opts_.key_version = new_key_version;
+  if (rebind_table_name != nullptr) {
+    // Retire the lineage: every signature is being recomputed anyway, so
+    // re-home the digest domain under the shard's own name. The placement
+    // (and its per-write binding refresh) is cleared below on success.
+    ds_ = DigestSchema(old_ds.db_name(), *rebind_table_name, old_ds.schema(),
+                       old_ds.hash_algorithm(), old_ds.modulus_bits());
+    ds_.set_counters(counters_);
+  }
   BeginWrite();
   Status s = ResignRec(root_.load(std::memory_order_relaxed), fetch);
+  if (s.ok() && rebind_table_name == nullptr) {
+    // A kept placement must re-cover the re-signed root digest.
+    s = RefreshBindingForCommit();
+  }
   if (!s.ok()) {
     AbortWrite();
     signer_ = old_signer;
     opts_.key_version = old_key_version;
+    ds_ = std::move(old_ds);
     return s;
+  }
+  if (rebind_table_name != nullptr) {
+    const ShardPlacement* old_placement = placement_.exchange(
+        nullptr, std::memory_order_release);
+    if (old_placement != nullptr) {
+      reclaimer_.Retire([old_placement] { delete old_placement; });
+    }
   }
   // Publish the new key version together with the re-signed tree; the
   // version bump invalidates every replica so the propagation layer
@@ -1358,6 +1469,104 @@ Status VBTree::ResignAll(Signer* new_signer, uint32_t new_key_version,
   key_version_.store(new_key_version, std::memory_order_release);
   CommitWrite(/*bump_version=*/true);
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Shard placement + incremental-split surgery (DESIGN.md §10).
+// ---------------------------------------------------------------------------
+
+Status VBTree::BindPlacement(std::string verify_name, int64_t lo, int64_t hi) {
+  if (signer_ == nullptr) {
+    return Status::InvalidArgument(
+        "BindPlacement requires the signing key (central server only)");
+  }
+  if (lo > hi) return Status::InvalidArgument("empty placement range");
+  std::unique_lock latch(writer_mu_);
+  auto* p = new ShardPlacement{std::move(verify_name), lo, hi};
+  // Pre-publication by contract: no reader holds the tree yet, so the
+  // root snapshot can be patched in place (no clone/word ceremony).
+  Node* root = root_.load(std::memory_order_relaxed);
+  NodeContent* c = root->content.load(std::memory_order_relaxed);
+  Digest bd = ShardBindingDigest(opts_.hash_algo, ds_.db_name(),
+                                 p->verify_name, p->lo, p->hi, c->digest);
+  auto sig_or = SignCounted(bd);
+  if (!sig_or.ok()) {
+    delete p;
+    return sig_or.status();
+  }
+  c->binding = sig_or.MoveValueUnsafe();
+  delete placement_.exchange(p, std::memory_order_release);
+  return Status::OK();
+}
+
+Signature VBTree::binding_signature() const {
+  std::shared_lock latch(writer_mu_);
+  return ColdRead(root_.load(std::memory_order_acquire))->binding;
+}
+
+VBTree::Node* VBTree::CloneSubtree(const Node* src, const RidRemap& remap,
+                                   VBTree* dst) const {
+  const NodeContent* c = ColdRead(src);
+  if (src->is_leaf) {
+    auto* leaf = new Leaf(*static_cast<const Leaf*>(c));
+    leaf->struct_version = 0;
+    leaf->binding.clear();
+    // Digest preimages bind db/table/attr/key/value — never the Rid — so
+    // remapping the tuple pointers into the child's heap leaves every
+    // copied signature valid verbatim.
+    for (LeafEntry& e : leaf->entries) e.rid = remap(e.rid);
+    return new Node(dst->NextNodeId(), /*leaf=*/true, leaf);
+  }
+  const auto* src_in = static_cast<const Internal*>(c);
+  auto* in = new Internal();
+  in->digest = c->digest;
+  in->exponent = c->exponent;
+  in->sig = c->sig;
+  in->keys = src_in->keys;
+  in->children.reserve(src_in->children.size());
+  for (const Node* ch : src_in->children) {
+    in->children.push_back(CloneSubtree(ch, remap, dst));
+  }
+  return new Node(dst->NextNodeId(), /*leaf=*/false, in);
+}
+
+Result<std::unique_ptr<VBTree>> VBTree::CloneRange(std::string verify_name,
+                                                   int64_t lo, int64_t hi,
+                                                   const RidRemap& remap) const {
+  if (signer_ == nullptr) {
+    return Status::InvalidArgument(
+        "CloneRange requires the signing key (central server only)");
+  }
+  if (lo > hi) return Status::InvalidArgument("empty clone range");
+  auto child = std::unique_ptr<VBTree>(
+      new VBTree(ds_, opts_, signer_, lock_manager_));
+  child->counters_ = counters_;
+  {
+    std::shared_lock latch(writer_mu_);
+    Node* new_root =
+        CloneSubtree(root_.load(std::memory_order_acquire), remap, child.get());
+    DeleteSubtree(child->root_.load(std::memory_order_relaxed));
+    child->root_.store(new_root, std::memory_order_relaxed);
+    child->size_.store(size_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    child->opts_.key_version = opts_.key_version;
+    child->key_version_.store(key_version_.load(std::memory_order_acquire),
+                              std::memory_order_relaxed);
+  }
+  // Trim the full copy down to [lo, hi]: two boundary range-deletes whose
+  // re-signing cost is O(height) — the split's entire crypto bill.
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (lo != kMin) {
+    VBT_RETURN_NOT_OK(child->DeleteRangeLocked(kMin, lo - 1).status());
+  }
+  if (hi != kMax) {
+    VBT_RETURN_NOT_OK(child->DeleteRangeLocked(hi + 1, kMax).status());
+  }
+  // The child is a fresh distribution lineage: version 0, like BulkLoad.
+  child->version_.store(0, std::memory_order_relaxed);
+  VBT_RETURN_NOT_OK(child->BindPlacement(std::move(verify_name), lo, hi));
+  return child;
 }
 
 // ---------------------------------------------------------------------------
@@ -1442,6 +1651,19 @@ Result<size_t> VBTree::AuditSignatures(Recoverer* recoverer) const {
   VBT_RETURN_NOT_OK(CheckDigestRec(root_.load(std::memory_order_acquire)));
   // Then check every stored signature against its digest.
   size_t audited = 0;
+  if (const ShardPlacement* p = placement_.load(std::memory_order_acquire);
+      p != nullptr) {
+    const NodeContent* rc = ColdRead(root_.load(std::memory_order_acquire));
+    VBT_ASSIGN_OR_RETURN(Digest bd, recoverer->Recover(rc->binding));
+    Digest expect = ShardBindingDigest(opts_.hash_algo, ds_.db_name(),
+                                       p->verify_name, p->lo, p->hi,
+                                       rc->digest);
+    if (!(bd == expect)) {
+      return Status::VerificationFailure(
+          "root placement binding signature does not match");
+    }
+    audited++;
+  }
   std::vector<const Node*> stack{root_.load(std::memory_order_acquire)};
   while (!stack.empty()) {
     const Node* n = stack.back();
@@ -1624,6 +1846,18 @@ void VBTree::SerializeTo(ByteWriter* w) const {
   w->PutU32(static_cast<uint32_t>(opts_.config.max_leaf));
   w->PutVarint(size_.load(std::memory_order_relaxed));
   w->PutVarint(version_.load(std::memory_order_relaxed));
+  // Shard-placement section (lineage shards): the binding signature ships
+  // with the snapshot so edge replicas can root-anchor VOs immediately;
+  // later refreshes ride the delta stream's signature feed.
+  const ShardPlacement* p = placement_.load(std::memory_order_acquire);
+  w->PutU8(p != nullptr ? 1 : 0);
+  if (p != nullptr) {
+    w->PutString(p->verify_name);
+    w->PutI64(p->lo);
+    w->PutI64(p->hi);
+    const NodeContent* rc = ColdRead(root_.load(std::memory_order_acquire));
+    w->PutLengthPrefixed(Slice(rc->binding.data(), rc->binding.size()));
+  }
   SerializeNode(root_.load(std::memory_order_acquire), w);
 }
 
@@ -1730,6 +1964,20 @@ Result<std::unique_ptr<VBTree>> VBTree::Deserialize(ByteReader* r,
   opts.config.max_leaf = static_cast<int>(max_leaf);
   VBT_ASSIGN_OR_RETURN(uint64_t size, r->ReadVarint());
   VBT_ASSIGN_OR_RETURN(uint64_t version, r->ReadVarint());
+  VBT_ASSIGN_OR_RETURN(uint8_t has_placement, r->ReadU8());
+  if (has_placement > 1) return Status::Corruption("bad placement flag");
+  ShardPlacement placement;
+  Signature binding;
+  if (has_placement != 0) {
+    VBT_ASSIGN_OR_RETURN(placement.verify_name, r->ReadString());
+    VBT_ASSIGN_OR_RETURN(placement.lo, r->ReadI64());
+    VBT_ASSIGN_OR_RETURN(placement.hi, r->ReadI64());
+    if (placement.lo > placement.hi) {
+      return Status::Corruption("bad placement range");
+    }
+    VBT_ASSIGN_OR_RETURN(Slice b, r->ReadLengthPrefixed());
+    binding.assign(b.data(), b.data() + b.size());
+  }
 
   DigestSchema ds(db, table, schema, opts.hash_algo, opts.modulus_bits);
   auto tree = std::unique_ptr<VBTree>(
@@ -1742,6 +1990,12 @@ Result<std::unique_ptr<VBTree>> VBTree::Deserialize(ByteReader* r,
   // has not been published to any reader yet.
   DeleteSubtree(tree->root_.load(std::memory_order_relaxed));
   tree->root_.store(new_root, std::memory_order_relaxed);
+  if (has_placement != 0) {
+    new_root->content.load(std::memory_order_relaxed)->binding =
+        std::move(binding);
+    tree->placement_.store(new ShardPlacement(std::move(placement)),
+                           std::memory_order_relaxed);
+  }
   tree->size_.store(size, std::memory_order_relaxed);
   tree->version_.store(version, std::memory_order_relaxed);
   tree->next_node_id_ = max_id + 1;

@@ -196,6 +196,65 @@ class VBTree {
 
   Digest root_digest() const;
   Signature root_signature() const;
+
+  // --- shard placement binding (lineage shards, DESIGN.md §10) ----------
+  //
+  // An incremental shard split (CloneRange) hands the child the parent's
+  // digest-schema name, so all per-tuple/per-node signatures transfer
+  // without re-signing. The child then carries a *placement*: its own
+  // distribution name and key range, plus a signed binding digest
+  // ShardBindingDigest(db, verify_name, lo, hi, root_digest) stored with
+  // the root snapshot. Trees with a placement anchor every VO at the
+  // root's binding signature instead of the envelope top's node
+  // signature (FindEnvelopeTop), and the binding is refreshed —
+  // deterministically, riding the same signature log / replay feed as
+  // node re-signs — whenever a committed write changes the root digest.
+
+  struct ShardPlacement {
+    std::string verify_name;  ///< the shard's own distribution name
+    int64_t lo = 0;           ///< inclusive key range from the PartitionMap
+    int64_t hi = 0;
+  };
+
+  /// Installs a placement and signs the current root's binding. Central
+  /// side, pre-publication only (no concurrent readers yet): CloneRange
+  /// calls it on the freshly trimmed child, tests may call it directly
+  /// after BulkLoad.
+  Status BindPlacement(std::string verify_name, int64_t lo, int64_t hi);
+
+  bool has_placement() const {
+    return placement_.load(std::memory_order_acquire) != nullptr;
+  }
+  /// Null when the tree has no placement. The pointee is immutable.
+  const ShardPlacement* placement() const {
+    return placement_.load(std::memory_order_acquire);
+  }
+  /// Current root binding signature (empty when no placement).
+  Signature binding_signature() const;
+
+  /// Deep-copies this tree — shells, snapshots, digests, signatures and
+  /// cached exponents, with every leaf Rid passed through `remap` — then
+  /// trims the copy to [lo, hi] with two boundary range-deletes and binds
+  /// `verify_name` over the result. Because digest preimages never
+  /// mention Rids, the remapped copy's signatures stay valid verbatim;
+  /// only the two root-to-boundary paths (plus the binding) are re-signed
+  /// — O(height), not O(rows), the whole point of incremental SplitShard.
+  /// The returned tree starts at version 0 with this tree's key version.
+  /// Caller must quiesce writers on this tree (the copy holds writer_mu_
+  /// shared, but a sound split wants a drained DML queue anyway).
+  using RidRemap = std::function<Rid(const Rid&)>;
+  Result<std::unique_ptr<VBTree>> CloneRange(std::string verify_name,
+                                             int64_t lo, int64_t hi,
+                                             const RidRemap& remap) const;
+
+  /// Signer invocations this tree has made (attribute/tuple/node/binding
+  /// signatures), monotone. The split-cost gate: after CloneRange the
+  /// child's count is O(height), and sign_calls_per_insert in the bench
+  /// derives from deltas of this counter.
+  uint64_t sign_calls() const {
+    return sign_calls_.load(std::memory_order_relaxed);
+  }
+
   uint32_t key_version() const {
     // Atomic shadow of opts_.key_version: the latch-free query path stamps
     // it into every VO while ResignAll (exclusive writer) may be rotating.
@@ -274,14 +333,23 @@ class VBTree {
       LockManager* lock_manager = nullptr);
 
   /// Routes Cost_h/Cost_k accounting for digest computation.
-  void set_counters(CryptoCounters* counters) { ds_.set_counters(counters); }
+  void set_counters(CryptoCounters* counters) {
+    counters_ = counters;
+    ds_.set_counters(counters);
+  }
 
   /// Key rotation (§3.4 delayed update propagation): recomputes and
   /// re-signs every digest in the tree under `new_signer`, stamping
   /// `new_key_version`. `fetch` supplies tuple values for recomputing
   /// attribute digests (the central server reads its own base table).
+  /// When `rebind_table_name` is non-null the digest schema's table name
+  /// is swapped to it first and any placement is cleared — how RotateKey
+  /// retires a lineage shard: the O(rows) re-sign it must pay anyway
+  /// re-homes every signature under the shard's own name, so the root
+  /// binding (and its VO-anchoring cost) is no longer needed.
   Status ResignAll(Signer* new_signer, uint32_t new_key_version,
-                   const TupleFetcher& fetch);
+                   const TupleFetcher& fetch,
+                   const std::string* rebind_table_name = nullptr);
 
   // --- delta propagation (§3.4 "propagate the changes periodically") ----
   //
@@ -372,6 +440,19 @@ class VBTree {
   Status ResignNode(NodeContent* content);
   Status RecomputeLeafDigest(Leaf* leaf);
   Status RecomputeInternalDigest(Internal* in);
+  /// signer_->Sign plus the sign_calls_ tick — every signature this tree
+  /// produces goes through here so the counter is exact.
+  Result<Signature> SignCounted(const Digest& d);
+  /// Re-signs the post-op root's binding when a placement is installed
+  /// and this write changed the root digest (or swapped the root). Called
+  /// between the op body and CommitWrite; consumes the replay feed /
+  /// appends to the signature log exactly like ResignNode, so edge replay
+  /// stays deterministic.
+  Status RefreshBindingForCommit();
+  /// CloneRange's recursive deep copy into `dst` (fresh shell ids,
+  /// remapped Rids, binding fields cleared).
+  Node* CloneSubtree(const Node* src, const RidRemap& remap,
+                     VBTree* dst) const;
 
   // --- build helpers ---
   Result<LeafEntry> MakeLeafEntry(const Tuple& tuple, const Rid& rid);
@@ -447,6 +528,15 @@ class VBTree {
   VBTreeOptions opts_;
   Signer* signer_;            // null on edge replicas
   LockManager* lock_manager_; // optional
+  CryptoCounters* counters_ = nullptr;  // mirror of ds_'s sink (for rebinds)
+  /// Shard placement (lineage shards). Set pre-publication (BindPlacement,
+  /// Deserialize) or cleared under exclusive writer_mu_ (ResignAll with
+  /// rename); atomic so latch-free readers can test it without racing the
+  /// clear. The pointee is immutable; replaced values are retired through
+  /// the epoch reclaimer.
+  std::atomic<const ShardPlacement*> placement_{nullptr};
+  /// Total signer invocations (see sign_calls()).
+  mutable std::atomic<uint64_t> sign_calls_{0};
   /// Writers (inserts, deletes, replay, resign, bulk load) serialize
   /// here exclusively; pessimistic fallback reads and cold
   /// serialization/introspection paths take it shared. The optimistic

@@ -176,6 +176,16 @@ Status Verifier::VerifySelect(const SelectQuery& query,
     recovered_top_ = expected;
     top_valid_ = true;
   }
+  if (binding_ != nullptr) {
+    // Lineage shard: the VO's envelope top is the shard's root, and the
+    // signed anchor covers the binding preimage — wrap the computed root
+    // digest the same way. A raw node signature (or a sibling shard's
+    // binding, which names a different verify_name/range) recovers to
+    // something that cannot equal this hash.
+    computed = ShardBindingDigest(ds_.hash_algorithm(), ds_.db_name(),
+                                  binding_->verify_name, binding_->lo,
+                                  binding_->hi, computed);
+  }
   if (!(computed == expected)) {
     return Status::VerificationFailure(
         "digest mismatch: query result failed authentication");

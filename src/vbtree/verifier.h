@@ -88,6 +88,23 @@ class Verifier {
   /// already-recovered digest for byte-identical signature bytes.
   void set_known_top(const Digest* top) { known_top_ = top; }
 
+  /// Lineage-shard root anchoring (DESIGN.md §10): the shard shares its
+  /// digest-schema name with split siblings, so its VO anchors at the
+  /// central server's binding signature over ShardBindingDigest(db,
+  /// verify_name, lo, hi, root_digest) instead of a raw node signature.
+  struct TopBinding {
+    std::string verify_name;  ///< the shard's own distribution name
+    int64_t lo = 0;           ///< shard key range from the verified map
+    int64_t hi = 0;
+  };
+
+  /// When set, the final comparison wraps the computed root digest with
+  /// the binding preimage before comparing against the recovered top —
+  /// so a sibling tree from the same digest domain (valid node
+  /// signatures, wrong shard) can never authenticate. Caller-owned; must
+  /// outlive VerifySelect.
+  void set_top_binding(const TopBinding* binding) { binding_ = binding; }
+
   /// After a VerifySelect that resolved the signed top itself (known_top
   /// not used), the recovered digest — the caller's memo feed. Null
   /// otherwise.
@@ -119,6 +136,7 @@ class Verifier {
   RecoveredDigestCache* cache_ = nullptr;
   uint64_t cache_domain_ = 0;
   const Digest* known_top_ = nullptr;
+  const TopBinding* binding_ = nullptr;
   Digest recovered_top_;
   bool top_valid_ = false;
 };

@@ -6,6 +6,7 @@
 //   load <n>                  create + load a demo table with n rows
 //   insert <key> <text>       insert a row at the central server
 //   delete <lo> <hi>          range-delete at the central server
+//   split <key>               incremental shard split at <key>
 //   publish                   ship a full snapshot to the edge
 //   sync                      ship the pending update delta to the edge
 //   tamper <key> <text>       corrupt one value in the edge's replica
@@ -55,6 +56,12 @@ struct CliState {
   Schema schema;
   /// Key-range shards for the demo table (--shards N; 1 = monolith).
   size_t shards = 1;
+  /// Contention-driven auto-split policy (--auto-split [knobs]); applied
+  /// to the central server created by the next `load`.
+  bool auto_split = false;
+  size_t split_min_ops = 64;
+  double split_skew = 1.5;
+  size_t split_max_shards = 16;
   bool loaded = false;
   uint64_t now = 1;
 };
@@ -62,8 +69,9 @@ struct CliState {
 void PrintHelp() {
   std::printf(
       "commands: load <n> | insert <key> <text> | delete <lo> <hi> |\n"
-      "          publish | sync | tamper <key> <text> | query <lo> <hi> |\n"
-      "          audit | rotate <now> | stats | help | quit\n");
+      "          split <key> | publish | sync | tamper <key> <text> |\n"
+      "          query <lo> <hi> | audit | rotate <now> | stats | help | "
+      "quit\n");
 }
 
 bool RequireLoaded(const CliState& st) {
@@ -80,6 +88,12 @@ void DoLoad(CliState* st, size_t n) {
   st->loaded = false;
   CentralServer::Options options;
   options.db_name = "clidb";
+  if (st->auto_split) {
+    options.auto_split = true;
+    options.auto_split_min_ops = st->split_min_ops;
+    options.auto_split_skew = st->split_skew;
+    options.auto_split_max_shards = st->split_max_shards;
+  }
   auto central = CentralServer::Create(options);
   if (!central.ok()) {
     std::printf("error: %s\n", central.status().ToString().c_str());
@@ -120,7 +134,9 @@ void DoLoad(CliState* st, size_t n) {
   st->client =
       std::make_unique<Client>(st->central->db_name(),
                                st->central->key_directory());
-  if (st->shards > 1) {
+  // Auto-split can shard the table later, so the client must speak the
+  // partition-map protocol whenever the policy is live.
+  if (st->shards > 1 || st->auto_split) {
     st->client->RegisterShardedTable(kTable, st->schema);
     std::printf("loaded %zu rows across %zu shards (map epoch %llu)\n", n,
                 st->central->ShardCount(kTable).ValueOrDie(),
@@ -205,6 +221,29 @@ void Dispatch(CliState* st, const std::string& line) {
     } else {
       std::printf("error: %s\n", removed.status().ToString().c_str());
     }
+  } else if (cmd == "split") {
+    if (!RequireLoaded(*st)) return;
+    int64_t key;
+    if (!(in >> key)) {
+      std::printf("usage: split <key>\n");
+      return;
+    }
+    Status s = st->central->SplitShard(kTable, key);
+    if (s.ok()) {
+      // The table is sharded from here on: the client must authenticate
+      // the partition map and scatter per shard.
+      st->client->RegisterShardedTable(kTable, st->schema);
+      std::printf("split at %lld: now %zu shard(s), map epoch %llu "
+                  "(run `sync` to propagate)\n",
+                  static_cast<long long>(key),
+                  st->central->ShardCount(kTable).ValueOrDie(),
+                  static_cast<unsigned long long>(
+                      st->central->TablePartitionMap(kTable)
+                          .ValueOrDie()
+                          .epoch));
+    } else {
+      std::printf("error: %s\n", s.ToString().c_str());
+    }
   } else if (cmd == "publish") {
     if (!RequireLoaded(*st)) return;
     // Force a full snapshot re-ship (also heals a tampered replica).
@@ -215,7 +254,7 @@ void Dispatch(CliState* st, const std::string& line) {
     if (!RequireLoaded(*st)) return;
     Status s = st->hub->SyncAll();
     if (s.ok()) {
-      if (st->shards > 1) {
+      if (st->central->ShardCount(kTable).ValueOrDie() > 1) {
         std::printf("hub flushed; edge at map epoch %llu\n",
                     static_cast<unsigned long long>(
                         st->edge->MapEpoch(kTable)));
@@ -313,6 +352,22 @@ void Dispatch(CliState* st, const std::string& line) {
           st->edge->HasTable(shard) ? "installed" : "absent",
           static_cast<unsigned long long>(st->edge->TableVersion(shard)));
     }
+    // Per-shard write domains: each shard's DML queue + signer worker.
+    auto domains = st->central->TableDomainStats(kTable);
+    if (domains.ok()) {
+      for (const auto& d : *domains) {
+        std::printf("  domain %s: ops %llu/%llu (enq/applied), queue "
+                    "depth %zu (peak %zu, p99 %zu), %llu sign calls\n",
+                    d.dist_name.c_str(),
+                    static_cast<unsigned long long>(d.ops_enqueued),
+                    static_cast<unsigned long long>(d.ops_applied),
+                    d.queue_depth, d.queue_depth_peak, d.queue_depth_p99,
+                    static_cast<unsigned long long>(d.sign_calls));
+      }
+    }
+    std::printf("splits triggered by auto-split policy: %llu\n",
+                static_cast<unsigned long long>(
+                    st->central->splits_triggered()));
     std::printf("network: %llu bytes total\n",
                 static_cast<unsigned long long>(st->net.total_bytes()));
     auto hub_stats = st->hub->stats();
@@ -339,10 +394,21 @@ int main(int argc, char** argv) {
     if (arg == "--shards" && i + 1 < argc) {
       long n = std::atol(argv[++i]);
       st.shards = n > 0 ? static_cast<size_t>(n) : 1;
+    } else if (arg == "--auto-split") {
+      st.auto_split = true;
+    } else if (arg == "--split-min-ops" && i + 1 < argc) {
+      st.split_min_ops = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == "--split-skew" && i + 1 < argc) {
+      st.split_skew = std::atof(argv[++i]);
+    } else if (arg == "--max-shards" && i + 1 < argc) {
+      st.split_max_shards = static_cast<size_t>(std::atol(argv[++i]));
     } else if (script_path == nullptr) {
       script_path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: vbtree_cli [--shards N] [script]\n");
+      std::fprintf(stderr,
+                   "usage: vbtree_cli [--shards N] [--auto-split]"
+                   " [--split-min-ops N] [--split-skew X] [--max-shards N]"
+                   " [script]\n");
       return 2;
     }
   }
