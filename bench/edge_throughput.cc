@@ -31,10 +31,13 @@
 #include "edge/client.h"
 #include "edge/edge_server.h"
 #include "edge/propagation/distribution_hub.h"
+#include "edge/propagation/fault_transport.h"
+#include "edge/query_service/edge_director.h"
 #include "edge/query_service/lazy_auditor.h"
 #include "edge/query_service/query_service.h"
 #include "query/query_serde.h"
 #include "query/trust.h"
+#include "tests/testutil.h"
 
 using namespace vbtree;
 using vbtree::bench::MeasuredTuples;
@@ -97,6 +100,16 @@ struct Config {
   size_t writers = 4;
   bool auto_split = false;
   size_t max_shards = 16;
+  /// --fault-profile none|lossy|partition|liar: chaos mode. Anything but
+  /// "none" wraps the client<->edge channels in a FaultInjectingTransport,
+  /// routes every verified batch through an EdgeDirector with bounded
+  /// failover (plus a clean central-replica fallback), and reports
+  /// failovers / quarantines / retries_per_query / degraded_answers.
+  /// lossy = the shared testutil LossyPolicy on the worker-edge channels;
+  /// partition = edge-0 dark for a transient window, then recovery;
+  /// liar = the last worker edge tampers every response (certified
+  /// verification catches it; the director quarantines it).
+  std::string fault_profile = "none";
 };
 
 /// Write-mix key layout: the key domain is kBuckets fixed-width buckets;
@@ -198,6 +211,24 @@ struct RunResult {
   double audit_coverage = 0;
   double audit_lag_p50_us = 0;
   double audit_lag_p99_us = 0;
+  /// Chaos telemetry (all zero under --fault-profile none): failover
+  /// attempts beyond the first, director health transitions, answers
+  /// explicitly degraded, and the faults the transport actually injected
+  /// during this run.
+  uint64_t attempts_total = 0;
+  uint64_t failovers = 0;
+  double retries_per_query = 0;
+  uint64_t degraded_answers = 0;
+  uint64_t quarantines = 0;
+  uint64_t probes = 0;
+  uint64_t readmissions = 0;
+  uint64_t director_timeouts = 0;
+  uint64_t director_verify_failures = 0;
+  uint64_t inj_dropped = 0;
+  uint64_t inj_duplicated = 0;
+  uint64_t inj_reordered = 0;
+  uint64_t inj_truncated = 0;
+  uint64_t inj_partitioned = 0;
 };
 
 double Percentile(std::vector<uint64_t>* v, double p) {
@@ -209,8 +240,9 @@ double Percentile(std::vector<uint64_t>* v, double p) {
 
 RunResult RunOnce(CentralServer* central, DistributionHub* hub,
                   std::vector<std::unique_ptr<EdgeServer>>* edges,
-                  InProcessTransport* net, const Config& cfg, size_t n_tuples,
-                  size_t workers, std::atomic<int64_t>* next_key) {
+                  Transport* net, FaultInjectingTransport* fault_net,
+                  const Config& cfg, size_t n_tuples, size_t workers,
+                  std::atomic<int64_t>* next_key) {
   (void)hub;
   RunResult run;
   run.workers = workers;
@@ -224,6 +256,26 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
   for (auto& e : *edges) {
     services.push_back(std::make_unique<QueryService>(e.get(), sopts));
   }
+
+  // Chaos mode: verified batches route through the director's
+  // health-ordered failover instead of a pinned edge. The last edge in
+  // the fleet is the clean central-replica fallback ("central-rep",
+  // appended by main), never registered with the director.
+  const bool chaos = cfg.fault_profile != "none";
+  std::unique_ptr<EdgeDirector> director;
+  Client::FailoverPolicy fpolicy;
+  if (chaos) {
+    director = std::make_unique<EdgeDirector>();
+    for (size_t i = 0; i + 1 < services.size(); ++i) {
+      director->AddEdge(services[i].get());
+    }
+    fpolicy.max_attempts = 4;
+    fpolicy.backoff_initial_us = 100;
+    fpolicy.backoff_max_us = 5'000;
+    fpolicy.central_fallback = services.back().get();
+  }
+  FaultInjectingTransport::InjectionCounters inj_before;
+  if (fault_net != nullptr) inj_before = fault_net->injection_counters();
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> updates{0};
@@ -258,6 +310,9 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
     LazyAuditor::Stats audit;
     uint64_t audit_backlog = 0;
     std::vector<uint64_t> audit_lag_samples_us;
+    uint64_t attempts = 0;
+    uint64_t failovers = 0;
+    uint64_t degraded = 0;
   };
   std::vector<ClientTally> tallies(cfg.clients);
   std::vector<std::thread> client_threads;
@@ -284,6 +339,9 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
         client.set_digest_cache(cache);
         auditor->set_digest_cache(std::move(cache));
         client.set_auditor(auditor.get());
+        // Chaos + lazy: deferred-audit alarms feed the director, so a
+        // lying edge is quarantined off the audit schedule too.
+        if (director != nullptr) director->WireAlarms(auditor.get());
       }
       if (cfg.shards > 1) {
         client.RegisterShardedTable("events", schema);
@@ -313,12 +371,19 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
         const bool verify = (tally.batches % cfg.verify_sample) == 0;
         Timer t;
         if (verify) {
-          auto out = client.QueryBatched(service, batch, /*now=*/10,
-                                         /*verifier=*/nullptr, net);
+          auto out = director != nullptr
+                         ? client.QueryBatched(director.get(), batch,
+                                               /*now=*/10, fpolicy,
+                                               /*verifier=*/nullptr, net)
+                         : client.QueryBatched(service, batch, /*now=*/10,
+                                               /*verifier=*/nullptr, net);
           uint64_t us = static_cast<uint64_t>(t.ElapsedMs() * 1000.0);
-          if (!out.ok()) continue;  // service shutting down
+          if (!out.ok()) continue;  // service shutting down (or fleet dark)
           tally.latencies_us.push_back(us);
           tally.batches++;
+          tally.attempts += out->attempts;
+          tally.failovers += out->failovers;
+          if (out->degraded) tally.degraded++;
           tally.queries += out->results.size();
           tally.verified_queries += out->results.size();
           tally.crypto.Add(out->crypto);
@@ -428,6 +493,31 @@ RunResult RunOnce(CentralServer* central, DistributionHub* hub,
     run.top_memo_hits += t.audit.top_memo_hits;
     audit_lags.insert(audit_lags.end(), t.audit_lag_samples_us.begin(),
                       t.audit_lag_samples_us.end());
+    run.attempts_total += t.attempts;
+    run.failovers += t.failovers;
+    run.degraded_answers += t.degraded;
+  }
+  if (director != nullptr) {
+    EdgeDirector::Stats dstats = director->stats();
+    run.quarantines = dstats.quarantines;
+    run.probes = dstats.probes;
+    run.readmissions = dstats.readmissions;
+    run.director_timeouts = dstats.timeouts;
+    run.director_verify_failures = dstats.verify_failures;
+  }
+  if (fault_net != nullptr) {
+    FaultInjectingTransport::InjectionCounters inj =
+        fault_net->injection_counters();
+    run.inj_dropped = inj.dropped - inj_before.dropped;
+    run.inj_duplicated = inj.duplicated - inj_before.duplicated;
+    run.inj_reordered = inj.reordered - inj_before.reordered;
+    run.inj_truncated = inj.truncated - inj_before.truncated;
+    run.inj_partitioned = inj.partitioned - inj_before.partitioned;
+  }
+  if (run.queries > 0 && run.attempts_total > run.batches) {
+    run.retries_per_query =
+        static_cast<double>(run.attempts_total - run.batches) /
+        static_cast<double>(run.queries);
   }
   if (run.audit_enqueued_queries > 0) {
     run.audit_coverage = static_cast<double>(run.audited_queries) /
@@ -770,6 +860,7 @@ void PrintJson(const Config& cfg, size_t n_tuples,
   std::printf("  \"verify_cache\": %s,\n", cfg.verify_cache ? "true" : "false");
   std::printf("  \"zipf\": %.2f,\n", cfg.zipf);
   std::printf("  \"trust_mode\": \"%s\",\n", TrustModeName(cfg.trust_mode));
+  std::printf("  \"fault_profile\": \"%s\",\n", cfg.fault_profile.c_str());
   std::printf("  \"audit_fraction\": %.3f,\n", cfg.audit_fraction);
   std::printf("  \"transport_bytes\": %llu,\n",
               static_cast<unsigned long long>(net_bytes));
@@ -808,7 +899,7 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                 "\"audit_lag_p99_us\": %.0f, "
                 "\"audit_us_per_query\": %.1f, "
                 "\"alarms\": %llu, "
-                "\"audit_backlog_at_exit\": %llu}%s\n",
+                "\"audit_backlog_at_exit\": %llu, ",
                 r.workers, r.seconds, r.qps,
                 static_cast<unsigned long long>(r.batches),
                 static_cast<unsigned long long>(r.queries),
@@ -851,7 +942,29 @@ void PrintJson(const Config& cfg, size_t n_tuples,
                           static_cast<double>(r.audited_queries)
                     : 0.0,
                 static_cast<unsigned long long>(r.alarms),
-                static_cast<unsigned long long>(r.audit_backlog_at_exit),
+                static_cast<unsigned long long>(r.audit_backlog_at_exit));
+    std::printf("\"attempts\": %llu, \"failovers\": %llu, "
+                "\"retries_per_query\": %.4f, \"degraded_answers\": %llu, "
+                "\"quarantines\": %llu, \"probes\": %llu, "
+                "\"readmissions\": %llu, \"director_timeouts\": %llu, "
+                "\"director_verify_failures\": %llu, "
+                "\"injected_dropped\": %llu, \"injected_duplicated\": %llu, "
+                "\"injected_reordered\": %llu, \"injected_truncated\": %llu, "
+                "\"injected_partitioned\": %llu}%s\n",
+                static_cast<unsigned long long>(r.attempts_total),
+                static_cast<unsigned long long>(r.failovers),
+                r.retries_per_query,
+                static_cast<unsigned long long>(r.degraded_answers),
+                static_cast<unsigned long long>(r.quarantines),
+                static_cast<unsigned long long>(r.probes),
+                static_cast<unsigned long long>(r.readmissions),
+                static_cast<unsigned long long>(r.director_timeouts),
+                static_cast<unsigned long long>(r.director_verify_failures),
+                static_cast<unsigned long long>(r.inj_dropped),
+                static_cast<unsigned long long>(r.inj_duplicated),
+                static_cast<unsigned long long>(r.inj_reordered),
+                static_cast<unsigned long long>(r.inj_truncated),
+                static_cast<unsigned long long>(r.inj_partitioned),
                 i + 1 < runs.size() ? "," : "");
   }
   std::printf("  ],\n");
@@ -931,6 +1044,27 @@ void PrintJson(const Config& cfg, size_t n_tuples,
               last != nullptr
                   ? static_cast<unsigned long long>(last->audit_backlog_at_exit)
                   : 0ull);
+  // Chaos headline (last run): what the fault profile cost and whether
+  // the director earned its keep — the CI chaos gate reads these
+  // top-level fields instead of digging into the runs array.
+  std::printf("  \"failovers\": %llu,\n",
+              last != nullptr
+                  ? static_cast<unsigned long long>(last->failovers)
+                  : 0ull);
+  std::printf("  \"retries_per_query\": %.4f,\n",
+              last != nullptr ? last->retries_per_query : 0.0);
+  std::printf("  \"degraded_answers\": %llu,\n",
+              last != nullptr
+                  ? static_cast<unsigned long long>(last->degraded_answers)
+                  : 0ull);
+  std::printf("  \"quarantines\": %llu,\n",
+              last != nullptr
+                  ? static_cast<unsigned long long>(last->quarantines)
+                  : 0ull);
+  std::printf("  \"readmissions\": %llu,\n",
+              last != nullptr
+                  ? static_cast<unsigned long long>(last->readmissions)
+                  : 0ull);
   std::printf("  \"per_shard_qps\": {");
   if (last != nullptr) {
     bool first = true;
@@ -1006,6 +1140,14 @@ int main(int argc, char** argv) {
       cfg.queue_capacity = static_cast<size_t>(std::atol(next()));
     } else if (arg == "--churn-interval-us") {
       cfg.churn_interval_us = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--fault-profile") {
+      cfg.fault_profile = next();
+      if (cfg.fault_profile != "none" && cfg.fault_profile != "lossy" &&
+          cfg.fault_profile != "partition" && cfg.fault_profile != "liar") {
+        std::fprintf(stderr,
+                     "--fault-profile: expected none|lossy|partition|liar\n");
+        return 2;
+      }
     } else if (arg == "--zipf") {
       cfg.zipf = std::atof(next());
       // The Gray et al. approximation needs theta in (0, 1): at exactly 1
@@ -1031,7 +1173,8 @@ int main(int argc, char** argv) {
                    " [--audit-fraction F] [--audit-seed S] [--audit-queue CAP]"
                    " [--stall-us U] [--queue CAP] [--churn-interval-us U]"
                    " [--zipf THETA] [--write-mix] [--writers N]"
-                   " [--auto-split] [--max-shards N]\n");
+                   " [--auto-split] [--max-shards N]"
+                   " [--fault-profile none|lossy|partition|liar]\n");
       return 2;
     }
   }
@@ -1112,10 +1255,25 @@ int main(int argc, char** argv) {
   }
 
   InProcessTransport net;
+  // Chaos profiles route the client<->edge RPC legs through a seeded
+  // fault injector; the hub keeps the clean inner transport (propagation
+  // under loss is the propagation suite's job — here the query path is
+  // the one under stress). Byte accounting forwards, so total_bytes
+  // stays comparable across profiles.
+  const bool chaos_run = cfg.fault_profile != "none";
+  FaultInjectingTransport fault_net(&net, /*seed=*/0xC0FFEEULL);
+  if (cfg.fault_profile == "liar" && cfg.edges < 2) cfg.edges = 2;
   std::vector<std::unique_ptr<EdgeServer>> edges;
   for (size_t i = 0; i < cfg.edges; ++i) {
     edges.push_back(
         std::make_unique<EdgeServer>("edge-" + std::to_string(i)));
+  }
+  if (chaos_run) {
+    // Clean central replica: stays last in the fleet, never registered
+    // with the director, serves as FailoverPolicy::central_fallback.
+    // Its channel names ("...edge:central-rep...") dodge the
+    // "edge:edge-" fault scope below.
+    edges.push_back(std::make_unique<EdgeServer>("central-rep"));
   }
   PropagationOptions popts;
   popts.flush_interval = std::chrono::milliseconds(2);
@@ -1127,8 +1285,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "initial distribution failed\n");
     return 1;
   }
+  if (chaos_run) {
+    testutil::FaultPlan plan;
+    if (cfg.fault_profile == "lossy") {
+      plan.channel_substr = "edge:edge-";
+      plan.policy = testutil::LossyPolicy();
+    } else if (cfg.fault_profile == "partition") {
+      // edge-0 goes dark for a transient window (both RPC legs), then
+      // the partition clears itself: quarantine -> probe -> readmission.
+      fault_net.PartitionOnce("edge:edge-0", 400);
+    } else if (cfg.fault_profile == "liar") {
+      plan.liar = edges[cfg.edges - 1].get();
+      plan.tamper = ResponseTamper::kModifyValue;
+    }
+    testutil::ApplyFaultPlan(plan, &fault_net);
+  }
 
   if (cfg.write_mix) {
+    if (chaos_run) {
+      std::fprintf(stderr,
+                   "--fault-profile does not combine with --write-mix\n");
+      return 2;
+    }
     WriteMixResult r = RunWriteMix(&central, &hub, &edges, &net, cfg,
                                    n_tuples);
     hub.Stop();
@@ -1169,8 +1347,11 @@ int main(int argc, char** argv) {
   std::atomic<int64_t> next_key{static_cast<int64_t>(n_tuples)};
   std::vector<RunResult> runs;
   for (size_t w : cfg.workers) {
-    runs.push_back(RunOnce(&central, &hub, &edges, &net, cfg, n_tuples, w,
-                           &next_key));
+    runs.push_back(RunOnce(&central, &hub, &edges,
+                           chaos_run ? static_cast<Transport*>(&fault_net)
+                                     : &net,
+                           chaos_run ? &fault_net : nullptr, cfg, n_tuples,
+                           w, &next_key));
     if (!cfg.json) {
       const RunResult& r = runs.back();
       std::printf(
@@ -1209,6 +1390,24 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(r.alarms),
             static_cast<unsigned long long>(r.audit_backlog_at_exit),
             static_cast<unsigned long long>(r.deferred_queries));
+      }
+      if (chaos_run) {
+        std::printf(
+            "          chaos[%s]: failovers=%llu retries/q=%.3f "
+            "degraded=%llu quarantines=%llu probes=%llu readmits=%llu  "
+            "inj: drop=%llu dup=%llu reord=%llu trunc=%llu part=%llu\n",
+            cfg.fault_profile.c_str(),
+            static_cast<unsigned long long>(r.failovers),
+            r.retries_per_query,
+            static_cast<unsigned long long>(r.degraded_answers),
+            static_cast<unsigned long long>(r.quarantines),
+            static_cast<unsigned long long>(r.probes),
+            static_cast<unsigned long long>(r.readmissions),
+            static_cast<unsigned long long>(r.inj_dropped),
+            static_cast<unsigned long long>(r.inj_duplicated),
+            static_cast<unsigned long long>(r.inj_reordered),
+            static_cast<unsigned long long>(r.inj_truncated),
+            static_cast<unsigned long long>(r.inj_partitioned));
       }
     }
   }

@@ -9,6 +9,11 @@
 #                             run emitting BENCH_edge_throughput.json
 #                             (+ the shards=4 and --trust-mode=lazy
 #                             variants, each with their own gates)
+#   ./ci.sh --chaos           regular build, then the chaos failover
+#                             suite + two short --fault-profile bench
+#                             passes (liar, lossy) with quarantine /
+#                             failover gates; emits
+#                             BENCH_edge_throughput_chaos.json
 #   ./ci.sh --docs-check      no build: verify every local markdown link
 #                             and #section-anchor in README.md, DESIGN.md
 #                             and docs/ resolves (anchor-drift gate)
@@ -20,9 +25,10 @@ case "${1:-}" in
   --sanitize|--sanitize=address) MODE="sanitize" ;;
   --sanitize=thread) MODE="tsan" ;;
   --bench-smoke) MODE="bench-smoke" ;;
+  --chaos) MODE="chaos" ;;
   --docs-check) MODE="docs-check" ;;
   "") ;;
-  *) echo "usage: ci.sh [--sanitize[=address|thread]|--bench-smoke|--docs-check]" >&2
+  *) echo "usage: ci.sh [--sanitize[=address|thread]|--bench-smoke|--chaos|--docs-check]" >&2
      exit 2 ;;
 esac
 
@@ -506,6 +512,82 @@ PY
   exit 0
 fi
 
+if [[ "$MODE" == "chaos" ]]; then
+  # Chaos smoke. Three stages, each with its own gate:
+  #  1. chaos_failover_test — the functional contract: under seeded
+  #     drop/duplicate/partition faults plus one lying edge, no
+  #     unverified row is ever delivered, the liar lands in quarantine,
+  #     degraded answers are explicitly flagged, and a healed edge is
+  #     probed back in.
+  #  2. --fault-profile liar bench pass (the committed chaos artifact):
+  #     the tampering edge must be quarantined and traffic must fail
+  #     over, while the bench's own exit gate proves the fleet kept
+  #     answering authenticated queries. Counter gates only — the
+  #     wall-clock fields in the artifact are informational.
+  #  3. --fault-profile lossy bench pass (not committed): the injector
+  #     must actually fire and every run must keep a positive qps —
+  #     "the service degrades, it does not stop".
+  (cd "$BUILD_DIR" && ctest --output-on-failure -R "chaos_failover")
+  VBT_BENCH_TUPLES="${VBT_BENCH_TUPLES:-2000}" \
+    "./$BUILD_DIR/bench/edge_throughput" --json --seconds 1.5 \
+    --fault-profile liar > BENCH_edge_throughput_chaos.json
+  python3 -m json.tool BENCH_edge_throughput_chaos.json > /dev/null
+  LOSSY_JSON="$(mktemp)"
+  VBT_BENCH_TUPLES="${VBT_BENCH_TUPLES:-2000}" \
+    "./$BUILD_DIR/bench/edge_throughput" --json --seconds 1.5 \
+    --fault-profile lossy > "$LOSSY_JSON"
+  python3 -m json.tool "$LOSSY_JSON" > /dev/null
+  python3 - "$LOSSY_JSON" <<'PY'
+import json, sys
+liar = json.load(open("BENCH_edge_throughput_chaos.json"))
+lossy = json.load(open(sys.argv[1]))
+
+if liar.get("fault_profile") != "liar":
+    sys.exit("FAIL: chaos artifact did not record fault_profile=liar")
+if int(liar.get("quarantines", 0)) < 1:
+    sys.exit("FAIL: the tampering edge was never quarantined")
+if int(liar.get("failovers", 0)) < 1:
+    sys.exit("FAIL: no failovers recorded under the liar profile")
+q = sum(int(r.get("queries", 0)) for r in liar.get("runs", []))
+if q <= 0:
+    sys.exit("FAIL: liar-profile run answered no queries")
+vf = sum(int(r.get("verify_failures", 0)) for r in liar.get("runs", []))
+if vf:
+    sys.exit("FAIL: %d final verification failures under the liar profile — "
+             "failover must carry a tampered batch to a verified answer"
+             % vf)
+dead = [r.get("workers") for r in liar.get("runs", [])
+        if float(r.get("qps", 0)) <= 0]
+if dead:
+    sys.exit("FAIL: qps hit zero under the liar profile at workers=%s" % dead)
+print("liar: quarantines=%d failovers=%d degraded=%d over %d queries, "
+      "0 unverified answers: OK"
+      % (int(liar.get("quarantines", 0)), int(liar.get("failovers", 0)),
+         int(liar.get("degraded_answers", 0)), q))
+
+if lossy.get("fault_profile") != "lossy":
+    sys.exit("FAIL: lossy run did not record fault_profile=lossy")
+inj = sum(int(r.get("injected_dropped", 0)) +
+          int(r.get("injected_duplicated", 0)) +
+          int(r.get("injected_reordered", 0))
+          for r in lossy.get("runs", []))
+if inj <= 0:
+    sys.exit("FAIL: the fault injector never fired in the lossy run")
+if "retries_per_query" not in lossy:
+    sys.exit("FAIL: retries_per_query missing from the lossy JSON")
+dead = [r.get("workers") for r in lossy.get("runs", [])
+        if float(r.get("qps", 0)) <= 0]
+if dead:
+    sys.exit("FAIL: qps hit zero under the lossy profile at workers=%s"
+             % dead)
+print("lossy: %d injections, retries/query=%.3f, qps stayed positive: OK"
+      % (inj, float(lossy.get("retries_per_query", 0))))
+PY
+  rm -f "$LOSSY_JSON"
+  echo "wrote BENCH_edge_throughput_chaos.json"
+  exit 0
+fi
+
 cd "$BUILD_DIR"
 if [[ "$MODE" == "sanitize" ]]; then
   # halt_on_error keeps a sanitizer hit from hiding behind a pass;
@@ -521,13 +603,15 @@ if [[ "$MODE" == "tsan" ]]; then
   # OLC stress suite (readers racing splits, forced restarts, snapshot
   # installs), the lazy-trust suite (client threads racing the
   # background auditor over the shared digest cache and bounded ticket
-  # queue), and the split-pipeline suite (auto-split policy thread
-  # racing writer threads). The full suite under TSan is prohibitively
-  # slow on the single-CPU CI runner and adds no interleavings these
-  # don't hit.
+  # queue), the split-pipeline suite (auto-split policy thread racing
+  # writer threads), and the chaos failover suite (client threads
+  # failing over through the director while the fault injector holds,
+  # duplicates and re-releases messages across threads). The full suite
+  # under TSan is prohibitively slow on the single-CPU CI runner and
+  # adds no interleavings these don't hit.
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
   ctest --output-on-failure -j "$(nproc)" \
-        -R "query_service|shard_equivalence|olc_stress|lazy_trust|split_pipeline"
+        -R "query_service|shard_equivalence|olc_stress|lazy_trust|split_pipeline|chaos_failover"
 else
   ctest --output-on-failure -j "$(nproc)"
 fi

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
 
+#include "common/random.h"
+#include "edge/query_service/edge_director.h"
 #include "edge/query_service/lazy_auditor.h"
 #include "query/query_serde.h"
 
@@ -432,7 +438,7 @@ Client::GroupOutcome Client::DeferBatchGroup(
     const std::string& schema_table, const std::string& digest_table,
     const Verifier::TopBinding* binding, const TableMeta& meta,
     std::span<const SelectQuery> queries, QueryBatchResponse& resp,
-    uint64_t now, TrustMode mode) {
+    uint64_t now, TrustMode mode, const std::string& source) {
   GroupOutcome out;
   out.results.resize(resp.responses.size());
 
@@ -480,6 +486,7 @@ Client::GroupOutcome Client::DeferBatchGroup(
   ticket.queries.assign(queries.begin(), queries.end());
   ticket.resp = std::move(resp);
   ticket.now = now;
+  ticket.source = source;
   ticket.issued_at = std::chrono::steady_clock::now();
   // Blocks when the auditor's bounded queue is full: backpressure rides
   // the issuing path, the one place a slow auditor can slow anything.
@@ -522,12 +529,66 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
   ByteWriter req(1 << 10);
   SerializeQueryBatch(b, &req);
   const size_t request_bytes = req.size();
-  if (channels != nullptr) net->Record(channels->up, request_bytes);
-  VBT_ASSIGN_OR_RETURN(std::vector<uint8_t> resp_bytes,
-                       service->SubmitBatchBytes(req.TakeBuffer()).get());
-  if (channels != nullptr) net->Record(channels->down, resp_bytes.size());
+  std::vector<uint8_t> resp_bytes;
+  if (channels != nullptr) {
+    // Both legs route through the transport's Deliver gate, so a fault
+    // injector can drop/duplicate/truncate the RPC: a lost request
+    // surfaces as an IOError (the failover overload's timeout signal), a
+    // truncated response as a parse Corruption. Recording stays
+    // unconditional — bytes are counted delivered or not.
+    net->Record(channels->up, request_bytes);
+    // A fault-injecting transport may hold a message for reordering and
+    // run the delivery fn after this frame has returned (the sender sees
+    // OK with an empty cell). The fns therefore capture only heap cells
+    // by value, and writes/reads go through the cell's mutex — a late
+    // release lands in an abandoned cell instead of a dead stack frame.
+    struct RpcCell {
+      std::mutex mu;
+      std::vector<uint8_t> bytes;
+    };
+    auto served = std::make_shared<RpcCell>();
+    VBT_RETURN_NOT_OK(net->Deliver(
+        channels->up, Slice(req.buffer()),
+        [service, served](Slice payload) -> Status {
+          VBT_ASSIGN_OR_RETURN(
+              std::vector<uint8_t> out,
+              service
+                  ->SubmitBatchBytes(std::vector<uint8_t>(
+                      payload.data(), payload.data() + payload.size()))
+                  .get());
+          std::lock_guard<std::mutex> g(served->mu);
+          served->bytes = std::move(out);
+          return Status::OK();
+        }));
+    {
+      std::lock_guard<std::mutex> g(served->mu);
+      resp_bytes = std::move(served->bytes);
+    }
+    net->Record(channels->down, resp_bytes.size());
+    auto delivered = std::make_shared<RpcCell>();
+    VBT_RETURN_NOT_OK(net->Deliver(channels->down, Slice(resp_bytes),
+                                   [delivered](Slice payload) {
+                                     std::lock_guard<std::mutex> g(
+                                         delivered->mu);
+                                     delivered->bytes.assign(
+                                         payload.data(),
+                                         payload.data() + payload.size());
+                                     return Status::OK();
+                                   }));
+    {
+      std::lock_guard<std::mutex> g(delivered->mu);
+      resp_bytes = std::move(delivered->bytes);
+    }
+  } else {
+    VBT_ASSIGN_OR_RETURN(resp_bytes,
+                         service->SubmitBatchBytes(req.TakeBuffer()).get());
+  }
   if (resp_bytes.empty()) {
-    return Status::Corruption("empty batch response");
+    // An empty cell means the wire swallowed a leg (e.g. a reordered
+    // message still held by the injector) — a network failure, not
+    // evidence of tampering, so it must strike as a timeout rather than
+    // a verification failure.
+    return Status::IOError("empty batch response");
   }
 
   VerifiedBatch out;
@@ -569,7 +630,7 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
             ? VerifyBatchGroup(batch.table, batch.table, nullptr, meta,
                                b.queries, resp, now, verifier)
             : DeferBatchGroup(batch.table, batch.table, nullptr, meta,
-                              b.queries, resp, now, mode);
+                              b.queries, resp, now, mode, edge->name());
     out.verify_us = MicrosSince(verify_start);
     out.results = std::move(group.results);
     out.crypto = group.crypto;
@@ -644,7 +705,8 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
             ? VerifyBatchGroup(shard, digest_table, lineage ? &binding : nullptr,
                                meta, slice_queries, resp, now, verifier)
             : DeferBatchGroup(shard, digest_table, lineage ? &binding : nullptr,
-                              meta, slice_queries, resp, now, mode);
+                              meta, slice_queries, resp, now, mode,
+                              edge->name());
     out.crypto.Add(gv.crypto);
     out.top_memo_hits += gv.top_memo_hits;
     out.deferred_queries += gv.deferred;
@@ -675,6 +737,180 @@ Result<Client::VerifiedBatch> Client::QueryBatched(QueryService* service,
     }
   }
   return out;
+}
+
+Result<Client::VerifiedBatch> Client::QueryBatched(
+    EdgeDirector* director, const QueryBatch& batch, uint64_t now,
+    const FailoverPolicy& policy, BatchVerifier* verifier, Transport* net) {
+  if (director == nullptr) {
+    return Status::InvalidArgument("null edge director");
+  }
+
+  // Fingerprint of the normalized batch: dedupe key for failed attempts
+  // (and the per-batch jitter stream, so concurrent clients with the
+  // same seed don't back off in lockstep).
+  uint64_t fp = 0xcbf29ce484222325ULL;
+  {
+    QueryBatch normalized = batch;
+    for (SelectQuery& q : normalized.queries) {
+      q.table = batch.table;
+      q.NormalizeProjection();
+    }
+    ByteWriter w(256);
+    SerializeQueryBatch(normalized, &w);
+    for (uint8_t byte : w.buffer()) {
+      fp ^= byte;
+      fp *= 0x100000001B3ULL;
+    }
+  }
+  Rng jitter(policy.jitter_seed ^ fp);
+
+  const auto t_start = std::chrono::steady_clock::now();
+  // Failed-attempt dedupe: (edge, replica version it answered with — 0
+  // when it never answered). An edge in here deterministically failed
+  // this exact batch, so it is skipped while any other candidate
+  // remains; the batch never re-runs against the same (edge, version).
+  std::set<std::pair<std::string, uint64_t>> failed;
+  auto edge_failed = [&](const std::string& name) {
+    for (const auto& [n, v] : failed) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+
+  VerifiedBatch stale_best;
+  bool has_stale = false;
+  Status last_error = Status::IOError("no edge candidates");
+  uint64_t attempts = 0;
+  uint64_t failovers = 0;
+  std::string prev_edge;
+
+  while (attempts < policy.max_attempts) {
+    if (policy.deadline_us > 0 && MicrosSince(t_start) >= policy.deadline_us) {
+      last_error = Status::IOError("failover deadline exceeded");
+      break;
+    }
+    QueryService* target = nullptr;
+    for (QueryService* c : director->RouteCandidates()) {
+      if (!edge_failed(c->edge()->name())) {
+        target = c;
+        break;
+      }
+    }
+    if (target == nullptr) break;  // every candidate already failed this batch
+    const std::string name = target->edge()->name();
+
+    if (attempts > 0) {
+      // Jittered exponential backoff before each retry: base * factor^k
+      // capped, then drawn from [base/2, 3*base/2).
+      double base = static_cast<double>(policy.backoff_initial_us);
+      for (uint64_t k = 1; k < attempts; ++k) base *= policy.backoff_factor;
+      uint64_t base_us = std::min(static_cast<uint64_t>(base),
+                                  policy.backoff_max_us);
+      if (base_us > 0) {
+        uint64_t sleep_us = base_us / 2 + jitter.Uniform(base_us);
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      }
+    }
+    attempts++;
+    if (!prev_edge.empty() && prev_edge != name) failovers++;
+    prev_edge = name;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = QueryBatched(target, batch, now, verifier, net);
+    const uint64_t attempt_us = MicrosSince(t0);
+
+    if (!res.ok()) {
+      last_error = res.status();
+      // A corrupt response is the edge's fault (tampering or truncation
+      // survived transport); anything else reads as the RPC failing.
+      if (res.status().code() == StatusCode::kCorruption ||
+          res.status().code() == StatusCode::kVerificationFailure) {
+        director->ReportVerifyFailure(name);
+      } else {
+        director->ReportTimeout(name);
+      }
+      failed.emplace(name, 0);
+      continue;
+    }
+
+    VerifiedBatch vb = std::move(*res);
+    bool verify_failed = false;
+    for (const Verified& v : vb.results) {
+      if (v.verification.code() == StatusCode::kVerificationFailure) {
+        verify_failed = true;
+        break;
+      }
+    }
+    if (verify_failed) {
+      // The edge produced a proof that doesn't check out: strongest
+      // possible strike, and the whole batch retries elsewhere — rows
+      // from a caught-lying edge are never delivered, not even the
+      // slots that individually verified.
+      director->ReportVerifyFailure(name);
+      failed.emplace(name, vb.replica_version);
+      last_error = Status::VerificationFailure(
+          "batch failed verification at edge " + name);
+      continue;
+    }
+
+    // Authenticated answer. A blown per-attempt budget still strikes the
+    // edge (slowness drifts it toward quarantine) but verified data is
+    // never discarded over timing.
+    if (policy.attempt_budget_us > 0 && attempt_us > policy.attempt_budget_us) {
+      director->ReportTimeout(name);
+    } else {
+      director->ReportSuccess(name);
+    }
+
+    if (policy.min_fresh_version > 0 &&
+        vb.replica_version < policy.min_fresh_version) {
+      // Verified but below the freshness floor: keep the freshest such
+      // answer as the degraded fallback and keep hunting.
+      const uint64_t answered_version = vb.replica_version;
+      if (!has_stale || answered_version > stale_best.replica_version) {
+        stale_best = std::move(vb);
+        stale_best.served_by = name;
+      }
+      has_stale = true;
+      failed.emplace(name, answered_version);
+      last_error = Status::NotFound("no fresh-enough healthy edge");
+      continue;
+    }
+
+    vb.attempts = attempts;
+    vb.failovers = failovers;
+    vb.served_by = name;
+    return vb;
+  }
+
+  // Degraded paths — always explicit, never a silent downgrade.
+  if (has_stale) {
+    stale_best.attempts = attempts;
+    stale_best.failovers = failovers;
+    stale_best.degraded = true;
+    stale_best.degraded_mode = "stale_floor";
+    stale_best.stale_replica = true;
+    for (Verified& v : stale_best.results) {
+      if (v.verification.ok()) v.stale_replica = true;
+    }
+    return stale_best;
+  }
+  if (policy.central_fallback != nullptr) {
+    auto res = QueryBatched(policy.central_fallback, batch, now, verifier, net);
+    if (res.ok()) {
+      res->attempts = attempts + 1;
+      res->failovers = failovers + (attempts > 0 ? 1 : 0);
+      res->degraded = true;
+      res->degraded_mode = "central";
+      res->served_by = policy.central_fallback->edge() != nullptr
+                           ? policy.central_fallback->edge()->name()
+                           : "central";
+      return res;
+    }
+    last_error = res.status();
+  }
+  return last_error;
 }
 
 }  // namespace vbtree

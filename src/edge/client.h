@@ -22,6 +22,7 @@
 
 namespace vbtree {
 
+class EdgeDirector;
 class LazyAuditor;
 
 /// A trusted DB client (Fig. 2): sends queries to an edge server over the
@@ -183,6 +184,19 @@ class Client {
     /// Queries delivered provisionally with a deferred-verification
     /// ticket (0 under kCertified).
     uint64_t deferred_queries = 0;
+
+    // --- failover telemetry (the director overload; zero otherwise) ---
+    /// Edge attempts made for this batch (1 = first try served it).
+    uint64_t attempts = 0;
+    /// Attempts that switched to a different edge than the previous one.
+    uint64_t failovers = 0;
+    /// True when no healthy fresh edge could serve: the answer is a
+    /// stale-but-verified floor or the central fallback — never silent.
+    bool degraded = false;
+    /// "" | "stale_floor" | "central".
+    std::string degraded_mode;
+    /// Edge (or central service) that served the returned answer.
+    std::string served_by;
   };
 
   /// Ships a QueryBatch through `service`'s submission queue (full wire
@@ -205,6 +219,56 @@ class Client {
   /// authenticity).
   Result<VerifiedBatch> QueryBatched(QueryService* service,
                                      const QueryBatch& batch, uint64_t now,
+                                     BatchVerifier* verifier = nullptr,
+                                     Transport* net = nullptr);
+
+  /// Retry/failover policy for the director overload of QueryBatched.
+  struct FailoverPolicy {
+    /// Total edge attempts (across all candidates) before degrading.
+    size_t max_attempts = 4;
+    /// Wall budget per attempt, microseconds. An attempt that exceeds it
+    /// still uses its verified answer, but the edge takes a timeout
+    /// strike — slow edges drift toward quarantine without the client
+    /// ever discarding authenticated data. 0 = no budget.
+    uint64_t attempt_budget_us = 0;
+    /// Overall deadline for the whole call, microseconds (0 = none);
+    /// when it expires the call degrades rather than retrying further.
+    uint64_t deadline_us = 0;
+    /// Jittered exponential backoff between attempts.
+    uint64_t backoff_initial_us = 200;
+    double backoff_factor = 2.0;
+    uint64_t backoff_max_us = 10'000;
+    uint64_t jitter_seed = 0x9e3779b9;
+    /// Minimum replica version a non-degraded answer must carry. A
+    /// verified-but-older answer is retained as the stale floor and the
+    /// search continues for a fresh edge. 0 = any version is fresh.
+    uint64_t min_fresh_version = 0;
+    /// Last resort when no healthy fresh edge remains: a query service
+    /// backed by the central server's own replica (answers flagged
+    /// degraded_mode="central"). Null = no central fallback.
+    QueryService* central_fallback = nullptr;
+  };
+
+  /// Failover overload: routes through `director`'s health-ordered
+  /// candidates with bounded retries, jittered exponential backoff, and
+  /// a per-attempt budget; failed / timed-out / verification-failed
+  /// attempts are reported to the director (feeding quarantine) and the
+  /// batch is re-issued against the next healthy edge. Attempts are
+  /// deduped by (edge, replica version, query fingerprint): an edge that
+  /// deterministically failed this exact batch at the same replica
+  /// version is not retried while other candidates remain.
+  ///
+  /// Soundness across attempts: each attempt runs the single-edge
+  /// QueryBatched verbatim, so the monotonic-read watermark only ever
+  /// advances on authenticated answers (never regresses on a failed
+  /// attempt) and the returned batch is a single attempt's response —
+  /// one replica version, never rows mixed across edges. When no
+  /// healthy fresh edge remains the call degrades *explicitly*: a
+  /// stale-but-verified answer flagged `stale_floor`, or the central
+  /// fallback flagged `central`, never a silent downgrade.
+  Result<VerifiedBatch> QueryBatched(EdgeDirector* director,
+                                     const QueryBatch& batch, uint64_t now,
+                                     const FailoverPolicy& policy,
                                      BatchVerifier* verifier = nullptr,
                                      Transport* net = nullptr);
 
@@ -294,13 +358,16 @@ class Client {
   /// signature-pool ref — into an AuditTicket submitted to `auditor_`
   /// (blocking when its bounded queue is full). Never touches
   /// `freshness_`: only audited answers define lazy-mode freshness.
+  /// `source` is the answering edge's name, stamped on the ticket so
+  /// alarms are attributable (and a suspect edge's queued tickets can be
+  /// expedited).
   GroupOutcome DeferBatchGroup(const std::string& schema_table,
                                const std::string& digest_table,
                                const Verifier::TopBinding* binding,
                                const TableMeta& meta,
                                std::span<const SelectQuery> queries,
                                QueryBatchResponse& resp, uint64_t now,
-                               TrustMode mode);
+                               TrustMode mode, const std::string& source);
 
   std::string db_name_;
   KeyDirectory* keys_;

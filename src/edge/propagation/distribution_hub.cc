@@ -121,6 +121,7 @@ Status DistributionHub::ShipMaps() {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     for (const auto& sub : subscribers_) {
+      if (sub->lagging) continue;
       for (const CentralServer::MapInfo& info : maps) {
         auto it = sub->applied_maps.find(info.table);
         if (it != sub->applied_maps.end() && it->second >= info.epoch) {
@@ -143,7 +144,10 @@ Status DistributionHub::ShipMaps() {
       stats_.maps_shipped++;
       stats_.bytes_shipped += ship.info->bytes->size();
     }
-    Status s = ship.sub->edge->InstallPartitionMap(Slice(*ship.info->bytes));
+    EdgeServer* edge = ship.sub->edge;
+    Status s = DeliverVia(
+        ship.sub->map_channel, Slice(*ship.info->bytes),
+        [edge](Slice payload) { return edge->InstallPartitionMap(payload); });
     std::lock_guard<std::mutex> lock(state_mu_);
     if (s.ok()) {
       ship.sub->applied_maps[ship.info->table] = ship.info->epoch;
@@ -195,6 +199,10 @@ Status DistributionHub::BuildAndRunPlan() {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     for (const auto& sub : subscribers_) {
+      // Lagging subscribers are out of the plan until Reconnect(): a
+      // black-holed channel must not eat a slice of every round's
+      // bounded fan-out.
+      if (sub->lagging) continue;
       for (const auto& [name, head] : heads) {
         auto applied_it = sub->applied.find(name);
         bool have = applied_it != sub->applied.end();
@@ -293,10 +301,12 @@ Status DistributionHub::BuildAndRunPlan() {
   }
 
   // Ship to all stale subscribers concurrently (bounded fan-out).
+  std::vector<char> job_ok(jobs.size(), 0);
   size_t workers = std::min(options_.ship_concurrency, jobs.size());
   if (workers <= 1) {
-    for (const ShipJob& job : jobs) {
-      Status s = RunJob(job);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      Status s = RunJob(jobs[i]);
+      job_ok[i] = s.ok() ? 1 : 0;
       if (!s.ok() && first_error.ok()) first_error = s;
     }
   } else {
@@ -309,6 +319,7 @@ Status DistributionHub::BuildAndRunPlan() {
         for (size_t i = next.fetch_add(1); i < jobs.size();
              i = next.fetch_add(1)) {
           Status s = RunJob(jobs[i]);
+          job_ok[i] = s.ok() ? 1 : 0;
           if (!s.ok()) {
             std::lock_guard<std::mutex> lock(err_mu);
             if (first_error.ok()) first_error = s;
@@ -319,14 +330,51 @@ Status DistributionHub::BuildAndRunPlan() {
     for (std::thread& t : pool) t.join();
   }
 
-  // GC: drop log entries every subscriber has applied.
+  // Stall detection: a subscriber whose every ship failed this round is
+  // one round closer to lagging; any success resets the count.
+  if (options_.lagging_after_rounds > 0) {
+    std::map<Subscriber*, bool> progressed;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      auto [it, inserted] = progressed.emplace(jobs[i].sub, job_ok[i] != 0);
+      if (!inserted && job_ok[i] != 0) it->second = true;
+    }
+    size_t newly_lagging = 0;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      for (auto& [sub, ok] : progressed) {
+        if (ok) {
+          sub->stall_rounds = 0;
+          continue;
+        }
+        sub->stall_rounds++;
+        if (!sub->lagging &&
+            sub->stall_rounds >= options_.lagging_after_rounds) {
+          sub->lagging = true;
+          newly_lagging++;
+        }
+      }
+    }
+    if (newly_lagging > 0) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.lagging_marked += newly_lagging;
+    }
+  }
+
+  // GC: drop log entries every subscriber has applied. Lagging
+  // subscribers don't pin the log — they recover via snapshot on
+  // Reconnect() anyway.
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    if (!subscribers_.empty()) {
+    bool any_active = false;
+    for (const auto& sub : subscribers_) {
+      if (!sub->lagging) any_active = true;
+    }
+    if (any_active) {
       for (const auto& [name, head] : heads) {
         if (views.count(name) != 0) continue;
         uint64_t min_applied = ~uint64_t{0};
         for (const auto& sub : subscribers_) {
+          if (sub->lagging) continue;
           auto it = sub->applied.find(name);
           min_applied = std::min(min_applied,
                                  it == sub->applied.end() ? 0 : it->second);
@@ -336,6 +384,12 @@ Status DistributionHub::BuildAndRunPlan() {
     }
   }
   return first_error;
+}
+
+Status DistributionHub::DeliverVia(channel_id_t channel, Slice payload,
+                                   const Transport::DeliverFn& fn) {
+  if (transport_ == nullptr) return fn(payload);
+  return transport_->Deliver(channel, payload, fn);
 }
 
 Status DistributionHub::RunJob(const ShipJob& job) {
@@ -354,21 +408,35 @@ Status DistributionHub::RunJob(const ShipJob& job) {
     }
   };
 
+  // Deliveries route through the transport's Deliver gate so a fault
+  // injector can drop/duplicate/reorder/truncate them; byte accounting
+  // above is unconditional either way.
+  EdgeServer* edge = job.sub->edge;
   Status applied;
   if (job.is_snapshot) {
     account(job.sub->snapshot_channel, job.bytes->size(), true,
             job.is_catch_up);
-    applied = job.sub->edge->InstallSnapshot(Slice(*job.bytes));
+    applied = DeliverVia(
+        job.sub->snapshot_channel, Slice(*job.bytes),
+        [edge](Slice payload) { return edge->InstallSnapshot(payload); });
   } else {
     account(job.sub->delta_channel, job.bytes->size(), false, false);
-    applied = job.sub->edge->ApplyUpdateBatch(Slice(*job.bytes));
+    applied = DeliverVia(
+        job.sub->delta_channel, Slice(*job.bytes),
+        [edge](Slice payload) { return edge->ApplyUpdateBatch(payload); });
     if (!applied.ok()) {
       // Version gap or corrupted replica state: self-heal with a full
       // snapshot (serialized fresh — this path is rare).
       auto snap = central_->ExportTableSnapshot(job.name);
       if (snap.ok()) {
         account(job.sub->snapshot_channel, snap->size(), true, true);
-        applied = job.sub->edge->InstallSnapshot(Slice(*snap));
+        auto shared =
+            std::make_shared<const std::vector<uint8_t>>(std::move(*snap));
+        applied = DeliverVia(
+            job.sub->snapshot_channel, Slice(*shared),
+            [edge, shared](Slice payload) {
+              return edge->InstallSnapshot(payload);
+            });
       } else {
         applied = snap.status();
       }
@@ -394,6 +462,7 @@ bool DistributionHub::Converged() {
     auto head = central_->VersionOf(name);
     if (!head.ok()) continue;
     for (const auto& sub : subscribers_) {
+      if (sub->lagging) continue;  // can't converge; mustn't wedge SyncAll
       auto it = sub->applied.find(name);
       if (it == sub->applied.end() || it->second != *head) return false;
       if (sub->force_snapshot.count(name) != 0) return false;
@@ -401,6 +470,7 @@ bool DistributionHub::Converged() {
   }
   for (const CentralServer::MapInfo& info : maps) {
     for (const auto& sub : subscribers_) {
+      if (sub->lagging) continue;
       auto it = sub->applied_maps.find(info.table);
       if (it == sub->applied_maps.end() || it->second < info.epoch) {
         return false;
@@ -428,6 +498,38 @@ Status DistributionHub::ForceSnapshot(const std::string& edge_name) {
     return Status::OK();
   }
   return Status::NotFound("no subscriber named " + edge_name);
+}
+
+Status DistributionHub::Reconnect(const std::string& edge_name) {
+  std::vector<std::string> names = DistributedNames();
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (const auto& sub : subscribers_) {
+      if (sub->edge->name() != edge_name) continue;
+      sub->lagging = false;
+      sub->stall_rounds = 0;
+      // The log window it missed may be truncated (lagging subscribers
+      // don't pin GC) and its replica state is suspect — replay from
+      // snapshot, never from deltas.
+      sub->force_snapshot.insert(names.begin(), names.end());
+      found = true;
+      break;
+    }
+  }
+  if (!found) return Status::NotFound("no subscriber named " + edge_name);
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  stats_.reconnects++;
+  return Status::OK();
+}
+
+std::vector<std::string> DistributionHub::LaggingSubscribers() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<std::string> names;
+  for (const auto& sub : subscribers_) {
+    if (sub->lagging) names.push_back(sub->edge->name());
+  }
+  return names;
 }
 
 std::map<std::string, uint64_t> DistributionHub::SubscriberVersions(

@@ -46,6 +46,13 @@ struct PropagationOptions {
   bool auto_start = true;
   /// Max concurrent ship operations per flush round.
   size_t ship_concurrency = 8;
+  /// A subscriber that makes no apply progress across this many
+  /// consecutive flush rounds (every ship to it failed — e.g. its
+  /// channel black-holed) is marked lagging: it is dropped from ship
+  /// plans, excluded from Converged(), and stops pinning log GC, so one
+  /// dead edge cannot wedge the propagator. Reconnect() re-admits it
+  /// with full snapshots. 0 disables the detector.
+  size_t lagging_after_rounds = 10;
 };
 
 /// The asynchronous update-propagation subsystem (§3.4 "propagate the
@@ -115,6 +122,14 @@ class DistributionHub {
   /// full snapshots — the recovery path for a corrupted/tampered edge.
   Status ForceSnapshot(const std::string& edge_name);
 
+  /// Re-admits a lagging subscriber ("the edge came back"): clears the
+  /// lagging mark and forces full snapshots for all its replicas, since
+  /// the log window it missed may already be truncated.
+  Status Reconnect(const std::string& edge_name);
+
+  /// Names of subscribers currently marked lagging.
+  std::vector<std::string> LaggingSubscribers();
+
   /// Per-table versions a subscriber has applied (empty if unknown edge).
   std::map<std::string, uint64_t> SubscriberVersions(
       const std::string& edge_name);
@@ -129,6 +144,11 @@ class DistributionHub {
     uint64_t maps_shipped = 0;
     uint64_t bytes_shipped = 0;
     uint64_t ship_errors = 0;
+    /// Subscribers marked lagging (no apply progress for
+    /// `lagging_after_rounds` consecutive rounds).
+    uint64_t lagging_marked = 0;
+    /// Lagging subscribers re-admitted via Reconnect().
+    uint64_t reconnects = 0;
   };
   HubStats stats() const;
 
@@ -145,6 +165,12 @@ class DistributionHub {
     channel_id_t snapshot_channel = kInvalidChannel;
     channel_id_t delta_channel = kInvalidChannel;
     channel_id_t map_channel = kInvalidChannel;
+    /// Consecutive flush rounds in which every ship to this subscriber
+    /// failed to advance anything (black-holed channel, dead edge).
+    size_t stall_rounds = 0;
+    /// Lagging subscribers are skipped by ship plans, Converged() and
+    /// log GC until Reconnect() re-admits them.
+    bool lagging = false;
   };
 
   struct ShipJob {
@@ -157,6 +183,10 @@ class DistributionHub {
 
   void PropagatorLoop();
   Status BuildAndRunPlan();
+  /// Routes a payload through the transport's Deliver gate (the fault
+  /// surface); with no transport the receiver is invoked directly.
+  Status DeliverVia(channel_id_t channel, Slice payload,
+                    const Transport::DeliverFn& fn);
   /// Ships every stale subscriber the current signed partition maps —
   /// called at the top of each round, before any shard payload.
   Status ShipMaps();

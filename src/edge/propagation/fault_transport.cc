@@ -1,0 +1,270 @@
+#include "edge/propagation/fault_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace vbtree {
+
+namespace {
+
+uint64_t MixSeed(uint64_t seed, const std::string& name) {
+  // splitmix-style fold of the channel name into the transport seed, so
+  // each channel's fault sequence is stable under any interleaving of
+  // other channels' traffic.
+  uint64_t h = seed;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h ? h : 1;
+}
+
+}  // namespace
+
+FaultInjectingTransport::FaultInjectingTransport(Transport* inner,
+                                                 uint64_t seed)
+    : inner_(inner), seed_(seed) {}
+
+FaultInjectingTransport::~FaultInjectingTransport() {
+  // Messages still held for reordering die with the network; delivering
+  // into possibly-destroyed receivers here would be worse than the loss.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, st] : channels_) {
+    std::lock_guard<std::mutex> ch_lock(st->mu);
+    if (st->held != nullptr) {
+      st->held.reset();
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+channel_id_t FaultInjectingTransport::Channel(const std::string& name) {
+  channel_id_t id = inner_->Channel(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  ids_.emplace(name, id);
+  names_.emplace(id, name);
+  return id;
+}
+
+void FaultInjectingTransport::Record(channel_id_t channel, size_t bytes) {
+  inner_->Record(channel, bytes);
+}
+
+Transport::ChannelStats FaultInjectingTransport::stats(
+    channel_id_t channel) const {
+  return inner_->stats(channel);
+}
+
+Transport::ChannelStats FaultInjectingTransport::stats(
+    const std::string& channel) const {
+  return inner_->stats(channel);
+}
+
+uint64_t FaultInjectingTransport::total_bytes() const {
+  return inner_->total_bytes();
+}
+
+void FaultInjectingTransport::Reset() { inner_->Reset(); }
+
+void FaultInjectingTransport::SetPolicy(const std::string& substr,
+                                        FaultPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policies_.emplace_back(substr, policy);
+  // Channels that already resolved a state re-resolve their policy so a
+  // test can arm faults after the stack (and its channels) exist.
+  for (auto& [id, st] : channels_) {
+    auto name_it = names_.find(id);
+    if (name_it == names_.end()) continue;
+    if (name_it->second.find(substr) == std::string::npos) continue;
+    std::lock_guard<std::mutex> ch_lock(st->mu);
+    st->policy = policy;
+  }
+}
+
+void FaultInjectingTransport::PartitionOnce(const std::string& substr,
+                                            uint64_t messages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.push_back(Partition{substr, messages});
+}
+
+void FaultInjectingTransport::Heal() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    partitions_.clear();
+    for (auto& [id, st] : channels_) {
+      std::lock_guard<std::mutex> ch_lock(st->mu);
+      st->black_holed = false;
+      st->sends = 0;  // black_hole_after counts anew after a heal
+    }
+  }
+  FlushPending();
+}
+
+void FaultInjectingTransport::FlushPending() {
+  // Collect under the lock, deliver outside it (receivers may be slow).
+  std::vector<std::unique_ptr<PendingMessage>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, st] : channels_) {
+      std::lock_guard<std::mutex> ch_lock(st->mu);
+      if (st->held != nullptr) pending.push_back(std::move(st->held));
+    }
+  }
+  for (auto& msg : pending) {
+    (void)msg->deliver(Slice(msg->payload));
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    reordered_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+FaultInjectingTransport::ChannelState* FaultInjectingTransport::StateFor(
+    channel_id_t channel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = channels_.find(channel);
+  if (it != channels_.end()) return it->second.get();
+  auto st = std::make_unique<ChannelState>();
+  std::string name;
+  auto name_it = names_.find(channel);
+  if (name_it != names_.end()) name = name_it->second;
+  st->rng = Rng(MixSeed(seed_, name));
+  for (const auto& [substr, policy] : policies_) {
+    if (name.find(substr) != std::string::npos) {
+      st->policy = policy;
+      break;
+    }
+  }
+  return channels_.emplace(channel, std::move(st)).first->second.get();
+}
+
+Status FaultInjectingTransport::Deliver(channel_id_t channel, Slice payload,
+                                        const DeliverFn& deliver) {
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto name_it = names_.find(channel);
+    if (name_it != names_.end()) name = name_it->second;
+    // One-shot partitions swallow matching messages until exhausted.
+    for (auto it = partitions_.begin(); it != partitions_.end();) {
+      if (it->remaining == 0) {
+        it = partitions_.erase(it);
+        continue;
+      }
+      if (name.find(it->substr) != std::string::npos) {
+        it->remaining--;
+        partitioned_.fetch_add(1, std::memory_order_relaxed);
+        return Status::IOError("fault injection: partition swallowed message on " +
+                               name);
+      }
+      ++it;
+    }
+  }
+
+  ChannelState* st = StateFor(channel);
+
+  bool drop = false;
+  bool black_holed = false;
+  bool duplicate = false;
+  bool truncate = false;
+  bool hold = false;
+  size_t deliver_bytes = payload.size();
+  uint64_t delay_us = 0;
+  std::unique_ptr<PendingMessage> release;
+  {
+    std::lock_guard<std::mutex> ch_lock(st->mu);
+    const FaultPolicy& p = st->policy;
+    st->sends++;
+    if (p.black_hole_after > 0 && st->sends > p.black_hole_after) {
+      st->black_holed = true;
+    }
+    if (st->black_holed) {
+      black_holed = true;
+    } else if (p.any()) {
+      delay_us = p.delay_us;
+      if (p.drop > 0 && st->rng.NextDouble() < p.drop) {
+        drop = true;
+      } else {
+        if (p.duplicate > 0 && st->rng.NextDouble() < p.duplicate) {
+          duplicate = true;
+        }
+        if (p.truncate > 0 && payload.size() > 1 &&
+            st->rng.NextDouble() < p.truncate) {
+          truncate = true;
+          deliver_bytes = 1 + st->rng.Uniform(payload.size() - 1);
+        }
+        if (p.reorder > 0 && st->held == nullptr && !duplicate &&
+            st->rng.NextDouble() < p.reorder) {
+          hold = true;
+          auto msg = std::make_unique<PendingMessage>();
+          msg->payload.assign(payload.data(), payload.data() + deliver_bytes);
+          msg->deliver = deliver;
+          st->held = std::move(msg);
+        }
+      }
+      if (!hold && st->held != nullptr) {
+        // This message overtakes the held one: deliver it first below,
+        // then the held (older) message — a pairwise reorder.
+        release = std::move(st->held);
+      }
+    }
+  }
+
+  if (delay_us > 0 && !black_holed) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    delayed_us_.fetch_add(delay_us, std::memory_order_relaxed);
+  }
+
+  auto deliver_release = [&] {
+    if (release == nullptr) return;
+    (void)release->deliver(Slice(release->payload));
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    reordered_.fetch_add(1, std::memory_order_relaxed);
+    release.reset();
+  };
+
+  if (black_holed) {
+    black_holed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("fault injection: channel black-holed: " + name);
+  }
+  if (drop) {
+    deliver_release();  // the older in-flight message still arrives
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("fault injection: message dropped on " + name);
+  }
+  if (hold) {
+    // In flight: the sender sees an accepted send; the receiver gets the
+    // message when the channel's next message overtakes it (or at
+    // FlushPending/Heal).
+    return Status::OK();
+  }
+
+  Status s = deliver(Slice(payload.data(), deliver_bytes));
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (truncate) truncated_.fetch_add(1, std::memory_order_relaxed);
+  if (duplicate) {
+    // The receiver must treat the copy idempotently (version gating);
+    // its status is the duplicate's problem, not the sender's.
+    (void)deliver(Slice(payload.data(), deliver_bytes));
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  deliver_release();
+  return s;
+}
+
+FaultInjectingTransport::InjectionCounters
+FaultInjectingTransport::injection_counters() const {
+  InjectionCounters c;
+  c.delivered = delivered_.load(std::memory_order_relaxed);
+  c.dropped = dropped_.load(std::memory_order_relaxed);
+  c.duplicated = duplicated_.load(std::memory_order_relaxed);
+  c.reordered = reordered_.load(std::memory_order_relaxed);
+  c.truncated = truncated_.load(std::memory_order_relaxed);
+  c.black_holed = black_holed_.load(std::memory_order_relaxed);
+  c.partitioned = partitioned_.load(std::memory_order_relaxed);
+  c.delayed_us = delayed_us_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace vbtree

@@ -1,0 +1,164 @@
+#ifndef VBTREE_EDGE_PROPAGATION_FAULT_TRANSPORT_H_
+#define VBTREE_EDGE_PROPAGATION_FAULT_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "edge/propagation/transport.h"
+
+namespace vbtree {
+
+/// What a FaultInjectingTransport may do to one message on a channel.
+/// Probabilities are drawn per message from the channel's own seeded
+/// RNG, so a fixed (seed, send sequence) reproduces the exact same
+/// fault pattern on any host — chaos tests assert on counters, not
+/// luck. Multiple faults can combine on one message (a duplicated copy
+/// can also be truncated); `drop` is evaluated first and wins.
+struct FaultPolicy {
+  /// Probability a message (and all its would-be copies) vanishes.
+  double drop = 0.0;
+  /// Probability one extra copy of the message is delivered.
+  double duplicate = 0.0;
+  /// Probability the message is held and delivered *after* the
+  /// channel's next message (pairwise reorder; a held message with no
+  /// successor is flushed by Heal()/FlushPending or dropped at
+  /// destruction).
+  double reorder = 0.0;
+  /// Probability the payload is cut to a random proper prefix —
+  /// receivers must fail the parse as a Status, never crash.
+  double truncate = 0.0;
+  /// Fixed delivery delay applied to every message (the injector
+  /// really sleeps, so per-attempt budgets on the caller side observe
+  /// it). Keep small in tests.
+  uint64_t delay_us = 0;
+  /// After this many sends the channel black-holes: every later
+  /// message is dropped until Heal(). 0 = never.
+  uint64_t black_hole_after = 0;
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || truncate > 0 ||
+           delay_us > 0 || black_hole_after > 0;
+  }
+};
+
+/// Seeded, deterministic fault-injecting decorator over any Transport.
+///
+/// Byte accounting (Channel/Record/stats) forwards to the inner
+/// transport untouched: a send is recorded whether or not it is later
+/// delivered, preserving the exact channel-sum == bytes_shipped
+/// invariant the propagation tests assert. The fault surface is the
+/// Deliver() gate: callers that route delivery through it get the
+/// channel's policy applied — drop, duplicate, reorder, truncate,
+/// delay, one-shot partitions, and black-hole-after-N — with every
+/// injection counted so tests can assert the faults actually fired.
+///
+/// Policies are keyed by channel-name substring (first match in
+/// registration order wins), resolved once per channel at first
+/// Deliver. Thread-safe: hub ship workers and client threads may
+/// Deliver concurrently; each channel draws from its own RNG under its
+/// own lock, seeded from (transport seed, channel name), so fault
+/// sequences are per-channel deterministic regardless of cross-channel
+/// interleaving.
+class FaultInjectingTransport : public Transport {
+ public:
+  struct InjectionCounters {
+    uint64_t delivered = 0;   ///< copies actually handed to the receiver
+    uint64_t dropped = 0;     ///< messages lost to the drop probability
+    uint64_t duplicated = 0;  ///< extra copies delivered
+    uint64_t reordered = 0;   ///< messages delivered out of send order
+    uint64_t truncated = 0;   ///< copies delivered with a cut payload
+    uint64_t black_holed = 0; ///< messages swallowed past black_hole_after
+    uint64_t partitioned = 0; ///< messages lost to a one-shot partition
+    uint64_t delayed_us = 0;  ///< total injected delay actually slept
+  };
+
+  explicit FaultInjectingTransport(Transport* inner,
+                                   uint64_t seed = 0xFA017'5EEDULL);
+  ~FaultInjectingTransport() override;
+
+  // --- Transport: pure pass-through accounting ---
+  channel_id_t Channel(const std::string& name) override;
+  using Transport::Record;
+  void Record(channel_id_t channel, size_t bytes) override;
+  ChannelStats stats(channel_id_t channel) const override;
+  ChannelStats stats(const std::string& channel) const override;
+  uint64_t total_bytes() const override;
+  void Reset() override;
+
+  // --- fault configuration ---
+  /// Applies `policy` to every channel whose name contains `substr`
+  /// (first registered match wins; "" matches everything) — including
+  /// channels that already carried traffic, so faults can be armed
+  /// mid-test after the stack exists.
+  void SetPolicy(const std::string& substr, FaultPolicy policy);
+
+  /// One-shot partition: the next `messages` sends on channels whose
+  /// name contains `substr` are dropped, then the partition clears
+  /// itself. Counted separately from probabilistic drops.
+  void PartitionOnce(const std::string& substr, uint64_t messages);
+
+  /// Clears black-holed channels, active partitions and flushes any
+  /// held (reorder) messages — "the network came back".
+  void Heal();
+
+  /// Delivers any messages still held for reordering (without clearing
+  /// black-holes or partitions).
+  void FlushPending();
+
+  // --- the delivery gate ---
+  Status Deliver(channel_id_t channel, Slice payload,
+                 const DeliverFn& deliver) override;
+
+  InjectionCounters injection_counters() const;
+
+ private:
+  struct PendingMessage {
+    std::vector<uint8_t> payload;
+    DeliverFn deliver;
+  };
+
+  /// Per-channel fault state, created lazily at first Deliver.
+  struct ChannelState {
+    std::mutex mu;
+    Rng rng{1};
+    FaultPolicy policy;
+    uint64_t sends = 0;        ///< messages offered to this channel
+    bool black_holed = false;  ///< latched once sends > black_hole_after
+    std::unique_ptr<PendingMessage> held;  ///< reorder slot
+  };
+
+  ChannelState* StateFor(channel_id_t channel);
+
+  Transport* const inner_;
+  const uint64_t seed_;
+
+  mutable std::mutex mu_;  ///< guards maps + partitions (not per-channel state)
+  std::map<std::string, channel_id_t> ids_;
+  std::map<channel_id_t, std::string> names_;
+  std::vector<std::pair<std::string, FaultPolicy>> policies_;
+  std::map<channel_id_t, std::unique_ptr<ChannelState>> channels_;
+  struct Partition {
+    std::string substr;
+    uint64_t remaining = 0;
+  };
+  std::vector<Partition> partitions_;
+
+  std::atomic<uint64_t> delivered_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> duplicated_{0};
+  std::atomic<uint64_t> reordered_{0};
+  std::atomic<uint64_t> truncated_{0};
+  std::atomic<uint64_t> black_holed_{0};
+  std::atomic<uint64_t> partitioned_{0};
+  std::atomic<uint64_t> delayed_us_{0};
+};
+
+}  // namespace vbtree
+
+#endif  // VBTREE_EDGE_PROPAGATION_FAULT_TRANSPORT_H_

@@ -3,11 +3,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
 
 namespace vbtree {
 
@@ -51,6 +55,24 @@ class Transport {
 
   /// Zeroes all counters (channel ids remain valid).
   virtual void Reset() = 0;
+
+  /// Invoked once per surviving copy of a message routed through
+  /// Deliver(); receives the (possibly truncated) payload.
+  using DeliverFn = std::function<Status(Slice)>;
+
+  /// Delivery gate. In-process delivery is a function call, so callers
+  /// that want the transport to decide a message's fate (the fault
+  /// injector) route it through here: the transport may drop the
+  /// message, deliver it more than once, truncate it, delay it, or hold
+  /// it to reorder against the channel's next message. Byte accounting
+  /// is NOT performed here — callers Record() the send separately, so
+  /// "everything recorded is counted, delivered or not" stays true.
+  /// The base transport delivers exactly once, untouched.
+  virtual Status Deliver(channel_id_t channel, Slice payload,
+                         const DeliverFn& deliver) {
+    (void)channel;
+    return deliver(payload);
+  }
 };
 
 /// In-process transport: delivery is a function call (the caller invokes

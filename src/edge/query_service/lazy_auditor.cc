@@ -173,6 +173,7 @@ void LazyAuditor::AuditOne(AuditTicket ticket) {
     Alarm a;
     a.ticket_id = ticket.id;
     a.schema_table = ticket.schema_table;
+    a.source = ticket.source;
     a.query = ticket.queries[i];
     ByteWriter w;
     resp.responses[i].vo.Serialize(&w);
@@ -257,25 +258,57 @@ void LazyAuditor::AuditOne(AuditTicket ticket) {
   const uint64_t audit_us = MicrosSince(audit_start);
   const uint64_t lag_us = MicrosSince(ticket.issued_at);
 
-  std::lock_guard lock(mu_);
-  stats_.tickets_audited++;
-  stats_.queries_audited += audited;
-  stats_.alarms += new_alarms.size();
-  stats_.audit_lag_us_total += lag_us;
-  stats_.audit_lag_us_max = std::max(stats_.audit_lag_us_max, lag_us);
-  stats_.audit_us_total += audit_us;
-  stats_.top_memo_hits += memo_hits;
-  stats_.crypto.Add(crypto);
-  lag_samples_us_.push_back(lag_us);
-  if (new_alarms.empty() && audited > 0) {
-    // The whole ticket re-certified: the replica version it was labeled
-    // with is now an *audited* fact, so the lazy monotonic-read
-    // watermark may advance (and only here — provisional answers never
-    // move it).
-    uint64_t& wm = audited_watermark_[ticket.schema_table];
-    wm = std::max(wm, resp.replica_version);
+  std::function<void(const Alarm&)> sink;
+  {
+    std::lock_guard lock(mu_);
+    stats_.tickets_audited++;
+    stats_.queries_audited += audited;
+    stats_.alarms += new_alarms.size();
+    stats_.audit_lag_us_total += lag_us;
+    stats_.audit_lag_us_max = std::max(stats_.audit_lag_us_max, lag_us);
+    stats_.audit_us_total += audit_us;
+    stats_.top_memo_hits += memo_hits;
+    stats_.crypto.Add(crypto);
+    lag_samples_us_.push_back(lag_us);
+    if (new_alarms.empty() && audited > 0) {
+      // The whole ticket re-certified: the replica version it was labeled
+      // with is now an *audited* fact, so the lazy monotonic-read
+      // watermark may advance (and only here — provisional answers never
+      // move it).
+      uint64_t& wm = audited_watermark_[ticket.schema_table];
+      wm = std::max(wm, resp.replica_version);
+    }
+    for (const Alarm& a : new_alarms) alarms_.push_back(a);
+    sink = alarm_sink_;
   }
-  for (Alarm& a : new_alarms) alarms_.push_back(std::move(a));
+  // Push alarms outside the auditor lock: the sink (typically an
+  // EdgeDirector) may call straight back into Expedite().
+  if (sink != nullptr) {
+    for (const Alarm& a : new_alarms) sink(a);
+  }
+}
+
+void LazyAuditor::SetAlarmSink(std::function<void(const Alarm&)> sink) {
+  std::lock_guard lock(mu_);
+  alarm_sink_ = std::move(sink);
+}
+
+size_t LazyAuditor::Expedite(const std::string& source) {
+  std::lock_guard lock(mu_);
+  std::deque<AuditTicket> expedited;
+  std::deque<AuditTicket> rest;
+  for (AuditTicket& t : queue_) {
+    (t.source == source ? expedited : rest).push_back(std::move(t));
+  }
+  const size_t moved = expedited.size();
+  if (moved > 0) {
+    for (AuditTicket& t : rest) expedited.push_back(std::move(t));
+    queue_ = std::move(expedited);
+    stats_.expedited_tickets += moved;
+  } else {
+    queue_ = std::move(rest);
+  }
+  return moved;
 }
 
 }  // namespace vbtree

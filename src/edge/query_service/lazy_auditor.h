@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -54,6 +55,10 @@ struct AuditTicket {
   /// as of answer delivery, not audit time, so a key rotation between the
   /// two cannot retroactively alarm an honest answer.
   uint64_t now = 0;
+  /// The edge server that produced this answer — alarm attribution, so
+  /// an alarm sink (e.g. the EdgeDirector) can quarantine the offender
+  /// and Expedite() can re-prioritize a suspect edge's pending tickets.
+  std::string source;
   std::chrono::steady_clock::time_point issued_at;
 };
 
@@ -96,6 +101,9 @@ class LazyAuditor {
   struct Alarm {
     uint64_t ticket_id = 0;
     std::string schema_table;
+    /// The edge server whose answer failed the deferred check (the
+    /// ticket's source) — who to quarantine.
+    std::string source;
     SelectQuery query;
     std::vector<uint8_t> vo_bytes;
     uint64_t replica_version = 0;
@@ -110,6 +118,8 @@ class LazyAuditor {
     uint64_t queries_sampled_out = 0;
     uint64_t queries_audited = 0;
     uint64_t alarms = 0;
+    /// Tickets moved to the queue front by Expedite().
+    uint64_t expedited_tickets = 0;
     /// Submit-to-audited wall lag (the lazy-trust exposure window).
     uint64_t audit_lag_us_total = 0;
     uint64_t audit_lag_us_max = 0;
@@ -158,6 +168,20 @@ class LazyAuditor {
   /// reads it to flag stale replicas on later provisional reads.
   uint64_t audited_watermark(const std::string& schema_table) const;
 
+  /// Installs a push callback invoked (on the auditor thread, no auditor
+  /// lock held) for every alarm as it is raised — the wiring that lets
+  /// an EdgeDirector quarantine a lying edge without polling. Alarms are
+  /// still retained for TakeAlarms(). The sink must be thread-safe and
+  /// must not call back into the auditor except Expedite().
+  void SetAlarmSink(std::function<void(const Alarm&)> sink);
+
+  /// Moves every queued ticket from `source` to the front of the queue
+  /// (stable among themselves): when an edge turns suspect, its
+  /// remaining in-flight lazy answers are re-audited first, shrinking
+  /// the exposure window exactly where the risk concentrates. Returns
+  /// the number of tickets moved.
+  size_t Expedite(const std::string& source);
+
   /// Removes and returns the alarms raised so far.
   std::vector<Alarm> TakeAlarms();
   size_t alarm_count() const;
@@ -189,6 +213,7 @@ class LazyAuditor {
   Rng sample_rng_;
   Stats stats_;
   std::vector<Alarm> alarms_;
+  std::function<void(const Alarm&)> alarm_sink_;
   std::vector<uint64_t> lag_samples_us_;
   std::map<std::string, uint64_t> audited_watermark_;
   std::shared_ptr<RecoveredDigestCache> digest_cache_;

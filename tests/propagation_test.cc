@@ -495,6 +495,138 @@ TEST_F(PropagationTest, ViewsPropagateBySnapshot) {
   EXPECT_EQ(edge.tree("tr")->version(), central_->tree("tr")->version());
 }
 
+// ---------------------------------------------------------------------------
+// Fault matrix: propagation over a fault-injecting transport.
+// ---------------------------------------------------------------------------
+
+// Deltas (and the snapshot fallbacks they trigger) converge byte-exact
+// under drop + duplicate + reorder + truncate: every failed ship leaves
+// `applied` at the edge's true version, so the next round retries, and
+// duplicated / reordered copies are rejected by version gating instead
+// of corrupting the replica.
+TEST_F(PropagationTest, DeltaConvergenceUnderDropDuplicateReorder) {
+  Init({});
+  InProcessTransport inner;
+  FaultInjectingTransport net(&inner, /*seed=*/0xF00D);
+  net.SetPolicy("central->edge:", testutil::LossyPolicy());
+
+  PropagationOptions popts;
+  popts.auto_start = false;
+  popts.max_batch_ops = 16;
+  DistributionHub hub(central_.get(), &net, popts);
+  constexpr int kEdges = 3;
+  std::vector<std::unique_ptr<EdgeServer>> edges;
+  for (int i = 0; i < kEdges; ++i) {
+    edges.push_back(std::make_unique<EdgeServer>("edge-" + std::to_string(i)));
+    ASSERT_TRUE(hub.Subscribe(edges.back().get()).ok());
+  }
+
+  // Churn at the central server with flush rounds interleaved; every
+  // round may lose, double or hold messages — errors are retried, not
+  // fatal.
+  Rng wrng(11);
+  int64_t next_key = 20000;
+  for (int burst = 0; burst < 8; ++burst) {
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(
+          central_
+              ->InsertTuple("t", testutil::MakeTuple(schema_, next_key++,
+                                                     &wrng))
+              .ok());
+    }
+    ASSERT_TRUE(central_->DeleteRange("t", burst * 30, burst * 30 + 5).ok());
+    (void)hub.FlushOnce();  // fault-injected ships may fail; retried below
+  }
+
+  bool converged = false;
+  for (int round = 0; round < 300 && !converged; ++round) {
+    (void)hub.FlushOnce();
+    converged = hub.Converged();
+  }
+  ASSERT_TRUE(converged) << "propagation wedged under fault injection";
+  for (const auto& edge : edges) ExpectReplicaMatchesCentral(*edge);
+
+  // The run actually exercised the fault matrix.
+  FaultInjectingTransport::InjectionCounters inj = net.injection_counters();
+  EXPECT_GT(inj.dropped, 0u);
+  EXPECT_GT(inj.duplicated, 0u);
+  EXPECT_GT(inj.reordered, 0u);
+  auto stats = hub.stats();
+  EXPECT_GT(stats.ship_errors, 0u);
+
+  // Byte accounting is fault-independent: everything Recorded — dropped,
+  // held or delivered — sums to exactly bytes_shipped.
+  uint64_t channel_bytes = 0;
+  for (const auto& edge : edges) {
+    channel_bytes += net.stats("central->edge:" + edge->name()).bytes;
+    channel_bytes +=
+        net.stats("central->edge:" + edge->name() + ":delta").bytes;
+    channel_bytes += net.stats("central->edge:" + edge->name() + ":map").bytes;
+  }
+  EXPECT_EQ(channel_bytes, stats.bytes_shipped);
+}
+
+// A subscriber whose channels black-hole mid-run is marked lagging after
+// K failed rounds — it can't wedge SyncAll, pin the update log, or eat a
+// slice of every round's fan-out — and recovers via snapshot replay on
+// Reconnect() once the network heals.
+TEST_F(PropagationTest, BlackHoledSubscriberLagsThenReconnects) {
+  Init({}, /*rows=*/200);
+  InProcessTransport inner;
+  FaultInjectingTransport net(&inner, /*seed=*/0xBEEF);
+  // Each wedged channel passes its first send (initial snapshot, first
+  // delta), then latches black-holed — the "edge went silent" shape.
+  // Matches the subscriber's full channel names
+  // ("central->edge:edge-wedged", ":delta", ":map").
+  FaultPolicy dark;
+  dark.black_hole_after = 1;
+  net.SetPolicy("edge:edge-wedged", dark);
+
+  PropagationOptions popts;
+  popts.auto_start = false;
+  popts.lagging_after_rounds = 2;
+  DistributionHub hub(central_.get(), &net, popts);
+  EdgeServer wedged("edge-wedged"), honest("edge-honest");
+  ASSERT_TRUE(hub.Subscribe(&wedged).ok());
+  ASSERT_TRUE(hub.Subscribe(&honest).ok());
+  ASSERT_TRUE(hub.SyncAll().ok());  // first sends pass: both replicas live
+  ExpectReplicaMatchesCentral(wedged);
+
+  // Churn; the wedged edge's delta channel (and its snapshot-fallback
+  // channel) black-hole, so every ship to it now fails.
+  Rng rng(5);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        central_->InsertTuple("t", testutil::MakeTuple(schema_, 30000 + i,
+                                                       &rng))
+            .ok());
+    (void)hub.FlushOnce();
+    if (!hub.LaggingSubscribers().empty()) break;
+  }
+  ASSERT_EQ(hub.LaggingSubscribers(),
+            std::vector<std::string>{"edge-wedged"});
+  EXPECT_EQ(hub.stats().lagging_marked, 1u);
+
+  // The lagging subscriber doesn't wedge the rest of the fleet: SyncAll
+  // converges the honest edge and reports clean.
+  ASSERT_TRUE(hub.SyncAll().ok());
+  EXPECT_TRUE(hub.Converged());
+  ExpectReplicaMatchesCentral(honest);
+  EXPECT_LT(wedged.TableVersion("t"), honest.TableVersion("t"));
+
+  // Network heals; Reconnect replays from snapshot (its missed log
+  // window may be truncated) and the edge converges byte-exact.
+  net.Heal();
+  ASSERT_TRUE(hub.Reconnect("edge-wedged").ok());
+  EXPECT_TRUE(hub.LaggingSubscribers().empty());
+  ASSERT_TRUE(hub.SyncAll().ok());
+  ExpectReplicaMatchesCentral(wedged);
+  auto stats = hub.stats();
+  EXPECT_EQ(stats.reconnects, 1u);
+  EXPECT_GT(stats.ship_errors, 0u);
+  EXPECT_GT(net.injection_counters().black_holed, 0u);
+}
+
 TEST_F(PropagationTest, SubscriberVersionsReportFleetState) {
   Init({}, /*rows=*/100);
   InProcessTransport net;

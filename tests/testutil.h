@@ -11,6 +11,7 @@
 #include "crypto/sim_signer.h"
 #include "edge/central_server.h"
 #include "edge/edge_server.h"
+#include "edge/propagation/fault_transport.h"
 #include "edge/propagation/transport.h"
 #include "query/executor.h"
 #include "storage/buffer_pool.h"
@@ -146,6 +147,43 @@ inline std::unique_ptr<TestDb> MakeTestDb(size_t n, size_t ncols = 10,
   }
   if (!db->tree->BulkLoad(pairs).ok()) return nullptr;
   return db;
+}
+
+/// One shared vocabulary for injecting failures: transport faults (what
+/// the network does to honest messages) and response tampering (what a
+/// lying edge does to honest data). The chaos and adversarial suites —
+/// and the bench's --fault-profile — all configure through this instead
+/// of scattering per-test knob pokes.
+struct FaultPlan {
+  /// Transport faults, applied to channels whose name contains
+  /// `channel_substr` ("" = every channel). Ignored when `policy` is
+  /// all-zero or no FaultInjectingTransport is supplied.
+  std::string channel_substr;
+  FaultPolicy policy;
+  /// The lying edge and its tamper mode (kNone = everyone honest).
+  EdgeServer* liar = nullptr;
+  ResponseTamper tamper = ResponseTamper::kNone;
+};
+
+inline void ApplyFaultPlan(const FaultPlan& plan,
+                           FaultInjectingTransport* net = nullptr) {
+  if (net != nullptr && plan.policy.any()) {
+    net->SetPolicy(plan.channel_substr, plan.policy);
+  }
+  if (plan.liar != nullptr) plan.liar->set_response_tamper(plan.tamper);
+}
+
+/// The standard lossy-network profile (drop + duplicate + reorder +
+/// truncate): one set of numbers shared by propagation_test, the chaos
+/// suite and the bench's --fault-profile=lossy, so "converges under
+/// loss" always means the same loss.
+inline FaultPolicy LossyPolicy() {
+  FaultPolicy p;
+  p.drop = 0.25;
+  p.duplicate = 0.15;
+  p.reorder = 0.15;
+  p.truncate = 0.05;
+  return p;
 }
 
 }  // namespace testutil
